@@ -1,0 +1,132 @@
+//! Criterion benchmarks of the arithmetic kernels — the host-side
+//! performance of the from-scratch substrate (NTT, base conversion,
+//! automorphism, modular arithmetic).
+
+use ark_math::bconv::BaseConverter;
+use ark_math::modulus::Modulus;
+use ark_math::ntt::NttTable;
+use ark_math::ntt4step::FourStepNtt;
+use ark_math::poly::{Representation, RnsBasis, RnsPoly};
+use ark_math::primes::generate_ntt_primes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+
+fn bench_modmul(c: &mut Criterion) {
+    let q = Modulus::new(0x1fff_ffff_ffe0_0001).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let xs: Vec<(u64, u64)> = (0..1024)
+        .map(|_| (rng.gen::<u64>() % q.value(), rng.gen::<u64>() % q.value()))
+        .collect();
+    let mut g = c.benchmark_group("modulus");
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    g.bench_function("barrett_mul_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y) in &xs {
+                acc ^= q.mul(x, y);
+            }
+            acc
+        })
+    });
+    let pre = q.shoup(12345678901234567 % q.value());
+    g.bench_function("shoup_mul_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, _) in &xs {
+                acc ^= q.mul_shoup(x, &pre);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ntt");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    for log_n in [12u32, 14] {
+        let n = 1usize << log_n;
+        let table = NttTable::new(
+            Modulus::new(generate_ntt_primes(n, 50, 1)[0]).unwrap(),
+            n,
+        );
+        let data: Vec<u64> = (0..n)
+            .map(|_| rng.gen::<u64>() % table.modulus().value())
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| table.forward(&mut d),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("inverse", n), &n, |b, _| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| table.inverse(&mut d),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_four_step(c: &mut Criterion) {
+    let n = 1usize << 12;
+    let ntt = FourStepNtt::new(
+        Modulus::new(generate_ntt_primes(n, 50, 1)[0]).unwrap(),
+        n,
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let data: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % (1u64 << 49)).collect();
+    let mut g = c.benchmark_group("ntt4step");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("forward_4096", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut d| ntt.forward(&mut d),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_bconv(c: &mut Criterion) {
+    let n = 1usize << 12;
+    let basis = RnsBasis::new(n, &generate_ntt_primes(n, 45, 12));
+    let from: Vec<usize> = (0..6).collect();
+    let to: Vec<usize> = (6..12).collect();
+    let conv = BaseConverter::new(&basis, &from, &to);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let poly = RnsPoly::random_uniform(&basis, &from, Representation::Coefficient, &mut rng);
+    let mut g = c.benchmark_group("bconv");
+    g.throughput(Throughput::Elements((from.len() * to.len() * n) as u64));
+    g.bench_function("convert_6to6_4096", |b| {
+        b.iter(|| conv.convert(&poly, &basis))
+    });
+    g.finish();
+}
+
+fn bench_automorphism(c: &mut Criterion) {
+    use ark_math::automorphism::GaloisElement;
+    let n = 1usize << 12;
+    let basis = RnsBasis::new(n, &generate_ntt_primes(n, 45, 4));
+    let idx: Vec<usize> = (0..4).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let poly = RnsPoly::random_uniform(&basis, &idx, Representation::Evaluation, &mut rng);
+    let g5 = GaloisElement::from_rotation(5, n);
+    let mut g = c.benchmark_group("automorphism");
+    g.throughput(Throughput::Elements((4 * n) as u64));
+    g.bench_function("rotate5_4limbs_4096", |b| {
+        b.iter(|| poly.automorphism(g5, &basis))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_modmul, bench_ntt, bench_four_step, bench_bconv, bench_automorphism
+);
+criterion_main!(kernels);

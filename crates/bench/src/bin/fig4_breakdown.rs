@@ -1,0 +1,19 @@
+//! Fig. 4: computational breakdown of HRot by dnum.
+use ark_ckks::params::CkksParams;
+use ark_workloads::counts::hrot_breakdown;
+
+fn main() {
+    println!("Fig. 4 — modular-mult breakdown of HRot at max level, (N,L)=(2^16,23)");
+    println!(
+        "{:<10} {:>8} {:>8} {:>9} {:>8}",
+        "dnum", "(I)NTT%", "BConv%", "MultEvk%", "Others%"
+    );
+    for dnum in [4usize, 24] {
+        let p = CkksParams { dnum, ..CkksParams::ark() };
+        let b = hrot_breakdown(&p, p.max_level);
+        let (ntt, bconv, evk, other) = b.percentages();
+        let label = if dnum == 24 { "max (24)" } else { "4" };
+        println!("{label:<10} {ntt:>8.1} {bconv:>8.1} {evk:>9.1} {other:>8.1}");
+    }
+    println!("\npaper: dnum=4 -> 54.8/34.2/9.1; dnum=max -> 73.3/9.2/16.9");
+}

@@ -1,0 +1,25 @@
+//! Fig. 7: incremental effect of Min-KS and OF-Limb on all workloads.
+use ark_bench::{fmt_time, simulate_workload, AlgoVariant, Workload};
+
+fn main() {
+    println!("Fig. 7 — execution time while applying the algorithms incrementally");
+    for w in Workload::all() {
+        println!("\n{}:", w.label());
+        let mut baseline = None;
+        for v in AlgoVariant::all() {
+            let (s, r) = simulate_workload(w, v);
+            if v == AlgoVariant::Baseline {
+                baseline = Some(s);
+            }
+            let speedup = baseline.map(|b| b / s).unwrap_or(f64::NAN);
+            println!(
+                "  {:<20} {:>12}   speedup vs baseline {:>5.2}x   HBM {:>7.2} GB",
+                v.label(),
+                fmt_time(s),
+                speedup,
+                r.hbm_bytes() as f64 / 1e9
+            );
+        }
+    }
+    println!("\npaper speedups (Min-KS+OF-Limb vs baseline): boot 2.36x, HELR 1.72x, ResNet 2.20x, sorting 2.08x");
+}

@@ -1,0 +1,35 @@
+//! Fig. 8: alternative designs — limb-wise-only distribution, 2x
+//! clusters, 2x HBM — execution time and average power.
+use ark_bench::{fmt_time, simulate_on, Workload};
+use ark_core::power::average_power;
+use ark_core::ArkConfig;
+
+fn main() {
+    println!("Fig. 8 — alternative ARK designs (algorithms on)");
+    let configs = [
+        ArkConfig::base(),
+        ArkConfig::limb_wise_only(),
+        ArkConfig::two_x_clusters(),
+        ArkConfig::two_x_hbm(),
+    ];
+    for w in Workload::all() {
+        println!("\n{}:", w.label());
+        let mut base_s = None;
+        for cfg in &configs {
+            let (s, r) = simulate_on(w, cfg);
+            if base_s.is_none() {
+                base_s = Some(s);
+            }
+            let rel = base_s.unwrap() / s;
+            let pw = average_power(&r, cfg);
+            println!(
+                "  {:<24} {:>12}  rel perf {:>5.2}x  avg power {:>6.1} W",
+                cfg.name,
+                fmt_time(s),
+                rel,
+                pw.total()
+            );
+        }
+    }
+    println!("\npaper: alt-distribution 0.67-0.85x, 2x clusters up to 1.45x, 2x HBM ~1.07x (1.47x HELR)");
+}

@@ -1,0 +1,21 @@
+//! Fig. 9: sweeps of BConv-lane MAC count and scratchpad capacity.
+use ark_bench::{fmt_time, simulate_on, Workload};
+use ark_core::ArkConfig;
+
+fn main() {
+    println!("Fig. 9(a)(b) — MAC units per BConv lane (HELR / ResNet-20)");
+    for macs in 1..=8usize {
+        let cfg = ArkConfig::with_bconv_macs(macs);
+        let (h, _) = simulate_on(Workload::Helr, &cfg);
+        let (r, _) = simulate_on(Workload::ResNet, &cfg);
+        println!("  {macs} MACs: HELR {:>12}   ResNet-20 {:>12}", fmt_time(h), fmt_time(r));
+    }
+    println!("\nFig. 9(c)(d) — total scratchpad capacity");
+    for mib in [192usize, 256, 320, 384, 448, 512, 576] {
+        let cfg = ArkConfig::with_scratchpad(mib);
+        let (h, _) = simulate_on(Workload::Helr, &cfg);
+        let (r, _) = simulate_on(Workload::ResNet, &cfg);
+        println!("  {mib:>4} MB: HELR {:>12}   ResNet-20 {:>12}", fmt_time(h), fmt_time(r));
+    }
+    println!("\npaper: 1->6 MACs gives 1.37x/1.72x then saturates; 192->512 MB gives 1.53x/2.42x then saturates");
+}

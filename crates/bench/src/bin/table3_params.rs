@@ -1,0 +1,30 @@
+//! Table III: representative parameters and data sizes.
+use ark_ckks::params::CkksParams;
+
+fn main() {
+    println!("Table III — parameters and data sizes (MB, 8-byte words)");
+    println!(
+        "{:<10} {:>6} {:>4} {:>6} {:>5} {:>4} {:>9} {:>9} {:>9}",
+        "Work", "N", "L", "Lboot", "dnum", "α", "Pm(MB)", "[[m]](MB)", "evk(MB)"
+    );
+    for p in [
+        CkksParams::lattigo(),
+        CkksParams::hundred_x(),
+        CkksParams::f1(),
+        CkksParams::ark(),
+    ] {
+        println!(
+            "{:<10} 2^{:<4} {:>4} {:>6} {:>5} {:>4} {:>9.1} {:>9.1} {:>9.1}",
+            p.name,
+            p.log_n,
+            p.max_level,
+            p.boot_levels,
+            p.dnum,
+            p.alpha(),
+            p.plaintext_bytes() as f64 / (1 << 20) as f64,
+            p.ciphertext_bytes() as f64 / (1 << 20) as f64,
+            p.evk_bytes() as f64 / (1 << 20) as f64,
+        );
+    }
+    println!("\npaper row ARK: Pm 12, [[m]] 24, evk 120  (F1 uses 32-bit words; halve its rows)");
+}

@@ -1,0 +1,26 @@
+//! Table IV: area and peak power of ARK's components.
+use ark_core::area::Area;
+use ark_core::config::ArkConfig;
+use ark_core::power::PeakPower;
+
+fn main() {
+    let a = Area::for_config(&ArkConfig::base());
+    let p = PeakPower::for_config(&ArkConfig::base());
+    println!("Table IV — ARK area and peak power (7 nm model constants)");
+    println!("{:<22} {:>10} {:>12}", "Component", "Area(mm²)", "Peak power(W)");
+    let rows = [
+        ("4 BConvUs", a.bconvu, p.bconvu),
+        ("4 NTTUs", a.nttu, p.nttu),
+        ("4 AutoUs", a.autou, p.autou),
+        ("8 MADUs", a.madu, p.madu),
+        ("Register files", a.rf, p.rf),
+        ("Scratchpad memory", a.sram, p.sram),
+        ("NoC", a.noc, p.noc),
+        ("HBM", a.hbm, p.hbm),
+    ];
+    for (name, area, power) in rows {
+        println!("{name:<22} {area:>10.1} {power:>12.1}");
+    }
+    println!("{:<22} {:>10.1} {:>12.1}", "Sum", a.total(), p.total());
+    println!("\npaper: 418.3 mm², 281.3 W");
+}

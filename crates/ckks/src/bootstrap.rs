@@ -1,0 +1,308 @@
+//! CKKS bootstrapping (Section II-D): ModRaise → CoeffToSlot (H-IDFT) →
+//! EvalMod → SlotToCoeff (H-DFT).
+//!
+//! A level-0 ciphertext is first re-interpreted modulo the full chain
+//! (`LevelRecover`/ModRaise), which silently adds `q_0·I` to the
+//! plaintext polynomial. CoeffToSlot moves the *coefficients* into the
+//! slots (homomorphic inverse DFT), EvalMod removes the `q_0·I` term by
+//! a scaled-sine approximation, and SlotToCoeff moves the cleaned
+//! coefficients back (homomorphic DFT). The two transforms are the
+//! memory-bound H-(I)DFT kernels the whole paper is about; here they are
+//! built from the radix-`2^k` stage factors of [`crate::dft`] and
+//! evaluated with a selectable [`KeyStrategy`] so the Min-KS and
+//! baseline paths can be checked for message-level equivalence.
+
+use crate::ciphertext::Ciphertext;
+use crate::dft::{coeff_to_slot_stages, group_stages, slot_to_coeff_stages};
+use crate::evalmod::{ChebyshevPoly, EvalModParams};
+use crate::keys::{EvalKey, RotationKeys};
+use crate::lintrans::LinearTransform;
+use crate::minks::KeyStrategy;
+use crate::params::CkksContext;
+use ark_math::poly::RnsPoly;
+
+/// Configuration of the bootstrapping pipeline.
+#[derive(Debug, Clone)]
+pub struct BootstrapConfig {
+    /// Stages per homomorphic-DFT level (radix `2^k`); grouping all
+    /// stages yields the dense single-level transform.
+    pub radix_log2: usize,
+    /// Rotation-key usage strategy for the H-(I)DFT passes.
+    pub strategy: KeyStrategy,
+    /// EvalMod interpolation parameters.
+    pub evalmod: EvalModParams,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        Self {
+            radix_log2: 3,
+            strategy: KeyStrategy::MinKs,
+            evalmod: EvalModParams::for_sparse_secret(),
+        }
+    }
+}
+
+/// Precomputed bootstrapping state: the grouped transform factors with
+/// their scaling constants folded in, and the sine interpolant.
+#[derive(Debug)]
+pub struct Bootstrapper {
+    c2s: Vec<LinearTransform>,
+    s2c: Vec<LinearTransform>,
+    sine: ChebyshevPoly,
+    strategy: KeyStrategy,
+}
+
+impl Bootstrapper {
+    /// Builds transform factors for the context's slot count.
+    ///
+    /// Scaling constants are folded into the linear maps: CoeffToSlot
+    /// additionally multiplies by `Δ/(2·q_0)` (so slots land on the
+    /// EvalMod interval in units of `q_0`, pre-halved for the
+    /// real/imaginary split) and SlotToCoeff multiplies by `q_0/Δ`
+    /// (restoring message scale).
+    pub fn new(ctx: &CkksContext, config: BootstrapConfig) -> Self {
+        let n = ctx.params().slots();
+        let q0 = ctx.basis().modulus(0).value() as f64;
+        let delta = ctx.params().scale();
+        let k = config.radix_log2.max(1);
+
+        let mut c2s_stages = coeff_to_slot_stages(n);
+        // fold Δ/(2 q0) into the first applied stage
+        c2s_stages[0] = c2s_stages[0].scaled(delta / (2.0 * q0));
+        let c2s = group_stages(&c2s_stages, k)
+            .into_iter()
+            .map(|s| s.to_linear_transform())
+            .collect();
+
+        let mut s2c_stages = slot_to_coeff_stages(n);
+        s2c_stages[0] = s2c_stages[0].scaled(q0 / delta);
+        let s2c = group_stages(&s2c_stages, k)
+            .into_iter()
+            .map(|s| s.to_linear_transform())
+            .collect();
+
+        Self {
+            c2s,
+            s2c,
+            sine: config.evalmod.sine_poly(),
+            strategy: config.strategy,
+        }
+    }
+
+    /// Rotation amounts whose keys the pipeline needs under its strategy
+    /// (conjugation key required besides — pass `true` to
+    /// [`CkksContext::gen_rotation_keys`]).
+    pub fn required_rotations(&self) -> Vec<i64> {
+        let mut set = std::collections::BTreeSet::new();
+        for lt in self.c2s.iter().chain(&self.s2c) {
+            set.extend(lt.required_rotations(self.strategy));
+        }
+        set.into_iter().collect()
+    }
+
+    /// Multiplicative levels the pipeline consumes (`L_boot`).
+    pub fn levels_consumed(&self, evalmod_depth: usize) -> usize {
+        self.c2s.len() + self.s2c.len() + evalmod_depth
+    }
+
+    /// Number of homomorphic-DFT passes (`log_{2^k} n` per direction).
+    pub fn dft_stage_counts(&self) -> (usize, usize) {
+        (self.c2s.len(), self.s2c.len())
+    }
+
+    /// Runs the full pipeline on a low-level ciphertext.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rotation or conjugation keys are missing, or if the
+    /// chain is too short for the EvalMod depth.
+    pub fn bootstrap(
+        &self,
+        ctx: &CkksContext,
+        ct: &Ciphertext,
+        evk_mult: &EvalKey,
+        keys: &RotationKeys,
+    ) -> Ciphertext {
+        // 1. ModRaise.
+        let mut t = ctx.mod_raise(ct);
+        // 2. CoeffToSlot: slots ← coefficients·Δ/(2q0), bit-reversed.
+        for lt in &self.c2s {
+            t = ctx.eval_linear_transform(&t, lt, self.strategy, keys);
+        }
+        // 3. real/imag split: z1 = w + w̄ (real coeffs / q0),
+        //    z2 = −i·(w − w̄) (imag coeffs / q0).
+        let conj = ctx.conjugate(&t, keys);
+        let z1 = ctx.add(&t, &conj);
+        let z2 = ctx.mul_i(&ctx.sub(&t, &conj), true);
+        // 4. EvalMod on both halves.
+        let z1 = ctx.eval_chebyshev(&z1, &self.sine, evk_mult);
+        let z2 = ctx.eval_chebyshev(&z2, &self.sine, evk_mult);
+        // 5. recombine w' = z1 + i·z2.
+        let mut t = ctx.add(&z1, &ctx.mul_i(&z2, false));
+        // 6. SlotToCoeff (consumes the bit-reversed order).
+        for lt in &self.s2c {
+            t = ctx.eval_linear_transform(&t, lt, self.strategy, keys);
+        }
+        // scale bookkeeping: the pipeline preserves the message at Δ up
+        // to the folded constants; snap the tracked scale to the ideal
+        // value (drift is far below noise).
+        t.scale = ct.scale;
+        t
+    }
+}
+
+impl CkksContext {
+    /// `LevelRecover`/ModRaise: re-interprets a level-0 ciphertext modulo
+    /// the full chain. Coefficients are lifted centered from `[0, q_0)`,
+    /// which adds the `q_0·I` term EvalMod later removes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is not at level 0.
+    pub fn mod_raise(&self, ct: &Ciphertext) -> Ciphertext {
+        assert_eq!(ct.level, 0, "ModRaise expects a level-0 ciphertext");
+        let l = self.params().max_level;
+        let target = self.chain_indices(l);
+        let q0 = self.basis().modulus(0);
+        let half = q0.value() / 2;
+        let raise = |poly: &RnsPoly| {
+            let mut p = poly.clone();
+            p.to_coeff(self.basis());
+            let src = p.limb(0);
+            let rows: Vec<Vec<u64>> = target
+                .iter()
+                .map(|&i| {
+                    if i == 0 {
+                        src.to_vec()
+                    } else {
+                        let qi = self.basis().modulus(i);
+                        src.iter()
+                            .map(|&x| {
+                                if x > half {
+                                    qi.neg(qi.reduce(q0.value() - x))
+                                } else {
+                                    qi.reduce(x)
+                                }
+                            })
+                            .collect()
+                    }
+                })
+                .collect();
+            let mut out = RnsPoly::from_limbs(
+                self.basis(),
+                &target,
+                ark_math::poly::Representation::Coefficient,
+                rows,
+            );
+            out.to_eval(self.basis());
+            out
+        };
+        Ciphertext {
+            b: raise(&ct.b),
+            a: raise(&ct.a),
+            level: l,
+            scale: ct.scale,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::max_error;
+    use crate::params::CkksParams;
+    use ark_math::cfft::C64;
+    use rand::SeedableRng;
+
+
+    #[test]
+    fn mod_raise_preserves_message() {
+        // Decrypting immediately after ModRaise must still yield the
+        // message: the q0·I term vanishes under decode's mod-Q view only
+        // if decryption noise stays small — check via decode error.
+        let ctx = CkksContext::new(CkksParams::boot_test());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+        let sk = ctx.gen_secret_key(&mut rng);
+        let slots = ctx.params().slots();
+        let m: Vec<C64> = (0..slots).map(|i| C64::new(0.25 * ((i % 7) as f64 - 3.0), 0.0)).collect();
+        let ct = ctx.encrypt(&ctx.encode(&m, 0, ctx.params().scale()), &sk, &mut rng);
+        let raised = ctx.mod_raise(&ct);
+        assert_eq!(raised.level, ctx.params().max_level);
+        // decrypt over the full chain: poly = Δm + q0·I; slots differ from
+        // m by (q0/Δ)·(embedded I) — so direct decode is NOT m. Instead
+        // check mod-q0 consistency: reduce back to level 0 and decode.
+        let dropped = ctx.mod_drop_to(&raised, 0);
+        let out = ctx.decrypt_decode(&dropped, &sk);
+        assert!(max_error(&m, &out) < 1e-4);
+    }
+
+    /// The full pipeline: encrypt at level 0, bootstrap, compare.
+    /// This is the headline functional test of the reproduction.
+    #[test]
+    fn bootstrap_recovers_message_minks() {
+        run_bootstrap(KeyStrategy::MinKs, 3);
+    }
+
+    #[test]
+    fn bootstrap_recovers_message_baseline() {
+        run_bootstrap(KeyStrategy::Baseline, 3);
+    }
+
+    #[test]
+    fn bootstrap_dense_single_stage() {
+        // radix covering all stages == dense one-level transforms
+        run_bootstrap(KeyStrategy::MinKs, 16);
+    }
+
+    fn run_bootstrap(strategy: KeyStrategy, radix_log2: usize) {
+        let ctx = CkksContext::new(CkksParams::boot_test());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(62);
+        let sk = ctx.gen_secret_key(&mut rng);
+        let evk = ctx.gen_mult_key(&sk, &mut rng);
+        let config = BootstrapConfig {
+            radix_log2,
+            strategy,
+            ..BootstrapConfig::default()
+        };
+        let boot = Bootstrapper::new(&ctx, config);
+        let keys = ctx.gen_rotation_keys(&boot.required_rotations(), true, &sk, &mut rng);
+
+        let slots = ctx.params().slots();
+        let m: Vec<C64> = (0..slots)
+            .map(|i| C64::new(0.4 * ((i % 16) as f64 / 16.0 - 0.5), 0.3 * ((i % 9) as f64 / 9.0 - 0.4)))
+            .collect();
+        let ct0 = ctx.encrypt(&ctx.encode(&m, 0, ctx.params().scale()), &sk, &mut rng);
+        assert_eq!(ct0.level, 0);
+
+        let refreshed = boot.bootstrap(&ctx, &ct0, &evk, &keys);
+        assert!(
+            refreshed.level >= 2,
+            "bootstrapping must leave usable levels, got {}",
+            refreshed.level
+        );
+        let out = ctx.decrypt_decode(&refreshed, &sk);
+        let err = max_error(&m, &out);
+        assert!(err < 5e-2, "bootstrap error {err} (strategy {strategy:?})");
+    }
+
+    #[test]
+    fn bootstrapped_ciphertext_supports_further_ops() {
+        let ctx = CkksContext::new(CkksParams::boot_test());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(63);
+        let sk = ctx.gen_secret_key(&mut rng);
+        let evk = ctx.gen_mult_key(&sk, &mut rng);
+        let boot = Bootstrapper::new(&ctx, BootstrapConfig::default());
+        let keys = ctx.gen_rotation_keys(&boot.required_rotations(), true, &sk, &mut rng);
+        let slots = ctx.params().slots();
+        let m: Vec<C64> = (0..slots).map(|i| C64::new(0.2 + 0.001 * i as f64, 0.0)).collect();
+        let ct0 = ctx.encrypt(&ctx.encode(&m, 0, ctx.params().scale()), &sk, &mut rng);
+        let refreshed = boot.bootstrap(&ctx, &ct0, &evk, &keys);
+        // square the refreshed ciphertext — impossible at level 0
+        let sq = ctx.rescale(&ctx.square(&refreshed, &evk));
+        let out = ctx.decrypt_decode(&sq, &sk);
+        let want: Vec<C64> = m.iter().map(|&z| z * z).collect();
+        let err = max_error(&want, &out);
+        assert!(err < 5e-2, "post-bootstrap op error {err}");
+    }
+}

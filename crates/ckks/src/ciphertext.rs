@@ -1,0 +1,72 @@
+//! Ciphertext and plaintext containers.
+
+use ark_math::poly::RnsPoly;
+
+/// An unencrypted polynomial with CKKS metadata.
+///
+/// Kept in the evaluation representation unless an op (BConv,
+/// automorphism on coefficients) temporarily needs otherwise.
+#[derive(Debug, Clone)]
+pub struct Plaintext {
+    /// The encoded polynomial.
+    pub poly: RnsPoly,
+    /// Multiplicative level (limb count − 1 over the chain `C`).
+    pub level: usize,
+    /// The scale `Δ'` this plaintext was encoded at.
+    pub scale: f64,
+}
+
+/// A CKKS ciphertext `(B, A)` with `B = A·S + P_m + E` (Eq. 2).
+#[derive(Debug, Clone)]
+pub struct Ciphertext {
+    /// The `B` component.
+    pub b: RnsPoly,
+    /// The `A` component.
+    pub a: RnsPoly,
+    /// Current multiplicative level `ℓ`.
+    pub level: usize,
+    /// Current scale.
+    pub scale: f64,
+}
+
+impl Ciphertext {
+    /// Words of storage (`2 · (ℓ+1) · N`), the unit of the paper's
+    /// data-size accounting.
+    pub fn words(&self) -> usize {
+        self.b.words() + self.a.words()
+    }
+
+    /// Asserts the internal shape invariants (matching limb sets and
+    /// representations on both components).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the components disagree.
+    pub fn assert_well_formed(&self) {
+        assert_eq!(self.b.limb_indices(), self.a.limb_indices());
+        assert_eq!(self.b.representation(), self.a.representation());
+        assert_eq!(self.b.level_count(), self.level + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ark_math::poly::{Representation, RnsBasis};
+    use ark_math::primes::generate_ntt_primes;
+
+    #[test]
+    fn words_accounting() {
+        let n = 16;
+        let basis = RnsBasis::new(n, &generate_ntt_primes(n, 30, 3));
+        let idx = [0usize, 1, 2];
+        let ct = Ciphertext {
+            b: RnsPoly::zero(&basis, &idx, Representation::Evaluation),
+            a: RnsPoly::zero(&basis, &idx, Representation::Evaluation),
+            level: 2,
+            scale: 2f64.powi(20),
+        };
+        ct.assert_well_formed();
+        assert_eq!(ct.words(), 2 * 3 * 16);
+    }
+}

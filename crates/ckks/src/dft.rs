@@ -1,0 +1,357 @@
+//! Homomorphic (I)DFT factor generation (Alg. 3 of the paper).
+//!
+//! Bootstrapping's CoeffToSlot / SlotToCoeff steps apply the (inverse)
+//! special FFT *to the slots* of a ciphertext. Doing it as one dense
+//! matrix costs one level but `O(√n)` rotations with `n` diagonals;
+//! the FFT-like algorithm (Alg. 3) instead factors the transform into
+//! `log_{2^k} n` sparse stages, each a [`LinearTransform`] with at most
+//! `2^{k+1} − 1` diagonals whose rotation amounts form an arithmetic
+//! progression — precisely the structure Min-KS exploits.
+//!
+//! We build the radix-2 butterfly stages of the special FFT symbolically
+//! (three diagonals each: `0, ±len/2`) and *group* consecutive stages by
+//! composition to reach any radix `2^k` — grouping all stages recovers
+//! the dense single-level transform. The bit-reversal that a plain FFT
+//! would need is avoided by letting CoeffToSlot emit the coefficients in
+//! bit-reversed slot order and having SlotToCoeff consume that order;
+//! slot-wise EvalMod in between is order-agnostic.
+
+use crate::lintrans::LinearTransform;
+use ark_math::cfft::C64;
+use std::collections::BTreeMap;
+
+/// A linear map stored as rotation diagonals (`amount → vector`),
+/// composable before being lowered to a [`LinearTransform`].
+#[derive(Debug, Clone)]
+pub struct SparseDiagonals {
+    n: usize,
+    diags: BTreeMap<usize, Vec<C64>>,
+}
+
+impl SparseDiagonals {
+    /// Builds from explicit diagonals.
+    pub fn new(n: usize, diags: BTreeMap<usize, Vec<C64>>) -> Self {
+        for (&d, v) in &diags {
+            assert!(d < n && v.len() == n, "bad diagonal shape");
+        }
+        Self { n, diags }
+    }
+
+    /// Slot count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Rotation amounts present.
+    pub fn amounts(&self) -> Vec<usize> {
+        self.diags.keys().copied().collect()
+    }
+
+    /// `Σ_d diag_d ⊙ rot(z, d)` on a clear vector.
+    pub fn apply_clear(&self, z: &[C64]) -> Vec<C64> {
+        assert_eq!(z.len(), self.n);
+        let mut out = vec![C64::zero(); self.n];
+        for (&d, diag) in &self.diags {
+            for k in 0..self.n {
+                out[k] = out[k] + diag[k] * z[(k + d) % self.n];
+            }
+        }
+        out
+    }
+
+    /// Composition `self ∘ inner` (apply `inner` first):
+    /// `diag^{out}_{a+b} += diag^{self}_a ⊙ rot(diag^{inner}_b, a)`.
+    pub fn compose(&self, inner: &Self) -> Self {
+        assert_eq!(self.n, inner.n);
+        let n = self.n;
+        let mut out: BTreeMap<usize, Vec<C64>> = BTreeMap::new();
+        for (&a, da) in &self.diags {
+            for (&b, db) in &inner.diags {
+                let amount = (a + b) % n;
+                let entry = out
+                    .entry(amount)
+                    .or_insert_with(|| vec![C64::zero(); n]);
+                for k in 0..n {
+                    entry[k] = entry[k] + da[k] * db[(k + a) % n];
+                }
+            }
+        }
+        // prune numerically-zero diagonals created by cancellation
+        out.retain(|_, v| v.iter().any(|z| z.abs() > 1e-12));
+        Self { n, diags: out }
+    }
+
+    /// Lowers to a BSGS-evaluable [`LinearTransform`].
+    pub fn to_linear_transform(&self) -> LinearTransform {
+        LinearTransform::from_diagonals(self.n, self.diags.clone())
+    }
+
+    /// Scales every diagonal by a real factor.
+    pub fn scaled(&self, s: f64) -> Self {
+        let diags = self
+            .diags
+            .iter()
+            .map(|(&d, v)| (d, v.iter().map(|z| z.scale(s)).collect()))
+            .collect();
+        Self { n: self.n, diags }
+    }
+}
+
+fn rot_group(n: usize) -> Vec<usize> {
+    let m = 4 * n;
+    let mut out = Vec::with_capacity(n);
+    let mut five = 1usize;
+    for _ in 0..n {
+        out.push(five);
+        five = five * 5 % m;
+    }
+    out
+}
+
+fn ksi(n: usize, idx: usize) -> C64 {
+    let m = 4 * n;
+    C64::from_angle(2.0 * std::f64::consts::PI * (idx % m) as f64 / m as f64)
+}
+
+/// CoeffToSlot stage maps, in application order (index 0 first). The
+/// product of all stages equals `P_br · U0^{-1}` — the inverse special
+/// FFT with its output left in bit-reversed order; the `1/n` factor is
+/// folded into the first stage.
+pub fn coeff_to_slot_stages(n: usize) -> Vec<SparseDiagonals> {
+    assert!(n.is_power_of_two() && n >= 2);
+    let rg = rot_group(n);
+    let mut stages = Vec::new();
+    let mut len = n;
+    while len >= 2 {
+        let lenh = len >> 1;
+        let lenq = len << 2;
+        let mut d0 = vec![C64::zero(); n];
+        let mut dplus = vec![C64::zero(); n]; // rotation +lenh
+        let mut dminus = vec![C64::zero(); n]; // rotation n-lenh
+        for i in (0..n).step_by(len) {
+            for j in 0..lenh {
+                let idx = (lenq - (rg[j] % lenq)) * (4 * n / lenq);
+                let w = ksi(n, idx);
+                // out[i+j]      = in[i+j] + in[i+j+lenh]
+                d0[i + j] = C64::new(1.0, 0.0);
+                dplus[i + j] = C64::new(1.0, 0.0);
+                // out[i+j+lenh] = (in[i+j] − in[i+j+lenh]) · w
+                d0[i + j + lenh] = -w;
+                dminus[i + j + lenh] = w;
+            }
+        }
+        stages.push(SparseDiagonals::new(
+            n,
+            merge_diagonals(n, [(0usize, d0), (lenh % n, dplus), ((n - lenh) % n, dminus)]),
+        ));
+        len >>= 1;
+    }
+    // fold 1/n into the first applied stage
+    stages[0] = stages[0].scaled(1.0 / n as f64);
+    stages
+}
+
+/// SlotToCoeff stage maps, in application order. The product equals
+/// `U0 · P_br` — the forward special FFT consuming bit-reversed input.
+pub fn slot_to_coeff_stages(n: usize) -> Vec<SparseDiagonals> {
+    assert!(n.is_power_of_two() && n >= 2);
+    let rg = rot_group(n);
+    let mut stages = Vec::new();
+    let mut len = 2usize;
+    while len <= n {
+        let lenh = len >> 1;
+        let lenq = len << 2;
+        let mut d0 = vec![C64::zero(); n];
+        let mut dplus = vec![C64::zero(); n];
+        let mut dminus = vec![C64::zero(); n];
+        for i in (0..n).step_by(len) {
+            for j in 0..lenh {
+                let idx = (rg[j] % lenq) * (4 * n / lenq);
+                let w = ksi(n, idx);
+                // out[i+j]      = in[i+j] + w·in[i+j+lenh]
+                d0[i + j] = C64::new(1.0, 0.0);
+                dplus[i + j] = w;
+                // out[i+j+lenh] = in[i+j] − w·in[i+j+lenh]
+                d0[i + j + lenh] = -w;
+                dminus[i + j + lenh] = C64::new(1.0, 0.0);
+            }
+        }
+        stages.push(SparseDiagonals::new(
+            n,
+            merge_diagonals(n, [(0usize, d0), (lenh % n, dplus), ((n - lenh) % n, dminus)]),
+        ));
+        len <<= 1;
+    }
+    stages
+}
+
+/// Merges diagonals additively: at the `len == n` stage the `+n/2` and
+/// `−n/2` rotation amounts coincide (their supports are disjoint halves),
+/// so a plain map insert would drop one of them.
+fn merge_diagonals(
+    _n: usize,
+    entries: [(usize, Vec<C64>); 3],
+) -> BTreeMap<usize, Vec<C64>> {
+    let mut out: BTreeMap<usize, Vec<C64>> = BTreeMap::new();
+    for (amount, diag) in entries {
+        match out.entry(amount) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(diag);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                for (a, b) in e.get_mut().iter_mut().zip(&diag) {
+                    *a = *a + *b;
+                }
+            }
+        }
+    }
+    out.retain(|_, v| v.iter().any(|z| z.abs() > 1e-12));
+    out
+}
+
+/// Groups consecutive stages into radix-`2^k` super-stages by
+/// composition; the last group may be smaller. Grouping with
+/// `k >= log2(n)` yields the dense single-stage transform.
+pub fn group_stages(stages: &[SparseDiagonals], k: usize) -> Vec<SparseDiagonals> {
+    assert!(k >= 1);
+    stages
+        .chunks(k)
+        .map(|chunk| {
+            let mut acc = chunk[0].clone();
+            for s in &chunk[1..] {
+                acc = s.compose(&acc);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Bit-reverses a slot vector (the order CoeffToSlot emits).
+pub fn bit_reverse_slots(z: &[C64]) -> Vec<C64> {
+    let n = z.len();
+    assert!(n.is_power_of_two());
+    let bits = n.trailing_zeros();
+    let mut out = z.to_vec();
+    for i in 0..n {
+        let j = i.reverse_bits() as usize >> (usize::BITS - bits);
+        if i < j {
+            out.swap(i, j);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::max_error;
+    use ark_math::cfft::SpecialFft;
+
+    fn test_vec(n: usize) -> Vec<C64> {
+        (0..n)
+            .map(|i| C64::new((i as f64 * 0.3).sin(), (i as f64 * 0.5).cos()))
+            .collect()
+    }
+
+    fn apply_all(stages: &[SparseDiagonals], z: &[C64]) -> Vec<C64> {
+        stages.iter().fold(z.to_vec(), |v, s| s.apply_clear(&v))
+    }
+
+    #[test]
+    fn c2s_stages_equal_inverse_special_fft_bit_reversed() {
+        for n in [4usize, 16, 64] {
+            let stages = coeff_to_slot_stages(n);
+            assert_eq!(stages.len(), n.trailing_zeros() as usize);
+            let z = test_vec(n);
+            let got = apply_all(&stages, &z);
+            let fft = SpecialFft::new(n);
+            let mut want = z.clone();
+            fft.inverse(&mut want);
+            let want_br = bit_reverse_slots(&want);
+            assert!(max_error(&got, &want_br) < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn s2c_stages_equal_forward_special_fft_from_bit_reversed() {
+        for n in [4usize, 16, 64] {
+            let stages = slot_to_coeff_stages(n);
+            let z = test_vec(n);
+            // feed bit-reversed input; expect forward special FFT of z
+            let got = apply_all(&stages, &bit_reverse_slots(&z));
+            let fft = SpecialFft::new(n);
+            let mut want = z.clone();
+            fft.forward(&mut want);
+            assert!(max_error(&got, &want) < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn c2s_then_s2c_is_identity() {
+        let n = 32;
+        let z = test_vec(n);
+        let after_c2s = apply_all(&coeff_to_slot_stages(n), &z);
+        let back = apply_all(&slot_to_coeff_stages(n), &after_c2s);
+        assert!(max_error(&z, &back) < 1e-9);
+    }
+
+    #[test]
+    fn stages_are_sparse_with_progression_amounts() {
+        // each radix-2 stage has ≤3 diagonals at {0, lenh, n−lenh}
+        let n = 64;
+        for (s, stage) in coeff_to_slot_stages(n).iter().enumerate() {
+            let amounts = stage.amounts();
+            assert!(amounts.len() <= 3, "stage {s} has {amounts:?}");
+            let lenh = n >> (s + 1);
+            for &a in &amounts {
+                assert!(
+                    a == 0 || a == lenh || a == n - lenh,
+                    "stage {s} unexpected amount {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grouping_preserves_the_transform() {
+        let n = 64; // 6 stages
+        let stages = slot_to_coeff_stages(n);
+        let z = test_vec(n);
+        let want = apply_all(&stages, &z);
+        for k in [2usize, 3, 6, 10] {
+            let grouped = group_stages(&stages, k);
+            let got = apply_all(&grouped, &z);
+            assert!(max_error(&want, &got) < 1e-8, "radix 2^{k}");
+        }
+    }
+
+    #[test]
+    fn grouped_stage_diagonal_counts_follow_radix() {
+        // radix-2^k grouping: ≤ 2^{k+1} − 1 diagonals per super-stage
+        let n = 64;
+        let stages = coeff_to_slot_stages(n);
+        for k in [1usize, 2, 3] {
+            for g in group_stages(&stages, k) {
+                assert!(
+                    g.amounts().len() <= (1 << (k + 1)) - 1,
+                    "radix 2^{k}: {} diagonals",
+                    g.amounts().len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_grouping_matches_lintrans_oracle() {
+        let n = 16;
+        let stages = coeff_to_slot_stages(n);
+        let dense = group_stages(&stages, stages.len())
+            .pop()
+            .expect("one group");
+        let lt = dense.to_linear_transform();
+        let z = test_vec(n);
+        let via_lt = lt.apply_clear(&z);
+        let via_stages = apply_all(&stages, &z);
+        assert!(max_error(&via_lt, &via_stages) < 1e-9);
+    }
+}

@@ -1,0 +1,533 @@
+//! EvalMod: homomorphic modular reduction by polynomial approximation.
+//!
+//! After ModRaise, every slot holds `c + q_0·I` for a small integer `I`;
+//! EvalMod recovers `c ≈ (c + q_0·I) mod q_0` by evaluating the scaled
+//! sine `q_0/(2π) · sin(2π·x/q_0)` (the modulo function is not
+//! polynomial, so it is approximated by a high-degree interpolant —
+//! Section II-D). The interpolant is a Chebyshev expansion on
+//! `[−K, +K]` periods, evaluated homomorphically with the baby-step
+//! giant-step (Paterson–Stockmeyer) recursion in the Chebyshev basis so
+//! the multiplicative depth is `O(log degree)`.
+
+use crate::ciphertext::Ciphertext;
+use crate::keys::EvalKey;
+use crate::params::CkksContext;
+
+/// A Chebyshev expansion `Σ c_j T_j(u)` of a function on `[a, b]`
+/// (with `u` the affine image of `x` in `[−1, 1]`).
+#[derive(Debug, Clone)]
+pub struct ChebyshevPoly {
+    /// Chebyshev coefficients `c_0..c_d`.
+    pub coeffs: Vec<f64>,
+    /// Interval lower end.
+    pub a: f64,
+    /// Interval upper end.
+    pub b: f64,
+}
+
+impl ChebyshevPoly {
+    /// Interpolates `f` at the `degree+1` Chebyshev nodes of `[a, b]`.
+    pub fn interpolate(f: impl Fn(f64) -> f64, a: f64, b: f64, degree: usize) -> Self {
+        let m = degree + 1;
+        // nodes u_k = cos(π(k+0.5)/m); x_k = affine image in [a,b]
+        let fx: Vec<f64> = (0..m)
+            .map(|k| {
+                let u = (std::f64::consts::PI * (k as f64 + 0.5) / m as f64).cos();
+                f(0.5 * (b - a) * u + 0.5 * (a + b))
+            })
+            .collect();
+        let coeffs: Vec<f64> = (0..m)
+            .map(|j| {
+                let s: f64 = (0..m)
+                    .map(|k| {
+                        fx[k]
+                            * (std::f64::consts::PI * j as f64 * (k as f64 + 0.5) / m as f64)
+                                .cos()
+                    })
+                    .sum();
+                let norm = if j == 0 { 1.0 } else { 2.0 };
+                norm * s / m as f64
+            })
+            .collect();
+        Self { coeffs, a, b }
+    }
+
+    /// Degree of the expansion.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// Evaluates on a clear input (Clenshaw recurrence) — test oracle.
+    pub fn eval_clear(&self, x: f64) -> f64 {
+        let u = (2.0 * x - self.a - self.b) / (self.b - self.a);
+        let (mut b1, mut b2) = (0.0f64, 0.0f64);
+        for &c in self.coeffs.iter().skip(1).rev() {
+            let t = 2.0 * u * b1 - b2 + c;
+            b2 = b1;
+            b1 = t;
+        }
+        u * b1 - b2 + self.coeffs[0]
+    }
+
+    /// Maximum interpolation error sampled on a grid (diagnostics).
+    pub fn max_error_on(&self, f: impl Fn(f64) -> f64, samples: usize) -> f64 {
+        (0..samples)
+            .map(|i| {
+                let x = self.a + (self.b - self.a) * i as f64 / (samples - 1) as f64;
+                (self.eval_clear(x) - f(x)).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Divides a Chebyshev-basis polynomial by `T_g`: returns `(q, r)` with
+/// `p = q·T_g + r`, `deg r < g`, using `T_i = 2·T_g·T_{i−g} − T_{|i−2g|}`.
+fn cheby_divide(p: &[f64], g: usize) -> (Vec<f64>, Vec<f64>) {
+    let d = p.len() - 1;
+    assert!(d >= g, "degree must be at least g");
+    let mut rem = p.to_vec();
+    let mut quo = vec![0.0f64; d - g + 1];
+    for i in (g..=d).rev() {
+        let c = rem[i];
+        if c == 0.0 {
+            continue;
+        }
+        if i == g {
+            quo[0] += c; // T_g·T_0 = T_g
+        } else {
+            quo[i - g] += 2.0 * c;
+            let k = if i >= 2 * g { i - 2 * g } else { 2 * g - i };
+            rem[k] -= c;
+        }
+        rem[i] = 0.0;
+    }
+    rem.truncate(g);
+    (quo, rem)
+}
+
+/// Plan of which Chebyshev basis ciphertexts `T_j` the evaluator
+/// materializes: babies `T_1..T_m` and giants `T_{2m}, T_{4m}, …`.
+#[derive(Debug, Clone)]
+pub struct ChebyBasisPlan {
+    /// Baby count `m` (a power of two).
+    pub baby: usize,
+    /// Giant indices (powers of two times `m`) up to the degree.
+    pub giants: Vec<usize>,
+}
+
+impl ChebyBasisPlan {
+    /// Chooses `m ≈ √(d+1)` rounded to a power of two.
+    pub fn for_degree(degree: usize) -> Self {
+        let mut m = 1usize;
+        while m * m < degree + 1 {
+            m <<= 1;
+        }
+        let mut giants = Vec::new();
+        let mut g = 2 * m;
+        while g <= degree {
+            giants.push(g);
+            g <<= 1;
+        }
+        Self { baby: m, giants }
+    }
+
+    /// Multiplicative depth of basis construction + recursion — the level
+    /// budget EvalMod consumes (excluding the affine input map).
+    pub fn depth(&self) -> usize {
+        let baby_depth = self.baby.trailing_zeros() as usize;
+        baby_depth + self.giants.len() + self.giants.len().min(1)
+    }
+}
+
+impl CkksContext {
+    /// Evaluates a Chebyshev expansion homomorphically.
+    ///
+    /// Consumes roughly `log2(degree) + 2` levels. The input's slots must
+    /// lie inside `[poly.a, poly.b]` for the approximation to hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext lacks the required levels.
+    pub fn eval_chebyshev(
+        &self,
+        ct: &Ciphertext,
+        poly: &ChebyshevPoly,
+        evk: &EvalKey,
+    ) -> Ciphertext {
+        // affine map to [-1, 1]: u = (2x − a − b)/(b − a)
+        let scale_f = 2.0 / (poly.b - poly.a);
+        let shift = -(poly.a + poly.b) / (poly.b - poly.a);
+        let u = self.rescale(&self.mul_const(ct, scale_f));
+        let u = self.add_const(&u, shift);
+
+        let d = poly.degree();
+        if d == 0 {
+            let mut c = self.mul_const(&u, 0.0);
+            c = self.rescale(&c);
+            return self.add_const(&c, poly.coeffs[0]);
+        }
+        let plan = ChebyBasisPlan::for_degree(d);
+        let m = plan.baby;
+
+        // Babies T_1..T_m (index 0 unused).
+        let mut basis: Vec<Option<Ciphertext>> = vec![None; m.max(d) + 1];
+        basis[1] = Some(u.clone());
+        for j in 2..=m {
+            let t = if j % 2 == 0 {
+                // T_{2k} = 2 T_k² − 1
+                let k = j / 2;
+                let tk = basis[k].clone().expect("baby computed in order");
+                let sq = self.rescale(&self.square(&tk, evk));
+                let two = self.add(&sq, &sq);
+                self.add_const(&two, -1.0)
+            } else {
+                // T_{i+j} = 2 T_i T_j − T_{i−j} with i = (j+1)/2, j' = j/2
+                let hi = j.div_ceil(2);
+                let lo = j / 2;
+                let a = basis[hi].clone().expect("baby computed in order");
+                let b = basis[lo].clone().expect("baby computed in order");
+                let prod = self.rescale(&self.mul(&a, &b, evk));
+                let two = self.add(&prod, &prod);
+                let diff = basis[hi - lo].clone().expect("difference term");
+                self.sub(&two, &diff)
+            };
+            basis[j] = Some(t);
+        }
+        // Giants T_{2m}, T_{4m}, …
+        for &g in &plan.giants {
+            let half = basis[g / 2].clone().expect("giant halves exist");
+            let sq = self.rescale(&self.square(&half, evk));
+            let two = self.add(&sq, &sq);
+            basis[g] = Some(self.add_const(&two, -1.0));
+        }
+
+        self.eval_cheby_recursive(&poly.coeffs, &basis, m, evk)
+    }
+
+    /// Recursive Paterson–Stockmeyer combine in the Chebyshev basis.
+    fn eval_cheby_recursive(
+        &self,
+        coeffs: &[f64],
+        basis: &[Option<Ciphertext>],
+        m: usize,
+        evk: &EvalKey,
+    ) -> Ciphertext {
+        let d = coeffs.len() - 1;
+        if d < m {
+            return self.eval_cheby_base(coeffs, basis);
+        }
+        // divide by the largest power-of-two giant ≤ d
+        let mut g = m;
+        while 2 * g <= d {
+            g *= 2;
+        }
+        let (q, r) = cheby_divide(coeffs, g);
+        let ct_q = self.eval_cheby_recursive(&q, basis, m, evk);
+        let ct_r = self.eval_cheby_recursive(&r, basis, m, evk);
+        let tg = basis[g].as_ref().expect("giant T_g materialized");
+        let prod = self.rescale(&self.mul(&ct_q, tg, evk));
+        self.add(&prod, &ct_r)
+    }
+
+    /// Base case: `Σ_{j<m} c_j T_j` via constant multiplications.
+    fn eval_cheby_base(
+        &self,
+        coeffs: &[f64],
+        basis: &[Option<Ciphertext>],
+    ) -> Ciphertext {
+        // align all used T_j to the minimum level among them
+        let used: Vec<usize> = (1..coeffs.len())
+            .filter(|&j| coeffs[j].abs() > 1e-13)
+            .collect();
+        let template = basis[1].as_ref().expect("T_1 exists");
+        if used.is_empty() {
+            // constant polynomial: 0·T_1 + c_0 (burn one level for scale)
+            let z = self.rescale(&self.mul_const(template, 0.0));
+            return self.add_const(&z, coeffs[0]);
+        }
+        let min_level = used
+            .iter()
+            .map(|&j| basis[j].as_ref().expect("basis entry").level)
+            .min()
+            .expect("non-empty");
+        let mut acc: Option<Ciphertext> = None;
+        for &j in &used {
+            let t = self.mod_drop_to(basis[j].as_ref().expect("basis entry"), min_level);
+            let term = self.rescale(&self.mul_const(&t, coeffs[j]));
+            acc = Some(match acc {
+                Some(a) => self.add(&a, &term),
+                None => term,
+            });
+        }
+        let acc = acc.expect("at least one term");
+        self.add_const(&acc, coeffs[0])
+    }
+}
+
+/// Parameters of the EvalMod step.
+#[derive(Debug, Clone)]
+pub struct EvalModParams {
+    /// Half-width `K`: slots lie in `[−K·q0, K·q0]` before reduction
+    /// (bounded by the secret key's Hamming weight).
+    pub k: usize,
+    /// Degree of the sine interpolant.
+    pub degree: usize,
+    /// Double-angle iterations `r`: approximate `sin(2πu/2^r)` at a much
+    /// lower degree, then apply `sin 2x = 2·sin x·cos x` homomorphically
+    /// `r` times (each costs one level and two multiplications but the
+    /// interpolation degree shrinks ~2^r-fold) — the standard
+    /// degree-vs-depth trade of the bootstrapping literature [16, 22].
+    pub double_angle: usize,
+}
+
+impl EvalModParams {
+    /// A default sized for sparse secrets (`h ≤ 64`).
+    pub fn for_sparse_secret() -> Self {
+        Self {
+            k: 12,
+            degree: 119,
+            double_angle: 0,
+        }
+    }
+
+    /// A double-angle configuration with the same target interval:
+    /// degree-31 base interpolants plus two angle doublings.
+    pub fn for_sparse_secret_double_angle() -> Self {
+        Self {
+            k: 12,
+            degree: 47,
+            double_angle: 2,
+        }
+    }
+
+    /// The scaled-sine interpolant `sin(2πu)/(2π)` on `[−K, K]` — the
+    /// approximation to `u − round(u)` away from half-integers.
+    /// (Direct path, `double_angle == 0`.)
+    pub fn sine_poly(&self) -> ChebyshevPoly {
+        let k = self.k as f64;
+        ChebyshevPoly::interpolate(
+            |u| (2.0 * std::f64::consts::PI * u).sin() / (2.0 * std::f64::consts::PI),
+            -k,
+            k,
+            self.degree,
+        )
+    }
+
+    /// Base interpolants for the double-angle path:
+    /// `sin(2πu/2^r)` and `cos(2πu/2^r)` on `[−K, K]`.
+    pub fn half_angle_polys(&self) -> (ChebyshevPoly, ChebyshevPoly) {
+        let k = self.k as f64;
+        let scale = 2.0 * std::f64::consts::PI / 2f64.powi(self.double_angle as i32);
+        (
+            ChebyshevPoly::interpolate(|u| (scale * u).sin(), -k, k, self.degree),
+            ChebyshevPoly::interpolate(|u| (scale * u).cos(), -k, k, self.degree),
+        )
+    }
+}
+
+impl CkksContext {
+    /// EvalMod via double angle: evaluates `sin` and `cos` of the halved
+    /// angle at low degree, then doubles `r` times:
+    /// `sin 2x = 2 sin x cos x`, `cos 2x = 1 − 2 sin²x`; finally scales
+    /// by `1/(2π)` so the output approximates `u − round(u)` like
+    /// [`EvalModParams::sine_poly`] does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.double_angle == 0` (use the direct Chebyshev
+    /// path) or if levels run out.
+    pub fn eval_mod_double_angle(
+        &self,
+        ct: &crate::ciphertext::Ciphertext,
+        params: &EvalModParams,
+        evk: &crate::keys::EvalKey,
+    ) -> crate::ciphertext::Ciphertext {
+        assert!(params.double_angle > 0, "double_angle must be positive");
+        let (sin_p, cos_p) = params.half_angle_polys();
+        let mut s = self.eval_chebyshev(ct, &sin_p, evk);
+        let mut c = self.eval_chebyshev(ct, &cos_p, evk);
+        for _ in 0..params.double_angle {
+            // s' = 2 s c ; c' = 1 − 2 s²   (consume one level together)
+            let sc = self.mul_rescale(&s, &c, evk);
+            let s2 = self.rescale(&self.square(&s, evk));
+            let two_sc = self.add(&sc, &sc);
+            let two_s2 = self.add(&s2, &s2);
+            c = self.add_const(&self.negate_ct(&two_s2), 1.0);
+            s = two_sc;
+        }
+        self.rescale(&self.mul_const(&s, 1.0 / (2.0 * std::f64::consts::PI)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::max_error;
+    use crate::params::CkksParams;
+    use ark_math::cfft::C64;
+    use rand::SeedableRng;
+
+    #[test]
+    fn interpolation_converges_on_smooth_function() {
+        let p = ChebyshevPoly::interpolate(f64::exp, -1.0, 1.0, 12);
+        assert!(p.max_error_on(f64::exp, 100) < 1e-10);
+    }
+
+    #[test]
+    fn clenshaw_matches_direct_chebyshev() {
+        // p = T_0 + 2 T_1 + 3 T_2 on [-1,1]; T_2(x) = 2x²−1
+        let p = ChebyshevPoly {
+            coeffs: vec![1.0, 2.0, 3.0],
+            a: -1.0,
+            b: 1.0,
+        };
+        for x in [-1.0, -0.3, 0.0, 0.7, 1.0] {
+            let want = 1.0 + 2.0 * x + 3.0 * (2.0 * x * x - 1.0);
+            assert!((p.eval_clear(x) - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cheby_division_invariant() {
+        // random-ish p of degree 13, divide by T_8, recombine numerically
+        let p: Vec<f64> = (0..14).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let g = 8;
+        let (q, r) = cheby_divide(&p, g);
+        assert!(r.len() <= g);
+        // numeric check: p(x) == q(x)*T_g(x) + r(x) at sample points
+        let eval = |c: &[f64], x: f64| {
+            let poly = ChebyshevPoly {
+                coeffs: c.to_vec(),
+                a: -1.0,
+                b: 1.0,
+            };
+            poly.eval_clear(x)
+        };
+        let tg = |x: f64| (g as f64 * x.acos()).cos();
+        for x in [-0.9, -0.5, 0.0, 0.3, 0.99] {
+            let want = eval(&p, x);
+            let got = eval(&q, x) * tg(x) + eval(&r, x);
+            assert!((want - got).abs() < 1e-9, "x={x}: {want} vs {got}");
+        }
+    }
+
+    #[test]
+    fn sine_poly_approximates_mod_one() {
+        let em = EvalModParams { k: 5, degree: 63, double_angle: 0 };
+        let p = em.sine_poly();
+        // near integers i, sin(2πu)/(2π) ≈ u − i
+        for i in -4i32..=4 {
+            for eps in [-0.01, 0.005, 0.02] {
+                let u = i as f64 + eps;
+                assert!(
+                    (p.eval_clear(u) - eps).abs() < 1e-4,
+                    "u={u}: {} vs {eps}",
+                    p.eval_clear(u)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn basis_plan_shapes() {
+        let plan = ChebyBasisPlan::for_degree(119);
+        assert_eq!(plan.baby, 16);
+        assert_eq!(plan.giants, vec![32, 64]);
+        let plan = ChebyBasisPlan::for_degree(15);
+        assert_eq!(plan.baby, 4);
+        assert_eq!(plan.giants, vec![8]);
+    }
+
+    #[test]
+    fn homomorphic_chebyshev_small_degree() {
+        // evaluate x² (as a Chebyshev expansion) homomorphically
+        let ctx = CkksContext::new(CkksParams::small());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        let sk = ctx.gen_secret_key(&mut rng);
+        let evk = ctx.gen_mult_key(&sk, &mut rng);
+        let slots = ctx.params().slots();
+        let msg: Vec<C64> = (0..slots)
+            .map(|i| C64::new(-0.8 + 1.6 * i as f64 / slots as f64, 0.0))
+            .collect();
+        let ct = ctx.encrypt(
+            &ctx.encode(&msg, ctx.params().max_level, ctx.params().scale()),
+            &sk,
+            &mut rng,
+        );
+        let p = ChebyshevPoly::interpolate(|x| x * x, -1.0, 1.0, 7);
+        let out_ct = ctx.eval_chebyshev(&ct, &p, &evk);
+        let out = ctx.decrypt_decode(&out_ct, &sk);
+        let want: Vec<C64> = msg.iter().map(|z| C64::new(z.re * z.re, 0.0)).collect();
+        let err = max_error(&want, &out);
+        assert!(err < 1e-2, "err={err}");
+    }
+
+    #[test]
+    fn double_angle_matches_direct_evalmod() {
+        // both paths compute sin(2πu)/(2π) on the same inputs
+        let ctx = CkksContext::new(CkksParams::boot_test());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(57);
+        let sk = ctx.gen_secret_key(&mut rng);
+        let evk = ctx.gen_mult_key(&sk, &mut rng);
+        let slots = ctx.params().slots();
+        // inputs near integers (the bootstrapping regime)
+        let msg: Vec<C64> = (0..slots)
+            .map(|i| C64::new((i % 7) as f64 - 3.0 + 0.02 * ((i % 5) as f64 - 2.0), 0.0))
+            .collect();
+        let ct = ctx.encrypt(
+            &ctx.encode(&msg, ctx.params().max_level, ctx.params().scale()),
+            &sk,
+            &mut rng,
+        );
+        let direct_params = EvalModParams { k: 4, degree: 63, double_angle: 0 };
+        let da_params = EvalModParams { k: 4, degree: 31, double_angle: 2 };
+        let direct = ctx.eval_chebyshev(&ct, &direct_params.sine_poly(), &evk);
+        let doubled = ctx.eval_mod_double_angle(&ct, &da_params, &evk);
+        let a = ctx.decrypt_decode(&direct, &sk);
+        let b = ctx.decrypt_decode(&doubled, &sk);
+        let err = max_error(&a, &b);
+        assert!(err < 5e-3, "paths disagree by {err}");
+        // and both approximate the fractional part
+        let want: Vec<C64> = msg
+            .iter()
+            .map(|z| C64::new(z.re - z.re.round(), 0.0))
+            .collect();
+        assert!(max_error(&want, &b) < 5e-3);
+    }
+
+    #[test]
+    fn double_angle_uses_fewer_interpolation_levels() {
+        // degree 31 basis is 1 level shallower than degree 63; the two
+        // doublings cost 1 level each — net equal here, but the basis
+        // construction work (HMult count) drops substantially.
+        let da = EvalModParams { k: 12, degree: 47, double_angle: 2 };
+        let (sin_p, cos_p) = da.half_angle_polys();
+        assert_eq!(sin_p.degree(), 47);
+        assert!(cos_p.max_error_on(|u| (2.0 * std::f64::consts::PI / 4.0 * u).cos(), 200) < 1e-6);
+    }
+
+    #[test]
+    fn homomorphic_chebyshev_higher_degree_sine() {
+        let ctx = CkksContext::new(CkksParams::small());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(56);
+        let sk = ctx.gen_secret_key(&mut rng);
+        let evk = ctx.gen_mult_key(&sk, &mut rng);
+        let slots = ctx.params().slots();
+        let msg: Vec<C64> = (0..slots)
+            .map(|i| C64::new(-1.8 + 3.6 * i as f64 / slots as f64, 0.0))
+            .collect();
+        let ct = ctx.encrypt(
+            &ctx.encode(&msg, ctx.params().max_level, ctx.params().scale()),
+            &sk,
+            &mut rng,
+        );
+        let f = |x: f64| x.sin();
+        let p = ChebyshevPoly::interpolate(f, -2.0, 2.0, 23);
+        assert!(p.max_error_on(f, 200) < 1e-8);
+        let out_ct = ctx.eval_chebyshev(&ct, &p, &evk);
+        let out = ctx.decrypt_decode(&out_ct, &sk);
+        let want: Vec<C64> = msg.iter().map(|z| C64::new(z.re.sin(), 0.0)).collect();
+        let err = max_error(&want, &out);
+        assert!(err < 2e-2, "err={err}");
+    }
+}

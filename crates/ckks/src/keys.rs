@@ -1,0 +1,458 @@
+//! Key generation: secret keys, encryption, and evaluation keys.
+//!
+//! Evaluation keys follow the generalized key-switching of Han–Ki \[44\]
+//! (Section II-C): one `evk` is `dnum` RLWE pairs over `R_PQ`, the `i`-th
+//! pair encrypting `P·T_i·s'` where `T_i = Q̂_i·(Q̂_i⁻¹ mod Q_i)` is the
+//! RNS gadget for decomposition group `C_i`. Reduced limb-by-limb the
+//! gadget collapses to
+//!
+//! ```text
+//! (P·T_i) mod q_j = P mod q_j   if q_j ∈ C_i
+//!                 = 0           otherwise (including all p_j ∈ B),
+//! ```
+//!
+//! so key generation needs only word arithmetic.
+
+use crate::ciphertext::{Ciphertext, Plaintext};
+use crate::params::CkksContext;
+use ark_math::automorphism::GaloisElement;
+use ark_math::poly::{Representation, RnsPoly};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Standard deviation of the RLWE error distribution.
+pub const ERROR_STD_DEV: f64 = 3.2;
+
+/// A ternary secret key, stored in evaluation representation over the
+/// full basis `D` so key-switching keys for any level can be derived.
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    pub(crate) s: RnsPoly,
+}
+
+/// One evaluation key: `dnum` RLWE pairs `(B_i, A_i)` over `R_PQ`,
+/// with `B_i = A_i·s + e_i + (P·T_i)·s'`.
+#[derive(Debug, Clone)]
+pub struct EvalKey {
+    pub(crate) pieces: Vec<(RnsPoly, RnsPoly)>,
+}
+
+impl EvalKey {
+    /// Number of decomposition pieces (`dnum`).
+    pub fn dnum(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// Storage in words: `dnum · 2 · (α+L+1) · N` (Table III).
+    pub fn words(&self) -> usize {
+        self.pieces
+            .iter()
+            .map(|(b, a)| b.words() + a.words())
+            .sum()
+    }
+}
+
+/// A set of rotation keys (`evk_rot^{(r)}` per rotation amount) plus the
+/// conjugation key. H-(I)DFT with the baseline algorithm needs ~40 of
+/// these per transform; Min-KS shrinks the set to 2 per iteration.
+#[derive(Debug, Default)]
+pub struct RotationKeys {
+    keys: HashMap<u64, EvalKey>,
+}
+
+impl RotationKeys {
+    /// An empty key set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a key for a Galois element.
+    pub fn insert(&mut self, g: GaloisElement, key: EvalKey) {
+        self.keys.insert(g.0, key);
+    }
+
+    /// Fetches the key for a Galois element.
+    pub fn get(&self, g: GaloisElement) -> Option<&EvalKey> {
+        self.keys.get(&g.0)
+    }
+
+    /// Number of distinct keys held — the quantity Min-KS minimizes.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if no keys are held.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Total storage in words across all keys.
+    pub fn words(&self) -> usize {
+        self.keys.values().map(EvalKey::words).sum()
+    }
+}
+
+/// An RLWE public key `(B, A)` with `B = A·s + e` over the full chain:
+/// anyone holding it can encrypt; only the secret key decrypts.
+#[derive(Debug, Clone)]
+pub struct PublicKey {
+    pub(crate) b: RnsPoly,
+    pub(crate) a: RnsPoly,
+}
+
+/// Samples a centered approximately-Gaussian integer (Irwin–Hall).
+fn sample_error<R: Rng>(rng: &mut R) -> i64 {
+    let s: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+    (s * ERROR_STD_DEV).round() as i64
+}
+
+impl CkksContext {
+    /// Samples a ternary secret key. If the parameter set specifies a
+    /// Hamming weight `h > 0` the key is sparse with exactly `h` nonzero
+    /// (±1) coefficients — the standard choice that keeps the EvalMod
+    /// interpolation interval small during bootstrapping.
+    pub fn gen_secret_key<R: Rng>(&self, rng: &mut R) -> SecretKey {
+        let n = self.params().n();
+        let h = self.params().secret_hamming_weight;
+        let mut coeffs = vec![0i64; n];
+        if h == 0 {
+            for c in coeffs.iter_mut() {
+                *c = rng.gen_range(-1..=1);
+            }
+        } else {
+            assert!(h <= n, "hamming weight exceeds degree");
+            let mut placed = 0;
+            while placed < h {
+                let pos = rng.gen_range(0..n);
+                if coeffs[pos] == 0 {
+                    coeffs[pos] = if rng.gen::<bool>() { 1 } else { -1 };
+                    placed += 1;
+                }
+            }
+        }
+        let all: Vec<usize> = (0..self.basis().len()).collect();
+        let mut s = RnsPoly::from_signed_coeffs(self.basis(), &all, &coeffs);
+        s.to_eval(self.basis());
+        SecretKey { s }
+    }
+
+    /// Samples an error polynomial over the given limbs, returned in
+    /// evaluation representation.
+    fn sample_error_poly<R: Rng>(&self, indices: &[usize], rng: &mut R) -> RnsPoly {
+        let n = self.params().n();
+        let coeffs: Vec<i64> = (0..n).map(|_| sample_error(rng)).collect();
+        let mut e = RnsPoly::from_signed_coeffs(self.basis(), indices, &coeffs);
+        e.to_eval(self.basis());
+        e
+    }
+
+    /// Encrypts a plaintext under the secret key (symmetric RLWE,
+    /// Eq. 2: `B = A·S + P_m + E`).
+    pub fn encrypt<R: Rng>(&self, pt: &Plaintext, sk: &SecretKey, rng: &mut R) -> Ciphertext {
+        let idx = self.chain_indices(pt.level);
+        let a = RnsPoly::random_uniform(self.basis(), &idx, Representation::Evaluation, rng);
+        let s = sk.s.subset(&idx);
+        let mut b = a.clone();
+        b.mul_assign(&s, self.basis());
+        b.add_assign(&pt.poly, self.basis());
+        let e = self.sample_error_poly(&idx, rng);
+        b.add_assign(&e, self.basis());
+        Ciphertext {
+            b,
+            a,
+            level: pt.level,
+            scale: pt.scale,
+        }
+    }
+
+    /// Derives the public key `(A·s + e, A)` over the full chain.
+    pub fn gen_public_key<R: Rng>(&self, sk: &SecretKey, rng: &mut R) -> PublicKey {
+        let idx = self.chain_indices(self.params().max_level);
+        let a = RnsPoly::random_uniform(self.basis(), &idx, Representation::Evaluation, rng);
+        let s = sk.s.subset(&idx);
+        let mut b = a.clone();
+        b.mul_assign(&s, self.basis());
+        let e = self.sample_error_poly(&idx, rng);
+        b.add_assign(&e, self.basis());
+        PublicKey { b, a }
+    }
+
+    /// Public-key encryption: `(v·B + e_0 + P_m, v·A + e_1)` for a fresh
+    /// ternary `v` — decryptable only with the secret key behind `pk`.
+    pub fn encrypt_public<R: Rng>(
+        &self,
+        pt: &Plaintext,
+        pk: &PublicKey,
+        rng: &mut R,
+    ) -> Ciphertext {
+        let idx = self.chain_indices(pt.level);
+        let n = self.params().n();
+        let v_coeffs: Vec<i64> = (0..n).map(|_| rng.gen_range(-1..=1)).collect();
+        let mut v = RnsPoly::from_signed_coeffs(self.basis(), &idx, &v_coeffs);
+        v.to_eval(self.basis());
+        let mut b = pk.b.subset(&idx);
+        b.mul_assign(&v, self.basis());
+        b.add_assign(&pt.poly, self.basis());
+        b.add_assign(&self.sample_error_poly(&idx, rng), self.basis());
+        let mut a = pk.a.subset(&idx);
+        a.mul_assign(&v, self.basis());
+        a.add_assign(&self.sample_error_poly(&idx, rng), self.basis());
+        Ciphertext {
+            b,
+            a,
+            level: pt.level,
+            scale: pt.scale,
+        }
+    }
+
+    /// Decrypts: `P_m + E = B − A·S` (Eq. 3 before decoding).
+    pub fn decrypt(&self, ct: &Ciphertext, sk: &SecretKey) -> Plaintext {
+        ct.assert_well_formed();
+        let idx: Vec<usize> = ct.b.limb_indices().to_vec();
+        let s = sk.s.subset(&idx);
+        let mut m = ct.a.clone();
+        m.mul_assign(&s, self.basis());
+        m.negate(self.basis());
+        m.add_assign(&ct.b, self.basis());
+        Plaintext {
+            poly: m,
+            level: ct.level,
+            scale: ct.scale,
+        }
+    }
+
+    /// Convenience: decrypt then decode.
+    pub fn decrypt_decode(
+        &self,
+        ct: &Ciphertext,
+        sk: &SecretKey,
+    ) -> Vec<ark_math::cfft::C64> {
+        self.decode(&self.decrypt(ct, sk))
+    }
+
+    /// Generates a key-switching key from source key `s'` (given in
+    /// evaluation representation over the full basis) to `sk`.
+    pub fn gen_switching_key<R: Rng>(
+        &self,
+        source: &RnsPoly,
+        sk: &SecretKey,
+        rng: &mut R,
+    ) -> EvalKey {
+        let l = self.params().max_level;
+        let ext = self.extended_indices(l); // all of D
+        let groups = self.decomposition_groups(l);
+        let special = self.special_indices();
+        // P mod q_j for every chain limb.
+        let p_mod: Vec<u64> = (0..=l)
+            .map(|j| {
+                let q = self.basis().modulus(j);
+                special
+                    .iter()
+                    .fold(1u64, |acc, &pi| q.mul(acc, q.reduce(self.basis().modulus(pi).value())))
+            })
+            .collect();
+        let pieces = groups
+            .iter()
+            .map(|group| {
+                let a =
+                    RnsPoly::random_uniform(self.basis(), &ext, Representation::Evaluation, rng);
+                let s = sk.s.subset(&ext);
+                let mut b = a.clone();
+                b.mul_assign(&s, self.basis());
+                let e = self.sample_error_poly(&ext, rng);
+                b.add_assign(&e, self.basis());
+                // Add (P·T_i)·s': per limb, P·s' on the group's own limbs,
+                // zero elsewhere.
+                let mut gadget = source.subset(&ext);
+                let scalars: Vec<u64> = ext
+                    .iter()
+                    .map(|&j| if group.contains(&j) { p_mod[j] } else { 0 })
+                    .collect();
+                gadget.mul_scalar_per_limb(&scalars, self.basis());
+                b.add_assign(&gadget, self.basis());
+                (b, a)
+            })
+            .collect();
+        EvalKey { pieces }
+    }
+
+    /// The multiplication key `evk_mult` (source key `s²`).
+    pub fn gen_mult_key<R: Rng>(&self, sk: &SecretKey, rng: &mut R) -> EvalKey {
+        let mut s2 = sk.s.clone();
+        s2.mul_assign(&sk.s, self.basis());
+        self.gen_switching_key(&s2, sk, rng)
+    }
+
+    /// A rotation key `evk_rot^{(r)}` (source key `ψ_r(s)`).
+    pub fn gen_rotation_key<R: Rng>(&self, r: i64, sk: &SecretKey, rng: &mut R) -> EvalKey {
+        let g = GaloisElement::from_rotation(r, self.params().n());
+        self.gen_galois_key(g, sk, rng)
+    }
+
+    /// The conjugation key (source key `ψ(s)` with `g = 2N−1`).
+    pub fn gen_conjugation_key<R: Rng>(&self, sk: &SecretKey, rng: &mut R) -> EvalKey {
+        self.gen_galois_key(GaloisElement::conjugation(self.params().n()), sk, rng)
+    }
+
+    /// A Galois key for an arbitrary element.
+    pub fn gen_galois_key<R: Rng>(
+        &self,
+        g: GaloisElement,
+        sk: &SecretKey,
+        rng: &mut R,
+    ) -> EvalKey {
+        let rotated = sk.s.automorphism(g, self.basis());
+        self.gen_switching_key(&rotated, sk, rng)
+    }
+
+    /// Generates rotation keys for a set of amounts plus conjugation,
+    /// returning the populated [`RotationKeys`].
+    pub fn gen_rotation_keys<R: Rng>(
+        &self,
+        rotations: &[i64],
+        include_conjugation: bool,
+        sk: &SecretKey,
+        rng: &mut R,
+    ) -> RotationKeys {
+        let n = self.params().n();
+        let mut set = RotationKeys::new();
+        for &r in rotations {
+            let g = GaloisElement::from_rotation(r, n);
+            if set.get(g).is_none() {
+                set.insert(g, self.gen_rotation_key(r, sk, rng));
+            }
+        }
+        if include_conjugation {
+            let g = GaloisElement::conjugation(n);
+            set.insert(g, self.gen_conjugation_key(sk, rng));
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::max_error;
+    use crate::params::CkksParams;
+    use ark_math::cfft::C64;
+    use rand::SeedableRng;
+
+    fn setup() -> (CkksContext, SecretKey, rand::rngs::StdRng) {
+        let ctx = CkksContext::new(CkksParams::tiny());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        let sk = ctx.gen_secret_key(&mut rng);
+        (ctx, sk, rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (ctx, sk, mut rng) = setup();
+        let slots = ctx.params().slots();
+        let msg: Vec<C64> = (0..slots)
+            .map(|i| C64::new((i as f64 * 0.1).cos(), (i as f64 * 0.2).sin()))
+            .collect();
+        let pt = ctx.encode(&msg, 2, ctx.params().scale());
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let out = ctx.decrypt_decode(&ct, &sk);
+        let err = max_error(&msg, &out);
+        assert!(err < 1e-5, "decryption error {err}");
+    }
+
+    #[test]
+    fn public_key_encryption_roundtrip() {
+        let (ctx, sk, mut rng) = setup();
+        let pk = ctx.gen_public_key(&sk, &mut rng);
+        let slots = ctx.params().slots();
+        let msg: Vec<C64> = (0..slots)
+            .map(|i| C64::new(0.1 * i as f64, -0.05 * i as f64))
+            .collect();
+        let pt = ctx.encode(&msg, 2, ctx.params().scale());
+        let ct = ctx.encrypt_public(&pt, &pk, &mut rng);
+        let out = ctx.decrypt_decode(&ct, &sk);
+        let err = max_error(&msg, &out);
+        // public-key noise is larger than symmetric (v·e term) but still
+        // far below the message scale
+        assert!(err < 1e-3, "public-key decryption error {err}");
+    }
+
+    #[test]
+    fn public_key_ciphertexts_compose_with_he_ops() {
+        let (ctx, sk, mut rng) = setup();
+        let pk = ctx.gen_public_key(&sk, &mut rng);
+        let evk = ctx.gen_mult_key(&sk, &mut rng);
+        let slots = ctx.params().slots();
+        let msg: Vec<C64> = (0..slots).map(|i| C64::new(0.3, 0.01 * i as f64)).collect();
+        let pt = ctx.encode(&msg, 2, ctx.params().scale());
+        let ct = ctx.encrypt_public(&pt, &pk, &mut rng);
+        let sq = ctx.rescale(&ctx.square(&ct, &evk));
+        let out = ctx.decrypt_decode(&sq, &sk);
+        let want: Vec<C64> = msg.iter().map(|&z| z * z).collect();
+        assert!(max_error(&want, &out) < 1e-3);
+    }
+
+    #[test]
+    fn decrypting_with_wrong_key_garbles() {
+        let (ctx, sk, mut rng) = setup();
+        let other = ctx.gen_secret_key(&mut rng);
+        let msg = vec![C64::new(1.0, 0.0); ctx.params().slots()];
+        let pt = ctx.encode(&msg, 1, ctx.params().scale());
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let out = ctx.decrypt_decode(&ct, &other);
+        assert!(max_error(&msg, &out) > 1.0, "wrong key must not decrypt");
+    }
+
+    #[test]
+    fn sparse_secret_has_requested_weight() {
+        let params = CkksParams {
+            secret_hamming_weight: 8,
+            ..CkksParams::tiny()
+        };
+        let ctx = CkksContext::new(params);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let sk = ctx.gen_secret_key(&mut rng);
+        let mut s = sk.s.clone();
+        s.to_coeff(ctx.basis());
+        let q0 = ctx.basis().modulus(0);
+        let nonzero = s.limb(0).iter().filter(|&&x| x != 0).count();
+        assert_eq!(nonzero, 8);
+        for &x in s.limb(0) {
+            let v = q0.to_signed(x);
+            assert!((-1..=1).contains(&v));
+        }
+    }
+
+    #[test]
+    fn evk_shape_and_words() {
+        let (ctx, sk, mut rng) = setup();
+        let evk = ctx.gen_mult_key(&sk, &mut rng);
+        let p = ctx.params();
+        assert_eq!(evk.dnum(), p.dnum);
+        assert_eq!(
+            evk.words(),
+            p.dnum * 2 * (p.alpha() + p.max_level + 1) * p.n()
+        );
+    }
+
+    #[test]
+    fn rotation_key_set_dedups() {
+        let (ctx, sk, mut rng) = setup();
+        // rotation by 0 and by n/2 share the identity Galois element
+        let keys = ctx.gen_rotation_keys(&[1, 1, 2], true, &sk, &mut rng);
+        assert_eq!(keys.len(), 3); // {g(1), g(2), conj}
+        assert!(!keys.is_empty());
+        assert!(keys.words() > 0);
+    }
+
+    #[test]
+    fn error_sampler_is_centered_and_bounded() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let samples: Vec<i64> = (0..4000).map(|_| sample_error(&mut rng)).collect();
+        let mean: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / 4000.0;
+        assert!(mean.abs() < 0.5, "mean={mean}");
+        assert!(samples.iter().all(|&x| x.abs() < 30));
+        let var: f64 =
+            samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / 4000.0;
+        assert!((var.sqrt() - ERROR_STD_DEV).abs() < 0.5, "std={}", var.sqrt());
+    }
+}

@@ -1,0 +1,218 @@
+//! Generalized key-switching (Alg. 2 of the paper).
+//!
+//! `KeySwitch(x, evk)` re-encrypts `x·s'` under `s`: the input is split
+//! into `dnum` decomposition pieces `[x]_{C_i}`, each piece is extended
+//! to `R_PQ` with a BConvRoutine (INTT → BConv → NTT), multiplied with
+//! its `evk_i` pair and accumulated, and the result is brought back to
+//! `R_Q` and divided by `P` (the ModDown). This op dominates HE
+//! execution time (Section II-C) — its primary-function sequence is what
+//! the ARK compiler in `ark-core` reproduces cycle by cycle.
+
+use crate::keys::EvalKey;
+use crate::params::CkksContext;
+use ark_math::poly::{Representation, RnsPoly};
+
+impl CkksContext {
+    /// Extends one decomposition piece `[x]_{C_i}` to the limb set `ext`
+    /// (Alg. 2 line 3), keeping the piece's own limbs exact and base-
+    /// converting the rest.
+    fn extend_piece(&self, x: &RnsPoly, group: &[usize], ext: &[usize]) -> RnsPoly {
+        let piece = x.subset(group);
+        let others: Vec<usize> = ext.iter().copied().filter(|i| !group.contains(i)).collect();
+        let conv = self.converter(group, &others);
+        let extension = conv.routine(&piece, self.basis());
+        // Assemble limbs in `ext` order.
+        let rows: Vec<Vec<u64>> = ext
+            .iter()
+            .map(|&i| {
+                if let Some(pos) = piece.position_of(i) {
+                    piece.limb(pos).to_vec()
+                } else {
+                    let pos = extension.position_of(i).expect("converted limb present");
+                    extension.limb(pos).to_vec()
+                }
+            })
+            .collect();
+        RnsPoly::from_limbs(self.basis(), ext, Representation::Evaluation, rows)
+    }
+
+    /// `ModDown`: maps a polynomial over `C_ℓ ∪ B` back to `C_ℓ` and
+    /// divides by `P` (Alg. 2 lines 6–8). Rounding error is the usual
+    /// key-switching noise.
+    pub fn mod_down(&self, y: &RnsPoly, level: usize) -> RnsPoly {
+        let chain = self.chain_indices(level);
+        let special = self.special_indices();
+        let conv = self.converter(&special, &chain);
+        let y_b = y.subset(&special);
+        let down = conv.routine(&y_b, self.basis());
+        let mut out = y.subset(&chain);
+        out.sub_assign(&down, self.basis());
+        // multiply by P^{-1} mod q_j
+        let inv_p: Vec<u64> = chain
+            .iter()
+            .map(|&j| {
+                let q = self.basis().modulus(j);
+                let p_mod = special
+                    .iter()
+                    .fold(1u64, |acc, &pi| q.mul(acc, q.reduce(self.basis().modulus(pi).value())));
+                q.inv(p_mod)
+            })
+            .collect();
+        out.mul_scalar_per_limb(&inv_p, self.basis());
+        out
+    }
+
+    /// Generalized key-switching: returns `(kb, ka)` over the chain at
+    /// `level` with `kb − ka·s ≈ x·s'` for the evk's source key `s'`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not in the evaluation representation over the
+    /// chain limbs of `level`.
+    pub fn key_switch(
+        &self,
+        x: &RnsPoly,
+        evk: &EvalKey,
+        level: usize,
+    ) -> (RnsPoly, RnsPoly) {
+        assert_eq!(x.representation(), Representation::Evaluation);
+        let ext = self.extended_indices(level);
+        let groups = self.decomposition_groups(level);
+        assert!(
+            groups.len() <= evk.pieces.len(),
+            "evk has too few decomposition pieces"
+        );
+        let mut acc_b = RnsPoly::zero(self.basis(), &ext, Representation::Evaluation);
+        let mut acc_a = RnsPoly::zero(self.basis(), &ext, Representation::Evaluation);
+        for (group, (kb, ka)) in groups.iter().zip(&evk.pieces) {
+            let extended = self.extend_piece(x, group, &ext);
+            acc_b.mul_add_assign(&extended, &kb.subset(&ext), self.basis());
+            acc_a.mul_add_assign(&extended, &ka.subset(&ext), self.basis());
+        }
+        (self.mod_down(&acc_b, level), self.mod_down(&acc_a, level))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParams;
+    use rand::SeedableRng;
+
+    /// Direct test of the key-switch identity: kb − ka·s ≈ x·s'.
+    #[test]
+    fn key_switch_identity_holds() {
+        let ctx = CkksContext::new(CkksParams::tiny());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let sk = ctx.gen_secret_key(&mut rng);
+        // source key: an independent ternary key
+        let other = ctx.gen_secret_key(&mut rng);
+        let evk = ctx.gen_switching_key(&other.s, &sk, &mut rng);
+
+        let level = ctx.params().max_level;
+        let chain = ctx.chain_indices(level);
+        let x = RnsPoly::random_uniform(
+            ctx.basis(),
+            &chain,
+            Representation::Evaluation,
+            &mut rng,
+        );
+        let (kb, ka) = ctx.key_switch(&x, &evk, level);
+
+        // expected = x * s' (eval rep)
+        let mut expected = x.clone();
+        expected.mul_assign(&other.s.subset(&chain), ctx.basis());
+        // got = kb - ka*s
+        let mut got = ka.clone();
+        got.mul_assign(&sk.s.subset(&chain), ctx.basis());
+        got.negate(ctx.basis());
+        got.add_assign(&kb, ctx.basis());
+
+        // difference must be a *small* polynomial (key-switching noise)
+        let mut diff = got;
+        diff.sub_assign(&expected, ctx.basis());
+        diff.to_coeff(ctx.basis());
+        let crt = ctx.crt(&chain);
+        let n = ctx.params().n();
+        let mut max_mag = 0f64;
+        for k in 0..n {
+            let residues: Vec<u64> = (0..chain.len()).map(|p| diff.limb(p)[k]).collect();
+            let (_, mag) = crt.reconstruct_signed(&residues);
+            max_mag = max_mag.max(mag.to_f64());
+        }
+        // Noise bound: heuristically q_top * small; assert far below Δ·q0
+        // but nonzero structure allowed. Use a generous 2^30 bound
+        // relative to the 2^36 scale primes of the tiny set.
+        assert!(
+            max_mag < 2f64.powi(33),
+            "key-switch noise too large: 2^{}",
+            max_mag.log2()
+        );
+    }
+
+    #[test]
+    fn key_switch_works_at_partial_levels() {
+        // level where the last decomposition group is partial
+        let ctx = CkksContext::new(CkksParams::tiny()); // L=3, α=2
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let sk = ctx.gen_secret_key(&mut rng);
+        let other = ctx.gen_secret_key(&mut rng);
+        let evk = ctx.gen_switching_key(&other.s, &sk, &mut rng);
+        let level = 2; // groups {0,1},{2}
+        let chain = ctx.chain_indices(level);
+        let x = RnsPoly::random_uniform(
+            ctx.basis(),
+            &chain,
+            Representation::Evaluation,
+            &mut rng,
+        );
+        let (kb, ka) = ctx.key_switch(&x, &evk, level);
+        let mut expected = x.clone();
+        expected.mul_assign(&other.s.subset(&chain), ctx.basis());
+        let mut got = ka.clone();
+        got.mul_assign(&sk.s.subset(&chain), ctx.basis());
+        got.negate(ctx.basis());
+        got.add_assign(&kb, ctx.basis());
+        let mut diff = got;
+        diff.sub_assign(&expected, ctx.basis());
+        diff.to_coeff(ctx.basis());
+        let crt = ctx.crt(&chain);
+        let mut max_mag = 0f64;
+        for k in 0..ctx.params().n() {
+            let residues: Vec<u64> = (0..chain.len()).map(|p| diff.limb(p)[k]).collect();
+            let (_, mag) = crt.reconstruct_signed(&residues);
+            max_mag = max_mag.max(mag.to_f64());
+        }
+        assert!(max_mag < 2f64.powi(33), "noise 2^{}", max_mag.log2());
+    }
+
+    #[test]
+    fn mod_down_divides_by_p() {
+        // A polynomial that is exactly P times a small value must come
+        // back as that value.
+        let ctx = CkksContext::new(CkksParams::tiny());
+        let level = ctx.params().max_level;
+        let ext = ctx.extended_indices(level);
+        let n = ctx.params().n();
+        let small: Vec<i64> = (0..n as i64).map(|i| (i % 11) - 5).collect();
+        // P mod d_j per limb of the extended basis
+        let special = ctx.special_indices();
+        let mut poly = RnsPoly::from_signed_coeffs(ctx.basis(), &ext, &small);
+        let scalars: Vec<u64> = ext
+            .iter()
+            .map(|&j| {
+                let q = ctx.basis().modulus(j);
+                special
+                    .iter()
+                    .fold(1u64, |acc, &pi| q.mul(acc, q.reduce(ctx.basis().modulus(pi).value())))
+            })
+            .collect();
+        poly.mul_scalar_per_limb(&scalars, ctx.basis());
+        poly.to_eval(ctx.basis());
+        let mut down = ctx.mod_down(&poly, level);
+        down.to_coeff(ctx.basis());
+        let expect =
+            RnsPoly::from_signed_coeffs(ctx.basis(), &ctx.chain_indices(level), &small);
+        assert_eq!(down, expect);
+    }
+}

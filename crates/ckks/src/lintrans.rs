@@ -1,0 +1,399 @@
+//! Homomorphic linear transforms with BSGS and selectable key strategy.
+//!
+//! A slot-space linear map `y = M·z` decomposes into generalized
+//! diagonals, `y = Σ_d diag_d ⊙ rot(z, d)`, and is evaluated with the
+//! baby-step giant-step split of Eq. 8: rotation `d = i + j·g` becomes a
+//! baby rotation by `i` inside a giant rotation by `j·g`, shrinking the
+//! rotation count from `O(D)` to `O(√D)`. The *key strategy* decides
+//! which evaluation keys the pass loads (see [`crate::minks`]):
+//! baseline needs one per distinct amount, Min-KS needs exactly two
+//! (`evk^{(1)}` and `evk^{(g)}`), because both baby and giant amounts
+//! form arithmetic progressions.
+
+use crate::ciphertext::Ciphertext;
+use crate::keys::RotationKeys;
+use crate::minks::KeyStrategy;
+use crate::params::CkksContext;
+use ark_math::cfft::C64;
+use std::collections::BTreeMap;
+
+/// A slot-space linear transform in diagonal form.
+#[derive(Debug, Clone)]
+pub struct LinearTransform {
+    n: usize,
+    /// Nonzero generalized diagonals: rotation amount (mod `n`) → vector.
+    diagonals: BTreeMap<usize, Vec<C64>>,
+    /// Baby-step count `g` for the BSGS split.
+    baby: usize,
+}
+
+impl LinearTransform {
+    /// Builds from an explicit diagonal map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any diagonal has the wrong length or an out-of-range
+    /// index.
+    pub fn from_diagonals(n: usize, diagonals: BTreeMap<usize, Vec<C64>>) -> Self {
+        for (&d, v) in &diagonals {
+            assert!(d < n, "diagonal index {d} out of range");
+            assert_eq!(v.len(), n, "diagonal {d} has wrong length");
+        }
+        let baby = Self::default_baby(n, diagonals.keys().copied().max().unwrap_or(0));
+        Self { n, diagonals, baby }
+    }
+
+    /// Extracts diagonals from a dense matrix (`rows[k][j] = M[k][j]`),
+    /// dropping all-zero diagonals.
+    pub fn from_matrix(rows: &[Vec<C64>]) -> Self {
+        let n = rows.len();
+        let mut diagonals = BTreeMap::new();
+        for d in 0..n {
+            let diag: Vec<C64> = (0..n).map(|k| rows[k][(k + d) % n]).collect();
+            if diag.iter().any(|z| z.abs() > 1e-12) {
+                diagonals.insert(d, diag);
+            }
+        }
+        Self::from_diagonals(n, diagonals)
+    }
+
+    fn default_baby(n: usize, dmax: usize) -> usize {
+        let span = (dmax + 1).max(1);
+        let mut g = 1usize;
+        while g * g < span {
+            g <<= 1;
+        }
+        g.min(n).max(1)
+    }
+
+    /// Overrides the baby-step count (must be a power of two ≤ n).
+    pub fn with_baby_count(mut self, g: usize) -> Self {
+        assert!(g.is_power_of_two() && g <= self.n);
+        self.baby = g;
+        self
+    }
+
+    /// Slot count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Baby-step count `g`.
+    pub fn baby_count(&self) -> usize {
+        self.baby
+    }
+
+    /// Number of stored (nonzero) diagonals.
+    pub fn diagonal_count(&self) -> usize {
+        self.diagonals.len()
+    }
+
+    /// Giant-step count for the current split.
+    pub fn giant_count(&self) -> usize {
+        let dmax = self.diagonals.keys().copied().max().unwrap_or(0);
+        dmax / self.baby + 1
+    }
+
+    /// Applies the transform to a clear vector (test oracle).
+    pub fn apply_clear(&self, z: &[C64]) -> Vec<C64> {
+        assert_eq!(z.len(), self.n);
+        let mut out = vec![C64::zero(); self.n];
+        for (&d, diag) in &self.diagonals {
+            for k in 0..self.n {
+                out[k] = out[k] + diag[k] * z[(k + d) % self.n];
+            }
+        }
+        out
+    }
+
+    /// The rotation amounts a homomorphic evaluation loads keys for,
+    /// under the given strategy. Feed this to
+    /// [`CkksContext::gen_rotation_keys`].
+    pub fn required_rotations(&self, strategy: KeyStrategy) -> Vec<i64> {
+        let g = self.baby;
+        match strategy {
+            KeyStrategy::Baseline => {
+                let mut set = std::collections::BTreeSet::new();
+                for &d in self.diagonals.keys() {
+                    let i = d % g;
+                    let j = d / g;
+                    if i != 0 {
+                        set.insert(i as i64);
+                    }
+                    if j != 0 {
+                        set.insert((j * g) as i64);
+                    }
+                }
+                set.into_iter().collect()
+            }
+            // Min-KS / hoisted-minimal: baby chain by 1, giant chain by g.
+            KeyStrategy::HoistedMinimal | KeyStrategy::MinKs => {
+                if g == 1 {
+                    vec![1]
+                } else {
+                    vec![1, g as i64]
+                }
+            }
+        }
+    }
+
+    /// Number of distinct evk loads the strategy incurs — the Fig. 2
+    /// accounting hook.
+    pub fn evk_loads(&self, strategy: KeyStrategy) -> usize {
+        match strategy {
+            KeyStrategy::Baseline => self.required_rotations(strategy).len(),
+            KeyStrategy::HoistedMinimal => 3,
+            KeyStrategy::MinKs => 2,
+        }
+    }
+}
+
+impl CkksContext {
+    /// Evaluates `M·z` homomorphically with the BSGS algorithm under the
+    /// chosen key strategy, consuming one multiplicative level.
+    ///
+    /// All strategies produce the same message; they differ only in which
+    /// rotation keys they touch (and, on ARK, in how much evk traffic
+    /// they generate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a required rotation key is missing or the ciphertext has
+    /// no level to spend.
+    pub fn eval_linear_transform(
+        &self,
+        ct: &Ciphertext,
+        lt: &LinearTransform,
+        strategy: KeyStrategy,
+        keys: &RotationKeys,
+    ) -> Ciphertext {
+        assert_eq!(lt.n(), self.params().slots(), "transform/slot mismatch");
+        assert!(ct.level >= 1, "linear transform needs one level");
+        let g = lt.baby;
+        let n = lt.n;
+        let level = ct.level;
+
+        // Baby rotations rot(ct, i) for i = 0..g.
+        let max_baby = lt
+            .diagonals
+            .keys()
+            .map(|&d| d % g)
+            .max()
+            .unwrap_or(0);
+        let babies: Vec<Option<Ciphertext>> = match strategy {
+            KeyStrategy::Baseline => {
+                // only rotate the baby residues that actually occur
+                let needed: std::collections::BTreeSet<usize> =
+                    lt.diagonals.keys().map(|&d| d % g).collect();
+                (0..=max_baby)
+                    .map(|i| needed.contains(&i).then(|| self.rotate(ct, i as i64, keys)))
+                    .collect()
+            }
+            KeyStrategy::HoistedMinimal | KeyStrategy::MinKs => self
+                .rotate_chain(ct, 1, max_baby, keys)
+                .into_iter()
+                .map(Some)
+                .collect(),
+        };
+
+        // Inner sums per giant step j: Σ_i rot(diag, -jg) ⊙ rot(ct, i).
+        let giant_count = lt.giant_count();
+        let mut inners: Vec<Option<Ciphertext>> = vec![None; giant_count];
+        for (&d, diag) in &lt.diagonals {
+            let i = d % g;
+            let j = d / g;
+            // rotate the diagonal left by -(j·g): clear-side, free
+            let shift = (j * g) % n;
+            let rotated_diag: Vec<C64> =
+                (0..n).map(|k| diag[(k + n - shift) % n]).collect();
+            let pt = self.encode_for_mul(&rotated_diag, level);
+            let baby = babies[i].as_ref().expect("baby rotation computed");
+            let term = self.mul_plain(baby, &pt);
+            inners[j] = Some(match inners[j].take() {
+                Some(acc) => self.add(&acc, &term),
+                None => term,
+            });
+        }
+
+        // Giant accumulation: Σ_j rot(inner_j, j·g).
+        let result = match strategy {
+            KeyStrategy::Baseline => {
+                let mut acc: Option<Ciphertext> = None;
+                for (j, inner) in inners.iter().enumerate() {
+                    if let Some(inner) = inner {
+                        let rotated = self.rotate(inner, (j * g) as i64, keys);
+                        acc = Some(match acc {
+                            Some(a) => self.add(&a, &rotated),
+                            None => rotated,
+                        });
+                    }
+                }
+                acc.expect("transform has at least one diagonal")
+            }
+            KeyStrategy::HoistedMinimal | KeyStrategy::MinKs => {
+                // Min-KS giant chain (Eq. 10/11): fill gaps with zero
+                // ciphertexts of matching shape if a giant index is empty.
+                let template = inners
+                    .iter()
+                    .flatten()
+                    .next()
+                    .expect("transform has at least one diagonal");
+                let zero = Ciphertext {
+                    b: ark_math::poly::RnsPoly::zero(
+                        self.basis(),
+                        template.b.limb_indices(),
+                        ark_math::poly::Representation::Evaluation,
+                    ),
+                    a: ark_math::poly::RnsPoly::zero(
+                        self.basis(),
+                        template.a.limb_indices(),
+                        ark_math::poly::Representation::Evaluation,
+                    ),
+                    level: template.level,
+                    scale: template.scale,
+                };
+                let terms: Vec<Ciphertext> = inners
+                    .into_iter()
+                    .map(|x| x.unwrap_or_else(|| zero.clone()))
+                    .collect();
+                self.rotate_accumulate(&terms, g as i64, keys)
+            }
+        };
+        self.rescale(&result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::max_error;
+    use crate::keys::SecretKey;
+    use crate::params::CkksParams;
+    use rand::SeedableRng;
+
+    fn setup() -> (CkksContext, SecretKey, rand::rngs::StdRng) {
+        let ctx = CkksContext::new(CkksParams::tiny());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let sk = ctx.gen_secret_key(&mut rng);
+        (ctx, sk, rng)
+    }
+
+    fn random_matrix(n: usize, rng: &mut impl rand::Rng) -> Vec<Vec<C64>> {
+        (0..n)
+            .map(|_| {
+                (0..n)
+                    .map(|_| C64::new(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn diagonal_extraction_matches_dense_product() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let n = 8;
+        let m = random_matrix(n, &mut rng);
+        let lt = LinearTransform::from_matrix(&m);
+        let z: Vec<C64> = (0..n).map(|i| C64::new(i as f64, -(i as f64))).collect();
+        let via_diag = lt.apply_clear(&z);
+        let dense: Vec<C64> = (0..n)
+            .map(|k| {
+                (0..n).fold(C64::zero(), |acc, j| acc + m[k][j] * z[j])
+            })
+            .collect();
+        assert!(max_error(&via_diag, &dense) < 1e-9);
+    }
+
+    #[test]
+    fn bsgs_split_key_requirements() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let n = 16;
+        let lt = LinearTransform::from_matrix(&random_matrix(n, &mut rng));
+        let g = lt.baby_count();
+        assert_eq!(g, 4); // sqrt(16)
+        let minks = lt.required_rotations(KeyStrategy::MinKs);
+        assert_eq!(minks, vec![1, g as i64]);
+        let baseline = lt.required_rotations(KeyStrategy::Baseline);
+        assert!(baseline.len() > minks.len());
+        assert_eq!(lt.evk_loads(KeyStrategy::MinKs), 2);
+        assert_eq!(lt.evk_loads(KeyStrategy::HoistedMinimal), 3);
+    }
+
+    #[test]
+    fn homomorphic_transform_matches_clear_baseline_and_minks() {
+        let (ctx, sk, mut rng) = setup();
+        let n = ctx.params().slots();
+        let m = random_matrix(n, &mut rng);
+        let lt = LinearTransform::from_matrix(&m);
+        let z: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64 * 0.2).sin(), (i as f64 * 0.4).cos()))
+            .collect();
+        let want = lt.apply_clear(&z);
+        let scale = ctx.params().scale();
+        let ct = ctx.encrypt(&ctx.encode(&z, 3, scale), &sk, &mut rng);
+        for strategy in [KeyStrategy::Baseline, KeyStrategy::MinKs] {
+            let rots = lt.required_rotations(strategy);
+            let keys = ctx.gen_rotation_keys(&rots, false, &sk, &mut rng);
+            let out_ct = ctx.eval_linear_transform(&ct, &lt, strategy, &keys);
+            assert_eq!(out_ct.level, 2, "one level consumed");
+            let out = ctx.decrypt_decode(&out_ct, &sk);
+            let err = max_error(&want, &out);
+            assert!(err < 2e-2, "{strategy:?}: err={err}");
+        }
+    }
+
+    #[test]
+    fn strategies_agree_with_each_other() {
+        let (ctx, sk, mut rng) = setup();
+        let n = ctx.params().slots();
+        let m = random_matrix(n, &mut rng);
+        let lt = LinearTransform::from_matrix(&m);
+        let z: Vec<C64> = (0..n).map(|i| C64::new(0.1 * i as f64, 0.0)).collect();
+        let ct = ctx.encrypt(&ctx.encode(&z, 2, ctx.params().scale()), &sk, &mut rng);
+        let mut rots = lt.required_rotations(KeyStrategy::Baseline);
+        rots.extend(lt.required_rotations(KeyStrategy::MinKs));
+        let keys = ctx.gen_rotation_keys(&rots, false, &sk, &mut rng);
+        let a = ctx.decrypt_decode(
+            &ctx.eval_linear_transform(&ct, &lt, KeyStrategy::Baseline, &keys),
+            &sk,
+        );
+        let b = ctx.decrypt_decode(
+            &ctx.eval_linear_transform(&ct, &lt, KeyStrategy::MinKs, &keys),
+            &sk,
+        );
+        assert!(max_error(&a, &b) < 1e-2);
+    }
+
+    #[test]
+    fn sparse_transform_skips_zero_diagonals() {
+        let n = 16;
+        let mut diagonals = BTreeMap::new();
+        diagonals.insert(0usize, vec![C64::new(1.0, 0.0); n]);
+        diagonals.insert(5usize, vec![C64::new(0.5, 0.0); n]);
+        let lt = LinearTransform::from_diagonals(n, diagonals);
+        assert_eq!(lt.diagonal_count(), 2);
+        let z: Vec<C64> = (0..n).map(|i| C64::new(i as f64, 0.0)).collect();
+        let out = lt.apply_clear(&z);
+        for k in 0..n {
+            let want = z[k] + z[(k + 5) % n].scale(0.5);
+            assert!((out[k] - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn identity_transform_is_identity() {
+        let (ctx, sk, mut rng) = setup();
+        let n = ctx.params().slots();
+        let mut diagonals = BTreeMap::new();
+        diagonals.insert(0usize, vec![C64::new(1.0, 0.0); n]);
+        let lt = LinearTransform::from_diagonals(n, diagonals);
+        let z: Vec<C64> = (0..n).map(|i| C64::new(0.3 * i as f64, -0.1)).collect();
+        let ct = ctx.encrypt(&ctx.encode(&z, 2, ctx.params().scale()), &sk, &mut rng);
+        let keys = ctx.gen_rotation_keys(&lt.required_rotations(KeyStrategy::MinKs), false, &sk, &mut rng);
+        let out = ctx.decrypt_decode(
+            &ctx.eval_linear_transform(&ct, &lt, KeyStrategy::MinKs, &keys),
+            &sk,
+        );
+        assert!(max_error(&z, &out) < 1e-2);
+    }
+}

@@ -1,0 +1,530 @@
+//! The primitive HE ops of CKKS (Table II of the paper).
+//!
+//! `CAdd`/`CMult` (scalar), `PAdd`/`PMult` (plaintext), `HAdd`/`HSub`,
+//! `HMult` (with key-switching), `HRot`/`HConj` (automorphism +
+//! key-switching) and `HRescale` (exact RNS rescale). Scale management
+//! follows the Lattigo convention: constants are encoded at the scale of
+//! the *current top prime* so a following rescale restores the
+//! ciphertext scale exactly.
+
+use crate::ciphertext::{Ciphertext, Plaintext};
+use crate::keys::{EvalKey, RotationKeys};
+use crate::params::CkksContext;
+use ark_math::automorphism::GaloisElement;
+use ark_math::cfft::C64;
+
+/// Relative scale mismatch tolerated by additive ops. Scale drift from
+/// `q_i ≈ Δ` is ~2^-30 per level; anything larger is a usage bug.
+const SCALE_TOLERANCE: f64 = 1e-6;
+
+fn assert_scales_match(a: f64, b: f64) {
+    assert!(
+        (a / b - 1.0).abs() < SCALE_TOLERANCE,
+        "operand scales diverge: {a} vs {b}"
+    );
+}
+
+impl CkksContext {
+    /// Drops limbs so `ct` sits at `level` (message unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds the ciphertext's current level.
+    pub fn mod_drop_to(&self, ct: &Ciphertext, level: usize) -> Ciphertext {
+        assert!(level <= ct.level, "cannot raise level by dropping limbs");
+        let idx = self.chain_indices(level);
+        Ciphertext {
+            b: ct.b.subset(&idx),
+            a: ct.a.subset(&idx),
+            level,
+            scale: ct.scale,
+        }
+    }
+
+    /// Aligns two ciphertexts to the lower of their levels.
+    pub fn align_levels(&self, a: &Ciphertext, b: &Ciphertext) -> (Ciphertext, Ciphertext) {
+        let level = a.level.min(b.level);
+        (self.mod_drop_to(a, level), self.mod_drop_to(b, level))
+    }
+
+    /// `HAdd`: slot-wise sum.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let (mut a, b) = self.align_levels(a, b);
+        assert_scales_match(a.scale, b.scale);
+        a.b.add_assign(&b.b, self.basis());
+        a.a.add_assign(&b.a, self.basis());
+        a
+    }
+
+    /// `HSub`: slot-wise difference.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let (mut a, b) = self.align_levels(a, b);
+        assert_scales_match(a.scale, b.scale);
+        a.b.sub_assign(&b.b, self.basis());
+        a.a.sub_assign(&b.a, self.basis());
+        a
+    }
+
+    /// Slot-wise negation.
+    pub fn negate_ct(&self, ct: &Ciphertext) -> Ciphertext {
+        let mut out = ct.clone();
+        out.b.negate(self.basis());
+        out.a.negate(self.basis());
+        out
+    }
+
+    /// `PAdd`: adds an encoded plaintext (levels aligned by dropping).
+    pub fn add_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        assert_scales_match(ct.scale, pt.scale);
+        let level = ct.level.min(pt.level);
+        let mut out = self.mod_drop_to(ct, level);
+        let p = pt.poly.subset(&self.chain_indices(level));
+        out.b.add_assign(&p, self.basis());
+        out
+    }
+
+    /// `PMult`: multiplies by an encoded plaintext. The result's scale is
+    /// the product; rescale afterwards.
+    pub fn mul_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let level = ct.level.min(pt.level);
+        let mut out = self.mod_drop_to(ct, level);
+        let p = pt.poly.subset(&self.chain_indices(level));
+        out.b.mul_assign(&p, self.basis());
+        out.a.mul_assign(&p, self.basis());
+        out.scale = ct.scale * pt.scale;
+        out
+    }
+
+    /// `CAdd`: adds the same complex constant to every slot.
+    ///
+    /// A constant slot vector encodes to a constant polynomial, which in
+    /// the evaluation representation is the constant broadcast to every
+    /// point — so this is a scalar add on the `B` limbs.
+    pub fn add_const(&self, ct: &Ciphertext, c: f64) -> Ciphertext {
+        let mut out = ct.clone();
+        let v = c * ct.scale;
+        assert!(v.abs() < 9.0e18, "constant overflows at this scale");
+        let vi = v.round() as i64;
+        for (pos, &idx) in out.b.limb_indices().to_vec().iter().enumerate() {
+            let q = self.basis().modulus(idx);
+            let add = q.from_i64(vi);
+            for x in out.b.limb_mut(pos).iter_mut() {
+                *x = q.add(*x, add);
+            }
+        }
+        out
+    }
+
+    /// `CMult`: multiplies every slot by a real constant, encoded at the
+    /// scale of the current top prime (so a following [`Self::rescale`]
+    /// restores the original scale exactly).
+    pub fn mul_const(&self, ct: &Ciphertext, c: f64) -> Ciphertext {
+        let q_top = self.basis().modulus(ct.level).value() as f64;
+        let v = c * q_top;
+        assert!(v.abs() < 9.0e18, "constant overflows at this scale");
+        let vi = v.round() as i64;
+        let mut out = ct.clone();
+        let scalars: Vec<u64> = out
+            .b
+            .limb_indices()
+            .iter()
+            .map(|&idx| self.basis().modulus(idx).from_i64(vi))
+            .collect();
+        out.b.mul_scalar_per_limb(&scalars, self.basis());
+        out.a.mul_scalar_per_limb(&scalars, self.basis());
+        out.scale = ct.scale * q_top;
+        out
+    }
+
+    /// `CMult` by the imaginary unit `i` (or `-i`): multiplies the
+    /// underlying polynomial by the monomial `X^{N/2}` (resp. its
+    /// negation), a scale-free exact operation used by bootstrapping.
+    pub fn mul_i(&self, ct: &Ciphertext, negative: bool) -> Ciphertext {
+        let n = self.params().n();
+        // X^{N/2} in evaluation rep: encode once per call (cheap at test
+        // sizes). Monomial coefficients: coeff[N/2] = 1.
+        let mut coeffs = vec![0i64; n];
+        coeffs[n / 2] = if negative { -1 } else { 1 };
+        let idx = self.chain_indices(ct.level);
+        let mut mono = ark_math::poly::RnsPoly::from_signed_coeffs(self.basis(), &idx, &coeffs);
+        mono.to_eval(self.basis());
+        let mut out = ct.clone();
+        out.b.mul_assign(&mono, self.basis());
+        out.a.mul_assign(&mono, self.basis());
+        out
+    }
+
+    /// `HMult` with relinearization (key-switching by `evk_mult`).
+    /// The result's scale is the product; rescale afterwards.
+    pub fn mul(&self, x: &Ciphertext, y: &Ciphertext, evk_mult: &EvalKey) -> Ciphertext {
+        let (x, y) = self.align_levels(x, y);
+        let level = x.level;
+        // d0 = b1*b2 ; d1 = a1*b2 + a2*b1 ; d2 = a1*a2
+        let mut d0 = x.b.clone();
+        d0.mul_assign(&y.b, self.basis());
+        let mut d1 = x.a.clone();
+        d1.mul_assign(&y.b, self.basis());
+        let mut d1b = y.a.clone();
+        d1b.mul_assign(&x.b, self.basis());
+        d1.add_assign(&d1b, self.basis());
+        let mut d2 = x.a.clone();
+        d2.mul_assign(&y.a, self.basis());
+        // (kb, ka) ≈ d2 · s²
+        let (kb, ka) = self.key_switch(&d2, evk_mult, level);
+        let mut b = d0;
+        b.add_assign(&kb, self.basis());
+        let mut a = d1;
+        a.add_assign(&ka, self.basis());
+        Ciphertext {
+            b,
+            a,
+            level,
+            scale: x.scale * y.scale,
+        }
+    }
+
+    /// Squares a ciphertext (saves one of HMult's three products).
+    pub fn square(&self, x: &Ciphertext, evk_mult: &EvalKey) -> Ciphertext {
+        let level = x.level;
+        let mut d0 = x.b.clone();
+        d0.mul_assign(&x.b, self.basis());
+        let mut d1 = x.a.clone();
+        d1.mul_assign(&x.b, self.basis());
+        let two = d1.clone();
+        d1.add_assign(&two, self.basis());
+        let mut d2 = x.a.clone();
+        d2.mul_assign(&x.a, self.basis());
+        let (kb, ka) = self.key_switch(&d2, evk_mult, level);
+        let mut b = d0;
+        b.add_assign(&kb, self.basis());
+        let mut a = d1;
+        a.add_assign(&ka, self.basis());
+        Ciphertext {
+            b,
+            a,
+            level,
+            scale: x.scale * x.scale,
+        }
+    }
+
+    /// Applies a Galois automorphism with its key: the common core of
+    /// `HRot` and `HConj`.
+    pub fn apply_galois(&self, ct: &Ciphertext, g: GaloisElement, key: &EvalKey) -> Ciphertext {
+        let level = ct.level;
+        let pb = ct.b.automorphism(g, self.basis());
+        let mut pa = ct.a.automorphism(g, self.basis());
+        // need result decrypting to ψ(b) − ψ(a)·ψ(s):
+        // key_switch(−ψ(a)) yields (kb, ka) with kb − ka·s ≈ −ψ(a)·ψ(s)
+        pa.negate(self.basis());
+        let (kb, ka) = self.key_switch(&pa, key, level);
+        let mut b = pb;
+        b.add_assign(&kb, self.basis());
+        Ciphertext {
+            b,
+            a: ka,
+            level,
+            scale: ct.scale,
+        }
+    }
+
+    /// `HRot`: circular left shift of the slots by `r` (negative `r`
+    /// shifts right).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rotation key for `5^r` is missing.
+    pub fn rotate(&self, ct: &Ciphertext, r: i64, keys: &RotationKeys) -> Ciphertext {
+        if r == 0 {
+            return ct.clone();
+        }
+        let g = GaloisElement::from_rotation(r, self.params().n());
+        let key = keys
+            .get(g)
+            .unwrap_or_else(|| panic!("missing rotation key for amount {r}"));
+        self.apply_galois(ct, g, key)
+    }
+
+    /// `HConj`: complex conjugation of every slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conjugation key is missing.
+    pub fn conjugate(&self, ct: &Ciphertext, keys: &RotationKeys) -> Ciphertext {
+        let g = GaloisElement::conjugation(self.params().n());
+        let key = keys
+            .get(g)
+            .unwrap_or_else(|| panic!("missing conjugation key"));
+        self.apply_galois(ct, g, key)
+    }
+
+    /// `HRescale`: drops the top limb and divides the message by it
+    /// (exact RNS rescale with centered lift).
+    ///
+    /// # Panics
+    ///
+    /// Panics at level 0.
+    pub fn rescale(&self, ct: &Ciphertext) -> Ciphertext {
+        assert!(ct.level > 0, "cannot rescale at level 0");
+        let out_level = ct.level - 1;
+        let q_last_idx = ct.level;
+        let q_last = *self.basis().modulus(q_last_idx);
+        let half = q_last.value() / 2;
+        let rescale_poly = |poly: &ark_math::poly::RnsPoly| {
+            // take the top limb to coefficient representation
+            let mut top = poly.subset(&[q_last_idx]);
+            top.to_coeff(self.basis());
+            let top_coeffs = top.limb(0);
+            let keep = self.chain_indices(out_level);
+            let mut out = poly.subset(&keep);
+            for (pos, &j) in keep.iter().enumerate() {
+                let q = self.basis().modulus(j);
+                let inv = q.inv(q.reduce(q_last.value()));
+                let pre = q.shoup(inv);
+                // (c_j − centered(c_last)) · q_last^{-1}
+                let mut correction: Vec<u64> = top_coeffs
+                    .iter()
+                    .map(|&x| {
+                        if x > half {
+                            q.neg(q.reduce(q_last.value() - x))
+                        } else {
+                            q.reduce(x)
+                        }
+                    })
+                    .collect();
+                self.basis().table(j).forward(&mut correction);
+                let limb = out.limb_mut(pos);
+                for (c, corr) in limb.iter_mut().zip(&correction) {
+                    *c = q.mul_shoup(q.sub(*c, *corr), &pre);
+                }
+            }
+            out
+        };
+        Ciphertext {
+            b: rescale_poly(&ct.b),
+            a: rescale_poly(&ct.a),
+            level: out_level,
+            scale: ct.scale / q_last.value() as f64,
+        }
+    }
+
+    /// `HMult` followed by `HRescale` — the common pairing.
+    pub fn mul_rescale(
+        &self,
+        x: &Ciphertext,
+        y: &Ciphertext,
+        evk_mult: &EvalKey,
+    ) -> Ciphertext {
+        self.rescale(&self.mul(x, y, evk_mult))
+    }
+
+    /// `PMult` followed by `HRescale`.
+    pub fn mul_plain_rescale(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        self.rescale(&self.mul_plain(ct, pt))
+    }
+
+    /// Encodes a complex constant vector at the top-prime scale of
+    /// `level` (the encoding used before `PMult` + rescale chains).
+    pub fn encode_for_mul(&self, values: &[C64], level: usize) -> Plaintext {
+        let q_top = self.basis().modulus(level).value() as f64;
+        self.encode(values, level, q_top)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::max_error;
+    use crate::keys::SecretKey;
+    use crate::params::CkksParams;
+    use rand::SeedableRng;
+
+    fn setup() -> (CkksContext, SecretKey, rand::rngs::StdRng) {
+        let ctx = CkksContext::new(CkksParams::tiny());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let sk = ctx.gen_secret_key(&mut rng);
+        (ctx, sk, rng)
+    }
+
+    fn msg(ctx: &CkksContext, f: impl Fn(usize) -> C64) -> Vec<C64> {
+        (0..ctx.params().slots()).map(f).collect()
+    }
+
+    #[test]
+    fn hadd_and_hsub() {
+        let (ctx, sk, mut rng) = setup();
+        let m1 = msg(&ctx, |i| C64::new(i as f64 * 0.1, 0.3));
+        let m2 = msg(&ctx, |i| C64::new(0.5, -0.2 * i as f64));
+        let scale = ctx.params().scale();
+        let c1 = ctx.encrypt(&ctx.encode(&m1, 2, scale), &sk, &mut rng);
+        let c2 = ctx.encrypt(&ctx.encode(&m2, 2, scale), &sk, &mut rng);
+        let sum = ctx.decrypt_decode(&ctx.add(&c1, &c2), &sk);
+        let diff = ctx.decrypt_decode(&ctx.sub(&c1, &c2), &sk);
+        let want_sum: Vec<C64> = m1.iter().zip(&m2).map(|(&a, &b)| a + b).collect();
+        let want_diff: Vec<C64> = m1.iter().zip(&m2).map(|(&a, &b)| a - b).collect();
+        assert!(max_error(&want_sum, &sum) < 1e-4);
+        assert!(max_error(&want_diff, &diff) < 1e-4);
+    }
+
+    #[test]
+    fn hadd_aligns_levels() {
+        let (ctx, sk, mut rng) = setup();
+        let m = msg(&ctx, |i| C64::new(i as f64 * 0.01, 0.0));
+        let scale = ctx.params().scale();
+        let c_hi = ctx.encrypt(&ctx.encode(&m, 3, scale), &sk, &mut rng);
+        let c_lo = ctx.encrypt(&ctx.encode(&m, 1, scale), &sk, &mut rng);
+        let sum = ctx.add(&c_hi, &c_lo);
+        assert_eq!(sum.level, 1);
+        let out = ctx.decrypt_decode(&sum, &sk);
+        let want: Vec<C64> = m.iter().map(|&z| z + z).collect();
+        assert!(max_error(&want, &out) < 1e-4);
+    }
+
+    #[test]
+    fn pmult_then_rescale() {
+        let (ctx, sk, mut rng) = setup();
+        let m = msg(&ctx, |i| C64::new(0.02 * i as f64, -0.01 * i as f64));
+        let w = msg(&ctx, |i| C64::new(0.5 + 0.01 * i as f64, 0.0));
+        let scale = ctx.params().scale();
+        let ct = ctx.encrypt(&ctx.encode(&m, 2, scale), &sk, &mut rng);
+        let pt = ctx.encode_for_mul(&w, 2);
+        let prod = ctx.mul_plain_rescale(&ct, &pt);
+        assert_eq!(prod.level, 1);
+        // top-prime scale trick: scale restored exactly
+        assert!((prod.scale / scale - 1.0).abs() < 1e-9);
+        let out = ctx.decrypt_decode(&prod, &sk);
+        let want: Vec<C64> = m.iter().zip(&w).map(|(&a, &b)| a * b).collect();
+        assert!(max_error(&want, &out) < 1e-4, "err={}", max_error(&want, &out));
+    }
+
+    #[test]
+    fn hmult_relinearizes_correctly() {
+        let (ctx, sk, mut rng) = setup();
+        let evk = ctx.gen_mult_key(&sk, &mut rng);
+        let m1 = msg(&ctx, |i| C64::new(0.1 * i as f64, 0.05));
+        let m2 = msg(&ctx, |i| C64::new(0.3, 0.02 * i as f64));
+        let scale = ctx.params().scale();
+        let c1 = ctx.encrypt(&ctx.encode(&m1, 3, scale), &sk, &mut rng);
+        let c2 = ctx.encrypt(&ctx.encode(&m2, 3, scale), &sk, &mut rng);
+        let prod = ctx.mul_rescale(&c1, &c2, &evk);
+        assert_eq!(prod.level, 2);
+        let out = ctx.decrypt_decode(&prod, &sk);
+        let want: Vec<C64> = m1.iter().zip(&m2).map(|(&a, &b)| a * b).collect();
+        let err = max_error(&want, &out);
+        assert!(err < 1e-3, "err={err}");
+    }
+
+    #[test]
+    fn square_matches_mul() {
+        let (ctx, sk, mut rng) = setup();
+        let evk = ctx.gen_mult_key(&sk, &mut rng);
+        let m = msg(&ctx, |i| C64::new(0.2 * (i as f64).sin(), 0.1));
+        let scale = ctx.params().scale();
+        let ct = ctx.encrypt(&ctx.encode(&m, 2, scale), &sk, &mut rng);
+        let sq = ctx.rescale(&ctx.square(&ct, &evk));
+        let out = ctx.decrypt_decode(&sq, &sk);
+        let want: Vec<C64> = m.iter().map(|&z| z * z).collect();
+        assert!(max_error(&want, &out) < 1e-3);
+    }
+
+    #[test]
+    fn rotation_shifts_slots() {
+        let (ctx, sk, mut rng) = setup();
+        let slots = ctx.params().slots();
+        let keys = ctx.gen_rotation_keys(&[1, 3, -2], false, &sk, &mut rng);
+        let m = msg(&ctx, |i| C64::new(i as f64, 0.0));
+        let scale = ctx.params().scale();
+        let ct = ctx.encrypt(&ctx.encode(&m, 2, scale), &sk, &mut rng);
+        for r in [1i64, 3, -2] {
+            let rot = ctx.rotate(&ct, r, &keys);
+            let out = ctx.decrypt_decode(&rot, &sk);
+            let want: Vec<C64> = (0..slots)
+                .map(|i| m[(i as i64 + r).rem_euclid(slots as i64) as usize])
+                .collect();
+            assert!(max_error(&want, &out) < 1e-3, "r={r}");
+        }
+    }
+
+    #[test]
+    fn conjugation_conjugates() {
+        let (ctx, sk, mut rng) = setup();
+        let keys = ctx.gen_rotation_keys(&[], true, &sk, &mut rng);
+        let m = msg(&ctx, |i| C64::new(0.1 * i as f64, 0.7 - 0.02 * i as f64));
+        let scale = ctx.params().scale();
+        let ct = ctx.encrypt(&ctx.encode(&m, 2, scale), &sk, &mut rng);
+        let out = ctx.decrypt_decode(&ctx.conjugate(&ct, &keys), &sk);
+        let want: Vec<C64> = m.iter().map(|z| z.conj()).collect();
+        assert!(max_error(&want, &out) < 1e-3);
+    }
+
+    #[test]
+    fn cadd_and_cmult() {
+        let (ctx, sk, mut rng) = setup();
+        let m = msg(&ctx, |i| C64::new(0.05 * i as f64, -0.3));
+        let scale = ctx.params().scale();
+        let ct = ctx.encrypt(&ctx.encode(&m, 2, scale), &sk, &mut rng);
+        let shifted = ctx.add_const(&ct, 1.5);
+        let out = ctx.decrypt_decode(&shifted, &sk);
+        let want: Vec<C64> = m.iter().map(|&z| z + C64::new(1.5, 0.0)).collect();
+        assert!(max_error(&want, &out) < 1e-4);
+
+        let scaled = ctx.rescale(&ctx.mul_const(&ct, -0.25));
+        assert!((scaled.scale / scale - 1.0).abs() < 1e-9);
+        let out = ctx.decrypt_decode(&scaled, &sk);
+        let want: Vec<C64> = m.iter().map(|&z| z.scale(-0.25)).collect();
+        assert!(max_error(&want, &out) < 1e-4);
+    }
+
+    #[test]
+    fn mul_i_multiplies_by_imaginary_unit() {
+        let (ctx, sk, mut rng) = setup();
+        let m = msg(&ctx, |i| C64::new(0.2, 0.1 * i as f64));
+        let scale = ctx.params().scale();
+        let ct = ctx.encrypt(&ctx.encode(&m, 2, scale), &sk, &mut rng);
+        let out = ctx.decrypt_decode(&ctx.mul_i(&ct, false), &sk);
+        let want: Vec<C64> = m.iter().map(|&z| z * C64::new(0.0, 1.0)).collect();
+        assert!(max_error(&want, &out) < 1e-4);
+        let out = ctx.decrypt_decode(&ctx.mul_i(&ct, true), &sk);
+        let want: Vec<C64> = m.iter().map(|&z| z * C64::new(0.0, -1.0)).collect();
+        assert!(max_error(&want, &out) < 1e-4);
+    }
+
+    #[test]
+    fn rescale_chain_to_level_zero() {
+        let (ctx, sk, mut rng) = setup();
+        let m = msg(&ctx, |_| C64::new(0.5, 0.25));
+        let scale = ctx.params().scale();
+        let mut ct = ctx.encrypt(&ctx.encode(&m, 3, scale), &sk, &mut rng);
+        // burn all levels with constant multiplications by 1.0
+        while ct.level > 0 {
+            ct = ctx.rescale(&ctx.mul_const(&ct, 1.0));
+        }
+        let out = ctx.decrypt_decode(&ct, &sk);
+        assert!(max_error(&m, &out) < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot rescale at level 0")]
+    fn rescale_at_level_zero_panics() {
+        let (ctx, sk, mut rng) = setup();
+        let m = msg(&ctx, |_| C64::new(0.1, 0.0));
+        let ct = ctx.encrypt(&ctx.encode(&m, 0, ctx.params().scale()), &sk, &mut rng);
+        ctx.rescale(&ct);
+    }
+
+    #[test]
+    fn depth_chain_multiplication() {
+        // (((m²)²)²) across three levels: checks noise + scale tracking.
+        let (ctx, sk, mut rng) = setup();
+        let evk = ctx.gen_mult_key(&sk, &mut rng);
+        let m = msg(&ctx, |i| C64::new(0.9 - 0.001 * i as f64, 0.0));
+        let scale = ctx.params().scale();
+        let mut ct = ctx.encrypt(&ctx.encode(&m, 3, scale), &sk, &mut rng);
+        let mut want: Vec<C64> = m.clone();
+        for _ in 0..3 {
+            ct = ctx.rescale(&ctx.square(&ct, &evk));
+            want = want.iter().map(|&z| z * z).collect();
+        }
+        let out = ctx.decrypt_decode(&ct, &sk);
+        assert!(max_error(&want, &out) < 1e-2, "err={}", max_error(&want, &out));
+    }
+}

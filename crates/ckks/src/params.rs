@@ -1,0 +1,398 @@
+//! CKKS parameter sets and the shared evaluation context.
+//!
+//! Table I/III of the paper: a parameter set fixes the ring degree `N`,
+//! the maximum multiplicative level `L`, the decomposition number `dnum`
+//! (hence `α = (L+1)/dnum` special primes), and the scale `Δ`. The
+//! *context* materializes the RNS basis `D = C ∪ B`, NTT tables and
+//! cached base converters shared by every operation.
+//!
+//! Two families of presets exist:
+//!
+//! - **Paper-scale** sets (`ark`, `lattigo`, `f1`, `hundred_x`) used for
+//!   data-size analytics and the accelerator model. These are *not*
+//!   instantiated functionally in tests (a 2^16-degree bootstrapping run
+//!   is minutes of host time) — the simulator consumes only their shape.
+//! - **Test-scale** sets (`tiny`, `small`, `boot_test`) with reduced `N`
+//!   for functional validation. They keep the same structure (dnum
+//!   decomposition, special primes, sparse secret) at toy security.
+
+use ark_math::bconv::BaseConverter;
+use ark_math::cfft::SpecialFft;
+use ark_math::crt::CrtContext;
+use ark_math::poly::RnsBasis;
+use ark_math::primes::{generate_ntt_primes, generate_ntt_primes_excluding};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Static description of a CKKS parameter set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkksParams {
+    /// log2 of the ring degree.
+    pub log_n: u32,
+    /// Maximum multiplicative level `L` (the chain has `L+1` primes).
+    pub max_level: usize,
+    /// Decomposition number for generalized key-switching.
+    pub dnum: usize,
+    /// Bits of the base prime `q_0`.
+    pub q0_bits: u32,
+    /// Bits of the scale primes `q_1..q_L` (`Δ ≈ 2^scale_bits`).
+    pub scale_bits: u32,
+    /// Bits of the special primes `p_0..p_{α−1}`.
+    pub special_bits: u32,
+    /// Hamming weight of the sparse ternary secret (0 ⇒ dense ternary).
+    pub secret_hamming_weight: usize,
+    /// Levels consumed by bootstrapping (`L_boot`), for the paper-scale
+    /// throughput metric (Eq. 13). Purely descriptive.
+    pub boot_levels: usize,
+    /// Human-readable name.
+    pub name: &'static str,
+}
+
+impl CkksParams {
+    /// Ring degree `N`.
+    pub fn n(&self) -> usize {
+        1 << self.log_n
+    }
+
+    /// Slot count `n = N/2` (full packing).
+    pub fn slots(&self) -> usize {
+        self.n() / 2
+    }
+
+    /// `α = (L+1)/dnum`, the special-prime count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dnum` does not divide `L+1`.
+    pub fn alpha(&self) -> usize {
+        assert_eq!(
+            (self.max_level + 1) % self.dnum,
+            0,
+            "dnum must divide L+1"
+        );
+        (self.max_level + 1) / self.dnum
+    }
+
+    /// The scale `Δ`.
+    pub fn scale(&self) -> f64 {
+        2f64.powi(self.scale_bits as i32)
+    }
+
+    /// **Paper Table III, row "ARK"**: `N=2^16, L=23, dnum=4, α=6`.
+    pub fn ark() -> Self {
+        Self {
+            log_n: 16,
+            max_level: 23,
+            dnum: 4,
+            q0_bits: 60,
+            scale_bits: 44,
+            special_bits: 60,
+            secret_hamming_weight: 192,
+            boot_levels: 15,
+            name: "ARK",
+        }
+    }
+
+    /// **Paper Table III, row "Lattigo"**: `N=2^16, L=24, dnum=5, α=5`.
+    pub fn lattigo() -> Self {
+        Self {
+            log_n: 16,
+            max_level: 24,
+            dnum: 5,
+            q0_bits: 60,
+            scale_bits: 44,
+            special_bits: 60,
+            secret_hamming_weight: 192,
+            boot_levels: 15,
+            name: "Lattigo",
+        }
+    }
+
+    /// **Paper Table III, row "F1"**: `N=2^14, L=15, dnum=16, α=1`
+    /// (max-dnum design, 32-bit words in the original).
+    pub fn f1() -> Self {
+        Self {
+            log_n: 14,
+            max_level: 15,
+            dnum: 16,
+            q0_bits: 32,
+            scale_bits: 28,
+            special_bits: 32,
+            secret_hamming_weight: 64,
+            boot_levels: 0,
+            name: "F1",
+        }
+    }
+
+    /// **Paper Table III, row "100x"**: `N=2^17, L=29, dnum=3, α=10`.
+    pub fn hundred_x() -> Self {
+        Self {
+            log_n: 17,
+            max_level: 29,
+            dnum: 3,
+            q0_bits: 60,
+            scale_bits: 50,
+            special_bits: 60,
+            secret_hamming_weight: 192,
+            boot_levels: 19,
+            name: "100x",
+        }
+    }
+
+    /// Minimal functional set for unit tests: `N=2^5`, 4 levels.
+    pub fn tiny() -> Self {
+        Self {
+            log_n: 5,
+            max_level: 3,
+            dnum: 2,
+            q0_bits: 50,
+            scale_bits: 36,
+            special_bits: 50,
+            secret_hamming_weight: 0,
+            boot_levels: 0,
+            name: "tiny-test",
+        }
+    }
+
+    /// Mid-size functional set: `N=2^10`, 9 levels, dnum=2.
+    pub fn small() -> Self {
+        Self {
+            log_n: 10,
+            max_level: 9,
+            dnum: 2,
+            q0_bits: 55,
+            scale_bits: 40,
+            special_bits: 55,
+            secret_hamming_weight: 64,
+            boot_levels: 0,
+            name: "small-test",
+        }
+    }
+
+    /// Functional bootstrapping set: `N=2^10` with a deep chain and a
+    /// sparse secret so `EvalMod`'s interpolation interval stays small.
+    pub fn boot_test() -> Self {
+        Self {
+            log_n: 10,
+            max_level: 20,
+            dnum: 3,
+            q0_bits: 50,
+            scale_bits: 45,
+            special_bits: 55,
+            secret_hamming_weight: 32,
+            boot_levels: 14,
+            name: "boot-test",
+        }
+    }
+
+    // ---- data-size analytics (Table III right half) ----
+
+    /// Bytes of a full-level plaintext polynomial: `(L+1) · N · 8`.
+    pub fn plaintext_bytes(&self) -> usize {
+        (self.max_level + 1) * self.n() * 8
+    }
+
+    /// Bytes of a full-level ciphertext (two polynomials).
+    pub fn ciphertext_bytes(&self) -> usize {
+        2 * self.plaintext_bytes()
+    }
+
+    /// Bytes of one evaluation key: `dnum` pairs of polynomials over
+    /// `R_PQ` (`α + L + 1` limbs each).
+    pub fn evk_bytes(&self) -> usize {
+        self.dnum * 2 * (self.alpha() + self.max_level + 1) * self.n() * 8
+    }
+}
+
+/// Key describing a cached base converter (from-set, to-set).
+type ConvKey = (Vec<usize>, Vec<usize>);
+
+/// The shared CKKS evaluation context: basis, FFT tables, converter and
+/// CRT caches.
+#[derive(Debug)]
+pub struct CkksContext {
+    params: CkksParams,
+    basis: RnsBasis,
+    special_fft: SpecialFft,
+    converters: Mutex<HashMap<ConvKey, std::sync::Arc<BaseConverter>>>,
+    crt_cache: Mutex<HashMap<Vec<usize>, std::sync::Arc<CrtContext>>>,
+}
+
+impl CkksContext {
+    /// Materializes NTT tables and prime chains for a parameter set.
+    ///
+    /// Prime layout in the basis: indices `0..=L` are the chain `C`
+    /// (`q_0` first), indices `L+1..L+α` (inclusive) are the special
+    /// primes `B`.
+    pub fn new(params: CkksParams) -> Self {
+        let n = params.n();
+        let alpha = params.alpha();
+        let q0 = generate_ntt_primes(n, params.q0_bits, 1);
+        let scale_primes =
+            generate_ntt_primes_excluding(n, params.scale_bits, params.max_level, &q0);
+        let mut chain = q0;
+        chain.extend_from_slice(&scale_primes);
+        let special = generate_ntt_primes_excluding(n, params.special_bits, alpha, &chain);
+        let mut all = chain;
+        all.extend_from_slice(&special);
+        let basis = RnsBasis::new(n, &all);
+        let special_fft = SpecialFft::new(params.slots());
+        Self {
+            params,
+            basis,
+            special_fft,
+            converters: Mutex::new(HashMap::new()),
+            crt_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &CkksParams {
+        &self.params
+    }
+
+    /// The shared RNS basis `D = C ∪ B`.
+    pub fn basis(&self) -> &RnsBasis {
+        &self.basis
+    }
+
+    /// The special FFT used by encoding.
+    pub fn special_fft(&self) -> &SpecialFft {
+        &self.special_fft
+    }
+
+    /// Basis indices of the chain limbs at level `ℓ`: `{0, …, ℓ}`.
+    pub fn chain_indices(&self, level: usize) -> Vec<usize> {
+        assert!(level <= self.params.max_level, "level out of range");
+        (0..=level).collect()
+    }
+
+    /// Basis indices of the special limbs `B`.
+    pub fn special_indices(&self) -> Vec<usize> {
+        let l = self.params.max_level;
+        let a = self.params.alpha();
+        (l + 1..=l + a).collect()
+    }
+
+    /// Basis indices of `D = C_ℓ ∪ B` for key-switching at level `ℓ`.
+    pub fn extended_indices(&self, level: usize) -> Vec<usize> {
+        let mut v = self.chain_indices(level);
+        v.extend(self.special_indices());
+        v
+    }
+
+    /// The decomposition groups `C_i` intersected with the current level:
+    /// `C_i = {q_{αi}, …, q_{α(i+1)−1}} ∩ {q_0..q_ℓ}`.
+    pub fn decomposition_groups(&self, level: usize) -> Vec<Vec<usize>> {
+        let alpha = self.params.alpha();
+        let mut groups = Vec::new();
+        let mut start = 0usize;
+        while start <= level {
+            let end = (start + alpha - 1).min(level);
+            groups.push((start..=end).collect());
+            start += alpha;
+        }
+        groups
+    }
+
+    /// A cached base converter between two index sets.
+    pub fn converter(&self, from: &[usize], to: &[usize]) -> std::sync::Arc<BaseConverter> {
+        let key = (from.to_vec(), to.to_vec());
+        let mut cache = self.converters.lock().expect("converter cache poisoned");
+        cache
+            .entry(key)
+            .or_insert_with(|| {
+                std::sync::Arc::new(BaseConverter::new(&self.basis, from, to))
+            })
+            .clone()
+    }
+
+    /// A cached CRT reconstruction context over the given basis indices.
+    pub fn crt(&self, indices: &[usize]) -> std::sync::Arc<CrtContext> {
+        let key = indices.to_vec();
+        let mut cache = self.crt_cache.lock().expect("crt cache poisoned");
+        cache
+            .entry(key)
+            .or_insert_with(|| {
+                let moduli: Vec<_> = indices.iter().map(|&i| *self.basis.modulus(i)).collect();
+                std::sync::Arc::new(CrtContext::new(&moduli))
+            })
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ark_params_match_table_iii() {
+        let p = CkksParams::ark();
+        assert_eq!(p.n(), 1 << 16);
+        assert_eq!(p.alpha(), 6);
+        // Table III: Pm = 12 MB, [[m]] = 24 MB, evk = 120 MB.
+        assert_eq!(p.plaintext_bytes(), 12 << 20);
+        assert_eq!(p.ciphertext_bytes(), 24 << 20);
+        assert_eq!(p.evk_bytes(), 120 << 20);
+    }
+
+    #[test]
+    fn lattigo_and_100x_sizes() {
+        let lat = CkksParams::lattigo();
+        assert_eq!(lat.plaintext_bytes(), 25 << 19); // 12.5 MB
+        assert_eq!(lat.ciphertext_bytes(), 25 << 20);
+        assert_eq!(lat.evk_bytes(), 150 << 20);
+        let hx = CkksParams::hundred_x();
+        assert_eq!(hx.plaintext_bytes(), 30 << 20);
+        assert_eq!(hx.ciphertext_bytes(), 60 << 20);
+        assert_eq!(hx.evk_bytes(), 240 << 20);
+    }
+
+    #[test]
+    fn f1_sizes_with_its_word_size() {
+        // F1 uses 32-bit words; Table III reports 1/2/34 MB. With our
+        // 8-byte words the formulas double: check the word-level counts.
+        let f1 = CkksParams::f1();
+        assert_eq!(f1.alpha(), 1);
+        let words = (f1.max_level + 1) * f1.n();
+        assert_eq!(words * 4, 1 << 20); // 1 MB at 4-byte words
+    }
+
+    #[test]
+    fn context_basis_layout() {
+        let ctx = CkksContext::new(CkksParams::tiny());
+        let p = ctx.params();
+        assert_eq!(ctx.basis().len(), p.max_level + 1 + p.alpha());
+        assert_eq!(ctx.chain_indices(2), vec![0, 1, 2]);
+        assert_eq!(ctx.special_indices(), vec![4, 5]);
+        assert_eq!(ctx.extended_indices(1), vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn decomposition_groups_respect_alpha() {
+        let ctx = CkksContext::new(CkksParams::tiny()); // L=3, dnum=2, α=2
+        assert_eq!(ctx.decomposition_groups(3), vec![vec![0, 1], vec![2, 3]]);
+        // partial last group at lower level
+        assert_eq!(ctx.decomposition_groups(2), vec![vec![0, 1], vec![2]]);
+        assert_eq!(ctx.decomposition_groups(0), vec![vec![0]]);
+    }
+
+    #[test]
+    fn converter_cache_returns_same_instance() {
+        let ctx = CkksContext::new(CkksParams::tiny());
+        let a = ctx.converter(&[0, 1], &[2, 3]);
+        let b = ctx.converter(&[0, 1], &[2, 3]);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn chain_primes_near_scale() {
+        let ctx = CkksContext::new(CkksParams::small());
+        let p = ctx.params();
+        for i in 1..=p.max_level {
+            let q = ctx.basis().modulus(i).value() as f64;
+            let ratio = q / p.scale();
+            assert!((ratio - 1.0).abs() < 0.01, "q_{i} strays from Δ: {ratio}");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests of the CKKS homomorphism: every primitive HE op
+//! must commute with the corresponding slot-wise operation on clear
+//! vectors, over randomized messages.
+
+use ark_ckks::encoding::max_error;
+use ark_ckks::keys::{EvalKey, RotationKeys, SecretKey};
+use ark_ckks::params::{CkksContext, CkksParams};
+use ark_math::cfft::C64;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+struct Fixture {
+    ctx: CkksContext,
+    sk: SecretKey,
+    evk: EvalKey,
+    keys: RotationKeys,
+}
+
+fn fixture() -> &'static Fixture {
+    static F: OnceLock<Fixture> = OnceLock::new();
+    F.get_or_init(|| {
+        let ctx = CkksContext::new(CkksParams::tiny());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12321);
+        let sk = ctx.gen_secret_key(&mut rng);
+        let evk = ctx.gen_mult_key(&sk, &mut rng);
+        let keys = ctx.gen_rotation_keys(&[1, 2, 3, 4, 5, 6, 7, -1, -2], true, &sk, &mut rng);
+        Fixture { ctx, sk, evk, keys }
+    })
+}
+
+fn msg_strategy(slots: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), slots)
+}
+
+fn to_c64(v: &[(f64, f64)]) -> Vec<C64> {
+    v.iter().map(|&(re, im)| C64::new(re, im)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn addition_is_homomorphic(
+        m1 in msg_strategy(16),
+        m2 in msg_strategy(16),
+        seed in 0u64..500,
+    ) {
+        let f = fixture();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let slots = f.ctx.params().slots();
+        let (z1, z2) = (pad(&to_c64(&m1), slots), pad(&to_c64(&m2), slots));
+        let scale = f.ctx.params().scale();
+        let c1 = f.ctx.encrypt(&f.ctx.encode(&z1, 2, scale), &f.sk, &mut rng);
+        let c2 = f.ctx.encrypt(&f.ctx.encode(&z2, 2, scale), &f.sk, &mut rng);
+        let out = f.ctx.decrypt_decode(&f.ctx.add(&c1, &c2), &f.sk);
+        let want: Vec<C64> = z1.iter().zip(&z2).map(|(&a, &b)| a + b).collect();
+        prop_assert!(max_error(&want, &out) < 1e-4);
+    }
+
+    #[test]
+    fn multiplication_is_homomorphic(
+        m1 in msg_strategy(16),
+        m2 in msg_strategy(16),
+        seed in 0u64..500,
+    ) {
+        let f = fixture();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let slots = f.ctx.params().slots();
+        let (z1, z2) = (pad(&to_c64(&m1), slots), pad(&to_c64(&m2), slots));
+        let scale = f.ctx.params().scale();
+        let c1 = f.ctx.encrypt(&f.ctx.encode(&z1, 2, scale), &f.sk, &mut rng);
+        let c2 = f.ctx.encrypt(&f.ctx.encode(&z2, 2, scale), &f.sk, &mut rng);
+        let prod = f.ctx.mul_rescale(&c1, &c2, &f.evk);
+        let out = f.ctx.decrypt_decode(&prod, &f.sk);
+        let want: Vec<C64> = z1.iter().zip(&z2).map(|(&a, &b)| a * b).collect();
+        prop_assert!(max_error(&want, &out) < 1e-3);
+    }
+
+    #[test]
+    fn rotation_is_homomorphic(
+        m in msg_strategy(16),
+        r in 1i64..8,
+        seed in 0u64..500,
+    ) {
+        let f = fixture();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let slots = f.ctx.params().slots();
+        let z = pad(&to_c64(&m), slots);
+        let ct = f.ctx.encrypt(&f.ctx.encode(&z, 2, f.ctx.params().scale()), &f.sk, &mut rng);
+        let out = f.ctx.decrypt_decode(&f.ctx.rotate(&ct, r, &f.keys), &f.sk);
+        let want: Vec<C64> = (0..slots).map(|i| z[(i + r as usize) % slots]).collect();
+        prop_assert!(max_error(&want, &out) < 1e-3);
+    }
+
+    #[test]
+    fn rotation_composes_with_addition(
+        m in msg_strategy(16),
+        r in 1i64..4,
+        seed in 0u64..500,
+    ) {
+        // rot(x, r) + x computed homomorphically == the clear version
+        let f = fixture();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let slots = f.ctx.params().slots();
+        let z = pad(&to_c64(&m), slots);
+        let ct = f.ctx.encrypt(&f.ctx.encode(&z, 2, f.ctx.params().scale()), &f.sk, &mut rng);
+        let sum = f.ctx.add(&f.ctx.rotate(&ct, r, &f.keys), &ct);
+        let out = f.ctx.decrypt_decode(&sum, &f.sk);
+        let want: Vec<C64> = (0..slots)
+            .map(|i| z[(i + r as usize) % slots] + z[i])
+            .collect();
+        prop_assert!(max_error(&want, &out) < 1e-3);
+    }
+
+    #[test]
+    fn conjugation_is_homomorphic(m in msg_strategy(16), seed in 0u64..500) {
+        let f = fixture();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let slots = f.ctx.params().slots();
+        let z = pad(&to_c64(&m), slots);
+        let ct = f.ctx.encrypt(&f.ctx.encode(&z, 2, f.ctx.params().scale()), &f.sk, &mut rng);
+        let out = f.ctx.decrypt_decode(&f.ctx.conjugate(&ct, &f.keys), &f.sk);
+        let want: Vec<C64> = z.iter().map(|w| w.conj()).collect();
+        prop_assert!(max_error(&want, &out) < 1e-3);
+    }
+
+    #[test]
+    fn scalar_ops_are_homomorphic(
+        m in msg_strategy(16),
+        c in -2.0f64..2.0,
+        seed in 0u64..500,
+    ) {
+        let f = fixture();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let slots = f.ctx.params().slots();
+        let z = pad(&to_c64(&m), slots);
+        let ct = f.ctx.encrypt(&f.ctx.encode(&z, 2, f.ctx.params().scale()), &f.sk, &mut rng);
+        let shifted = f.ctx.add_const(&ct, c);
+        let scaled = f.ctx.rescale(&f.ctx.mul_const(&ct, c));
+        let out_add = f.ctx.decrypt_decode(&shifted, &f.sk);
+        let out_mul = f.ctx.decrypt_decode(&scaled, &f.sk);
+        let want_add: Vec<C64> = z.iter().map(|&w| w + C64::new(c, 0.0)).collect();
+        let want_mul: Vec<C64> = z.iter().map(|&w| w.scale(c)).collect();
+        prop_assert!(max_error(&want_add, &out_add) < 1e-4);
+        prop_assert!(max_error(&want_mul, &out_mul) < 1e-4);
+    }
+
+    #[test]
+    fn mul_commutes(m1 in msg_strategy(16), m2 in msg_strategy(16), seed in 0u64..500) {
+        let f = fixture();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let slots = f.ctx.params().slots();
+        let (z1, z2) = (pad(&to_c64(&m1), slots), pad(&to_c64(&m2), slots));
+        let scale = f.ctx.params().scale();
+        let c1 = f.ctx.encrypt(&f.ctx.encode(&z1, 2, scale), &f.sk, &mut rng);
+        let c2 = f.ctx.encrypt(&f.ctx.encode(&z2, 2, scale), &f.sk, &mut rng);
+        let ab = f.ctx.decrypt_decode(&f.ctx.mul_rescale(&c1, &c2, &f.evk), &f.sk);
+        let ba = f.ctx.decrypt_decode(&f.ctx.mul_rescale(&c2, &c1, &f.evk), &f.sk);
+        prop_assert!(max_error(&ab, &ba) < 1e-3);
+    }
+}
+
+fn pad(v: &[C64], slots: usize) -> Vec<C64> {
+    let mut out = vec![C64::zero(); slots];
+    out[..v.len().min(slots)].copy_from_slice(&v[..v.len().min(slots)]);
+    out
+}

@@ -1,0 +1,131 @@
+//! Chiplet-partitioned ARK — the paper's stated future work
+//! (Section VIII: "Multi-chip modules and 3D integration are promising
+//! solutions that can lower the fabrication cost by dividing monolithic
+//! FHE accelerator designs into chiplet designs. It is our future work
+//! to explore such chiplet FHE accelerator designs.").
+//!
+//! This module implements that exploration: the 4 clusters and the
+//! scratchpad are split across `k` chiplets; the alternating data
+//! distribution's all-to-all exchanges now cross die-to-die (D2D) links
+//! for a `1 − 1/k` fraction of their volume, so the effective NoC
+//! bandwidth degrades toward the D2D bandwidth as `k` grows, while the
+//! fabrication cost drops superlinearly (defect-limited yield).
+
+use crate::config::ArkConfig;
+
+/// A chiplet partitioning of the baseline ARK.
+#[derive(Debug, Clone, Copy)]
+pub struct ChipletPlan {
+    /// Number of chiplets the 4-cluster design is split into (1 =
+    /// monolithic).
+    pub chiplets: usize,
+    /// Aggregate die-to-die bandwidth in GB/s (UCIe-class links; the
+    /// on-die NoC keeps its 8 TB/s within each chiplet).
+    pub d2d_gbps: f64,
+}
+
+impl ChipletPlan {
+    /// Monolithic baseline.
+    pub fn monolithic() -> Self {
+        Self {
+            chiplets: 1,
+            d2d_gbps: f64::INFINITY,
+        }
+    }
+
+    /// A plan with UCIe-class aggregate D2D bandwidth.
+    pub fn new(chiplets: usize, d2d_gbps: f64) -> Self {
+        assert!(chiplets >= 1);
+        Self { chiplets, d2d_gbps }
+    }
+
+    /// Fraction of all-to-all traffic that crosses chiplet boundaries:
+    /// `1 − 1/k` under an even spread of lanes.
+    pub fn cross_die_fraction(&self) -> f64 {
+        1.0 - 1.0 / self.chiplets as f64
+    }
+
+    /// Effective NoC bandwidth: every word still traverses the on-die
+    /// NoC, and the cross-die fraction additionally transits the D2D
+    /// links — the sustained all-to-all rate is the binding one.
+    pub fn effective_noc_gbps(&self, noc_gbps: f64) -> f64 {
+        if self.chiplets == 1 {
+            return noc_gbps;
+        }
+        let f = self.cross_die_fraction();
+        noc_gbps.min(self.d2d_gbps / f)
+    }
+
+    /// Derives the hardware configuration for this plan.
+    pub fn config(&self) -> ArkConfig {
+        let base = ArkConfig::base();
+        ArkConfig {
+            name: if self.chiplets == 1 {
+                "ARK monolithic".into()
+            } else {
+                format!("ARK {}-chiplet ({} GB/s D2D)", self.chiplets, self.d2d_gbps)
+            },
+            noc_gbps: self.effective_noc_gbps(base.noc_gbps),
+            ..base
+        }
+    }
+
+    /// Relative fabrication cost under a defect-yield model where cost
+    /// grows superlinearly with die area (`cost ∝ area^1.5`, the
+    /// Hennessy–Patterson rule of thumb the paper cites as \[45\]):
+    /// splitting a die of area `A` into `k` dies of `A/k` plus a
+    /// packaging overhead per extra die.
+    pub fn relative_cost(&self, monolithic_area_mm2: f64) -> f64 {
+        let k = self.chiplets as f64;
+        let die = k * (monolithic_area_mm2 / k).powf(1.5);
+        let packaging = 1.0 + 0.05 * (k - 1.0); // 5% per extra die
+        die * packaging / monolithic_area_mm2.powf(1.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::CompileOptions;
+    use crate::sched::run;
+    use ark_ckks::minks::KeyStrategy;
+    use ark_ckks::params::CkksParams;
+    use ark_workloads::bootstrap::{bootstrap_trace, BootstrapTraceConfig};
+
+    #[test]
+    fn monolithic_is_identity() {
+        let plan = ChipletPlan::monolithic();
+        assert_eq!(plan.cross_die_fraction(), 0.0);
+        assert_eq!(plan.effective_noc_gbps(8000.0), 8000.0);
+        assert!((plan.relative_cost(418.3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_chiplets_cost_less_but_slow_the_noc() {
+        let two = ChipletPlan::new(2, 1000.0);
+        let four = ChipletPlan::new(4, 1000.0);
+        assert!(two.relative_cost(418.3) < 1.0);
+        assert!(four.relative_cost(418.3) < two.relative_cost(418.3));
+        assert!(two.effective_noc_gbps(8000.0) > four.effective_noc_gbps(8000.0));
+        assert!(four.effective_noc_gbps(8000.0) > 1000.0, "bounded below by D2D");
+    }
+
+    #[test]
+    fn chiplet_performance_degrades_gracefully() {
+        let params = CkksParams::ark();
+        let t = bootstrap_trace(&params, &BootstrapTraceConfig::full(&params, KeyStrategy::MinKs));
+        let mono = run(&t, &params, &ChipletPlan::monolithic().config(), CompileOptions::all_on());
+        let quad = run(&t, &params, &ChipletPlan::new(4, 1000.0).config(), CompileOptions::all_on());
+        let slowdown = quad.cycles as f64 / mono.cycles as f64;
+        assert!(
+            (1.0..2.5).contains(&slowdown),
+            "4-chiplet slowdown {slowdown:.2} should be moderate, not catastrophic"
+        );
+    }
+
+    #[test]
+    fn generous_d2d_approaches_monolithic() {
+        let plan = ChipletPlan::new(2, 1e9);
+        assert!((plan.effective_noc_gbps(8000.0) - 8000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,447 @@
+//! The ARK compiler: lowers an HE-op trace to a primary-function graph.
+//!
+//! This mirrors the paper's performance-modeling flow (Section VI): "the
+//! simulator takes an HE program … and converts it to a data dependence
+//! graph of primary HE functions", scheduling against structural
+//! hazards. Lowering captures the three co-design levers:
+//!
+//! - **Inter-operation key reuse** — evaluation keys are cached in the
+//!   scratchpad (LRU by bytes); a key-switch only emits an HBM load on a
+//!   miss, so Min-KS traces (few distinct keys) generate a fraction of
+//!   the baseline's evk traffic.
+//! - **OF-Limb** — `PMult`/`PAdd` either stream `(ℓ+1)·N` plaintext
+//!   words or stream `N` and regenerate `ℓ` limbs on the NTTUs (Eq. 12).
+//! - **Data distribution** — each BConvRoutine costs one `(α+ℓ+1)·N`-word
+//!   all-to-all under the alternating policy; the limb-wise-only
+//!   alternative instead redistributes `2·dnum'·(α+ℓ+1)·N` words after
+//!   the evk product when `dnum' > 2` (Section V-B).
+
+use crate::config::{ArkConfig, DataDistribution};
+use crate::pf::{DataKind, NodeId, PfGraph, PfNode, Resource};
+use ark_ckks::params::CkksParams;
+use ark_workloads::counts::{evk_words_at_level, pieces_at_level, plaintext_words_at_level};
+use ark_workloads::trace::{HeOp, KeyId, Trace};
+use std::collections::HashMap;
+
+/// Compilation switches (the algorithm toggles of Fig. 7).
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// Regenerate plaintext limbs on-chip instead of loading them.
+    pub of_limb: bool,
+}
+
+impl CompileOptions {
+    /// Everything on (the shipping ARK configuration).
+    pub fn all_on() -> Self {
+        Self { of_limb: true }
+    }
+
+    /// Algorithms off (the Fig. 7 baseline; key reuse still follows the
+    /// trace's key strategy).
+    pub fn baseline() -> Self {
+        Self { of_limb: false }
+    }
+}
+
+/// How far ahead evk prefetches may run, in key-switch ops
+/// (double-buffering).
+const PREFETCH_DEPTH: usize = 2;
+
+struct EvkCache {
+    capacity: usize,
+    used: usize,
+    /// key → (bytes, level loaded at, last-use stamp)
+    entries: HashMap<KeyId, (usize, usize, u64)>,
+    clock: u64,
+}
+
+impl EvkCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            used: 0,
+            entries: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Returns true on a hit; on a miss inserts the key (evicting LRU
+    /// entries as needed).
+    fn access(&mut self, key: KeyId, bytes: usize, level: usize) -> bool {
+        self.clock += 1;
+        if let Some(e) = self.entries.get_mut(&key) {
+            if e.1 >= level {
+                e.2 = self.clock;
+                return true;
+            }
+            // resident but truncated below the needed level: reload
+            self.used -= e.0;
+            self.entries.remove(&key);
+        }
+        if bytes > self.capacity {
+            // key can never be resident; always streamed
+            return false;
+        }
+        while self.used + bytes > self.capacity {
+            let victim = *self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, _, stamp))| *stamp)
+                .expect("cache non-empty when over capacity")
+                .0;
+            let (b, _, _) = self.entries.remove(&victim).expect("victim present");
+            self.used -= b;
+        }
+        self.entries.insert(key, (bytes, level, self.clock));
+        self.used += bytes;
+        false
+    }
+}
+
+struct Compiler<'a> {
+    g: PfGraph,
+    params: &'a CkksParams,
+    cfg: &'a ArkConfig,
+    opts: CompileOptions,
+    /// End node of the previous HE op (program-order serialization).
+    last: Option<NodeId>,
+    /// End nodes of completed key-switches, for prefetch pacing.
+    ks_ends: Vec<NodeId>,
+    evk_cache: EvkCache,
+}
+
+impl<'a> Compiler<'a> {
+    fn n(&self) -> usize {
+        self.params.n()
+    }
+
+    fn butterflies(&self, limbs: usize) -> u64 {
+        let n = self.n();
+        (limbs * (n / 2) * n.trailing_zeros() as usize) as u64
+    }
+
+    fn dep_last(&self) -> Vec<NodeId> {
+        self.last.into_iter().collect()
+    }
+
+    fn push(&mut self, resource: Resource, work: u64, latency: u64, deps: Vec<NodeId>) -> NodeId {
+        self.g.push(
+            PfNode {
+                resource,
+                work,
+                data: None,
+                latency,
+            },
+            deps,
+        )
+    }
+
+    fn push_load(&mut self, kind: DataKind, words: u64, deps: Vec<NodeId>) -> NodeId {
+        self.g.push(
+            PfNode {
+                resource: Resource::Hbm,
+                work: words,
+                data: Some(kind),
+                latency: 100,
+            },
+            deps,
+        )
+    }
+
+    /// One BConvRoutine (Alg. 1): INTT → all-to-all → BConv → NTT.
+    /// Returns the end node.
+    fn bconv_routine(&mut self, from: usize, to: usize, deps: Vec<NodeId>) -> NodeId {
+        let n = self.n() as u64;
+        let intt = self.push(Resource::Nttu, self.butterflies(from), 64, deps);
+        let pre = if self.cfg.distribution == DataDistribution::Alternating {
+            // switch to coefficient-wise: (from + to)·N words all-to-all
+            self.push(
+                Resource::Noc,
+                (from + to) as u64 * n,
+                32,
+                vec![intt],
+            )
+        } else {
+            intt
+        };
+        let bconv = self.push(
+            Resource::BconvU,
+            (from * to) as u64 * n + from as u64 * n, // MAC matmul + step 1
+            32,
+            vec![pre],
+        );
+        self.push(Resource::Nttu, self.butterflies(to), 64, vec![bconv])
+    }
+
+    /// Generalized key-switching (Alg. 2) at `level` using `key`.
+    fn key_switch(&mut self, level: usize, key: KeyId, extra_deps: Vec<NodeId>) -> NodeId {
+        let alpha = self.params.alpha();
+        let ext = level + 1 + alpha;
+        let pieces = pieces_at_level(level, alpha);
+        let n = self.n() as u64;
+
+        // evk load (on cache miss), paced PREFETCH_DEPTH key-switches back.
+        let evk_bytes = evk_words_at_level(self.params, level) * 8;
+        let hit = self.evk_cache.access(key, evk_bytes, level);
+        let load = if hit {
+            None
+        } else {
+            let pace = if self.ks_ends.len() >= PREFETCH_DEPTH {
+                vec![self.ks_ends[self.ks_ends.len() - PREFETCH_DEPTH]]
+            } else {
+                vec![]
+            };
+            Some(self.push_load(DataKind::Evk, (evk_bytes / 8) as u64, pace))
+        };
+
+        // decomposition pieces, each extended by a BConvRoutine
+        let mut piece_ends = Vec::with_capacity(pieces);
+        let mut start = 0usize;
+        while start <= level {
+            let sz = alpha.min(level + 1 - start);
+            let mut deps = self.dep_last();
+            deps.extend(extra_deps.iter().copied());
+            let end = self.bconv_routine(sz, ext - sz, deps);
+            piece_ends.push(end);
+            start += alpha;
+        }
+
+        // evk inner product and accumulation on the MADUs
+        let mut deps = piece_ends;
+        if let Some(l) = load {
+            deps.push(l);
+        }
+        let mul = self.push(
+            Resource::Madu,
+            (2 * pieces * ext) as u64 * n,
+            8,
+            deps,
+        );
+
+        // limb-wise-only: redistribute for accumulation (Section V-B)
+        let mul = if self.cfg.distribution == DataDistribution::LimbWiseOnly {
+            let words = if pieces > 2 {
+                (2 * pieces * ext) as u64 * n
+            } else {
+                (ext as u64) * n
+            };
+            self.push(Resource::Noc, words, 32, vec![mul])
+        } else {
+            mul
+        };
+
+        // ModDown: two polynomials back to R_Q, then ×P^{-1}
+        let down_b = self.bconv_routine(alpha, level + 1, vec![mul]);
+        let down_a = self.bconv_routine(alpha, level + 1, vec![mul]);
+        let end = self.push(
+            Resource::Madu,
+            (2 * (level + 1)) as u64 * n,
+            8,
+            vec![down_b, down_a],
+        );
+        self.ks_ends.push(end);
+        end
+    }
+
+    fn plaintext_operand(&mut self, level: usize) -> NodeId {
+        let words = plaintext_words_at_level(self.params, level, self.opts.of_limb) as u64;
+        let load = self.push_load(DataKind::Plaintext, words, vec![]);
+        if self.opts.of_limb && level > 0 {
+            // Eq. 12: regenerate ℓ limbs with NTTs (plus a cheap mod-reduce
+            // on the MADUs, folded into the NTT node's latency)
+            self.push(Resource::Nttu, self.butterflies(level), 64, vec![load])
+        } else {
+            load
+        }
+    }
+
+    fn lower(&mut self, op: &HeOp) {
+        let n = self.n() as u64;
+        let end = match *op {
+            HeOp::HRot { level, key, .. } => {
+                let auto = self.push(
+                    Resource::AutoU,
+                    (2 * (level + 1)) as u64 * n,
+                    16,
+                    self.dep_last(),
+                );
+                self.key_switch(level, key, vec![auto])
+            }
+            HeOp::HConj { level } => {
+                let auto = self.push(
+                    Resource::AutoU,
+                    (2 * (level + 1)) as u64 * n,
+                    16,
+                    self.dep_last(),
+                );
+                self.key_switch(level, KeyId::Conj, vec![auto])
+            }
+            HeOp::HMult { level } => {
+                let products = self.push(
+                    Resource::Madu,
+                    (4 * (level + 1)) as u64 * n,
+                    8,
+                    self.dep_last(),
+                );
+                self.key_switch(level, KeyId::Mult, vec![products])
+            }
+            HeOp::PMult { level, fresh_plaintext } => {
+                let mut deps = self.dep_last();
+                if fresh_plaintext {
+                    deps.push(self.plaintext_operand(level));
+                }
+                self.push(Resource::Madu, (2 * (level + 1)) as u64 * n, 8, deps)
+            }
+            HeOp::PAdd { level, fresh_plaintext } => {
+                let mut deps = self.dep_last();
+                if fresh_plaintext {
+                    deps.push(self.plaintext_operand(level));
+                }
+                self.push(Resource::Madu, (level + 1) as u64 * n, 8, deps)
+            }
+            HeOp::HAdd { level } => {
+                self.push(Resource::Madu, (2 * (level + 1)) as u64 * n, 8, self.dep_last())
+            }
+            HeOp::CMult { level } => {
+                self.push(Resource::Madu, (2 * (level + 1)) as u64 * n, 8, self.dep_last())
+            }
+            HeOp::CAdd { level } => {
+                self.push(Resource::Madu, (level + 1) as u64 * n, 8, self.dep_last())
+            }
+            HeOp::HRescale { level } => {
+                let intt = self.push(Resource::Nttu, self.butterflies(2), 64, self.dep_last());
+                let ntt = self.push(
+                    Resource::Nttu,
+                    self.butterflies(2 * level),
+                    64,
+                    vec![intt],
+                );
+                self.push(Resource::Madu, (2 * level) as u64 * n, 8, vec![ntt])
+            }
+            HeOp::ModRaise => {
+                let l = self.params.max_level;
+                let intt = self.push(Resource::Nttu, self.butterflies(2), 64, self.dep_last());
+                self.push(Resource::Nttu, self.butterflies(2 * (l + 1)), 64, vec![intt])
+            }
+        };
+        self.last = Some(end);
+    }
+}
+
+/// Compiles a trace into a primary-function dependence graph for the
+/// given hardware configuration and algorithm options.
+pub fn compile(
+    trace: &Trace,
+    params: &CkksParams,
+    cfg: &ArkConfig,
+    opts: CompileOptions,
+) -> PfGraph {
+    let max_limbs = params.max_level + 1 + params.alpha();
+    let mut c = Compiler {
+        g: PfGraph::new(),
+        params,
+        cfg,
+        opts,
+        last: None,
+        ks_ends: Vec::new(),
+        evk_cache: EvkCache::new(cfg.evk_cache_bytes(params.n(), max_limbs)),
+    };
+    for op in trace.ops() {
+        c.lower(op);
+    }
+    c.g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ark_ckks::minks::KeyStrategy;
+    use ark_workloads::hdft::{hdft_trace, HdftConfig};
+
+    fn params() -> CkksParams {
+        CkksParams::ark()
+    }
+
+    #[test]
+    fn minks_trace_loads_far_fewer_evk_bytes() {
+        let p = params();
+        let cfg = ArkConfig::base();
+        let base = compile(
+            &hdft_trace(&HdftConfig::paper_hidft(&p, KeyStrategy::Baseline)),
+            &p,
+            &cfg,
+            CompileOptions::baseline(),
+        );
+        let minks = compile(
+            &hdft_trace(&HdftConfig::paper_hidft(&p, KeyStrategy::MinKs)),
+            &p,
+            &cfg,
+            CompileOptions::baseline(),
+        );
+        let b = base.hbm_words(DataKind::Evk);
+        let m = minks.hbm_words(DataKind::Evk);
+        assert!(
+            b as f64 / m as f64 > 5.0,
+            "baseline {b} words vs minks {m} words"
+        );
+    }
+
+    #[test]
+    fn of_limb_cuts_plaintext_traffic() {
+        let p = params();
+        let cfg = ArkConfig::base();
+        let t = hdft_trace(&HdftConfig::paper_hidft(&p, KeyStrategy::MinKs));
+        let without = compile(&t, &p, &cfg, CompileOptions { of_limb: false });
+        let with = compile(&t, &p, &cfg, CompileOptions { of_limb: true });
+        let ratio = without.hbm_words(DataKind::Plaintext) as f64
+            / with.hbm_words(DataKind::Plaintext) as f64;
+        // H-IDFT runs at levels 23..21 → ratio ≈ ℓ+1 ≈ 23-24
+        assert!(ratio > 20.0, "ratio {ratio}");
+        // and pays NTT regeneration work
+        assert!(
+            with.total_work(Resource::Nttu) > without.total_work(Resource::Nttu)
+        );
+    }
+
+    #[test]
+    fn half_sram_reloads_keys() {
+        let p = params();
+        let t = hdft_trace(&HdftConfig::paper_hidft(&p, KeyStrategy::MinKs));
+        let big = compile(&t, &p, &ArkConfig::base(), CompileOptions::all_on());
+        let small = compile(&t, &p, &ArkConfig::half_sram(), CompileOptions::all_on());
+        assert!(
+            small.hbm_words(DataKind::Evk) > big.hbm_words(DataKind::Evk),
+            "smaller scratchpad must reload evks"
+        );
+    }
+
+    #[test]
+    fn limb_wise_only_moves_more_noc_words() {
+        let p = params();
+        let t = hdft_trace(&HdftConfig::paper_hidft(&p, KeyStrategy::MinKs));
+        let alt = compile(&t, &p, &ArkConfig::limb_wise_only(), CompileOptions::all_on());
+        let base = compile(&t, &p, &ArkConfig::base(), CompileOptions::all_on());
+        // dnum' = 4 > 2 at the top of the chain: 2·dnum vs (dnum + 2)
+        assert!(
+            alt.total_work(Resource::Noc) > base.total_work(Resource::Noc),
+            "alt {} vs base {}",
+            alt.total_work(Resource::Noc),
+            base.total_work(Resource::Noc)
+        );
+    }
+
+    #[test]
+    fn evk_cache_lru_semantics() {
+        let mut cache = EvkCache::new(250);
+        assert!(!cache.access(KeyId::Rot(1), 100, 5)); // miss
+        assert!(cache.access(KeyId::Rot(1), 100, 5)); // hit
+        assert!(!cache.access(KeyId::Rot(2), 100, 5)); // miss
+        assert!(!cache.access(KeyId::Rot(3), 100, 5)); // miss, evicts Rot(1)
+        assert!(!cache.access(KeyId::Rot(1), 100, 5)); // miss again
+        // level upgrade forces a reload
+        assert!(!cache.access(KeyId::Rot(1), 120, 9));
+        // oversized keys are never resident
+        assert!(!cache.access(KeyId::Mult, 1000, 5));
+        assert!(!cache.access(KeyId::Mult, 1000, 5));
+    }
+}

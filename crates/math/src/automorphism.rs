@@ -1,0 +1,240 @@
+//! Automorphisms `ψ_r : X ↦ X^{g}` of the ring `Z_q[X]/(X^N + 1)`.
+//!
+//! CKKS slot rotation (`HRot`) applies the Galois automorphism with
+//! `g = 5^r mod 2N` to every limb (Eq. 5 of the paper); complex
+//! conjugation uses `g = 2N − 1`. On coefficients the map sends the
+//! `i`-th coefficient to position `i·g mod 2N`, negating when the
+//! exponent wraps past `N` (since `X^N = −1`). On the evaluation
+//! representation it is a pure permutation of the NTT points — the
+//! structured permutation ARK's AutoU implements with strided loads and
+//! an 8-stage internal shuffle (Section V-D).
+
+use crate::modulus::Modulus;
+
+/// A Galois element `g`, an odd integer modulo `2N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GaloisElement(pub u64);
+
+impl GaloisElement {
+    /// Galois element for a circular left rotation by `r` slots:
+    /// `g = 5^r mod 2N`. Negative `r` rotates right.
+    pub fn from_rotation(r: i64, n: usize) -> Self {
+        let two_n = 2 * n as u64;
+        // 5 has order N/2 modulo 2N; reduce the exponent accordingly.
+        let order = (n / 2) as u64;
+        let r_red = r.rem_euclid(order as i64) as u64;
+        let mut g = 1u64;
+        let mut base = 5u64 % two_n;
+        let mut e = r_red;
+        while e > 0 {
+            if e & 1 == 1 {
+                g = g * base % two_n;
+            }
+            base = base * base % two_n;
+            e >>= 1;
+        }
+        GaloisElement(g)
+    }
+
+    /// Galois element for complex conjugation: `g = 2N − 1`.
+    pub fn conjugation(n: usize) -> Self {
+        GaloisElement(2 * n as u64 - 1)
+    }
+
+    /// The identity automorphism.
+    pub fn identity() -> Self {
+        GaloisElement(1)
+    }
+}
+
+/// Applies `a(X) ↦ a(X^g)` to a limb in coefficient representation.
+///
+/// # Panics
+///
+/// Panics if `g` is even (such maps are not ring automorphisms here).
+pub fn apply_coeff(input: &[u64], g: GaloisElement, q: &Modulus) -> Vec<u64> {
+    let n = input.len();
+    let two_n = 2 * n as u64;
+    assert!(g.0 % 2 == 1, "galois element must be odd");
+    let g = g.0 % two_n;
+    let mut out = vec![0u64; n];
+    let mut exp = 0u64; // i * g mod 2N
+    for &coeff in input.iter() {
+        let (idx, negate) = if exp < n as u64 {
+            (exp as usize, false)
+        } else {
+            ((exp - n as u64) as usize, true)
+        };
+        out[idx] = if negate { q.neg(coeff) } else { coeff };
+        exp += g;
+        if exp >= two_n {
+            exp -= two_n;
+        }
+    }
+    out
+}
+
+/// Precomputes the evaluation-representation permutation for `g`, for
+/// data stored in the bit-reversed order produced by
+/// [`crate::ntt::NttTable::forward`]. `out[s] = in[perm[s]]`.
+pub fn eval_permutation(n: usize, g: GaloisElement) -> Vec<usize> {
+    assert!(n.is_power_of_two());
+    let bits = n.trailing_zeros();
+    let two_n = 2 * n as u64;
+    let g = g.0 % two_n;
+    let br = |x: usize| x.reverse_bits() >> (usize::BITS - bits);
+    (0..n)
+        .map(|s| {
+            // storage s holds the evaluation at exponent e = 2*br(s)+1;
+            // the automorphism output at e is the input at e*g mod 2N.
+            let e = 2 * br(s) as u64 + 1;
+            let src_exp = e * g % two_n;
+            let src_nat = ((src_exp - 1) / 2) as usize;
+            br(src_nat)
+        })
+        .collect()
+}
+
+/// Applies the automorphism to a limb in evaluation (bit-reversed NTT)
+/// representation using a precomputed permutation from
+/// [`eval_permutation`].
+pub fn apply_eval(input: &[u64], perm: &[usize]) -> Vec<u64> {
+    debug_assert_eq!(input.len(), perm.len());
+    perm.iter().map(|&src| input[src]).collect()
+}
+
+/// The AutoU observation (Section V-D): with 256 lanes, the coefficients
+/// consumed each cycle have a stride of 256, and after the automorphism
+/// they map back onto a single strided set. This helper verifies the
+/// property for arbitrary lane counts; it returns, for the block of
+/// indices `{i, i + lanes, i + 2·lanes, …}`, the common residue class
+/// `ψ_g(i) mod lanes` of the destinations.
+pub fn strided_block_destination(n: usize, lanes: usize, g: GaloisElement, i: usize) -> usize {
+    assert!(lanes.is_power_of_two() && n % lanes == 0);
+    let two_n = 2 * n as u64;
+    // Destination index of coefficient j is j*g mod 2N, folded mod N.
+    // For j = i + k·lanes, j*g ≡ i·g + k·lanes·g (mod 2N); modulo `lanes`
+    // the k-term vanishes because lanes | lanes·g.
+    ((i as u64 * (g.0 % two_n)) % lanes as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ntt::NttTable;
+    use crate::primes::generate_ntt_primes;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(n: usize) -> (Modulus, NttTable) {
+        let q = Modulus::new(generate_ntt_primes(n, 40, 1)[0]).unwrap();
+        (q, NttTable::new(q, n))
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let (q, _) = setup(16);
+        let a: Vec<u64> = (0..16).collect();
+        assert_eq!(apply_coeff(&a, GaloisElement::identity(), &q), a);
+    }
+
+    #[test]
+    fn conjugation_is_involution() {
+        let (q, _) = setup(32);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a: Vec<u64> = (0..32).map(|_| rng.gen::<u64>() % q.value()).collect();
+        let g = GaloisElement::conjugation(32);
+        let b = apply_coeff(&apply_coeff(&a, g, &q), g, &q);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rotation_elements_compose() {
+        let n = 64;
+        let g1 = GaloisElement::from_rotation(3, n);
+        let g2 = GaloisElement::from_rotation(5, n);
+        let g3 = GaloisElement::from_rotation(8, n);
+        assert_eq!(g1.0 * g2.0 % (2 * n as u64), g3.0);
+    }
+
+    #[test]
+    fn rotation_by_order_wraps_to_identity() {
+        let n = 64;
+        let g = GaloisElement::from_rotation(n as i64 / 2, n);
+        assert_eq!(g, GaloisElement::identity());
+    }
+
+    #[test]
+    fn negative_rotation_inverts() {
+        let n = 128;
+        let g = GaloisElement::from_rotation(7, n);
+        let gi = GaloisElement::from_rotation(-7, n);
+        assert_eq!(g.0 * gi.0 % (2 * n as u64), 1);
+    }
+
+    #[test]
+    fn coeff_map_is_ring_automorphism_on_products() {
+        // ψ(a*b) == ψ(a)*ψ(b) in the negacyclic ring.
+        let n = 32;
+        let (q, t) = setup(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let a: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % q.value()).collect();
+        let b: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % q.value()).collect();
+        let g = GaloisElement::from_rotation(3, n);
+        let lhs = apply_coeff(&t.negacyclic_mul(&a, &b), g, &q);
+        let rhs = t.negacyclic_mul(&apply_coeff(&a, g, &q), &apply_coeff(&b, g, &q));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn eval_permutation_matches_coeff_path() {
+        // INTT → apply_coeff → NTT must equal apply_eval on NTT data.
+        let n = 64;
+        let (q, t) = setup(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let coeffs: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % q.value()).collect();
+        for r in [1i64, 2, 5, -3] {
+            let g = GaloisElement::from_rotation(r, n);
+            let mut eval = coeffs.clone();
+            t.forward(&mut eval);
+            let perm = eval_permutation(n, g);
+            let via_eval = apply_eval(&eval, &perm);
+            let mut via_coeff = apply_coeff(&coeffs, g, &q);
+            t.forward(&mut via_coeff);
+            assert_eq!(via_eval, via_coeff, "rotation {r}");
+        }
+    }
+
+    #[test]
+    fn eval_permutation_is_a_permutation() {
+        let n = 256;
+        for r in [1i64, 17, 63] {
+            let perm = eval_permutation(n, GaloisElement::from_rotation(r, n));
+            let mut seen = vec![false; n];
+            for &p in &perm {
+                assert!(!seen[p]);
+                seen[p] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn strided_blocks_stay_strided() {
+        // Section V-D: a stride-`lanes` block maps into one residue class.
+        let n = 1 << 12;
+        let lanes = 256;
+        let g = GaloisElement::from_rotation(5, n);
+        let two_n = 2 * n as u64;
+        for i in [0usize, 1, 100, 255] {
+            let expect = strided_block_destination(n, lanes, g, i);
+            for k in 0..(n / lanes) {
+                let j = i + k * lanes;
+                let dest = (j as u64 * g.0 % two_n) % n as u64;
+                assert_eq!(
+                    (dest % lanes as u64) as usize,
+                    expect,
+                    "lane residue must be uniform within the block"
+                );
+            }
+        }
+    }
+}

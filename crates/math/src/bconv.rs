@@ -1,0 +1,321 @@
+//! Base conversion (BConv) between RNS prime-limb sets (Eq. 4).
+//!
+//! `BConv_{B→C}` takes a polynomial known modulo the primes of `B` and
+//! produces its residues modulo the primes of `C` using the fast
+//! (approximate) RNS base conversion of Bajard et al. \[11\]:
+//!
+//! ```text
+//! [P]_C = { Σ_j ([P]_{p_j} · p̂_j⁻¹ mod p_j) · (p̂_j mod q_i) }_{q_i ∈ C}
+//! ```
+//!
+//! The first step scales each source limb by `p̂_j⁻¹ mod p_j` (4% of the
+//! work — ARK fuses it into the NTTU's BConv-mult unit); the second step
+//! is an `(|C| × |B|) · (|B| × N)` matrix product against the *base
+//! table* `(p̂_j mod q_i)` — 96% of the work, and exactly what the
+//! BConvU's output-stationary MAC systolic array computes (Section V-A).
+//!
+//! The conversion must run on the coefficient representation, hence the
+//! `INTT → BConv → NTT` *BConvRoutine* (Alg. 1) provided here too.
+
+use crate::crt::BigUint;
+use crate::poly::{Representation, RnsBasis, RnsPoly};
+
+/// Precomputed constants for converting from one limb set to another.
+#[derive(Debug, Clone)]
+pub struct BaseConverter {
+    from: Vec<usize>,
+    to: Vec<usize>,
+    /// p̂_j⁻¹ mod p_j, one per source limb.
+    phat_inv: Vec<u64>,
+    /// Base table: `base_table[i][j] = p̂_j mod q_i`.
+    base_table: Vec<Vec<u64>>,
+}
+
+impl BaseConverter {
+    /// Builds conversion constants from basis indices `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is empty or the sets overlap.
+    pub fn new(basis: &RnsBasis, from: &[usize], to: &[usize]) -> Self {
+        assert!(!from.is_empty(), "source base must be non-empty");
+        for t in to {
+            assert!(!from.contains(t), "source and target bases must be disjoint");
+        }
+        // p̂_j = Π_{k≠j} p_k, computed exactly then reduced.
+        let phats: Vec<BigUint> = (0..from.len())
+            .map(|j| {
+                let mut acc = BigUint::from_u64(1);
+                for (k, &fk) in from.iter().enumerate() {
+                    if k != j {
+                        acc = acc.mul_u64(basis.modulus(fk).value());
+                    }
+                }
+                acc
+            })
+            .collect();
+        let phat_inv: Vec<u64> = from
+            .iter()
+            .zip(&phats)
+            .map(|(&fj, phat)| {
+                let p = basis.modulus(fj);
+                p.inv(phat.rem_u64(p.value()))
+            })
+            .collect();
+        let base_table: Vec<Vec<u64>> = to
+            .iter()
+            .map(|&ti| {
+                let q = basis.modulus(ti).value();
+                phats.iter().map(|phat| phat.rem_u64(q)).collect()
+            })
+            .collect();
+        Self {
+            from: from.to_vec(),
+            to: to.to_vec(),
+            phat_inv,
+            base_table,
+        }
+    }
+
+    /// Source basis indices.
+    pub fn from_indices(&self) -> &[usize] {
+        &self.from
+    }
+
+    /// Target basis indices.
+    pub fn to_indices(&self) -> &[usize] {
+        &self.to
+    }
+
+    /// The base table `(p̂_j mod q_i)` — the matrix ARK's broadcast units
+    /// stream into the MAC lanes. Shape `|to| × |from|`.
+    pub fn base_table(&self) -> &[Vec<u64>] {
+        &self.base_table
+    }
+
+    /// Step 1 of BConv: `v_j = [P]_{p_j} · p̂_j⁻¹ mod p_j`.
+    ///
+    /// Input/output are coefficient-representation limbs of the source
+    /// base. ARK executes this inside the NTTU's BConv-mult unit on the
+    /// INTT output path (Fig. 5).
+    pub fn scale_inputs(&self, poly: &RnsPoly, basis: &RnsBasis) -> Vec<Vec<u64>> {
+        assert_eq!(
+            poly.representation(),
+            Representation::Coefficient,
+            "BConv requires the coefficient representation"
+        );
+        self.from
+            .iter()
+            .zip(&self.phat_inv)
+            .map(|(&fj, &inv)| {
+                let pos = poly
+                    .position_of(fj)
+                    .unwrap_or_else(|| panic!("source limb {fj} missing"));
+                let p = basis.modulus(fj);
+                let pre = p.shoup(inv);
+                poly.limb(pos).iter().map(|&x| p.mul_shoup(x, &pre)).collect()
+            })
+            .collect()
+    }
+
+    /// Step 2 of BConv: the blocked MAC matrix product producing the
+    /// target limbs from pre-scaled source limbs.
+    pub fn accumulate(&self, scaled: &[Vec<u64>], basis: &RnsBasis) -> Vec<Vec<u64>> {
+        let n = scaled.first().map_or(0, Vec::len);
+        self.to
+            .iter()
+            .enumerate()
+            .map(|(i, &ti)| {
+                let q = basis.modulus(ti);
+                let row = &self.base_table[i];
+                let mut out = vec![0u64; n];
+                for (k, o) in out.iter_mut().enumerate() {
+                    // Accumulate in u128, reducing every few terms so the
+                    // 128-bit accumulator cannot overflow (each product is
+                    // < 2^124 for 62-bit moduli).
+                    let mut acc: u128 = 0;
+                    for (chunk_start, _) in scaled.iter().enumerate().step_by(8) {
+                        let end = (chunk_start + 8).min(scaled.len());
+                        for j in chunk_start..end {
+                            acc += scaled[j][k] as u128 * row[j] as u128;
+                        }
+                        acc = q.reduce_u128(acc) as u128;
+                        if end == scaled.len() {
+                            break;
+                        }
+                    }
+                    *o = acc as u64;
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// Full BConv: `[P]_from (coeff) → [P]_to (coeff)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poly` is not in coefficient representation or lacks a
+    /// source limb.
+    pub fn convert(&self, poly: &RnsPoly, basis: &RnsBasis) -> RnsPoly {
+        let scaled = self.scale_inputs(poly, basis);
+        let rows = self.accumulate(&scaled, basis);
+        RnsPoly::from_limbs(basis, &self.to, Representation::Coefficient, rows)
+    }
+
+    /// The *BConvRoutine* of Alg. 1: `INTT → BConv → NTT`, taking an
+    /// evaluation-representation polynomial on the source limbs and
+    /// returning the evaluation-representation extension on the target
+    /// limbs.
+    pub fn routine(&self, poly: &RnsPoly, basis: &RnsBasis) -> RnsPoly {
+        let mut src = poly.subset(&self.from);
+        src.to_coeff(basis);
+        let mut out = self.convert(&src, basis);
+        out.to_eval(basis);
+        out
+    }
+
+    /// Modular multiplications in step 2 for an `N`-coefficient input —
+    /// the `(ℓ+1)·α·N` MAC count that dominates BConv (96%).
+    pub fn mac_count(&self, n: usize) -> usize {
+        self.to.len() * self.from.len() * n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crt::CrtContext;
+    use crate::modulus::Modulus;
+    use crate::primes::generate_ntt_primes;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(n: usize, from_k: usize, to_k: usize) -> (RnsBasis, Vec<usize>, Vec<usize>) {
+        let primes = generate_ntt_primes(n, 40, from_k + to_k);
+        let basis = RnsBasis::new(n, &primes);
+        let from: Vec<usize> = (0..from_k).collect();
+        let to: Vec<usize> = (from_k..from_k + to_k).collect();
+        (basis, from, to)
+    }
+
+    /// Fast conversion computes `x + e·P (mod q)` for some `0 <= e < |B|`
+    /// (Bajard et al.); verify against the exact CRT oracle modulo that
+    /// correction for several target primes at once.
+    #[test]
+    fn matches_exact_crt_up_to_multiple_of_p() {
+        let n = 16;
+        let (basis, from, to) = setup(n, 3, 2);
+        let from_moduli: Vec<Modulus> = from.iter().map(|&i| *basis.modulus(i)).collect();
+        let crt = CrtContext::new(&from_moduli);
+        let bc = BaseConverter::new(&basis, &from, &to);
+        let coeffs: Vec<i64> = (0..n as i64).map(|i| i - 8).collect();
+        let poly = RnsPoly::from_signed_coeffs(&basis, &from, &coeffs);
+        let out = bc.convert(&poly, &basis);
+        for (pos, &ti) in to.iter().enumerate() {
+            let q = basis.modulus(ti);
+            let p_mod_q = crt.product().rem_u64(q.value());
+            for (k, &c) in coeffs.iter().enumerate() {
+                let residues: Vec<u64> = from_moduli.iter().map(|m| m.from_i64(c)).collect();
+                let exact = crt.reconstruct(&residues).rem_u64(q.value());
+                let got = out.limb(pos)[k];
+                let mut candidate = exact;
+                let ok = (0..from.len()).any(|_| {
+                    let hit = candidate == got;
+                    candidate = q.add(candidate, p_mod_q);
+                    hit
+                });
+                assert!(ok, "coeff {k}: residual is not e·P with e < |B|");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_bconv_error_is_multiple_of_nothing_for_single_source() {
+        // With |from| = 1 the conversion is exact for any input (this is
+        // the ModRaise case of bootstrapping).
+        let n = 16;
+        let (basis, _, _) = setup(n, 1, 3);
+        let bc = BaseConverter::new(&basis, &[0], &[1, 2, 3]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let q0 = basis.modulus(0).value();
+        let coeffs: Vec<Vec<u64>> = vec![(0..n).map(|_| rng.gen_range(0..q0)).collect()];
+        let poly = RnsPoly::from_limbs(&basis, &[0], Representation::Coefficient, coeffs.clone());
+        let out = bc.convert(&poly, &basis);
+        for (pos, &ti) in [1usize, 2, 3].iter().enumerate() {
+            let q = basis.modulus(ti);
+            for k in 0..n {
+                assert_eq!(out.limb(pos)[k], q.reduce(coeffs[0][k]));
+            }
+        }
+    }
+
+    #[test]
+    fn fast_bconv_error_bounded_by_source_count() {
+        // For random inputs the result may differ from exact by e·P with
+        // 0 <= e < |from|; verify the residual is such a multiple.
+        let n = 8;
+        let (basis, from, to) = setup(n, 3, 1);
+        let from_moduli: Vec<Modulus> = from.iter().map(|&i| *basis.modulus(i)).collect();
+        let crt = CrtContext::new(&from_moduli);
+        let bc = BaseConverter::new(&basis, &from, &to);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let poly = RnsPoly::random_uniform(&basis, &from, Representation::Coefficient, &mut rng);
+        let out = bc.convert(&poly, &basis);
+        let q = basis.modulus(to[0]);
+        let p_mod_q = crt.product().rem_u64(q.value());
+        for k in 0..n {
+            let residues: Vec<u64> = (0..from.len()).map(|j| poly.limb(j)[k]).collect();
+            let exact = crt.reconstruct(&residues).rem_u64(q.value());
+            let got = out.limb(0)[k];
+            // got == exact + e * P (mod q) for some 0 <= e < |from|
+            let mut ok = false;
+            let mut candidate = exact;
+            for _ in 0..from.len() {
+                if candidate == got {
+                    ok = true;
+                    break;
+                }
+                candidate = q.add(candidate, p_mod_q);
+            }
+            assert!(ok, "residual not a small multiple of P at coeff {k}");
+        }
+    }
+
+    #[test]
+    fn routine_round_trips_through_representations() {
+        // Single-limb source base (the ModRaise case): conversion is
+        // exact, so the routine output must decode back to the input.
+        let n = 32;
+        let (basis, _, _) = setup(n, 1, 2);
+        let bc = BaseConverter::new(&basis, &[0], &[1, 2]);
+        let coeffs: Vec<i64> = (0..n as i64).map(|i| (i % 7) - 3).collect();
+        let mut poly = RnsPoly::from_signed_coeffs(&basis, &[0], &coeffs);
+        poly.to_eval(&basis);
+        let out = bc.routine(&poly, &basis);
+        assert_eq!(out.representation(), Representation::Evaluation);
+        let mut check = out.clone();
+        check.to_coeff(&basis);
+        // Coefficients were reduced into [0, q0) first, so compare against
+        // the positive representatives mod q0.
+        let q0 = basis.modulus(0);
+        let lifted: Vec<i64> = coeffs.iter().map(|&c| q0.from_i64(c) as i64).collect();
+        let expect = RnsPoly::from_signed_coeffs(&basis, &[1, 2], &lifted);
+        assert_eq!(check, expect);
+    }
+
+    #[test]
+    fn mac_count_formula() {
+        let n = 16;
+        let (basis, from, to) = setup(n, 3, 4);
+        let bc = BaseConverter::new(&basis, &from, &to);
+        assert_eq!(bc.mac_count(n), 3 * 4 * n);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_bases_rejected() {
+        let n = 16;
+        let (basis, _, _) = setup(n, 2, 2);
+        BaseConverter::new(&basis, &[0, 1], &[1, 2]);
+    }
+}

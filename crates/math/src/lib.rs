@@ -1,0 +1,46 @@
+//! # ark-math — arithmetic substrate for the ARK reproduction
+//!
+//! Everything an RNS-CKKS implementation needs below the scheme level,
+//! implemented from scratch:
+//!
+//! - [`modulus`] — word-sized prime fields with Barrett/Shoup reduction;
+//! - [`primes`] — NTT-friendly prime generation (`q ≡ 1 mod 2N`);
+//! - [`ntt`] — in-place negacyclic NTT (the paper's evaluation
+//!   representation);
+//! - [`ntt4step`] — the Bailey 4-step NTT that ARK's NTTU implements,
+//!   with on-the-fly twisting-factor generation (OF-Twist);
+//! - [`poly`] — RNS polynomials as `(limbs × N)` word matrices;
+//! - [`bconv`] — fast base conversion (Eq. 4) and the BConvRoutine
+//!   (Alg. 1);
+//! - [`automorphism`] — the Galois maps behind `HRot`/conjugation and the
+//!   strided-permutation property exploited by ARK's AutoU;
+//! - [`crt`] — minimal big integers + CRT reconstruction (test oracles);
+//! - [`cfft`] — complex arithmetic and the CKKS special FFT (canonical
+//!   embedding).
+//!
+//! # Examples
+//!
+//! ```
+//! use ark_math::poly::{RnsBasis, RnsPoly, Representation};
+//! use ark_math::primes::generate_ntt_primes;
+//!
+//! // A degree-16 ring with a 3-prime RNS basis.
+//! let basis = RnsBasis::new(16, &generate_ntt_primes(16, 30, 3));
+//! let mut p = RnsPoly::from_signed_coeffs(&basis, &[0, 1, 2], &[1i64; 16]);
+//! p.to_eval(&basis);   // NTT on every limb
+//! p.to_coeff(&basis);  // and back
+//! assert_eq!(p.limb(0)[0], 1);
+//! ```
+
+pub mod automorphism;
+pub mod bconv;
+pub mod cfft;
+pub mod crt;
+pub mod modulus;
+pub mod ntt;
+pub mod ntt4step;
+pub mod poly;
+pub mod primes;
+
+pub use modulus::Modulus;
+pub use poly::{Representation, RnsBasis, RnsPoly};

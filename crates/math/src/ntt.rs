@@ -1,0 +1,314 @@
+//! Negacyclic number-theoretic transform (NTT).
+//!
+//! CKKS keeps polynomials of `R_q = Z_q[X]/(X^N + 1)` in their *evaluation
+//! representation* so that polynomial multiplication is element-wise
+//! (Section II-B of the paper). The forward transform here evaluates a
+//! polynomial at the odd powers of a primitive `2N`-th root of unity
+//! `ψ`; `INTT` inverts it. The implementation is the standard in-place
+//! Harvey butterfly pair (Cooley–Tukey decimation-in-time forward with
+//! merged `ψ` powers, Gentleman–Sande inverse), with Shoup-precomputed
+//! twiddles.
+//!
+//! The forward transform consumes natural-order input and produces
+//! bit-reversed-order output; the inverse consumes bit-reversed order and
+//! restores natural order. Element-wise products are order-agnostic, so
+//! the library never pays an explicit bit-reversal.
+
+use crate::modulus::{Modulus, ShoupPrecomp};
+use crate::primes::primitive_root_of_unity;
+
+/// Precomputed twiddle tables for one `(modulus, degree)` pair.
+///
+/// # Examples
+///
+/// ```
+/// use ark_math::modulus::Modulus;
+/// use ark_math::ntt::NttTable;
+///
+/// let q = Modulus::new(ark_math::primes::generate_ntt_primes(8, 30, 1)[0]).unwrap();
+/// let table = NttTable::new(q, 8);
+/// let mut a = vec![1, 2, 3, 4, 5, 6, 7, 8];
+/// let orig = a.clone();
+/// table.forward(&mut a);
+/// table.inverse(&mut a);
+/// assert_eq!(a, orig);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    modulus: Modulus,
+    n: usize,
+    log_n: u32,
+    /// ψ^br(i) in bit-reversed order for the CT forward pass.
+    root_powers: Vec<ShoupPrecomp>,
+    /// ψ^{-br(i)} for the GS inverse pass.
+    inv_root_powers: Vec<ShoupPrecomp>,
+    /// n^{-1} mod q for the inverse scaling.
+    n_inv: ShoupPrecomp,
+    /// The primitive 2N-th root ψ itself (for callers building twisting
+    /// factors, e.g. the 4-step NTT).
+    psi: u64,
+}
+
+fn bit_reverse(x: usize, bits: u32) -> usize {
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+impl NttTable {
+    /// Builds twiddle tables for degree `n` under `modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or the modulus does not
+    /// support a `2n`-th root of unity.
+    pub fn new(modulus: Modulus, n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "degree must be a power of two >= 2");
+        let log_n = n.trailing_zeros();
+        let psi = primitive_root_of_unity(&modulus, 2 * n as u64);
+        let psi_inv = modulus.inv(psi);
+
+        let mut root_powers = vec![ShoupPrecomp { w: 0, w_shoup: 0 }; n];
+        let mut inv_root_powers = vec![ShoupPrecomp { w: 0, w_shoup: 0 }; n];
+        let mut power = 1u64;
+        let mut inv_power = 1u64;
+        for i in 0..n {
+            let r = bit_reverse(i, log_n);
+            root_powers[r] = modulus.shoup(power);
+            inv_root_powers[r] = modulus.shoup(inv_power);
+            power = modulus.mul(power, psi);
+            inv_power = modulus.mul(inv_power, psi_inv);
+        }
+        let n_inv = modulus.shoup(modulus.inv(n as u64));
+        Self {
+            modulus,
+            n,
+            log_n,
+            root_powers,
+            inv_root_powers,
+            n_inv,
+            psi,
+        }
+    }
+
+    /// The modulus these tables were built for.
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    /// The transform degree `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The primitive `2N`-th root of unity `ψ` used by this table.
+    pub fn psi(&self) -> u64 {
+        self.psi
+    }
+
+    /// In-place forward negacyclic NTT (natural → bit-reversed order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length must equal the degree");
+        let m = &self.modulus;
+        let mut t = self.n;
+        let mut groups = 1usize;
+        while groups < self.n {
+            t >>= 1;
+            for i in 0..groups {
+                let w = &self.root_powers[groups + i];
+                let base = 2 * i * t;
+                for j in base..base + t {
+                    let u = a[j];
+                    let v = m.mul_shoup(a[j + t], w);
+                    a[j] = m.add(u, v);
+                    a[j + t] = m.sub(u, v);
+                }
+            }
+            groups <<= 1;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (bit-reversed → natural order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length must equal the degree");
+        let m = &self.modulus;
+        let mut t = 1usize;
+        let mut groups = self.n >> 1;
+        while groups >= 1 {
+            let mut base = 0usize;
+            for i in 0..groups {
+                let w = &self.inv_root_powers[groups + i];
+                for j in base..base + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = m.add(u, v);
+                    a[j + t] = m.mul_shoup(m.sub(u, v), w);
+                }
+                base += 2 * t;
+            }
+            t <<= 1;
+            groups >>= 1;
+        }
+        for x in a.iter_mut() {
+            *x = m.mul_shoup(*x, &self.n_inv);
+        }
+    }
+
+    /// Negacyclic convolution via NTT: `out = a * b mod (X^N + 1, q)`.
+    ///
+    /// Both inputs are in coefficient (natural) order; so is the output.
+    pub fn negacyclic_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.forward(&mut fa);
+        self.forward(&mut fb);
+        for (x, y) in fa.iter_mut().zip(&fb) {
+            *x = self.modulus.mul(*x, *y);
+        }
+        self.inverse(&mut fa);
+        fa
+    }
+
+    /// Number of butterfly operations in one forward or inverse pass:
+    /// `N/2 · log2 N`, each costing one modular multiply. This is the
+    /// figure the paper uses to size NTT units.
+    pub fn butterfly_count(&self) -> usize {
+        (self.n / 2) * self.log_n as usize
+    }
+}
+
+/// Naive `O(N^2)` negacyclic convolution, used as a test oracle.
+pub fn negacyclic_mul_naive(a: &[u64], b: &[u64], q: &Modulus) -> Vec<u64> {
+    let n = a.len();
+    assert_eq!(b.len(), n);
+    let mut out = vec![0u64; n];
+    for i in 0..n {
+        for j in 0..n {
+            let prod = q.mul(a[i], b[j]);
+            let k = i + j;
+            if k < n {
+                out[k] = q.add(out[k], prod);
+            } else {
+                out[k - n] = q.sub(out[k - n], prod);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes::generate_ntt_primes;
+    use rand::{Rng, SeedableRng};
+
+    fn table(n: usize, bits: u32) -> NttTable {
+        let p = generate_ntt_primes(n, bits, 1)[0];
+        NttTable::new(Modulus::new(p).unwrap(), n)
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let t = table(8, 30);
+        let orig: Vec<u64> = (0..8).collect();
+        let mut a = orig.clone();
+        t.forward(&mut a);
+        assert_ne!(a, orig, "forward must change the data");
+        t.inverse(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn roundtrip_random_sizes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for log_n in [3usize, 6, 8, 11] {
+            let n = 1 << log_n;
+            let t = table(n, 45);
+            let q = t.modulus().value();
+            let orig: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % q).collect();
+            let mut a = orig.clone();
+            t.forward(&mut a);
+            t.inverse(&mut a);
+            assert_eq!(a, orig, "n={n}");
+        }
+    }
+
+    #[test]
+    fn convolution_matches_naive() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let n = 64;
+        let t = table(n, 40);
+        let q = *t.modulus();
+        let a: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % q.value()).collect();
+        let b: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % q.value()).collect();
+        assert_eq!(t.negacyclic_mul(&a, &b), negacyclic_mul_naive(&a, &b, &q));
+    }
+
+    #[test]
+    fn x_times_x_n_minus_1_wraps_negatively() {
+        // (X^(N-1)) * X = X^N = -1 in the negacyclic ring.
+        let n = 16;
+        let t = table(n, 30);
+        let mut a = vec![0u64; n];
+        a[n - 1] = 1;
+        let mut b = vec![0u64; n];
+        b[1] = 1;
+        let c = t.negacyclic_mul(&a, &b);
+        let q = t.modulus().value();
+        assert_eq!(c[0], q - 1);
+        assert!(c[1..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn forward_is_evaluation_at_odd_psi_powers() {
+        // NTT output (in bit-reversed order) must contain a(ψ^(2i+1)).
+        let n = 8;
+        let t = table(n, 30);
+        let q = *t.modulus();
+        let a: Vec<u64> = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let mut f = a.clone();
+        t.forward(&mut f);
+        let psi = t.psi();
+        let mut evals: Vec<u64> = (0..n)
+            .map(|i| {
+                let x = q.pow(psi, (2 * i + 1) as u64);
+                // Horner
+                a.iter().rev().fold(0u64, |acc, &c| q.add(q.mul(acc, x), c))
+            })
+            .collect();
+        evals.sort_unstable();
+        f.sort_unstable();
+        assert_eq!(f, evals);
+    }
+
+    #[test]
+    fn linearity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let n = 32;
+        let t = table(n, 35);
+        let q = *t.modulus();
+        let a: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % q.value()).collect();
+        let b: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % q.value()).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        let mut sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| q.add(x, y)).collect();
+        t.forward(&mut sum);
+        for i in 0..n {
+            assert_eq!(sum[i], q.add(fa[i], fb[i]));
+        }
+    }
+
+    #[test]
+    fn butterfly_count_formula() {
+        let t = table(1 << 10, 30);
+        assert_eq!(t.butterfly_count(), (1 << 9) * 10);
+    }
+}

@@ -1,0 +1,585 @@
+//! RNS polynomials: the `(limbs × N)` word matrices every HE op touches.
+//!
+//! A polynomial of `R_Q` with `Q = Π q_i` is stored as one row (*limb*)
+//! per prime `q_i` (Section II-B). A limb is tagged with its index into a
+//! shared [`RnsBasis`] — the ordered set `D = C ∪ B` of chain primes and
+//! special primes — so level changes (`HRescale`), limb extension
+//! (key-switching, OF-Limb) and base conversion are index juggling plus
+//! word arithmetic, never big-integer math.
+
+use crate::automorphism::{self, GaloisElement};
+use crate::modulus::Modulus;
+use crate::ntt::NttTable;
+
+/// Whether limb data is in coefficient or evaluation (NTT) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Representation {
+    /// Natural coefficient order — required by BConv and automorphism
+    /// index math on coefficients.
+    Coefficient,
+    /// NTT-transformed (bit-reversed) order — element-wise products.
+    Evaluation,
+}
+
+/// An ordered set of NTT-ready prime limbs shared by all polynomials.
+///
+/// For CKKS this is `D = {q_0, …, q_L, p_0, …, p_{α−1}}`: indices
+/// `0..=L` are the chain primes `C`, the rest the special primes `B`.
+#[derive(Debug, Clone)]
+pub struct RnsBasis {
+    n: usize,
+    moduli: Vec<Modulus>,
+    tables: Vec<NttTable>,
+}
+
+impl RnsBasis {
+    /// Builds a basis of NTT tables for degree `n` over distinct primes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if primes repeat, are not NTT-friendly for `n`, or are not
+    /// valid moduli.
+    pub fn new(n: usize, primes: &[u64]) -> Self {
+        let mut seen = primes.to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), primes.len(), "basis primes must be distinct");
+        let moduli: Vec<Modulus> = primes
+            .iter()
+            .map(|&p| Modulus::new(p).expect("valid modulus"))
+            .collect();
+        let tables: Vec<NttTable> = moduli.iter().map(|&m| NttTable::new(m, n)).collect();
+        Self { n, moduli, tables }
+    }
+
+    /// Polynomial degree `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of primes in the basis.
+    pub fn len(&self) -> usize {
+        self.moduli.len()
+    }
+
+    /// True if the basis holds no primes (never the case after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.moduli.is_empty()
+    }
+
+    /// The modulus at basis index `idx`.
+    pub fn modulus(&self, idx: usize) -> &Modulus {
+        &self.moduli[idx]
+    }
+
+    /// All moduli in order.
+    pub fn moduli(&self) -> &[Modulus] {
+        &self.moduli
+    }
+
+    /// The NTT table at basis index `idx`.
+    pub fn table(&self, idx: usize) -> &NttTable {
+        &self.tables[idx]
+    }
+}
+
+/// A polynomial as a set of RNS limbs over a shared [`RnsBasis`].
+///
+/// # Examples
+///
+/// ```
+/// use ark_math::poly::{RnsBasis, RnsPoly, Representation};
+/// use ark_math::primes::generate_ntt_primes;
+///
+/// let n = 16;
+/// let basis = RnsBasis::new(n, &generate_ntt_primes(n, 30, 2));
+/// let p = RnsPoly::from_signed_coeffs(&basis, &[0, 1], &vec![1i64; n]);
+/// assert_eq!(p.level_count(), 2);
+/// assert_eq!(p.representation(), Representation::Coefficient);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsPoly {
+    n: usize,
+    rep: Representation,
+    limb_idx: Vec<usize>,
+    data: Vec<Vec<u64>>,
+}
+
+impl RnsPoly {
+    /// The zero polynomial over the given basis indices.
+    pub fn zero(basis: &RnsBasis, indices: &[usize], rep: Representation) -> Self {
+        Self {
+            n: basis.n(),
+            rep,
+            limb_idx: indices.to_vec(),
+            data: vec![vec![0u64; basis.n()]; indices.len()],
+        }
+    }
+
+    /// Builds a polynomial from signed coefficients, reducing into every
+    /// requested limb.
+    pub fn from_signed_coeffs(basis: &RnsBasis, indices: &[usize], coeffs: &[i64]) -> Self {
+        assert_eq!(coeffs.len(), basis.n(), "coefficient count must equal N");
+        let data = indices
+            .iter()
+            .map(|&i| {
+                let q = basis.modulus(i);
+                coeffs.iter().map(|&c| q.from_i64(c)).collect()
+            })
+            .collect();
+        Self {
+            n: basis.n(),
+            rep: Representation::Coefficient,
+            limb_idx: indices.to_vec(),
+            data,
+        }
+    }
+
+    /// Builds a polynomial from raw limb rows (already reduced).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn from_limbs(
+        basis: &RnsBasis,
+        indices: &[usize],
+        rep: Representation,
+        limbs: Vec<Vec<u64>>,
+    ) -> Self {
+        assert_eq!(indices.len(), limbs.len());
+        for row in &limbs {
+            assert_eq!(row.len(), basis.n());
+        }
+        Self {
+            n: basis.n(),
+            rep,
+            limb_idx: indices.to_vec(),
+            data: limbs,
+        }
+    }
+
+    /// Uniformly random polynomial (each limb uniform in `[0, q_i)`).
+    pub fn random_uniform<R: rand::Rng>(
+        basis: &RnsBasis,
+        indices: &[usize],
+        rep: Representation,
+        rng: &mut R,
+    ) -> Self {
+        let data = indices
+            .iter()
+            .map(|&i| {
+                let q = basis.modulus(i).value();
+                (0..basis.n()).map(|_| rng.gen_range(0..q)).collect()
+            })
+            .collect();
+        Self {
+            n: basis.n(),
+            rep,
+            limb_idx: indices.to_vec(),
+            data,
+        }
+    }
+
+    /// Degree `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current representation.
+    pub fn representation(&self) -> Representation {
+        self.rep
+    }
+
+    /// Number of limbs.
+    pub fn level_count(&self) -> usize {
+        self.limb_idx.len()
+    }
+
+    /// Basis indices of the limbs, in storage order.
+    pub fn limb_indices(&self) -> &[usize] {
+        &self.limb_idx
+    }
+
+    /// Raw limb row for storage position `pos`.
+    pub fn limb(&self, pos: usize) -> &[u64] {
+        &self.data[pos]
+    }
+
+    /// Mutable raw limb row.
+    pub fn limb_mut(&mut self, pos: usize) -> &mut [u64] {
+        &mut self.data[pos]
+    }
+
+    /// Storage position of the limb with basis index `idx`, if present.
+    pub fn position_of(&self, idx: usize) -> Option<usize> {
+        self.limb_idx.iter().position(|&i| i == idx)
+    }
+
+    fn assert_compatible(&self, other: &Self) {
+        assert_eq!(self.n, other.n, "degree mismatch");
+        assert_eq!(self.rep, other.rep, "representation mismatch");
+        assert_eq!(self.limb_idx, other.limb_idx, "limb set mismatch");
+    }
+
+    /// `self += other`, limb-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if degrees, representations or limb sets differ.
+    pub fn add_assign(&mut self, other: &Self, basis: &RnsBasis) {
+        self.assert_compatible(other);
+        for (pos, &idx) in self.limb_idx.iter().enumerate() {
+            let q = basis.modulus(idx);
+            for (a, &b) in self.data[pos].iter_mut().zip(&other.data[pos]) {
+                *a = q.add(*a, b);
+            }
+        }
+    }
+
+    /// `self -= other`, limb-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if degrees, representations or limb sets differ.
+    pub fn sub_assign(&mut self, other: &Self, basis: &RnsBasis) {
+        self.assert_compatible(other);
+        for (pos, &idx) in self.limb_idx.iter().enumerate() {
+            let q = basis.modulus(idx);
+            for (a, &b) in self.data[pos].iter_mut().zip(&other.data[pos]) {
+                *a = q.sub(*a, b);
+            }
+        }
+    }
+
+    /// Negates in place.
+    pub fn negate(&mut self, basis: &RnsBasis) {
+        for (pos, &idx) in self.limb_idx.iter().enumerate() {
+            let q = basis.modulus(idx);
+            for a in self.data[pos].iter_mut() {
+                *a = q.neg(*a);
+            }
+        }
+    }
+
+    /// Element-wise product (both operands in evaluation representation).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both polynomials are in [`Representation::Evaluation`]
+    /// with identical limb sets.
+    pub fn mul_assign(&mut self, other: &Self, basis: &RnsBasis) {
+        assert_eq!(self.rep, Representation::Evaluation, "mul needs evaluation rep");
+        self.assert_compatible(other);
+        for (pos, &idx) in self.limb_idx.iter().enumerate() {
+            let q = basis.modulus(idx);
+            for (a, &b) in self.data[pos].iter_mut().zip(&other.data[pos]) {
+                *a = q.mul(*a, b);
+            }
+        }
+    }
+
+    /// Fused `self += a * b` without materializing the product.
+    ///
+    /// # Panics
+    ///
+    /// As for [`RnsPoly::mul_assign`].
+    pub fn mul_add_assign(&mut self, a: &Self, b: &Self, basis: &RnsBasis) {
+        assert_eq!(self.rep, Representation::Evaluation);
+        self.assert_compatible(a);
+        self.assert_compatible(b);
+        for (pos, &idx) in self.limb_idx.iter().enumerate() {
+            let q = basis.modulus(idx);
+            for k in 0..self.n {
+                let prod = q.mul(a.data[pos][k], b.data[pos][k]);
+                self.data[pos][k] = q.add(self.data[pos][k], prod);
+            }
+        }
+    }
+
+    /// Multiplies every coefficient of limb `q_i` by `scalars[pos]`.
+    pub fn mul_scalar_per_limb(&mut self, scalars: &[u64], basis: &RnsBasis) {
+        assert_eq!(scalars.len(), self.limb_idx.len());
+        for (pos, &idx) in self.limb_idx.iter().enumerate() {
+            let q = basis.modulus(idx);
+            let s = q.reduce(scalars[pos]);
+            let pre = q.shoup(s);
+            for a in self.data[pos].iter_mut() {
+                *a = q.mul_shoup(*a, &pre);
+            }
+        }
+    }
+
+    /// Multiplies by one scalar (reduced into every limb).
+    pub fn mul_scalar(&mut self, scalar: u64, basis: &RnsBasis) {
+        let scalars = vec![scalar; self.limb_idx.len()];
+        self.mul_scalar_per_limb(&scalars, basis);
+    }
+
+    /// Converts to evaluation representation (no-op if already there).
+    pub fn to_eval(&mut self, basis: &RnsBasis) {
+        if self.rep == Representation::Evaluation {
+            return;
+        }
+        for (pos, &idx) in self.limb_idx.iter().enumerate() {
+            basis.table(idx).forward(&mut self.data[pos]);
+        }
+        self.rep = Representation::Evaluation;
+    }
+
+    /// Converts to coefficient representation (no-op if already there).
+    pub fn to_coeff(&mut self, basis: &RnsBasis) {
+        if self.rep == Representation::Coefficient {
+            return;
+        }
+        for (pos, &idx) in self.limb_idx.iter().enumerate() {
+            basis.table(idx).inverse(&mut self.data[pos]);
+        }
+        self.rep = Representation::Coefficient;
+    }
+
+    /// Applies the Galois automorphism `X ↦ X^g` in either representation.
+    pub fn automorphism(&self, g: GaloisElement, basis: &RnsBasis) -> Self {
+        let data = match self.rep {
+            Representation::Coefficient => self
+                .limb_idx
+                .iter()
+                .enumerate()
+                .map(|(pos, &idx)| {
+                    automorphism::apply_coeff(&self.data[pos], g, basis.modulus(idx))
+                })
+                .collect(),
+            Representation::Evaluation => {
+                let perm = automorphism::eval_permutation(self.n, g);
+                self.data
+                    .iter()
+                    .map(|row| automorphism::apply_eval(row, &perm))
+                    .collect()
+            }
+        };
+        Self {
+            n: self.n,
+            rep: self.rep,
+            limb_idx: self.limb_idx.clone(),
+            data,
+        }
+    }
+
+    /// Drops the last limb (the `HRescale` limb-elimination step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if only one limb remains.
+    pub fn drop_last_limb(&mut self) -> (usize, Vec<u64>) {
+        assert!(self.limb_idx.len() > 1, "cannot drop the final limb");
+        let idx = self.limb_idx.pop().expect("non-empty");
+        let row = self.data.pop().expect("non-empty");
+        (idx, row)
+    }
+
+    /// Returns a new polynomial restricted to the given basis indices
+    /// (which must all be present).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is missing.
+    pub fn subset(&self, indices: &[usize]) -> Self {
+        let data = indices
+            .iter()
+            .map(|&i| {
+                let pos = self
+                    .position_of(i)
+                    .unwrap_or_else(|| panic!("limb {i} not present"));
+                self.data[pos].clone()
+            })
+            .collect();
+        Self {
+            n: self.n,
+            rep: self.rep,
+            limb_idx: indices.to_vec(),
+            data,
+        }
+    }
+
+    /// Appends limbs from `other` (indices must be disjoint, same rep).
+    ///
+    /// # Panics
+    ///
+    /// Panics on representation mismatch or overlapping limb sets.
+    pub fn extend_with(&mut self, other: &Self) {
+        assert_eq!(self.rep, other.rep, "representation mismatch");
+        for &i in &other.limb_idx {
+            assert!(
+                self.position_of(i).is_none(),
+                "limb {i} already present"
+            );
+        }
+        self.limb_idx.extend_from_slice(&other.limb_idx);
+        self.data.extend(other.data.iter().cloned());
+    }
+
+    /// Total words of storage, the unit of the paper's data-size and
+    /// traffic accounting (`limbs × N`).
+    pub fn words(&self) -> usize {
+        self.limb_idx.len() * self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes::generate_ntt_primes;
+    use rand::SeedableRng;
+
+    fn basis(n: usize, k: usize) -> RnsBasis {
+        RnsBasis::new(n, &generate_ntt_primes(n, 40, k))
+    }
+
+    #[test]
+    fn zero_poly_shape() {
+        let b = basis(16, 3);
+        let p = RnsPoly::zero(&b, &[0, 1, 2], Representation::Coefficient);
+        assert_eq!(p.level_count(), 3);
+        assert_eq!(p.words(), 48);
+        assert!(p.limb(0).iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let b = basis(32, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let idx = [0usize, 1];
+        let a = RnsPoly::random_uniform(&b, &idx, Representation::Coefficient, &mut rng);
+        let c = RnsPoly::random_uniform(&b, &idx, Representation::Coefficient, &mut rng);
+        let mut s = a.clone();
+        s.add_assign(&c, &b);
+        s.sub_assign(&c, &b);
+        assert_eq!(s, a);
+    }
+
+    #[test]
+    fn negate_twice_is_identity() {
+        let b = basis(32, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let a = RnsPoly::random_uniform(&b, &[0, 1], Representation::Coefficient, &mut rng);
+        let mut c = a.clone();
+        c.negate(&b);
+        c.negate(&b);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn ntt_roundtrip_via_poly() {
+        let b = basis(64, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = RnsPoly::random_uniform(&b, &[0, 1, 2], Representation::Coefficient, &mut rng);
+        let mut c = a.clone();
+        c.to_eval(&b);
+        assert_eq!(c.representation(), Representation::Evaluation);
+        c.to_coeff(&b);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn eval_mul_matches_negacyclic_convolution() {
+        let b = basis(32, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let idx = [0usize, 1];
+        let a = RnsPoly::random_uniform(&b, &idx, Representation::Coefficient, &mut rng);
+        let c = RnsPoly::random_uniform(&b, &idx, Representation::Coefficient, &mut rng);
+        let mut ea = a.clone();
+        let mut ec = c.clone();
+        ea.to_eval(&b);
+        ec.to_eval(&b);
+        ea.mul_assign(&ec, &b);
+        ea.to_coeff(&b);
+        for (pos, &i) in idx.iter().enumerate() {
+            let expect = b.table(i).negacyclic_mul(a.limb(pos), c.limb(pos));
+            assert_eq!(ea.limb(pos), &expect[..]);
+        }
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let b = basis(16, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let idx = [0usize, 1];
+        let mut acc =
+            RnsPoly::random_uniform(&b, &idx, Representation::Evaluation, &mut rng);
+        let x = RnsPoly::random_uniform(&b, &idx, Representation::Evaluation, &mut rng);
+        let y = RnsPoly::random_uniform(&b, &idx, Representation::Evaluation, &mut rng);
+        let mut expect = acc.clone();
+        let mut prod = x.clone();
+        prod.mul_assign(&y, &b);
+        expect.add_assign(&prod, &b);
+        acc.mul_add_assign(&x, &y, &b);
+        assert_eq!(acc, expect);
+    }
+
+    #[test]
+    fn automorphism_agrees_across_representations() {
+        let b = basis(64, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let a = RnsPoly::random_uniform(&b, &[0, 1], Representation::Coefficient, &mut rng);
+        let g = GaloisElement::from_rotation(3, 64);
+        let via_coeff = {
+            let mut r = a.automorphism(g, &b);
+            r.to_eval(&b);
+            r
+        };
+        let via_eval = {
+            let mut r = a.clone();
+            r.to_eval(&b);
+            r.automorphism(g, &b)
+        };
+        assert_eq!(via_coeff, via_eval);
+    }
+
+    #[test]
+    fn subset_and_extend_roundtrip() {
+        let b = basis(16, 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = RnsPoly::random_uniform(&b, &[0, 1, 2, 3], Representation::Coefficient, &mut rng);
+        let mut low = a.subset(&[0, 1]);
+        let high = a.subset(&[2, 3]);
+        low.extend_with(&high);
+        assert_eq!(low, a);
+    }
+
+    #[test]
+    fn drop_last_limb_pops_in_order() {
+        let b = basis(16, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut a = RnsPoly::random_uniform(&b, &[0, 1, 2], Representation::Coefficient, &mut rng);
+        let (idx, _) = a.drop_last_limb();
+        assert_eq!(idx, 2);
+        assert_eq!(a.level_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "limb set mismatch")]
+    fn mismatched_limb_sets_panic() {
+        let b = basis(16, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut a = RnsPoly::random_uniform(&b, &[0, 1], Representation::Coefficient, &mut rng);
+        let c = RnsPoly::random_uniform(&b, &[0, 2], Representation::Coefficient, &mut rng);
+        a.add_assign(&c, &b);
+    }
+
+    #[test]
+    fn scalar_multiplication_distributes() {
+        let b = basis(16, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let idx = [0usize, 1];
+        let a = RnsPoly::random_uniform(&b, &idx, Representation::Coefficient, &mut rng);
+        let c = RnsPoly::random_uniform(&b, &idx, Representation::Coefficient, &mut rng);
+        let mut sum = a.clone();
+        sum.add_assign(&c, &b);
+        sum.mul_scalar(7, &b);
+        let mut a7 = a.clone();
+        a7.mul_scalar(7, &b);
+        let mut c7 = c.clone();
+        c7.mul_scalar(7, &b);
+        a7.add_assign(&c7, &b);
+        assert_eq!(sum, a7);
+    }
+}

@@ -1,0 +1,214 @@
+//! Generation of NTT-friendly primes.
+//!
+//! The negacyclic NTT of degree `N` requires a primitive `2N`-th root of
+//! unity modulo each prime limb, which exists exactly when
+//! `q ≡ 1 (mod 2N)`. This module provides deterministic Miller–Rabin
+//! primality testing for `u64` and a generator that scans for such primes
+//! near a requested bit size, as CKKS parameter construction does when
+//! choosing the limb sets `C` (near the scale `Δ`) and `B` (the special
+//! modulus limbs).
+
+use crate::modulus::Modulus;
+
+/// Deterministic Miller–Rabin for `u64`.
+///
+/// Uses the standard witness set that is provably sufficient for all
+/// 64-bit integers.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let m = Modulus::new(n).expect("n >= 2 and fits after small-prime sieve");
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = m.pow(a, d);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = m.mul(x, x);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates `count` distinct primes `q ≡ 1 (mod 2N)` with `q` as close
+/// as possible to `2^bits`, scanning alternately below and above.
+///
+/// The returned primes are sorted in the order found (closest to
+/// `2^bits` first), matching the common practice of picking scale-sized
+/// limbs for the CKKS chain.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two, if `bits` is out of `(2, 62)`,
+/// or if not enough primes exist in the scan window.
+pub fn generate_ntt_primes(n: usize, bits: u32, count: usize) -> Vec<u64> {
+    assert!(n.is_power_of_two(), "degree must be a power of two");
+    assert!(bits > 2 && bits < 62, "bits must be in (2, 62)");
+    let step = 2 * n as u64;
+    let center = 1u64 << bits;
+    // First candidate at or below the center congruent to 1 mod 2N.
+    let below_start = center - ((center - 1) % step);
+    let mut below = below_start; // ≡ 1 (mod step)
+    let mut above = below_start + step;
+    let mut out = Vec::with_capacity(count);
+    // Alternate below/above so primes stay near 2^bits.
+    let mut pick_below = true;
+    let floor = center >> 2; // don't stray further than 2 bits down
+    let ceil = center << 1; // or 1 bit up
+    while out.len() < count {
+        if pick_below && below > floor {
+            if is_prime(below) {
+                out.push(below);
+            }
+            below -= step;
+        } else if above < ceil {
+            if is_prime(above) {
+                out.push(above);
+            }
+            above += step;
+        } else if below > floor {
+            if is_prime(below) {
+                out.push(below);
+            }
+            below -= step;
+        } else {
+            panic!("not enough NTT primes of {bits} bits for degree {n}");
+        }
+        pick_below = !pick_below;
+    }
+    out
+}
+
+/// Generates `count` NTT primes strictly different from everything in
+/// `exclude`, useful when building the special-modulus set `B` disjoint
+/// from the chain `C`.
+pub fn generate_ntt_primes_excluding(
+    n: usize,
+    bits: u32,
+    count: usize,
+    exclude: &[u64],
+) -> Vec<u64> {
+    let mut found = Vec::with_capacity(count);
+    // Over-generate and filter; the scan window is large enough for all
+    // parameter sets used in this crate.
+    let pool = generate_ntt_primes(n, bits, count + exclude.len() + 8);
+    for p in pool {
+        if !exclude.contains(&p) && !found.contains(&p) {
+            found.push(p);
+            if found.len() == count {
+                break;
+            }
+        }
+    }
+    assert!(
+        found.len() == count,
+        "could not find {count} NTT primes excluding the given set"
+    );
+    found
+}
+
+/// Finds a primitive `2n`-th root of unity modulo `q` (requires
+/// `q ≡ 1 (mod 2n)` and `q` prime).
+///
+/// # Panics
+///
+/// Panics if no such root exists (i.e. the congruence fails).
+pub fn primitive_root_of_unity(q: &Modulus, two_n: u64) -> u64 {
+    let qv = q.value();
+    assert!(
+        (qv - 1) % two_n == 0,
+        "q = {qv} is not ≡ 1 mod {two_n}; no primitive root exists"
+    );
+    let cofactor = (qv - 1) / two_n;
+    // Try small candidates until g^cofactor has exact order 2n.
+    for g in 2..qv {
+        let root = q.pow(g, cofactor);
+        // order divides 2n; exact order 2n iff root^(n) == -1.
+        if q.pow(root, two_n / 2) == qv - 1 {
+            return root;
+        }
+    }
+    unreachable!("a generator always exists for a prime modulus")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_recognized() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 65537, 0x1fff_ffff_ffe0_0001];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        let composites = [0u64, 1, 4, 6, 9, 15, 65536, 2u64.pow(61)];
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911] {
+            assert!(!is_prime(c), "{c} is a Carmichael number");
+        }
+    }
+
+    #[test]
+    fn generated_primes_are_ntt_friendly() {
+        let n = 1 << 12;
+        let primes = generate_ntt_primes(n, 45, 6);
+        assert_eq!(primes.len(), 6);
+        for &p in &primes {
+            assert!(is_prime(p));
+            assert_eq!(p % (2 * n as u64), 1);
+            let b = 64 - p.leading_zeros();
+            assert!((43..=46).contains(&b), "prime {p} strayed to {b} bits");
+        }
+        // distinct
+        let mut sorted = primes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+
+    #[test]
+    fn excluding_works() {
+        let n = 1 << 10;
+        let base = generate_ntt_primes(n, 40, 4);
+        let extra = generate_ntt_primes_excluding(n, 40, 4, &base);
+        for p in &extra {
+            assert!(!base.contains(p));
+        }
+    }
+
+    #[test]
+    fn primitive_roots_have_exact_order() {
+        let n = 1u64 << 10;
+        for &p in &generate_ntt_primes(n as usize, 30, 3) {
+            let q = Modulus::new(p).unwrap();
+            let root = primitive_root_of_unity(&q, 2 * n);
+            assert_eq!(q.pow(root, n), p - 1, "root^n must be -1");
+            assert_eq!(q.pow(root, 2 * n), 1);
+        }
+    }
+}

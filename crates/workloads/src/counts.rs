@@ -1,0 +1,230 @@
+//! Analytic modular-multiplication and traffic counters.
+//!
+//! These closed forms drive Fig. 4 (HRot computational breakdown by
+//! dnum) and Fig. 2 (off-chip bytes and arithmetic intensity of
+//! H-(I)DFT). Every HE op decomposes into the paper's primary functions
+//! — (I)NTT, BConv, evk element-wise multiplication, and "others" — and
+//! the number of word-sized modular multiplications in each is exact.
+
+use ark_ckks::params::CkksParams;
+
+/// Modular multiplications in one `N`-point (I)NTT of a single limb:
+/// `(N/2)·log2 N` butterflies, one multiply each.
+pub fn ntt_mults_per_limb(n: usize) -> usize {
+    (n / 2) * n.trailing_zeros() as usize
+}
+
+/// Modular-mult breakdown of one HE op in the paper's four categories.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MultBreakdown {
+    /// Butterfly multiplies in NTT/INTT passes.
+    pub ntt: usize,
+    /// Base-conversion MACs (both steps).
+    pub bconv: usize,
+    /// Element-wise multiplications with evk polynomials.
+    pub evk_mult: usize,
+    /// Everything else (rescale corrections, `P^{-1}` scaling, plaintext
+    /// products, …).
+    pub other: usize,
+}
+
+impl MultBreakdown {
+    /// Total modular multiplications.
+    pub fn total(&self) -> usize {
+        self.ntt + self.bconv + self.evk_mult + self.other
+    }
+
+    /// Percentages `(ntt, bconv, evk, other)` of the total.
+    pub fn percentages(&self) -> (f64, f64, f64, f64) {
+        let t = self.total() as f64;
+        (
+            100.0 * self.ntt as f64 / t,
+            100.0 * self.bconv as f64 / t,
+            100.0 * self.evk_mult as f64 / t,
+            100.0 * self.other as f64 / t,
+        )
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, o: &MultBreakdown) -> MultBreakdown {
+        MultBreakdown {
+            ntt: self.ntt + o.ntt,
+            bconv: self.bconv + o.bconv,
+            evk_mult: self.evk_mult + o.evk_mult,
+            other: self.other + o.other,
+        }
+    }
+}
+
+/// Number of decomposition pieces at level `ℓ`: `⌈(ℓ+1)/α⌉`.
+pub fn pieces_at_level(level: usize, alpha: usize) -> usize {
+    (level + 1).div_ceil(alpha)
+}
+
+/// Breakdown of one generalized key-switching (Alg. 2) at `level`.
+///
+/// Per piece `i` (size `α_i ≤ α`): INTT of `α_i` limbs, BConv
+/// `α_i → (ℓ+1+α−α_i)`, NTT of the converted limbs; then `2·dnum'`
+/// element-wise evk products over `ℓ+1+α` limbs; then ModDown on two
+/// polynomials (INTT `α`, BConv `α → ℓ+1`, NTT `ℓ+1`, and the `P^{-1}`
+/// scaling counted under `other`).
+pub fn key_switch_breakdown(params: &CkksParams, level: usize) -> MultBreakdown {
+    let n = params.n();
+    let alpha = params.alpha();
+    let ext = level + 1 + alpha;
+    let per_limb = ntt_mults_per_limb(n);
+    let mut b = MultBreakdown::default();
+    let mut start = 0usize;
+    while start <= level {
+        let piece = alpha.min(level + 1 - start);
+        let converted = ext - piece;
+        b.ntt += (piece + converted) * per_limb;
+        // BConv: first step (piece · N) + MAC matmul (piece · converted · N)
+        b.bconv += piece * n + piece * converted * n;
+        // evk products: two polynomials over the extended basis
+        b.evk_mult += 2 * ext * n;
+        start += alpha;
+    }
+    // ModDown on both output polynomials
+    b.ntt += 2 * (alpha + (level + 1)) * per_limb;
+    b.bconv += 2 * (alpha * n + alpha * (level + 1) * n);
+    // P^{-1} scaling of both polynomials
+    b.other += 2 * (level + 1) * n;
+    b
+}
+
+/// Breakdown of `HRot` at `level`: automorphism (no multiplies) plus one
+/// key-switching.
+pub fn hrot_breakdown(params: &CkksParams, level: usize) -> MultBreakdown {
+    key_switch_breakdown(params, level)
+}
+
+/// Breakdown of `HMult` at `level`: four element-wise limb products
+/// (d0, d1 twice, d2) plus one key-switching.
+pub fn hmult_breakdown(params: &CkksParams, level: usize) -> MultBreakdown {
+    let mut b = key_switch_breakdown(params, level);
+    b.other += 4 * (level + 1) * params.n();
+    b
+}
+
+/// Breakdown of `PMult`: two limb products (B and A), plus — under
+/// OF-Limb — the regeneration NTTs of `level` limbs (Eq. 12).
+pub fn pmult_breakdown(params: &CkksParams, level: usize, of_limb: bool) -> MultBreakdown {
+    let n = params.n();
+    let mut b = MultBreakdown {
+        other: 2 * (level + 1) * n,
+        ..Default::default()
+    };
+    if of_limb {
+        b.ntt += level * ntt_mults_per_limb(n);
+    }
+    b
+}
+
+/// Breakdown of `HRescale` at `level`: one INTT of the dropped limb,
+/// `level` forward NTTs of the correction, and the `q_L^{-1}` scaling.
+pub fn rescale_breakdown(params: &CkksParams, level: usize) -> MultBreakdown {
+    let n = params.n();
+    MultBreakdown {
+        ntt: 2 * (1 + level) * ntt_mults_per_limb(n),
+        other: 2 * level * n,
+        ..Default::default()
+    }
+}
+
+// ---- traffic accounting (words loaded from off-chip memory) ----
+
+/// Words of one evk restricted to the limbs used at `level`:
+/// `2·dnum'·(ℓ+1+α)·N`.
+pub fn evk_words_at_level(params: &CkksParams, level: usize) -> usize {
+    let alpha = params.alpha();
+    2 * pieces_at_level(level, alpha) * (level + 1 + alpha) * params.n()
+}
+
+/// Words of a full plaintext at `level` (`(ℓ+1)·N`), or its OF-Limb
+/// compressed form (`N`).
+pub fn plaintext_words_at_level(params: &CkksParams, level: usize, of_limb: bool) -> usize {
+    if of_limb {
+        params.n()
+    } else {
+        (level + 1) * params.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// **Fig. 4 reproduction**: HRot breakdown at max level for
+    /// `(N, L) = (2^16, 23)` with dnum = 4 vs dnum = max (= 24).
+    #[test]
+    fn fig4_hrot_breakdown_dnum4() {
+        let params = CkksParams::ark(); // dnum = 4
+        let b = hrot_breakdown(&params, params.max_level);
+        let (ntt, bconv, evk, other) = b.percentages();
+        // Paper: 54.8 / 34.2 / 9.1 / rest
+        assert!((ntt - 54.8).abs() < 0.5, "ntt={ntt:.1}");
+        assert!((bconv - 34.2).abs() < 0.5, "bconv={bconv:.1}");
+        assert!((evk - 9.1).abs() < 0.5, "evk={evk:.1}");
+        assert!(other < 3.0);
+    }
+
+    #[test]
+    fn fig4_hrot_breakdown_dnum_max() {
+        let params = CkksParams {
+            dnum: 24,
+            ..CkksParams::ark()
+        };
+        let b = hrot_breakdown(&params, params.max_level);
+        let (ntt, bconv, evk, _other) = b.percentages();
+        // Paper: 73.3 / 9.2 / 16.9
+        assert!((ntt - 73.3).abs() < 0.7, "ntt={ntt:.1}");
+        assert!((bconv - 9.2).abs() < 0.7, "bconv={bconv:.1}");
+        assert!((evk - 16.9).abs() < 0.7, "evk={evk:.1}");
+    }
+
+    #[test]
+    fn ntt_mult_count() {
+        assert_eq!(ntt_mults_per_limb(1 << 16), (1 << 15) * 16);
+    }
+
+    #[test]
+    fn pieces_partial_group() {
+        assert_eq!(pieces_at_level(23, 6), 4);
+        assert_eq!(pieces_at_level(11, 6), 2);
+        assert_eq!(pieces_at_level(12, 6), 3);
+        assert_eq!(pieces_at_level(0, 6), 1);
+    }
+
+    #[test]
+    fn evk_words_match_table_iii_at_full_level() {
+        let p = CkksParams::ark();
+        // full evk: 120 MB = words × 8 bytes
+        assert_eq!(evk_words_at_level(&p, p.max_level) * 8, 120 << 20);
+    }
+
+    #[test]
+    fn of_limb_traffic_ratio() {
+        let p = CkksParams::ark();
+        let full = plaintext_words_at_level(&p, 23, false);
+        let comp = plaintext_words_at_level(&p, 23, true);
+        assert_eq!(full / comp, 24);
+    }
+
+    #[test]
+    fn hmult_exceeds_hrot_slightly() {
+        let p = CkksParams::ark();
+        let rot = hrot_breakdown(&p, 23).total();
+        let mult = hmult_breakdown(&p, 23).total();
+        assert!(mult > rot);
+        assert!(mult - rot == 4 * 24 * (1 << 16));
+    }
+
+    #[test]
+    fn key_switch_cheaper_at_lower_levels() {
+        let p = CkksParams::ark();
+        let hi = key_switch_breakdown(&p, 23).total();
+        let lo = key_switch_breakdown(&p, 5).total();
+        assert!(lo < hi / 4, "lo={lo} hi={hi}");
+    }
+}

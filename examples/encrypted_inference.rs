@@ -1,0 +1,65 @@
+//! Encrypted logistic-regression inference — a miniature of the HELR
+//! workload the paper evaluates: the model is encrypted, the data is
+//! plaintext, and the score uses a polynomial sigmoid.
+//!
+//! ```sh
+//! cargo run --release --example encrypted_inference
+//! ```
+
+use ark_fhe::ckks::evalmod::ChebyshevPoly;
+use ark_fhe::ckks::params::{CkksContext, CkksParams};
+use ark_fhe::math::cfft::C64;
+use rand::{Rng, SeedableRng};
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+fn main() {
+    let ctx = CkksContext::new(CkksParams::small());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let sk = ctx.gen_secret_key(&mut rng);
+    let evk = ctx.gen_mult_key(&sk, &mut rng);
+    let rots: Vec<i64> = (0..4).map(|r| 1i64 << r).collect(); // 16 features
+    let keys = ctx.gen_rotation_keys(&rots, false, &sk, &mut rng);
+
+    // 16-feature model, batch of slots/16 samples packed feature-major
+    let features = 16usize;
+    let slots = ctx.params().slots();
+    let samples = slots / features;
+    let w: Vec<f64> = (0..features).map(|_| rng.gen_range(-0.5..0.5)).collect();
+    let x: Vec<f64> = (0..slots).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+    // encrypt the model broadcast across samples (HELR keeps the model
+    // encrypted; the data is plaintext)
+    let w_packed: Vec<C64> = (0..slots).map(|i| C64::new(w[i % features], 0.0)).collect();
+    let scale = ctx.params().scale();
+    let ct_w = ctx.encrypt(&ctx.encode(&w_packed, 8, scale), &sk, &mut rng);
+
+    // z = Σ_j w_j x_j per sample: PMult + rotate-and-sum tree
+    let x_pt = ctx.encode_for_mul(&x.iter().map(|&v| C64::new(v, 0.0)).collect::<Vec<_>>(), 8);
+    let mut acc = ctx.mul_plain_rescale(&ct_w, &x_pt);
+    for r in &rots {
+        let rotated = ctx.rotate(&acc, *r, &keys);
+        acc = ctx.add(&acc, &rotated);
+    }
+
+    // sigmoid via Chebyshev interpolation (degree 15 on [-8, 8])
+    let sig = ChebyshevPoly::interpolate(sigmoid, -8.0, 8.0, 15);
+    let scored = ctx.eval_chebyshev(&acc, &sig, &evk);
+    let out = ctx.decrypt_decode(&scored, &sk);
+
+    // verify against the plaintext pipeline (slot 0 of each sample group)
+    let mut max_err = 0f64;
+    for s in 0..samples.min(8) {
+        let z: f64 = (0..features).map(|j| w[j] * x[s * features + j]).sum();
+        let expect = sigmoid(z);
+        let got = out[s * features].re;
+        max_err = max_err.max((expect - got).abs());
+        if s < 4 {
+            println!("sample {s}: encrypted score {got:.4}, plaintext {expect:.4}");
+        }
+    }
+    println!("max score error over checked samples: {max_err:.2e}");
+    assert!(max_err < 1e-2);
+}

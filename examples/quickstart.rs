@@ -1,0 +1,56 @@
+//! Quickstart: encrypt a vector, compute on it homomorphically, decrypt.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ark_fhe::ckks::encoding::max_error;
+use ark_fhe::ckks::params::{CkksContext, CkksParams};
+use ark_fhe::math::cfft::C64;
+use rand::SeedableRng;
+
+fn main() {
+    // A reduced-degree parameter set (N = 2^10): fast, same structure as
+    // the paper-scale sets. Not secure — demonstration only.
+    let ctx = CkksContext::new(CkksParams::small());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2022);
+    let sk = ctx.gen_secret_key(&mut rng);
+    let evk = ctx.gen_mult_key(&sk, &mut rng);
+    let rot_keys = ctx.gen_rotation_keys(&[1, -3], false, &sk, &mut rng);
+
+    let slots = ctx.params().slots();
+    println!(
+        "CKKS with N = {}, {} slots, L = {}",
+        ctx.params().n(),
+        slots,
+        ctx.params().max_level
+    );
+
+    // message: x_i = sin(i/10)
+    let x: Vec<C64> = (0..slots).map(|i| C64::new((i as f64 / 10.0).sin(), 0.0)).collect();
+    let y: Vec<C64> = (0..slots).map(|i| C64::new(0.25 + 0.001 * i as f64, 0.0)).collect();
+    let scale = ctx.params().scale();
+    let ct_x = ctx.encrypt(&ctx.encode(&x, 4, scale), &sk, &mut rng);
+    let ct_y = ctx.encrypt(&ctx.encode(&y, 4, scale), &sk, &mut rng);
+
+    // (x + y) * x, then rotate left by 1
+    let sum = ctx.add(&ct_x, &ct_y);
+    let prod = ctx.mul_rescale(&sum, &ct_x, &evk);
+    let rotated = ctx.rotate(&prod, 1, &rot_keys);
+
+    let out = ctx.decrypt_decode(&rotated, &sk);
+    let expect: Vec<C64> = (0..slots)
+        .map(|i| {
+            let j = (i + 1) % slots;
+            (x[j] + y[j]) * x[j]
+        })
+        .collect();
+    let err = max_error(&expect, &out);
+    println!("computed rot((x + y) * x, 1) homomorphically");
+    println!("max slot error vs plaintext computation: {err:.2e}");
+    assert!(err < 1e-3, "unexpectedly large error");
+    println!(
+        "first 4 slots: {:?}",
+        &out[..4].iter().map(|z| (z.re * 1e4).round() / 1e4).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,16 @@
+//! # ark-fhe — reproduction of ARK (MICRO 2022)
+//!
+//! Umbrella crate re-exporting the workspace members:
+//!
+//! - [`math`] — modular arithmetic, NTT, RNS polynomials, base conversion.
+//! - [`ckks`] — the RNS-CKKS scheme with bootstrapping, Min-KS and OF-Limb.
+//! - [`arch`] — the ARK accelerator model (cycle-level simulator).
+//! - [`workloads`] — HE-op trace generators (H-(I)DFT, bootstrapping,
+//!   HELR, ResNet-20, sorting) and analytic op counters.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use ark_ckks as ckks;
+pub use ark_core as arch;
+pub use ark_math as math;
+pub use ark_workloads as workloads;

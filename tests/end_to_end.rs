@@ -1,0 +1,186 @@
+//! Cross-crate integration tests: the functional CKKS library, the
+//! workload traces, and the accelerator model must tell one consistent
+//! story about the paper's claims.
+
+use ark_fhe::arch::pf::DataKind;
+use ark_fhe::arch::{run, ArkConfig, CompileOptions};
+use ark_fhe::ckks::bootstrap::{BootstrapConfig, Bootstrapper};
+use ark_fhe::ckks::encoding::max_error;
+use ark_fhe::ckks::minks::KeyStrategy;
+use ark_fhe::ckks::params::{CkksContext, CkksParams};
+use ark_fhe::math::cfft::C64;
+use ark_fhe::workloads::bootstrap::{bootstrap_trace, BootstrapTraceConfig};
+use ark_fhe::workloads::hdft::{hdft_trace, HdftConfig};
+use rand::SeedableRng;
+
+/// Claim 1 (correctness ⇄ performance): Min-KS changes *which keys* are
+/// used, never the message. Verify functionally at reduced degree and
+/// check the simulator sees the traffic difference at paper scale.
+#[test]
+fn minks_preserves_messages_and_cuts_traffic() {
+    // functional side
+    let ctx = CkksContext::new(CkksParams::boot_test());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(404);
+    let sk = ctx.gen_secret_key(&mut rng);
+    let evk = ctx.gen_mult_key(&sk, &mut rng);
+    let slots = ctx.params().slots();
+    let msg: Vec<C64> = (0..slots)
+        .map(|i| C64::new(0.2 * ((i % 8) as f64 / 8.0), -0.1 * ((i % 5) as f64 / 5.0)))
+        .collect();
+    let ct = ctx.encrypt(&ctx.encode(&msg, 0, ctx.params().scale()), &sk, &mut rng);
+
+    let mut outputs = Vec::new();
+    for strategy in [KeyStrategy::Baseline, KeyStrategy::MinKs] {
+        let boot = Bootstrapper::new(
+            &ctx,
+            BootstrapConfig {
+                radix_log2: 3,
+                strategy,
+                ..BootstrapConfig::default()
+            },
+        );
+        let keys = ctx.gen_rotation_keys(&boot.required_rotations(), true, &sk, &mut rng);
+        let refreshed = boot.bootstrap(&ctx, &ct, &evk, &keys);
+        outputs.push(ctx.decrypt_decode(&refreshed, &sk));
+    }
+    let disagreement = max_error(&outputs[0], &outputs[1]);
+    assert!(
+        disagreement < 1e-2,
+        "strategies disagree by {disagreement}"
+    );
+
+    // performance side, at paper scale
+    let params = CkksParams::ark();
+    let cfg = ArkConfig::base();
+    let base = run(
+        &bootstrap_trace(&params, &BootstrapTraceConfig::full(&params, KeyStrategy::Baseline)),
+        &params,
+        &cfg,
+        CompileOptions::baseline(),
+    );
+    let minks = run(
+        &bootstrap_trace(&params, &BootstrapTraceConfig::full(&params, KeyStrategy::MinKs)),
+        &params,
+        &cfg,
+        CompileOptions::baseline(),
+    );
+    assert!(
+        base.hbm_evk_words as f64 / minks.hbm_evk_words as f64 > 3.0,
+        "Min-KS must slash evk traffic"
+    );
+    assert!(minks.cycles < base.cycles);
+}
+
+/// Claim 2: OF-Limb is bit-exact functionally and trades HBM words for
+/// NTT work in the model.
+#[test]
+fn of_limb_exactness_and_traffic_trade() {
+    let ctx = CkksContext::new(CkksParams::small());
+    let slots = ctx.params().slots();
+    let w: Vec<C64> = (0..slots).map(|i| C64::new(0.01 * i as f64, 0.5)).collect();
+    let level = ctx.params().max_level;
+    let full = ctx.encode(&w, level, ctx.params().scale());
+    let compressed = ctx.compress_plaintext(&full);
+    assert_eq!(
+        ctx.expand_plaintext(&compressed, level).poly,
+        full.poly,
+        "OF-Limb regeneration must be exact"
+    );
+    assert_eq!(compressed.words() * (level + 1), full.poly.words());
+
+    let params = CkksParams::ark();
+    let cfg = ArkConfig::base();
+    let t = hdft_trace(&HdftConfig::paper_hidft(&params, KeyStrategy::MinKs));
+    let off = run(&t, &params, &cfg, CompileOptions { of_limb: false });
+    let on = run(&t, &params, &cfg, CompileOptions { of_limb: true });
+    assert!(on.hbm_plaintext_words * 20 < off.hbm_plaintext_words);
+    assert!(on.mod_mults > off.mod_mults, "OF-Limb pays extra NTTs");
+    assert!(on.cycles < off.cycles, "...and still wins at ARK's compute");
+}
+
+/// Claim 3 (the paper's headline): the combined algorithms remove ~88%
+/// of H-IDFT off-chip access and lift arithmetic intensity several-fold
+/// (Fig. 2), turning a memory-bound kernel compute-bound.
+#[test]
+fn fig2_headline_numbers() {
+    let params = CkksParams::ark();
+    let cfg = ArkConfig::base();
+    let base = run(
+        &hdft_trace(&HdftConfig::paper_hidft(&params, KeyStrategy::Baseline)),
+        &params,
+        &cfg,
+        CompileOptions::baseline(),
+    );
+    let both = run(
+        &hdft_trace(&HdftConfig::paper_hidft(&params, KeyStrategy::MinKs)),
+        &params,
+        &cfg,
+        CompileOptions::all_on(),
+    );
+    let removed = 1.0 - both.hbm_bytes() as f64 / base.hbm_bytes() as f64;
+    assert!(
+        (0.80..0.95).contains(&removed),
+        "removed {:.0}% (paper: 88%)",
+        removed * 100.0
+    );
+    let intensity_gain = both.arithmetic_intensity() / base.arithmetic_intensity();
+    assert!(
+        intensity_gain > 5.0,
+        "intensity gain {intensity_gain:.1}x (paper: ~10x combined)"
+    );
+}
+
+/// Claim 4: the evk working set drives the scratchpad story — smaller
+/// scratchpads reload keys (Fig. 9(c)(d) saturating curves).
+#[test]
+fn scratchpad_capacity_monotonicity() {
+    let params = CkksParams::ark();
+    let t = bootstrap_trace(&params, &BootstrapTraceConfig::full(&params, KeyStrategy::MinKs));
+    let mut last_bytes = u64::MAX;
+    for mib in [192usize, 320, 512] {
+        let cfg = ArkConfig::with_scratchpad(mib);
+        let r = run(&t, &params, &cfg, CompileOptions::all_on());
+        assert!(
+            r.hbm_bytes() <= last_bytes,
+            "traffic must not grow with capacity ({mib} MB)"
+        );
+        last_bytes = r.hbm_bytes();
+    }
+}
+
+/// Claim 5: H-DFT is cheaper than H-IDFT because it runs at the bottom
+/// of the chain (the Fig. 2(a) vs 2(b) asymmetry).
+#[test]
+fn hidft_hdft_asymmetry() {
+    let params = CkksParams::ark();
+    let cfg = ArkConfig::base();
+    let hidft = run(
+        &hdft_trace(&HdftConfig::paper_hidft(&params, KeyStrategy::Baseline)),
+        &params,
+        &cfg,
+        CompileOptions::baseline(),
+    );
+    let hdft = run(
+        &hdft_trace(&HdftConfig::paper_hdft(&params, KeyStrategy::Baseline)),
+        &params,
+        &cfg,
+        CompileOptions::baseline(),
+    );
+    assert!(hidft.hbm_words(DataKind::Evk) > 2 * hdft.hbm_words(DataKind::Evk));
+    assert!(hidft.cycles > hdft.cycles);
+}
+
+/// Small trait plumbing used by the asymmetry test.
+trait HbmWordsByKind {
+    fn hbm_words(&self, kind: DataKind) -> u64;
+}
+
+impl HbmWordsByKind for ark_fhe::arch::SimReport {
+    fn hbm_words(&self, kind: DataKind) -> u64 {
+        match kind {
+            DataKind::Evk => self.hbm_evk_words,
+            DataKind::Plaintext => self.hbm_plaintext_words,
+            DataKind::Other => self.hbm_other_words,
+        }
+    }
+}

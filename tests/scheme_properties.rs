@@ -1,0 +1,128 @@
+//! Property-based integration tests over the CKKS scheme: random op
+//! sequences must decrypt to what the same sequence computes on clear
+//! vectors, within noise bounds.
+
+use ark_fhe::ckks::encoding::max_error;
+use ark_fhe::ckks::params::{CkksContext, CkksParams};
+use ark_fhe::math::cfft::C64;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+/// Shared context: building NTT tables per proptest case would dominate
+/// runtime.
+fn ctx() -> &'static CkksContext {
+    static CTX: OnceLock<CkksContext> = OnceLock::new();
+    CTX.get_or_init(|| CkksContext::new(CkksParams::tiny()))
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    AddConst(f64),
+    MulConst(f64),
+    AddSelfRotated(i64),
+    Square,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (-2.0f64..2.0).prop_map(Op::AddConst),
+        (-1.5f64..1.5).prop_map(Op::MulConst),
+        (1i64..4).prop_map(Op::AddSelfRotated),
+        Just(Op::Square),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_pipelines_match_clear_evaluation(
+        ops in proptest::collection::vec(op_strategy(), 1..4),
+        seed in 0u64..1000,
+    ) {
+        let ctx = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sk = ctx.gen_secret_key(&mut rng);
+        let evk = ctx.gen_mult_key(&sk, &mut rng);
+        let keys = ctx.gen_rotation_keys(&[1, 2, 3], false, &sk, &mut rng);
+        let slots = ctx.params().slots();
+        let mut clear: Vec<C64> = (0..slots)
+            .map(|i| C64::new(0.05 * (i as f64 % 7.0) - 0.15, 0.0))
+            .collect();
+        let mut ct = ctx.encrypt(
+            &ctx.encode(&clear, ctx.params().max_level, ctx.params().scale()),
+            &sk,
+            &mut rng,
+        );
+        for op in &ops {
+            if ct.level == 0 {
+                break;
+            }
+            match *op {
+                Op::AddConst(c) => {
+                    ct = ctx.add_const(&ct, c);
+                    clear = clear.iter().map(|&z| z + C64::new(c, 0.0)).collect();
+                }
+                Op::MulConst(c) => {
+                    ct = ctx.rescale(&ctx.mul_const(&ct, c));
+                    clear = clear.iter().map(|&z| z.scale(c)).collect();
+                }
+                Op::AddSelfRotated(r) => {
+                    let rot = ctx.rotate(&ct, r, &keys);
+                    ct = ctx.add(&ct, &rot);
+                    clear = (0..slots)
+                        .map(|i| clear[i] + clear[(i + r as usize) % slots])
+                        .collect();
+                }
+                Op::Square => {
+                    ct = ctx.rescale(&ctx.square(&ct, &evk));
+                    clear = clear.iter().map(|&z| z * z).collect();
+                }
+            }
+        }
+        let out = ctx.decrypt_decode(&ct, &sk);
+        let err = max_error(&clear, &out);
+        // magnitudes can grow with AddSelfRotated chains; scale tolerance
+        let magnitude = clear.iter().map(|z| z.abs()).fold(1.0, f64::max);
+        prop_assert!(
+            err < 2e-3 * magnitude,
+            "pipeline {:?}: err {} vs magnitude {}",
+            ops, err, magnitude
+        );
+    }
+}
+
+#[test]
+fn serialized_level_walk() {
+    // exercise every level of the chain with alternating op kinds
+    let ctx = ctx();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31337);
+    let sk = ctx.gen_secret_key(&mut rng);
+    let evk = ctx.gen_mult_key(&sk, &mut rng);
+    let slots = ctx.params().slots();
+    let msg: Vec<C64> = (0..slots).map(|i| C64::new(0.9 - 0.002 * i as f64, 0.0)).collect();
+    let mut clear = msg.clone();
+    let mut ct = ctx.encrypt(
+        &ctx.encode(&msg, ctx.params().max_level, ctx.params().scale()),
+        &sk,
+        &mut rng,
+    );
+    let mut toggle = false;
+    while ct.level > 0 {
+        if toggle {
+            ct = ctx.rescale(&ctx.square(&ct, &evk));
+            clear = clear.iter().map(|&z| z * z).collect();
+        } else {
+            ct = ctx.rescale(&ctx.mul_const(&ct, 0.5));
+            clear = clear.iter().map(|&z| z.scale(0.5)).collect();
+        }
+        toggle = !toggle;
+        let out = ctx.decrypt_decode(&ct, &sk);
+        assert!(
+            max_error(&clear, &out) < 1e-3,
+            "drift at level {}",
+            ct.level
+        );
+    }
+}
