@@ -28,33 +28,51 @@ fn setup() -> Setup {
     let scale = ctx.params().scale();
     let ct1 = ctx.encrypt(&ctx.encode(&m, level, scale), &sk, &mut rng);
     let ct2 = ctx.encrypt(&ctx.encode(&m, level, scale), &sk, &mut rng);
-    Setup { ctx, sk, evk, keys, ct1, ct2 }
+    Setup {
+        ctx,
+        sk,
+        evk,
+        keys,
+        ct1,
+        ct2,
+    }
 }
 
 fn bench_he_ops(c: &mut Criterion) {
     let s = setup();
     let mut g = c.benchmark_group("he_ops_n1024_l9");
     g.bench_function("hadd", |b| b.iter(|| s.ctx.add(&s.ct1, &s.ct2)));
-    g.bench_function("hmult_relin", |b| b.iter(|| s.ctx.mul(&s.ct1, &s.ct2, &s.evk)));
+    g.bench_function("hmult_relin", |b| {
+        b.iter(|| s.ctx.mul(&s.ct1, &s.ct2, &s.evk))
+    });
     g.bench_function("hrot_1", |b| b.iter(|| s.ctx.rotate(&s.ct1, 1, &s.keys)));
     g.bench_function("conjugate", |b| b.iter(|| s.ctx.conjugate(&s.ct1, &s.keys)));
     g.bench_function("rescale", |b| {
         let prod = s.ctx.mul(&s.ct1, &s.ct2, &s.evk);
         b.iter(|| s.ctx.rescale(&prod))
     });
-    g.bench_function("decrypt_decode", |b| b.iter(|| s.ctx.decrypt_decode(&s.ct1, &s.sk)));
+    g.bench_function("decrypt_decode", |b| {
+        b.iter(|| s.ctx.decrypt_decode(&s.ct1, &s.sk))
+    });
     g.finish();
 }
 
 fn bench_encode(c: &mut Criterion) {
     let s = setup();
     let slots = s.ctx.params().slots();
-    let m: Vec<C64> = (0..slots).map(|i| C64::new((i as f64).cos(), 0.0)).collect();
+    let m: Vec<C64> = (0..slots)
+        .map(|i| C64::new((i as f64).cos(), 0.0))
+        .collect();
     let mut g = c.benchmark_group("encoding");
     g.bench_function("encode_512_slots", |b| {
-        b.iter(|| s.ctx.encode(&m, s.ctx.params().max_level, s.ctx.params().scale()))
+        b.iter(|| {
+            s.ctx
+                .encode(&m, s.ctx.params().max_level, s.ctx.params().scale())
+        })
     });
-    let pt = s.ctx.encode(&m, s.ctx.params().max_level, s.ctx.params().scale());
+    let pt = s
+        .ctx
+        .encode(&m, s.ctx.params().max_level, s.ctx.params().scale());
     g.bench_function("compress_expand_oflimb", |b| {
         b.iter(|| {
             let c = s.ctx.compress_plaintext(&pt);

@@ -46,10 +46,7 @@ fn bench_ntt(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
     for log_n in [12u32, 14] {
         let n = 1usize << log_n;
-        let table = NttTable::new(
-            Modulus::new(generate_ntt_primes(n, 50, 1)[0]).unwrap(),
-            n,
-        );
+        let table = NttTable::new(Modulus::new(generate_ntt_primes(n, 50, 1)[0]).unwrap(), n);
         let data: Vec<u64> = (0..n)
             .map(|_| rng.gen::<u64>() % table.modulus().value())
             .collect();
@@ -74,10 +71,7 @@ fn bench_ntt(c: &mut Criterion) {
 
 fn bench_four_step(c: &mut Criterion) {
     let n = 1usize << 12;
-    let ntt = FourStepNtt::new(
-        Modulus::new(generate_ntt_primes(n, 50, 1)[0]).unwrap(),
-        n,
-    );
+    let ntt = FourStepNtt::new(Modulus::new(generate_ntt_primes(n, 50, 1)[0]).unwrap(), n);
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let data: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % (1u64 << 49)).collect();
     let mut g = c.benchmark_group("ntt4step");

@@ -9,10 +9,21 @@ use ark_workloads::bootstrap::{bootstrap_trace, BootstrapTraceConfig};
 
 fn main() {
     let params = CkksParams::ark();
-    let trace = bootstrap_trace(&params, &BootstrapTraceConfig::full(&params, KeyStrategy::MinKs));
+    let trace = bootstrap_trace(
+        &params,
+        &BootstrapTraceConfig::full(&params, KeyStrategy::MinKs),
+    );
     println!("Chiplet exploration — bootstrapping, Min-KS + OF-Limb");
-    println!("{:<28} {:>12} {:>10} {:>12}", "design", "boot time", "rel perf", "rel fab cost");
-    let mono = run(&trace, &params, &ChipletPlan::monolithic().config(), CompileOptions::all_on());
+    println!(
+        "{:<28} {:>12} {:>10} {:>12}",
+        "design", "boot time", "rel perf", "rel fab cost"
+    );
+    let mono = run(
+        &trace,
+        &params,
+        &ChipletPlan::monolithic().config(),
+        CompileOptions::all_on(),
+    );
     for (plan, label) in [
         (ChipletPlan::monolithic(), "monolithic (418 mm²)"),
         (ChipletPlan::new(2, 2000.0), "2 chiplets, 2 TB/s D2D"),

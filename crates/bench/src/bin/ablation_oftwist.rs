@@ -14,18 +14,30 @@ fn main() {
     let n = 1 << 12;
     let ntt = FourStepNtt::new(Modulus::new(generate_ntt_primes(n, 50, 1)[0]).unwrap(), n);
     println!("OF-Twist — twisting-factor storage per limb (N = 2^12 functional check):");
-    println!("  baseline: {} words, OF-Twist: {} words ({:.1}% saved; paper: 99%)",
+    println!(
+        "  baseline: {} words, OF-Twist: {} words ({:.1}% saved; paper: 99%)",
         ntt.twist_storage_words_baseline(),
         ntt.twist_storage_words_of_twist(),
-        100.0 * ntt.of_twist_storage_saving());
+        100.0 * ntt.of_twist_storage_saving()
+    );
     // paper-scale: 30 MB of scratchpad reclaimed — rerun bootstrapping
     // with OF-Twist off (storage charged against the evk cache)
     let params = CkksParams::ark();
-    let trace = bootstrap_trace(&params, &BootstrapTraceConfig::full(&params, KeyStrategy::MinKs));
+    let trace = bootstrap_trace(
+        &params,
+        &BootstrapTraceConfig::full(&params, KeyStrategy::MinKs),
+    );
     for (label, of_twist) in [("OF-Twist on", true), ("OF-Twist off", false)] {
-        let cfg = ArkConfig { of_twist, ..ArkConfig::base() };
+        let cfg = ArkConfig {
+            of_twist,
+            ..ArkConfig::base()
+        };
         let r = run(&trace, &params, &cfg, CompileOptions::all_on());
-        println!("  {label:<14} boot {:>10}  HBM {:>6.2} GB", fmt_time(r.seconds), r.hbm_bytes() as f64 / 1e9);
+        println!(
+            "  {label:<14} boot {:>10}  HBM {:>6.2} GB",
+            fmt_time(r.seconds),
+            r.hbm_bytes() as f64 / 1e9
+        );
     }
     println!("\npaper: OF-Twist saves 30 MB of on-chip storage (2·(α+L+1)·N words)");
 }

@@ -3,9 +3,17 @@ use ark_core::f1::{paper_utilization_ceilings, ScaledF1};
 
 fn main() {
     let f1 = ScaledF1::paper();
-    println!("Section III-C — scaled F1 ({} modular multipliers, {} TB/s HBM3)",
-        f1.modular_multipliers, f1.hbm_tbps);
+    println!(
+        "Section III-C — scaled F1 ({} modular multipliers, {} TB/s HBM3)",
+        f1.modular_multipliers, f1.hbm_tbps
+    );
     let (hidft, hdft) = paper_utilization_ceilings();
-    println!("  H-IDFT max utilization: {:>6.2}%   (paper: 8.61%)", hidft * 100.0);
-    println!("  H-DFT  max utilization: {:>6.2}%   (paper: 13.32%)", hdft * 100.0);
+    println!(
+        "  H-IDFT max utilization: {:>6.2}%   (paper: 8.61%)",
+        hidft * 100.0
+    );
+    println!(
+        "  H-DFT  max utilization: {:>6.2}%   (paper: 13.32%)",
+        hdft * 100.0
+    );
 }

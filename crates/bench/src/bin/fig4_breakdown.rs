@@ -9,7 +9,10 @@ fn main() {
         "dnum", "(I)NTT%", "BConv%", "MultEvk%", "Others%"
     );
     for dnum in [4usize, 24] {
-        let p = CkksParams { dnum, ..CkksParams::ark() };
+        let p = CkksParams {
+            dnum,
+            ..CkksParams::ark()
+        };
         let b = hrot_breakdown(&p, p.max_level);
         let (ntt, bconv, evk, other) = b.percentages();
         let label = if dnum == 24 { "max (24)" } else { "4" };

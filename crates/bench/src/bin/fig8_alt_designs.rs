@@ -31,5 +31,7 @@ fn main() {
             );
         }
     }
-    println!("\npaper: alt-distribution 0.67-0.85x, 2x clusters up to 1.45x, 2x HBM ~1.07x (1.47x HELR)");
+    println!(
+        "\npaper: alt-distribution 0.67-0.85x, 2x clusters up to 1.45x, 2x HBM ~1.07x (1.47x HELR)"
+    );
 }

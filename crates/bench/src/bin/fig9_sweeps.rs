@@ -8,14 +8,22 @@ fn main() {
         let cfg = ArkConfig::with_bconv_macs(macs);
         let (h, _) = simulate_on(Workload::Helr, &cfg);
         let (r, _) = simulate_on(Workload::ResNet, &cfg);
-        println!("  {macs} MACs: HELR {:>12}   ResNet-20 {:>12}", fmt_time(h), fmt_time(r));
+        println!(
+            "  {macs} MACs: HELR {:>12}   ResNet-20 {:>12}",
+            fmt_time(h),
+            fmt_time(r)
+        );
     }
     println!("\nFig. 9(c)(d) — total scratchpad capacity");
     for mib in [192usize, 256, 320, 384, 448, 512, 576] {
         let cfg = ArkConfig::with_scratchpad(mib);
         let (h, _) = simulate_on(Workload::Helr, &cfg);
         let (r, _) = simulate_on(Workload::ResNet, &cfg);
-        println!("  {mib:>4} MB: HELR {:>12}   ResNet-20 {:>12}", fmt_time(h), fmt_time(r));
+        println!(
+            "  {mib:>4} MB: HELR {:>12}   ResNet-20 {:>12}",
+            fmt_time(h),
+            fmt_time(r)
+        );
     }
     println!("\npaper: 1->6 MACs gives 1.37x/1.72x then saturates; 192->512 MB gives 1.53x/2.42x then saturates");
 }

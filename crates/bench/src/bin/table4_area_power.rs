@@ -7,7 +7,10 @@ fn main() {
     let a = Area::for_config(&ArkConfig::base());
     let p = PeakPower::for_config(&ArkConfig::base());
     println!("Table IV — ARK area and peak power (7 nm model constants)");
-    println!("{:<22} {:>10} {:>12}", "Component", "Area(mm²)", "Peak power(W)");
+    println!(
+        "{:<22} {:>10} {:>12}",
+        "Component", "Area(mm²)", "Peak power(W)"
+    );
     let rows = [
         ("4 BConvUs", a.bconvu, p.bconvu),
         ("4 NTTUs", a.nttu, p.nttu),

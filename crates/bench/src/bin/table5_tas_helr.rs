@@ -8,16 +8,48 @@ fn main() {
     let helr_ms = helr_s * 1e3;
     println!("Table V — T_A.S. and HELR (30 iterations, 1,024 images each)");
     println!("{:<10} {:>14} {:>14}", "System", "T_A.S.", "HELR (ms)");
-    println!("{:<10} {:>11} µs {:>14.0}", "Lattigo", reported::TAS_LATTIGO_US, reported::HELR_LATTIGO_MS);
-    println!("{:<10} {:>11} µs {:>14.0}", "100x", reported::TAS_100X_US, reported::HELR_100X_MS);
-    println!("{:<10} {:>11} µs {:>14.0}", "F1", reported::TAS_F1_US, reported::HELR_F1_MS);
-    println!("{:<10} {:>11} µs {:>14.0}", "F1+", reported::TAS_F1P_US, reported::HELR_F1P_MS);
-    println!("{:<10} {:>11.1} ns {:>14.2}  <- this simulator", "ARK(sim)", tas_ns, helr_ms);
-    println!("{:<10} {:>11.1} ns {:>14.3}  <- paper", "ARK(paper)", reported::TAS_ARK_NS, reported::HELR_ARK_MS);
-    println!("\nspeedups (sim): vs 100x T_A.S. {:.0}x (paper 563x); vs 100x HELR {:.0}x (paper 104x)",
+    println!(
+        "{:<10} {:>11} µs {:>14.0}",
+        "Lattigo",
+        reported::TAS_LATTIGO_US,
+        reported::HELR_LATTIGO_MS
+    );
+    println!(
+        "{:<10} {:>11} µs {:>14.0}",
+        "100x",
+        reported::TAS_100X_US,
+        reported::HELR_100X_MS
+    );
+    println!(
+        "{:<10} {:>11} µs {:>14.0}",
+        "F1",
+        reported::TAS_F1_US,
+        reported::HELR_F1_MS
+    );
+    println!(
+        "{:<10} {:>11} µs {:>14.0}",
+        "F1+",
+        reported::TAS_F1P_US,
+        reported::HELR_F1P_MS
+    );
+    println!(
+        "{:<10} {:>11.1} ns {:>14.2}  <- this simulator",
+        "ARK(sim)", tas_ns, helr_ms
+    );
+    println!(
+        "{:<10} {:>11.1} ns {:>14.3}  <- paper",
+        "ARK(paper)",
+        reported::TAS_ARK_NS,
+        reported::HELR_ARK_MS
+    );
+    println!(
+        "\nspeedups (sim): vs 100x T_A.S. {:.0}x (paper 563x); vs 100x HELR {:.0}x (paper 104x)",
         reported::TAS_100X_US * 1e3 / tas_ns,
-        reported::HELR_100X_MS / helr_ms);
-    println!("vs F1+: T_A.S. {:.0}x (paper 2,353x); HELR {:.0}x (paper 18x)",
+        reported::HELR_100X_MS / helr_ms
+    );
+    println!(
+        "vs F1+: T_A.S. {:.0}x (paper 2,353x); HELR {:.0}x (paper 18x)",
         reported::TAS_F1P_US * 1e3 / tas_ns,
-        reported::HELR_F1P_MS / helr_ms);
+        reported::HELR_F1P_MS / helr_ms
+    );
 }

@@ -5,15 +5,24 @@ fn main() {
     let (resnet_s, _) = simulate_workload(Workload::ResNet, AlgoVariant::MinKsOfLimb);
     let (sorting_s, _) = simulate_workload(Workload::Sorting, AlgoVariant::MinKsOfLimb);
     println!("Table VI — complex workloads vs CPU baselines");
-    println!("{:<12} {:>10} {:>12} {:>12} {:>10}", "Workload", "CPU (s)", "ARK sim (s)", "paper (s)", "speedup");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>10}",
+        "Workload", "CPU (s)", "ARK sim (s)", "paper (s)", "speedup"
+    );
     println!(
         "{:<12} {:>10.0} {:>12.3} {:>12.3} {:>9.0}x",
-        "ResNet-20", reported::RESNET_CPU_S, resnet_s, reported::RESNET_ARK_S,
+        "ResNet-20",
+        reported::RESNET_CPU_S,
+        resnet_s,
+        reported::RESNET_ARK_S,
         reported::RESNET_CPU_S / resnet_s
     );
     println!(
         "{:<12} {:>10.0} {:>12.3} {:>12.3} {:>9.0}x",
-        "Sorting", reported::SORTING_CPU_S, sorting_s, reported::SORTING_ARK_S,
+        "Sorting",
+        reported::SORTING_CPU_S,
+        sorting_s,
+        reported::SORTING_ARK_S,
         reported::SORTING_CPU_S / sorting_s
     );
     println!("\npaper speedups: 18,214x (ResNet-20), 11,590x (sorting)");

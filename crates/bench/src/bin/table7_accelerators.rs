@@ -10,18 +10,47 @@ fn main() {
     let (resnet, _) = simulate_workload(Workload::ResNet, AlgoVariant::MinKsOfLimb);
     let (sorting, _) = simulate_workload(Workload::Sorting, AlgoVariant::MinKsOfLimb);
     println!("Table VII — ARK vs recent FHE accelerators (reported numbers)");
-    println!("{:<16} {:>12} {:>12} {:>12}", "", "ARK (sim)", "CraterLake", "BTS");
-    println!("{:<16} {:>9.1} ns {:>9.1} ns {:>9.1} ns", "T_A.S.",
-        tas, reported::TAS_CRATERLAKE_NS, reported::TAS_BTS_NS);
-    println!("{:<16} {:>9.2} ms {:>9.1} ms {:>9.1} ms", "HELR",
-        helr * 1e3, reported::HELR_CRATERLAKE_MS, reported::HELR_BTS_MS);
-    println!("{:<16} {:>10.3} s {:>10.3} s {:>10.2} s", "ResNet-20",
-        resnet, reported::RESNET_CRATERLAKE_S, reported::RESNET_BTS_S);
-    println!("{:<16} {:>10.2} s {:>12} {:>10.1} s", "Sorting",
-        sorting, "-", reported::SORTING_BTS_S);
+    println!(
+        "{:<16} {:>12} {:>12} {:>12}",
+        "", "ARK (sim)", "CraterLake", "BTS"
+    );
+    println!(
+        "{:<16} {:>9.1} ns {:>9.1} ns {:>9.1} ns",
+        "T_A.S.",
+        tas,
+        reported::TAS_CRATERLAKE_NS,
+        reported::TAS_BTS_NS
+    );
+    println!(
+        "{:<16} {:>9.2} ms {:>9.1} ms {:>9.1} ms",
+        "HELR",
+        helr * 1e3,
+        reported::HELR_CRATERLAKE_MS,
+        reported::HELR_BTS_MS
+    );
+    println!(
+        "{:<16} {:>10.3} s {:>10.3} s {:>10.2} s",
+        "ResNet-20",
+        resnet,
+        reported::RESNET_CRATERLAKE_S,
+        reported::RESNET_BTS_S
+    );
+    println!(
+        "{:<16} {:>10.2} s {:>12} {:>10.1} s",
+        "Sorting",
+        sorting,
+        "-",
+        reported::SORTING_BTS_S
+    );
     let a = Area::for_config(&ArkConfig::base()).total();
     let p = PeakPower::for_config(&ArkConfig::base()).total();
-    println!("{:<16} {:>9.1} mm² {:>8} mm² {:>8} mm²", "Area", a, 472.3, 373.6);
-    println!("{:<16} {:>10.1} W {:>10} W {:>10.1} W", "Peak power", p, ">317", 163.2);
+    println!(
+        "{:<16} {:>9.1} mm² {:>8} mm² {:>8} mm²",
+        "Area", a, 472.3, 373.6
+    );
+    println!(
+        "{:<16} {:>10.1} W {:>10} W {:>10.1} W",
+        "Peak power", p, ">317", 163.2
+    );
     println!("\npaper ARK: 14.3 ns / 7.42 ms / 0.125 s / 1.99 s; beats CraterLake 1.23-2.58x, BTS 3.19-15.32x");
 }

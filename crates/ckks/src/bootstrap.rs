@@ -14,6 +14,7 @@
 
 use crate::ciphertext::Ciphertext;
 use crate::dft::{coeff_to_slot_stages, group_stages, slot_to_coeff_stages};
+use crate::error::ArkResult;
 use crate::evalmod::{ChebyshevPoly, EvalModParams};
 use crate::keys::{EvalKey, RotationKeys};
 use crate::lintrans::LinearTransform;
@@ -113,17 +114,19 @@ impl Bootstrapper {
 
     /// Runs the full pipeline on a low-level ciphertext.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if rotation or conjugation keys are missing, or if the
-    /// chain is too short for the EvalMod depth.
+    /// [`crate::error::ArkError::MissingConjugationKey`] if `keys` lacks the
+    /// conjugation key. Missing transform rotation keys (anything in
+    /// [`Self::required_rotations`]) and a chain too short for the
+    /// EvalMod depth are treated as invariant violations and panic.
     pub fn bootstrap(
         &self,
         ctx: &CkksContext,
         ct: &Ciphertext,
         evk_mult: &EvalKey,
         keys: &RotationKeys,
-    ) -> Ciphertext {
+    ) -> ArkResult<Ciphertext> {
         // 1. ModRaise.
         let mut t = ctx.mod_raise(ct);
         // 2. CoeffToSlot: slots ← coefficients·Δ/(2q0), bit-reversed.
@@ -132,14 +135,19 @@ impl Bootstrapper {
         }
         // 3. real/imag split: z1 = w + w̄ (real coeffs / q0),
         //    z2 = −i·(w − w̄) (imag coeffs / q0).
-        let conj = ctx.conjugate(&t, keys);
-        let z1 = ctx.add(&t, &conj);
-        let z2 = ctx.mul_i(&ctx.sub(&t, &conj), true);
+        let conj = ctx.conjugate(&t, keys)?;
+        let z1 = ctx.add(&t, &conj).expect("conjugate preserves the scale");
+        let z2 = ctx.mul_i(
+            &ctx.sub(&t, &conj).expect("conjugate preserves the scale"),
+            true,
+        );
         // 4. EvalMod on both halves.
         let z1 = ctx.eval_chebyshev(&z1, &self.sine, evk_mult);
         let z2 = ctx.eval_chebyshev(&z2, &self.sine, evk_mult);
         // 5. recombine w' = z1 + i·z2.
-        let mut t = ctx.add(&z1, &ctx.mul_i(&z2, false));
+        let mut t = ctx
+            .add(&z1, &ctx.mul_i(&z2, false))
+            .expect("EvalMod halves share one scale");
         // 6. SlotToCoeff (consumes the bit-reversed order).
         for lt in &self.s2c {
             t = ctx.eval_linear_transform(&t, lt, self.strategy, keys);
@@ -148,7 +156,7 @@ impl Bootstrapper {
         // to the folded constants; snap the tracked scale to the ideal
         // value (drift is far below noise).
         t.scale = ct.scale;
-        t
+        Ok(t)
     }
 }
 
@@ -215,7 +223,6 @@ mod tests {
     use ark_math::cfft::C64;
     use rand::SeedableRng;
 
-
     #[test]
     fn mod_raise_preserves_message() {
         // Decrypting immediately after ModRaise must still yield the
@@ -225,14 +232,16 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(61);
         let sk = ctx.gen_secret_key(&mut rng);
         let slots = ctx.params().slots();
-        let m: Vec<C64> = (0..slots).map(|i| C64::new(0.25 * ((i % 7) as f64 - 3.0), 0.0)).collect();
+        let m: Vec<C64> = (0..slots)
+            .map(|i| C64::new(0.25 * ((i % 7) as f64 - 3.0), 0.0))
+            .collect();
         let ct = ctx.encrypt(&ctx.encode(&m, 0, ctx.params().scale()), &sk, &mut rng);
         let raised = ctx.mod_raise(&ct);
         assert_eq!(raised.level, ctx.params().max_level);
         // decrypt over the full chain: poly = Δm + q0·I; slots differ from
         // m by (q0/Δ)·(embedded I) — so direct decode is NOT m. Instead
         // check mod-q0 consistency: reduce back to level 0 and decode.
-        let dropped = ctx.mod_drop_to(&raised, 0);
+        let dropped = ctx.mod_drop_to(&raised, 0).unwrap();
         let out = ctx.decrypt_decode(&dropped, &sk);
         assert!(max_error(&m, &out) < 1e-4);
     }
@@ -270,12 +279,17 @@ mod tests {
 
         let slots = ctx.params().slots();
         let m: Vec<C64> = (0..slots)
-            .map(|i| C64::new(0.4 * ((i % 16) as f64 / 16.0 - 0.5), 0.3 * ((i % 9) as f64 / 9.0 - 0.4)))
+            .map(|i| {
+                C64::new(
+                    0.4 * ((i % 16) as f64 / 16.0 - 0.5),
+                    0.3 * ((i % 9) as f64 / 9.0 - 0.4),
+                )
+            })
             .collect();
         let ct0 = ctx.encrypt(&ctx.encode(&m, 0, ctx.params().scale()), &sk, &mut rng);
         assert_eq!(ct0.level, 0);
 
-        let refreshed = boot.bootstrap(&ctx, &ct0, &evk, &keys);
+        let refreshed = boot.bootstrap(&ctx, &ct0, &evk, &keys).unwrap();
         assert!(
             refreshed.level >= 2,
             "bootstrapping must leave usable levels, got {}",
@@ -295,11 +309,13 @@ mod tests {
         let boot = Bootstrapper::new(&ctx, BootstrapConfig::default());
         let keys = ctx.gen_rotation_keys(&boot.required_rotations(), true, &sk, &mut rng);
         let slots = ctx.params().slots();
-        let m: Vec<C64> = (0..slots).map(|i| C64::new(0.2 + 0.001 * i as f64, 0.0)).collect();
+        let m: Vec<C64> = (0..slots)
+            .map(|i| C64::new(0.2 + 0.001 * i as f64, 0.0))
+            .collect();
         let ct0 = ctx.encrypt(&ctx.encode(&m, 0, ctx.params().scale()), &sk, &mut rng);
-        let refreshed = boot.bootstrap(&ctx, &ct0, &evk, &keys);
+        let refreshed = boot.bootstrap(&ctx, &ct0, &evk, &keys).unwrap();
         // square the refreshed ciphertext — impossible at level 0
-        let sq = ctx.rescale(&ctx.square(&refreshed, &evk));
+        let sq = ctx.rescale(&ctx.square(&refreshed, &evk)).unwrap();
         let out = ctx.decrypt_decode(&sq, &sk);
         let want: Vec<C64> = m.iter().map(|&z| z * z).collect();
         let err = max_error(&want, &out);

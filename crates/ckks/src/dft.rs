@@ -68,9 +68,7 @@ impl SparseDiagonals {
         for (&a, da) in &self.diags {
             for (&b, db) in &inner.diags {
                 let amount = (a + b) % n;
-                let entry = out
-                    .entry(amount)
-                    .or_insert_with(|| vec![C64::zero(); n]);
+                let entry = out.entry(amount).or_insert_with(|| vec![C64::zero(); n]);
                 for k in 0..n {
                     entry[k] = entry[k] + da[k] * db[(k + a) % n];
                 }
@@ -142,7 +140,10 @@ pub fn coeff_to_slot_stages(n: usize) -> Vec<SparseDiagonals> {
         }
         stages.push(SparseDiagonals::new(
             n,
-            merge_diagonals(n, [(0usize, d0), (lenh % n, dplus), ((n - lenh) % n, dminus)]),
+            merge_diagonals(
+                n,
+                [(0usize, d0), (lenh % n, dplus), ((n - lenh) % n, dminus)],
+            ),
         ));
         len >>= 1;
     }
@@ -178,7 +179,10 @@ pub fn slot_to_coeff_stages(n: usize) -> Vec<SparseDiagonals> {
         }
         stages.push(SparseDiagonals::new(
             n,
-            merge_diagonals(n, [(0usize, d0), (lenh % n, dplus), ((n - lenh) % n, dminus)]),
+            merge_diagonals(
+                n,
+                [(0usize, d0), (lenh % n, dplus), ((n - lenh) % n, dminus)],
+            ),
         ));
         len <<= 1;
     }
@@ -188,10 +192,7 @@ pub fn slot_to_coeff_stages(n: usize) -> Vec<SparseDiagonals> {
 /// Merges diagonals additively: at the `len == n` stage the `+n/2` and
 /// `−n/2` rotation amounts coincide (their supports are disjoint halves),
 /// so a plain map insert would drop one of them.
-fn merge_diagonals(
-    _n: usize,
-    entries: [(usize, Vec<C64>); 3],
-) -> BTreeMap<usize, Vec<C64>> {
+fn merge_diagonals(_n: usize, entries: [(usize, Vec<C64>); 3]) -> BTreeMap<usize, Vec<C64>> {
     let mut out: BTreeMap<usize, Vec<C64>> = BTreeMap::new();
     for (amount, diag) in entries {
         match out.entry(amount) {
@@ -233,7 +234,7 @@ pub fn bit_reverse_slots(z: &[C64]) -> Vec<C64> {
     let bits = n.trailing_zeros();
     let mut out = z.to_vec();
     for i in 0..n {
-        let j = i.reverse_bits() as usize >> (usize::BITS - bits);
+        let j = i.reverse_bits() >> (usize::BITS - bits);
         if i < j {
             out.swap(i, j);
         }
@@ -333,7 +334,7 @@ mod tests {
         for k in [1usize, 2, 3] {
             for g in group_stages(&stages, k) {
                 assert!(
-                    g.amounts().len() <= (1 << (k + 1)) - 1,
+                    g.amounts().len() < (1 << (k + 1)),
                     "radix 2^{k}: {} diagonals",
                     g.amounts().len()
                 );

@@ -67,6 +67,7 @@ impl CkksContext {
         let mut folded = vec![C64::zero(); slots];
         let mut residues = vec![0u64; idx.len()];
         let mut reals = vec![0f64; n];
+        #[allow(clippy::needless_range_loop)]
         for k in 0..n {
             for (pos, r) in residues.iter_mut().enumerate() {
                 *r = poly.limb(pos)[k];
@@ -109,7 +110,11 @@ mod tests {
             .collect();
         let pt = ctx.encode(&msg, 2, ctx.params().scale());
         let out = ctx.decode(&pt);
-        assert!(max_error(&msg, &out) < 1e-6, "err={}", max_error(&msg, &out));
+        assert!(
+            max_error(&msg, &out) < 1e-6,
+            "err={}",
+            max_error(&msg, &out)
+        );
     }
 
     #[test]
@@ -131,7 +136,9 @@ mod tests {
         let ctx = ctx();
         let slots = ctx.params().slots();
         let z1: Vec<C64> = (0..slots).map(|i| C64::new(0.1 * i as f64, 0.2)).collect();
-        let z2: Vec<C64> = (0..slots).map(|i| C64::new(0.5, -0.03 * i as f64)).collect();
+        let z2: Vec<C64> = (0..slots)
+            .map(|i| C64::new(0.5, -0.03 * i as f64))
+            .collect();
         let scale = ctx.params().scale();
         let p1 = ctx.encode(&z1, 2, scale);
         let p2 = ctx.encode(&z2, 2, scale);
@@ -165,10 +172,12 @@ mod tests {
             scale: pt.scale,
         };
         let out = ctx.decode(&rotated);
-        let expect: Vec<C64> = (0..slots)
-            .map(|i| msg[(i + r) % slots])
-            .collect();
-        assert!(max_error(&expect, &out) < 1e-5, "err={}", max_error(&expect, &out));
+        let expect: Vec<C64> = (0..slots).map(|i| msg[(i + r) % slots]).collect();
+        assert!(
+            max_error(&expect, &out) < 1e-5,
+            "err={}",
+            max_error(&expect, &out)
+        );
     }
 
     #[test]

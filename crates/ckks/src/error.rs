@@ -1,0 +1,134 @@
+//! Typed errors for the fallible public entry points.
+//!
+//! The library distinguishes *usage errors* — conditions a caller can
+//! trigger with well-typed but semantically malformed inputs (mismatched
+//! levels or scales, a missing rotation key, an exhausted modulus
+//! chain) — from *invariant violations*, which remain `panic!`/`expect`
+//! sites because they indicate a bug inside the library, not misuse.
+//! Every fallible public operation returns [`ArkResult`] with a typed
+//! [`ArkError`] so the library composes as a service component.
+
+/// Errors surfaced by the CKKS scheme and the `ark-fhe` engine layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ArkError {
+    /// Two ciphertext operands (or a requested level) disagree on the
+    /// multiplicative level.
+    LevelMismatch {
+        /// Level expected by the operation.
+        expected: usize,
+        /// Level actually found.
+        found: usize,
+    },
+    /// Additive operands carry diverging scales; rescale or re-encode
+    /// one side first.
+    ScaleMismatch {
+        /// Scale of the left operand.
+        lhs: f64,
+        /// Scale of the right operand.
+        rhs: f64,
+    },
+    /// No rotation key was generated (or declared) for this amount.
+    MissingRotationKey {
+        /// The requested rotation amount.
+        amount: i64,
+    },
+    /// No conjugation key was generated (or declared).
+    MissingConjugationKey,
+    /// The ciphertext sits at level 0: no limb is left to rescale away.
+    ModulusChainExhausted,
+    /// A requested level exceeds the parameter set's maximum.
+    LevelOutOfRange {
+        /// The requested level.
+        level: usize,
+        /// The maximum level of the parameter set.
+        max: usize,
+    },
+    /// The engine was asked for a key material it was not built with
+    /// (e.g. bootstrapping without a bootstrap configuration).
+    KeyChainMissing {
+        /// What is missing.
+        what: &'static str,
+    },
+    /// The operation is not available on the engine's backend (e.g.
+    /// decryption on the simulated backend).
+    UnsupportedOnBackend {
+        /// The operation.
+        op: &'static str,
+        /// The backend it was attempted on.
+        backend: &'static str,
+    },
+    /// The parameter set is internally inconsistent.
+    InvalidParams {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ArkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArkError::LevelMismatch { expected, found } => {
+                write!(
+                    f,
+                    "level mismatch: expected level {expected}, found {found}"
+                )
+            }
+            ArkError::ScaleMismatch { lhs, rhs } => {
+                write!(f, "operand scales diverge: {lhs} vs {rhs}")
+            }
+            ArkError::MissingRotationKey { amount } => {
+                write!(f, "missing rotation key for amount {amount}")
+            }
+            ArkError::MissingConjugationKey => write!(f, "missing conjugation key"),
+            ArkError::ModulusChainExhausted => {
+                write!(f, "modulus chain exhausted: cannot rescale at level 0")
+            }
+            ArkError::LevelOutOfRange { level, max } => {
+                write!(f, "level {level} out of range (maximum {max})")
+            }
+            ArkError::KeyChainMissing { what } => {
+                write!(f, "key chain is missing {what}")
+            }
+            ArkError::UnsupportedOnBackend { op, backend } => {
+                write!(
+                    f,
+                    "operation `{op}` is unsupported on the {backend} backend"
+                )
+            }
+            ArkError::InvalidParams { reason } => write!(f, "invalid parameters: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ArkError {}
+
+/// Result alias used by every fallible public entry point.
+pub type ArkResult<T> = Result<T, ArkError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ArkError::MissingRotationKey { amount: -3 };
+        assert!(e.to_string().contains("-3"));
+        let e = ArkError::LevelMismatch {
+            expected: 4,
+            found: 2,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('2'));
+        let e = ArkError::UnsupportedOnBackend {
+            op: "decrypt",
+            backend: "simulated",
+        };
+        assert!(e.to_string().contains("decrypt"));
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        let e: Box<dyn std::error::Error> = Box::new(ArkError::ModulusChainExhausted);
+        assert!(!e.to_string().is_empty());
+    }
+}

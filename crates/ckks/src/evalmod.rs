@@ -41,8 +41,7 @@ impl ChebyshevPoly {
                 let s: f64 = (0..m)
                     .map(|k| {
                         fx[k]
-                            * (std::f64::consts::PI * j as f64 * (k as f64 + 0.5) / m as f64)
-                                .cos()
+                            * (std::f64::consts::PI * j as f64 * (k as f64 + 0.5) / m as f64).cos()
                     })
                     .sum();
                 let norm = if j == 0 { 1.0 } else { 2.0 };
@@ -96,7 +95,7 @@ fn cheby_divide(p: &[f64], g: usize) -> (Vec<f64>, Vec<f64>) {
             quo[0] += c; // T_g·T_0 = T_g
         } else {
             quo[i - g] += 2.0 * c;
-            let k = if i >= 2 * g { i - 2 * g } else { 2 * g - i };
+            let k = i.abs_diff(2 * g);
             rem[k] -= c;
         }
         rem[i] = 0.0;
@@ -157,13 +156,17 @@ impl CkksContext {
         // affine map to [-1, 1]: u = (2x − a − b)/(b − a)
         let scale_f = 2.0 / (poly.b - poly.a);
         let shift = -(poly.a + poly.b) / (poly.b - poly.a);
-        let u = self.rescale(&self.mul_const(ct, scale_f));
+        let u = self
+            .rescale(&self.mul_const(ct, scale_f))
+            .expect("chain long enough for Chebyshev depth");
         let u = self.add_const(&u, shift);
 
         let d = poly.degree();
         if d == 0 {
             let mut c = self.mul_const(&u, 0.0);
-            c = self.rescale(&c);
+            c = self
+                .rescale(&c)
+                .expect("chain long enough for Chebyshev depth");
             return self.add_const(&c, poly.coeffs[0]);
         }
         let plan = ChebyBasisPlan::for_degree(d);
@@ -177,8 +180,12 @@ impl CkksContext {
                 // T_{2k} = 2 T_k² − 1
                 let k = j / 2;
                 let tk = basis[k].clone().expect("baby computed in order");
-                let sq = self.rescale(&self.square(&tk, evk));
-                let two = self.add(&sq, &sq);
+                let sq = self
+                    .rescale(&self.square(&tk, evk))
+                    .expect("chain long enough for Chebyshev depth");
+                let two = self
+                    .add(&sq, &sq)
+                    .expect("Chebyshev terms share one scale by construction");
                 self.add_const(&two, -1.0)
             } else {
                 // T_{i+j} = 2 T_i T_j − T_{i−j} with i = (j+1)/2, j' = j/2
@@ -186,18 +193,27 @@ impl CkksContext {
                 let lo = j / 2;
                 let a = basis[hi].clone().expect("baby computed in order");
                 let b = basis[lo].clone().expect("baby computed in order");
-                let prod = self.rescale(&self.mul(&a, &b, evk));
-                let two = self.add(&prod, &prod);
+                let prod = self
+                    .rescale(&self.mul(&a, &b, evk))
+                    .expect("chain long enough for Chebyshev depth");
+                let two = self
+                    .add(&prod, &prod)
+                    .expect("Chebyshev terms share one scale by construction");
                 let diff = basis[hi - lo].clone().expect("difference term");
                 self.sub(&two, &diff)
+                    .expect("Chebyshev terms share one scale by construction")
             };
             basis[j] = Some(t);
         }
         // Giants T_{2m}, T_{4m}, …
         for &g in &plan.giants {
             let half = basis[g / 2].clone().expect("giant halves exist");
-            let sq = self.rescale(&self.square(&half, evk));
-            let two = self.add(&sq, &sq);
+            let sq = self
+                .rescale(&self.square(&half, evk))
+                .expect("chain long enough for Chebyshev depth");
+            let two = self
+                .add(&sq, &sq)
+                .expect("Chebyshev terms share one scale by construction");
             basis[g] = Some(self.add_const(&two, -1.0));
         }
 
@@ -225,16 +241,15 @@ impl CkksContext {
         let ct_q = self.eval_cheby_recursive(&q, basis, m, evk);
         let ct_r = self.eval_cheby_recursive(&r, basis, m, evk);
         let tg = basis[g].as_ref().expect("giant T_g materialized");
-        let prod = self.rescale(&self.mul(&ct_q, tg, evk));
+        let prod = self
+            .rescale(&self.mul(&ct_q, tg, evk))
+            .expect("chain long enough for Chebyshev depth");
         self.add(&prod, &ct_r)
+            .expect("Chebyshev terms share one scale by construction")
     }
 
     /// Base case: `Σ_{j<m} c_j T_j` via constant multiplications.
-    fn eval_cheby_base(
-        &self,
-        coeffs: &[f64],
-        basis: &[Option<Ciphertext>],
-    ) -> Ciphertext {
+    fn eval_cheby_base(&self, coeffs: &[f64], basis: &[Option<Ciphertext>]) -> Ciphertext {
         // align all used T_j to the minimum level among them
         let used: Vec<usize> = (1..coeffs.len())
             .filter(|&j| coeffs[j].abs() > 1e-13)
@@ -242,7 +257,9 @@ impl CkksContext {
         let template = basis[1].as_ref().expect("T_1 exists");
         if used.is_empty() {
             // constant polynomial: 0·T_1 + c_0 (burn one level for scale)
-            let z = self.rescale(&self.mul_const(template, 0.0));
+            let z = self
+                .rescale(&self.mul_const(template, 0.0))
+                .expect("chain long enough for Chebyshev depth");
             return self.add_const(&z, coeffs[0]);
         }
         let min_level = used
@@ -252,10 +269,16 @@ impl CkksContext {
             .expect("non-empty");
         let mut acc: Option<Ciphertext> = None;
         for &j in &used {
-            let t = self.mod_drop_to(basis[j].as_ref().expect("basis entry"), min_level);
-            let term = self.rescale(&self.mul_const(&t, coeffs[j]));
+            let t = self
+                .mod_drop_to(basis[j].as_ref().expect("basis entry"), min_level)
+                .expect("min_level is a lower bound");
+            let term = self
+                .rescale(&self.mul_const(&t, coeffs[j]))
+                .expect("chain long enough for Chebyshev depth");
             acc = Some(match acc {
-                Some(a) => self.add(&a, &term),
+                Some(a) => self
+                    .add(&a, &term)
+                    .expect("Chebyshev terms share one scale by construction"),
                 None => term,
             });
         }
@@ -348,14 +371,23 @@ impl CkksContext {
         let mut c = self.eval_chebyshev(ct, &cos_p, evk);
         for _ in 0..params.double_angle {
             // s' = 2 s c ; c' = 1 − 2 s²   (consume one level together)
-            let sc = self.mul_rescale(&s, &c, evk);
-            let s2 = self.rescale(&self.square(&s, evk));
-            let two_sc = self.add(&sc, &sc);
-            let two_s2 = self.add(&s2, &s2);
-            c = self.add_const(&self.negate_ct(&two_s2), 1.0);
+            let sc = self
+                .mul_rescale(&s, &c, evk)
+                .expect("chain long enough for Chebyshev depth");
+            let s2 = self
+                .rescale(&self.square(&s, evk))
+                .expect("chain long enough for Chebyshev depth");
+            let two_sc = self
+                .add(&sc, &sc)
+                .expect("Chebyshev terms share one scale by construction");
+            let two_s2 = self
+                .add(&s2, &s2)
+                .expect("Chebyshev terms share one scale by construction");
+            c = self.add_const(&self.negate(&two_s2), 1.0);
             s = two_sc;
         }
         self.rescale(&self.mul_const(&s, 1.0 / (2.0 * std::f64::consts::PI)))
+            .expect("chain long enough for Chebyshev depth")
     }
 }
 
@@ -413,7 +445,11 @@ mod tests {
 
     #[test]
     fn sine_poly_approximates_mod_one() {
-        let em = EvalModParams { k: 5, degree: 63, double_angle: 0 };
+        let em = EvalModParams {
+            k: 5,
+            degree: 63,
+            double_angle: 0,
+        };
         let p = em.sine_poly();
         // near integers i, sin(2πu)/(2π) ≈ u − i
         for i in -4i32..=4 {
@@ -479,8 +515,16 @@ mod tests {
             &sk,
             &mut rng,
         );
-        let direct_params = EvalModParams { k: 4, degree: 63, double_angle: 0 };
-        let da_params = EvalModParams { k: 4, degree: 31, double_angle: 2 };
+        let direct_params = EvalModParams {
+            k: 4,
+            degree: 63,
+            double_angle: 0,
+        };
+        let da_params = EvalModParams {
+            k: 4,
+            degree: 31,
+            double_angle: 2,
+        };
         let direct = ctx.eval_chebyshev(&ct, &direct_params.sine_poly(), &evk);
         let doubled = ctx.eval_mod_double_angle(&ct, &da_params, &evk);
         let a = ctx.decrypt_decode(&direct, &sk);
@@ -500,7 +544,11 @@ mod tests {
         // degree 31 basis is 1 level shallower than degree 63; the two
         // doublings cost 1 level each — net equal here, but the basis
         // construction work (HMult count) drops substantially.
-        let da = EvalModParams { k: 12, degree: 47, double_angle: 2 };
+        let da = EvalModParams {
+            k: 12,
+            degree: 47,
+            double_angle: 2,
+        };
         let (sin_p, cos_p) = da.half_angle_polys();
         assert_eq!(sin_p.degree(), 47);
         assert!(cos_p.max_error_on(|u| (2.0 * std::f64::consts::PI / 4.0 * u).cos(), 200) < 1e-6);

@@ -45,10 +45,7 @@ impl EvalKey {
 
     /// Storage in words: `dnum · 2 · (α+L+1) · N` (Table III).
     pub fn words(&self) -> usize {
-        self.pieces
-            .iter()
-            .map(|(b, a)| b.words() + a.words())
-            .sum()
+        self.pieces.iter().map(|(b, a)| b.words() + a.words()).sum()
     }
 }
 
@@ -222,11 +219,7 @@ impl CkksContext {
     }
 
     /// Convenience: decrypt then decode.
-    pub fn decrypt_decode(
-        &self,
-        ct: &Ciphertext,
-        sk: &SecretKey,
-    ) -> Vec<ark_math::cfft::C64> {
+    pub fn decrypt_decode(&self, ct: &Ciphertext, sk: &SecretKey) -> Vec<ark_math::cfft::C64> {
         self.decode(&self.decrypt(ct, sk))
     }
 
@@ -246,9 +239,9 @@ impl CkksContext {
         let p_mod: Vec<u64> = (0..=l)
             .map(|j| {
                 let q = self.basis().modulus(j);
-                special
-                    .iter()
-                    .fold(1u64, |acc, &pi| q.mul(acc, q.reduce(self.basis().modulus(pi).value())))
+                special.iter().fold(1u64, |acc, &pi| {
+                    q.mul(acc, q.reduce(self.basis().modulus(pi).value()))
+                })
             })
             .collect();
         let pieces = groups
@@ -295,12 +288,7 @@ impl CkksContext {
     }
 
     /// A Galois key for an arbitrary element.
-    pub fn gen_galois_key<R: Rng>(
-        &self,
-        g: GaloisElement,
-        sk: &SecretKey,
-        rng: &mut R,
-    ) -> EvalKey {
+    pub fn gen_galois_key<R: Rng>(&self, g: GaloisElement, sk: &SecretKey, rng: &mut R) -> EvalKey {
         let rotated = sk.s.automorphism(g, self.basis());
         self.gen_switching_key(&rotated, sk, rng)
     }
@@ -386,7 +374,7 @@ mod tests {
         let pt = ctx.encode(&msg, 2, ctx.params().scale());
         let ct = ctx.encrypt_public(&pt, &pk, &mut rng);
         let sq = ctx.rescale(&ctx.square(&ct, &evk));
-        let out = ctx.decrypt_decode(&sq, &sk);
+        let out = ctx.decrypt_decode(&sq.unwrap(), &sk);
         let want: Vec<C64> = msg.iter().map(|&z| z * z).collect();
         assert!(max_error(&want, &out) < 1e-3);
     }
@@ -451,8 +439,15 @@ mod tests {
         let mean: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / 4000.0;
         assert!(mean.abs() < 0.5, "mean={mean}");
         assert!(samples.iter().all(|&x| x.abs() < 30));
-        let var: f64 =
-            samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / 4000.0;
-        assert!((var.sqrt() - ERROR_STD_DEV).abs() < 0.5, "std={}", var.sqrt());
+        let var: f64 = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / 4000.0;
+        assert!(
+            (var.sqrt() - ERROR_STD_DEV).abs() < 0.5,
+            "std={}",
+            var.sqrt()
+        );
     }
 }

@@ -52,9 +52,9 @@ impl CkksContext {
             .iter()
             .map(|&j| {
                 let q = self.basis().modulus(j);
-                let p_mod = special
-                    .iter()
-                    .fold(1u64, |acc, &pi| q.mul(acc, q.reduce(self.basis().modulus(pi).value())));
+                let p_mod = special.iter().fold(1u64, |acc, &pi| {
+                    q.mul(acc, q.reduce(self.basis().modulus(pi).value()))
+                });
                 q.inv(p_mod)
             })
             .collect();
@@ -69,12 +69,7 @@ impl CkksContext {
     ///
     /// Panics if `x` is not in the evaluation representation over the
     /// chain limbs of `level`.
-    pub fn key_switch(
-        &self,
-        x: &RnsPoly,
-        evk: &EvalKey,
-        level: usize,
-    ) -> (RnsPoly, RnsPoly) {
+    pub fn key_switch(&self, x: &RnsPoly, evk: &EvalKey, level: usize) -> (RnsPoly, RnsPoly) {
         assert_eq!(x.representation(), Representation::Evaluation);
         let ext = self.extended_indices(level);
         let groups = self.decomposition_groups(level);
@@ -111,12 +106,7 @@ mod tests {
 
         let level = ctx.params().max_level;
         let chain = ctx.chain_indices(level);
-        let x = RnsPoly::random_uniform(
-            ctx.basis(),
-            &chain,
-            Representation::Evaluation,
-            &mut rng,
-        );
+        let x = RnsPoly::random_uniform(ctx.basis(), &chain, Representation::Evaluation, &mut rng);
         let (kb, ka) = ctx.key_switch(&x, &evk, level);
 
         // expected = x * s' (eval rep)
@@ -160,12 +150,7 @@ mod tests {
         let evk = ctx.gen_switching_key(&other.s, &sk, &mut rng);
         let level = 2; // groups {0,1},{2}
         let chain = ctx.chain_indices(level);
-        let x = RnsPoly::random_uniform(
-            ctx.basis(),
-            &chain,
-            Representation::Evaluation,
-            &mut rng,
-        );
+        let x = RnsPoly::random_uniform(ctx.basis(), &chain, Representation::Evaluation, &mut rng);
         let (kb, ka) = ctx.key_switch(&x, &evk, level);
         let mut expected = x.clone();
         expected.mul_assign(&other.s.subset(&chain), ctx.basis());
@@ -202,17 +187,16 @@ mod tests {
             .iter()
             .map(|&j| {
                 let q = ctx.basis().modulus(j);
-                special
-                    .iter()
-                    .fold(1u64, |acc, &pi| q.mul(acc, q.reduce(ctx.basis().modulus(pi).value())))
+                special.iter().fold(1u64, |acc, &pi| {
+                    q.mul(acc, q.reduce(ctx.basis().modulus(pi).value()))
+                })
             })
             .collect();
         poly.mul_scalar_per_limb(&scalars, ctx.basis());
         poly.to_eval(ctx.basis());
         let mut down = ctx.mod_down(&poly, level);
         down.to_coeff(ctx.basis());
-        let expect =
-            RnsPoly::from_signed_coeffs(ctx.basis(), &ctx.chain_indices(level), &small);
+        let expect = RnsPoly::from_signed_coeffs(ctx.basis(), &ctx.chain_indices(level), &small);
         assert_eq!(down, expect);
     }
 }

@@ -17,6 +17,7 @@ pub mod bootstrap;
 pub mod ciphertext;
 pub mod dft;
 pub mod encoding;
+pub mod error;
 pub mod evalmod;
 pub mod keys;
 pub mod keyswitch;
@@ -27,5 +28,6 @@ pub mod ops;
 pub mod params;
 
 pub use ciphertext::{Ciphertext, Plaintext};
+pub use error::{ArkError, ArkResult};
 pub use keys::{EvalKey, PublicKey, RotationKeys, SecretKey};
 pub use params::{CkksContext, CkksParams};

@@ -174,19 +174,19 @@ impl CkksContext {
         let level = ct.level;
 
         // Baby rotations rot(ct, i) for i = 0..g.
-        let max_baby = lt
-            .diagonals
-            .keys()
-            .map(|&d| d % g)
-            .max()
-            .unwrap_or(0);
+        let max_baby = lt.diagonals.keys().map(|&d| d % g).max().unwrap_or(0);
         let babies: Vec<Option<Ciphertext>> = match strategy {
             KeyStrategy::Baseline => {
                 // only rotate the baby residues that actually occur
                 let needed: std::collections::BTreeSet<usize> =
                     lt.diagonals.keys().map(|&d| d % g).collect();
                 (0..=max_baby)
-                    .map(|i| needed.contains(&i).then(|| self.rotate(ct, i as i64, keys)))
+                    .map(|i| {
+                        needed.contains(&i).then(|| {
+                            self.rotate(ct, i as i64, keys)
+                                .expect("caller provides baseline baby keys")
+                        })
+                    })
                     .collect()
             }
             KeyStrategy::HoistedMinimal | KeyStrategy::MinKs => self
@@ -204,13 +204,12 @@ impl CkksContext {
             let j = d / g;
             // rotate the diagonal left by -(j·g): clear-side, free
             let shift = (j * g) % n;
-            let rotated_diag: Vec<C64> =
-                (0..n).map(|k| diag[(k + n - shift) % n]).collect();
+            let rotated_diag: Vec<C64> = (0..n).map(|k| diag[(k + n - shift) % n]).collect();
             let pt = self.encode_for_mul(&rotated_diag, level);
             let baby = babies[i].as_ref().expect("baby rotation computed");
             let term = self.mul_plain(baby, &pt);
             inners[j] = Some(match inners[j].take() {
-                Some(acc) => self.add(&acc, &term),
+                Some(acc) => self.add(&acc, &term).expect("inner terms share one scale"),
                 None => term,
             });
         }
@@ -221,9 +220,11 @@ impl CkksContext {
                 let mut acc: Option<Ciphertext> = None;
                 for (j, inner) in inners.iter().enumerate() {
                     if let Some(inner) = inner {
-                        let rotated = self.rotate(inner, (j * g) as i64, keys);
+                        let rotated = self
+                            .rotate(inner, (j * g) as i64, keys)
+                            .expect("caller provides baseline giant keys");
                         acc = Some(match acc {
-                            Some(a) => self.add(&a, &rotated),
+                            Some(a) => self.add(&a, &rotated).expect("giant terms share one scale"),
                             None => rotated,
                         });
                     }
@@ -260,6 +261,7 @@ impl CkksContext {
             }
         };
         self.rescale(&result)
+            .expect("transform input has a level to rescale into")
     }
 }
 
@@ -297,9 +299,7 @@ mod tests {
         let z: Vec<C64> = (0..n).map(|i| C64::new(i as f64, -(i as f64))).collect();
         let via_diag = lt.apply_clear(&z);
         let dense: Vec<C64> = (0..n)
-            .map(|k| {
-                (0..n).fold(C64::zero(), |acc, j| acc + m[k][j] * z[j])
-            })
+            .map(|k| (0..n).fold(C64::zero(), |acc, j| acc + m[k][j] * z[j]))
             .collect();
         assert!(max_error(&via_diag, &dense) < 1e-9);
     }
@@ -389,7 +389,12 @@ mod tests {
         let lt = LinearTransform::from_diagonals(n, diagonals);
         let z: Vec<C64> = (0..n).map(|i| C64::new(0.3 * i as f64, -0.1)).collect();
         let ct = ctx.encrypt(&ctx.encode(&z, 2, ctx.params().scale()), &sk, &mut rng);
-        let keys = ctx.gen_rotation_keys(&lt.required_rotations(KeyStrategy::MinKs), false, &sk, &mut rng);
+        let keys = ctx.gen_rotation_keys(
+            &lt.required_rotations(KeyStrategy::MinKs),
+            false,
+            &sk,
+            &mut rng,
+        );
         let out = ctx.decrypt_decode(
             &ctx.eval_linear_transform(&ct, &lt, KeyStrategy::MinKs, &keys),
             &sk,

@@ -96,7 +96,9 @@ impl CkksContext {
         let mut out = Vec::with_capacity(count + 1);
         out.push(ct.clone());
         for i in 0..count {
-            let next = self.rotate(&out[i], r, keys);
+            let next = self
+                .rotate(&out[i], r, keys)
+                .expect("caller provides the chain's rotation key");
             out.push(next);
         }
         out
@@ -118,8 +120,10 @@ impl CkksContext {
         // Σ_i rot(x_i, i·r) = x_0 + rot(x_1 + rot(x_2 + …, r), r)
         let mut acc = terms.last().expect("non-empty").clone();
         for x in terms.iter().rev().skip(1) {
-            acc = self.rotate(&acc, r, keys);
-            acc = self.add(&acc, x);
+            acc = self
+                .rotate(&acc, r, keys)
+                .expect("caller provides the chain's rotation key");
+            acc = self.add(&acc, x).expect("terms share one scale");
         }
         acc
     }
@@ -178,7 +182,7 @@ mod tests {
         for (i, c) in chain.iter().enumerate() {
             let direct = ctx.rotate(&ct, 2 * i as i64, &keys);
             let a = ctx.decrypt_decode(c, &sk);
-            let b = ctx.decrypt_decode(&direct, &sk);
+            let b = ctx.decrypt_decode(&direct.unwrap(), &sk);
             assert!(max_error(&a, &b) < 1e-3, "i={i}");
         }
     }
@@ -202,7 +206,9 @@ mod tests {
         // baseline: Σ_i rot(x_i, i·1) with distinct keys
         let mut want = terms[0].clone();
         for (i, x) in terms.iter().enumerate().skip(1) {
-            want = ctx.add(&want, &ctx.rotate(x, i as i64, &keys));
+            want = ctx
+                .add(&want, &ctx.rotate(x, i as i64, &keys).unwrap())
+                .unwrap();
         }
         let got = ctx.rotate_accumulate(&terms, 1, &keys);
         let a = ctx.decrypt_decode(&got, &sk);

@@ -47,7 +47,9 @@ impl CkksContext {
     pub fn compress_plaintext(&self, pt: &Plaintext) -> CompressedPlaintext {
         let mut poly = pt.poly.clone();
         poly.to_coeff(self.basis());
-        let pos = poly.position_of(0).expect("plaintext must hold the q0 limb");
+        let pos = poly
+            .position_of(0)
+            .expect("plaintext must hold the q0 limb");
         CompressedPlaintext {
             q0_limb: poly.limb(pos).to_vec(),
             scale: pt.scale,
@@ -83,8 +85,7 @@ impl CkksContext {
                 }
             })
             .collect();
-        let mut poly =
-            RnsPoly::from_limbs(self.basis(), &idx, Representation::Coefficient, rows);
+        let mut poly = RnsPoly::from_limbs(self.basis(), &idx, Representation::Coefficient, rows);
         poly.to_eval(self.basis());
         Plaintext {
             poly,
@@ -148,7 +149,9 @@ mod tests {
     fn expand_at_lower_level_matches_subset() {
         let ctx = ctx();
         let slots = ctx.params().slots();
-        let msg: Vec<C64> = (0..slots).map(|i| C64::new(0.01 * i as f64, -0.5)).collect();
+        let msg: Vec<C64> = (0..slots)
+            .map(|i| C64::new(0.01 * i as f64, -0.5))
+            .collect();
         let full = ctx.encode(&msg, 3, ctx.params().scale());
         let compressed = ctx.compress_plaintext(&full);
         let expanded = ctx.expand_plaintext(&compressed, 1);
@@ -170,8 +173,8 @@ mod tests {
         let compressed = ctx.encode_compressed(&w, q_top);
         let via_full = ctx.mul_plain_rescale(&ct, &full);
         let via_comp = ctx.mul_plain_rescale(&ct, &ctx.expand_plaintext(&compressed, 2));
-        let a = ctx.decrypt_decode(&via_full, &sk);
-        let b = ctx.decrypt_decode(&via_comp, &sk);
+        let a = ctx.decrypt_decode(&via_full.unwrap(), &sk);
+        let b = ctx.decrypt_decode(&via_comp.unwrap(), &sk);
         assert!(max_error(&a, &b) < 1e-9, "OF-Limb changed the result");
     }
 

@@ -8,6 +8,7 @@
 //! ciphertext scale exactly.
 
 use crate::ciphertext::{Ciphertext, Plaintext};
+use crate::error::{ArkError, ArkResult};
 use crate::keys::{EvalKey, RotationKeys};
 use crate::params::CkksContext;
 use ark_math::automorphism::GaloisElement;
@@ -15,23 +16,39 @@ use ark_math::cfft::C64;
 
 /// Relative scale mismatch tolerated by additive ops. Scale drift from
 /// `q_i ≈ Δ` is ~2^-30 per level; anything larger is a usage bug.
-const SCALE_TOLERANCE: f64 = 1e-6;
+pub const SCALE_TOLERANCE: f64 = 1e-6;
 
-fn assert_scales_match(a: f64, b: f64) {
-    assert!(
-        (a / b - 1.0).abs() < SCALE_TOLERANCE,
-        "operand scales diverge: {a} vs {b}"
-    );
+/// Checks two operand scales agree within [`SCALE_TOLERANCE`] — shared
+/// by the scheme ops and the engine layer so both backends agree on
+/// which programs raise [`ArkError::ScaleMismatch`].
+pub fn check_scales_match(a: f64, b: f64) -> ArkResult<()> {
+    if (a / b - 1.0).abs() < SCALE_TOLERANCE {
+        Ok(())
+    } else {
+        Err(ArkError::ScaleMismatch { lhs: a, rhs: b })
+    }
 }
 
 impl CkksContext {
     /// Drops limbs so `ct` sits at `level` (message unchanged).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `level` exceeds the ciphertext's current level.
-    pub fn mod_drop_to(&self, ct: &Ciphertext, level: usize) -> Ciphertext {
-        assert!(level <= ct.level, "cannot raise level by dropping limbs");
+    /// [`ArkError::LevelMismatch`] if `level` exceeds the ciphertext's
+    /// current level (limbs cannot be re-grown by dropping).
+    #[must_use = "returns the dropped ciphertext; the input is unchanged"]
+    pub fn mod_drop_to(&self, ct: &Ciphertext, level: usize) -> ArkResult<Ciphertext> {
+        if level > ct.level {
+            return Err(ArkError::LevelMismatch {
+                expected: ct.level,
+                found: level,
+            });
+        }
+        Ok(self.drop_limbs(ct, level))
+    }
+
+    /// Infallible limb drop for callers that already checked the level.
+    fn drop_limbs(&self, ct: &Ciphertext, level: usize) -> Ciphertext {
         let idx = self.chain_indices(level);
         Ciphertext {
             b: ct.b.subset(&idx),
@@ -44,29 +61,40 @@ impl CkksContext {
     /// Aligns two ciphertexts to the lower of their levels.
     pub fn align_levels(&self, a: &Ciphertext, b: &Ciphertext) -> (Ciphertext, Ciphertext) {
         let level = a.level.min(b.level);
-        (self.mod_drop_to(a, level), self.mod_drop_to(b, level))
+        (self.drop_limbs(a, level), self.drop_limbs(b, level))
     }
 
-    /// `HAdd`: slot-wise sum.
-    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+    /// `HAdd`: slot-wise sum (levels aligned by dropping limbs).
+    ///
+    /// # Errors
+    ///
+    /// [`ArkError::ScaleMismatch`] if the operand scales diverge.
+    #[must_use = "returns the sum; the inputs are unchanged"]
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> ArkResult<Ciphertext> {
+        check_scales_match(a.scale, b.scale)?;
         let (mut a, b) = self.align_levels(a, b);
-        assert_scales_match(a.scale, b.scale);
         a.b.add_assign(&b.b, self.basis());
         a.a.add_assign(&b.a, self.basis());
-        a
+        Ok(a)
     }
 
-    /// `HSub`: slot-wise difference.
-    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+    /// `HSub`: slot-wise difference (levels aligned by dropping limbs).
+    ///
+    /// # Errors
+    ///
+    /// [`ArkError::ScaleMismatch`] if the operand scales diverge.
+    #[must_use = "returns the difference; the inputs are unchanged"]
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> ArkResult<Ciphertext> {
+        check_scales_match(a.scale, b.scale)?;
         let (mut a, b) = self.align_levels(a, b);
-        assert_scales_match(a.scale, b.scale);
         a.b.sub_assign(&b.b, self.basis());
         a.a.sub_assign(&b.a, self.basis());
-        a
+        Ok(a)
     }
 
     /// Slot-wise negation.
-    pub fn negate_ct(&self, ct: &Ciphertext) -> Ciphertext {
+    #[must_use = "returns the negation; the input is unchanged"]
+    pub fn negate(&self, ct: &Ciphertext) -> Ciphertext {
         let mut out = ct.clone();
         out.b.negate(self.basis());
         out.a.negate(self.basis());
@@ -74,20 +102,27 @@ impl CkksContext {
     }
 
     /// `PAdd`: adds an encoded plaintext (levels aligned by dropping).
-    pub fn add_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        assert_scales_match(ct.scale, pt.scale);
+    ///
+    /// # Errors
+    ///
+    /// [`ArkError::ScaleMismatch`] if the plaintext was encoded at a
+    /// diverging scale.
+    #[must_use = "returns the sum; the inputs are unchanged"]
+    pub fn add_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> ArkResult<Ciphertext> {
+        check_scales_match(ct.scale, pt.scale)?;
         let level = ct.level.min(pt.level);
-        let mut out = self.mod_drop_to(ct, level);
+        let mut out = self.drop_limbs(ct, level);
         let p = pt.poly.subset(&self.chain_indices(level));
         out.b.add_assign(&p, self.basis());
-        out
+        Ok(out)
     }
 
     /// `PMult`: multiplies by an encoded plaintext. The result's scale is
     /// the product; rescale afterwards.
+    #[must_use = "returns the product; the inputs are unchanged"]
     pub fn mul_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
         let level = ct.level.min(pt.level);
-        let mut out = self.mod_drop_to(ct, level);
+        let mut out = self.drop_limbs(ct, level);
         let p = pt.poly.subset(&self.chain_indices(level));
         out.b.mul_assign(&p, self.basis());
         out.a.mul_assign(&p, self.basis());
@@ -100,6 +135,7 @@ impl CkksContext {
     /// A constant slot vector encodes to a constant polynomial, which in
     /// the evaluation representation is the constant broadcast to every
     /// point — so this is a scalar add on the `B` limbs.
+    #[must_use = "returns a new ciphertext; the input is unchanged"]
     pub fn add_const(&self, ct: &Ciphertext, c: f64) -> Ciphertext {
         let mut out = ct.clone();
         let v = c * ct.scale;
@@ -118,6 +154,7 @@ impl CkksContext {
     /// `CMult`: multiplies every slot by a real constant, encoded at the
     /// scale of the current top prime (so a following [`Self::rescale`]
     /// restores the original scale exactly).
+    #[must_use = "returns a new ciphertext; the input is unchanged"]
     pub fn mul_const(&self, ct: &Ciphertext, c: f64) -> Ciphertext {
         let q_top = self.basis().modulus(ct.level).value() as f64;
         let v = c * q_top;
@@ -139,6 +176,7 @@ impl CkksContext {
     /// `CMult` by the imaginary unit `i` (or `-i`): multiplies the
     /// underlying polynomial by the monomial `X^{N/2}` (resp. its
     /// negation), a scale-free exact operation used by bootstrapping.
+    #[must_use = "returns a new ciphertext; the input is unchanged"]
     pub fn mul_i(&self, ct: &Ciphertext, negative: bool) -> Ciphertext {
         let n = self.params().n();
         // X^{N/2} in evaluation rep: encode once per call (cheap at test
@@ -156,6 +194,7 @@ impl CkksContext {
 
     /// `HMult` with relinearization (key-switching by `evk_mult`).
     /// The result's scale is the product; rescale afterwards.
+    #[must_use = "returns a new ciphertext; the input is unchanged"]
     pub fn mul(&self, x: &Ciphertext, y: &Ciphertext, evk_mult: &EvalKey) -> Ciphertext {
         let (x, y) = self.align_levels(x, y);
         let level = x.level;
@@ -184,6 +223,7 @@ impl CkksContext {
     }
 
     /// Squares a ciphertext (saves one of HMult's three products).
+    #[must_use = "returns a new ciphertext; the input is unchanged"]
     pub fn square(&self, x: &Ciphertext, evk_mult: &EvalKey) -> Ciphertext {
         let level = x.level;
         let mut d0 = x.b.clone();
@@ -209,6 +249,7 @@ impl CkksContext {
 
     /// Applies a Galois automorphism with its key: the common core of
     /// `HRot` and `HConj`.
+    #[must_use = "returns a new ciphertext; the input is unchanged"]
     pub fn apply_galois(&self, ct: &Ciphertext, g: GaloisElement, key: &EvalKey) -> Ciphertext {
         let level = ct.level;
         let pb = ct.b.automorphism(g, self.basis());
@@ -230,41 +271,45 @@ impl CkksContext {
     /// `HRot`: circular left shift of the slots by `r` (negative `r`
     /// shifts right).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the rotation key for `5^r` is missing.
-    pub fn rotate(&self, ct: &Ciphertext, r: i64, keys: &RotationKeys) -> Ciphertext {
+    /// [`ArkError::MissingRotationKey`] if no key for `5^r` is held.
+    #[must_use = "returns the rotated ciphertext; the input is unchanged"]
+    pub fn rotate(&self, ct: &Ciphertext, r: i64, keys: &RotationKeys) -> ArkResult<Ciphertext> {
         if r == 0 {
-            return ct.clone();
+            return Ok(ct.clone());
         }
         let g = GaloisElement::from_rotation(r, self.params().n());
         let key = keys
             .get(g)
-            .unwrap_or_else(|| panic!("missing rotation key for amount {r}"));
-        self.apply_galois(ct, g, key)
+            .ok_or(ArkError::MissingRotationKey { amount: r })?;
+        Ok(self.apply_galois(ct, g, key))
     }
 
     /// `HConj`: complex conjugation of every slot.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the conjugation key is missing.
-    pub fn conjugate(&self, ct: &Ciphertext, keys: &RotationKeys) -> Ciphertext {
+    /// [`ArkError::MissingConjugationKey`] if the conjugation key is
+    /// missing.
+    #[must_use = "returns the conjugated ciphertext; the input is unchanged"]
+    pub fn conjugate(&self, ct: &Ciphertext, keys: &RotationKeys) -> ArkResult<Ciphertext> {
         let g = GaloisElement::conjugation(self.params().n());
-        let key = keys
-            .get(g)
-            .unwrap_or_else(|| panic!("missing conjugation key"));
-        self.apply_galois(ct, g, key)
+        let key = keys.get(g).ok_or(ArkError::MissingConjugationKey)?;
+        Ok(self.apply_galois(ct, g, key))
     }
 
     /// `HRescale`: drops the top limb and divides the message by it
     /// (exact RNS rescale with centered lift).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics at level 0.
-    pub fn rescale(&self, ct: &Ciphertext) -> Ciphertext {
-        assert!(ct.level > 0, "cannot rescale at level 0");
+    /// [`ArkError::ModulusChainExhausted`] at level 0.
+    #[must_use = "returns the rescaled ciphertext; the input is unchanged"]
+    pub fn rescale(&self, ct: &Ciphertext) -> ArkResult<Ciphertext> {
+        if ct.level == 0 {
+            return Err(ArkError::ModulusChainExhausted);
+        }
         let out_level = ct.level - 1;
         let q_last_idx = ct.level;
         let q_last = *self.basis().modulus(q_last_idx);
@@ -299,26 +344,36 @@ impl CkksContext {
             }
             out
         };
-        Ciphertext {
+        Ok(Ciphertext {
             b: rescale_poly(&ct.b),
             a: rescale_poly(&ct.a),
             level: out_level,
             scale: ct.scale / q_last.value() as f64,
-        }
+        })
     }
 
     /// `HMult` followed by `HRescale` — the common pairing.
+    ///
+    /// # Errors
+    ///
+    /// [`ArkError::ModulusChainExhausted`] if the operands sit at level 0.
+    #[must_use = "returns the product; the inputs are unchanged"]
     pub fn mul_rescale(
         &self,
         x: &Ciphertext,
         y: &Ciphertext,
         evk_mult: &EvalKey,
-    ) -> Ciphertext {
+    ) -> ArkResult<Ciphertext> {
         self.rescale(&self.mul(x, y, evk_mult))
     }
 
     /// `PMult` followed by `HRescale`.
-    pub fn mul_plain_rescale(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+    ///
+    /// # Errors
+    ///
+    /// [`ArkError::ModulusChainExhausted`] if the operands sit at level 0.
+    #[must_use = "returns the product; the inputs are unchanged"]
+    pub fn mul_plain_rescale(&self, ct: &Ciphertext, pt: &Plaintext) -> ArkResult<Ciphertext> {
         self.rescale(&self.mul_plain(ct, pt))
     }
 
@@ -357,8 +412,8 @@ mod tests {
         let scale = ctx.params().scale();
         let c1 = ctx.encrypt(&ctx.encode(&m1, 2, scale), &sk, &mut rng);
         let c2 = ctx.encrypt(&ctx.encode(&m2, 2, scale), &sk, &mut rng);
-        let sum = ctx.decrypt_decode(&ctx.add(&c1, &c2), &sk);
-        let diff = ctx.decrypt_decode(&ctx.sub(&c1, &c2), &sk);
+        let sum = ctx.decrypt_decode(&ctx.add(&c1, &c2).unwrap(), &sk);
+        let diff = ctx.decrypt_decode(&ctx.sub(&c1, &c2).unwrap(), &sk);
         let want_sum: Vec<C64> = m1.iter().zip(&m2).map(|(&a, &b)| a + b).collect();
         let want_diff: Vec<C64> = m1.iter().zip(&m2).map(|(&a, &b)| a - b).collect();
         assert!(max_error(&want_sum, &sum) < 1e-4);
@@ -372,7 +427,7 @@ mod tests {
         let scale = ctx.params().scale();
         let c_hi = ctx.encrypt(&ctx.encode(&m, 3, scale), &sk, &mut rng);
         let c_lo = ctx.encrypt(&ctx.encode(&m, 1, scale), &sk, &mut rng);
-        let sum = ctx.add(&c_hi, &c_lo);
+        let sum = ctx.add(&c_hi, &c_lo).unwrap();
         assert_eq!(sum.level, 1);
         let out = ctx.decrypt_decode(&sum, &sk);
         let want: Vec<C64> = m.iter().map(|&z| z + z).collect();
@@ -387,13 +442,17 @@ mod tests {
         let scale = ctx.params().scale();
         let ct = ctx.encrypt(&ctx.encode(&m, 2, scale), &sk, &mut rng);
         let pt = ctx.encode_for_mul(&w, 2);
-        let prod = ctx.mul_plain_rescale(&ct, &pt);
+        let prod = ctx.mul_plain_rescale(&ct, &pt).unwrap();
         assert_eq!(prod.level, 1);
         // top-prime scale trick: scale restored exactly
         assert!((prod.scale / scale - 1.0).abs() < 1e-9);
         let out = ctx.decrypt_decode(&prod, &sk);
         let want: Vec<C64> = m.iter().zip(&w).map(|(&a, &b)| a * b).collect();
-        assert!(max_error(&want, &out) < 1e-4, "err={}", max_error(&want, &out));
+        assert!(
+            max_error(&want, &out) < 1e-4,
+            "err={}",
+            max_error(&want, &out)
+        );
     }
 
     #[test]
@@ -405,7 +464,7 @@ mod tests {
         let scale = ctx.params().scale();
         let c1 = ctx.encrypt(&ctx.encode(&m1, 3, scale), &sk, &mut rng);
         let c2 = ctx.encrypt(&ctx.encode(&m2, 3, scale), &sk, &mut rng);
-        let prod = ctx.mul_rescale(&c1, &c2, &evk);
+        let prod = ctx.mul_rescale(&c1, &c2, &evk).unwrap();
         assert_eq!(prod.level, 2);
         let out = ctx.decrypt_decode(&prod, &sk);
         let want: Vec<C64> = m1.iter().zip(&m2).map(|(&a, &b)| a * b).collect();
@@ -421,7 +480,7 @@ mod tests {
         let scale = ctx.params().scale();
         let ct = ctx.encrypt(&ctx.encode(&m, 2, scale), &sk, &mut rng);
         let sq = ctx.rescale(&ctx.square(&ct, &evk));
-        let out = ctx.decrypt_decode(&sq, &sk);
+        let out = ctx.decrypt_decode(&sq.unwrap(), &sk);
         let want: Vec<C64> = m.iter().map(|&z| z * z).collect();
         assert!(max_error(&want, &out) < 1e-3);
     }
@@ -435,7 +494,7 @@ mod tests {
         let scale = ctx.params().scale();
         let ct = ctx.encrypt(&ctx.encode(&m, 2, scale), &sk, &mut rng);
         for r in [1i64, 3, -2] {
-            let rot = ctx.rotate(&ct, r, &keys);
+            let rot = ctx.rotate(&ct, r, &keys).unwrap();
             let out = ctx.decrypt_decode(&rot, &sk);
             let want: Vec<C64> = (0..slots)
                 .map(|i| m[(i as i64 + r).rem_euclid(slots as i64) as usize])
@@ -451,7 +510,7 @@ mod tests {
         let m = msg(&ctx, |i| C64::new(0.1 * i as f64, 0.7 - 0.02 * i as f64));
         let scale = ctx.params().scale();
         let ct = ctx.encrypt(&ctx.encode(&m, 2, scale), &sk, &mut rng);
-        let out = ctx.decrypt_decode(&ctx.conjugate(&ct, &keys), &sk);
+        let out = ctx.decrypt_decode(&ctx.conjugate(&ct, &keys).unwrap(), &sk);
         let want: Vec<C64> = m.iter().map(|z| z.conj()).collect();
         assert!(max_error(&want, &out) < 1e-3);
     }
@@ -467,7 +526,7 @@ mod tests {
         let want: Vec<C64> = m.iter().map(|&z| z + C64::new(1.5, 0.0)).collect();
         assert!(max_error(&want, &out) < 1e-4);
 
-        let scaled = ctx.rescale(&ctx.mul_const(&ct, -0.25));
+        let scaled = ctx.rescale(&ctx.mul_const(&ct, -0.25)).unwrap();
         assert!((scaled.scale / scale - 1.0).abs() < 1e-9);
         let out = ctx.decrypt_decode(&scaled, &sk);
         let want: Vec<C64> = m.iter().map(|&z| z.scale(-0.25)).collect();
@@ -496,19 +555,65 @@ mod tests {
         let mut ct = ctx.encrypt(&ctx.encode(&m, 3, scale), &sk, &mut rng);
         // burn all levels with constant multiplications by 1.0
         while ct.level > 0 {
-            ct = ctx.rescale(&ctx.mul_const(&ct, 1.0));
+            ct = ctx.rescale(&ctx.mul_const(&ct, 1.0)).unwrap();
         }
         let out = ctx.decrypt_decode(&ct, &sk);
         assert!(max_error(&m, &out) < 1e-3);
     }
 
     #[test]
-    #[should_panic(expected = "cannot rescale at level 0")]
-    fn rescale_at_level_zero_panics() {
+    fn rescale_at_level_zero_is_typed_error() {
         let (ctx, sk, mut rng) = setup();
         let m = msg(&ctx, |_| C64::new(0.1, 0.0));
         let ct = ctx.encrypt(&ctx.encode(&m, 0, ctx.params().scale()), &sk, &mut rng);
-        ctx.rescale(&ct);
+        assert_eq!(
+            ctx.rescale(&ct).unwrap_err(),
+            crate::error::ArkError::ModulusChainExhausted
+        );
+    }
+
+    #[test]
+    fn missing_rotation_key_is_typed_error() {
+        let (ctx, sk, mut rng) = setup();
+        let keys = ctx.gen_rotation_keys(&[1], false, &sk, &mut rng);
+        let m = msg(&ctx, |i| C64::new(i as f64, 0.0));
+        let ct = ctx.encrypt(&ctx.encode(&m, 2, ctx.params().scale()), &sk, &mut rng);
+        assert_eq!(
+            ctx.rotate(&ct, 5, &keys).unwrap_err(),
+            crate::error::ArkError::MissingRotationKey { amount: 5 }
+        );
+        assert_eq!(
+            ctx.conjugate(&ct, &keys).unwrap_err(),
+            crate::error::ArkError::MissingConjugationKey
+        );
+    }
+
+    #[test]
+    fn scale_mismatch_is_typed_error() {
+        let (ctx, sk, mut rng) = setup();
+        let m = msg(&ctx, |_| C64::new(0.2, 0.0));
+        let scale = ctx.params().scale();
+        let a = ctx.encrypt(&ctx.encode(&m, 2, scale), &sk, &mut rng);
+        let b = ctx.encrypt(&ctx.encode(&m, 2, scale * 2.0), &sk, &mut rng);
+        assert!(matches!(
+            ctx.add(&a, &b).unwrap_err(),
+            crate::error::ArkError::ScaleMismatch { .. }
+        ));
+        assert!(matches!(
+            ctx.sub(&a, &b).unwrap_err(),
+            crate::error::ArkError::ScaleMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn mod_drop_cannot_raise_levels() {
+        let (ctx, sk, mut rng) = setup();
+        let m = msg(&ctx, |_| C64::new(0.2, 0.0));
+        let ct = ctx.encrypt(&ctx.encode(&m, 1, ctx.params().scale()), &sk, &mut rng);
+        assert!(matches!(
+            ctx.mod_drop_to(&ct, 3).unwrap_err(),
+            crate::error::ArkError::LevelMismatch { .. }
+        ));
     }
 
     #[test]
@@ -521,10 +626,14 @@ mod tests {
         let mut ct = ctx.encrypt(&ctx.encode(&m, 3, scale), &sk, &mut rng);
         let mut want: Vec<C64> = m.clone();
         for _ in 0..3 {
-            ct = ctx.rescale(&ctx.square(&ct, &evk));
+            ct = ctx.rescale(&ctx.square(&ct, &evk)).unwrap();
             want = want.iter().map(|&z| z * z).collect();
         }
         let out = ctx.decrypt_decode(&ct, &sk);
-        assert!(max_error(&want, &out) < 1e-2, "err={}", max_error(&want, &out));
+        assert!(
+            max_error(&want, &out) < 1e-2,
+            "err={}",
+            max_error(&want, &out)
+        );
     }
 }

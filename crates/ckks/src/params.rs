@@ -65,11 +65,7 @@ impl CkksParams {
     ///
     /// Panics if `dnum` does not divide `L+1`.
     pub fn alpha(&self) -> usize {
-        assert_eq!(
-            (self.max_level + 1) % self.dnum,
-            0,
-            "dnum must divide L+1"
-        );
+        assert_eq!((self.max_level + 1) % self.dnum, 0, "dnum must divide L+1");
         (self.max_level + 1) / self.dnum
     }
 
@@ -301,9 +297,7 @@ impl CkksContext {
         let mut cache = self.converters.lock().expect("converter cache poisoned");
         cache
             .entry(key)
-            .or_insert_with(|| {
-                std::sync::Arc::new(BaseConverter::new(&self.basis, from, to))
-            })
+            .or_insert_with(|| std::sync::Arc::new(BaseConverter::new(&self.basis, from, to)))
             .clone()
     }
 

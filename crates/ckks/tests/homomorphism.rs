@@ -53,7 +53,7 @@ proptest! {
         let scale = f.ctx.params().scale();
         let c1 = f.ctx.encrypt(&f.ctx.encode(&z1, 2, scale), &f.sk, &mut rng);
         let c2 = f.ctx.encrypt(&f.ctx.encode(&z2, 2, scale), &f.sk, &mut rng);
-        let out = f.ctx.decrypt_decode(&f.ctx.add(&c1, &c2), &f.sk);
+        let out = f.ctx.decrypt_decode(&f.ctx.add(&c1, &c2).unwrap(), &f.sk);
         let want: Vec<C64> = z1.iter().zip(&z2).map(|(&a, &b)| a + b).collect();
         prop_assert!(max_error(&want, &out) < 1e-4);
     }
@@ -72,7 +72,7 @@ proptest! {
         let c1 = f.ctx.encrypt(&f.ctx.encode(&z1, 2, scale), &f.sk, &mut rng);
         let c2 = f.ctx.encrypt(&f.ctx.encode(&z2, 2, scale), &f.sk, &mut rng);
         let prod = f.ctx.mul_rescale(&c1, &c2, &f.evk);
-        let out = f.ctx.decrypt_decode(&prod, &f.sk);
+        let out = f.ctx.decrypt_decode(&prod.unwrap(), &f.sk);
         let want: Vec<C64> = z1.iter().zip(&z2).map(|(&a, &b)| a * b).collect();
         prop_assert!(max_error(&want, &out) < 1e-3);
     }
@@ -88,7 +88,7 @@ proptest! {
         let slots = f.ctx.params().slots();
         let z = pad(&to_c64(&m), slots);
         let ct = f.ctx.encrypt(&f.ctx.encode(&z, 2, f.ctx.params().scale()), &f.sk, &mut rng);
-        let out = f.ctx.decrypt_decode(&f.ctx.rotate(&ct, r, &f.keys), &f.sk);
+        let out = f.ctx.decrypt_decode(&f.ctx.rotate(&ct, r, &f.keys).unwrap(), &f.sk);
         let want: Vec<C64> = (0..slots).map(|i| z[(i + r as usize) % slots]).collect();
         prop_assert!(max_error(&want, &out) < 1e-3);
     }
@@ -105,8 +105,8 @@ proptest! {
         let slots = f.ctx.params().slots();
         let z = pad(&to_c64(&m), slots);
         let ct = f.ctx.encrypt(&f.ctx.encode(&z, 2, f.ctx.params().scale()), &f.sk, &mut rng);
-        let sum = f.ctx.add(&f.ctx.rotate(&ct, r, &f.keys), &ct);
-        let out = f.ctx.decrypt_decode(&sum, &f.sk);
+        let sum = f.ctx.add(&f.ctx.rotate(&ct, r, &f.keys).unwrap(), &ct);
+        let out = f.ctx.decrypt_decode(&sum.unwrap(), &f.sk);
         let want: Vec<C64> = (0..slots)
             .map(|i| z[(i + r as usize) % slots] + z[i])
             .collect();
@@ -120,7 +120,7 @@ proptest! {
         let slots = f.ctx.params().slots();
         let z = pad(&to_c64(&m), slots);
         let ct = f.ctx.encrypt(&f.ctx.encode(&z, 2, f.ctx.params().scale()), &f.sk, &mut rng);
-        let out = f.ctx.decrypt_decode(&f.ctx.conjugate(&ct, &f.keys), &f.sk);
+        let out = f.ctx.decrypt_decode(&f.ctx.conjugate(&ct, &f.keys).unwrap(), &f.sk);
         let want: Vec<C64> = z.iter().map(|w| w.conj()).collect();
         prop_assert!(max_error(&want, &out) < 1e-3);
     }
@@ -139,7 +139,7 @@ proptest! {
         let shifted = f.ctx.add_const(&ct, c);
         let scaled = f.ctx.rescale(&f.ctx.mul_const(&ct, c));
         let out_add = f.ctx.decrypt_decode(&shifted, &f.sk);
-        let out_mul = f.ctx.decrypt_decode(&scaled, &f.sk);
+        let out_mul = f.ctx.decrypt_decode(&scaled.unwrap(), &f.sk);
         let want_add: Vec<C64> = z.iter().map(|&w| w + C64::new(c, 0.0)).collect();
         let want_mul: Vec<C64> = z.iter().map(|&w| w.scale(c)).collect();
         prop_assert!(max_error(&want_add, &out_add) < 1e-4);
@@ -155,8 +155,8 @@ proptest! {
         let scale = f.ctx.params().scale();
         let c1 = f.ctx.encrypt(&f.ctx.encode(&z1, 2, scale), &f.sk, &mut rng);
         let c2 = f.ctx.encrypt(&f.ctx.encode(&z2, 2, scale), &f.sk, &mut rng);
-        let ab = f.ctx.decrypt_decode(&f.ctx.mul_rescale(&c1, &c2, &f.evk), &f.sk);
-        let ba = f.ctx.decrypt_decode(&f.ctx.mul_rescale(&c2, &c1, &f.evk), &f.sk);
+        let ab = f.ctx.decrypt_decode(&f.ctx.mul_rescale(&c1, &c2, &f.evk).unwrap(), &f.sk);
+        let ba = f.ctx.decrypt_decode(&f.ctx.mul_rescale(&c2, &c1, &f.evk).unwrap(), &f.sk);
         prop_assert!(max_error(&ab, &ba) < 1e-3);
     }
 }

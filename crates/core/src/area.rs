@@ -59,8 +59,7 @@ impl Area {
 
     /// Total die area (418.3 mm² at base).
     pub fn total(&self) -> f64 {
-        self.bconvu + self.nttu + self.autou + self.madu + self.rf + self.sram + self.noc
-            + self.hbm
+        self.bconvu + self.nttu + self.autou + self.madu + self.rf + self.sram + self.noc + self.hbm
     }
 }
 

@@ -107,15 +107,31 @@ mod tests {
         assert!(two.relative_cost(418.3) < 1.0);
         assert!(four.relative_cost(418.3) < two.relative_cost(418.3));
         assert!(two.effective_noc_gbps(8000.0) > four.effective_noc_gbps(8000.0));
-        assert!(four.effective_noc_gbps(8000.0) > 1000.0, "bounded below by D2D");
+        assert!(
+            four.effective_noc_gbps(8000.0) > 1000.0,
+            "bounded below by D2D"
+        );
     }
 
     #[test]
     fn chiplet_performance_degrades_gracefully() {
         let params = CkksParams::ark();
-        let t = bootstrap_trace(&params, &BootstrapTraceConfig::full(&params, KeyStrategy::MinKs));
-        let mono = run(&t, &params, &ChipletPlan::monolithic().config(), CompileOptions::all_on());
-        let quad = run(&t, &params, &ChipletPlan::new(4, 1000.0).config(), CompileOptions::all_on());
+        let t = bootstrap_trace(
+            &params,
+            &BootstrapTraceConfig::full(&params, KeyStrategy::MinKs),
+        );
+        let mono = run(
+            &t,
+            &params,
+            &ChipletPlan::monolithic().config(),
+            CompileOptions::all_on(),
+        );
+        let quad = run(
+            &t,
+            &params,
+            &ChipletPlan::new(4, 1000.0).config(),
+            CompileOptions::all_on(),
+        );
         let slowdown = quad.cycles as f64 / mono.cycles as f64;
         assert!(
             (1.0..2.5).contains(&slowdown),

@@ -155,12 +155,7 @@ impl<'a> Compiler<'a> {
         let intt = self.push(Resource::Nttu, self.butterflies(from), 64, deps);
         let pre = if self.cfg.distribution == DataDistribution::Alternating {
             // switch to coefficient-wise: (from + to)·N words all-to-all
-            self.push(
-                Resource::Noc,
-                (from + to) as u64 * n,
-                32,
-                vec![intt],
-            )
+            self.push(Resource::Noc, (from + to) as u64 * n, 32, vec![intt])
         } else {
             intt
         };
@@ -211,12 +206,7 @@ impl<'a> Compiler<'a> {
         if let Some(l) = load {
             deps.push(l);
         }
-        let mul = self.push(
-            Resource::Madu,
-            (2 * pieces * ext) as u64 * n,
-            8,
-            deps,
-        );
+        let mul = self.push(Resource::Madu, (2 * pieces * ext) as u64 * n, 8, deps);
 
         // limb-wise-only: redistribute for accumulation (Section V-B)
         let mul = if self.cfg.distribution == DataDistribution::LimbWiseOnly {
@@ -285,43 +275,55 @@ impl<'a> Compiler<'a> {
                 );
                 self.key_switch(level, KeyId::Mult, vec![products])
             }
-            HeOp::PMult { level, fresh_plaintext } => {
+            HeOp::PMult {
+                level,
+                fresh_plaintext,
+            } => {
                 let mut deps = self.dep_last();
                 if fresh_plaintext {
                     deps.push(self.plaintext_operand(level));
                 }
                 self.push(Resource::Madu, (2 * (level + 1)) as u64 * n, 8, deps)
             }
-            HeOp::PAdd { level, fresh_plaintext } => {
+            HeOp::PAdd {
+                level,
+                fresh_plaintext,
+            } => {
                 let mut deps = self.dep_last();
                 if fresh_plaintext {
                     deps.push(self.plaintext_operand(level));
                 }
                 self.push(Resource::Madu, (level + 1) as u64 * n, 8, deps)
             }
-            HeOp::HAdd { level } => {
-                self.push(Resource::Madu, (2 * (level + 1)) as u64 * n, 8, self.dep_last())
-            }
-            HeOp::CMult { level } => {
-                self.push(Resource::Madu, (2 * (level + 1)) as u64 * n, 8, self.dep_last())
-            }
+            HeOp::HAdd { level } => self.push(
+                Resource::Madu,
+                (2 * (level + 1)) as u64 * n,
+                8,
+                self.dep_last(),
+            ),
+            HeOp::CMult { level } => self.push(
+                Resource::Madu,
+                (2 * (level + 1)) as u64 * n,
+                8,
+                self.dep_last(),
+            ),
             HeOp::CAdd { level } => {
                 self.push(Resource::Madu, (level + 1) as u64 * n, 8, self.dep_last())
             }
             HeOp::HRescale { level } => {
                 let intt = self.push(Resource::Nttu, self.butterflies(2), 64, self.dep_last());
-                let ntt = self.push(
-                    Resource::Nttu,
-                    self.butterflies(2 * level),
-                    64,
-                    vec![intt],
-                );
+                let ntt = self.push(Resource::Nttu, self.butterflies(2 * level), 64, vec![intt]);
                 self.push(Resource::Madu, (2 * level) as u64 * n, 8, vec![ntt])
             }
             HeOp::ModRaise => {
                 let l = self.params.max_level;
                 let intt = self.push(Resource::Nttu, self.butterflies(2), 64, self.dep_last());
-                self.push(Resource::Nttu, self.butterflies(2 * (l + 1)), 64, vec![intt])
+                self.push(
+                    Resource::Nttu,
+                    self.butterflies(2 * (l + 1)),
+                    64,
+                    vec![intt],
+                )
             }
         };
         self.last = Some(end);
@@ -398,9 +400,7 @@ mod tests {
         // H-IDFT runs at levels 23..21 → ratio ≈ ℓ+1 ≈ 23-24
         assert!(ratio > 20.0, "ratio {ratio}");
         // and pays NTT regeneration work
-        assert!(
-            with.total_work(Resource::Nttu) > without.total_work(Resource::Nttu)
-        );
+        assert!(with.total_work(Resource::Nttu) > without.total_work(Resource::Nttu));
     }
 
     #[test]
@@ -419,7 +419,12 @@ mod tests {
     fn limb_wise_only_moves_more_noc_words() {
         let p = params();
         let t = hdft_trace(&HdftConfig::paper_hidft(&p, KeyStrategy::MinKs));
-        let alt = compile(&t, &p, &ArkConfig::limb_wise_only(), CompileOptions::all_on());
+        let alt = compile(
+            &t,
+            &p,
+            &ArkConfig::limb_wise_only(),
+            CompileOptions::all_on(),
+        );
         let base = compile(&t, &p, &ArkConfig::base(), CompileOptions::all_on());
         // dnum' = 4 > 2 at the top of the chain: 2·dnum vs (dnum + 2)
         assert!(
@@ -438,7 +443,7 @@ mod tests {
         assert!(!cache.access(KeyId::Rot(2), 100, 5)); // miss
         assert!(!cache.access(KeyId::Rot(3), 100, 5)); // miss, evicts Rot(1)
         assert!(!cache.access(KeyId::Rot(1), 100, 5)); // miss again
-        // level upgrade forces a reload
+                                                       // level upgrade forces a reload
         assert!(!cache.access(KeyId::Rot(1), 120, 9));
         // oversized keys are never resident
         assert!(!cache.access(KeyId::Mult, 1000, 5));

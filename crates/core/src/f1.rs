@@ -69,7 +69,10 @@ pub fn trace_mults_and_single_use_bytes(params: &CkksParams, trace: &Trace) -> (
             HeOp::HMult { level } => {
                 mults += hmult_breakdown(params, level).total() as u64;
             }
-            HeOp::PMult { level, fresh_plaintext } => {
+            HeOp::PMult {
+                level,
+                fresh_plaintext,
+            } => {
                 mults += 2 * (level as u64 + 1) * params.n() as u64;
                 if fresh_plaintext {
                     bytes += 8 * plaintext_words_at_level(params, level, false) as u64;
@@ -100,10 +103,7 @@ pub fn paper_utilization_ceilings() -> (f64, f64) {
     let (m1, b1) = trace_mults_and_single_use_bytes(&params, &hidft);
     let hdft = hdft_trace(&HdftConfig::paper_hdft(&params, KeyStrategy::Baseline));
     let (m2, b2) = trace_mults_and_single_use_bytes(&params, &hdft);
-    (
-        max_utilization(&f1, m1, b1),
-        max_utilization(&f1, m2, b2),
-    )
+    (max_utilization(&f1, m1, b1), max_utilization(&f1, m2, b2))
 }
 
 #[cfg(test)]

@@ -67,8 +67,7 @@ impl PeakPower {
 
     /// Total peak power (Table IV sum: 281.3 W at base).
     pub fn total(&self) -> f64 {
-        self.bconvu + self.nttu + self.autou + self.madu + self.rf + self.sram + self.noc
-            + self.hbm
+        self.bconvu + self.nttu + self.autou + self.madu + self.rf + self.sram + self.noc + self.hbm
     }
 }
 
@@ -96,8 +95,7 @@ pub struct PowerBreakdown {
 impl PowerBreakdown {
     /// Total average power.
     pub fn total(&self) -> f64 {
-        self.bconvu + self.nttu + self.autou + self.madu + self.rf + self.sram + self.noc
-            + self.hbm
+        self.bconvu + self.nttu + self.autou + self.madu + self.rf + self.sram + self.noc + self.hbm
     }
 }
 
@@ -169,8 +167,14 @@ mod tests {
         );
         let base_cfg = ArkConfig::base();
         let big_cfg = ArkConfig::two_x_clusters();
-        let base = average_power(&run(&t, &params, &base_cfg, CompileOptions::all_on()), &base_cfg);
-        let big = average_power(&run(&t, &params, &big_cfg, CompileOptions::all_on()), &big_cfg);
+        let base = average_power(
+            &run(&t, &params, &base_cfg, CompileOptions::all_on()),
+            &base_cfg,
+        );
+        let big = average_power(
+            &run(&t, &params, &big_cfg, CompileOptions::all_on()),
+            &big_cfg,
+        );
         assert!(
             big.total() > base.total(),
             "2x clusters: {:.1} W vs {:.1} W",
@@ -185,6 +189,9 @@ mod tests {
         let base = PeakPower::table_iv();
         assert!((two_x.nttu / base.nttu - 2.0).abs() < 1e-9);
         assert!((two_x.noc / base.noc - 2.71).abs() < 1e-9);
-        assert!((two_x.sram - base.sram).abs() < 1e-9, "scratchpad unchanged");
+        assert!(
+            (two_x.sram - base.sram).abs() < 1e-9,
+            "scratchpad unchanged"
+        );
     }
 }

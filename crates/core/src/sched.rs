@@ -58,6 +58,28 @@ impl SimReport {
     }
 }
 
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} cycles ({:.3} ms)", self.cycles, self.seconds * 1e3)?;
+        writeln!(
+            f,
+            "  off-chip: {:.2} GB ({:.1} ops/byte); NoC: {:.2} GB",
+            self.hbm_bytes() as f64 / 1e9,
+            self.arithmetic_intensity(),
+            (8 * self.noc_words) as f64 / 1e9,
+        )?;
+        write!(
+            f,
+            "  utilization: NTTU {:.0}%  BConvU {:.0}%  MADU {:.0}%  HBM {:.0}%  NoC {:.0}%",
+            100.0 * self.utilization(Resource::Nttu),
+            100.0 * self.utilization(Resource::BconvU),
+            100.0 * self.utilization(Resource::Madu),
+            100.0 * self.utilization(Resource::Hbm),
+            100.0 * self.utilization(Resource::Noc),
+        )
+    }
+}
+
 /// Simulates a compiled graph on a configuration.
 pub fn simulate(graph: &PfGraph, cfg: &ArkConfig, n: usize) -> SimReport {
     let rate = |r: Resource| -> f64 {
@@ -91,12 +113,7 @@ pub fn simulate(graph: &PfGraph, cfg: &ArkConfig, n: usize) -> SimReport {
     let mut mults = 0u64;
 
     for (id, node) in graph.nodes().iter().enumerate() {
-        let dep_ready = graph
-            .deps(id)
-            .iter()
-            .map(|&d| finish[d])
-            .max()
-            .unwrap_or(0);
+        let dep_ready = graph.deps(id).iter().map(|&d| finish[d]).max().unwrap_or(0);
         let res_free = *resource_free.get(&node.resource).unwrap_or(&0);
         let start = dep_ready.max(res_free);
         let duration = (node.work as f64 / rate(node.resource)).ceil() as u64 + node.latency;
@@ -211,7 +228,10 @@ mod tests {
         let s1 = base.cycles as f64 / minks.cycles as f64;
         let s2 = base.cycles as f64 / both.cycles as f64;
         assert!(s1 > 1.5 && s1 < 4.5, "Min-KS speedup {s1:.2}");
-        assert!(s2 > s1, "OF-Limb must add further speedup: {s2:.2} vs {s1:.2}");
+        assert!(
+            s2 > s1,
+            "OF-Limb must add further speedup: {s2:.2} vs {s1:.2}"
+        );
         assert!(s2 > 2.3 && s2 < 6.0, "total speedup {s2:.2}");
     }
 
@@ -243,7 +263,12 @@ mod tests {
         let p = CkksParams::ark();
         let t = bootstrap_trace(&p, &BootstrapTraceConfig::full(&p, KeyStrategy::MinKs));
         let base = run(&t, &p, &ArkConfig::base(), CompileOptions::all_on());
-        let big = run(&t, &p, &ArkConfig::two_x_clusters(), CompileOptions::all_on());
+        let big = run(
+            &t,
+            &p,
+            &ArkConfig::two_x_clusters(),
+            CompileOptions::all_on(),
+        );
         let speedup = base.cycles as f64 / big.cycles as f64;
         assert!(
             speedup > 1.15 && speedup < 2.0,

@@ -110,7 +110,7 @@ pub fn apply_eval(input: &[u64], perm: &[usize]) -> Vec<u64> {
 /// indices `{i, i + lanes, i + 2·lanes, …}`, the common residue class
 /// `ψ_g(i) mod lanes` of the destinations.
 pub fn strided_block_destination(n: usize, lanes: usize, g: GaloisElement, i: usize) -> usize {
-    assert!(lanes.is_power_of_two() && n % lanes == 0);
+    assert!(lanes.is_power_of_two() && n.is_multiple_of(lanes));
     let two_n = 2 * n as u64;
     // Destination index of coefficient j is j*g mod 2N, folded mod N.
     // For j = i + k·lanes, j*g ≡ i·g + k·lanes·g (mod 2N); modulo `lanes`

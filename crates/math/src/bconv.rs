@@ -40,7 +40,10 @@ impl BaseConverter {
     pub fn new(basis: &RnsBasis, from: &[usize], to: &[usize]) -> Self {
         assert!(!from.is_empty(), "source base must be non-empty");
         for t in to {
-            assert!(!from.contains(t), "source and target bases must be disjoint");
+            assert!(
+                !from.contains(t),
+                "source and target bases must be disjoint"
+            );
         }
         // p̂_j = Π_{k≠j} p_k, computed exactly then reduced.
         let phats: Vec<BigUint> = (0..from.len())
@@ -113,7 +116,10 @@ impl BaseConverter {
                     .unwrap_or_else(|| panic!("source limb {fj} missing"));
                 let p = basis.modulus(fj);
                 let pre = p.shoup(inv);
-                poly.limb(pos).iter().map(|&x| p.mul_shoup(x, &pre)).collect()
+                poly.limb(pos)
+                    .iter()
+                    .map(|&x| p.mul_shoup(x, &pre))
+                    .collect()
             })
             .collect()
     }
@@ -243,6 +249,7 @@ mod tests {
         let out = bc.convert(&poly, &basis);
         for (pos, &ti) in [1usize, 2, 3].iter().enumerate() {
             let q = basis.modulus(ti);
+            #[allow(clippy::needless_range_loop)]
             for k in 0..n {
                 assert_eq!(out.limb(pos)[k], q.reduce(coeffs[0][k]));
             }

@@ -48,9 +48,7 @@ impl BigUint {
     pub fn bits(&self) -> u64 {
         match self.limbs.last() {
             None => 0,
-            Some(&top) => {
-                (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64)
-            }
+            Some(&top) => (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
         }
     }
 
@@ -325,7 +323,13 @@ mod tests {
         assert_eq!(BigUint::zero().bits(), 0);
         assert_eq!(BigUint::from_u64(1).bits(), 1);
         assert_eq!(BigUint::from_u64(u64::MAX).bits(), 64);
-        assert_eq!(BigUint::from_u64(1).mul_u64(2).mul(&BigUint::from_u64(1u64 << 63)).bits(), 65);
+        assert_eq!(
+            BigUint::from_u64(1)
+                .mul_u64(2)
+                .mul(&BigUint::from_u64(1u64 << 63))
+                .bits(),
+            65
+        );
     }
 
     #[test]

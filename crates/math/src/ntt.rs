@@ -61,7 +61,10 @@ impl NttTable {
     /// Panics if `n` is not a power of two or the modulus does not
     /// support a `2n`-th root of unity.
     pub fn new(modulus: Modulus, n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "degree must be a power of two >= 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "degree must be a power of two >= 2"
+        );
         let log_n = n.trailing_zeros();
         let psi = primitive_root_of_unity(&modulus, 2 * n as u64);
         let psi_inv = modulus.inv(psi);
@@ -184,6 +187,7 @@ impl NttTable {
 }
 
 /// Naive `O(N^2)` negacyclic convolution, used as a test oracle.
+#[allow(clippy::needless_range_loop)] // index math over two arrays
 pub fn negacyclic_mul_naive(a: &[u64], b: &[u64], q: &Modulus) -> Vec<u64> {
     let n = a.len();
     assert_eq!(b.len(), n);

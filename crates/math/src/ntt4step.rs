@@ -135,7 +135,10 @@ impl FourStepNtt {
     /// Panics if `n < 4` or not a power of two, or if the modulus lacks a
     /// `2n`-th root of unity.
     pub fn new(modulus: Modulus, n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 4, "n must be a power of two >= 4");
+        assert!(
+            n.is_power_of_two() && n >= 4,
+            "n must be a power of two >= 4"
+        );
         let log_n = n.trailing_zeros();
         let n1 = 1usize << log_n.div_ceil(2);
         let n2 = n / n1;
@@ -315,6 +318,7 @@ mod tests {
         let mut f2 = a.clone();
         radix2.forward(&mut f2);
         let bits = n.trailing_zeros();
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             let br = i.reverse_bits() >> (usize::BITS - bits);
             assert_eq!(f4[i], f2[br], "natural index {i}");

@@ -268,7 +268,11 @@ impl RnsPoly {
     /// Panics unless both polynomials are in [`Representation::Evaluation`]
     /// with identical limb sets.
     pub fn mul_assign(&mut self, other: &Self, basis: &RnsBasis) {
-        assert_eq!(self.rep, Representation::Evaluation, "mul needs evaluation rep");
+        assert_eq!(
+            self.rep,
+            Representation::Evaluation,
+            "mul needs evaluation rep"
+        );
         self.assert_compatible(other);
         for (pos, &idx) in self.limb_idx.iter().enumerate() {
             let q = basis.modulus(idx);
@@ -408,10 +412,7 @@ impl RnsPoly {
     pub fn extend_with(&mut self, other: &Self) {
         assert_eq!(self.rep, other.rep, "representation mismatch");
         for &i in &other.limb_idx {
-            assert!(
-                self.position_of(i).is_none(),
-                "limb {i} already present"
-            );
+            assert!(self.position_of(i).is_none(), "limb {i} already present");
         }
         self.limb_idx.extend_from_slice(&other.limb_idx);
         self.data.extend(other.data.iter().cloned());
@@ -503,8 +504,7 @@ mod tests {
         let b = basis(16, 2);
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let idx = [0usize, 1];
-        let mut acc =
-            RnsPoly::random_uniform(&b, &idx, Representation::Evaluation, &mut rng);
+        let mut acc = RnsPoly::random_uniform(&b, &idx, Representation::Evaluation, &mut rng);
         let x = RnsPoly::random_uniform(&b, &idx, Representation::Evaluation, &mut rng);
         let y = RnsPoly::random_uniform(&b, &idx, Representation::Evaluation, &mut rng);
         let mut expect = acc.clone();

@@ -22,14 +22,14 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let m = Modulus::new(n).expect("n >= 2 and fits after small-prime sieve");
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -135,7 +135,7 @@ pub fn generate_ntt_primes_excluding(
 pub fn primitive_root_of_unity(q: &Modulus, two_n: u64) -> u64 {
     let qv = q.value();
     assert!(
-        (qv - 1) % two_n == 0,
+        (qv - 1).is_multiple_of(two_n),
         "q = {qv} is not ≡ 1 mod {two_n}; no primitive root exists"
     );
     let cofactor = (qv - 1) / two_n;

@@ -118,6 +118,7 @@ proptest! {
         t.forward(&mut f2);
         let mut f4 = reduced;
         four.forward(&mut f4);
+        #[allow(clippy::needless_range_loop)]
         for i in 0..64usize {
             let br = i.reverse_bits() >> (usize::BITS - 6);
             prop_assert_eq!(f4[i], f2[br]);
@@ -233,6 +234,7 @@ proptest! {
         let out = conv.convert(&poly, &basis);
         let q = basis.modulus(3);
         let p_mod_q = crt.product().rem_u64(q.value());
+        #[allow(clippy::needless_range_loop)]
         for k in 0..8 {
             let residues: Vec<u64> = (0..3).map(|j| rows[j][k]).collect();
             let exact = crt.reconstruct(&residues).rem_u64(q.value());

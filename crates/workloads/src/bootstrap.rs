@@ -130,8 +130,12 @@ fn evalmod_trace(t: &mut Trace, cfg: &BootstrapTraceConfig, start_level: usize) 
         // recursive combines: one HMult per chunk boundary
         let chunks = d.div_ceil(m);
         for c in 0..chunks.min(3) {
-            t.push(HeOp::HMult { level: l2 - c.min(l2) });
-            t.push(HeOp::HRescale { level: (l2 - c.min(l2)).max(1) });
+            t.push(HeOp::HMult {
+                level: l2 - c.min(l2),
+            });
+            t.push(HeOp::HRescale {
+                level: (l2 - c.min(l2)).max(1),
+            });
         }
     }
     level = start_level - cfg.evalmod_depth();

@@ -62,7 +62,10 @@ fn helr_iteration(t: &mut Trace, cfg: &HelrConfig, params: &CkksParams, level: u
     // (only the model is encrypted): PMult per data ciphertext, then one
     // shared rotate-and-sum tree (powers of two — not Min-KS-able).
     for _ in 0..cts {
-        t.push(HeOp::PMult { level: l, fresh_plaintext: true });
+        t.push(HeOp::PMult {
+            level: l,
+            fresh_plaintext: true,
+        });
         t.push(HeOp::HAdd { level: l });
     }
     t.push(HeOp::HRescale { level: l });
@@ -97,7 +100,10 @@ fn helr_iteration(t: &mut Trace, cfg: &HelrConfig, params: &CkksParams, level: u
         t.push(HeOp::HAdd { level: l });
     }
     for _ in 0..cts {
-        t.push(HeOp::PMult { level: l, fresh_plaintext: true });
+        t.push(HeOp::PMult {
+            level: l,
+            fresh_plaintext: true,
+        });
         t.push(HeOp::HAdd { level: l });
     }
     t.push(HeOp::HRescale { level: l });
@@ -197,6 +203,9 @@ mod tests {
             &BootstrapTraceConfig::sparse(8, KeyStrategy::MinKs),
         );
         let non_boot_ks = t.key_switch_count() - boot.key_switch_count();
-        assert!(non_boot_ks > 20, "non-bootstrap key-switches: {non_boot_ks}");
+        assert!(
+            non_boot_ks > 20,
+            "non-bootstrap key-switches: {non_boot_ks}"
+        );
     }
 }

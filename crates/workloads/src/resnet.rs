@@ -71,11 +71,7 @@ fn conv_layer(t: &mut Trace, cfg: &ResNetConfig, level: usize, width: usize) -> 
         } else {
             KeyId::Rot(amount)
         };
-        t.push(HeOp::HRot {
-            level,
-            amount,
-            key,
-        });
+        t.push(HeOp::HRot { level, amount, key });
         let _ = i;
     }
     // one weight PMult per kernel tap (multiplexed channels share it)

@@ -93,7 +93,12 @@ pub fn sorting_trace(params: &CkksParams, cfg: &SortingConfig) -> Trace {
     for phase in 0..l {
         for sub in 0..=phase {
             let distance = 1i64 << (phase - sub);
-            compare_exchange(&mut t, cfg, distance, post_boot.max(cfg.compare_depth / 2 + 2));
+            compare_exchange(
+                &mut t,
+                cfg,
+                distance,
+                post_boot.max(cfg.compare_depth / 2 + 2),
+            );
             for _ in 0..cfg.boots_per_stage {
                 t.extend(&boot);
             }

@@ -32,7 +32,11 @@ pub enum HeOp {
     /// Ciphertext + ciphertext.
     HAdd { level: usize },
     /// Rotation by `amount` using `key`.
-    HRot { level: usize, amount: i64, key: KeyId },
+    HRot {
+        level: usize,
+        amount: i64,
+        key: KeyId,
+    },
     /// Complex conjugation.
     HConj { level: usize },
     /// Scalar multiplication (no key, no plaintext load).
@@ -160,6 +164,36 @@ impl Trace {
     }
 }
 
+impl std::fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (label, count) in [
+            ("HMult", self.hmult),
+            ("PMult", self.pmult),
+            ("PAdd", self.padd),
+            ("HAdd", self.hadd),
+            ("HRot", self.hrot),
+            ("HConj", self.hconj),
+            ("CMult", self.cmult),
+            ("CAdd", self.cadd),
+            ("HRescale", self.hrescale),
+            ("ModRaise", self.mod_raise),
+        ] {
+            if count > 0 {
+                if !first {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{label}:{count}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
 /// Histogram of op kinds in a trace.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[allow(missing_docs)]
@@ -207,10 +241,7 @@ mod tests {
 
     #[test]
     fn key_identity() {
-        assert_eq!(
-            HeOp::HMult { level: 1 }.key(),
-            Some(KeyId::Mult)
-        );
+        assert_eq!(HeOp::HMult { level: 1 }.key(), Some(KeyId::Mult));
         assert_eq!(HeOp::CMult { level: 1 }.key(), None);
         assert!(!HeOp::PMult {
             level: 1,

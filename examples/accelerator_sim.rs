@@ -1,17 +1,20 @@
-//! Drive the cycle-level ARK model: simulate bootstrapping with and
-//! without the paper's algorithms and print the performance/power story.
+//! Drive the cycle-level ARK model through the engine: simulate
+//! bootstrapping with and without the paper's algorithms and print the
+//! performance/power story.
 //!
 //! ```sh
 //! cargo run --release --example accelerator_sim
 //! ```
 
 use ark_fhe::arch::power::average_power;
-use ark_fhe::arch::{run, ArkConfig, CompileOptions};
+use ark_fhe::arch::{ArkConfig, CompileOptions};
 use ark_fhe::ckks::minks::KeyStrategy;
 use ark_fhe::ckks::params::CkksParams;
+use ark_fhe::engine::{Backend, Engine};
+use ark_fhe::error::ArkError;
 use ark_fhe::workloads::bootstrap::{bootstrap_trace, BootstrapTraceConfig};
 
-fn main() {
+fn main() -> Result<(), ArkError> {
     let params = CkksParams::ark();
     let cfg = ArkConfig::base();
     println!(
@@ -27,17 +30,30 @@ fn main() {
     ];
     let mut baseline_s = None;
     for (label, strategy, of_limb) in cases {
+        // one engine per compile configuration: the backend owns the
+        // hardware model and compiler switches
+        let engine = Engine::builder()
+            .params(params.clone())
+            .backend(Backend::Simulated(cfg.clone()))
+            .compile_options(CompileOptions { of_limb })
+            .build()?;
         let trace = bootstrap_trace(&params, &BootstrapTraceConfig::full(&params, strategy));
-        let report = run(&trace, &params, &cfg, CompileOptions { of_limb });
+        let report = engine.simulate_trace(&trace)?;
         let power = average_power(&report, &cfg);
         if baseline_s.is_none() {
             baseline_s = Some(report.seconds);
         }
         println!("{label}:");
-        println!("  time        {:.3} ms ({:.2}x)", report.seconds * 1e3,
-                 baseline_s.unwrap() / report.seconds);
-        println!("  off-chip    {:.2} GB ({:.1} ops/byte)",
-                 report.hbm_bytes() as f64 / 1e9, report.arithmetic_intensity());
+        println!(
+            "  time        {:.3} ms ({:.2}x)",
+            report.seconds * 1e3,
+            baseline_s.unwrap() / report.seconds
+        );
+        println!(
+            "  off-chip    {:.2} GB ({:.1} ops/byte)",
+            report.hbm_bytes() as f64 / 1e9,
+            report.arithmetic_intensity()
+        );
         println!("  avg power   {:.1} W", power.total());
         println!(
             "  utilization NTTU {:.0}%  BConvU {:.0}%  MADU {:.0}%  HBM {:.0}%\n",
@@ -48,4 +64,5 @@ fn main() {
         );
     }
     println!("paper (Fig. 7a): Min-KS 1.9x, Min-KS + OF-Limb 2.36x on bootstrapping");
+    Ok(())
 }

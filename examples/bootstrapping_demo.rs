@@ -1,70 +1,88 @@
-//! Full CKKS bootstrapping at reduced degree, with Min-KS and the
-//! radix-2^k homomorphic DFT factorization — the paper's Section II-D
-//! pipeline end to end.
+//! Full CKKS bootstrapping at reduced degree through the engine API:
+//! the session generates the transform rotation keys up front
+//! ([`EngineBuilder::bootstrapping`]), so refreshing a ciphertext is a
+//! single [`HeEvaluator::bootstrap`] call — the paper's Section II-D
+//! pipeline end to end with Min-KS.
 //!
 //! ```sh
 //! cargo run --release --example bootstrapping_demo
 //! ```
 
-use ark_fhe::ckks::bootstrap::{BootstrapConfig, Bootstrapper};
+use ark_fhe::ckks::bootstrap::BootstrapConfig;
 use ark_fhe::ckks::encoding::max_error;
 use ark_fhe::ckks::minks::KeyStrategy;
-use ark_fhe::ckks::params::{CkksContext, CkksParams};
+use ark_fhe::ckks::params::CkksParams;
+use ark_fhe::engine::{Backend, Engine, HeEvaluator};
+use ark_fhe::error::ArkError;
 use ark_fhe::math::cfft::C64;
-use rand::SeedableRng;
 use std::time::Instant;
 
-fn main() {
-    let ctx = CkksContext::new(CkksParams::boot_test());
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    println!(
-        "bootstrappable CKKS: N = {}, L = {}, dnum = {}, sparse secret h = {}",
-        ctx.params().n(),
-        ctx.params().max_level,
-        ctx.params().dnum,
-        ctx.params().secret_hamming_weight
-    );
-    let sk = ctx.gen_secret_key(&mut rng);
-    let evk = ctx.gen_mult_key(&sk, &mut rng);
-
+fn main() -> Result<(), ArkError> {
     let config = BootstrapConfig {
         radix_log2: 3,
         strategy: KeyStrategy::MinKs,
         ..BootstrapConfig::default()
     };
-    let boot = Bootstrapper::new(&ctx, config);
-    let rotations = boot.required_rotations();
+    let mut engine = Engine::builder()
+        .params(CkksParams::boot_test())
+        .backend(Backend::Software)
+        .bootstrapping(config)
+        .seed(7)
+        .build()?;
     println!(
-        "Min-KS rotation-key set: {} keys ({:?}) — the baseline needs dozens",
-        rotations.len(),
-        rotations
+        "bootstrappable CKKS: N = {}, L = {}, dnum = {}, sparse secret h = {}",
+        engine.params().n(),
+        engine.params().max_level,
+        engine.params().dnum,
+        engine.params().secret_hamming_weight
     );
-    let keys = ctx.gen_rotation_keys(&rotations, true, &sk, &mut rng);
+    let keychain = engine.keychain().expect("software session has keys");
+    println!(
+        "key chain generated once: {} rotation/conjugation keys, {:.1} MB of evks",
+        keychain.rotation_keys().len(),
+        keychain.evk_words() as f64 * 8.0 / 1e6,
+    );
 
     // exhaust the ciphertext to level 0, then refresh it
-    let slots = ctx.params().slots();
+    let slots = engine.params().slots();
     let msg: Vec<C64> = (0..slots)
-        .map(|i| C64::new(0.3 * ((i % 10) as f64 / 10.0 - 0.5), 0.2 * ((i % 7) as f64 / 7.0)))
+        .map(|i| {
+            C64::new(
+                0.3 * ((i % 10) as f64 / 10.0 - 0.5),
+                0.2 * ((i % 7) as f64 / 7.0),
+            )
+        })
         .collect();
-    let ct0 = ctx.encrypt(&ctx.encode(&msg, 0, ctx.params().scale()), &sk, &mut rng);
-    println!("ciphertext at level {} — no multiplications possible", ct0.level);
+    let ct0 = engine.encrypt(&msg, 0)?;
+    println!(
+        "ciphertext at level {} — no multiplications possible",
+        ct0.level
+    );
 
+    let mut eval = engine.evaluator()?;
     let start = Instant::now();
-    let refreshed = boot.bootstrap(&ctx, &ct0, &evk, &keys);
+    let refreshed = eval.bootstrap(&ct0)?;
     let dt = start.elapsed();
     println!(
         "bootstrapped to level {} in {:.2?} (host time at toy degree)",
         refreshed.level, dt
     );
 
-    let out = ctx.decrypt_decode(&refreshed, &sk);
+    // prove the levels are real: square the refreshed ciphertext
+    let sq = eval.square(&refreshed)?;
+    let sq = eval.rescale(&sq)?;
+    drop(eval);
+
+    let out = engine.decrypt(&refreshed)?;
     let err = max_error(&msg, &out);
     println!("message error after refresh: {err:.2e}");
     assert!(err < 5e-2);
 
-    // prove the levels are real: square the refreshed ciphertext
-    let sq = ctx.rescale(&ctx.square(&refreshed, &evk));
-    let out2 = ctx.decrypt_decode(&sq, &sk);
+    let out2 = engine.decrypt(&sq)?;
     let expect: Vec<C64> = msg.iter().map(|&z| z * z).collect();
-    println!("post-refresh square error: {:.2e}", max_error(&expect, &out2));
+    println!(
+        "post-refresh square error: {:.2e}",
+        max_error(&expect, &out2)
+    );
+    Ok(())
 }

@@ -1,59 +1,87 @@
 //! Encrypted logistic-regression inference — a miniature of the HELR
 //! workload the paper evaluates: the model is encrypted, the data is
-//! plaintext, and the score uses a polynomial sigmoid.
+//! plaintext, and the score uses HELR's degree-3 polynomial sigmoid.
+//!
+//! The scoring program is written once against [`HeEvaluator`] and run
+//! twice: functionally at reduced degree (checked against the clear
+//! pipeline) and on the simulated ARK at paper scale (costed in cycles).
 //!
 //! ```sh
 //! cargo run --release --example encrypted_inference
 //! ```
 
-use ark_fhe::ckks::evalmod::ChebyshevPoly;
-use ark_fhe::ckks::params::{CkksContext, CkksParams};
+use ark_fhe::arch::ArkConfig;
+use ark_fhe::ckks::params::CkksParams;
+use ark_fhe::engine::{Backend, Engine, HeEvaluator, HeProgram, ProgramInput};
+use ark_fhe::error::{ArkError, ArkResult};
 use ark_fhe::math::cfft::C64;
 use rand::{Rng, SeedableRng};
 
-fn sigmoid(x: f64) -> f64 {
-    1.0 / (1.0 + (-x).exp())
+/// HELR's polynomial sigmoid: σ(x) ≈ 0.5 + 0.15012·x − 0.00159·x³.
+fn sigmoid_poly(x: f64) -> f64 {
+    0.5 + 0.15012 * x - 0.00159 * x * x * x
 }
 
-fn main() {
-    let ctx = CkksContext::new(CkksParams::small());
-    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
-    let sk = ctx.gen_secret_key(&mut rng);
-    let evk = ctx.gen_mult_key(&sk, &mut rng);
-    let rots: Vec<i64> = (0..4).map(|r| 1i64 << r).collect(); // 16 features
-    let keys = ctx.gen_rotation_keys(&rots, false, &sk, &mut rng);
+/// Dot product by rotate-and-sum, then the polynomial sigmoid:
+/// `σ(Σ_j w_j x_j)` per packed sample.
+struct HelrScore {
+    data: Vec<C64>,
+    feature_rotations: Vec<i64>,
+}
 
-    // 16-feature model, batch of slots/16 samples packed feature-major
+impl HeProgram for HelrScore {
+    fn run<E: HeEvaluator>(&self, e: &mut E, inputs: &[E::Ct]) -> ArkResult<Vec<E::Ct>> {
+        // z = Σ_j w_j x_j: PMult + rotate-and-sum tree
+        let mut z = e.mul_plain_rescale(&inputs[0], &self.data)?;
+        for &r in &self.feature_rotations {
+            let rotated = e.rotate(&z, r)?;
+            z = e.add(&z, &rotated)?;
+        }
+        // σ(z) ≈ 0.5 + 0.15012 z − 0.00159 z³, evaluated in two levels:
+        // z2 = z², then z·(0.15012 − 0.00159 z²) + 0.5
+        let z2 = e.square(&z)?;
+        let z2 = e.rescale(&z2)?;
+        let inner = e.mul_const(&z2, -0.00159)?;
+        let inner = e.rescale(&inner)?;
+        let inner = e.add_const(&inner, 0.15012)?;
+        let z = e.mod_drop_to(&z, e.level(&inner))?;
+        let scored = e.mul_rescale(&z, &inner)?;
+        Ok(vec![e.add_const(&scored, 0.5)?])
+    }
+}
+
+fn main() -> Result<(), ArkError> {
     let features = 16usize;
-    let slots = ctx.params().slots();
+    let feature_rotations: Vec<i64> = (0..4).map(|r| 1i64 << r).collect();
+
+    // ---- software: verify against the clear pipeline ---------------
+    let mut engine = Engine::builder()
+        .params(CkksParams::small())
+        .backend(Backend::Software)
+        .rotations(&feature_rotations)
+        .seed(99)
+        .build()?;
+    let slots = engine.params().slots();
     let samples = slots / features;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
     let w: Vec<f64> = (0..features).map(|_| rng.gen_range(-0.5..0.5)).collect();
     let x: Vec<f64> = (0..slots).map(|_| rng.gen_range(-1.0..1.0)).collect();
 
     // encrypt the model broadcast across samples (HELR keeps the model
     // encrypted; the data is plaintext)
     let w_packed: Vec<C64> = (0..slots).map(|i| C64::new(w[i % features], 0.0)).collect();
-    let scale = ctx.params().scale();
-    let ct_w = ctx.encrypt(&ctx.encode(&w_packed, 8, scale), &sk, &mut rng);
-
-    // z = Σ_j w_j x_j per sample: PMult + rotate-and-sum tree
-    let x_pt = ctx.encode_for_mul(&x.iter().map(|&v| C64::new(v, 0.0)).collect::<Vec<_>>(), 8);
-    let mut acc = ctx.mul_plain_rescale(&ct_w, &x_pt);
-    for r in &rots {
-        let rotated = ctx.rotate(&acc, *r, &keys);
-        acc = ctx.add(&acc, &rotated);
-    }
-
-    // sigmoid via Chebyshev interpolation (degree 15 on [-8, 8])
-    let sig = ChebyshevPoly::interpolate(sigmoid, -8.0, 8.0, 15);
-    let scored = ctx.eval_chebyshev(&acc, &sig, &evk);
-    let out = ctx.decrypt_decode(&scored, &sk);
+    let program = HelrScore {
+        data: x.iter().map(|&v| C64::new(v, 0.0)).collect(),
+        feature_rotations: feature_rotations.clone(),
+    };
+    let outcome = engine.execute(&[ProgramInput::new(w_packed, 8)], &program)?;
+    let out = &outcome.outputs().expect("software run decrypts")[0];
 
     // verify against the plaintext pipeline (slot 0 of each sample group)
     let mut max_err = 0f64;
     for s in 0..samples.min(8) {
         let z: f64 = (0..features).map(|j| w[j] * x[s * features + j]).sum();
-        let expect = sigmoid(z);
+        let expect = sigmoid_poly(z);
         let got = out[s * features].re;
         max_err = max_err.max((expect - got).abs());
         if s < 4 {
@@ -62,4 +90,20 @@ fn main() {
     }
     println!("max score error over checked samples: {max_err:.2e}");
     assert!(max_err < 1e-2);
+
+    // ---- simulated: cost the same program at paper scale -----------
+    let mut sim = Engine::builder()
+        .params(CkksParams::ark())
+        .backend(Backend::Simulated(ArkConfig::base()))
+        .rotations(&feature_rotations)
+        .build()?;
+    let level = 8;
+    let sim_outcome = sim.execute(&[ProgramInput::symbolic(level)], &program)?;
+    let report = sim_outcome.report().expect("simulated run reports");
+    println!(
+        "\nsame program on simulated ARK (N = 2^16): {} ops",
+        sim_outcome.trace().len()
+    );
+    println!("{report}");
+    Ok(())
 }

@@ -1,56 +1,97 @@
-//! Quickstart: encrypt a vector, compute on it homomorphically, decrypt.
+//! Quickstart: write one HE program, run it on both backends.
+//!
+//! The program is written once against the backend-agnostic
+//! [`HeEvaluator`] trait. On [`Backend::Software`] it executes real
+//! RNS-CKKS arithmetic at a reduced degree and decrypts; on
+//! [`Backend::Simulated`] the same code records its op trace and is
+//! costed on the cycle-level ARK model at paper-scale parameters.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
+use ark_fhe::arch::ArkConfig;
 use ark_fhe::ckks::encoding::max_error;
-use ark_fhe::ckks::params::{CkksContext, CkksParams};
+use ark_fhe::ckks::params::CkksParams;
+use ark_fhe::engine::{Backend, Engine, HeEvaluator, HeProgram, ProgramInput};
+use ark_fhe::error::{ArkError, ArkResult};
 use ark_fhe::math::cfft::C64;
-use rand::SeedableRng;
 
-fn main() {
-    // A reduced-degree parameter set (N = 2^10): fast, same structure as
-    // the paper-scale sets. Not secure — demonstration only.
-    let ctx = CkksContext::new(CkksParams::small());
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2022);
-    let sk = ctx.gen_secret_key(&mut rng);
-    let evk = ctx.gen_mult_key(&sk, &mut rng);
-    let rot_keys = ctx.gen_rotation_keys(&[1, -3], false, &sk, &mut rng);
+/// `rot((x + y) · x, 1)` — one add, one relinearized multiply with
+/// rescale, one rotation.
+struct SumProductRotate;
 
-    let slots = ctx.params().slots();
+impl HeProgram for SumProductRotate {
+    fn run<E: HeEvaluator>(&self, e: &mut E, inputs: &[E::Ct]) -> ArkResult<Vec<E::Ct>> {
+        let sum = e.add(&inputs[0], &inputs[1])?;
+        let prod = e.mul_rescale(&sum, &inputs[0])?;
+        Ok(vec![e.rotate(&prod, 1)?])
+    }
+}
+
+fn main() -> Result<(), ArkError> {
+    // ---- software backend: reduced degree, real ciphertexts --------
+    let mut engine = Engine::builder()
+        .params(CkksParams::small())
+        .backend(Backend::Software)
+        .rotations(&[1])
+        .seed(2022)
+        .build()?;
+    let slots = engine.params().slots();
     println!(
-        "CKKS with N = {}, {} slots, L = {}",
-        ctx.params().n(),
+        "software backend: N = {}, {} slots, L = {}",
+        engine.params().n(),
         slots,
-        ctx.params().max_level
+        engine.params().max_level
     );
 
-    // message: x_i = sin(i/10)
-    let x: Vec<C64> = (0..slots).map(|i| C64::new((i as f64 / 10.0).sin(), 0.0)).collect();
-    let y: Vec<C64> = (0..slots).map(|i| C64::new(0.25 + 0.001 * i as f64, 0.0)).collect();
-    let scale = ctx.params().scale();
-    let ct_x = ctx.encrypt(&ctx.encode(&x, 4, scale), &sk, &mut rng);
-    let ct_y = ctx.encrypt(&ctx.encode(&y, 4, scale), &sk, &mut rng);
-
-    // (x + y) * x, then rotate left by 1
-    let sum = ctx.add(&ct_x, &ct_y);
-    let prod = ctx.mul_rescale(&sum, &ct_x, &evk);
-    let rotated = ctx.rotate(&prod, 1, &rot_keys);
-
-    let out = ctx.decrypt_decode(&rotated, &sk);
+    let x: Vec<C64> = (0..slots)
+        .map(|i| C64::new(0.5 * (i as f64 / 10.0).sin(), 0.0))
+        .collect();
+    let y: Vec<C64> = (0..slots)
+        .map(|i| C64::new(0.25 + 0.001 * i as f64, 0.0))
+        .collect();
+    let level = 4;
+    let outcome = engine.execute(
+        &[
+            ProgramInput::new(x.clone(), level),
+            ProgramInput::new(y.clone(), level),
+        ],
+        &SumProductRotate,
+    )?;
+    let out = &outcome.outputs().expect("software run decrypts")[0];
     let expect: Vec<C64> = (0..slots)
         .map(|i| {
             let j = (i + 1) % slots;
             (x[j] + y[j]) * x[j]
         })
         .collect();
-    let err = max_error(&expect, &out);
+    let err = max_error(&expect, out);
     println!("computed rot((x + y) * x, 1) homomorphically");
     println!("max slot error vs plaintext computation: {err:.2e}");
-    assert!(err < 1e-3, "unexpectedly large error");
-    println!(
-        "first 4 slots: {:?}",
-        &out[..4].iter().map(|z| (z.re * 1e4).round() / 1e4).collect::<Vec<_>>()
+    assert!(err < 1e-4, "unexpectedly large error: {err:.2e}");
+
+    // ---- simulated backend: same program at paper scale ------------
+    let mut sim = Engine::builder()
+        .params(CkksParams::ark())
+        .backend(Backend::Simulated(ArkConfig::base()))
+        .rotations(&[1])
+        .build()?;
+    let level = sim.params().max_level;
+    let sim_outcome = sim.execute(
+        &[ProgramInput::symbolic(level), ProgramInput::symbolic(level)],
+        &SumProductRotate,
+    )?;
+    let report = sim_outcome.report().expect("simulated run reports");
+    assert!(
+        report.cycles > 0,
+        "simulation must produce a non-empty report"
     );
+    println!(
+        "\nsimulated backend (ARK at N = 2^16, L = 23): {} ops recorded [{}]",
+        sim_outcome.trace().len(),
+        sim_outcome.trace().summary()
+    );
+    println!("{report}");
+    Ok(())
 }

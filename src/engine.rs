@@ -1,0 +1,1255 @@
+//! The unified engine: one backend-agnostic session layer over the
+//! functional CKKS scheme and the ARK accelerator model.
+//!
+//! The seed library exposed two disjoint worlds: `CkksContext` methods
+//! with secret/evaluation/rotation keys hand-threaded through every
+//! call, and free functions `run`/`simulate` over workload traces. This
+//! module fuses them behind one session object:
+//!
+//! - [`Engine`] — built once via [`Engine::builder`], owning the
+//!   parameter set, the backend, and (on the software backend) a
+//!   [`KeyChain`] generated up front so no call site threads keys;
+//! - [`HeEvaluator`] — the backend-agnostic operation trait
+//!   (`add`/`sub`/`mul`/`rotate`/`rescale`/`bootstrap`/…) with two
+//!   implementations: [`SoftwareEvaluator`] executes real RNS-CKKS
+//!   arithmetic via `ark-ckks`, [`TraceEvaluator`] records the op
+//!   sequence as an [`ark_workloads::Trace`] and tracks level/scale
+//!   metadata symbolically;
+//! - [`HeProgram`] — a user program written once against the trait and
+//!   executed on either backend through [`Engine::execute`], yielding
+//!   decrypted outputs on [`Backend::Software`] and a cycle-level
+//!   [`SimReport`] on [`Backend::Simulated`].
+//!
+//! Both evaluators record the trace, so the *same program* can be
+//! checked for op-sequence equality across backends (see
+//! `tests/engine_errors.rs`) and costed at paper-scale parameters
+//! without ever materializing a 2^16-degree ciphertext.
+//!
+//! ```no_run
+//! use ark_fhe::engine::{Backend, Engine, HeEvaluator, HeProgram, ProgramInput};
+//! use ark_fhe::error::ArkResult;
+//! use ark_fhe::ckks::params::CkksParams;
+//! use ark_fhe::math::cfft::C64;
+//!
+//! struct SquareAndShift;
+//! impl HeProgram for SquareAndShift {
+//!     fn run<E: HeEvaluator>(&self, e: &mut E, inputs: &[E::Ct]) -> ArkResult<Vec<E::Ct>> {
+//!         let sq = e.square(&inputs[0])?;
+//!         let sq = e.rescale(&sq)?;
+//!         Ok(vec![e.rotate(&sq, 1)?])
+//!     }
+//! }
+//!
+//! let mut engine = Engine::builder()
+//!     .params(CkksParams::small())
+//!     .backend(Backend::Software)
+//!     .rotations(&[1])
+//!     .build()?;
+//! let x = vec![C64::new(0.5, 0.0); 8];
+//! let outcome = engine.execute(&[ProgramInput::new(x, 4)], &SquareAndShift)?;
+//! # Ok::<(), ark_fhe::error::ArkError>(())
+//! ```
+
+use crate::error::{ArkError, ArkResult};
+use ark_ckks::bootstrap::{BootstrapConfig, Bootstrapper};
+use ark_ckks::keys::{EvalKey, PublicKey, RotationKeys, SecretKey};
+use ark_ckks::params::{CkksContext, CkksParams};
+use ark_ckks::{Ciphertext, Plaintext};
+use ark_core::compile::CompileOptions;
+use ark_core::config::ArkConfig;
+use ark_core::sched::SimReport;
+use ark_math::cfft::C64;
+use ark_workloads::bootstrap::{bootstrap_trace, post_bootstrap_level, BootstrapTraceConfig};
+use ark_workloads::trace::{HeOp, KeyId, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+use ark_ckks::ops::check_scales_match as check_scales;
+
+fn check_levels(a: usize, b: usize) -> ArkResult<()> {
+    if a == b {
+        Ok(())
+    } else {
+        Err(ArkError::LevelMismatch {
+            expected: a,
+            found: b,
+        })
+    }
+}
+
+/// Which execution substrate a session runs on.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// Real RNS-CKKS arithmetic on the host (`ark-ckks`); programs
+    /// yield decryptable ciphertexts.
+    Software,
+    /// The cycle-level ARK model (`ark-core`); programs yield a
+    /// [`SimReport`] instead of ciphertexts, so paper-scale parameter
+    /// sets are practical.
+    Simulated(ArkConfig),
+}
+
+impl Backend {
+    /// Short backend name, used in error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Software => "software",
+            Backend::Simulated(_) => "simulated",
+        }
+    }
+}
+
+/// The rotation amounts and conjugation flag a session was declared
+/// with — the user-visible rotation surface, identical on both
+/// backends so key-resolution errors agree. Bootstrapping transform
+/// keys are generated on the software backend but stay internal; they
+/// never appear here.
+#[derive(Debug, Clone, Default)]
+pub struct DeclaredKeys {
+    rotations: BTreeSet<i64>,
+    conjugation: bool,
+}
+
+impl DeclaredKeys {
+    /// True if a rotation key for `amount` was declared.
+    pub fn has_rotation(&self, amount: i64) -> bool {
+        self.rotations.contains(&amount)
+    }
+
+    /// True if the conjugation key was declared.
+    pub fn has_conjugation(&self) -> bool {
+        self.conjugation
+    }
+
+    /// The declared rotation amounts in ascending order.
+    pub fn rotations(&self) -> impl Iterator<Item = i64> + '_ {
+        self.rotations.iter().copied()
+    }
+}
+
+/// Every key a software session needs, generated once at build time:
+/// the secret/public pair, the multiplication key, and rotation keys
+/// for all declared amounts. Operations resolve keys internally — no
+/// call site threads key material.
+#[derive(Debug)]
+pub struct KeyChain {
+    sk: SecretKey,
+    pk: PublicKey,
+    evk_mult: EvalKey,
+    rotations: RotationKeys,
+    declared: DeclaredKeys,
+}
+
+impl KeyChain {
+    /// Generates the full chain for a context. `keygen_rotations` may
+    /// exceed the declared set (bootstrapping transform keys are
+    /// generated but stay internal — they are not part of the declared,
+    /// user-visible rotation surface).
+    fn generate<R: rand::Rng>(
+        ctx: &CkksContext,
+        declared: DeclaredKeys,
+        keygen_rotations: &[i64],
+        rng: &mut R,
+    ) -> Self {
+        let sk = ctx.gen_secret_key(rng);
+        let pk = ctx.gen_public_key(&sk, rng);
+        let evk_mult = ctx.gen_mult_key(&sk, rng);
+        let rotations = ctx.gen_rotation_keys(keygen_rotations, declared.conjugation, &sk, rng);
+        Self {
+            sk,
+            pk,
+            evk_mult,
+            rotations,
+            declared,
+        }
+    }
+
+    /// The public encryption key.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.pk
+    }
+
+    /// The multiplication (relinearization) key.
+    pub fn mult_key(&self) -> &EvalKey {
+        &self.evk_mult
+    }
+
+    /// The rotation/conjugation key set.
+    pub fn rotation_keys(&self) -> &RotationKeys {
+        &self.rotations
+    }
+
+    /// The declared key set this chain was generated from.
+    pub fn declared(&self) -> &DeclaredKeys {
+        &self.declared
+    }
+
+    /// Total evaluation-key storage in words (the working set the ARK
+    /// scratchpad must hold).
+    pub fn evk_words(&self) -> usize {
+        self.evk_mult.words() + self.rotations.words()
+    }
+}
+
+/// One program input: the slot values (used by the software backend)
+/// and the level the ciphertext enters at (used by both).
+#[derive(Debug, Clone)]
+pub struct ProgramInput {
+    /// Slot values; ignored by the simulated backend.
+    pub values: Vec<C64>,
+    /// Level the input ciphertext is encrypted at.
+    pub level: usize,
+}
+
+impl ProgramInput {
+    /// An input with real slot values.
+    pub fn new(values: Vec<C64>, level: usize) -> Self {
+        Self { values, level }
+    }
+
+    /// A shape-only input for the simulated backend.
+    pub fn symbolic(level: usize) -> Self {
+        Self {
+            values: Vec::new(),
+            level,
+        }
+    }
+}
+
+/// A user program written once against [`HeEvaluator`] and executable
+/// on any backend via [`Engine::execute`].
+pub trait HeProgram {
+    /// Runs the program over `inputs`, returning the output ciphertexts.
+    fn run<E: HeEvaluator>(&self, e: &mut E, inputs: &[E::Ct]) -> ArkResult<Vec<E::Ct>>;
+}
+
+/// What [`Engine::execute`] returns: decrypted outputs on the software
+/// backend, a cycle-level report on the simulated backend — plus the
+/// recorded op trace on both.
+#[derive(Debug)]
+pub enum Outcome {
+    /// Software execution: the decrypted output slot vectors.
+    Software {
+        /// One decoded slot vector per program output.
+        outputs: Vec<Vec<C64>>,
+        /// The op sequence the program executed.
+        trace: Trace,
+    },
+    /// Simulated execution: the accelerator-model report.
+    Simulated {
+        /// Cycle/traffic/utilization report from `ark-core`.
+        report: SimReport,
+        /// The op sequence the program recorded.
+        trace: Trace,
+    },
+}
+
+impl Outcome {
+    /// The recorded op trace (available on every backend).
+    pub fn trace(&self) -> &Trace {
+        match self {
+            Outcome::Software { trace, .. } | Outcome::Simulated { trace, .. } => trace,
+        }
+    }
+
+    /// Decrypted outputs, if this was a software run.
+    pub fn outputs(&self) -> Option<&[Vec<C64>]> {
+        match self {
+            Outcome::Software { outputs, .. } => Some(outputs),
+            Outcome::Simulated { .. } => None,
+        }
+    }
+
+    /// The simulation report, if this was a simulated run.
+    pub fn report(&self) -> Option<&SimReport> {
+        match self {
+            Outcome::Simulated { report, .. } => Some(report),
+            Outcome::Software { .. } => None,
+        }
+    }
+}
+
+/// The backend-agnostic HE operation set (Table II of the paper, plus
+/// bootstrapping): programs written against this trait run unchanged on
+/// the software and trace-recording backends.
+///
+/// Level discipline is strict: binary ops require equal levels and
+/// matching scales, surfacing [`ArkError::LevelMismatch`] /
+/// [`ArkError::ScaleMismatch`] instead of silently aligning, so a
+/// program costed on the simulated backend performs exactly the ops the
+/// software backend executes. Use [`HeEvaluator::mod_drop_to`] to align
+/// explicitly.
+pub trait HeEvaluator {
+    /// Backend ciphertext handle.
+    type Ct: Clone;
+
+    /// The parameter set operations run under.
+    fn params(&self) -> &CkksParams;
+
+    /// The op sequence recorded so far.
+    fn trace(&self) -> &Trace;
+
+    /// Creates a fresh input ciphertext at `level` (encrypting `values`
+    /// on the software backend; shape-only elsewhere).
+    fn input(&mut self, values: &[C64], level: usize) -> ArkResult<Self::Ct>;
+
+    /// Level of a ciphertext handle.
+    fn level(&self, ct: &Self::Ct) -> usize;
+
+    /// Scale of a ciphertext handle.
+    fn scale(&self, ct: &Self::Ct) -> f64;
+
+    /// `HAdd`: slot-wise sum (equal levels, matching scales).
+    fn add(&mut self, a: &Self::Ct, b: &Self::Ct) -> ArkResult<Self::Ct>;
+
+    /// `HSub`: slot-wise difference (equal levels, matching scales).
+    fn sub(&mut self, a: &Self::Ct, b: &Self::Ct) -> ArkResult<Self::Ct>;
+
+    /// Slot-wise negation.
+    fn negate(&mut self, ct: &Self::Ct) -> ArkResult<Self::Ct>;
+
+    /// `CAdd`: adds a real constant to every slot.
+    fn add_const(&mut self, ct: &Self::Ct, c: f64) -> ArkResult<Self::Ct>;
+
+    /// `CMult`: multiplies every slot by a real constant, encoded at the
+    /// current top-prime scale so a following [`Self::rescale`] restores
+    /// the ciphertext scale.
+    fn mul_const(&mut self, ct: &Self::Ct, c: f64) -> ArkResult<Self::Ct>;
+
+    /// `PAdd`: adds a plaintext vector (encoded at the ciphertext's
+    /// scale and level internally).
+    fn add_plain(&mut self, ct: &Self::Ct, values: &[C64]) -> ArkResult<Self::Ct>;
+
+    /// `PMult`: multiplies by a plaintext vector (encoded at the
+    /// top-prime scale internally); rescale afterwards.
+    fn mul_plain(&mut self, ct: &Self::Ct, values: &[C64]) -> ArkResult<Self::Ct>;
+
+    /// `HMult` with relinearization; rescale afterwards.
+    fn mul(&mut self, a: &Self::Ct, b: &Self::Ct) -> ArkResult<Self::Ct>;
+
+    /// Squares a ciphertext (cheaper than `mul(x, x)`).
+    fn square(&mut self, ct: &Self::Ct) -> ArkResult<Self::Ct>;
+
+    /// `HRot`: circular left slot shift by `amount`.
+    fn rotate(&mut self, ct: &Self::Ct, amount: i64) -> ArkResult<Self::Ct>;
+
+    /// `HConj`: slot-wise complex conjugation.
+    fn conjugate(&mut self, ct: &Self::Ct) -> ArkResult<Self::Ct>;
+
+    /// `HRescale`: drops the top limb, dividing the scale by it.
+    fn rescale(&mut self, ct: &Self::Ct) -> ArkResult<Self::Ct>;
+
+    /// Drops limbs so the ciphertext sits at `level`.
+    fn mod_drop_to(&mut self, ct: &Self::Ct, level: usize) -> ArkResult<Self::Ct>;
+
+    /// Refreshes a level-0 ciphertext to a usable level. Requires the
+    /// engine to have been built with
+    /// [`EngineBuilder::bootstrapping`].
+    fn bootstrap(&mut self, ct: &Self::Ct) -> ArkResult<Self::Ct>;
+
+    /// `HMult` + `HRescale` — the common pairing.
+    fn mul_rescale(&mut self, a: &Self::Ct, b: &Self::Ct) -> ArkResult<Self::Ct> {
+        let p = self.mul(a, b)?;
+        self.rescale(&p)
+    }
+
+    /// `PMult` + `HRescale`.
+    fn mul_plain_rescale(&mut self, ct: &Self::Ct, values: &[C64]) -> ArkResult<Self::Ct> {
+        let p = self.mul_plain(ct, values)?;
+        self.rescale(&p)
+    }
+}
+
+// ---------------------------------------------------------------------
+// software backend
+// ---------------------------------------------------------------------
+
+/// Bootstrapping state of a software session.
+#[derive(Debug)]
+struct SoftwareBoot {
+    bootstrapper: Bootstrapper,
+    trace_cfg: BootstrapTraceConfig,
+}
+
+#[derive(Debug)]
+struct SoftwareState {
+    ctx: CkksContext,
+    keys: KeyChain,
+    rng: StdRng,
+    boot: Option<SoftwareBoot>,
+}
+
+/// [`HeEvaluator`] over real RNS-CKKS arithmetic. Keys resolve from the
+/// session [`KeyChain`]; every op is also recorded into a [`Trace`] so
+/// software runs can be compared op-for-op with simulated runs.
+pub struct SoftwareEvaluator<'a> {
+    ctx: &'a CkksContext,
+    keys: &'a KeyChain,
+    rng: &'a mut StdRng,
+    boot: Option<&'a SoftwareBoot>,
+    trace: Trace,
+}
+
+impl SoftwareEvaluator<'_> {
+    fn record(&mut self, op: HeOp) {
+        self.trace.push(op);
+    }
+
+    fn encode_at(&self, values: &[C64], level: usize, scale: f64) -> ArkResult<Plaintext> {
+        let slots = self.ctx.params().slots();
+        if values.len() > slots {
+            return Err(ArkError::InvalidParams {
+                reason: format!("{} values exceed {} slots", values.len(), slots),
+            });
+        }
+        Ok(self.ctx.encode(values, level, scale))
+    }
+}
+
+impl HeEvaluator for SoftwareEvaluator<'_> {
+    type Ct = Ciphertext;
+
+    fn params(&self) -> &CkksParams {
+        self.ctx.params()
+    }
+
+    fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    fn input(&mut self, values: &[C64], level: usize) -> ArkResult<Self::Ct> {
+        let max = self.ctx.params().max_level;
+        if level > max {
+            return Err(ArkError::LevelOutOfRange { level, max });
+        }
+        let pt = self.encode_at(values, level, self.ctx.params().scale())?;
+        Ok(self.ctx.encrypt_public(&pt, &self.keys.pk, self.rng))
+    }
+
+    fn level(&self, ct: &Self::Ct) -> usize {
+        ct.level
+    }
+
+    fn scale(&self, ct: &Self::Ct) -> f64 {
+        ct.scale
+    }
+
+    fn add(&mut self, a: &Self::Ct, b: &Self::Ct) -> ArkResult<Self::Ct> {
+        check_levels(a.level, b.level)?;
+        let out = self.ctx.add(a, b)?;
+        self.record(HeOp::HAdd { level: out.level });
+        Ok(out)
+    }
+
+    fn sub(&mut self, a: &Self::Ct, b: &Self::Ct) -> ArkResult<Self::Ct> {
+        check_levels(a.level, b.level)?;
+        let out = self.ctx.sub(a, b)?;
+        // the trace IR costs HSub as HAdd (identical element-wise work)
+        self.record(HeOp::HAdd { level: out.level });
+        Ok(out)
+    }
+
+    fn negate(&mut self, ct: &Self::Ct) -> ArkResult<Self::Ct> {
+        self.record(HeOp::CMult { level: ct.level });
+        Ok(self.ctx.negate(ct))
+    }
+
+    fn add_const(&mut self, ct: &Self::Ct, c: f64) -> ArkResult<Self::Ct> {
+        self.record(HeOp::CAdd { level: ct.level });
+        Ok(self.ctx.add_const(ct, c))
+    }
+
+    fn mul_const(&mut self, ct: &Self::Ct, c: f64) -> ArkResult<Self::Ct> {
+        self.record(HeOp::CMult { level: ct.level });
+        Ok(self.ctx.mul_const(ct, c))
+    }
+
+    fn add_plain(&mut self, ct: &Self::Ct, values: &[C64]) -> ArkResult<Self::Ct> {
+        let pt = self.encode_at(values, ct.level, ct.scale)?;
+        let out = self.ctx.add_plain(ct, &pt)?;
+        self.record(HeOp::PAdd {
+            level: out.level,
+            fresh_plaintext: true,
+        });
+        Ok(out)
+    }
+
+    fn mul_plain(&mut self, ct: &Self::Ct, values: &[C64]) -> ArkResult<Self::Ct> {
+        let slots = self.ctx.params().slots();
+        if values.len() > slots {
+            return Err(ArkError::InvalidParams {
+                reason: format!("{} values exceed {} slots", values.len(), slots),
+            });
+        }
+        let pt = self.ctx.encode_for_mul(values, ct.level);
+        let out = self.ctx.mul_plain(ct, &pt);
+        self.record(HeOp::PMult {
+            level: out.level,
+            fresh_plaintext: true,
+        });
+        Ok(out)
+    }
+
+    fn mul(&mut self, a: &Self::Ct, b: &Self::Ct) -> ArkResult<Self::Ct> {
+        check_levels(a.level, b.level)?;
+        let out = self.ctx.mul(a, b, &self.keys.evk_mult);
+        self.record(HeOp::HMult { level: out.level });
+        Ok(out)
+    }
+
+    fn square(&mut self, ct: &Self::Ct) -> ArkResult<Self::Ct> {
+        let out = self.ctx.square(ct, &self.keys.evk_mult);
+        self.record(HeOp::HMult { level: out.level });
+        Ok(out)
+    }
+
+    fn rotate(&mut self, ct: &Self::Ct, amount: i64) -> ArkResult<Self::Ct> {
+        if amount == 0 {
+            return Ok(ct.clone());
+        }
+        // resolve against the *declared* set, not the raw key material:
+        // bootstrapping generates internal transform keys the trace
+        // backend cannot see, and both backends must agree on which
+        // rotations a program may use
+        if !self.keys.declared.has_rotation(amount) {
+            return Err(ArkError::MissingRotationKey { amount });
+        }
+        let out = self.ctx.rotate(ct, amount, &self.keys.rotations)?;
+        self.record(HeOp::HRot {
+            level: ct.level,
+            amount,
+            key: KeyId::Rot(amount),
+        });
+        Ok(out)
+    }
+
+    fn conjugate(&mut self, ct: &Self::Ct) -> ArkResult<Self::Ct> {
+        let out = self.ctx.conjugate(ct, &self.keys.rotations)?;
+        self.record(HeOp::HConj { level: ct.level });
+        Ok(out)
+    }
+
+    fn rescale(&mut self, ct: &Self::Ct) -> ArkResult<Self::Ct> {
+        let out = self.ctx.rescale(ct)?;
+        self.record(HeOp::HRescale { level: ct.level });
+        Ok(out)
+    }
+
+    fn mod_drop_to(&mut self, ct: &Self::Ct, level: usize) -> ArkResult<Self::Ct> {
+        // limb dropping is pure bookkeeping — no trace op
+        self.ctx.mod_drop_to(ct, level)
+    }
+
+    fn bootstrap(&mut self, ct: &Self::Ct) -> ArkResult<Self::Ct> {
+        let boot = self.boot.ok_or(ArkError::KeyChainMissing {
+            what: "bootstrapping keys (build the engine with EngineBuilder::bootstrapping)",
+        })?;
+        if ct.level != 0 {
+            return Err(ArkError::LevelMismatch {
+                expected: 0,
+                found: ct.level,
+            });
+        }
+        let out =
+            boot.bootstrapper
+                .bootstrap(self.ctx, ct, &self.keys.evk_mult, &self.keys.rotations)?;
+        // record the analytic bootstrap trace (the same sub-trace the
+        // simulated backend records), keeping cross-backend op parity
+        self.trace
+            .extend(&bootstrap_trace(self.ctx.params(), &boot.trace_cfg));
+        // snap the result to the analytic post-bootstrap level so both
+        // backends agree on every level annotation after a bootstrap;
+        // the functional pipeline may finish a level or two higher
+        // (its Chebyshev depth can undercut the analytic estimate)
+        let analytic = post_bootstrap_level(self.ctx.params(), &boot.trace_cfg);
+        if out.level < analytic {
+            return Err(ArkError::InvalidParams {
+                reason: format!(
+                    "bootstrap finished at level {} below the analytic model's {}; \
+                     lower BootstrapTraceConfig's estimate or the EvalMod depth",
+                    out.level, analytic
+                ),
+            });
+        }
+        self.ctx.mod_drop_to(&out, analytic)
+    }
+}
+
+// ---------------------------------------------------------------------
+// trace-recording backend
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct SimulatedState {
+    cfg: ArkConfig,
+    declared: DeclaredKeys,
+    compile: CompileOptions,
+    trace_cfg: Option<BootstrapTraceConfig>,
+}
+
+/// Symbolic ciphertext handle of the trace-recording backend: level and
+/// scale metadata only, no polynomial data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimCt {
+    level: usize,
+    scale: f64,
+}
+
+/// [`HeEvaluator`] that records the op sequence instead of computing.
+/// Level and scale metadata follow the same rules the software backend
+/// enforces (with the scheme's scale `Δ` standing in for the individual
+/// chain primes), so malformed programs fail with the same typed errors
+/// on both backends.
+pub struct TraceEvaluator<'a> {
+    params: &'a CkksParams,
+    declared: &'a DeclaredKeys,
+    trace_cfg: Option<BootstrapTraceConfig>,
+    trace: Trace,
+}
+
+impl<'a> TraceEvaluator<'a> {
+    fn new(
+        params: &'a CkksParams,
+        declared: &'a DeclaredKeys,
+        trace_cfg: Option<BootstrapTraceConfig>,
+    ) -> Self {
+        Self {
+            params,
+            declared,
+            trace_cfg,
+            trace: Trace::new("engine-session"),
+        }
+    }
+
+    /// Consumes the evaluator, returning the recorded trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+}
+
+impl HeEvaluator for TraceEvaluator<'_> {
+    type Ct = SimCt;
+
+    fn params(&self) -> &CkksParams {
+        self.params
+    }
+
+    fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    fn input(&mut self, _values: &[C64], level: usize) -> ArkResult<Self::Ct> {
+        let max = self.params.max_level;
+        if level > max {
+            return Err(ArkError::LevelOutOfRange { level, max });
+        }
+        Ok(SimCt {
+            level,
+            scale: self.params.scale(),
+        })
+    }
+
+    fn level(&self, ct: &Self::Ct) -> usize {
+        ct.level
+    }
+
+    fn scale(&self, ct: &Self::Ct) -> f64 {
+        ct.scale
+    }
+
+    fn add(&mut self, a: &Self::Ct, b: &Self::Ct) -> ArkResult<Self::Ct> {
+        check_levels(a.level, b.level)?;
+        check_scales(a.scale, b.scale)?;
+        self.trace.push(HeOp::HAdd { level: a.level });
+        Ok(*a)
+    }
+
+    fn sub(&mut self, a: &Self::Ct, b: &Self::Ct) -> ArkResult<Self::Ct> {
+        check_levels(a.level, b.level)?;
+        check_scales(a.scale, b.scale)?;
+        self.trace.push(HeOp::HAdd { level: a.level });
+        Ok(*a)
+    }
+
+    fn negate(&mut self, ct: &Self::Ct) -> ArkResult<Self::Ct> {
+        self.trace.push(HeOp::CMult { level: ct.level });
+        Ok(*ct)
+    }
+
+    fn add_const(&mut self, ct: &Self::Ct, _c: f64) -> ArkResult<Self::Ct> {
+        self.trace.push(HeOp::CAdd { level: ct.level });
+        Ok(*ct)
+    }
+
+    fn mul_const(&mut self, ct: &Self::Ct, _c: f64) -> ArkResult<Self::Ct> {
+        self.trace.push(HeOp::CMult { level: ct.level });
+        Ok(SimCt {
+            level: ct.level,
+            // top-prime encoding: q_top ≈ Δ
+            scale: ct.scale * self.params.scale(),
+        })
+    }
+
+    fn add_plain(&mut self, ct: &Self::Ct, _values: &[C64]) -> ArkResult<Self::Ct> {
+        self.trace.push(HeOp::PAdd {
+            level: ct.level,
+            fresh_plaintext: true,
+        });
+        Ok(*ct)
+    }
+
+    fn mul_plain(&mut self, ct: &Self::Ct, _values: &[C64]) -> ArkResult<Self::Ct> {
+        self.trace.push(HeOp::PMult {
+            level: ct.level,
+            fresh_plaintext: true,
+        });
+        Ok(SimCt {
+            level: ct.level,
+            scale: ct.scale * self.params.scale(),
+        })
+    }
+
+    fn mul(&mut self, a: &Self::Ct, b: &Self::Ct) -> ArkResult<Self::Ct> {
+        check_levels(a.level, b.level)?;
+        self.trace.push(HeOp::HMult { level: a.level });
+        Ok(SimCt {
+            level: a.level,
+            scale: a.scale * b.scale,
+        })
+    }
+
+    fn square(&mut self, ct: &Self::Ct) -> ArkResult<Self::Ct> {
+        self.trace.push(HeOp::HMult { level: ct.level });
+        Ok(SimCt {
+            level: ct.level,
+            scale: ct.scale * ct.scale,
+        })
+    }
+
+    fn rotate(&mut self, ct: &Self::Ct, amount: i64) -> ArkResult<Self::Ct> {
+        if amount == 0 {
+            return Ok(*ct);
+        }
+        if !self.declared.has_rotation(amount) {
+            return Err(ArkError::MissingRotationKey { amount });
+        }
+        self.trace.push(HeOp::HRot {
+            level: ct.level,
+            amount,
+            key: KeyId::Rot(amount),
+        });
+        Ok(*ct)
+    }
+
+    fn conjugate(&mut self, ct: &Self::Ct) -> ArkResult<Self::Ct> {
+        if !self.declared.has_conjugation() {
+            return Err(ArkError::MissingConjugationKey);
+        }
+        self.trace.push(HeOp::HConj { level: ct.level });
+        Ok(*ct)
+    }
+
+    fn rescale(&mut self, ct: &Self::Ct) -> ArkResult<Self::Ct> {
+        if ct.level == 0 {
+            return Err(ArkError::ModulusChainExhausted);
+        }
+        self.trace.push(HeOp::HRescale { level: ct.level });
+        Ok(SimCt {
+            level: ct.level - 1,
+            scale: ct.scale / self.params.scale(),
+        })
+    }
+
+    fn mod_drop_to(&mut self, ct: &Self::Ct, level: usize) -> ArkResult<Self::Ct> {
+        if level > ct.level {
+            return Err(ArkError::LevelMismatch {
+                expected: ct.level,
+                found: level,
+            });
+        }
+        Ok(SimCt {
+            level,
+            scale: ct.scale,
+        })
+    }
+
+    fn bootstrap(&mut self, ct: &Self::Ct) -> ArkResult<Self::Ct> {
+        let cfg = self.trace_cfg.ok_or(ArkError::KeyChainMissing {
+            what: "bootstrapping keys (build the engine with EngineBuilder::bootstrapping)",
+        })?;
+        if ct.level != 0 {
+            return Err(ArkError::LevelMismatch {
+                expected: 0,
+                found: ct.level,
+            });
+        }
+        self.trace.extend(&bootstrap_trace(self.params, &cfg));
+        Ok(SimCt {
+            level: post_bootstrap_level(self.params, &cfg),
+            scale: self.params.scale(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// engine
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+enum BackendState {
+    Software(Box<SoftwareState>),
+    Simulated(SimulatedState),
+}
+
+/// One HE session: parameter set + backend + keys, built once, with
+/// every operation resolving its key material internally.
+#[derive(Debug)]
+pub struct Engine {
+    params: CkksParams,
+    state: BackendState,
+}
+
+/// Builder for [`Engine`] — declare the parameter set, backend, key
+/// set and (optionally) bootstrapping support, then [`build`](Self::build).
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    params: Option<CkksParams>,
+    backend: Backend,
+    seed: u64,
+    rotations: Vec<i64>,
+    conjugation: bool,
+    bootstrapping: Option<BootstrapConfig>,
+    compile: CompileOptions,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self {
+            params: None,
+            backend: Backend::Software,
+            seed: 0,
+            rotations: Vec::new(),
+            conjugation: false,
+            bootstrapping: None,
+            compile: CompileOptions::all_on(),
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Sets the CKKS parameter set (required).
+    pub fn params(mut self, params: CkksParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Selects the backend (default: [`Backend::Software`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Seeds key generation and encryption randomness (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Declares rotation amounts the session will use; keys are
+    /// generated once at build time.
+    pub fn rotations(mut self, amounts: &[i64]) -> Self {
+        self.rotations.extend_from_slice(amounts);
+        self
+    }
+
+    /// Declares the conjugation key.
+    pub fn conjugation(mut self, on: bool) -> Self {
+        self.conjugation = on;
+        self
+    }
+
+    /// Enables [`HeEvaluator::bootstrap`]: generates the transform
+    /// rotation keys (software) and fixes the analytic bootstrap
+    /// sub-trace (both backends). Implies the conjugation key.
+    pub fn bootstrapping(mut self, config: BootstrapConfig) -> Self {
+        self.bootstrapping = Some(config);
+        self
+    }
+
+    /// Compiler switches for the simulated backend (default: Min-KS
+    /// era, OF-Limb on).
+    pub fn compile_options(mut self, opts: CompileOptions) -> Self {
+        self.compile = opts;
+        self
+    }
+
+    /// Builds the engine, generating the [`KeyChain`] on the software
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// [`ArkError::InvalidParams`] if no parameter set was given or the
+    /// set is internally inconsistent (`dnum` must divide `L+1`).
+    pub fn build(self) -> ArkResult<Engine> {
+        let params = self.params.ok_or(ArkError::InvalidParams {
+            reason: "EngineBuilder::params was never called".into(),
+        })?;
+        if params.dnum == 0 || (params.max_level + 1) % params.dnum != 0 {
+            return Err(ArkError::InvalidParams {
+                reason: format!(
+                    "dnum {} must divide L+1 = {}",
+                    params.dnum,
+                    params.max_level + 1
+                ),
+            });
+        }
+        let declared = DeclaredKeys {
+            rotations: self.rotations.iter().copied().collect(),
+            conjugation: self.conjugation || self.bootstrapping.is_some(),
+        };
+        let trace_cfg = self.bootstrapping.as_ref().map(|cfg| BootstrapTraceConfig {
+            slots_log2: params.log_n - 1,
+            radix_log2: cfg.radix_log2.max(1) as u32,
+            strategy: cfg.strategy,
+            evalmod_degree: cfg.evalmod.degree,
+            spare_levels: None,
+        });
+        if let Some(cfg) = &trace_cfg {
+            if cfg.levels_consumed() > params.max_level {
+                return Err(ArkError::InvalidParams {
+                    reason: format!(
+                        "bootstrapping consumes {} levels but the chain has only {}",
+                        cfg.levels_consumed(),
+                        params.max_level
+                    ),
+                });
+            }
+        }
+        let state = match self.backend {
+            Backend::Software => {
+                let ctx = CkksContext::new(params.clone());
+                let mut rng = StdRng::seed_from_u64(self.seed);
+                let mut keygen_rotations: Vec<i64> = declared.rotations.iter().copied().collect();
+                let boot = self.bootstrapping.map(|cfg| {
+                    let bootstrapper = Bootstrapper::new(&ctx, cfg);
+                    // transform keys are generated but NOT added to the
+                    // declared set: they are internal to bootstrap, and
+                    // the simulated backend (which never builds the
+                    // Bootstrapper) must resolve the same user-facing
+                    // rotation set
+                    keygen_rotations.extend(bootstrapper.required_rotations());
+                    SoftwareBoot {
+                        bootstrapper,
+                        trace_cfg: trace_cfg.expect("trace config derived with bootstrapping"),
+                    }
+                });
+                let keys = KeyChain::generate(&ctx, declared, &keygen_rotations, &mut rng);
+                BackendState::Software(Box::new(SoftwareState {
+                    ctx,
+                    keys,
+                    rng,
+                    boot,
+                }))
+            }
+            Backend::Simulated(cfg) => BackendState::Simulated(SimulatedState {
+                cfg,
+                declared,
+                compile: self.compile,
+                trace_cfg,
+            }),
+        };
+        Ok(Engine { params, state })
+    }
+}
+
+impl Engine {
+    /// Starts building a session.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// The session's parameter set.
+    pub fn params(&self) -> &CkksParams {
+        &self.params
+    }
+
+    /// Short name of the active backend.
+    pub fn backend_name(&self) -> &'static str {
+        match &self.state {
+            BackendState::Software(_) => "software",
+            BackendState::Simulated(_) => "simulated",
+        }
+    }
+
+    /// The software key chain, if this is a software session.
+    pub fn keychain(&self) -> Option<&KeyChain> {
+        match &self.state {
+            BackendState::Software(sw) => Some(&sw.keys),
+            BackendState::Simulated(_) => None,
+        }
+    }
+
+    /// The functional CKKS context, if this is a software session (for
+    /// advanced scheme-level access).
+    pub fn context(&self) -> Option<&CkksContext> {
+        match &self.state {
+            BackendState::Software(sw) => Some(&sw.ctx),
+            BackendState::Simulated(_) => None,
+        }
+    }
+
+    /// Encrypts slot values at `level` under the session public key.
+    ///
+    /// # Errors
+    ///
+    /// [`ArkError::UnsupportedOnBackend`] on the simulated backend;
+    /// [`ArkError::LevelOutOfRange`] for a level beyond the chain.
+    pub fn encrypt(&mut self, values: &[C64], level: usize) -> ArkResult<Ciphertext> {
+        // delegate to the evaluator's input path so the checks (level
+        // range, slot count) exist in exactly one place
+        self.evaluator()
+            .map_err(|_| ArkError::UnsupportedOnBackend {
+                op: "encrypt",
+                backend: "simulated",
+            })?
+            .input(values, level)
+    }
+
+    /// Decrypts and decodes a ciphertext with the session secret key.
+    ///
+    /// # Errors
+    ///
+    /// [`ArkError::UnsupportedOnBackend`] on the simulated backend.
+    pub fn decrypt(&self, ct: &Ciphertext) -> ArkResult<Vec<C64>> {
+        match &self.state {
+            BackendState::Software(sw) => Ok(sw.ctx.decrypt_decode(ct, &sw.keys.sk)),
+            BackendState::Simulated(_) => Err(ArkError::UnsupportedOnBackend {
+                op: "decrypt",
+                backend: "simulated",
+            }),
+        }
+    }
+
+    /// A software evaluator borrowing the session keys, for
+    /// ciphertext-level control beyond [`Engine::execute`].
+    ///
+    /// # Errors
+    ///
+    /// [`ArkError::UnsupportedOnBackend`] on the simulated backend.
+    pub fn evaluator(&mut self) -> ArkResult<SoftwareEvaluator<'_>> {
+        match &mut self.state {
+            BackendState::Software(sw) => Ok(SoftwareEvaluator {
+                ctx: &sw.ctx,
+                keys: &sw.keys,
+                rng: &mut sw.rng,
+                boot: sw.boot.as_ref(),
+                trace: Trace::new("engine-session"),
+            }),
+            BackendState::Simulated(_) => Err(ArkError::UnsupportedOnBackend {
+                op: "evaluator",
+                backend: "simulated",
+            }),
+        }
+    }
+
+    /// A trace-recording evaluator for this session's declared keys —
+    /// available on every backend (on software sessions it records
+    /// without computing).
+    pub fn trace_evaluator(&self) -> TraceEvaluator<'_> {
+        match &self.state {
+            BackendState::Software(sw) => TraceEvaluator::new(
+                &self.params,
+                &sw.keys.declared,
+                sw.boot.as_ref().map(|b| b.trace_cfg),
+            ),
+            BackendState::Simulated(sim) => {
+                TraceEvaluator::new(&self.params, &sim.declared, sim.trace_cfg)
+            }
+        }
+    }
+
+    /// Compiles and simulates an HE-op trace on the session's
+    /// accelerator configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ArkError::UnsupportedOnBackend`] on the software backend.
+    pub fn simulate_trace(&self, trace: &Trace) -> ArkResult<SimReport> {
+        match &self.state {
+            BackendState::Simulated(sim) => Ok(ark_core::sched::run(
+                trace,
+                &self.params,
+                &sim.cfg,
+                sim.compile,
+            )),
+            BackendState::Software(_) => Err(ArkError::UnsupportedOnBackend {
+                op: "simulate_trace",
+                backend: "software",
+            }),
+        }
+    }
+
+    /// Runs a backend-agnostic program: encrypt-execute-decrypt on
+    /// [`Backend::Software`], record-compile-simulate on
+    /// [`Backend::Simulated`].
+    pub fn execute<P: HeProgram>(
+        &mut self,
+        inputs: &[ProgramInput],
+        program: &P,
+    ) -> ArkResult<Outcome> {
+        match &mut self.state {
+            BackendState::Software(sw) => {
+                let mut eval = SoftwareEvaluator {
+                    ctx: &sw.ctx,
+                    keys: &sw.keys,
+                    rng: &mut sw.rng,
+                    boot: sw.boot.as_ref(),
+                    trace: Trace::new("engine-session"),
+                };
+                let cts = inputs
+                    .iter()
+                    .map(|i| eval.input(&i.values, i.level))
+                    .collect::<ArkResult<Vec<_>>>()?;
+                let outs = program.run(&mut eval, &cts)?;
+                let trace = eval.trace;
+                let outputs = outs
+                    .iter()
+                    .map(|ct| sw.ctx.decrypt_decode(ct, &sw.keys.sk))
+                    .collect();
+                Ok(Outcome::Software { outputs, trace })
+            }
+            BackendState::Simulated(sim) => {
+                let mut eval = TraceEvaluator::new(&self.params, &sim.declared, sim.trace_cfg);
+                let cts = inputs
+                    .iter()
+                    .map(|i| eval.input(&i.values, i.level))
+                    .collect::<ArkResult<Vec<_>>>()?;
+                program.run(&mut eval, &cts)?;
+                let trace = eval.into_trace();
+                let report = ark_core::sched::run(&trace, &self.params, &sim.cfg, sim.compile);
+                Ok(Outcome::Simulated { report, trace })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ark_ckks::encoding::max_error;
+
+    struct Affine;
+    impl HeProgram for Affine {
+        fn run<E: HeEvaluator>(&self, e: &mut E, inputs: &[E::Ct]) -> ArkResult<Vec<E::Ct>> {
+            // 2x + 0.5 without key material
+            let two = e.mul_const(&inputs[0], 2.0)?;
+            let two = e.rescale(&two)?;
+            Ok(vec![e.add_const(&two, 0.5)?])
+        }
+    }
+
+    #[test]
+    fn software_session_runs_program() {
+        let mut engine = Engine::builder()
+            .params(CkksParams::tiny())
+            .backend(Backend::Software)
+            .seed(7)
+            .build()
+            .unwrap();
+        let slots = engine.params().slots();
+        let x: Vec<C64> = (0..slots).map(|i| C64::new(0.1 * i as f64, 0.0)).collect();
+        let outcome = engine
+            .execute(&[ProgramInput::new(x.clone(), 2)], &Affine)
+            .unwrap();
+        let outputs = outcome.outputs().unwrap();
+        let want: Vec<C64> = x
+            .iter()
+            .map(|&z| z.scale(2.0) + C64::new(0.5, 0.0))
+            .collect();
+        assert!(max_error(&want, &outputs[0]) < 1e-4);
+        assert_eq!(outcome.trace().len(), 3); // CMult, HRescale, CAdd
+    }
+
+    #[test]
+    fn simulated_session_reports_cycles() {
+        let mut engine = Engine::builder()
+            .params(CkksParams::ark())
+            .backend(Backend::Simulated(ArkConfig::base()))
+            .build()
+            .unwrap();
+        let outcome = engine
+            .execute(&[ProgramInput::symbolic(10)], &Affine)
+            .unwrap();
+        let report = outcome.report().unwrap();
+        assert!(report.cycles > 0);
+        assert_eq!(outcome.trace().len(), 3);
+    }
+
+    #[test]
+    fn backends_record_identical_traces() {
+        let run = |backend| {
+            let mut engine = Engine::builder()
+                .params(CkksParams::tiny())
+                .backend(backend)
+                .build()
+                .unwrap();
+            let outcome = engine
+                .execute(&[ProgramInput::symbolic(2)], &Affine)
+                .unwrap();
+            outcome.trace().ops().to_vec()
+        };
+        assert_eq!(
+            run(Backend::Software),
+            run(Backend::Simulated(ArkConfig::base()))
+        );
+    }
+
+    #[test]
+    fn builder_rejects_missing_and_inconsistent_params() {
+        assert!(matches!(
+            Engine::builder().build().unwrap_err(),
+            ArkError::InvalidParams { .. }
+        ));
+        let bad = CkksParams {
+            dnum: 3, // does not divide L+1 = 4
+            ..CkksParams::tiny()
+        };
+        assert!(matches!(
+            Engine::builder().params(bad).build().unwrap_err(),
+            ArkError::InvalidParams { .. }
+        ));
+    }
+
+    #[test]
+    fn simulated_backend_rejects_data_access() {
+        let mut engine = Engine::builder()
+            .params(CkksParams::ark())
+            .backend(Backend::Simulated(ArkConfig::base()))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            engine.encrypt(&[], 1).unwrap_err(),
+            ArkError::UnsupportedOnBackend { .. }
+        ));
+        assert!(matches!(
+            engine.evaluator().map(|_| ()).unwrap_err(),
+            ArkError::UnsupportedOnBackend { .. }
+        ));
+    }
+
+    #[test]
+    fn keychain_generated_once_with_declared_keys() {
+        let engine = Engine::builder()
+            .params(CkksParams::tiny())
+            .rotations(&[1, -2])
+            .conjugation(true)
+            .build()
+            .unwrap();
+        let kc = engine.keychain().unwrap();
+        assert_eq!(kc.rotation_keys().len(), 3); // two rotations + conj
+        assert!(kc.declared().has_rotation(1));
+        assert!(kc.declared().has_conjugation());
+        assert!(kc.evk_words() > 0);
+    }
+}

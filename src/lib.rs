@@ -1,6 +1,12 @@
 //! # ark-fhe — reproduction of ARK (MICRO 2022)
 //!
-//! Umbrella crate re-exporting the workspace members:
+//! The front door is the [`engine`] module: a session-style [`Engine`]
+//! over a backend-agnostic [`engine::HeEvaluator`] trait, so one HE
+//! program executes functionally (real RNS-CKKS arithmetic, decryptable
+//! results) or on the modeled ARK hardware (a cycle-level
+//! [`arch::SimReport`]) without changing a line.
+//!
+//! Umbrella re-exports of the workspace members:
 //!
 //! - [`math`] — modular arithmetic, NTT, RNS polynomials, base conversion.
 //! - [`ckks`] — the RNS-CKKS scheme with bootstrapping, Min-KS and OF-Limb.
@@ -10,7 +16,13 @@
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
+pub mod engine;
+pub mod error;
+
 pub use ark_ckks as ckks;
 pub use ark_core as arch;
 pub use ark_math as math;
 pub use ark_workloads as workloads;
+
+pub use engine::{Backend, Engine, HeEvaluator, HeProgram, KeyChain, Outcome, ProgramInput};
+pub use error::{ArkError, ArkResult};

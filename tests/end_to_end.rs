@@ -40,26 +40,29 @@ fn minks_preserves_messages_and_cuts_traffic() {
             },
         );
         let keys = ctx.gen_rotation_keys(&boot.required_rotations(), true, &sk, &mut rng);
-        let refreshed = boot.bootstrap(&ctx, &ct, &evk, &keys);
+        let refreshed = boot.bootstrap(&ctx, &ct, &evk, &keys).unwrap();
         outputs.push(ctx.decrypt_decode(&refreshed, &sk));
     }
     let disagreement = max_error(&outputs[0], &outputs[1]);
-    assert!(
-        disagreement < 1e-2,
-        "strategies disagree by {disagreement}"
-    );
+    assert!(disagreement < 1e-2, "strategies disagree by {disagreement}");
 
     // performance side, at paper scale
     let params = CkksParams::ark();
     let cfg = ArkConfig::base();
     let base = run(
-        &bootstrap_trace(&params, &BootstrapTraceConfig::full(&params, KeyStrategy::Baseline)),
+        &bootstrap_trace(
+            &params,
+            &BootstrapTraceConfig::full(&params, KeyStrategy::Baseline),
+        ),
         &params,
         &cfg,
         CompileOptions::baseline(),
     );
     let minks = run(
-        &bootstrap_trace(&params, &BootstrapTraceConfig::full(&params, KeyStrategy::MinKs)),
+        &bootstrap_trace(
+            &params,
+            &BootstrapTraceConfig::full(&params, KeyStrategy::MinKs),
+        ),
         &params,
         &cfg,
         CompileOptions::baseline(),
@@ -135,7 +138,10 @@ fn fig2_headline_numbers() {
 #[test]
 fn scratchpad_capacity_monotonicity() {
     let params = CkksParams::ark();
-    let t = bootstrap_trace(&params, &BootstrapTraceConfig::full(&params, KeyStrategy::MinKs));
+    let t = bootstrap_trace(
+        &params,
+        &BootstrapTraceConfig::full(&params, KeyStrategy::MinKs),
+    );
     let mut last_bytes = u64::MAX;
     for mib in [192usize, 320, 512] {
         let cfg = ArkConfig::with_scratchpad(mib);

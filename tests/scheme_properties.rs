@@ -65,18 +65,18 @@ proptest! {
                     clear = clear.iter().map(|&z| z + C64::new(c, 0.0)).collect();
                 }
                 Op::MulConst(c) => {
-                    ct = ctx.rescale(&ctx.mul_const(&ct, c));
+                    ct = ctx.rescale(&ctx.mul_const(&ct, c)).unwrap();
                     clear = clear.iter().map(|&z| z.scale(c)).collect();
                 }
                 Op::AddSelfRotated(r) => {
-                    let rot = ctx.rotate(&ct, r, &keys);
-                    ct = ctx.add(&ct, &rot);
+                    let rot = ctx.rotate(&ct, r, &keys).unwrap();
+                    ct = ctx.add(&ct, &rot).unwrap();
                     clear = (0..slots)
                         .map(|i| clear[i] + clear[(i + r as usize) % slots])
                         .collect();
                 }
                 Op::Square => {
-                    ct = ctx.rescale(&ctx.square(&ct, &evk));
+                    ct = ctx.rescale(&ctx.square(&ct, &evk)).unwrap();
                     clear = clear.iter().map(|&z| z * z).collect();
                 }
             }
@@ -101,7 +101,9 @@ fn serialized_level_walk() {
     let sk = ctx.gen_secret_key(&mut rng);
     let evk = ctx.gen_mult_key(&sk, &mut rng);
     let slots = ctx.params().slots();
-    let msg: Vec<C64> = (0..slots).map(|i| C64::new(0.9 - 0.002 * i as f64, 0.0)).collect();
+    let msg: Vec<C64> = (0..slots)
+        .map(|i| C64::new(0.9 - 0.002 * i as f64, 0.0))
+        .collect();
     let mut clear = msg.clone();
     let mut ct = ctx.encrypt(
         &ctx.encode(&msg, ctx.params().max_level, ctx.params().scale()),
@@ -111,10 +113,10 @@ fn serialized_level_walk() {
     let mut toggle = false;
     while ct.level > 0 {
         if toggle {
-            ct = ctx.rescale(&ctx.square(&ct, &evk));
+            ct = ctx.rescale(&ctx.square(&ct, &evk)).unwrap();
             clear = clear.iter().map(|&z| z * z).collect();
         } else {
-            ct = ctx.rescale(&ctx.mul_const(&ct, 0.5));
+            ct = ctx.rescale(&ctx.mul_const(&ct, 0.5)).unwrap();
             clear = clear.iter().map(|&z| z.scale(0.5)).collect();
         }
         toggle = !toggle;

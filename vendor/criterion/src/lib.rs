@@ -1,0 +1,231 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, implementing the API subset this workspace uses.
+//!
+//! Measurement model: after a short warm-up, each benchmark runs
+//! `sample_size` samples and reports the median per-iteration time with
+//! throughput where declared. No plots, no statistics files — a plain
+//! stdout report suitable for the offline build environment.
+
+use std::time::{Duration, Instant};
+
+/// Re-export used by `b.iter(|| black_box(..))` patterns.
+pub use std::hint::black_box;
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted, unused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Throughput declaration for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Runs closures and collects per-iteration timings.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, one sample per call, `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..2 {
+            black_box(routine(setup()));
+        }
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort_unstable();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.sample_size, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.criterion.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.name, self.criterion.sample_size, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (report already printed per benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut b);
+    let med = b.median();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if med > Duration::ZERO => {
+            format!("  {:.1} Melem/s", n as f64 / med.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if med > Duration::ZERO => {
+            format!("  {:.1} MB/s", n as f64 / med.as_secs_f64() / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!("  {name:<40} {}{rate}", fmt_duration(med));
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group: either positional
+/// (`criterion_group!(benches, f, g)`) or the `name/config/targets`
+/// form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
