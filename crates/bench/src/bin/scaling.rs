@@ -1,0 +1,346 @@
+//! Thread-scaling benchmark of the parallel RNS execution engine.
+//!
+//! Runs a fixed HE op-mix (`HAdd`, `HMult+HRescale`, `HRot`, `HRescale`)
+//! through [`ark_fhe::engine::Engine`] sessions built with
+//! `threads(1/2/4/8)` and emits a machine-readable `BENCH_PR2.json`
+//! (per-op latencies plus scaling factors vs the serial session), so CI
+//! can archive the perf trajectory. All randomness is drawn from one
+//! fixed seed — reruns on the same host and build produce the same key
+//! material, the same ciphertexts and therefore directly comparable
+//! latencies.
+//!
+//! ```text
+//! cargo run --release -p ark-bench --bin scaling            # N = 2^14
+//! cargo run --release -p ark-bench --bin scaling -- --quick # N = 2^12, CI smoke
+//! cargo run --release -p ark-bench --bin scaling -- --out my.json
+//! ```
+//!
+//! The harness also cross-checks that every parallel session's
+//! `mul_rescale` output is bit-identical to the serial session's — the
+//! determinism contract the equivalence proptests pin down, re-verified
+//! on every benchmark run at full size.
+
+use ark_ckks::params::CkksParams;
+use ark_ckks::Ciphertext;
+use ark_fhe::engine::{Engine, HeEvaluator};
+use ark_math::cfft::C64;
+use ark_math::par::available_parallelism;
+use std::time::Instant;
+
+/// Every RNG draw in this binary descends from this constant, so
+/// `BENCH_PR2.json` is reproducible run-to-run (same host, same build).
+const BENCH_SEED: u64 = 0x4152_4b50_5232; // "ARKPR2"
+
+/// Thread widths the full run sweeps (the quick run stops at 4).
+const FULL_THREADS: [usize; 4] = [1, 2, 4, 8];
+const QUICK_THREADS: [usize; 3] = [1, 2, 4];
+
+struct Mode {
+    quick: bool,
+    out_path: String,
+    /// Minimum `mul_rescale` speedup (at the widest swept thread count
+    /// that fits the host) required for exit 0 — the CI perf-regression
+    /// gate. Skipped on single-core hosts, where no speedup is possible.
+    check_speedup: Option<f64>,
+}
+
+fn parse_args() -> Mode {
+    let mut quick = false;
+    let mut out_path = "BENCH_PR2.json".to_string();
+    let mut check_speedup = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            "--check-speedup" => {
+                let v = args.next().and_then(|s| s.parse::<f64>().ok());
+                check_speedup = Some(v.unwrap_or_else(|| {
+                    eprintln!("--check-speedup requires a number");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: scaling [--quick] [--out PATH] [--check-speedup MIN]");
+                std::process::exit(2);
+            }
+        }
+    }
+    Mode {
+        quick,
+        out_path,
+        check_speedup,
+    }
+}
+
+/// Parameter set of the benchmark: `N = 2^14` at full size (the paper's
+/// F1 ring degree), `N = 2^12` in quick mode so the CI smoke job stays
+/// in seconds.
+fn bench_params(quick: bool) -> CkksParams {
+    if quick {
+        CkksParams {
+            log_n: 12,
+            max_level: 5,
+            dnum: 2,
+            q0_bits: 55,
+            scale_bits: 45,
+            special_bits: 55,
+            secret_hamming_weight: 64,
+            boot_levels: 0,
+            name: "scaling-quick-2^12",
+        }
+    } else {
+        CkksParams {
+            log_n: 14,
+            max_level: 7,
+            dnum: 2,
+            q0_bits: 55,
+            scale_bits: 45,
+            special_bits: 55,
+            secret_hamming_weight: 64,
+            boot_levels: 0,
+            name: "scaling-2^14",
+        }
+    }
+}
+
+/// One measured op at one thread width.
+struct Sample {
+    op: &'static str,
+    threads: usize,
+    reps: usize,
+    mean_us: f64,
+    min_us: f64,
+}
+
+fn time_op<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, f64) {
+    let _warmup = f();
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = f();
+        let us = t0.elapsed().as_secs_f64() * 1e6;
+        drop(out);
+        total += us;
+        min = min.min(us);
+    }
+    (total / reps as f64, min)
+}
+
+/// Runs the op-mix on one session; returns the samples plus the
+/// `mul_rescale` output for cross-thread bit-identity checking.
+fn run_mix(
+    params: &CkksParams,
+    threads: usize,
+    reps_heavy: usize,
+    reps_light: usize,
+) -> (Vec<Sample>, Ciphertext) {
+    let mut engine = Engine::builder()
+        .params(params.clone())
+        .threads(threads)
+        .seed(BENCH_SEED)
+        .rotations(&[1])
+        .build()
+        .expect("bench params are valid");
+    let slots = engine.params().slots();
+    let m1: Vec<C64> = (0..slots)
+        .map(|i| C64::new(0.001 * (i % 97) as f64, -0.002 * (i % 89) as f64))
+        .collect();
+    let m2: Vec<C64> = (0..slots)
+        .map(|i| C64::new(0.5 - 0.001 * (i % 83) as f64, 0.0))
+        .collect();
+    let level = engine.params().max_level;
+    let ct1 = engine.encrypt(&m1, level).expect("level in range");
+    let ct2 = engine.encrypt(&m2, level).expect("level in range");
+    let mut eval = engine.evaluator().expect("software session");
+
+    let mut samples = Vec::new();
+    let (mean, min) = time_op(reps_light, || eval.add(&ct1, &ct2).expect("same level"));
+    samples.push(Sample {
+        op: "add",
+        threads,
+        reps: reps_light,
+        mean_us: mean,
+        min_us: min,
+    });
+
+    let (mean, min) = time_op(reps_heavy, || {
+        eval.mul_rescale(&ct1, &ct2).expect("levels remain")
+    });
+    samples.push(Sample {
+        op: "mul_rescale",
+        threads,
+        reps: reps_heavy,
+        mean_us: mean,
+        min_us: min,
+    });
+
+    let (mean, min) = time_op(reps_heavy, || eval.rotate(&ct1, 1).expect("key declared"));
+    samples.push(Sample {
+        op: "rotate",
+        threads,
+        reps: reps_heavy,
+        mean_us: mean,
+        min_us: min,
+    });
+
+    let prod = eval.mul(&ct1, &ct2).expect("same level");
+    let (mean, min) = time_op(reps_light, || eval.rescale(&prod).expect("level > 0"));
+    samples.push(Sample {
+        op: "rescale",
+        threads,
+        reps: reps_light,
+        mean_us: mean,
+        min_us: min,
+    });
+
+    let witness = eval.mul_rescale(&ct1, &ct2).expect("levels remain");
+    (samples, witness)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let mode = parse_args();
+    let params = bench_params(mode.quick);
+    let thread_counts: Vec<usize> = if mode.quick {
+        QUICK_THREADS.to_vec()
+    } else {
+        FULL_THREADS.to_vec()
+    };
+    let (reps_heavy, reps_light) = if mode.quick { (5, 10) } else { (5, 20) };
+
+    eprintln!(
+        "scaling: params={} threads={:?} host_parallelism={} (fixed seed {:#x})",
+        params.name,
+        thread_counts,
+        available_parallelism(),
+        BENCH_SEED
+    );
+
+    let mut all_samples: Vec<Sample> = Vec::new();
+    let mut serial_witness: Option<Ciphertext> = None;
+    let mut bit_identical = true;
+    for &t in &thread_counts {
+        eprintln!("  running op-mix on {t} thread(s)...");
+        let (samples, witness) = run_mix(&params, t, reps_heavy, reps_light);
+        match &serial_witness {
+            None => serial_witness = Some(witness),
+            Some(serial) => {
+                if *serial != witness {
+                    bit_identical = false;
+                    eprintln!("  !! threads={t} mul_rescale output diverged from serial");
+                }
+            }
+        }
+        all_samples.extend(samples);
+    }
+
+    // scaling factors vs the serial run of the same op, on min latency
+    let serial_min = |op: &str| {
+        all_samples
+            .iter()
+            .find(|s| s.op == op && s.threads == 1)
+            .map(|s| s.min_us)
+            .expect("serial sample exists")
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"ark-bench/scaling/v1\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if mode.quick { "quick" } else { "full" }
+    ));
+    json.push_str(&format!("  \"seed\": {BENCH_SEED},\n"));
+    json.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        available_parallelism()
+    ));
+    json.push_str(&format!(
+        "  \"params\": {{\"name\": \"{}\", \"log_n\": {}, \"n\": {}, \"max_level\": {}, \"dnum\": {}}},\n",
+        json_escape(params.name),
+        params.log_n,
+        params.n(),
+        params.max_level,
+        params.dnum
+    ));
+    json.push_str(&format!(
+        "  \"thread_counts\": [{}],\n",
+        thread_counts
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!(
+        "  \"bit_identical_across_threads\": {bit_identical},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, s) in all_samples.iter().enumerate() {
+        let comma = if i + 1 == all_samples.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"op\": \"{}\", \"threads\": {}, \"reps\": {}, \"mean_us\": {:.2}, \"min_us\": {:.2}, \"speedup_vs_serial\": {:.3}}}{comma}\n",
+            s.op,
+            s.threads,
+            s.reps,
+            s.mean_us,
+            s.min_us,
+            serial_min(s.op) / s.min_us
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&mode.out_path, &json)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", mode.out_path));
+    println!("{json}");
+    eprintln!("wrote {}", mode.out_path);
+
+    // the JSON (with bit_identical_across_threads=false) is on disk for
+    // diagnosis before this hard failure
+    if !bit_identical {
+        eprintln!("FAIL: parallel sessions must be bit-identical to the serial session");
+        std::process::exit(1);
+    }
+
+    // perf-regression gate: mul_rescale at the widest thread count the
+    // host can actually run must beat the serial session by the given
+    // factor. Vacuous on a 1-core host (no parallelism to measure).
+    if let Some(min_speedup) = mode.check_speedup {
+        let host = available_parallelism();
+        if host < 2 {
+            eprintln!("--check-speedup skipped: host has a single hardware thread");
+            return;
+        }
+        let gate_threads = thread_counts
+            .iter()
+            .copied()
+            .filter(|&t| t <= host)
+            .max()
+            .expect("thread_counts is non-empty");
+        let gate = all_samples
+            .iter()
+            .find(|s| s.op == "mul_rescale" && s.threads == gate_threads)
+            .expect("swept thread count present");
+        let speedup = serial_min("mul_rescale") / gate.min_us;
+        if speedup < min_speedup {
+            eprintln!(
+                "FAIL: mul_rescale speedup at {gate_threads} threads is {speedup:.2}x \
+                 (< required {min_speedup:.2}x) — parallel path has regressed"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "speedup gate passed: {speedup:.2}x >= {min_speedup:.2}x at {gate_threads} threads"
+        );
+    }
+}

@@ -178,9 +178,14 @@ impl CkksContext {
             let mut p = poly.clone();
             p.to_coeff(self.basis());
             let src = p.limb(0);
-            let rows: Vec<Vec<u64>> = target
-                .iter()
-                .map(|&i| {
+            // each target limb lifts the centered q0 residues
+            // independently — per-limb fan-out on the context pool
+            let rows: Vec<Vec<u64>> = self
+                .basis()
+                .pool()
+                .for_work(target.len() * src.len())
+                .par_map_range(target.len(), |k| {
+                    let i = target[k];
                     if i == 0 {
                         src.to_vec()
                     } else {
@@ -195,8 +200,7 @@ impl CkksContext {
                             })
                             .collect()
                     }
-                })
-                .collect();
+                });
             let mut out = RnsPoly::from_limbs(
                 self.basis(),
                 &target,

@@ -6,7 +6,7 @@ use ark_math::poly::RnsPoly;
 ///
 /// Kept in the evaluation representation unless an op (BConv,
 /// automorphism on coefficients) temporarily needs otherwise.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Plaintext {
     /// The encoded polynomial.
     pub poly: RnsPoly,
@@ -17,7 +17,7 @@ pub struct Plaintext {
 }
 
 /// A CKKS ciphertext `(B, A)` with `B = A·S + P_m + E` (Eq. 2).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ciphertext {
     /// The `B` component.
     pub b: RnsPoly,

@@ -8,6 +8,12 @@
 //! `[−K, +K]` periods, evaluated homomorphically with the baby-step
 //! giant-step (Paterson–Stockmeyer) recursion in the Chebyshev basis so
 //! the multiplicative depth is `O(log degree)`.
+//!
+//! Threading: the recursion itself is depth-sequential (each `T_j`
+//! depends on earlier basis entries), so EvalMod exposes no op-level
+//! parallelism — all fan-out happens one layer down, in the per-limb
+//! loops of the `HMult`/`HRescale`/`CMult` primitives it issues, which
+//! ride the context's [`ark_math::par::ThreadPool`] automatically.
 
 use crate::ciphertext::Ciphertext;
 use crate::keys::EvalKey;

@@ -20,19 +20,23 @@ impl CkksContext {
         let piece = x.subset(group);
         let others: Vec<usize> = ext.iter().copied().filter(|i| !group.contains(i)).collect();
         let conv = self.converter(group, &others);
+        // BConvRoutine (INTT → BConv → NTT) fans out per limb internally.
         let extension = conv.routine(&piece, self.basis());
-        // Assemble limbs in `ext` order.
-        let rows: Vec<Vec<u64>> = ext
-            .iter()
-            .map(|&i| {
+        // Assemble limbs in `ext` order (parallel row copies — at paper
+        // scale each row is N words).
+        let rows: Vec<Vec<u64>> = self
+            .basis()
+            .pool()
+            .for_work(ext.len() * x.n())
+            .par_map_range(ext.len(), |k| {
+                let i = ext[k];
                 if let Some(pos) = piece.position_of(i) {
                     piece.limb(pos).to_vec()
                 } else {
                     let pos = extension.position_of(i).expect("converted limb present");
                     extension.limb(pos).to_vec()
                 }
-            })
-            .collect();
+            });
         RnsPoly::from_limbs(self.basis(), ext, Representation::Evaluation, rows)
     }
 

@@ -141,13 +141,13 @@ impl CkksContext {
         let v = c * ct.scale;
         assert!(v.abs() < 9.0e18, "constant overflows at this scale");
         let vi = v.round() as i64;
-        for (pos, &idx) in out.b.limb_indices().to_vec().iter().enumerate() {
+        out.b.par_update_limbs(self.basis(), |_pos, idx, row| {
             let q = self.basis().modulus(idx);
             let add = q.from_i64(vi);
-            for x in out.b.limb_mut(pos).iter_mut() {
+            for x in row.iter_mut() {
                 *x = q.add(*x, add);
             }
-        }
+        });
         out
     }
 
@@ -321,7 +321,9 @@ impl CkksContext {
             let top_coeffs = top.limb(0);
             let keep = self.chain_indices(out_level);
             let mut out = poly.subset(&keep);
-            for (pos, &j) in keep.iter().enumerate() {
+            // every kept limb computes its correction independently —
+            // the per-limb hot loop of HRescale, fanned out on the pool
+            out.par_update_limbs(self.basis(), |_pos, j, limb| {
                 let q = self.basis().modulus(j);
                 let inv = q.inv(q.reduce(q_last.value()));
                 let pre = q.shoup(inv);
@@ -337,11 +339,10 @@ impl CkksContext {
                     })
                     .collect();
                 self.basis().table(j).forward(&mut correction);
-                let limb = out.limb_mut(pos);
                 for (c, corr) in limb.iter_mut().zip(&correction) {
                     *c = q.mul_shoup(q.sub(*c, *corr), &pre);
                 }
-            }
+            });
             out
         };
         Ok(Ciphertext {

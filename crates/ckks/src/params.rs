@@ -19,6 +19,7 @@
 use ark_math::bconv::BaseConverter;
 use ark_math::cfft::SpecialFft;
 use ark_math::crt::CrtContext;
+use ark_math::par::ThreadPool;
 use ark_math::poly::RnsBasis;
 use ark_math::primes::{generate_ntt_primes, generate_ntt_primes_excluding};
 use std::collections::HashMap;
@@ -215,12 +216,23 @@ pub struct CkksContext {
 }
 
 impl CkksContext {
-    /// Materializes NTT tables and prime chains for a parameter set.
+    /// Materializes NTT tables and prime chains for a parameter set,
+    /// executing limb loops serially (see [`CkksContext::with_pool`]).
     ///
     /// Prime layout in the basis: indices `0..=L` are the chain `C`
     /// (`q_0` first), indices `L+1..L+α` (inclusive) are the special
     /// primes `B`.
     pub fn new(params: CkksParams) -> Self {
+        Self::with_pool(params, ThreadPool::serial())
+    }
+
+    /// Materializes the context with per-limb hot loops fanned out
+    /// across `pool` (limb parallelism of NTT, BConv, key-switching and
+    /// element-wise arithmetic). The prime chain, key material drawn
+    /// from a given seed, and every ciphertext produced are
+    /// *bit-identical* to the serial context — thread count is a pure
+    /// throughput knob.
+    pub fn with_pool(params: CkksParams, pool: ThreadPool) -> Self {
         let n = params.n();
         let alpha = params.alpha();
         let q0 = generate_ntt_primes(n, params.q0_bits, 1);
@@ -231,7 +243,7 @@ impl CkksContext {
         let special = generate_ntt_primes_excluding(n, params.special_bits, alpha, &chain);
         let mut all = chain;
         all.extend_from_slice(&special);
-        let basis = RnsBasis::new(n, &all);
+        let basis = RnsBasis::with_pool(n, &all, pool);
         let special_fft = SpecialFft::new(params.slots());
         Self {
             params,
@@ -240,6 +252,11 @@ impl CkksContext {
             converters: Mutex::new(HashMap::new()),
             crt_cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The thread pool limb loops fan out on (serial by default).
+    pub fn pool(&self) -> &ThreadPool {
+        self.basis.pool()
     }
 
     /// The parameter set.

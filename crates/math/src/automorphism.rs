@@ -10,6 +10,7 @@
 //! an 8-stage internal shuffle (Section V-D).
 
 use crate::modulus::Modulus;
+use crate::par::ThreadPool;
 
 /// A Galois element `g`, an odd integer modulo `2N`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -97,10 +98,31 @@ pub fn eval_permutation(n: usize, g: GaloisElement) -> Vec<usize> {
 
 /// Applies the automorphism to a limb in evaluation (bit-reversed NTT)
 /// representation using a precomputed permutation from
-/// [`eval_permutation`].
+/// [`eval_permutation`]. `out[s] = in[perm[s]]`.
 pub fn apply_eval(input: &[u64], perm: &[usize]) -> Vec<u64> {
     debug_assert_eq!(input.len(), perm.len());
     perm.iter().map(|&src| input[src]).collect()
+}
+
+/// Applies [`apply_coeff`] to every limb row, fanning the limbs out
+/// across `pool` (each limb's map is independent — the AutoU lane
+/// parallelism at limb granularity).
+pub fn apply_coeff_limbs<'m, F>(
+    rows: &[Vec<u64>],
+    g: GaloisElement,
+    modulus_for: F,
+    pool: &ThreadPool,
+) -> Vec<Vec<u64>>
+where
+    F: Fn(usize) -> &'m Modulus + Sync,
+{
+    pool.par_map_limbs(rows, |pos, row| apply_coeff(row, g, modulus_for(pos)))
+}
+
+/// Applies [`apply_eval`] with one shared permutation to every limb row
+/// in parallel.
+pub fn apply_eval_limbs(rows: &[Vec<u64>], perm: &[usize], pool: &ThreadPool) -> Vec<Vec<u64>> {
+    pool.par_map_limbs(rows, |_, row| apply_eval(row, perm))
 }
 
 /// The AutoU observation (Section V-D): with 256 lanes, the coefficients

@@ -107,32 +107,38 @@ impl BaseConverter {
             Representation::Coefficient,
             "BConv requires the coefficient representation"
         );
-        self.from
-            .iter()
-            .zip(&self.phat_inv)
-            .map(|(&fj, &inv)| {
+        // one task per source limb — the limb-level fan-out of the
+        // NTTU's BConv-mult stage
+        let n = poly.n();
+        basis
+            .pool()
+            .for_work(self.from.len() * n)
+            .par_map_range(self.from.len(), |j| {
+                let fj = self.from[j];
                 let pos = poly
                     .position_of(fj)
                     .unwrap_or_else(|| panic!("source limb {fj} missing"));
                 let p = basis.modulus(fj);
-                let pre = p.shoup(inv);
+                let pre = p.shoup(self.phat_inv[j]);
                 poly.limb(pos)
                     .iter()
                     .map(|&x| p.mul_shoup(x, &pre))
                     .collect()
             })
-            .collect()
     }
 
     /// Step 2 of BConv: the blocked MAC matrix product producing the
     /// target limbs from pre-scaled source limbs.
     pub fn accumulate(&self, scaled: &[Vec<u64>], basis: &RnsBasis) -> Vec<Vec<u64>> {
         let n = scaled.first().map_or(0, Vec::len);
-        self.to
-            .iter()
-            .enumerate()
-            .map(|(i, &ti)| {
-                let q = basis.modulus(ti);
+        // one task per *target* limb: each output row is an independent
+        // row of the MAC matrix product (96% of BConv's work), so this
+        // is where the pool earns its keep
+        basis
+            .pool()
+            .for_work(self.to.len() * n)
+            .par_map_range(self.to.len(), |i| {
+                let q = basis.modulus(self.to[i]);
                 let row = &self.base_table[i];
                 let mut out = vec![0u64; n];
                 for (k, o) in out.iter_mut().enumerate() {
@@ -154,7 +160,6 @@ impl BaseConverter {
                 }
                 out
             })
-            .collect()
     }
 
     /// Full BConv: `[P]_from (coeff) → [P]_to (coeff)`.

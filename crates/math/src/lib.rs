@@ -14,6 +14,9 @@
 //!   (Alg. 1);
 //! - [`automorphism`] — the Galois maps behind `HRot`/conjugation and the
 //!   strided-permutation property exploited by ARK's AutoU;
+//! - [`par`] — a scoped thread pool exploiting the limb-level
+//!   parallelism of RNS on the host (the software counterpart of the
+//!   paper's parallel lanes);
 //! - [`crt`] — minimal big integers + CRT reconstruction (test oracles);
 //! - [`cfft`] — complex arithmetic and the CKKS special FFT (canonical
 //!   embedding).
@@ -39,8 +42,10 @@ pub mod crt;
 pub mod modulus;
 pub mod ntt;
 pub mod ntt4step;
+pub mod par;
 pub mod poly;
 pub mod primes;
 
 pub use modulus::Modulus;
+pub use par::ThreadPool;
 pub use poly::{Representation, RnsBasis, RnsPoly};

@@ -15,7 +15,40 @@
 //! the library never pays an explicit bit-reversal.
 
 use crate::modulus::{Modulus, ShoupPrecomp};
+use crate::par::ThreadPool;
 use crate::primes::primitive_root_of_unity;
+
+/// Which way a batched limb transform runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NttDirection {
+    /// Coefficient → evaluation (natural → bit-reversed order).
+    Forward,
+    /// Evaluation → coefficient (bit-reversed → natural order).
+    Inverse,
+}
+
+/// Transforms every limb row with its own table, fanning the rows out
+/// across `pool` — the limb-level hot loop behind
+/// [`crate::poly::RnsPoly::to_eval`]/[`crate::poly::RnsPoly::to_coeff`].
+/// Each limb's transform is independent and exact, so any pool width is
+/// bit-identical to the serial loop.
+///
+/// # Panics
+///
+/// Panics if a row's length differs from its table's degree.
+pub fn transform_limbs<'t, F>(
+    rows: &mut [Vec<u64>],
+    table_for: F,
+    direction: NttDirection,
+    pool: &ThreadPool,
+) where
+    F: Fn(usize) -> &'t NttTable + Sync,
+{
+    pool.par_for_each_limb(rows, |pos, row| match direction {
+        NttDirection::Forward => table_for(pos).forward(row),
+        NttDirection::Inverse => table_for(pos).inverse(row),
+    });
+}
 
 /// Precomputed twiddle tables for one `(modulus, degree)` pair.
 ///

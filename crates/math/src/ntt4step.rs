@@ -14,6 +14,7 @@
 //! storage/traffic accounting that backs the paper's OF-Twist claims.
 
 use crate::modulus::Modulus;
+use crate::par::ThreadPool;
 use crate::primes::primitive_root_of_unity;
 
 /// Cyclic NTT of size `m` with natural-order input and output.
@@ -124,6 +125,7 @@ pub struct FourStepNtt {
     col_ntt: CyclicNtt,
     row_ntt: CyclicNtt,
     n_inv: u64,
+    pool: ThreadPool,
 }
 
 impl FourStepNtt {
@@ -135,6 +137,17 @@ impl FourStepNtt {
     /// Panics if `n < 4` or not a power of two, or if the modulus lacks a
     /// `2n`-th root of unity.
     pub fn new(modulus: Modulus, n: usize) -> Self {
+        Self::with_pool(modulus, n, ThreadPool::serial())
+    }
+
+    /// Builds a 4-step transform whose column/row passes fan out across
+    /// `pool` — the intra-limb analogue of the NTTU's `√N` lanes. Any
+    /// pool width is bit-identical to [`FourStepNtt::new`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`FourStepNtt::new`].
+    pub fn with_pool(modulus: Modulus, n: usize, pool: ThreadPool) -> Self {
         assert!(
             n.is_power_of_two() && n >= 4,
             "n must be a power of two >= 4"
@@ -158,6 +171,7 @@ impl FourStepNtt {
             col_ntt,
             row_ntt,
             n_inv: modulus.inv(n as u64),
+            pool,
         }
     }
 
@@ -207,44 +221,81 @@ impl FourStepNtt {
 
     /// Cyclic DFT_n via column DFTs → twiddle → transpose → row DFTs.
     /// Input index `j = j1*n2 + j2`; output index `k = k2*n1 + k1`.
+    /// Columns, twist rows and row DFTs each fan out across the pool
+    /// (they are mutually independent within a step).
     fn cyclic_4step(&self, a: &mut [u64], inverse: bool) {
         let (n1, n2) = (self.n1, self.n2);
         let q = &self.modulus;
         let omega = if inverse { self.omega_inv } else { self.omega };
+        // below the dispatch floor the whole transform runs inline
+        let pool = self.pool.for_work(self.n);
 
-        // Step 1: n2 column DFTs of length n1 (stride n2).
-        let mut col = vec![0u64; n1];
-        for j2 in 0..n2 {
-            for j1 in 0..n1 {
-                col[j1] = a[j1 * n2 + j2];
+        // Step 1: n2 column DFTs of length n1 (stride n2). Serially the
+        // two scratch buffers are reused in place; in parallel the
+        // strided writes force a gather → transform → scatter.
+        if pool.is_serial() {
+            let mut col = vec![0u64; n1];
+            for j2 in 0..n2 {
+                for j1 in 0..n1 {
+                    col[j1] = a[j1 * n2 + j2];
+                }
+                self.col_ntt.transform(&mut col, inverse);
+                for k1 in 0..n1 {
+                    a[k1 * n2 + j2] = col[k1];
+                }
             }
-            self.col_ntt.transform(&mut col, inverse);
-            for k1 in 0..n1 {
-                a[k1 * n2 + j2] = col[k1];
+        } else {
+            let a_ref: &[u64] = a;
+            let cols = pool.par_map_range(n2, |j2| {
+                let mut col = vec![0u64; n1];
+                for j1 in 0..n1 {
+                    col[j1] = a_ref[j1 * n2 + j2];
+                }
+                self.col_ntt.transform(&mut col, inverse);
+                col
+            });
+            for (j2, col) in cols.iter().enumerate() {
+                for (k1, &v) in col.iter().enumerate() {
+                    a[k1 * n2 + j2] = v;
+                }
             }
         }
 
         // Step 2: twisting factors ω^{j2·k1}. For each k1 (a hardware
         // vector of n2 elements) the factors are geometric with ratio
         // ω^{k1}: generated on the fly from (start=1, ratio).
-        for k1 in 0..n1 {
+        pool.par_for_each_row(a, n2, |k1, row| {
             let ratio = q.pow(omega, k1 as u64);
             let mut tw = 1u64;
-            for j2 in 0..n2 {
-                a[k1 * n2 + j2] = q.mul(a[k1 * n2 + j2], tw);
+            for x in row.iter_mut() {
+                *x = q.mul(*x, tw);
                 tw = q.mul(tw, ratio);
             }
-        }
+        });
 
         // Step 3 + 4: transpose then n1 row DFTs of length n2. We read
         // rows directly (the transpose is a data-layout step in hardware).
         let mut out = vec![0u64; self.n];
-        let mut row = vec![0u64; n2];
-        for k1 in 0..n1 {
-            row.copy_from_slice(&a[k1 * n2..(k1 + 1) * n2]);
-            self.row_ntt.transform(&mut row, inverse);
-            for k2 in 0..n2 {
-                out[k2 * n1 + k1] = row[k2];
+        if pool.is_serial() {
+            let mut row = vec![0u64; n2];
+            for k1 in 0..n1 {
+                row.copy_from_slice(&a[k1 * n2..(k1 + 1) * n2]);
+                self.row_ntt.transform(&mut row, inverse);
+                for k2 in 0..n2 {
+                    out[k2 * n1 + k1] = row[k2];
+                }
+            }
+        } else {
+            let a_ref: &[u64] = a;
+            let rows = pool.par_map_range(n1, |k1| {
+                let mut row = a_ref[k1 * n2..(k1 + 1) * n2].to_vec();
+                self.row_ntt.transform(&mut row, inverse);
+                row
+            });
+            for (k1, row) in rows.iter().enumerate() {
+                for (k2, &v) in row.iter().enumerate() {
+                    out[k2 * n1 + k1] = v;
+                }
             }
         }
         if inverse {

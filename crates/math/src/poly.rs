@@ -9,7 +9,8 @@
 
 use crate::automorphism::{self, GaloisElement};
 use crate::modulus::Modulus;
-use crate::ntt::NttTable;
+use crate::ntt::{self, NttDirection, NttTable};
+use crate::par::ThreadPool;
 
 /// Whether limb data is in coefficient or evaluation (NTT) order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -30,16 +31,29 @@ pub struct RnsBasis {
     n: usize,
     moduli: Vec<Modulus>,
     tables: Vec<NttTable>,
+    pool: ThreadPool,
 }
 
 impl RnsBasis {
-    /// Builds a basis of NTT tables for degree `n` over distinct primes.
+    /// Builds a basis of NTT tables for degree `n` over distinct primes,
+    /// executing limb loops serially (see [`RnsBasis::with_pool`]).
     ///
     /// # Panics
     ///
     /// Panics if primes repeat, are not NTT-friendly for `n`, or are not
     /// valid moduli.
     pub fn new(n: usize, primes: &[u64]) -> Self {
+        Self::with_pool(n, primes, ThreadPool::serial())
+    }
+
+    /// Builds a basis whose per-limb hot loops fan out across `pool`.
+    /// Any pool width produces bit-identical results to the serial
+    /// basis (limbs are independent and their arithmetic exact).
+    ///
+    /// # Panics
+    ///
+    /// As for [`RnsBasis::new`].
+    pub fn with_pool(n: usize, primes: &[u64], pool: ThreadPool) -> Self {
         let mut seen = primes.to_vec();
         seen.sort_unstable();
         seen.dedup();
@@ -48,8 +62,25 @@ impl RnsBasis {
             .iter()
             .map(|&p| Modulus::new(p).expect("valid modulus"))
             .collect();
-        let tables: Vec<NttTable> = moduli.iter().map(|&m| NttTable::new(m, n)).collect();
-        Self { n, moduli, tables }
+        let tables: Vec<NttTable> = pool
+            .for_work(moduli.len() * n)
+            .par_map_range(moduli.len(), |i| NttTable::new(moduli[i], n));
+        Self {
+            n,
+            moduli,
+            tables,
+            pool,
+        }
+    }
+
+    /// The thread pool this basis fans limb loops out on.
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// Replaces the limb-loop thread pool (the basis data is unchanged).
+    pub fn set_pool(&mut self, pool: ThreadPool) {
+        self.pool = pool;
     }
 
     /// Polynomial degree `N`.
@@ -228,12 +259,12 @@ impl RnsPoly {
     /// Panics if degrees, representations or limb sets differ.
     pub fn add_assign(&mut self, other: &Self, basis: &RnsBasis) {
         self.assert_compatible(other);
-        for (pos, &idx) in self.limb_idx.iter().enumerate() {
+        self.par_update_limbs(basis, |pos, idx, row| {
             let q = basis.modulus(idx);
-            for (a, &b) in self.data[pos].iter_mut().zip(&other.data[pos]) {
+            for (a, &b) in row.iter_mut().zip(&other.data[pos]) {
                 *a = q.add(*a, b);
             }
-        }
+        });
     }
 
     /// `self -= other`, limb-wise.
@@ -243,22 +274,22 @@ impl RnsPoly {
     /// Panics if degrees, representations or limb sets differ.
     pub fn sub_assign(&mut self, other: &Self, basis: &RnsBasis) {
         self.assert_compatible(other);
-        for (pos, &idx) in self.limb_idx.iter().enumerate() {
+        self.par_update_limbs(basis, |pos, idx, row| {
             let q = basis.modulus(idx);
-            for (a, &b) in self.data[pos].iter_mut().zip(&other.data[pos]) {
+            for (a, &b) in row.iter_mut().zip(&other.data[pos]) {
                 *a = q.sub(*a, b);
             }
-        }
+        });
     }
 
     /// Negates in place.
     pub fn negate(&mut self, basis: &RnsBasis) {
-        for (pos, &idx) in self.limb_idx.iter().enumerate() {
+        self.par_update_limbs(basis, |_pos, idx, row| {
             let q = basis.modulus(idx);
-            for a in self.data[pos].iter_mut() {
+            for a in row.iter_mut() {
                 *a = q.neg(*a);
             }
-        }
+        });
     }
 
     /// Element-wise product (both operands in evaluation representation).
@@ -274,12 +305,12 @@ impl RnsPoly {
             "mul needs evaluation rep"
         );
         self.assert_compatible(other);
-        for (pos, &idx) in self.limb_idx.iter().enumerate() {
+        self.par_update_limbs(basis, |pos, idx, row| {
             let q = basis.modulus(idx);
-            for (a, &b) in self.data[pos].iter_mut().zip(&other.data[pos]) {
+            for (a, &b) in row.iter_mut().zip(&other.data[pos]) {
                 *a = q.mul(*a, b);
             }
-        }
+        });
     }
 
     /// Fused `self += a * b` without materializing the product.
@@ -291,26 +322,26 @@ impl RnsPoly {
         assert_eq!(self.rep, Representation::Evaluation);
         self.assert_compatible(a);
         self.assert_compatible(b);
-        for (pos, &idx) in self.limb_idx.iter().enumerate() {
+        self.par_update_limbs(basis, |pos, idx, row| {
             let q = basis.modulus(idx);
-            for k in 0..self.n {
+            for (k, acc) in row.iter_mut().enumerate() {
                 let prod = q.mul(a.data[pos][k], b.data[pos][k]);
-                self.data[pos][k] = q.add(self.data[pos][k], prod);
+                *acc = q.add(*acc, prod);
             }
-        }
+        });
     }
 
     /// Multiplies every coefficient of limb `q_i` by `scalars[pos]`.
     pub fn mul_scalar_per_limb(&mut self, scalars: &[u64], basis: &RnsBasis) {
         assert_eq!(scalars.len(), self.limb_idx.len());
-        for (pos, &idx) in self.limb_idx.iter().enumerate() {
+        self.par_update_limbs(basis, |pos, idx, row| {
             let q = basis.modulus(idx);
             let s = q.reduce(scalars[pos]);
             let pre = q.shoup(s);
-            for a in self.data[pos].iter_mut() {
+            for a in row.iter_mut() {
                 *a = q.mul_shoup(*a, &pre);
             }
-        }
+        });
     }
 
     /// Multiplies by one scalar (reduced into every limb).
@@ -324,9 +355,14 @@ impl RnsPoly {
         if self.rep == Representation::Evaluation {
             return;
         }
-        for (pos, &idx) in self.limb_idx.iter().enumerate() {
-            basis.table(idx).forward(&mut self.data[pos]);
-        }
+        let idx = &self.limb_idx;
+        let pool = basis.pool().for_work(self.data.len() * self.n);
+        ntt::transform_limbs(
+            &mut self.data,
+            |pos| basis.table(idx[pos]),
+            NttDirection::Forward,
+            pool,
+        );
         self.rep = Representation::Evaluation;
     }
 
@@ -335,29 +371,33 @@ impl RnsPoly {
         if self.rep == Representation::Coefficient {
             return;
         }
-        for (pos, &idx) in self.limb_idx.iter().enumerate() {
-            basis.table(idx).inverse(&mut self.data[pos]);
-        }
+        let idx = &self.limb_idx;
+        let pool = basis.pool().for_work(self.data.len() * self.n);
+        ntt::transform_limbs(
+            &mut self.data,
+            |pos| basis.table(idx[pos]),
+            NttDirection::Inverse,
+            pool,
+        );
         self.rep = Representation::Coefficient;
     }
 
     /// Applies the Galois automorphism `X ↦ X^g` in either representation.
     pub fn automorphism(&self, g: GaloisElement, basis: &RnsBasis) -> Self {
         let data = match self.rep {
-            Representation::Coefficient => self
-                .limb_idx
-                .iter()
-                .enumerate()
-                .map(|(pos, &idx)| {
-                    automorphism::apply_coeff(&self.data[pos], g, basis.modulus(idx))
-                })
-                .collect(),
+            Representation::Coefficient => automorphism::apply_coeff_limbs(
+                &self.data,
+                g,
+                |pos| basis.modulus(self.limb_idx[pos]),
+                basis.pool().for_work(self.data.len() * self.n),
+            ),
             Representation::Evaluation => {
                 let perm = automorphism::eval_permutation(self.n, g);
-                self.data
-                    .iter()
-                    .map(|row| automorphism::apply_eval(row, &perm))
-                    .collect()
+                automorphism::apply_eval_limbs(
+                    &self.data,
+                    &perm,
+                    basis.pool().for_work(self.data.len() * self.n),
+                )
             }
         };
         Self {
@@ -366,6 +406,22 @@ impl RnsPoly {
             limb_idx: self.limb_idx.clone(),
             data,
         }
+    }
+
+    /// Applies `f(pos, basis_index, row)` to every limb, fanning out over
+    /// the basis pool. `f` must treat limbs independently (it runs
+    /// concurrently on a parallel pool) — the contract every RNS op here
+    /// already satisfies. This is the extension point callers (rescale,
+    /// ModRaise) use for custom per-limb kernels.
+    pub fn par_update_limbs<F>(&mut self, basis: &RnsBasis, f: F)
+    where
+        F: Fn(usize, usize, &mut [u64]) + Sync,
+    {
+        let idx = &self.limb_idx;
+        basis
+            .pool()
+            .for_work(self.data.len() * self.n)
+            .par_for_each_limb(&mut self.data, |pos, row| f(pos, idx[pos], row));
     }
 
     /// Drops the last limb (the `HRescale` limb-elimination step).

@@ -8,6 +8,7 @@ use ark_math::crt::{BigUint, CrtContext};
 use ark_math::modulus::Modulus;
 use ark_math::ntt::{negacyclic_mul_naive, NttTable};
 use ark_math::ntt4step::FourStepNtt;
+use ark_math::par::ThreadPool;
 use ark_math::poly::{Representation, RnsBasis, RnsPoly};
 use ark_math::primes::generate_ntt_primes;
 use proptest::prelude::*;
@@ -247,5 +248,88 @@ proptest! {
             });
             prop_assert!(ok, "coefficient {}", k);
         }
+    }
+}
+
+/// Serial and 4-thread bases over identical primes: every per-limb op
+/// must be *bit-identical* across pool widths (the determinism contract
+/// of `ark_math::par`).
+fn eq_bases() -> &'static (RnsBasis, RnsBasis) {
+    static B: OnceLock<(RnsBasis, RnsBasis)> = OnceLock::new();
+    B.get_or_init(|| {
+        let primes = generate_ntt_primes(64, 40, 5);
+        (
+            RnsBasis::new(64, &primes),
+            RnsBasis::with_pool(64, &primes, ThreadPool::new(4).with_min_dispatch_words(0)),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn poly_ops_bit_identical_serial_vs_parallel(
+        a in proptest::collection::vec(-(1i64 << 40)..(1i64 << 40), 64),
+        b in proptest::collection::vec(-(1i64 << 40)..(1i64 << 40), 64),
+        scalar in 1u64..(1 << 40),
+        rot in 1i64..16,
+    ) {
+        let (serial, parallel) = eq_bases();
+        let idx = [0usize, 1, 2, 3, 4];
+        let run = |basis: &RnsBasis| {
+            let mut pa = RnsPoly::from_signed_coeffs(basis, &idx, &a);
+            let pb = RnsPoly::from_signed_coeffs(basis, &idx, &b);
+            pa.add_assign(&pb, basis);
+            pa.sub_assign(&pb, basis);
+            pa.negate(basis);
+            pa.mul_scalar(scalar, basis);
+            pa.to_eval(basis);
+            let mut pc = pb.clone();
+            pc.to_eval(basis);
+            pa.mul_assign(&pc, basis);
+            pa.mul_add_assign(&pc, &pc, basis);
+            let g = GaloisElement::from_rotation(rot, 64);
+            let rotated = pa.automorphism(g, basis);
+            pa = rotated;
+            pa.to_coeff(basis);
+            pa.automorphism(g, basis)
+        };
+        prop_assert_eq!(run(serial), run(parallel));
+    }
+
+    #[test]
+    fn bconv_bit_identical_serial_vs_parallel(
+        coeffs in proptest::collection::vec(-(1i64 << 39)..(1i64 << 39), 64),
+    ) {
+        let (serial, parallel) = eq_bases();
+        let from = [0usize, 1, 2];
+        let to = [3usize, 4];
+        let run = |basis: &RnsBasis| {
+            let conv = BaseConverter::new(basis, &from, &to);
+            let mut poly = RnsPoly::from_signed_coeffs(basis, &from, &coeffs);
+            let direct = conv.convert(&poly, basis);
+            poly.to_eval(basis);
+            (direct, conv.routine(&poly, basis))
+        };
+        prop_assert_eq!(run(serial), run(parallel));
+    }
+
+    #[test]
+    fn four_step_bit_identical_serial_vs_parallel(
+        coeffs in proptest::collection::vec(0u64..(1 << 44), 64),
+    ) {
+        let q = *ntt64().modulus();
+        let serial = FourStepNtt::new(q, 64);
+        let parallel = FourStepNtt::with_pool(q, 64, ThreadPool::new(4).with_min_dispatch_words(0));
+        let reduced: Vec<u64> = coeffs.iter().map(|&c| q.reduce(c)).collect();
+        let mut fs = reduced.clone();
+        serial.forward(&mut fs);
+        let mut fp = reduced;
+        parallel.forward(&mut fp);
+        prop_assert_eq!(&fs, &fp);
+        serial.inverse(&mut fs);
+        parallel.inverse(&mut fp);
+        prop_assert_eq!(fs, fp);
     }
 }

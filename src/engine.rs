@@ -59,6 +59,7 @@ use ark_core::compile::CompileOptions;
 use ark_core::config::ArkConfig;
 use ark_core::sched::SimReport;
 use ark_math::cfft::C64;
+use ark_math::par::{self, ThreadPool};
 use ark_workloads::bootstrap::{bootstrap_trace, post_bootstrap_level, BootstrapTraceConfig};
 use ark_workloads::trace::{HeOp, KeyId, Trace};
 use rand::rngs::StdRng;
@@ -808,6 +809,7 @@ enum BackendState {
 pub struct Engine {
     params: CkksParams,
     state: BackendState,
+    threads: usize,
 }
 
 /// Builder for [`Engine`] — declare the parameter set, backend, key
@@ -821,6 +823,7 @@ pub struct EngineBuilder {
     conjugation: bool,
     bootstrapping: Option<BootstrapConfig>,
     compile: CompileOptions,
+    threads: Option<usize>,
 }
 
 impl Default for EngineBuilder {
@@ -833,6 +836,7 @@ impl Default for EngineBuilder {
             conjugation: false,
             bootstrapping: None,
             compile: CompileOptions::all_on(),
+            threads: None,
         }
     }
 }
@@ -884,6 +888,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Threads the software backend fans limb-level hot loops out on
+    /// (NTT, base conversion, key-switching, element-wise arithmetic).
+    /// Defaults to the host's available parallelism; `threads(1)` is the
+    /// strictly serial path and any width is bit-identical to it —
+    /// thread count changes throughput, never results or recorded
+    /// traces. `0` is clamped to `1`. The trace backend records
+    /// symbolically and ignores the setting.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
     /// Builds the engine, generating the [`KeyChain`] on the software
     /// backend.
     ///
@@ -926,9 +942,14 @@ impl EngineBuilder {
                 });
             }
         }
+        let mut threads = self.threads.unwrap_or_else(par::available_parallelism);
         let state = match self.backend {
             Backend::Software => {
-                let ctx = CkksContext::new(params.clone());
+                let pool = ThreadPool::new(threads);
+                // worker spawning is best-effort; report the width the
+                // pool actually obtained, not the one requested
+                threads = pool.threads();
+                let ctx = CkksContext::with_pool(params.clone(), pool);
                 let mut rng = StdRng::seed_from_u64(self.seed);
                 let mut keygen_rotations: Vec<i64> = declared.rotations.iter().copied().collect();
                 let boot = self.bootstrapping.map(|cfg| {
@@ -959,7 +980,11 @@ impl EngineBuilder {
                 trace_cfg,
             }),
         };
-        Ok(Engine { params, state })
+        Ok(Engine {
+            params,
+            state,
+            threads,
+        })
     }
 }
 
@@ -972,6 +997,14 @@ impl Engine {
     /// The session's parameter set.
     pub fn params(&self) -> &CkksParams {
         &self.params
+    }
+
+    /// Threads the session fans limb-level work out on — the width the
+    /// pool actually obtained, which can be lower than the
+    /// [`EngineBuilder::threads`] request if worker spawning failed.
+    /// Informational on the trace backend.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Short name of the active backend.

@@ -190,7 +190,7 @@ pub mod collection {
     use super::{StdRng, Strategy};
     use rand::Rng;
 
-    /// Length specification for [`vec`]: a fixed size or a range.
+    /// Length specification for [`fn@vec`]: a fixed size or a range.
     pub trait IntoSizeRange {
         /// Picks a concrete length.
         fn pick(&self, rng: &mut StdRng) -> usize;
