@@ -1,0 +1,202 @@
+//! Wire-format serialization throughput: the encode/decode cost of the
+//! bytes a serving deployment actually moves.
+//!
+//! Measures round-trip throughput (MB/s) of the `ark_ckks::wire` codec
+//! for ciphertexts (at several levels) and evaluation keys, plus the
+//! `ark_core::wire` report codec, and emits a machine-readable
+//! `BENCH_PR3.json`. Every decode is validated — the numbers include
+//! the full residue-range checking a server must pay on untrusted
+//! bytes, not an unchecked memcpy.
+//!
+//! ```text
+//! cargo run --release -p ark-bench --bin wire_throughput            # N = 2^12
+//! cargo run --release -p ark-bench --bin wire_throughput -- --quick # N = 2^10, CI smoke
+//! cargo run --release -p ark-bench --bin wire_throughput -- --out my.json
+//! ```
+
+use ark_ckks::params::{CkksContext, CkksParams};
+use ark_ckks::wire as ckks_wire;
+use ark_core::pf::Resource;
+use ark_core::sched::SimReport;
+use ark_core::wire as core_wire;
+use ark_math::cfft::C64;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Fixed seed: reruns produce the same key material and ciphertexts.
+const BENCH_SEED: u64 = 0x4152_4b50_5233; // "ARKPR3"
+
+struct Mode {
+    quick: bool,
+    out_path: String,
+}
+
+fn parse_args() -> Mode {
+    let mut quick = false;
+    let mut out_path = "BENCH_PR3.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Mode { quick, out_path }
+}
+
+struct Row {
+    object: String,
+    bytes: usize,
+    encode_mb_s: f64,
+    decode_mb_s: f64,
+    iters: usize,
+}
+
+/// Times `encode`/`decode` closures over enough iterations to smooth
+/// timer noise, returning MB/s both ways.
+fn measure(
+    object: &str,
+    iters: usize,
+    encode: impl Fn() -> Vec<u8>,
+    decode: impl Fn(&[u8]),
+) -> Row {
+    let bytes = encode().len();
+    let t0 = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..iters {
+        sink = sink.wrapping_add(encode().len());
+    }
+    let enc_s = t0.elapsed().as_secs_f64();
+    let frame = encode();
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        decode(&frame);
+    }
+    let dec_s = t1.elapsed().as_secs_f64();
+    assert_eq!(sink, bytes * iters, "encode output length drifted");
+    let mb = (bytes * iters) as f64 / 1e6;
+    Row {
+        object: object.to_string(),
+        bytes,
+        encode_mb_s: mb / enc_s.max(1e-9),
+        decode_mb_s: mb / dec_s.max(1e-9),
+        iters,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let mode = parse_args();
+    let params = CkksParams {
+        log_n: if mode.quick { 10 } else { 12 },
+        name: "wire-bench",
+        ..CkksParams::small()
+    };
+    let iters = if mode.quick { 20 } else { 50 };
+    let ctx = CkksContext::new(params.clone());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(BENCH_SEED);
+    let sk = ctx.gen_secret_key(&mut rng);
+    let evk = ctx.gen_mult_key(&sk, &mut rng);
+    let msg: Vec<C64> = (0..params.slots())
+        .map(|i| C64::new((i as f64 * 0.01).sin(), (i as f64 * 0.02).cos()))
+        .collect();
+
+    let mut rows = Vec::new();
+    for level in [2, params.max_level] {
+        let pt = ctx.encode(&msg, level, params.scale());
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let row = measure(
+            &format!("ciphertext-L{level}"),
+            iters,
+            || ckks_wire::write_ciphertext(&ctx, &ct),
+            |bytes| {
+                let back = ckks_wire::read_ciphertext(&ctx, bytes).expect("valid frame");
+                assert_eq!(back.level, ct.level);
+            },
+        );
+        rows.push(row);
+    }
+    rows.push(measure(
+        "eval-key",
+        iters.min(10),
+        || ckks_wire::write_eval_key(&ctx, &evk),
+        |bytes| {
+            let back = ckks_wire::read_eval_key(&ctx, bytes).expect("valid frame");
+            assert_eq!(back.words(), evk.words());
+        },
+    ));
+    let report = SimReport {
+        cycles: 123_456,
+        seconds: 1.5e-3,
+        busy: [(Resource::Nttu, 5000u64), (Resource::Hbm, 9000)]
+            .into_iter()
+            .collect(),
+        hbm_evk_words: 1,
+        hbm_plaintext_words: 2,
+        hbm_other_words: 3,
+        noc_words: 4,
+        mod_mults: 5,
+    };
+    rows.push(measure(
+        "sim-report",
+        iters * 100,
+        || core_wire::write_sim_report(&report, 0xb37c4),
+        |bytes| {
+            core_wire::read_sim_report(bytes, 0xb37c4).expect("valid frame");
+        },
+    ));
+
+    println!(
+        "wire throughput at N = 2^{} ({} iters, validated decode):",
+        params.log_n, iters
+    );
+    for r in &rows {
+        println!(
+            "  {:16} {:>9} B  encode {:>8.1} MB/s  decode {:>8.1} MB/s",
+            r.object, r.bytes, r.encode_mb_s, r.decode_mb_s
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"ark-bench/wire-throughput/v1\",\n");
+    json.push_str(&format!("  \"seed\": {BENCH_SEED},\n"));
+    json.push_str(&format!("  \"quick\": {},\n", mode.quick));
+    json.push_str(&format!(
+        "  \"params\": {{\"name\": \"{}\", \"log_n\": {}, \"max_level\": {}}},\n",
+        json_escape(params.name),
+        params.log_n,
+        params.max_level
+    ));
+    json.push_str("  \"roundtrip_validated\": true,\n");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"object\": \"{}\", \"bytes\": {}, \"encode_mb_s\": {:.2}, \"decode_mb_s\": {:.2}, \"iters\": {}}}{}\n",
+            json_escape(&r.object),
+            r.bytes,
+            r.encode_mb_s,
+            r.decode_mb_s,
+            r.iters,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&mode.out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", mode.out_path);
+        std::process::exit(1);
+    });
+    println!("wrote {}", mode.out_path);
+}

@@ -16,6 +16,19 @@ pub struct Plaintext {
     pub scale: f64,
 }
 
+impl Plaintext {
+    /// Words of storage (`limbs × N`).
+    pub fn words(&self) -> usize {
+        self.poly.words()
+    }
+
+    /// Bytes of polynomial storage (`words × 8`) — the unit `ark-serve`
+    /// uses for per-session memory accounting.
+    pub fn byte_len(&self) -> usize {
+        self.words() * 8
+    }
+}
+
 /// A CKKS ciphertext `(B, A)` with `B = A·S + P_m + E` (Eq. 2).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Ciphertext {
@@ -34,6 +47,13 @@ impl Ciphertext {
     /// data-size accounting.
     pub fn words(&self) -> usize {
         self.b.words() + self.a.words()
+    }
+
+    /// Bytes of polynomial storage (`words × 8`) — the unit `ark-serve`
+    /// uses for per-session memory accounting. (The exact wire size adds
+    /// a fixed header plus per-limb indices; see `ark_ckks::wire`.)
+    pub fn byte_len(&self) -> usize {
+        self.words() * 8
     }
 
     /// Asserts the internal shape invariants (matching limb sets and

@@ -7,6 +7,13 @@
 //! sites because they indicate a bug inside the library, not misuse.
 //! Every fallible public operation returns [`ArkResult`] with a typed
 //! [`ArkError`] so the library composes as a service component.
+//!
+//! I/O adds two more families: [`ArkError::Wire`] wraps the typed
+//! wire-format failures of [`ark_math::wire`] (truncation, corruption,
+//! parameter mismatch — conditions attacker-controlled bytes can
+//! trigger, which therefore must never panic), and [`ArkError::Serve`]
+//! covers serving-runtime failures (protocol violations, backpressure,
+//! session limits, transport loss).
 
 /// Errors surfaced by the CKKS scheme and the `ark-fhe` engine layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +70,21 @@ pub enum ArkError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A wire-format read failed: truncation, corruption, version or
+    /// parameter-set mismatch (see [`ark_math::wire::WireError`]).
+    Wire(ark_math::wire::WireError),
+    /// A serving-runtime failure: protocol violation, backpressure
+    /// rejection, session resource limit, or transport loss.
+    Serve {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl From<ark_math::wire::WireError> for ArkError {
+    fn from(e: ark_math::wire::WireError) -> Self {
+        ArkError::Wire(e)
+    }
 }
 
 impl std::fmt::Display for ArkError {
@@ -97,11 +119,20 @@ impl std::fmt::Display for ArkError {
                 )
             }
             ArkError::InvalidParams { reason } => write!(f, "invalid parameters: {reason}"),
+            ArkError::Wire(e) => write!(f, "wire format error: {e}"),
+            ArkError::Serve { reason } => write!(f, "serving error: {reason}"),
         }
     }
 }
 
-impl std::error::Error for ArkError {}
+impl std::error::Error for ArkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArkError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Result alias used by every fallible public entry point.
 pub type ArkResult<T> = Result<T, ArkError>;

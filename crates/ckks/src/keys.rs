@@ -30,6 +30,18 @@ pub struct SecretKey {
     pub(crate) s: RnsPoly,
 }
 
+impl SecretKey {
+    /// Words of storage (`|D| · N`).
+    pub fn words(&self) -> usize {
+        self.s.words()
+    }
+
+    /// Bytes of key storage (`words × 8`).
+    pub fn byte_len(&self) -> usize {
+        self.words() * 8
+    }
+}
+
 /// One evaluation key: `dnum` RLWE pairs `(B_i, A_i)` over `R_PQ`,
 /// with `B_i = A_i·s + e_i + (P·T_i)·s'`.
 #[derive(Debug, Clone)]
@@ -46,6 +58,11 @@ impl EvalKey {
     /// Storage in words: `dnum · 2 · (α+L+1) · N` (Table III).
     pub fn words(&self) -> usize {
         self.pieces.iter().map(|(b, a)| b.words() + a.words()).sum()
+    }
+
+    /// Bytes of key storage (`words × 8`).
+    pub fn byte_len(&self) -> usize {
+        self.words() * 8
     }
 }
 
@@ -87,6 +104,24 @@ impl RotationKeys {
     pub fn words(&self) -> usize {
         self.keys.values().map(EvalKey::words).sum()
     }
+
+    /// Total bytes of key storage across all keys (`words × 8`).
+    pub fn byte_len(&self) -> usize {
+        self.words() * 8
+    }
+
+    /// The held Galois elements in ascending order — the stable
+    /// iteration the wire encoder and key-set comparisons rely on.
+    pub fn galois_elements(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.keys.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Fetches a key by raw Galois element value.
+    pub fn get_raw(&self, g: u64) -> Option<&EvalKey> {
+        self.keys.get(&g)
+    }
 }
 
 /// An RLWE public key `(B, A)` with `B = A·s + e` over the full chain:
@@ -95,6 +130,18 @@ impl RotationKeys {
 pub struct PublicKey {
     pub(crate) b: RnsPoly,
     pub(crate) a: RnsPoly,
+}
+
+impl PublicKey {
+    /// Words of storage (`2 · (L+1) · N`).
+    pub fn words(&self) -> usize {
+        self.b.words() + self.a.words()
+    }
+
+    /// Bytes of key storage (`words × 8`).
+    pub fn byte_len(&self) -> usize {
+        self.words() * 8
+    }
 }
 
 /// Samples a centered approximately-Gaussian integer (Irwin–Hall).

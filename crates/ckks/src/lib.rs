@@ -26,6 +26,7 @@ pub mod minks;
 pub mod oflimb;
 pub mod ops;
 pub mod params;
+pub mod wire;
 
 pub use ciphertext::{Ciphertext, Plaintext};
 pub use error::{ArkError, ArkResult};

@@ -1,0 +1,489 @@
+//! Wire codecs for the scheme types: ciphertexts, plaintexts and key
+//! material as [`ark_math::wire`] frames.
+//!
+//! Everything a CKKS deployment ships — the ciphertexts clients upload,
+//! the results they download, the public/evaluation/rotation keys a
+//! server caches across sessions — encodes here. The *secret* key has
+//! deliberately no codec: secret material never crosses the wire in
+//! this system, and leaving the encoder out makes that a type-level
+//! property rather than a convention.
+//!
+//! # Parameter fingerprint
+//!
+//! Every frame carries [`param_fingerprint`], an FNV-1a 64 hash of the
+//! arithmetic-relevant [`CkksParams`] fields (`log N`, `L`, `dnum` and
+//! the three prime widths, plus the secret Hamming weight). Prime
+//! generation is deterministic in those fields, so equal fingerprints
+//! imply identical RNS bases; a frame produced under any other
+//! parameter set is rejected with [`WireError::FingerprintMismatch`]
+//! before a single payload byte is interpreted.
+//!
+//! # Validation
+//!
+//! Decoders re-establish every invariant the panic-checking scheme ops
+//! rely on: limb sets must equal the exact chain (or extended) index
+//! set for the claimed level, components must agree on representation,
+//! residues must be reduced (enforced by [`ark_math::wire::decode_poly`]),
+//! scales must be finite and positive, and evaluation keys must carry
+//! exactly `dnum` decomposition pieces. Attacker-controlled bytes thus
+//! yield typed [`ArkError::Wire`] errors, never panics.
+
+use crate::ciphertext::{Ciphertext, Plaintext};
+use crate::error::{ArkError, ArkResult};
+use crate::keys::{EvalKey, PublicKey, RotationKeys};
+use crate::params::{CkksContext, CkksParams};
+use ark_math::automorphism::GaloisElement;
+use ark_math::poly::{Representation, RnsPoly};
+use ark_math::wire::{
+    self, checksum, decode_poly, encode_poly, kind, put_f64, put_u16, put_u32, put_u64,
+    read_frame_expecting, write_frame, Cursor, WireError,
+};
+
+/// Upper bound on rotation keys in one [`RotationKeys`] frame — far
+/// above any real set (Min-KS needs ~2 per transform iteration, the
+/// baseline ~40 per transform) but low enough that a hostile count
+/// field cannot drive large allocations.
+pub const MAX_ROTATION_KEYS: usize = 4096;
+
+/// FNV-1a 64 fingerprint of the arithmetic-relevant parameter fields.
+/// Equal fingerprints imply identical prime chains (generation is
+/// deterministic), hence wire-compatible ciphertexts and keys.
+pub fn param_fingerprint(params: &CkksParams) -> u64 {
+    let mut bytes = Vec::with_capacity(64);
+    bytes.extend_from_slice(b"ark-ckks-params-v1");
+    put_u32(&mut bytes, params.log_n);
+    put_u64(&mut bytes, params.max_level as u64);
+    put_u64(&mut bytes, params.dnum as u64);
+    put_u32(&mut bytes, params.q0_bits);
+    put_u32(&mut bytes, params.scale_bits);
+    put_u32(&mut bytes, params.special_bits);
+    put_u64(&mut bytes, params.secret_hamming_weight as u64);
+    checksum(&bytes)
+}
+
+fn malformed(what: impl Into<String>) -> ArkError {
+    ArkError::Wire(WireError::Malformed { what: what.into() })
+}
+
+/// Checks a decoded level/scale pair and that `poly` is an
+/// evaluation-representation polynomial over the exact chain set for
+/// that level. Evaluation representation is the resident form of every
+/// ciphertext and plaintext; accepting coefficient-representation
+/// bytes here would let hostile frames reach the `assert!`s inside the
+/// element-wise ops.
+fn check_chain_poly(ctx: &CkksContext, poly: &RnsPoly, level: usize, scale: f64) -> ArkResult<()> {
+    if level > ctx.params().max_level {
+        return Err(malformed(format!(
+            "level {level} exceeds chain maximum {}",
+            ctx.params().max_level
+        )));
+    }
+    if !(scale.is_finite() && scale > 0.0) {
+        return Err(malformed(format!("scale {scale} is not finite-positive")));
+    }
+    if poly.representation() != Representation::Evaluation {
+        return Err(malformed(
+            "ciphertext/plaintext polynomials must be in evaluation representation",
+        ));
+    }
+    if poly.limb_indices() != ctx.chain_indices(level) {
+        return Err(malformed(format!(
+            "limb set {:?} is not the chain set for level {level}",
+            poly.limb_indices()
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// payload codecs (embeddable inside larger frames, e.g. ark-serve)
+// ---------------------------------------------------------------------
+
+/// Appends the ciphertext payload: `u32 level | f64 scale | poly B | poly A`.
+pub fn encode_ciphertext(out: &mut Vec<u8>, ct: &Ciphertext) {
+    put_u32(out, ct.level as u32);
+    put_f64(out, ct.scale);
+    encode_poly(out, &ct.b);
+    encode_poly(out, &ct.a);
+}
+
+/// Decodes and validates a ciphertext payload.
+pub fn decode_ciphertext(cur: &mut Cursor<'_>, ctx: &CkksContext) -> ArkResult<Ciphertext> {
+    let level = cur.u32()? as usize;
+    let scale = cur.f64()?;
+    let b = decode_poly(cur, ctx.basis())?;
+    let a = decode_poly(cur, ctx.basis())?;
+    check_chain_poly(ctx, &b, level, scale)?;
+    check_chain_poly(ctx, &a, level, scale)?;
+    Ok(Ciphertext { b, a, level, scale })
+}
+
+/// Appends the plaintext payload: `u32 level | f64 scale | poly`.
+pub fn encode_plaintext(out: &mut Vec<u8>, pt: &Plaintext) {
+    put_u32(out, pt.level as u32);
+    put_f64(out, pt.scale);
+    encode_poly(out, &pt.poly);
+}
+
+/// Decodes and validates a plaintext payload.
+pub fn decode_plaintext(cur: &mut Cursor<'_>, ctx: &CkksContext) -> ArkResult<Plaintext> {
+    let level = cur.u32()? as usize;
+    let scale = cur.f64()?;
+    let poly = decode_poly(cur, ctx.basis())?;
+    check_chain_poly(ctx, &poly, level, scale)?;
+    Ok(Plaintext { poly, level, scale })
+}
+
+fn encode_key_pair(out: &mut Vec<u8>, b: &RnsPoly, a: &RnsPoly) {
+    encode_poly(out, b);
+    encode_poly(out, a);
+}
+
+/// Decodes an RLWE pair over the expected limb set, in evaluation
+/// representation (the resident form of all key material).
+fn decode_key_pair(
+    cur: &mut Cursor<'_>,
+    ctx: &CkksContext,
+    expect_limbs: &[usize],
+) -> ArkResult<(RnsPoly, RnsPoly)> {
+    let b = decode_poly(cur, ctx.basis())?;
+    let a = decode_poly(cur, ctx.basis())?;
+    for p in [&b, &a] {
+        if p.limb_indices() != expect_limbs {
+            return Err(malformed("key component has the wrong limb set"));
+        }
+        if p.representation() != Representation::Evaluation {
+            return Err(malformed(
+                "key material must be in evaluation representation",
+            ));
+        }
+    }
+    Ok((b, a))
+}
+
+/// Appends the public-key payload: `poly B | poly A` over the full chain.
+pub fn encode_public_key(out: &mut Vec<u8>, pk: &PublicKey) {
+    encode_key_pair(out, &pk.b, &pk.a);
+}
+
+/// Decodes and validates a public-key payload.
+pub fn decode_public_key(cur: &mut Cursor<'_>, ctx: &CkksContext) -> ArkResult<PublicKey> {
+    let expect = ctx.chain_indices(ctx.params().max_level);
+    let (b, a) = decode_key_pair(cur, ctx, &expect)?;
+    Ok(PublicKey { b, a })
+}
+
+/// Appends the evaluation-key payload: `u16 dnum | dnum × (poly B | poly A)`
+/// over the extended basis `D`.
+pub fn encode_eval_key(out: &mut Vec<u8>, evk: &EvalKey) {
+    put_u16(out, evk.pieces.len() as u16);
+    for (b, a) in &evk.pieces {
+        encode_key_pair(out, b, a);
+    }
+}
+
+/// Decodes and validates an evaluation-key payload (`dnum` pieces over
+/// the full extended basis).
+pub fn decode_eval_key(cur: &mut Cursor<'_>, ctx: &CkksContext) -> ArkResult<EvalKey> {
+    let count = cur.u16()? as usize;
+    if count != ctx.params().dnum {
+        return Err(malformed(format!(
+            "evaluation key has {count} pieces, parameter set requires dnum = {}",
+            ctx.params().dnum
+        )));
+    }
+    let expect = ctx.extended_indices(ctx.params().max_level);
+    let mut pieces = Vec::with_capacity(count);
+    for _ in 0..count {
+        pieces.push(decode_key_pair(cur, ctx, &expect)?);
+    }
+    Ok(EvalKey { pieces })
+}
+
+/// Appends the rotation-key-set payload:
+/// `u16 count | count × (u64 galois | eval-key payload)`, sorted by
+/// Galois element so encoding is deterministic.
+pub fn encode_rotation_keys(out: &mut Vec<u8>, keys: &RotationKeys) {
+    let elements = keys.galois_elements();
+    put_u16(out, elements.len() as u16);
+    for g in elements {
+        put_u64(out, g);
+        encode_eval_key(out, keys.get_raw(g).expect("listed element present"));
+    }
+}
+
+/// Decodes and validates a rotation-key-set payload. Galois elements
+/// must be odd, in `1..2N`, and strictly ascending (so duplicates and
+/// non-canonical orderings are rejected).
+pub fn decode_rotation_keys(cur: &mut Cursor<'_>, ctx: &CkksContext) -> ArkResult<RotationKeys> {
+    let count = cur.u16()? as usize;
+    if count > MAX_ROTATION_KEYS {
+        return Err(malformed(format!(
+            "rotation key count {count} exceeds the {MAX_ROTATION_KEYS} cap"
+        )));
+    }
+    let two_n = 2 * ctx.params().n() as u64;
+    let mut keys = RotationKeys::new();
+    let mut prev: Option<u64> = None;
+    for _ in 0..count {
+        let g = cur.u64()?;
+        if g % 2 == 0 || g == 0 || g >= two_n {
+            return Err(malformed(format!(
+                "invalid Galois element {g} for 2N = {two_n}"
+            )));
+        }
+        if prev.is_some_and(|p| g <= p) {
+            return Err(malformed("Galois elements must be strictly ascending"));
+        }
+        prev = Some(g);
+        keys.insert(GaloisElement(g), decode_eval_key(cur, ctx)?);
+    }
+    Ok(keys)
+}
+
+// ---------------------------------------------------------------------
+// frame-level convenience
+// ---------------------------------------------------------------------
+
+macro_rules! frame_codec {
+    ($write:ident, $read:ident, $ty:ty, $kind:expr, $enc:ident, $dec:ident, $doc:expr) => {
+        #[doc = concat!("Serializes a ", $doc, " as a standalone frame.")]
+        pub fn $write(ctx: &CkksContext, value: &$ty) -> Vec<u8> {
+            let mut payload = Vec::new();
+            $enc(&mut payload, value);
+            write_frame($kind, param_fingerprint(ctx.params()), &payload)
+        }
+
+        #[doc = concat!("Reads a standalone ", $doc, " frame, verifying kind, ")]
+        #[doc = "fingerprint, checksum and payload invariants."]
+        pub fn $read(ctx: &CkksContext, bytes: &[u8]) -> ArkResult<$ty> {
+            let fp = param_fingerprint(ctx.params());
+            let (frame, _) = read_frame_expecting(bytes, $kind, fp)?;
+            let mut cur = Cursor::new(frame.payload);
+            let value = $dec(&mut cur, ctx)?;
+            cur.finish().map_err(ArkError::Wire)?;
+            Ok(value)
+        }
+    };
+}
+
+frame_codec!(
+    write_ciphertext,
+    read_ciphertext,
+    Ciphertext,
+    kind::CIPHERTEXT,
+    encode_ciphertext,
+    decode_ciphertext,
+    "ciphertext"
+);
+frame_codec!(
+    write_plaintext,
+    read_plaintext,
+    Plaintext,
+    kind::PLAINTEXT,
+    encode_plaintext,
+    decode_plaintext,
+    "plaintext"
+);
+frame_codec!(
+    write_public_key,
+    read_public_key,
+    PublicKey,
+    kind::PUBLIC_KEY,
+    encode_public_key,
+    decode_public_key,
+    "public key"
+);
+frame_codec!(
+    write_eval_key,
+    read_eval_key,
+    EvalKey,
+    kind::EVAL_KEY,
+    encode_eval_key,
+    decode_eval_key,
+    "evaluation key"
+);
+frame_codec!(
+    write_rotation_keys,
+    read_rotation_keys,
+    RotationKeys,
+    kind::ROTATION_KEYS,
+    encode_rotation_keys,
+    decode_rotation_keys,
+    "rotation key set"
+);
+
+/// Reads a ciphertext frame from the *front* of `bytes`, returning the
+/// ciphertext and the bytes consumed — the shape `ark-serve` uses to
+/// walk a payload of concatenated frames.
+pub fn read_ciphertext_prefix(ctx: &CkksContext, bytes: &[u8]) -> ArkResult<(Ciphertext, usize)> {
+    let fp = param_fingerprint(ctx.params());
+    let (frame, used) = read_frame_expecting(bytes, kind::CIPHERTEXT, fp)?;
+    let mut cur = Cursor::new(frame.payload);
+    let ct = decode_ciphertext(&mut cur, ctx)?;
+    cur.finish().map_err(ArkError::Wire)?;
+    Ok((ct, used))
+}
+
+/// Exact wire size of a ciphertext frame (header + payload + checksum).
+pub fn ciphertext_frame_len(ct: &Ciphertext) -> usize {
+    let payload = 4 + 8 + wire::poly_encoded_len(&ct.b) + wire::poly_encoded_len(&ct.a);
+    wire::HEADER_LEN + payload + wire::CHECKSUM_LEN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::max_error;
+    use ark_math::cfft::C64;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fingerprint_distinguishes_parameter_sets() {
+        let fps = [
+            CkksParams::tiny(),
+            CkksParams::small(),
+            CkksParams::boot_test(),
+            CkksParams::ark(),
+            CkksParams::lattigo(),
+            CkksParams::f1(),
+            CkksParams::hundred_x(),
+        ]
+        .map(|p| param_fingerprint(&p));
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "sets {i} and {j} collide");
+            }
+        }
+        // stable across calls and independent of the descriptive name
+        assert_eq!(
+            param_fingerprint(&CkksParams::tiny()),
+            param_fingerprint(&CkksParams {
+                name: "renamed",
+                ..CkksParams::tiny()
+            })
+        );
+    }
+
+    #[test]
+    fn ciphertext_survives_the_wire_and_still_decrypts() {
+        let ctx = CkksContext::new(CkksParams::tiny());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let sk = ctx.gen_secret_key(&mut rng);
+        let msg: Vec<C64> = (0..ctx.params().slots())
+            .map(|i| C64::new(0.1 * i as f64, -0.02 * i as f64))
+            .collect();
+        let pt = ctx.encode(&msg, 2, ctx.params().scale());
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let bytes = write_ciphertext(&ctx, &ct);
+        assert_eq!(bytes.len(), ciphertext_frame_len(&ct));
+        let back = read_ciphertext(&ctx, &bytes).unwrap();
+        assert_eq!(back, ct);
+        let out = ctx.decrypt_decode(&back, &sk);
+        assert!(max_error(&msg, &out) < 1e-5);
+    }
+
+    #[test]
+    fn cross_parameter_set_decode_rejected() {
+        let tiny = CkksContext::new(CkksParams::tiny());
+        let small = CkksContext::new(CkksParams::small());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let sk = tiny.gen_secret_key(&mut rng);
+        let pt = tiny.encode(&[C64::new(1.0, 0.0)], 1, tiny.params().scale());
+        let ct = tiny.encrypt(&pt, &sk, &mut rng);
+        let bytes = write_ciphertext(&tiny, &ct);
+        assert!(matches!(
+            read_ciphertext(&small, &bytes).unwrap_err(),
+            ArkError::Wire(WireError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn keys_roundtrip_and_still_work() {
+        let ctx = CkksContext::new(CkksParams::tiny());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let sk = ctx.gen_secret_key(&mut rng);
+        let pk = ctx.gen_public_key(&sk, &mut rng);
+        let evk = ctx.gen_mult_key(&sk, &mut rng);
+        let rot = ctx.gen_rotation_keys(&[1, -2], true, &sk, &mut rng);
+
+        let pk2 = read_public_key(&ctx, &write_public_key(&ctx, &pk)).unwrap();
+        let evk2 = read_eval_key(&ctx, &write_eval_key(&ctx, &evk)).unwrap();
+        let rot2 = read_rotation_keys(&ctx, &write_rotation_keys(&ctx, &rot)).unwrap();
+        assert_eq!(rot2.len(), rot.len());
+        assert_eq!(rot2.words(), rot.words());
+        assert_eq!(evk2.words(), evk.words());
+        assert_eq!(pk2.byte_len(), pk.byte_len());
+
+        // the round-tripped keys must be *functionally* intact:
+        // encrypt under pk2, square with evk2, rotate with rot2
+        let msg: Vec<C64> = (0..ctx.params().slots())
+            .map(|i| C64::new(0.2 + 0.01 * i as f64, 0.0))
+            .collect();
+        let pt = ctx.encode(&msg, 2, ctx.params().scale());
+        let ct = ctx.encrypt_public(&pt, &pk2, &mut rng);
+        let sq = ctx.rescale(&ctx.square(&ct, &evk2)).unwrap();
+        let rotated = ctx.rotate(&sq, 1, &rot2).unwrap();
+        let out = ctx.decrypt_decode(&rotated, &sk);
+        let want: Vec<C64> = (0..msg.len())
+            .map(|i| {
+                let z = msg[(i + 1) % msg.len()];
+                z * z
+            })
+            .collect();
+        assert!(max_error(&want, &out) < 1e-3);
+    }
+
+    #[test]
+    fn wrong_kind_rejected() {
+        let ctx = CkksContext::new(CkksParams::tiny());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let sk = ctx.gen_secret_key(&mut rng);
+        let pk = ctx.gen_public_key(&sk, &mut rng);
+        let bytes = write_public_key(&ctx, &pk);
+        assert!(matches!(
+            read_ciphertext(&ctx, &bytes).unwrap_err(),
+            ArkError::Wire(WireError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn coefficient_representation_ciphertext_rejected() {
+        // a structurally-valid frame whose polys are in coefficient
+        // representation must not decode: it would reach the
+        // evaluation-representation asserts inside the element-wise ops
+        let ctx = CkksContext::new(CkksParams::tiny());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let sk = ctx.gen_secret_key(&mut rng);
+        let pt = ctx.encode(&[C64::new(0.5, 0.0)], 2, ctx.params().scale());
+        let mut ct = ctx.encrypt(&pt, &sk, &mut rng);
+        ct.b.to_coeff(ctx.basis());
+        ct.a.to_coeff(ctx.basis());
+        let bytes = write_ciphertext(&ctx, &ct);
+        assert!(matches!(
+            read_ciphertext(&ctx, &bytes).unwrap_err(),
+            ArkError::Wire(WireError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_level_field_rejected() {
+        let ctx = CkksContext::new(CkksParams::tiny());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let sk = ctx.gen_secret_key(&mut rng);
+        let pt = ctx.encode(&[C64::new(0.5, 0.0)], 2, ctx.params().scale());
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        // re-frame with a level that disagrees with the limb set; the
+        // checksum is valid, so only semantic validation can catch it
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 3);
+        put_f64(&mut payload, ct.scale);
+        encode_poly(&mut payload, &ct.b);
+        encode_poly(&mut payload, &ct.a);
+        let framed = write_frame(kind::CIPHERTEXT, param_fingerprint(ctx.params()), &payload);
+        assert!(matches!(
+            read_ciphertext(&ctx, &framed).unwrap_err(),
+            ArkError::Wire(WireError::Malformed { .. })
+        ));
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests of the wire format: round-trips across parameter
+//! sets, plus negative tests against every corruption class an
+//! untrusted peer can produce — truncation, bad magic, wrong version,
+//! flipped checksum bytes, and cross-parameter-set decode.
+
+use ark_ckks::error::ArkError;
+use ark_ckks::params::{CkksContext, CkksParams};
+use ark_ckks::wire::{
+    param_fingerprint, read_ciphertext, read_plaintext, write_ciphertext, write_plaintext,
+};
+use ark_ckks::{Ciphertext, SecretKey};
+use ark_math::cfft::C64;
+use ark_math::wire::{WireError, HEADER_LEN, MAGIC, VERSION};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+struct Fixture {
+    ctx: CkksContext,
+    sk: SecretKey,
+}
+
+impl Fixture {
+    fn new(params: CkksParams) -> Self {
+        let ctx = CkksContext::new(params);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1001);
+        let sk = ctx.gen_secret_key(&mut rng);
+        Fixture { ctx, sk }
+    }
+}
+
+/// Two functional parameter sets with different degrees, chains and
+/// fingerprints.
+fn fixtures() -> &'static (Fixture, Fixture) {
+    static F: OnceLock<(Fixture, Fixture)> = OnceLock::new();
+    F.get_or_init(|| {
+        (
+            Fixture::new(CkksParams::tiny()),
+            Fixture::new(CkksParams::small()),
+        )
+    })
+}
+
+fn encrypt(f: &Fixture, msg: &[(f64, f64)], level: usize, seed: u64) -> Ciphertext {
+    let m: Vec<C64> = msg.iter().map(|&(re, im)| C64::new(re, im)).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let pt = f.ctx.encode(&m, level, f.ctx.params().scale());
+    f.ctx.encrypt(&pt, &f.sk, &mut rng)
+}
+
+fn msg_strategy(slots: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), slots)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    // Ciphertexts round-trip bit-exactly on both parameter sets, at
+    // every level the message strategy covers.
+    #[test]
+    fn ciphertext_roundtrips_on_both_parameter_sets(
+        m in msg_strategy(16),
+        level in 1usize..=3,
+        seed in 0u64..1000,
+    ) {
+        for f in [&fixtures().0, &fixtures().1] {
+            let ct = encrypt(f, &m, level, seed);
+            let bytes = write_ciphertext(&f.ctx, &ct);
+            let back = read_ciphertext(&f.ctx, &bytes).unwrap();
+            prop_assert_eq!(&back, &ct);
+            // and the round-tripped ciphertext decrypts to the same bits
+            let d1 = f.ctx.decrypt_decode(&ct, &f.sk);
+            let d2 = f.ctx.decrypt_decode(&back, &f.sk);
+            for (a, b) in d1.iter().zip(&d2) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    // Plaintexts round-trip bit-exactly too.
+    #[test]
+    fn plaintext_roundtrips(
+        m in msg_strategy(16),
+        level in 1usize..=3,
+    ) {
+        for f in [&fixtures().0, &fixtures().1] {
+            let mv: Vec<C64> = m.iter().map(|&(re, im)| C64::new(re, im)).collect();
+            let pt = f.ctx.encode(&mv, level, f.ctx.params().scale());
+            let back = read_plaintext(&f.ctx, &write_plaintext(&f.ctx, &pt)).unwrap();
+            prop_assert_eq!(back, pt);
+        }
+    }
+
+    // Any truncation of a valid frame yields `Truncated`, never a
+    // panic or a bogus ciphertext.
+    #[test]
+    fn every_truncation_is_typed(
+        m in msg_strategy(16),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let f = &fixtures().0;
+        let ct = encrypt(f, &m, 2, 7);
+        let bytes = write_ciphertext(&f.ctx, &ct);
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        let err = read_ciphertext(&f.ctx, &bytes[..cut]).unwrap_err();
+        prop_assert!(matches!(err, ArkError::Wire(WireError::Truncated { .. })),
+            "cut at {}: {:?}", cut, err);
+    }
+
+    // Flipping any single byte of a frame is detected: header fields
+    // fail their own checks, payload/checksum bytes fail the checksum.
+    #[test]
+    fn any_flipped_byte_is_rejected(
+        m in msg_strategy(16),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let f = &fixtures().0;
+        let ct = encrypt(f, &m, 2, 11);
+        let mut bytes = write_ciphertext(&f.ctx, &ct);
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        let err = read_ciphertext(&f.ctx, &bytes).unwrap_err();
+        prop_assert!(matches!(err, ArkError::Wire(_)), "flip at {}: {:?}", pos, err);
+    }
+
+    // A frame written under one parameter set never decodes under the
+    // other, in either direction.
+    #[test]
+    fn cross_parameter_set_decode_rejected(
+        m in msg_strategy(16),
+        direction in 0usize..2,
+    ) {
+        let (a, b) = fixtures();
+        let (src, dst) = if direction == 0 { (a, b) } else { (b, a) };
+        let ct = encrypt(src, &m, 1, 13);
+        let bytes = write_ciphertext(&src.ctx, &ct);
+        let err = read_ciphertext(&dst.ctx, &bytes).unwrap_err();
+        prop_assert!(matches!(
+            err,
+            ArkError::Wire(WireError::FingerprintMismatch { .. })
+        ));
+    }
+}
+
+#[test]
+fn bad_magic_and_wrong_version_are_distinct_errors() {
+    let f = &fixtures().0;
+    let ct = encrypt(f, &[(0.5, 0.0); 16], 2, 17);
+    let good = write_ciphertext(&f.ctx, &ct);
+
+    let mut bad_magic = good.clone();
+    bad_magic[..4].copy_from_slice(b"NOPE");
+    assert!(matches!(
+        read_ciphertext(&f.ctx, &bad_magic).unwrap_err(),
+        ArkError::Wire(WireError::BadMagic { found }) if &found == b"NOPE"
+    ));
+
+    let mut wrong_version = good.clone();
+    wrong_version[4..6].copy_from_slice(&(VERSION + 1).to_le_bytes());
+    assert!(matches!(
+        read_ciphertext(&f.ctx, &wrong_version).unwrap_err(),
+        ArkError::Wire(WireError::UnsupportedVersion { found, supported })
+            if found == VERSION + 1 && supported == VERSION
+    ));
+
+    // flipping exactly a trailing checksum byte must also fail
+    let mut bad_sum = good;
+    let last = bad_sum.len() - 1;
+    bad_sum[last] ^= 0x80;
+    assert!(matches!(
+        read_ciphertext(&f.ctx, &bad_sum).unwrap_err(),
+        ArkError::Wire(WireError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn frame_header_layout_is_pinned() {
+    // the layout constants are a cross-process contract — pin them so
+    // an accidental change fails loudly
+    assert_eq!(&MAGIC, b"ARKW");
+    assert_eq!(VERSION, 1);
+    assert_eq!(HEADER_LEN, 24);
+    let f = &fixtures().0;
+    let ct = encrypt(f, &[(0.1, 0.2); 16], 2, 19);
+    let bytes = write_ciphertext(&f.ctx, &ct);
+    assert_eq!(&bytes[..4], b"ARKW");
+    let fp = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    assert_eq!(fp, param_fingerprint(f.ctx.params()));
+}

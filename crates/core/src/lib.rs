@@ -28,6 +28,7 @@ pub mod f1;
 pub mod pf;
 pub mod power;
 pub mod sched;
+pub mod wire;
 
 pub use compile::{compile, CompileOptions};
 pub use config::{ArkConfig, DataDistribution};

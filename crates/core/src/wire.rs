@@ -1,0 +1,186 @@
+//! Wire codec for [`SimReport`]: simulation results as
+//! [`ark_math::wire`] frames, so `ark-serve` can run a client's program
+//! on the simulated backend and ship the cycle-level report back.
+//!
+//! The payload is flat:
+//!
+//! ```text
+//! u64 cycles | f64 seconds
+//! u16 busy_count | busy_count × (u8 resource tag | u64 busy cycles)
+//! u64 hbm_evk_words | u64 hbm_plaintext_words | u64 hbm_other_words
+//! u64 noc_words | u64 mod_mults
+//! ```
+//!
+//! Resource tags are a stable, append-only mapping (the in-memory enum
+//! order is *not* a wire contract); busy entries are sorted by tag so
+//! encoding is deterministic. A report frame carries the parameter-set
+//! fingerprint of the simulated session, and decoding checks it — a
+//! report is meaningless detached from the parameters it was costed
+//! under.
+
+use crate::pf::Resource;
+use crate::sched::SimReport;
+use ark_ckks::error::{ArkError, ArkResult};
+use ark_math::wire::{
+    kind, put_f64, put_u16, put_u64, read_frame_expecting, write_frame, Cursor, WireError,
+};
+use std::collections::HashMap;
+
+/// Stable wire tag of a resource. Append-only; never renumber.
+fn resource_tag(r: Resource) -> u8 {
+    match r {
+        Resource::Nttu => 0,
+        Resource::BconvU => 1,
+        Resource::AutoU => 2,
+        Resource::Madu => 3,
+        Resource::Hbm => 4,
+        Resource::Noc => 5,
+    }
+}
+
+fn resource_from_tag(tag: u8) -> Option<Resource> {
+    Some(match tag {
+        0 => Resource::Nttu,
+        1 => Resource::BconvU,
+        2 => Resource::AutoU,
+        3 => Resource::Madu,
+        4 => Resource::Hbm,
+        5 => Resource::Noc,
+        _ => return None,
+    })
+}
+
+/// Appends the report payload (see the module docs for the layout).
+pub fn encode_sim_report(out: &mut Vec<u8>, report: &SimReport) {
+    put_u64(out, report.cycles);
+    put_f64(out, report.seconds);
+    let mut busy: Vec<(u8, u64)> = report
+        .busy
+        .iter()
+        .map(|(&r, &c)| (resource_tag(r), c))
+        .collect();
+    busy.sort_unstable();
+    put_u16(out, busy.len() as u16);
+    for (tag, cycles) in busy {
+        out.push(tag);
+        put_u64(out, cycles);
+    }
+    put_u64(out, report.hbm_evk_words);
+    put_u64(out, report.hbm_plaintext_words);
+    put_u64(out, report.hbm_other_words);
+    put_u64(out, report.noc_words);
+    put_u64(out, report.mod_mults);
+}
+
+/// Decodes a report payload, rejecting unknown or duplicate resource
+/// tags and non-finite seconds.
+pub fn decode_sim_report(cur: &mut Cursor<'_>) -> ArkResult<SimReport> {
+    let malformed = |what: String| ArkError::Wire(WireError::Malformed { what });
+    let cycles = cur.u64()?;
+    let seconds = cur.f64()?;
+    if !seconds.is_finite() || seconds < 0.0 {
+        return Err(malformed(format!(
+            "seconds {seconds} is not finite-nonnegative"
+        )));
+    }
+    let count = cur.u16()? as usize;
+    let mut busy = HashMap::new();
+    for _ in 0..count {
+        let tag = cur.u8()?;
+        let resource = resource_from_tag(tag)
+            .ok_or_else(|| malformed(format!("unknown resource tag {tag}")))?;
+        let b = cur.u64()?;
+        if busy.insert(resource, b).is_some() {
+            return Err(malformed(format!("duplicate resource tag {tag}")));
+        }
+    }
+    Ok(SimReport {
+        cycles,
+        seconds,
+        busy,
+        hbm_evk_words: cur.u64()?,
+        hbm_plaintext_words: cur.u64()?,
+        hbm_other_words: cur.u64()?,
+        noc_words: cur.u64()?,
+        mod_mults: cur.u64()?,
+    })
+}
+
+/// Serializes a report as a standalone frame bound to the given
+/// parameter-set fingerprint.
+pub fn write_sim_report(report: &SimReport, fingerprint: u64) -> Vec<u8> {
+    let mut payload = Vec::new();
+    encode_sim_report(&mut payload, report);
+    write_frame(kind::SIM_REPORT, fingerprint, &payload)
+}
+
+/// Reads a standalone report frame, verifying kind, fingerprint,
+/// checksum and payload invariants.
+pub fn read_sim_report(bytes: &[u8], fingerprint: u64) -> ArkResult<SimReport> {
+    let (frame, _) = read_frame_expecting(bytes, kind::SIM_REPORT, fingerprint)?;
+    let mut cur = Cursor::new(frame.payload);
+    let report = decode_sim_report(&mut cur)?;
+    cur.finish().map_err(ArkError::Wire)?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimReport {
+        let mut busy = HashMap::new();
+        busy.insert(Resource::Nttu, 900);
+        busy.insert(Resource::Hbm, 1200);
+        busy.insert(Resource::Noc, 7);
+        SimReport {
+            cycles: 1234,
+            seconds: 1.25e-3,
+            busy,
+            hbm_evk_words: 10,
+            hbm_plaintext_words: 20,
+            hbm_other_words: 30,
+            noc_words: 40,
+            mod_mults: 50,
+        }
+    }
+
+    #[test]
+    fn report_roundtrips() {
+        let r = sample();
+        let bytes = write_sim_report(&r, 0xabc);
+        let back = read_sim_report(&bytes, 0xabc).unwrap();
+        assert_eq!(back.cycles, r.cycles);
+        assert_eq!(back.seconds, r.seconds);
+        assert_eq!(back.busy, r.busy);
+        assert_eq!(back.mod_mults, r.mod_mults);
+    }
+
+    #[test]
+    fn encoding_is_deterministic_despite_hashmap() {
+        let r = sample();
+        assert_eq!(write_sim_report(&r, 1), write_sim_report(&r, 1));
+    }
+
+    #[test]
+    fn fingerprint_binding_enforced() {
+        let bytes = write_sim_report(&sample(), 5);
+        assert!(matches!(
+            read_sim_report(&bytes, 6).unwrap_err(),
+            ArkError::Wire(WireError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_resource_tag_rejected() {
+        let mut payload = Vec::new();
+        encode_sim_report(&mut payload, &sample());
+        // the first tag byte sits after cycles, seconds and the count
+        payload[8 + 8 + 2] = 0xee;
+        let framed = write_frame(kind::SIM_REPORT, 0, &payload);
+        assert!(matches!(
+            read_sim_report(&framed, 0).unwrap_err(),
+            ArkError::Wire(WireError::Malformed { .. })
+        ));
+    }
+}

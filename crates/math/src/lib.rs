@@ -45,6 +45,7 @@ pub mod ntt4step;
 pub mod par;
 pub mod poly;
 pub mod primes;
+pub mod wire;
 
 pub use modulus::Modulus;
 pub use par::ThreadPool;

@@ -1,0 +1,671 @@
+//! The `ark-wire` binary format: versioned, self-describing frames for
+//! everything that crosses a process boundary.
+//!
+//! A deployment of the paper's system ships ciphertexts, plaintexts and
+//! evaluation keys between clients and an accelerator-backed server —
+//! the very bytes whose movement dominates ARK's cost model. This
+//! module defines the byte-level container those objects travel in and
+//! the codec for the one type this crate owns, [`RnsPoly`]. Higher
+//! layers (`ark-ckks`, `ark-core`, `ark-serve`) stack their own
+//! payloads inside the same frame.
+//!
+//! # Frame layout (all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"ARKW"
+//!      4     2  format version (currently 1)
+//!      6     2  kind tag (what the payload encodes; see `kind`)
+//!      8     8  parameter-set fingerprint (0 if not parameter-bound)
+//!     16     8  payload length `len` in bytes
+//!     24   len  payload
+//! 24+len     8  FNV-1a 64 checksum over bytes [0, 24+len)
+//! ```
+//!
+//! # Versioning rules
+//!
+//! The version covers the *frame container and every payload codec*: any
+//! incompatible payload change bumps it, and readers reject frames whose
+//! version differs from [`VERSION`] with
+//! [`WireError::UnsupportedVersion`] — there is no silent best-effort
+//! parse. The kind tag namespace is append-only; tags are never reused.
+//!
+//! # Safety on untrusted bytes
+//!
+//! Every `read_*` path is total: truncation, corruption and
+//! out-of-range values surface as typed [`WireError`]s, never panics or
+//! unbounded allocations (reads are bounds-checked against the actual
+//! buffer before any vector is reserved).
+
+use crate::poly::{Representation, RnsBasis, RnsPoly};
+
+/// The four magic bytes opening every frame.
+pub const MAGIC: [u8; 4] = *b"ARKW";
+
+/// Current (and only) wire-format version.
+pub const VERSION: u16 = 1;
+
+/// Fixed bytes before the payload: magic + version + kind + fingerprint
+/// + payload length.
+pub const HEADER_LEN: usize = 4 + 2 + 2 + 8 + 8;
+
+/// Trailing checksum bytes.
+pub const CHECKSUM_LEN: usize = 8;
+
+/// Well-known kind tags. The namespace is append-only and shared by all
+/// layers: `ark-math` owns 1, `ark-ckks` 2–6, `ark-core` 7, and the
+/// `ark-serve` protocol 0x10–0x1F.
+pub mod kind {
+    /// A bare [`super::RnsPoly`](crate::poly::RnsPoly).
+    pub const RNS_POLY: u16 = 1;
+    /// An `ark-ckks` plaintext.
+    pub const PLAINTEXT: u16 = 2;
+    /// An `ark-ckks` ciphertext.
+    pub const CIPHERTEXT: u16 = 3;
+    /// An `ark-ckks` public key.
+    pub const PUBLIC_KEY: u16 = 4;
+    /// An `ark-ckks` evaluation (relinearization/Galois) key.
+    pub const EVAL_KEY: u16 = 5;
+    /// An `ark-ckks` rotation-key set.
+    pub const ROTATION_KEYS: u16 = 6;
+    /// An `ark-core` simulation report.
+    pub const SIM_REPORT: u16 = 7;
+}
+
+/// Typed failure of a wire read. Wrapped as `ArkError::Wire` by the
+/// scheme layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The buffer ends before the structure it claims to hold.
+    Truncated {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The frame does not open with [`MAGIC`].
+    BadMagic {
+        /// The four bytes found instead.
+        found: [u8; 4],
+    },
+    /// The frame was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version in the frame header.
+        found: u16,
+        /// Version this reader implements.
+        supported: u16,
+    },
+    /// The frame holds a different kind of payload than requested.
+    WrongKind {
+        /// Kind tag the caller expected.
+        expected: u16,
+        /// Kind tag in the header.
+        found: u16,
+    },
+    /// The checksum does not match the frame content (corruption).
+    ChecksumMismatch {
+        /// Checksum recomputed over the received bytes.
+        computed: u64,
+        /// Checksum stored in the frame.
+        stored: u64,
+    },
+    /// The frame was produced under a different parameter set.
+    FingerprintMismatch {
+        /// Fingerprint of the decoder's parameter set.
+        expected: u64,
+        /// Fingerprint in the frame header.
+        found: u64,
+    },
+    /// The payload is structurally invalid (bad enum tag, out-of-range
+    /// residue, inconsistent shape, …).
+    Malformed {
+        /// Human-readable description of the violation.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { needed, available } => {
+                write!(f, "truncated frame: needed {needed} bytes, had {available}")
+            }
+            WireError::BadMagic { found } => {
+                write!(f, "bad magic {found:02x?} (expected {MAGIC:02x?})")
+            }
+            WireError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported wire version {found} (reader speaks {supported})"
+                )
+            }
+            WireError::WrongKind { expected, found } => {
+                write!(f, "wrong frame kind {found} (expected {expected})")
+            }
+            WireError::ChecksumMismatch { computed, stored } => {
+                write!(
+                    f,
+                    "checksum mismatch: computed {computed:#018x}, frame stores {stored:#018x}"
+                )
+            }
+            WireError::FingerprintMismatch { expected, found } => {
+                write!(
+                    f,
+                    "parameter fingerprint mismatch: decoder has {expected:#018x}, \
+                     frame was produced under {found:#018x}"
+                )
+            }
+            WireError::Malformed { what } => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Result alias for wire reads.
+pub type WireResult<T> = Result<T, WireError>;
+
+// ---------------------------------------------------------------------
+// checksum
+// ---------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over `bytes` — fast, dependency-free corruption detection
+/// (not a MAC; authenticity is out of scope for the wire layer).
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// little-endian write helpers
+// ---------------------------------------------------------------------
+
+/// Appends a `u16` little-endian.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32` little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `i64` little-endian.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern, little-endian.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+// ---------------------------------------------------------------------
+// bounds-checked reader
+// ---------------------------------------------------------------------
+
+/// A bounds-checked cursor over a payload: every read either yields a
+/// value or a typed [`WireError::Truncated`].
+#[derive(Debug, Clone, Copy)]
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> WireResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> WireResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> WireResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> WireResult<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads an IEEE-754 `f64`.
+    pub fn f64(&mut self) -> WireResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Asserts the payload was fully consumed (trailing garbage is a
+    /// framing bug, not padding).
+    pub fn finish(&self) -> WireResult<()> {
+        if self.remaining() != 0 {
+            return Err(WireError::Malformed {
+                what: format!("{} unconsumed payload bytes", self.remaining()),
+            });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// frames
+// ---------------------------------------------------------------------
+
+/// A decoded frame header plus a borrowed view of its payload.
+#[derive(Debug, Clone, Copy)]
+pub struct Frame<'a> {
+    /// Kind tag of the payload.
+    pub kind: u16,
+    /// Parameter-set fingerprint the frame was produced under.
+    pub fingerprint: u64,
+    /// The payload bytes (checksum already verified).
+    pub payload: &'a [u8],
+}
+
+/// Wraps a payload in a full frame: header, payload, checksum.
+pub fn write_frame(kind: u16, fingerprint: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    out.extend_from_slice(&MAGIC);
+    put_u16(&mut out, VERSION);
+    put_u16(&mut out, kind);
+    put_u64(&mut out, fingerprint);
+    put_u64(&mut out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    let sum = checksum(&out);
+    put_u64(&mut out, sum);
+    out
+}
+
+/// Parses one frame from the front of `bytes`, verifying magic, version
+/// and checksum. Returns the frame and the total bytes it consumed (so
+/// frames can be concatenated).
+pub fn read_frame(bytes: &[u8]) -> WireResult<(Frame<'_>, usize)> {
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN,
+            available: bytes.len(),
+        });
+    }
+    let magic: [u8; 4] = bytes[0..4].try_into().expect("len 4");
+    if magic != MAGIC {
+        return Err(WireError::BadMagic { found: magic });
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("len 2"));
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    let kind = u16::from_le_bytes(bytes[6..8].try_into().expect("len 2"));
+    let fingerprint = u64::from_le_bytes(bytes[8..16].try_into().expect("len 8"));
+    let payload_len = u64::from_le_bytes(bytes[16..24].try_into().expect("len 8"));
+    // bound the length against the buffer *before* any arithmetic that
+    // could overflow or any allocation an attacker could inflate
+    let body = bytes.len().saturating_sub(HEADER_LEN + CHECKSUM_LEN);
+    if payload_len > body as u64 {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN + CHECKSUM_LEN + payload_len.min(u64::MAX - 1024) as usize,
+            available: bytes.len(),
+        });
+    }
+    let payload_len = payload_len as usize;
+    let total = HEADER_LEN + payload_len + CHECKSUM_LEN;
+    let stored = u64::from_le_bytes(
+        bytes[total - CHECKSUM_LEN..total]
+            .try_into()
+            .expect("len 8"),
+    );
+    let computed = checksum(&bytes[..total - CHECKSUM_LEN]);
+    if computed != stored {
+        return Err(WireError::ChecksumMismatch { computed, stored });
+    }
+    Ok((
+        Frame {
+            kind,
+            fingerprint,
+            payload: &bytes[HEADER_LEN..HEADER_LEN + payload_len],
+        },
+        total,
+    ))
+}
+
+/// Like [`read_frame`], but additionally checks the kind tag and the
+/// parameter fingerprint — the common shape of every typed decoder.
+pub fn read_frame_expecting(
+    bytes: &[u8],
+    kind: u16,
+    fingerprint: u64,
+) -> WireResult<(Frame<'_>, usize)> {
+    let (frame, used) = read_frame(bytes)?;
+    if frame.kind != kind {
+        return Err(WireError::WrongKind {
+            expected: kind,
+            found: frame.kind,
+        });
+    }
+    if frame.fingerprint != fingerprint {
+        return Err(WireError::FingerprintMismatch {
+            expected: fingerprint,
+            found: frame.fingerprint,
+        });
+    }
+    Ok((frame, used))
+}
+
+// ---------------------------------------------------------------------
+// RnsPoly codec
+// ---------------------------------------------------------------------
+
+/// Payload bytes [`encode_poly`] will emit for `poly`.
+pub fn poly_encoded_len(poly: &RnsPoly) -> usize {
+    // n, rep, limb count, per-limb basis index, then the limb rows
+    4 + 1 + 2 + poly.level_count() * 4 + poly.words() * 8
+}
+
+/// Appends the payload encoding of `poly`:
+///
+/// ```text
+/// u32 n | u8 representation | u16 limb_count
+/// limb_count × u32 basis index
+/// limb_count × n × u64 residue words
+/// ```
+pub fn encode_poly(out: &mut Vec<u8>, poly: &RnsPoly) {
+    put_u32(out, poly.n() as u32);
+    out.push(match poly.representation() {
+        Representation::Coefficient => 0,
+        Representation::Evaluation => 1,
+    });
+    put_u16(out, poly.level_count() as u16);
+    for &idx in poly.limb_indices() {
+        put_u32(out, idx as u32);
+    }
+    for pos in 0..poly.level_count() {
+        for &w in poly.limb(pos) {
+            put_u64(out, w);
+        }
+    }
+}
+
+/// Decodes a polynomial, validating every field against `basis`: the
+/// degree must match, each limb index must name a basis prime (no
+/// duplicates), and every residue must be reduced modulo its prime.
+/// Attacker-controlled bytes can therefore never materialize a poly
+/// that violates the invariants the panic-checking ops rely on.
+pub fn decode_poly(cur: &mut Cursor<'_>, basis: &RnsBasis) -> WireResult<RnsPoly> {
+    let n = cur.u32()? as usize;
+    if n != basis.n() {
+        return Err(WireError::Malformed {
+            what: format!("poly degree {n} does not match basis degree {}", basis.n()),
+        });
+    }
+    let rep = match cur.u8()? {
+        0 => Representation::Coefficient,
+        1 => Representation::Evaluation,
+        t => {
+            return Err(WireError::Malformed {
+                what: format!("unknown representation tag {t}"),
+            })
+        }
+    };
+    let limb_count = cur.u16()? as usize;
+    if limb_count == 0 || limb_count > basis.len() {
+        return Err(WireError::Malformed {
+            what: format!(
+                "limb count {limb_count} outside 1..={} for this basis",
+                basis.len()
+            ),
+        });
+    }
+    let mut indices = Vec::with_capacity(limb_count);
+    for _ in 0..limb_count {
+        let idx = cur.u32()? as usize;
+        if idx >= basis.len() {
+            return Err(WireError::Malformed {
+                what: format!("limb index {idx} outside basis of {} primes", basis.len()),
+            });
+        }
+        if indices.contains(&idx) {
+            return Err(WireError::Malformed {
+                what: format!("duplicate limb index {idx}"),
+            });
+        }
+        indices.push(idx);
+    }
+    // remaining payload must cover the rows before any allocation
+    let words_needed = limb_count * n * 8;
+    if cur.remaining() < words_needed {
+        return Err(WireError::Truncated {
+            needed: words_needed,
+            available: cur.remaining(),
+        });
+    }
+    let mut limbs = Vec::with_capacity(limb_count);
+    for &idx in &indices {
+        let q = basis.modulus(idx).value();
+        let mut row = Vec::with_capacity(n);
+        for _ in 0..n {
+            let w = cur.u64()?;
+            if w >= q {
+                return Err(WireError::Malformed {
+                    what: format!("residue {w} not reduced modulo q_{idx} = {q}"),
+                });
+            }
+            row.push(w);
+        }
+        limbs.push(row);
+    }
+    Ok(RnsPoly::from_limbs(basis, &indices, rep, limbs))
+}
+
+/// Convenience: a standalone single-poly frame.
+pub fn poly_to_frame(poly: &RnsPoly, fingerprint: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(poly_encoded_len(poly));
+    encode_poly(&mut payload, poly);
+    write_frame(kind::RNS_POLY, fingerprint, &payload)
+}
+
+/// Convenience: parses a standalone single-poly frame produced by
+/// [`poly_to_frame`] under the same basis and fingerprint.
+pub fn poly_from_frame(bytes: &[u8], basis: &RnsBasis, fingerprint: u64) -> WireResult<RnsPoly> {
+    let (frame, _) = read_frame_expecting(bytes, kind::RNS_POLY, fingerprint)?;
+    let mut cur = Cursor::new(frame.payload);
+    let poly = decode_poly(&mut cur, basis)?;
+    cur.finish()?;
+    Ok(poly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes::generate_ntt_primes;
+    use rand::SeedableRng;
+
+    fn basis() -> RnsBasis {
+        RnsBasis::new(32, &generate_ntt_primes(32, 40, 3))
+    }
+
+    fn sample_poly(b: &RnsBasis, seed: u64) -> RnsPoly {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        RnsPoly::random_uniform(b, &[0, 1, 2], Representation::Evaluation, &mut rng)
+    }
+
+    #[test]
+    fn poly_roundtrips() {
+        let b = basis();
+        let p = sample_poly(&b, 1);
+        let bytes = poly_to_frame(&p, 0xfeed);
+        let q = poly_from_frame(&bytes, &b, 0xfeed).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn frames_concatenate() {
+        let b = basis();
+        let p = sample_poly(&b, 2);
+        let mut bytes = poly_to_frame(&p, 7);
+        let first_len = bytes.len();
+        bytes.extend_from_slice(&poly_to_frame(&p, 7));
+        let (f1, used) = read_frame(&bytes).unwrap();
+        assert_eq!(used, first_len);
+        assert_eq!(f1.kind, kind::RNS_POLY);
+        let (f2, _) = read_frame(&bytes[used..]).unwrap();
+        assert_eq!(f1.payload, f2.payload);
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let b = basis();
+        let bytes = poly_to_frame(&sample_poly(&b, 3), 0);
+        for cut in [0, 3, HEADER_LEN - 1, HEADER_LEN + 5, bytes.len() - 1] {
+            let err = poly_from_frame(&bytes[..cut], &b, 0).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated { .. }),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let b = basis();
+        let mut bytes = poly_to_frame(&sample_poly(&b, 4), 0);
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            poly_from_frame(&bytes, &b, 0).unwrap_err(),
+            WireError::BadMagic { .. }
+        ));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let b = basis();
+        let mut bytes = poly_to_frame(&sample_poly(&b, 5), 0);
+        bytes[4] = 0x7f; // version low byte
+        assert!(matches!(
+            poly_from_frame(&bytes, &b, 0).unwrap_err(),
+            WireError::UnsupportedVersion { found: 0x7f, .. }
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_checksum() {
+        let b = basis();
+        let mut bytes = poly_to_frame(&sample_poly(&b, 6), 0);
+        let mid = HEADER_LEN + 10;
+        bytes[mid] ^= 0x01;
+        assert!(matches!(
+            poly_from_frame(&bytes, &b, 0).unwrap_err(),
+            WireError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn fingerprint_mismatch_rejected() {
+        let b = basis();
+        let bytes = poly_to_frame(&sample_poly(&b, 7), 1);
+        assert!(matches!(
+            poly_from_frame(&bytes, &b, 2).unwrap_err(),
+            WireError::FingerprintMismatch {
+                expected: 2,
+                found: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn oversized_length_field_cannot_inflate_allocation() {
+        let b = basis();
+        let mut bytes = poly_to_frame(&sample_poly(&b, 8), 0);
+        // claim a payload of 2^60 bytes; the reader must reject against
+        // the actual buffer size, not trust the field
+        bytes[16..24].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        assert!(matches!(
+            read_frame(&bytes).unwrap_err(),
+            WireError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn unreduced_residue_rejected() {
+        let b = basis();
+        let p = sample_poly(&b, 9);
+        let mut payload = Vec::new();
+        encode_poly(&mut payload, &p);
+        // first residue word sits after n/rep/count and 3 limb indices
+        let off = 4 + 1 + 2 + 3 * 4;
+        payload[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let framed = write_frame(kind::RNS_POLY, 0, &payload);
+        assert!(matches!(
+            poly_from_frame(&framed, &b, 0).unwrap_err(),
+            WireError::Malformed { .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let b = basis();
+        let p = sample_poly(&b, 10);
+        let mut payload = Vec::new();
+        encode_poly(&mut payload, &p);
+        payload.push(0);
+        let framed = write_frame(kind::RNS_POLY, 0, &payload);
+        assert!(matches!(
+            poly_from_frame(&framed, &b, 0).unwrap_err(),
+            WireError::Malformed { .. }
+        ));
+    }
+
+    #[test]
+    fn checksum_is_stable() {
+        // pin the FNV-1a constants: a silent change would break every
+        // frame ever written
+        assert_eq!(checksum(b""), 0xcbf29ce484222325);
+        assert_eq!(checksum(b"ark"), checksum(b"ark"));
+        assert_ne!(checksum(b"ark"), checksum(b"ark\0"));
+    }
+}

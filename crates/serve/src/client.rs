@@ -1,0 +1,184 @@
+//! The blocking client: connect, pick an engine by fingerprint, ship
+//! ciphertexts, get results.
+//!
+//! The client is deliberately thin — it owns a [`TcpStream`] and the
+//! protocol state machine, nothing cryptographic. Encryption and
+//! decryption stay with the caller's own [`Engine`](ark_fhe::Engine):
+//! encrypt locally, [`Client::evaluate`] remotely, decrypt locally.
+//! Decoding server responses requires the caller's [`CkksContext`] so
+//! every received ciphertext is validated against the local parameter
+//! set (a response produced under different parameters is rejected by
+//! fingerprint before any payload byte is interpreted).
+
+use crate::program::Program;
+use crate::protocol::{
+    self, code, msg, EngineInfo, Recv, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+use ark_ckks::error::{ArkError, ArkResult};
+use ark_ckks::params::CkksContext;
+use ark_ckks::wire as ckks_wire;
+use ark_ckks::{Ciphertext, PublicKey};
+use ark_core::sched::SimReport;
+use ark_core::wire as core_wire;
+use ark_math::wire::{put_u16, put_u32, read_frame, write_frame, Cursor, Frame};
+use std::net::{TcpStream, ToSocketAddrs};
+
+fn io_err(context: &str, e: impl std::fmt::Display) -> ArkError {
+    ArkError::Serve {
+        reason: format!("{context}: {e}"),
+    }
+}
+
+/// The wire counts inputs with a `u16`; reject rather than silently
+/// truncate an oversized request.
+fn count_u16(n: usize) -> ArkResult<u16> {
+    u16::try_from(n).map_err(|_| ArkError::Serve {
+        reason: format!("{n} inputs exceed the wire's u16 count"),
+    })
+}
+
+/// A blocking `ark-serve` client session over one TCP connection.
+pub struct Client {
+    stream: TcpStream,
+    engines: Vec<EngineInfo>,
+    max_frame_bytes: usize,
+}
+
+impl Client {
+    /// Connects and performs the `HELLO` handshake, learning the hosted
+    /// engine inventory.
+    pub fn connect(addr: impl ToSocketAddrs) -> ArkResult<Self> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Self {
+            stream,
+            engines: Vec::new(),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        };
+        let mut hello = Vec::new();
+        put_u16(&mut hello, PROTOCOL_VERSION);
+        let frame = client.request(write_frame(msg::HELLO, 0, &hello))?;
+        let info = client.expect_kind(&frame, msg::SERVER_INFO)?;
+        client.engines = protocol::decode_server_info(&mut Cursor::new(info.payload))?;
+        Ok(client)
+    }
+
+    /// The engines the server advertises.
+    pub fn engines(&self) -> &[EngineInfo] {
+        &self.engines
+    }
+
+    /// The advertised engine with the given fingerprint, if any.
+    pub fn engine(&self, fingerprint: u64) -> Option<&EngineInfo> {
+        self.engines.iter().find(|e| e.fingerprint == fingerprint)
+    }
+
+    /// Fetches the server's public key for a hosted software engine so
+    /// the session can encrypt inputs under the server's key chain.
+    pub fn public_key(&mut self, fingerprint: u64, ctx: &CkksContext) -> ArkResult<PublicKey> {
+        let frame = self.request(write_frame(msg::GET_PUBLIC_KEY, fingerprint, &[]))?;
+        let outer = self.expect_kind(&frame, msg::PUBLIC_KEY)?;
+        ckks_wire::read_public_key(ctx, outer.payload)
+    }
+
+    /// Evaluates `program` remotely over locally-encrypted inputs on
+    /// the software engine `fingerprint`, returning the still-encrypted
+    /// outputs (decrypt with the local session key).
+    pub fn evaluate(
+        &mut self,
+        fingerprint: u64,
+        program: &Program,
+        inputs: &[Ciphertext],
+        ctx: &CkksContext,
+    ) -> ArkResult<Vec<Ciphertext>> {
+        let mut payload = Vec::new();
+        program.encode(&mut payload);
+        put_u16(&mut payload, count_u16(inputs.len())?);
+        for ct in inputs {
+            payload.extend_from_slice(&ckks_wire::write_ciphertext(ctx, ct));
+        }
+        let frame = self.request(write_frame(msg::EVALUATE, fingerprint, &payload))?;
+        let outer = self.expect_kind(&frame, msg::RESULT_CTS)?;
+        let mut cur = Cursor::new(outer.payload);
+        let count = cur.u16()? as usize;
+        let rest = cur.take(cur.remaining())?;
+        let mut outputs = Vec::with_capacity(count.min(256));
+        let mut off = 0;
+        for _ in 0..count {
+            let (ct, used) = ckks_wire::read_ciphertext_prefix(ctx, &rest[off..])?;
+            off += used;
+            outputs.push(ct);
+        }
+        Ok(outputs)
+    }
+
+    /// Costs `program` on the simulated engine `fingerprint` with
+    /// symbolic inputs at the given levels, returning the cycle-level
+    /// report.
+    pub fn simulate(
+        &mut self,
+        fingerprint: u64,
+        program: &Program,
+        levels: &[usize],
+    ) -> ArkResult<SimReport> {
+        let mut payload = Vec::new();
+        program.encode(&mut payload);
+        put_u16(&mut payload, count_u16(levels.len())?);
+        for &l in levels {
+            put_u32(&mut payload, l as u32);
+        }
+        let frame = self.request(write_frame(msg::SIMULATE, fingerprint, &payload))?;
+        let outer = self.expect_kind(&frame, msg::RESULT_REPORT)?;
+        core_wire::read_sim_report(outer.payload, fingerprint)
+    }
+
+    /// Asks the server to shut down gracefully, consuming the client.
+    pub fn shutdown_server(mut self) -> ArkResult<()> {
+        let frame = self.request(write_frame(msg::SHUTDOWN, 0, &[]))?;
+        self.expect_kind(&frame, msg::BYE).map(|_| ())
+    }
+
+    /// One synchronous request/response exchange.
+    fn request(&mut self, frame: Vec<u8>) -> ArkResult<Vec<u8>> {
+        protocol::send_message(&mut self.stream, &frame).map_err(|e| io_err("send", e))?;
+        match protocol::recv_message(&mut self.stream, self.max_frame_bytes, &|| false)
+            .map_err(|e| io_err("recv", e))?
+        {
+            Recv::Frame(f) => Ok(f),
+            Recv::Closed => Err(ArkError::Serve {
+                reason: "server closed the connection mid-request".into(),
+            }),
+            Recv::Idle => unreachable!("no read timeout is configured on the client stream"),
+        }
+    }
+
+    /// Parses a response frame, mapping `ERROR` frames to
+    /// [`ArkError::Serve`] and anything unexpected to a protocol error.
+    fn expect_kind<'f>(&self, frame_bytes: &'f [u8], kind: u16) -> ArkResult<Frame<'f>> {
+        let (frame, _) = read_frame(frame_bytes)?;
+        if frame.kind == msg::ERROR {
+            let (c, m) = protocol::decode_error(&mut Cursor::new(frame.payload))?;
+            let label = match c {
+                code::PROTOCOL => "protocol",
+                code::UNKNOWN_ENGINE => "unknown-engine",
+                code::EVALUATION => "evaluation",
+                code::SESSION_LIMIT => "session-limit",
+                code::UNSUPPORTED => "unsupported",
+                code::WIRE => "wire",
+                _ => "unknown",
+            };
+            return Err(ArkError::Serve {
+                reason: format!("server rejected the request ({label}): {m}"),
+            });
+        }
+        if frame.kind != kind {
+            return Err(ArkError::Serve {
+                reason: format!(
+                    "protocol violation: expected frame kind {kind:#x}, got {:#x}",
+                    frame.kind
+                ),
+            });
+        }
+        Ok(frame)
+    }
+}

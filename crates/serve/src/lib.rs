@@ -1,0 +1,30 @@
+//! # ark-serve — a batched multi-session FHE serving runtime
+//!
+//! The missing deployment layer over [`ark_fhe`]: ciphertexts and keys
+//! leave the process through the [`ark_math::wire`] format, sessions
+//! multiplex onto one server process, and evaluation rides the
+//! engine's limb-parallel thread pool.
+//!
+//! - [`program::Program`] — a wire-serializable register-based HE
+//!   program (the transportable counterpart of
+//!   [`ark_fhe::engine::HeProgram`]);
+//! - [`protocol`] — the length-prefixed request/response protocol over
+//!   TCP (`std::net` only, like everything in this workspace);
+//! - [`server::Server`] — hosts one [`Engine`](ark_fhe::Engine) (and
+//!   one shared key chain) per parameter set, batches same-engine
+//!   requests, accounts per-session memory, shuts down gracefully;
+//! - [`client::Client`] — a blocking client: encrypt locally, evaluate
+//!   remotely, decrypt locally.
+//!
+//! See `examples/serve_roundtrip.rs` for the loopback end-to-end flow
+//! on both the software and the simulated backend.
+
+pub mod client;
+pub mod program;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use program::{Program, Reg};
+pub use protocol::EngineInfo;
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,325 @@
+//! The `ark-serve` request/response protocol: length-prefixed
+//! [`ark_math::wire`] frames over a byte stream.
+//!
+//! # Transport
+//!
+//! Each message is a `u32` little-endian byte count followed by exactly
+//! one wire frame. The prefix lets a receiver take the whole message
+//! off the stream before parsing (and bound it against
+//! `max_frame_bytes` *before* allocating); the frame's own checksum
+//! then covers content integrity. Requests and responses alternate
+//! strictly on one connection — the protocol is synchronous per
+//! session, and concurrency comes from many sessions.
+//!
+//! # Message kinds (`0x10..=0x1F`, the serve namespace of the shared
+//! kind-tag space)
+//!
+//! | kind | dir | payload |
+//! |------|-----|---------|
+//! | `HELLO` | c→s | `u16` protocol version |
+//! | `SERVER_INFO` | s→c | `u16 n` × engine descriptor |
+//! | `GET_PUBLIC_KEY` | c→s | empty (frame fingerprint picks the engine) |
+//! | `PUBLIC_KEY` | s→c | nested public-key frame |
+//! | `EVALUATE` | c→s | program ‖ `u16 n` × nested ciphertext frame |
+//! | `RESULT_CTS` | s→c | `u16 n` × nested ciphertext frame |
+//! | `SIMULATE` | c→s | program ‖ `u16 n` × `u32` input level |
+//! | `RESULT_REPORT` | s→c | nested sim-report frame |
+//! | `ERROR` | s→c | `u16` code ‖ `u32 len` ‖ UTF-8 message |
+//! | `SHUTDOWN` | c→s | empty — acked with `BYE` and honored only when `ServerConfig::allow_remote_shutdown` is set (refused with `ERROR` otherwise) |
+//! | `BYE` | s→c | empty |
+//!
+//! Engine descriptor: `u64` fingerprint ‖ `u8` backend (0 = software,
+//! 1 = simulated) ‖ `u8 log N` ‖ `u32 L` ‖ `u64` resident key bytes.
+
+use ark_ckks::error::{ArkError, ArkResult};
+use ark_math::wire::{put_u16, put_u32, put_u64, write_frame, Cursor, WireError};
+use std::io::{self, Read, Write};
+
+/// Protocol version spoken by this build (checked in `HELLO`).
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Serve-namespace frame kinds.
+pub mod msg {
+    /// Session open (client → server).
+    pub const HELLO: u16 = 0x10;
+    /// Hosted-engine inventory (server → client).
+    pub const SERVER_INFO: u16 = 0x11;
+    /// Public-key fetch (client → server).
+    pub const GET_PUBLIC_KEY: u16 = 0x12;
+    /// Public-key response (server → client).
+    pub const PUBLIC_KEY: u16 = 0x13;
+    /// Software evaluation request (client → server).
+    pub const EVALUATE: u16 = 0x14;
+    /// Ciphertext results (server → client).
+    pub const RESULT_CTS: u16 = 0x15;
+    /// Simulated-costing request (client → server).
+    pub const SIMULATE: u16 = 0x16;
+    /// Simulation-report result (server → client).
+    pub const RESULT_REPORT: u16 = 0x17;
+    /// Typed failure (server → client).
+    pub const ERROR: u16 = 0x18;
+    /// Graceful-shutdown request (client → server).
+    pub const SHUTDOWN: u16 = 0x19;
+    /// Shutdown acknowledgement (server → client).
+    pub const BYE: u16 = 0x1A;
+}
+
+/// Error codes carried by `ERROR` messages.
+pub mod code {
+    /// The request violated the protocol (bad kind, bad shape).
+    pub const PROTOCOL: u16 = 1;
+    /// No hosted engine matches the request's fingerprint.
+    pub const UNKNOWN_ENGINE: u16 = 2;
+    /// The evaluation itself failed (level/scale/key errors).
+    pub const EVALUATION: u16 = 3;
+    /// The request exceeds the per-session memory budget.
+    pub const SESSION_LIMIT: u16 = 4;
+    /// The operation is not available on the engine's backend.
+    pub const UNSUPPORTED: u16 = 5;
+    /// The frame could not be decoded (wire-format failure).
+    pub const WIRE: u16 = 6;
+}
+
+/// Default cap on one message's frame bytes (64 MiB — a full-chain
+/// `small`-params rotation-key set fits with room to spare).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// What [`recv_message`] produced.
+#[derive(Debug)]
+pub enum Recv {
+    /// One complete frame.
+    Frame(Vec<u8>),
+    /// The read timed out before any byte of a new message arrived
+    /// (idle poll tick; only with a read timeout configured).
+    Idle,
+    /// The peer closed the stream at a message boundary.
+    Closed,
+}
+
+/// Writes one length-prefixed message.
+pub fn send_message(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(frame.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds u32 length"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(frame)?;
+    w.flush()
+}
+
+/// Reads exactly `buf.len()` bytes, looping over short reads and
+/// timeouts. Returns `Ok(false)` if a timeout fired before the *first*
+/// byte (`allow_idle`), `Ok(true)` on completion. A timeout mid-buffer
+/// keeps waiting — message boundaries must never be torn — unless
+/// `abort()` turns true, which surfaces as `ConnectionAborted`.
+fn read_full(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    allow_idle: bool,
+    abort: &dyn Fn() -> bool,
+) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed mid-message",
+                ))
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if filled == 0 && allow_idle {
+                    return Ok(false);
+                }
+                if abort() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "shutdown while a message was in flight",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one length-prefixed message. `max_frame_bytes` bounds the
+/// allocation *before* it happens; `abort` is polled on timeouts so a
+/// shutting-down server can abandon a half-dead connection.
+pub fn recv_message(
+    r: &mut impl Read,
+    max_frame_bytes: usize,
+    abort: &dyn Fn() -> bool,
+) -> io::Result<Recv> {
+    let mut len_bytes = [0u8; 4];
+    // a clean EOF before any length byte is a normal disconnect
+    match read_full(r, &mut len_bytes, true, abort) {
+        Ok(true) => {}
+        Ok(false) => return Ok(Recv::Idle),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(Recv::Closed),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len == 0 || len > max_frame_bytes {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("message length {len} outside 1..={max_frame_bytes}"),
+        ));
+    }
+    let mut frame = vec![0u8; len];
+    read_full(r, &mut frame, false, abort)?;
+    Ok(Recv::Frame(frame))
+}
+
+/// Builds an `ERROR` frame.
+pub fn error_frame(code: u16, message: &str) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(6 + message.len());
+    put_u16(&mut payload, code);
+    put_u32(&mut payload, message.len() as u32);
+    payload.extend_from_slice(message.as_bytes());
+    write_frame(msg::ERROR, 0, &payload)
+}
+
+/// Parses an `ERROR` payload into `(code, message)`.
+pub fn decode_error(cur: &mut Cursor<'_>) -> ArkResult<(u16, String)> {
+    let code = cur.u16()?;
+    let len = cur.u32()? as usize;
+    let bytes = cur.take(len).map_err(ArkError::Wire)?;
+    let message = String::from_utf8(bytes.to_vec()).map_err(|_| {
+        ArkError::Wire(WireError::Malformed {
+            what: "error message is not UTF-8".into(),
+        })
+    })?;
+    Ok((code, message))
+}
+
+/// One hosted engine as advertised in `SERVER_INFO`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineInfo {
+    /// Parameter-set fingerprint (the engine's address).
+    pub fingerprint: u64,
+    /// True if the engine evaluates real ciphertexts (software
+    /// backend); false if it costs programs on the simulated backend.
+    pub software: bool,
+    /// log2 of the ring degree.
+    pub log_n: u8,
+    /// Maximum multiplicative level.
+    pub max_level: u32,
+    /// Resident key-chain bytes the server holds for this parameter
+    /// set (shared across every session; 0 on the simulated backend).
+    pub keychain_bytes: u64,
+}
+
+/// Encodes a `SERVER_INFO` frame.
+pub fn server_info_frame(engines: &[EngineInfo]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_u16(&mut payload, engines.len() as u16);
+    for e in engines {
+        put_u64(&mut payload, e.fingerprint);
+        payload.push(if e.software { 0 } else { 1 });
+        payload.push(e.log_n);
+        put_u32(&mut payload, e.max_level);
+        put_u64(&mut payload, e.keychain_bytes);
+    }
+    write_frame(msg::SERVER_INFO, 0, &payload)
+}
+
+/// Decodes a `SERVER_INFO` payload.
+pub fn decode_server_info(cur: &mut Cursor<'_>) -> ArkResult<Vec<EngineInfo>> {
+    let count = cur.u16()? as usize;
+    let mut engines = Vec::with_capacity(count.min(256));
+    for _ in 0..count {
+        let fingerprint = cur.u64()?;
+        let software = match cur.u8()? {
+            0 => true,
+            1 => false,
+            t => {
+                return Err(ArkError::Wire(WireError::Malformed {
+                    what: format!("unknown backend tag {t}"),
+                }))
+            }
+        };
+        let log_n = cur.u8()?;
+        let max_level = cur.u32()?;
+        let keychain_bytes = cur.u64()?;
+        engines.push(EngineInfo {
+            fingerprint,
+            software,
+            log_n,
+            max_level,
+            keychain_bytes,
+        });
+    }
+    Ok(engines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ark_math::wire::read_frame;
+
+    #[test]
+    fn message_roundtrip_over_a_buffer() {
+        let frame = error_frame(code::EVALUATION, "level mismatch");
+        let mut buf = Vec::new();
+        send_message(&mut buf, &frame).unwrap();
+        let mut r = io::Cursor::new(buf);
+        match recv_message(&mut r, DEFAULT_MAX_FRAME_BYTES, &|| false).unwrap() {
+            Recv::Frame(f) => {
+                let (parsed, _) = read_frame(&f).unwrap();
+                assert_eq!(parsed.kind, msg::ERROR);
+                let (c, m) = decode_error(&mut Cursor::new(parsed.payload)).unwrap();
+                assert_eq!(c, code::EVALUATION);
+                assert_eq!(m, "level mismatch");
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_message_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut r = io::Cursor::new(buf);
+        assert!(recv_message(&mut r, 1024, &|| false).is_err());
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        let mut r = io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(
+            recv_message(&mut r, 1024, &|| false).unwrap(),
+            Recv::Closed
+        ));
+    }
+
+    #[test]
+    fn server_info_roundtrips() {
+        let engines = vec![
+            EngineInfo {
+                fingerprint: 0xdead,
+                software: true,
+                log_n: 10,
+                max_level: 9,
+                keychain_bytes: 123456,
+            },
+            EngineInfo {
+                fingerprint: 0xbeef,
+                software: false,
+                log_n: 16,
+                max_level: 23,
+                keychain_bytes: 0,
+            },
+        ];
+        let frame = server_info_frame(&engines);
+        let (parsed, _) = read_frame(&frame).unwrap();
+        let mut cur = Cursor::new(parsed.payload);
+        assert_eq!(decode_server_info(&mut cur).unwrap(), engines);
+    }
+}

@@ -1,0 +1,825 @@
+//! The serving runtime: one process hosting engines for several
+//! parameter sets, multiplexing client sessions onto a bounded job
+//! queue drained through the limb-parallel thread pool.
+//!
+//! # Architecture
+//!
+//! ```text
+//! accept loop ──▶ one handler thread per connection (session)
+//!                     │  decode request, account session memory
+//!                     ▼
+//!               bounded job queue  ◀─ backpressure: submitters block
+//!                     │
+//!                dispatcher thread: pops a job, gathers same-engine
+//!                jobs into a batch (≤ max_batch)
+//!                     │
+//!                engine thread pool: par_map over the batch — each
+//!                job gets its own shared evaluator over the SAME
+//!                KeyChain, and each evaluation's limb loops fan out
+//!                on the same pool (help-first stealing makes the
+//!                nesting safe)
+//! ```
+//!
+//! Key material is the serving-layer analogue of ARK's inter-operation
+//! key reuse: the server holds **one** [`KeyChain`](ark_fhe::KeyChain)
+//! per parameter set, resident for the process lifetime, and every
+//! session's requests resolve against it — no per-session key upload,
+//! no duplicate evk storage.
+//!
+//! # Shutdown
+//!
+//! Graceful: a client `SHUTDOWN` message or [`ServerHandle::shutdown`]
+//! flips one flag; the accept loop stops admitting sessions, handlers
+//! finish their in-flight request and close, the dispatcher drains the
+//! queue to empty, and every thread is joined before `shutdown`
+//! returns.
+
+use crate::program::Program;
+use crate::protocol::{
+    self, code, msg, EngineInfo, Recv, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+use ark_ckks::error::{ArkError, ArkResult};
+use ark_ckks::wire as ckks_wire;
+use ark_ckks::Ciphertext;
+use ark_core::sched::SimReport;
+use ark_core::wire as core_wire;
+use ark_fhe::engine::{Engine, HeEvaluator};
+use ark_math::wire::{put_u16, read_frame, write_frame, Cursor};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Jobs the queue holds before submitters block (backpressure).
+    pub queue_capacity: usize,
+    /// Most same-engine jobs one dispatcher round executes together.
+    pub max_batch: usize,
+    /// Largest message a peer may send (allocation bound).
+    pub max_frame_bytes: usize,
+    /// Ciphertext bytes (inputs + worst-case intermediates + outputs)
+    /// one session may have in flight; exceeding it fails the request
+    /// with a typed `SESSION_LIMIT` error instead of growing server
+    /// memory.
+    pub max_session_bytes: usize,
+    /// Most ops a submitted program may carry. Evaluation keeps every
+    /// intermediate register live, so this (together with
+    /// `max_session_bytes`) bounds a request's working set.
+    pub max_program_ops: usize,
+    /// Whether a client `SHUTDOWN` frame stops the server. Off by
+    /// default: on a multi-session server, any peer that can reach the
+    /// port could otherwise kill every session with one frame. Enable
+    /// for loopback/dev setups that tear the server down from the
+    /// client side.
+    pub allow_remote_shutdown: bool,
+    /// Granularity at which blocked threads re-check the shutdown flag.
+    pub poll_interval: Duration,
+    /// Socket write timeout: a peer that stops reading its responses
+    /// gets its connection closed instead of wedging the handler (and
+    /// with it, shutdown's thread joins).
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            max_batch: 8,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            max_session_bytes: 256 << 20,
+            max_program_ops: 1024,
+            allow_remote_shutdown: false,
+            poll_interval: Duration::from_millis(25),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+enum JobInputs {
+    Cts(Vec<Ciphertext>),
+    Levels(Vec<usize>),
+}
+
+enum JobOutput {
+    Cts(Vec<Ciphertext>),
+    Report(SimReport),
+}
+
+/// The channel a job's result travels back on.
+type ReplyTx = mpsc::Sender<ArkResult<JobOutput>>;
+
+struct Job {
+    engine_idx: usize,
+    program: Program,
+    inputs: JobInputs,
+    reply: ReplyTx,
+}
+
+struct Shared {
+    engines: Vec<Engine>,
+    info: Vec<EngineInfo>,
+    config: ServerConfig,
+    queue: Mutex<VecDeque<Job>>,
+    /// Signals the dispatcher that a job arrived.
+    queue_ready: Condvar,
+    /// Signals submitters that queue space freed up.
+    queue_space: Condvar,
+    shutdown: AtomicBool,
+    /// Set when the dispatcher thread exits (normally or by unwind):
+    /// submitters waiting on a reply must not block forever on a queue
+    /// nobody drains.
+    dispatcher_gone: AtomicBool,
+    next_session: AtomicU64,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue_ready.notify_all();
+        self.queue_space.notify_all();
+    }
+}
+
+/// A serving runtime under construction: add engines with
+/// [`Server::host`], then bind and run with [`Server::serve`].
+pub struct Server {
+    engines: Vec<Engine>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// A server with default [`ServerConfig`].
+    pub fn new() -> Self {
+        Self::with_config(ServerConfig::default())
+    }
+
+    /// A server with explicit tuning.
+    pub fn with_config(config: ServerConfig) -> Self {
+        Self {
+            engines: Vec::new(),
+            config,
+        }
+    }
+
+    /// Hosts an engine. Its parameter-set fingerprint becomes the
+    /// address clients select it by, so each hosted engine must have a
+    /// distinct parameter set.
+    ///
+    /// # Errors
+    ///
+    /// [`ArkError::Serve`] if an engine with the same fingerprint is
+    /// already hosted.
+    pub fn host(mut self, engine: Engine) -> ArkResult<Self> {
+        let fp = engine.fingerprint();
+        if self.engines.iter().any(|e| e.fingerprint() == fp) {
+            return Err(ArkError::Serve {
+                reason: format!("an engine with fingerprint {fp:#018x} is already hosted"),
+            });
+        }
+        self.engines.push(engine);
+        Ok(self)
+    }
+
+    /// Binds `addr` and starts serving: spawns the accept loop and the
+    /// dispatcher, then returns immediately with a handle. Bind to port
+    /// 0 for an ephemeral port ([`ServerHandle::addr`] reports it).
+    pub fn serve(self, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let info: Vec<EngineInfo> = self
+            .engines
+            .iter()
+            .map(|e| EngineInfo {
+                fingerprint: e.fingerprint(),
+                software: e.keychain().is_some(),
+                log_n: e.params().log_n as u8,
+                max_level: e.params().max_level as u32,
+                keychain_bytes: e.keychain().map_or(0, |kc| kc.byte_len() as u64),
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            engines: self.engines,
+            info,
+            config: self.config,
+            queue: Mutex::new(VecDeque::new()),
+            queue_ready: Condvar::new(),
+            queue_space: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            dispatcher_gone: AtomicBool::new(false),
+            next_session: AtomicU64::new(1),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("ark-serve-dispatch".into())
+                .spawn(move || dispatcher_loop(&shared))?
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("ark-serve-accept".into())
+                .spawn(move || accept_loop(&shared, listener))?
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+            dispatcher: Some(dispatcher),
+        })
+    }
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A running server: the bound address plus the means to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<thread::JoinHandle<()>>,
+    dispatcher: Option<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The hosted-engine inventory (what `SERVER_INFO` advertises).
+    pub fn engines(&self) -> &[EngineInfo] {
+        &self.shared.info
+    }
+
+    /// True once a shutdown (local or client-requested) has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down()
+    }
+
+    /// Gracefully stops the server: no new sessions, in-flight requests
+    /// complete, queue drains, all threads join.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.begin_shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until a shutdown is triggered by a client `SHUTDOWN`
+    /// message, then completes it (joins all threads).
+    pub fn wait(mut self) {
+        while !self.shared.shutting_down() {
+            thread::sleep(self.shared.config.poll_interval);
+        }
+        self.shutdown_in_place();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+// ---------------------------------------------------------------------
+// accept loop
+// ---------------------------------------------------------------------
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    let mut handlers: Vec<thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+                if let Ok(h) = thread::Builder::new()
+                    .name(format!("ark-serve-session-{id}"))
+                    .spawn(move || handle_session(&shared, stream, id))
+                {
+                    handlers.push(h);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(shared.config.poll_interval);
+            }
+            Err(_) => break,
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+// ---------------------------------------------------------------------
+// dispatcher: batch same-engine jobs, execute on the engine's pool
+// ---------------------------------------------------------------------
+
+fn dispatcher_loop(shared: &Arc<Shared>) {
+    // announce the exit however it happens (return or unwind), so
+    // submitters never wait on a queue nobody drains
+    struct ExitFlag<'a>(&'a Shared);
+    impl Drop for ExitFlag<'_> {
+        fn drop(&mut self) {
+            self.0.dispatcher_gone.store(true, Ordering::SeqCst);
+            self.0.queue_space.notify_all();
+        }
+    }
+    let _exit = ExitFlag(shared);
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().expect("job queue poisoned");
+            loop {
+                if let Some(first) = q.pop_front() {
+                    // batch subsequent same-engine jobs (same parameter
+                    // set ⇒ same shape class): they share one pool
+                    // fan-out below
+                    let engine_idx = first.engine_idx;
+                    let mut batch = vec![first];
+                    let mut i = 0;
+                    while i < q.len() && batch.len() < shared.config.max_batch {
+                        if q[i].engine_idx == engine_idx {
+                            batch.push(q.remove(i).expect("index in range"));
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    break batch;
+                }
+                if shared.shutting_down() {
+                    return; // queue drained, no producers left to wait for
+                }
+                q = shared
+                    .queue_ready
+                    .wait_timeout(q, shared.config.poll_interval)
+                    .expect("job queue poisoned")
+                    .0;
+            }
+        };
+        shared.queue_space.notify_all();
+        execute_batch(shared, batch);
+    }
+}
+
+fn execute_batch(shared: &Shared, batch: Vec<Job>) {
+    let engine = &shared.engines[batch[0].engine_idx];
+    let (work, replies): (Vec<(Program, JobInputs)>, Vec<ReplyTx>) = batch
+        .into_iter()
+        .map(|j| ((j.program, j.inputs), j.reply))
+        .unzip();
+    let results: Vec<ArkResult<JobOutput>> = match engine.context() {
+        // software backend: one shared evaluator per job, whole batch
+        // fanned out on the session pool (each evaluation's own limb
+        // loops nest inside the same pool)
+        Some(ctx) => ctx.pool().par_map_range(work.len(), |i| {
+            contain_panics(|| run_software(engine, &work[i].0, &work[i].1))
+        }),
+        // simulated backend: pure trace recording + scheduling, no
+        // limb data — run in sequence
+        None => work
+            .iter()
+            .map(|(p, inputs)| contain_panics(|| run_simulated(engine, p, inputs)))
+            .collect(),
+    };
+    for (reply, result) in replies.into_iter().zip(results) {
+        // a dropped receiver just means the session died mid-request
+        let _ = reply.send(result);
+    }
+}
+
+/// Converts a panic inside one job into that job's typed error, so a
+/// request the decode validators did not anticipate (the scheme keeps
+/// `assert!`s for semantic invariants, e.g. constant-overflow at a
+/// hostile scale) degrades to an `ERROR` response instead of killing
+/// the dispatcher and wedging every later submitter.
+fn contain_panics(run: impl FnOnce() -> ArkResult<JobOutput>) -> ArkResult<JobOutput> {
+    // AssertUnwindSafe: jobs borrow the engine immutably and its only
+    // interior mutability (context caches) is Mutex-guarded
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+        Ok(result) => result,
+        Err(payload) => {
+            let what = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(ArkError::Serve {
+                reason: format!("evaluation aborted: {what}"),
+            })
+        }
+    }
+}
+
+fn run_software(engine: &Engine, program: &Program, inputs: &JobInputs) -> ArkResult<JobOutput> {
+    let JobInputs::Cts(cts) = inputs else {
+        return Err(ArkError::Serve {
+            reason: "software engines take ciphertext inputs (use EVALUATE)".into(),
+        });
+    };
+    let mut eval = engine.shared_evaluator()?;
+    let outputs = program.apply(&mut eval, cts)?;
+    Ok(JobOutput::Cts(outputs))
+}
+
+fn run_simulated(engine: &Engine, program: &Program, inputs: &JobInputs) -> ArkResult<JobOutput> {
+    let JobInputs::Levels(levels) = inputs else {
+        return Err(ArkError::Serve {
+            reason: "simulated engines take symbolic level inputs (use SIMULATE)".into(),
+        });
+    };
+    let mut eval = engine.trace_evaluator();
+    let cts = levels
+        .iter()
+        .map(|&l| eval.input(&[], l))
+        .collect::<ArkResult<Vec<_>>>()?;
+    program.apply(&mut eval, &cts)?;
+    let report = engine.simulate_trace(&eval.into_trace())?;
+    Ok(JobOutput::Report(report))
+}
+
+// ---------------------------------------------------------------------
+// per-session handler
+// ---------------------------------------------------------------------
+
+/// Memory accounting of one session: ciphertext bytes currently held on
+/// the session's behalf (decoded request inputs plus produced outputs,
+/// measured with the `byte_len` accessors), bounded by
+/// [`ServerConfig::max_session_bytes`].
+struct Session {
+    #[allow(dead_code)]
+    id: u64,
+    in_flight_bytes: usize,
+    peak_bytes: usize,
+}
+
+impl Session {
+    fn charge(&mut self, bytes: usize, cap: usize) -> ArkResult<()> {
+        let next = self.in_flight_bytes.saturating_add(bytes);
+        if next > cap {
+            return Err(ArkError::Serve {
+                reason: format!(
+                    "session memory limit: {next} bytes in flight exceeds the {cap}-byte budget"
+                ),
+            });
+        }
+        self.in_flight_bytes = next;
+        self.peak_bytes = self.peak_bytes.max(next);
+        Ok(())
+    }
+
+    fn release_all(&mut self) {
+        self.in_flight_bytes = 0;
+    }
+}
+
+fn handle_session(shared: &Arc<Shared>, mut stream: TcpStream, id: u64) {
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut session = Session {
+        id,
+        in_flight_bytes: 0,
+        peak_bytes: 0,
+    };
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        let frame = {
+            let shared = Arc::clone(shared);
+            match protocol::recv_message(&mut stream, shared.config.max_frame_bytes, &move || {
+                shared.shutting_down()
+            }) {
+                Ok(Recv::Frame(f)) => f,
+                Ok(Recv::Idle) => continue,
+                Ok(Recv::Closed) | Err(_) => return,
+            }
+        };
+        let (response, bye) = handle_frame(shared, &mut session, &frame);
+        session.release_all();
+        if protocol::send_message(&mut stream, &response).is_err() {
+            return;
+        }
+        if bye {
+            shared.begin_shutdown();
+            return;
+        }
+    }
+}
+
+/// Processes one request frame, returning the response frame and
+/// whether the session requested a server shutdown. Every failure path
+/// produces a typed `ERROR` frame — malformed bytes never panic and
+/// never tear the connection down mid-protocol.
+fn handle_frame(shared: &Shared, session: &mut Session, bytes: &[u8]) -> (Vec<u8>, bool) {
+    let frame = match read_frame(bytes) {
+        Ok((frame, _)) => frame,
+        Err(e) => return (protocol::error_frame(code::WIRE, &e.to_string()), false),
+    };
+    let response = match frame.kind {
+        msg::HELLO => handle_hello(shared, frame.payload),
+        msg::GET_PUBLIC_KEY => handle_get_public_key(shared, frame.fingerprint),
+        msg::EVALUATE => handle_evaluate(shared, session, frame.fingerprint, frame.payload),
+        msg::SIMULATE => handle_simulate(shared, frame.fingerprint, frame.payload),
+        msg::SHUTDOWN => {
+            if shared.config.allow_remote_shutdown {
+                return (write_frame(msg::BYE, 0, &[]), true);
+            }
+            Err((
+                code::UNSUPPORTED,
+                "remote shutdown is disabled (ServerConfig::allow_remote_shutdown)".into(),
+            ))
+        }
+        k => Err((code::PROTOCOL, format!("unexpected frame kind {k:#x}"))),
+    };
+    (
+        response.unwrap_or_else(|(c, m)| protocol::error_frame(c, &m)),
+        false,
+    )
+}
+
+type Handled = Result<Vec<u8>, (u16, String)>;
+
+fn wire_err(e: impl std::fmt::Display) -> (u16, String) {
+    (code::WIRE, e.to_string())
+}
+
+fn find_engine(shared: &Shared, fingerprint: u64) -> Result<(usize, &Engine), (u16, String)> {
+    shared
+        .engines
+        .iter()
+        .enumerate()
+        .find(|(_, e)| e.fingerprint() == fingerprint)
+        .ok_or((
+            code::UNKNOWN_ENGINE,
+            format!("no hosted engine has fingerprint {fingerprint:#018x}"),
+        ))
+}
+
+fn handle_hello(shared: &Shared, payload: &[u8]) -> Handled {
+    let mut cur = Cursor::new(payload);
+    let version = cur.u16().map_err(wire_err)?;
+    if version != PROTOCOL_VERSION {
+        return Err((
+            code::PROTOCOL,
+            format!("client speaks protocol {version}, server speaks {PROTOCOL_VERSION}"),
+        ));
+    }
+    Ok(protocol::server_info_frame(&shared.info))
+}
+
+fn handle_get_public_key(shared: &Shared, fingerprint: u64) -> Handled {
+    let (_, engine) = find_engine(shared, fingerprint)?;
+    let (Some(ctx), Some(kc)) = (engine.context(), engine.keychain()) else {
+        return Err((
+            code::UNSUPPORTED,
+            "the simulated backend holds no key material".into(),
+        ));
+    };
+    let nested = ckks_wire::write_public_key(ctx, kc.public_key());
+    Ok(write_frame(msg::PUBLIC_KEY, fingerprint, &nested))
+}
+
+/// Submits a job and waits for its result, with bounded-queue
+/// backpressure on the way in.
+fn submit_and_wait(
+    shared: &Shared,
+    engine_idx: usize,
+    program: Program,
+    inputs: JobInputs,
+) -> ArkResult<JobOutput> {
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        engine_idx,
+        program,
+        inputs,
+        reply: tx,
+    };
+    let dispatcher_dead = || ArkError::Serve {
+        reason: "the dispatcher is gone; the server cannot execute jobs".into(),
+    };
+    {
+        let mut q = shared.queue.lock().expect("job queue poisoned");
+        loop {
+            if shared.shutting_down() {
+                return Err(ArkError::Serve {
+                    reason: "server is shutting down".into(),
+                });
+            }
+            if shared.dispatcher_gone.load(Ordering::SeqCst) {
+                return Err(dispatcher_dead());
+            }
+            if q.len() < shared.config.queue_capacity {
+                q.push_back(job);
+                break;
+            }
+            q = shared
+                .queue_space
+                .wait_timeout(q, shared.config.poll_interval)
+                .expect("job queue poisoned")
+                .0;
+        }
+    }
+    shared.queue_ready.notify_one();
+    // the dispatcher drains the queue even while shutting down, so a
+    // queued job always gets a reply — unless the dispatcher itself is
+    // gone, which must not leave this session blocked forever
+    loop {
+        match rx.recv_timeout(shared.config.poll_interval) {
+            Ok(result) => return result,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.dispatcher_gone.load(Ordering::SeqCst) {
+                    return Err(dispatcher_dead());
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(ArkError::Serve {
+                    reason: "job was dropped during shutdown".into(),
+                })
+            }
+        }
+    }
+}
+
+fn ark_err_code(e: &ArkError) -> u16 {
+    match e {
+        ArkError::Wire(_) => code::WIRE,
+        ArkError::UnsupportedOnBackend { .. } => code::UNSUPPORTED,
+        // session-limit rejections are labeled at the charge sites;
+        // other runtime Serve errors (bad input count, shutdown races,
+        // contained panics) are evaluation failures to the client
+        _ => code::EVALUATION,
+    }
+}
+
+fn check_program_size(shared: &Shared, program: &Program) -> Result<(), (u16, String)> {
+    if program.len() > shared.config.max_program_ops {
+        return Err((
+            code::PROTOCOL,
+            format!(
+                "program carries {} ops, server accepts at most {}",
+                program.len(),
+                shared.config.max_program_ops
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn handle_evaluate(
+    shared: &Shared,
+    session: &mut Session,
+    fingerprint: u64,
+    payload: &[u8],
+) -> Handled {
+    let (engine_idx, engine) = find_engine(shared, fingerprint)?;
+    let Some(ctx) = engine.context() else {
+        return Err((
+            code::UNSUPPORTED,
+            "EVALUATE needs a software engine; use SIMULATE here".into(),
+        ));
+    };
+    let mut cur = Cursor::new(payload);
+    let program = Program::decode(&mut cur).map_err(|e| (ark_err_code(&e), e.to_string()))?;
+    check_program_size(shared, &program)?;
+    let n_inputs = cur.u16().map_err(wire_err)? as usize;
+    let rest = cur.take(cur.remaining()).map_err(wire_err)?;
+    let mut inputs = Vec::with_capacity(n_inputs.min(256));
+    let mut off = 0;
+    for _ in 0..n_inputs {
+        let (ct, used) = ckks_wire::read_ciphertext_prefix(ctx, &rest[off..])
+            .map_err(|e| (ark_err_code(&e), e.to_string()))?;
+        off += used;
+        // account every decoded input against the session budget
+        session
+            .charge(ct.byte_len(), shared.config.max_session_bytes)
+            .map_err(|e| (code::SESSION_LIMIT, e.to_string()))?;
+        inputs.push(ct);
+    }
+    if off != rest.len() {
+        return Err((
+            code::PROTOCOL,
+            format!("{} trailing bytes after the last input", rest.len() - off),
+        ));
+    }
+    // evaluation keeps one intermediate register live per op; levels
+    // only ever drop, so ops × the largest input is an upper bound on
+    // the working set — charge it up front so the session budget
+    // covers memory the request will grow into, not just its wire size
+    let max_input = inputs.iter().map(Ciphertext::byte_len).max().unwrap_or(0);
+    session
+        .charge(
+            program.len().saturating_mul(max_input),
+            shared.config.max_session_bytes,
+        )
+        .map_err(|e| (code::SESSION_LIMIT, e.to_string()))?;
+    let output = submit_and_wait(shared, engine_idx, program, JobInputs::Cts(inputs))
+        .map_err(|e| (ark_err_code(&e), e.to_string()))?;
+    let JobOutput::Cts(outputs) = output else {
+        return Err((
+            code::PROTOCOL,
+            "engine returned the wrong output kind".into(),
+        ));
+    };
+    // outputs count against the same budget until the response is off
+    for ct in &outputs {
+        session
+            .charge(ct.byte_len(), shared.config.max_session_bytes)
+            .map_err(|e| (code::SESSION_LIMIT, e.to_string()))?;
+    }
+    let mut out_payload = Vec::new();
+    put_u16(&mut out_payload, outputs.len() as u16);
+    for ct in &outputs {
+        out_payload.extend_from_slice(&ckks_wire::write_ciphertext(ctx, ct));
+    }
+    Ok(write_frame(msg::RESULT_CTS, fingerprint, &out_payload))
+}
+
+fn handle_simulate(shared: &Shared, fingerprint: u64, payload: &[u8]) -> Handled {
+    let (engine_idx, engine) = find_engine(shared, fingerprint)?;
+    if engine.context().is_some() {
+        return Err((
+            code::UNSUPPORTED,
+            "SIMULATE needs a simulated engine; use EVALUATE here".into(),
+        ));
+    }
+    let mut cur = Cursor::new(payload);
+    let program = Program::decode(&mut cur).map_err(|e| (ark_err_code(&e), e.to_string()))?;
+    check_program_size(shared, &program)?;
+    let n_inputs = cur.u16().map_err(wire_err)? as usize;
+    let max_level = engine.params().max_level;
+    let mut levels = Vec::with_capacity(n_inputs.min(256));
+    for _ in 0..n_inputs {
+        let level = cur.u32().map_err(wire_err)? as usize;
+        if level > max_level {
+            return Err((
+                code::EVALUATION,
+                format!("input level {level} exceeds the chain maximum {max_level}"),
+            ));
+        }
+        levels.push(level);
+    }
+    cur.finish().map_err(|e| (code::PROTOCOL, e.to_string()))?;
+    let output = submit_and_wait(shared, engine_idx, program, JobInputs::Levels(levels))
+        .map_err(|e| (ark_err_code(&e), e.to_string()))?;
+    let JobOutput::Report(report) = output else {
+        return Err((
+            code::PROTOCOL,
+            "engine returned the wrong output kind".into(),
+        ));
+    };
+    let nested = core_wire::write_sim_report(&report, fingerprint);
+    Ok(write_frame(msg::RESULT_REPORT, fingerprint, &nested))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        // the whole runtime shares engines across threads by reference
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<Engine>();
+        assert_sync::<Shared>();
+    }
+
+    #[test]
+    fn session_accounting_enforces_the_cap() {
+        let mut s = Session {
+            id: 1,
+            in_flight_bytes: 0,
+            peak_bytes: 0,
+        };
+        s.charge(600, 1000).unwrap();
+        s.charge(300, 1000).unwrap();
+        assert!(matches!(
+            s.charge(200, 1000).unwrap_err(),
+            ArkError::Serve { .. }
+        ));
+        s.release_all();
+        s.charge(600, 1000).unwrap();
+        assert_eq!(s.peak_bytes, 900);
+        assert_eq!(s.in_flight_bytes, 600);
+    }
+}

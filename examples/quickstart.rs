@@ -44,6 +44,17 @@ fn main() -> Result<(), ArkError> {
         slots,
         engine.params().max_level
     );
+    // the byte sizes a deployment moves and holds: key material is
+    // generated once per session (and, under ark-serve, shared by every
+    // client session), ciphertexts travel per request
+    let kc = engine.keychain().expect("software session has keys");
+    println!(
+        "key material: public {} KiB, mult {} KiB, rotations {} KiB (chain total {:.1} MiB)",
+        kc.public_key().byte_len() >> 10,
+        kc.mult_key().byte_len() >> 10,
+        kc.rotation_keys().byte_len() >> 10,
+        kc.byte_len() as f64 / (1 << 20) as f64
+    );
 
     let x: Vec<C64> = (0..slots)
         .map(|i| C64::new(0.5 * (i as f64 / 10.0).sin(), 0.0))
@@ -59,6 +70,12 @@ fn main() -> Result<(), ArkError> {
         ],
         &SumProductRotate,
     )?;
+    let sample_ct = engine.encrypt(&x, level)?;
+    println!(
+        "a level-{level} ciphertext holds {} KiB ({} words)",
+        sample_ct.byte_len() >> 10,
+        sample_ct.words()
+    );
     let out = &outcome.outputs().expect("software run decrypts")[0];
     let expect: Vec<C64> = (0..slots)
         .map(|i| {

@@ -191,6 +191,18 @@ impl KeyChain {
     pub fn evk_words(&self) -> usize {
         self.evk_mult.words() + self.rotations.words()
     }
+
+    /// Total key-material bytes held by this chain: public key,
+    /// multiplication key, rotation keys and the secret key. This is
+    /// the per-parameter-set resident cost an `ark-serve` server pays
+    /// *once* and then shares across every session — the serving-layer
+    /// analogue of ARK's inter-operation key reuse.
+    pub fn byte_len(&self) -> usize {
+        self.pk.byte_len()
+            + self.evk_mult.byte_len()
+            + self.rotations.byte_len()
+            + self.sk.byte_len()
+    }
 }
 
 /// One program input: the slot values (used by the software backend)
@@ -384,15 +396,29 @@ struct SoftwareState {
 /// [`HeEvaluator`] over real RNS-CKKS arithmetic. Keys resolve from the
 /// session [`KeyChain`]; every op is also recorded into a [`Trace`] so
 /// software runs can be compared op-for-op with simulated runs.
+///
+/// Two flavors exist: [`Engine::evaluator`] borrows the session
+/// mutably and carries the session RNG, so [`HeEvaluator::input`] can
+/// encrypt; [`Engine::shared_evaluator`] borrows it *immutably* (no
+/// RNG), so any number can run concurrently over the same keys — the
+/// shape `ark-serve` uses to evaluate a batch of client requests in
+/// parallel on ciphertexts that were encrypted client-side.
 pub struct SoftwareEvaluator<'a> {
     ctx: &'a CkksContext,
     keys: &'a KeyChain,
-    rng: &'a mut StdRng,
+    /// Encryption randomness; `None` for evaluation-only (shared)
+    /// instances, whose `input` reports a typed error instead.
+    rng: Option<&'a mut StdRng>,
     boot: Option<&'a SoftwareBoot>,
     trace: Trace,
 }
 
 impl SoftwareEvaluator<'_> {
+    /// Consumes the evaluator, returning the recorded trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
     fn record(&mut self, op: HeOp) {
         self.trace.push(op);
     }
@@ -425,7 +451,11 @@ impl HeEvaluator for SoftwareEvaluator<'_> {
             return Err(ArkError::LevelOutOfRange { level, max });
         }
         let pt = self.encode_at(values, level, self.ctx.params().scale())?;
-        Ok(self.ctx.encrypt_public(&pt, &self.keys.pk, self.rng))
+        let rng = self.rng.as_deref_mut().ok_or(ArkError::KeyChainMissing {
+            what: "encryption randomness (shared evaluators are evaluation-only; \
+                   encrypt on the owning session or client-side)",
+        })?;
+        Ok(self.ctx.encrypt_public(&pt, &self.keys.pk, rng))
     }
 
     fn level(&self, ct: &Self::Ct) -> usize {
@@ -893,8 +923,17 @@ impl EngineBuilder {
     /// Defaults to the host's available parallelism; `threads(1)` is the
     /// strictly serial path and any width is bit-identical to it —
     /// thread count changes throughput, never results or recorded
-    /// traces. `0` is clamped to `1`. The trace backend records
-    /// symbolically and ignores the setting.
+    /// traces. The trace backend records symbolically and ignores the
+    /// setting.
+    ///
+    /// `threads(0)` is **silently clamped to 1** rather than rejected:
+    /// a zero often arrives from a computed value (host probing, a
+    /// config file defaulting to "unset"), and the serial session it
+    /// yields is always correct — so the builder stays infallible here
+    /// and `threads(0)` builds an engine observably identical to
+    /// `threads(1)` ([`Engine::threads`] reports `1`, and all outputs
+    /// are bit-identical; see the `threads_zero_clamps_to_one`
+    /// regression test).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
         self
@@ -1007,6 +1046,14 @@ impl Engine {
         self.threads
     }
 
+    /// The wire-format fingerprint of the session's parameter set (see
+    /// [`ark_ckks::wire::param_fingerprint`]): the value every frame
+    /// this session produces carries, and the address `ark-serve`
+    /// clients use to pick a hosted engine.
+    pub fn fingerprint(&self) -> u64 {
+        ark_ckks::wire::param_fingerprint(&self.params)
+    }
+
     /// Short name of the active backend.
     pub fn backend_name(&self) -> &'static str {
         match &self.state {
@@ -1075,12 +1122,42 @@ impl Engine {
             BackendState::Software(sw) => Ok(SoftwareEvaluator {
                 ctx: &sw.ctx,
                 keys: &sw.keys,
-                rng: &mut sw.rng,
+                rng: Some(&mut sw.rng),
                 boot: sw.boot.as_ref(),
                 trace: Trace::new("engine-session"),
             }),
             BackendState::Simulated(_) => Err(ArkError::UnsupportedOnBackend {
                 op: "evaluator",
+                backend: "simulated",
+            }),
+        }
+    }
+
+    /// An evaluation-only software evaluator borrowing the session
+    /// *immutably*: it shares the session [`KeyChain`] but carries no
+    /// encryption RNG, so [`HeEvaluator::input`] reports
+    /// [`ArkError::KeyChainMissing`] — callers supply ciphertexts that
+    /// were encrypted elsewhere (typically client-side, shipped through
+    /// the wire format). Because the borrow is shared, any number of
+    /// these can evaluate concurrently over the same keys; `ark-serve`
+    /// fans whole request batches out this way, one evaluator (hence
+    /// one trace) per request, all riding the session thread pool's
+    /// limb-parallel hot paths.
+    ///
+    /// # Errors
+    ///
+    /// [`ArkError::UnsupportedOnBackend`] on the simulated backend.
+    pub fn shared_evaluator(&self) -> ArkResult<SoftwareEvaluator<'_>> {
+        match &self.state {
+            BackendState::Software(sw) => Ok(SoftwareEvaluator {
+                ctx: &sw.ctx,
+                keys: &sw.keys,
+                rng: None,
+                boot: sw.boot.as_ref(),
+                trace: Trace::new("engine-session"),
+            }),
+            BackendState::Simulated(_) => Err(ArkError::UnsupportedOnBackend {
+                op: "shared_evaluator",
                 backend: "simulated",
             }),
         }
@@ -1136,7 +1213,7 @@ impl Engine {
                 let mut eval = SoftwareEvaluator {
                     ctx: &sw.ctx,
                     keys: &sw.keys,
-                    rng: &mut sw.rng,
+                    rng: Some(&mut sw.rng),
                     boot: sw.boot.as_ref(),
                     trace: Trace::new("engine-session"),
                 };

@@ -14,6 +14,11 @@
 //! - [`workloads`] — HE-op trace generators (H-(I)DFT, bootstrapping,
 //!   HELR, ResNet-20, sorting) and analytic op counters.
 //!
+//! The serving layer lives one crate up: `ark-serve` (which depends on
+//! this crate, so it is not re-exported here) hosts engines behind a
+//! TCP protocol, shipping ciphertexts and keys through the
+//! [`math::wire`] format.
+//!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
 pub mod engine;

@@ -91,6 +91,30 @@ fn software_ciphertexts_bit_identical_across_thread_counts() {
     assert_eq!(serial, parallel);
 }
 
+/// Regression for the documented `threads(0)` clamp: a zero request
+/// (the "unset" value computed configs produce) must build a session
+/// observably identical to `threads(1)` — reported width 1 and
+/// bit-identical outputs — rather than panicking or spawning a pool.
+#[test]
+fn threads_zero_clamps_to_one() {
+    let slots = CkksParams::tiny().slots();
+    let run = |threads: usize| {
+        let mut e = engine(Backend::Software, threads);
+        assert_eq!(e.threads(), 1, "threads({threads}) must report width 1");
+        let outcome = e.execute(&inputs(slots), &Mix).expect("program runs");
+        outcome.outputs().expect("software outputs").to_vec()
+    };
+    let zero = run(0);
+    let one = run(1);
+    assert_eq!(zero.len(), one.len());
+    for (a, b) in zero.iter().zip(&one) {
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+}
+
 #[test]
 fn trace_backend_indifferent_to_thread_count() {
     let run = |threads: usize| {
