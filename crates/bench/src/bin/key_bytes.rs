@@ -1,0 +1,326 @@
+//! Key-bytes benchmark for runtime data generation: compressed vs
+//! materialized evaluation-key wire frames, keygen-on-miss latency of
+//! the runtime rotation-key cache, and end-to-end HELR-style /
+//! linear-transform wall time under eager vs runtime keys. Emits a
+//! machine-readable `BENCH_PR4.json`.
+//!
+//! ```text
+//! cargo run --release -p ark-bench --bin key_bytes            # full reps
+//! cargo run --release -p ark-bench --bin key_bytes -- --quick # CI smoke
+//! cargo run --release -p ark-bench --bin key_bytes -- --out my.json
+//! ```
+//!
+//! The run doubles as an acceptance gate: it exits non-zero unless
+//! every compressed eval-key frame is ≤ 55% of its materialized frame
+//! and the runtime-key outputs are bit-identical to eager-key outputs
+//! (`compression_ok` / `runtime_bit_identical` in the JSON).
+
+use ark_ckks::lintrans::LinearTransform;
+use ark_ckks::minks::KeyStrategy;
+use ark_ckks::params::{CkksContext, CkksParams};
+use ark_ckks::wire as ckks_wire;
+use ark_fhe::engine::{Backend, Engine, HeEvaluator, HeProgram, ProgramInput};
+use ark_fhe::error::ArkResult;
+use ark_math::cfft::C64;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Every RNG draw descends from this constant for reproducible JSON.
+const BENCH_SEED: u64 = 0x4152_4b50_5234; // "ARKPR4"
+
+struct Mode {
+    quick: bool,
+    out_path: String,
+}
+
+fn parse_args() -> Mode {
+    let mut quick = false;
+    let mut out_path = "BENCH_PR4.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: key_bytes [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    Mode { quick, out_path }
+}
+
+/// HELR-style inference body: weighted rotate-and-sum dot product,
+/// then one square for the polynomial sigmoid's quadratic term — the
+/// rotation-heavy shape whose key traffic the paper optimizes.
+struct HelrLike {
+    rotations: Vec<i64>,
+    weights: Vec<C64>,
+}
+
+impl HeProgram for HelrLike {
+    fn run<E: HeEvaluator>(&self, e: &mut E, inputs: &[E::Ct]) -> ArkResult<Vec<E::Ct>> {
+        let mut z = e.mul_plain_rescale(&inputs[0], &self.weights)?;
+        for &r in &self.rotations {
+            let rotated = e.rotate(&z, r)?;
+            z = e.add(&z, &rotated)?;
+        }
+        let sq = e.square(&z)?;
+        Ok(vec![e.rescale(&sq)?])
+    }
+}
+
+fn time_once(f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        best = best.min(time_once(&mut f));
+    }
+    best
+}
+
+struct SetReport {
+    name: &'static str,
+    evk_materialized_bytes: usize,
+    evk_compressed_bytes: usize,
+    rot_materialized_bytes: usize,
+    rot_compressed_bytes: usize,
+    pk_materialized_bytes: usize,
+    pk_compressed_bytes: usize,
+    keygen_miss_ms: f64,
+    keygen_hit_ms: f64,
+    helr_eager_ms: f64,
+    helr_runtime_ms: f64,
+    lintrans_ms: f64,
+    compression_ok: bool,
+    runtime_bit_identical: bool,
+}
+
+fn bench_set(params: CkksParams, reps: usize) -> SetReport {
+    let name = params.name;
+    let slots = params.slots();
+    let level = 3.min(params.max_level);
+    // the rotate-and-sum tree of the HELR-like body
+    let tree_depth = 3usize.min(slots.trailing_zeros() as usize);
+    let rotations: Vec<i64> = (0..tree_depth).map(|k| 1i64 << k).collect();
+
+    let build = |runtime: bool| -> Engine {
+        let mut b = Engine::builder()
+            .params(params.clone())
+            .backend(Backend::Software)
+            .seed(BENCH_SEED);
+        if runtime {
+            b = b.runtime_keys(true);
+        } else {
+            b = b.rotations(&rotations);
+        }
+        b.build().expect("bench params are valid")
+    };
+    let eager = build(false);
+    let mut runtime = build(true);
+
+    // ---- key bytes: compressed vs materialized wire frames ----
+    let ctx = eager.context().expect("software backend");
+    let kc = eager.keychain().expect("software backend");
+    let mult = kc.mult_key();
+    let evk_materialized_bytes = ckks_wire::write_eval_key(ctx, mult).len();
+    let evk_compressed_bytes =
+        ckks_wire::write_compressed_eval_key(ctx, &mult.compress().expect("seeded")).len();
+    let rot_materialized_bytes = ckks_wire::write_rotation_keys(ctx, kc.rotation_keys()).len();
+    let rot_compressed_bytes =
+        ckks_wire::write_compressed_rotation_keys(ctx, &kc.rotation_keys().compress().unwrap())
+            .len();
+    let pk_materialized_bytes = ckks_wire::write_public_key(ctx, kc.public_key()).len();
+    let pk_compressed_bytes =
+        ckks_wire::write_compressed_public_key(ctx, &kc.public_key().compress().unwrap()).len();
+    let compression_ok = evk_compressed_bytes * 100 <= evk_materialized_bytes * 55
+        && rot_compressed_bytes * 100 <= rot_materialized_bytes * 55;
+
+    // ---- keygen-on-miss latency of the runtime cache ----
+    // probe on a dedicated session: encrypting here must not advance
+    // the RNG of the `runtime` session that the bit-identity
+    // comparison below runs against
+    let mut prober = build(true);
+    let xs: Vec<C64> = (0..slots)
+        .map(|i| C64::new(0.002 * (i % 97) as f64, 0.0))
+        .collect();
+    let probe = prober.encrypt(&xs, level).expect("level in range");
+    let undeclared: i64 = 5; // not in `rotations`, so the first use misses
+    let mut eval = prober.evaluator().expect("software backend");
+    let keygen_miss_ms = time_once(|| {
+        eval.rotate(&probe, undeclared)
+            .expect("runtime keys derive");
+    });
+    let keygen_hit_ms = time_best(reps, || {
+        eval.rotate(&probe, undeclared).expect("cache hit");
+    });
+    drop(eval);
+
+    // ---- end-to-end HELR-like wall time, eager vs runtime keys ----
+    let weights: Vec<C64> = (0..slots)
+        .map(|i| C64::new(0.5 - 0.001 * (i % 89) as f64, 0.0))
+        .collect();
+    let program = HelrLike {
+        rotations: rotations.clone(),
+        weights,
+    };
+    let inputs = [ProgramInput::new(xs.clone(), level)];
+    let mut eager = eager;
+    let mut helr_eager_ms = f64::INFINITY;
+    let mut helr_runtime_ms = f64::INFINITY;
+    let mut eager_out = Vec::new();
+    let mut runtime_out = Vec::new();
+    for _ in 0..reps {
+        helr_eager_ms = helr_eager_ms.min(time_once(|| {
+            eager_out = eager
+                .execute(&inputs, &program)
+                .expect("eager run")
+                .outputs()
+                .expect("software outputs")
+                .to_vec();
+        }));
+        helr_runtime_ms = helr_runtime_ms.min(time_once(|| {
+            runtime_out = runtime
+                .execute(&inputs, &program)
+                .expect("runtime run")
+                .outputs()
+                .expect("software outputs")
+                .to_vec();
+        }));
+    }
+    // eager and runtime sessions share seed and key derivation, so the
+    // decrypted outputs must agree bit for bit
+    let runtime_bit_identical = eager_out.len() == runtime_out.len()
+        && eager_out.iter().zip(&runtime_out).all(|(a, b)| {
+            a.iter()
+                .zip(b)
+                .all(|(x, y)| x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits())
+        });
+
+    // ---- BSGS linear transform at the scheme layer (Min-KS keys) ----
+    let lt_ctx = CkksContext::new(params.clone());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(BENCH_SEED);
+    let sk = lt_ctx.gen_secret_key(&mut rng);
+    let mut diagonals = BTreeMap::new();
+    for d in [0usize, 1, 2, slots / 2] {
+        let diag: Vec<C64> = (0..slots)
+            .map(|i| C64::new(0.01 * ((i + d) % 31) as f64, 0.0))
+            .collect();
+        diagonals.insert(d % slots, diag);
+    }
+    let lt = LinearTransform::from_diagonals(slots, diagonals);
+    let strategy = KeyStrategy::MinKs;
+    let keys = lt_ctx.gen_rotation_keys(&lt.required_rotations(strategy), false, &sk, &mut rng);
+    let pt = lt_ctx.encode(&xs, level, lt_ctx.params().scale());
+    let ct = lt_ctx.encrypt(&pt, &sk, &mut rng);
+    let lintrans_ms = time_best(reps, || {
+        let out = lt_ctx.eval_linear_transform(&ct, &lt, strategy, &keys);
+        drop(out);
+    });
+
+    SetReport {
+        name,
+        evk_materialized_bytes,
+        evk_compressed_bytes,
+        rot_materialized_bytes,
+        rot_compressed_bytes,
+        pk_materialized_bytes,
+        pk_compressed_bytes,
+        keygen_miss_ms,
+        keygen_hit_ms,
+        helr_eager_ms,
+        helr_runtime_ms,
+        lintrans_ms,
+        compression_ok,
+        runtime_bit_identical,
+    }
+}
+
+fn main() {
+    let mode = parse_args();
+    let reps = if mode.quick { 2 } else { 5 };
+    // the two functional parameter sets the wire round-trip suite pins
+    let sets = [CkksParams::tiny(), CkksParams::small()];
+
+    eprintln!("key_bytes: sets=[tiny, small] reps={reps} (fixed seed {BENCH_SEED:#x})");
+    let reports: Vec<SetReport> = sets
+        .into_iter()
+        .map(|p| {
+            eprintln!("  benchmarking {}...", p.name);
+            bench_set(p, reps)
+        })
+        .collect();
+
+    let compression_ok = reports.iter().all(|r| r.compression_ok);
+    let runtime_bit_identical = reports.iter().all(|r| r.runtime_bit_identical);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"ark-bench/key_bytes/v1\",\n");
+    json.push_str(&format!("  \"quick\": {},\n", mode.quick));
+    json.push_str(&format!("  \"compression_ok\": {compression_ok},\n"));
+    json.push_str(&format!(
+        "  \"runtime_bit_identical\": {runtime_bit_identical},\n"
+    ));
+    json.push_str("  \"params\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        json.push_str(&format!(
+            "      \"evk_materialized_bytes\": {},\n      \"evk_compressed_bytes\": {},\n",
+            r.evk_materialized_bytes, r.evk_compressed_bytes
+        ));
+        json.push_str(&format!(
+            "      \"evk_compression_ratio\": {:.4},\n",
+            r.evk_compressed_bytes as f64 / r.evk_materialized_bytes as f64
+        ));
+        json.push_str(&format!(
+            "      \"rotation_set_materialized_bytes\": {},\n      \"rotation_set_compressed_bytes\": {},\n",
+            r.rot_materialized_bytes, r.rot_compressed_bytes
+        ));
+        json.push_str(&format!(
+            "      \"public_key_materialized_bytes\": {},\n      \"public_key_compressed_bytes\": {},\n",
+            r.pk_materialized_bytes, r.pk_compressed_bytes
+        ));
+        json.push_str(&format!(
+            "      \"keygen_on_miss_ms\": {:.4},\n      \"rotate_on_cache_hit_ms\": {:.4},\n",
+            r.keygen_miss_ms, r.keygen_hit_ms
+        ));
+        json.push_str(&format!(
+            "      \"helr_like_eager_ms\": {:.4},\n      \"helr_like_runtime_ms\": {:.4},\n",
+            r.helr_eager_ms, r.helr_runtime_ms
+        ));
+        json.push_str(&format!("      \"lintrans_ms\": {:.4}\n", r.lintrans_ms));
+        json.push_str(if i + 1 == reports.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&mode.out_path, &json).expect("write benchmark JSON");
+    eprintln!("wrote {}", mode.out_path);
+    print!("{json}");
+
+    if !compression_ok {
+        eprintln!("!! a compressed eval-key frame exceeded 55% of its materialized frame");
+        std::process::exit(1);
+    }
+    if !runtime_bit_identical {
+        eprintln!("!! runtime-key outputs diverged from eager-key outputs");
+        std::process::exit(1);
+    }
+}

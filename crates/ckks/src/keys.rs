@@ -12,12 +12,30 @@
 //! ```
 //!
 //! so key generation needs only word arithmetic.
+//!
+//! # Runtime data generation (seed-compressed keys)
+//!
+//! The `A_i` half of every RLWE pair is *uniform* — it carries no
+//! secret and no error, so it never needs to be stored or shipped: any
+//! party can re-derive it from a public 64-bit seed via
+//! [`RnsPoly::from_seed`] (the paper's runtime data generation,
+//! Section IV-A). The `*_seeded` generators here split randomness into
+//! a **public** `a_seed` (expands the uniform halves, safe to
+//! publish) and a **secret** `noise_seed` (drives the error sampler;
+//! the error must never be derivable from shipped bytes, or `B − E =
+//! A·S` hands an attacker exact linear equations in the secret). The
+//! resulting [`EvalKey`]/[`PublicKey`] remembers its `a_seed`, so
+//! [`EvalKey::compress`] can drop the `A_i` halves and
+//! [`CompressedEvalKey::materialize`] regenerates them bit-exactly —
+//! halving key storage and wire traffic. `B_i` cannot be compressed
+//! the same way: it is `A_i·s + e_i + gadget`, a secret- and
+//! error-dependent value with full entropy to the holder of `s` only.
 
 use crate::ciphertext::{Ciphertext, Plaintext};
 use crate::params::CkksContext;
 use ark_math::automorphism::GaloisElement;
-use ark_math::poly::{Representation, RnsPoly};
-use rand::Rng;
+use ark_math::poly::{derive_seed, Representation, RnsPoly};
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Standard deviation of the RLWE error distribution.
@@ -47,6 +65,20 @@ impl SecretKey {
 #[derive(Debug, Clone)]
 pub struct EvalKey {
     pub(crate) pieces: Vec<(RnsPoly, RnsPoly)>,
+    /// Public seed the `A_i` halves were expanded from, when the key
+    /// was produced by a `*_seeded` generator (or a materialization).
+    /// `None` for keys drawn from a live RNG — those cannot compress.
+    pub(crate) a_seed: Option<u64>,
+}
+
+/// Equality is over the key *material* (`pieces`) only: `a_seed` is
+/// provenance, and the materialized wire codec drops it — a key
+/// round-tripped through `write_eval_key`/`read_eval_key` must still
+/// compare equal to the generator's copy.
+impl PartialEq for EvalKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.pieces == other.pieces
+    }
 }
 
 impl EvalKey {
@@ -63,6 +95,79 @@ impl EvalKey {
     /// Bytes of key storage (`words × 8`).
     pub fn byte_len(&self) -> usize {
         self.words() * 8
+    }
+
+    /// The public seed the uniform halves derive from, if the key was
+    /// generated seeded.
+    pub fn a_seed(&self) -> Option<u64> {
+        self.a_seed
+    }
+
+    /// Drops the re-derivable `A_i` halves, keeping the seed and the
+    /// `B_i` limbs — the form that ships and sleeps. Returns `None`
+    /// for keys generated without a seed (nothing records how to
+    /// regenerate their `A_i`).
+    pub fn compress(&self) -> Option<CompressedEvalKey> {
+        let a_seed = self.a_seed?;
+        Some(CompressedEvalKey {
+            a_seed,
+            b_pieces: self.pieces.iter().map(|(b, _)| b.clone()).collect(),
+        })
+    }
+}
+
+/// A seed-compressed evaluation key: the public `a_seed` plus the
+/// `B_i` limbs only — roughly half an [`EvalKey`]'s bytes.
+/// [`Self::materialize`] re-derives the `A_i` halves bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedEvalKey {
+    pub(crate) a_seed: u64,
+    pub(crate) b_pieces: Vec<RnsPoly>,
+}
+
+impl CompressedEvalKey {
+    /// The public seed the `A_i` halves expand from.
+    pub fn a_seed(&self) -> u64 {
+        self.a_seed
+    }
+
+    /// Number of decomposition pieces (`dnum`).
+    pub fn dnum(&self) -> usize {
+        self.b_pieces.len()
+    }
+
+    /// Stored words: only the `B_i` limbs (`dnum · (α+L+1) · N`).
+    pub fn words(&self) -> usize {
+        self.b_pieces.iter().map(RnsPoly::words).sum()
+    }
+
+    /// Bytes of key storage: stored words plus the 8-byte seed.
+    pub fn byte_len(&self) -> usize {
+        self.words() * 8 + 8
+    }
+
+    /// Regenerates the full key: each `A_i` is expanded from
+    /// `derive_seed(a_seed, i)` over the `B_i` limb set — bit-identical
+    /// to the `A_i` the seeded generator produced.
+    pub fn materialize(&self, ctx: &CkksContext) -> EvalKey {
+        let pieces = self
+            .b_pieces
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let a = RnsPoly::from_seed(
+                    ctx.basis(),
+                    b.limb_indices(),
+                    Representation::Evaluation,
+                    derive_seed(self.a_seed, i as u64),
+                );
+                (b.clone(), a)
+            })
+            .collect();
+        EvalKey {
+            pieces,
+            a_seed: Some(self.a_seed),
+        }
     }
 }
 
@@ -122,6 +227,72 @@ impl RotationKeys {
     pub fn get_raw(&self, g: u64) -> Option<&EvalKey> {
         self.keys.get(&g)
     }
+
+    /// Compresses every held key, or `None` if any key was generated
+    /// without a seed (all-or-nothing: a partially compressed set
+    /// would silently ship at the wrong size).
+    pub fn compress(&self) -> Option<CompressedRotationKeys> {
+        self.compress_subset(&self.galois_elements())
+    }
+
+    /// Compresses only the keys for the given Galois elements — the
+    /// shape key distribution uses to ship a declared subset without
+    /// cloning the re-derivable `A` halves of the full set. `None` if
+    /// any listed element is missing or its key carries no seed.
+    pub fn compress_subset(&self, elements: &[u64]) -> Option<CompressedRotationKeys> {
+        let mut elements = elements.to_vec();
+        elements.sort_unstable();
+        elements.dedup();
+        let entries = elements
+            .into_iter()
+            .map(|g| {
+                self.keys
+                    .get(&g)
+                    .and_then(EvalKey::compress)
+                    .map(|ck| (g, ck))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(CompressedRotationKeys { entries })
+    }
+}
+
+/// A seed-compressed [`RotationKeys`] set: per Galois element, the
+/// seed and `B_i` limbs only, sorted by element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedRotationKeys {
+    pub(crate) entries: Vec<(u64, CompressedEvalKey)>,
+}
+
+impl CompressedRotationKeys {
+    /// Number of keys in the set.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the set holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The held Galois elements in ascending order.
+    pub fn galois_elements(&self) -> Vec<u64> {
+        self.entries.iter().map(|&(g, _)| g).collect()
+    }
+
+    /// Total bytes across all compressed keys.
+    pub fn byte_len(&self) -> usize {
+        self.entries.iter().map(|(_, k)| k.byte_len()).sum()
+    }
+
+    /// Regenerates the full key set (see
+    /// [`CompressedEvalKey::materialize`]).
+    pub fn materialize(&self, ctx: &CkksContext) -> RotationKeys {
+        let mut keys = RotationKeys::new();
+        for (g, ck) in &self.entries {
+            keys.insert(GaloisElement(*g), ck.materialize(ctx));
+        }
+        keys
+    }
 }
 
 /// An RLWE public key `(B, A)` with `B = A·s + e` over the full chain:
@@ -130,6 +301,16 @@ impl RotationKeys {
 pub struct PublicKey {
     pub(crate) b: RnsPoly,
     pub(crate) a: RnsPoly,
+    /// Public seed `A` was expanded from, if generated seeded.
+    pub(crate) a_seed: Option<u64>,
+}
+
+/// Equality is over the key *material* (`b`, `a`) only: `a_seed` is
+/// provenance, and the materialized wire codec drops it.
+impl PartialEq for PublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.b == other.b && self.a == other.a
+    }
 }
 
 impl PublicKey {
@@ -141,6 +322,56 @@ impl PublicKey {
     /// Bytes of key storage (`words × 8`).
     pub fn byte_len(&self) -> usize {
         self.words() * 8
+    }
+
+    /// The public seed `A` derives from, if the key was generated
+    /// seeded.
+    pub fn a_seed(&self) -> Option<u64> {
+        self.a_seed
+    }
+
+    /// Drops the re-derivable `A` half (`None` for unseeded keys).
+    pub fn compress(&self) -> Option<CompressedPublicKey> {
+        let a_seed = self.a_seed?;
+        Some(CompressedPublicKey {
+            a_seed,
+            b: self.b.clone(),
+        })
+    }
+}
+
+/// A seed-compressed [`PublicKey`]: the public seed plus the `B` limbs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedPublicKey {
+    pub(crate) a_seed: u64,
+    pub(crate) b: RnsPoly,
+}
+
+impl CompressedPublicKey {
+    /// The public seed `A` expands from.
+    pub fn a_seed(&self) -> u64 {
+        self.a_seed
+    }
+
+    /// Bytes of key storage: the stored `B` limbs plus the 8-byte seed.
+    pub fn byte_len(&self) -> usize {
+        self.b.words() * 8 + 8
+    }
+
+    /// Regenerates the full public key (bit-identical to the seeded
+    /// original).
+    pub fn materialize(&self, ctx: &CkksContext) -> PublicKey {
+        let a = RnsPoly::from_seed(
+            ctx.basis(),
+            self.b.limb_indices(),
+            Representation::Evaluation,
+            derive_seed(self.a_seed, 0),
+        );
+        PublicKey {
+            b: self.b.clone(),
+            a,
+            a_seed: Some(self.a_seed),
+        }
     }
 }
 
@@ -213,12 +444,39 @@ impl CkksContext {
     pub fn gen_public_key<R: Rng>(&self, sk: &SecretKey, rng: &mut R) -> PublicKey {
         let idx = self.chain_indices(self.params().max_level);
         let a = RnsPoly::random_uniform(self.basis(), &idx, Representation::Evaluation, rng);
-        let s = sk.s.subset(&idx);
+        let e = self.sample_error_poly(&idx, rng);
+        self.assemble_public_key(sk, a, e, None)
+    }
+
+    /// Seeded public-key generation: `A` expands from the **public**
+    /// `a_seed` (so the key compresses to seed + `B`), the error from
+    /// the **secret** `noise_seed`. The same `(a_seed, noise_seed)`
+    /// pair always yields bit-identical keys.
+    pub fn gen_public_key_seeded(&self, sk: &SecretKey, a_seed: u64, noise_seed: u64) -> PublicKey {
+        let idx = self.chain_indices(self.params().max_level);
+        let a = RnsPoly::from_seed(
+            self.basis(),
+            &idx,
+            Representation::Evaluation,
+            derive_seed(a_seed, 0),
+        );
+        let mut erng = rand::rngs::StdRng::seed_from_u64(derive_seed(noise_seed, 0));
+        let e = self.sample_error_poly(&idx, &mut erng);
+        self.assemble_public_key(sk, a, e, Some(a_seed))
+    }
+
+    fn assemble_public_key(
+        &self,
+        sk: &SecretKey,
+        a: RnsPoly,
+        e: RnsPoly,
+        a_seed: Option<u64>,
+    ) -> PublicKey {
+        let s = sk.s.subset(a.limb_indices());
         let mut b = a.clone();
         b.mul_assign(&s, self.basis());
-        let e = self.sample_error_poly(&idx, rng);
         b.add_assign(&e, self.basis());
-        PublicKey { b, a }
+        PublicKey { b, a, a_seed }
     }
 
     /// Public-key encryption: `(v·B + e_0 + P_m, v·A + e_1)` for a fresh
@@ -270,13 +528,14 @@ impl CkksContext {
         self.decode(&self.decrypt(ct, sk))
     }
 
-    /// Generates a key-switching key from source key `s'` (given in
-    /// evaluation representation over the full basis) to `sk`.
-    pub fn gen_switching_key<R: Rng>(
+    /// The shared body of switching-key generation: `pair_for(ext, i)`
+    /// supplies the `(A_i, e_i)` pair for decomposition piece `i`.
+    fn gen_switching_key_impl(
         &self,
         source: &RnsPoly,
         sk: &SecretKey,
-        rng: &mut R,
+        mut pair_for: impl FnMut(&[usize], usize) -> (RnsPoly, RnsPoly),
+        a_seed: Option<u64>,
     ) -> EvalKey {
         let l = self.params().max_level;
         let ext = self.extended_indices(l); // all of D
@@ -293,13 +552,12 @@ impl CkksContext {
             .collect();
         let pieces = groups
             .iter()
-            .map(|group| {
-                let a =
-                    RnsPoly::random_uniform(self.basis(), &ext, Representation::Evaluation, rng);
+            .enumerate()
+            .map(|(i, group)| {
+                let (a, e) = pair_for(&ext, i);
                 let s = sk.s.subset(&ext);
                 let mut b = a.clone();
                 b.mul_assign(&s, self.basis());
-                let e = self.sample_error_poly(&ext, rng);
                 b.add_assign(&e, self.basis());
                 // Add (P·T_i)·s': per limb, P·s' on the group's own limbs,
                 // zero elsewhere.
@@ -313,7 +571,59 @@ impl CkksContext {
                 (b, a)
             })
             .collect();
-        EvalKey { pieces }
+        EvalKey { pieces, a_seed }
+    }
+
+    /// Generates a key-switching key from source key `s'` (given in
+    /// evaluation representation over the full basis) to `sk`.
+    pub fn gen_switching_key<R: Rng>(
+        &self,
+        source: &RnsPoly,
+        sk: &SecretKey,
+        rng: &mut R,
+    ) -> EvalKey {
+        self.gen_switching_key_impl(
+            source,
+            sk,
+            |ext, _| {
+                let a = RnsPoly::random_uniform(self.basis(), ext, Representation::Evaluation, rng);
+                let e = self.sample_error_poly(ext, rng);
+                (a, e)
+            },
+            None,
+        )
+    }
+
+    /// Seeded switching-key generation: piece `i`'s uniform `A_i`
+    /// expands from `derive_seed(a_seed, i)` (public — the key
+    /// compresses to seed + `B_i` limbs), its error from
+    /// `derive_seed(noise_seed, i)` (secret). Deterministic: the same
+    /// `(source, sk, a_seed, noise_seed)` always yields bit-identical
+    /// keys, which is what lets eval keys be *re-derived at runtime*
+    /// instead of stored.
+    pub fn gen_switching_key_seeded(
+        &self,
+        source: &RnsPoly,
+        sk: &SecretKey,
+        a_seed: u64,
+        noise_seed: u64,
+    ) -> EvalKey {
+        self.gen_switching_key_impl(
+            source,
+            sk,
+            |ext, i| {
+                let a = RnsPoly::from_seed(
+                    self.basis(),
+                    ext,
+                    Representation::Evaluation,
+                    derive_seed(a_seed, i as u64),
+                );
+                let mut erng = rand::rngs::StdRng::seed_from_u64(derive_seed(noise_seed, i as u64));
+                let e = self.sample_error_poly(ext, &mut erng);
+                (a, e)
+            },
+            Some(a_seed),
+        )
     }
 
     /// The multiplication key `evk_mult` (source key `s²`).
@@ -321,6 +631,13 @@ impl CkksContext {
         let mut s2 = sk.s.clone();
         s2.mul_assign(&sk.s, self.basis());
         self.gen_switching_key(&s2, sk, rng)
+    }
+
+    /// Seeded multiplication key (see [`Self::gen_switching_key_seeded`]).
+    pub fn gen_mult_key_seeded(&self, sk: &SecretKey, a_seed: u64, noise_seed: u64) -> EvalKey {
+        let mut s2 = sk.s.clone();
+        s2.mul_assign(&sk.s, self.basis());
+        self.gen_switching_key_seeded(&s2, sk, a_seed, noise_seed)
     }
 
     /// A rotation key `evk_rot^{(r)}` (source key `ψ_r(s)`).
@@ -340,8 +657,23 @@ impl CkksContext {
         self.gen_switching_key(&rotated, sk, rng)
     }
 
+    /// Seeded Galois key (see [`Self::gen_switching_key_seeded`]).
+    pub fn gen_galois_key_seeded(
+        &self,
+        g: GaloisElement,
+        sk: &SecretKey,
+        a_seed: u64,
+        noise_seed: u64,
+    ) -> EvalKey {
+        let rotated = sk.s.automorphism(g, self.basis());
+        self.gen_switching_key_seeded(&rotated, sk, a_seed, noise_seed)
+    }
+
     /// Generates rotation keys for a set of amounts plus conjugation,
-    /// returning the populated [`RotationKeys`].
+    /// returning the populated [`RotationKeys`]. Amounts are reduced
+    /// through [`GaloisElement::normalize_rotation`]; amounts ≡ 0 mod
+    /// the slot count are skipped entirely (rotation by 0 is the
+    /// identity and needs no key).
     pub fn gen_rotation_keys<R: Rng>(
         &self,
         rotations: &[i64],
@@ -350,8 +682,12 @@ impl CkksContext {
         rng: &mut R,
     ) -> RotationKeys {
         let n = self.params().n();
+        let slots = self.params().slots();
         let mut set = RotationKeys::new();
         for &r in rotations {
+            if GaloisElement::normalize_rotation(r, slots) == 0 {
+                continue;
+            }
             let g = GaloisElement::from_rotation(r, n);
             if set.get(g).is_none() {
                 set.insert(g, self.gen_rotation_key(r, sk, rng));
@@ -477,6 +813,101 @@ mod tests {
         assert_eq!(keys.len(), 3); // {g(1), g(2), conj}
         assert!(!keys.is_empty());
         assert!(keys.words() > 0);
+    }
+
+    #[test]
+    fn seeded_keys_are_deterministic_and_compress_roundtrips() {
+        let (ctx, sk, _) = setup();
+        let k1 = ctx.gen_mult_key_seeded(&sk, 0xaaaa, 0xbbbb);
+        let k2 = ctx.gen_mult_key_seeded(&sk, 0xaaaa, 0xbbbb);
+        assert_eq!(k1, k2, "same seeds must yield bit-identical keys");
+        assert_ne!(k1, ctx.gen_mult_key_seeded(&sk, 0xaaab, 0xbbbb));
+        assert_eq!(k1.a_seed(), Some(0xaaaa));
+
+        // compress → materialize is the identity
+        let ck = k1.compress().expect("seeded keys compress");
+        assert_eq!(ck.materialize(&ctx), k1);
+        // materialize(compress) of a compressed key is also stable
+        assert_eq!(ck.materialize(&ctx).compress().unwrap(), ck);
+        // the compressed form stores the b halves plus the seed only
+        assert_eq!(ck.byte_len(), k1.byte_len() / 2 + 8);
+
+        // rng-generated keys carry no seed and refuse to compress
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let unseeded = ctx.gen_mult_key(&sk, &mut rng);
+        assert_eq!(unseeded.a_seed(), None);
+        assert!(unseeded.compress().is_none());
+    }
+
+    #[test]
+    fn seeded_galois_key_actually_rotates() {
+        let (ctx, sk, mut rng) = setup();
+        let slots = ctx.params().slots();
+        let g = GaloisElement::from_rotation(1, ctx.params().n());
+        let key = ctx.gen_galois_key_seeded(g, &sk, 0x5eed, 0x401e);
+        // round the key through compression before using it
+        let key = key.compress().unwrap().materialize(&ctx);
+        let msg: Vec<ark_math::cfft::C64> = (0..slots)
+            .map(|i| ark_math::cfft::C64::new(0.01 * i as f64, 0.0))
+            .collect();
+        let pt = ctx.encode(&msg, 2, ctx.params().scale());
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let rotated = ctx.apply_galois(&ct, g, &key);
+        let out = ctx.decrypt_decode(&rotated, &sk);
+        let want: Vec<ark_math::cfft::C64> = (0..slots).map(|i| msg[(i + 1) % slots]).collect();
+        assert!(max_error(&want, &out) < 1e-3);
+    }
+
+    #[test]
+    fn seeded_public_key_compresses_and_still_encrypts() {
+        let (ctx, sk, mut rng) = setup();
+        let pk = ctx.gen_public_key_seeded(&sk, 0x1111, 0x2222);
+        assert_eq!(pk, ctx.gen_public_key_seeded(&sk, 0x1111, 0x2222));
+        let cpk = pk.compress().expect("seeded pk compresses");
+        assert_eq!(cpk.byte_len(), pk.byte_len() / 2 + 8);
+        let back = cpk.materialize(&ctx);
+        assert_eq!(back, pk);
+        let msg = vec![ark_math::cfft::C64::new(0.25, -0.5); ctx.params().slots()];
+        let pt = ctx.encode(&msg, 2, ctx.params().scale());
+        let ct = ctx.encrypt_public(&pt, &back, &mut rng);
+        assert!(max_error(&msg, &ctx.decrypt_decode(&ct, &sk)) < 1e-3);
+    }
+
+    #[test]
+    fn rotation_key_set_compresses_all_or_nothing() {
+        let (ctx, sk, mut rng) = setup();
+        let mut set = RotationKeys::new();
+        let n = ctx.params().n();
+        for r in [1i64, 2] {
+            let g = GaloisElement::from_rotation(r, n);
+            set.insert(
+                g,
+                ctx.gen_galois_key_seeded(g, &sk, 100 + r as u64, 200 + r as u64),
+            );
+        }
+        let compressed = set.compress().expect("all keys seeded");
+        assert_eq!(compressed.len(), 2);
+        assert_eq!(compressed.galois_elements(), set.galois_elements());
+        let back = compressed.materialize(&ctx);
+        assert_eq!(back.words(), set.words());
+        for g in set.galois_elements() {
+            assert_eq!(back.get_raw(g), set.get_raw(g));
+        }
+        // one unseeded key poisons the set
+        set.insert(
+            GaloisElement::conjugation(n),
+            ctx.gen_conjugation_key(&sk, &mut rng),
+        );
+        assert!(set.compress().is_none());
+    }
+
+    #[test]
+    fn rotation_keygen_skips_identity_amounts() {
+        let (ctx, sk, mut rng) = setup();
+        let slots = ctx.params().slots() as i64;
+        // 0 and ±slots are identity rotations: no key is generated
+        let keys = ctx.gen_rotation_keys(&[0, slots, -slots, 1], false, &sk, &mut rng);
+        assert_eq!(keys.len(), 1);
     }
 
     #[test]

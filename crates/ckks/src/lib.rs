@@ -30,5 +30,8 @@ pub mod wire;
 
 pub use ciphertext::{Ciphertext, Plaintext};
 pub use error::{ArkError, ArkResult};
-pub use keys::{EvalKey, PublicKey, RotationKeys, SecretKey};
+pub use keys::{
+    CompressedEvalKey, CompressedPublicKey, CompressedRotationKeys, EvalKey, PublicKey,
+    RotationKeys, SecretKey,
+};
 pub use params::{CkksContext, CkksParams};

@@ -276,10 +276,14 @@ impl CkksContext {
     /// [`ArkError::MissingRotationKey`] if no key for `5^r` is held.
     #[must_use = "returns the rotated ciphertext; the input is unchanged"]
     pub fn rotate(&self, ct: &Ciphertext, r: i64, keys: &RotationKeys) -> ArkResult<Ciphertext> {
-        if r == 0 {
+        // single choke point: reduce the amount modulo the slot count
+        // so `r` and `r − n_slots` resolve to the same key, and any
+        // amount ≡ 0 (including ±n_slots) is a keyless no-op
+        let reduced = GaloisElement::normalize_rotation(r, self.params().slots());
+        if reduced == 0 {
             return Ok(ct.clone());
         }
-        let g = GaloisElement::from_rotation(r, self.params().n());
+        let g = GaloisElement::from_rotation(reduced, self.params().n());
         let key = keys
             .get(g)
             .ok_or(ArkError::MissingRotationKey { amount: r })?;

@@ -30,7 +30,10 @@
 
 use crate::ciphertext::{Ciphertext, Plaintext};
 use crate::error::{ArkError, ArkResult};
-use crate::keys::{EvalKey, PublicKey, RotationKeys};
+use crate::keys::{
+    CompressedEvalKey, CompressedPublicKey, CompressedRotationKeys, EvalKey, PublicKey,
+    RotationKeys,
+};
 use crate::params::{CkksContext, CkksParams};
 use ark_math::automorphism::GaloisElement;
 use ark_math::poly::{Representation, RnsPoly};
@@ -170,7 +173,9 @@ pub fn encode_public_key(out: &mut Vec<u8>, pk: &PublicKey) {
 pub fn decode_public_key(cur: &mut Cursor<'_>, ctx: &CkksContext) -> ArkResult<PublicKey> {
     let expect = ctx.chain_indices(ctx.params().max_level);
     let (b, a) = decode_key_pair(cur, ctx, &expect)?;
-    Ok(PublicKey { b, a })
+    // a materialized frame does not carry provenance: the decoded key
+    // works but cannot re-compress
+    Ok(PublicKey { b, a, a_seed: None })
 }
 
 /// Appends the evaluation-key payload: `u16 dnum | dnum × (poly B | poly A)`
@@ -197,7 +202,10 @@ pub fn decode_eval_key(cur: &mut Cursor<'_>, ctx: &CkksContext) -> ArkResult<Eva
     for _ in 0..count {
         pieces.push(decode_key_pair(cur, ctx, &expect)?);
     }
-    Ok(EvalKey { pieces })
+    Ok(EvalKey {
+        pieces,
+        a_seed: None,
+    })
 }
 
 /// Appends the rotation-key-set payload:
@@ -239,6 +247,122 @@ pub fn decode_rotation_keys(cur: &mut Cursor<'_>, ctx: &CkksContext) -> ArkResul
         keys.insert(GaloisElement(g), decode_eval_key(cur, ctx)?);
     }
     Ok(keys)
+}
+
+// ---------------------------------------------------------------------
+// seed-compressed key codecs (runtime data generation on the wire:
+// only the seed and the B halves ship; A halves re-derive on arrival)
+// ---------------------------------------------------------------------
+
+/// Decodes one `B` half of a key over the expected limb set, in
+/// evaluation representation.
+fn decode_key_b(
+    cur: &mut Cursor<'_>,
+    ctx: &CkksContext,
+    expect_limbs: &[usize],
+) -> ArkResult<RnsPoly> {
+    let b = decode_poly(cur, ctx.basis())?;
+    if b.limb_indices() != expect_limbs {
+        return Err(malformed("key component has the wrong limb set"));
+    }
+    if b.representation() != Representation::Evaluation {
+        return Err(malformed(
+            "key material must be in evaluation representation",
+        ));
+    }
+    Ok(b)
+}
+
+/// Appends the compressed-evaluation-key payload:
+/// `u64 a_seed | u16 dnum | dnum × poly B` over the extended basis.
+pub fn encode_compressed_eval_key(out: &mut Vec<u8>, key: &CompressedEvalKey) {
+    put_u64(out, key.a_seed);
+    put_u16(out, key.b_pieces.len() as u16);
+    for b in &key.b_pieces {
+        encode_poly(out, b);
+    }
+}
+
+/// Decodes and validates a compressed-evaluation-key payload (`dnum`
+/// `B` halves over the full extended basis).
+pub fn decode_compressed_eval_key(
+    cur: &mut Cursor<'_>,
+    ctx: &CkksContext,
+) -> ArkResult<CompressedEvalKey> {
+    let a_seed = cur.u64()?;
+    let count = cur.u16()? as usize;
+    if count != ctx.params().dnum {
+        return Err(malformed(format!(
+            "compressed evaluation key has {count} pieces, parameter set requires dnum = {}",
+            ctx.params().dnum
+        )));
+    }
+    let expect = ctx.extended_indices(ctx.params().max_level);
+    let mut b_pieces = Vec::with_capacity(count);
+    for _ in 0..count {
+        b_pieces.push(decode_key_b(cur, ctx, &expect)?);
+    }
+    Ok(CompressedEvalKey { a_seed, b_pieces })
+}
+
+/// Appends the compressed-public-key payload: `u64 a_seed | poly B`
+/// over the full chain.
+pub fn encode_compressed_public_key(out: &mut Vec<u8>, key: &CompressedPublicKey) {
+    put_u64(out, key.a_seed);
+    encode_poly(out, &key.b);
+}
+
+/// Decodes and validates a compressed-public-key payload.
+pub fn decode_compressed_public_key(
+    cur: &mut Cursor<'_>,
+    ctx: &CkksContext,
+) -> ArkResult<CompressedPublicKey> {
+    let a_seed = cur.u64()?;
+    let expect = ctx.chain_indices(ctx.params().max_level);
+    let b = decode_key_b(cur, ctx, &expect)?;
+    Ok(CompressedPublicKey { a_seed, b })
+}
+
+/// Appends the compressed-rotation-key-set payload:
+/// `u16 count | count × (u64 galois | compressed eval-key payload)`,
+/// sorted by Galois element.
+pub fn encode_compressed_rotation_keys(out: &mut Vec<u8>, keys: &CompressedRotationKeys) {
+    put_u16(out, keys.entries.len() as u16);
+    for (g, key) in &keys.entries {
+        put_u64(out, *g);
+        encode_compressed_eval_key(out, key);
+    }
+}
+
+/// Decodes and validates a compressed-rotation-key-set payload.
+/// Galois elements must be odd, in `1..2N`, and strictly ascending.
+pub fn decode_compressed_rotation_keys(
+    cur: &mut Cursor<'_>,
+    ctx: &CkksContext,
+) -> ArkResult<CompressedRotationKeys> {
+    let count = cur.u16()? as usize;
+    if count > MAX_ROTATION_KEYS {
+        return Err(malformed(format!(
+            "rotation key count {count} exceeds the {MAX_ROTATION_KEYS} cap"
+        )));
+    }
+    let two_n = 2 * ctx.params().n() as u64;
+    let mut entries = Vec::with_capacity(count);
+    let mut prev: Option<u64> = None;
+    for _ in 0..count {
+        let g = cur.u64()?;
+        if g % 2 == 0 || g == 0 || g >= two_n {
+            return Err(malformed(format!(
+                "invalid Galois element {g} for 2N = {two_n}"
+            )));
+        }
+        if prev.is_some_and(|p| g <= p) {
+            return Err(malformed("Galois elements must be strictly ascending"));
+        }
+        prev = Some(g);
+        entries.push((g, decode_compressed_eval_key(cur, ctx)?));
+    }
+    Ok(CompressedRotationKeys { entries })
 }
 
 // ---------------------------------------------------------------------
@@ -311,6 +435,33 @@ frame_codec!(
     encode_rotation_keys,
     decode_rotation_keys,
     "rotation key set"
+);
+frame_codec!(
+    write_compressed_eval_key,
+    read_compressed_eval_key,
+    CompressedEvalKey,
+    kind::COMPRESSED_EVAL_KEY,
+    encode_compressed_eval_key,
+    decode_compressed_eval_key,
+    "seed-compressed evaluation key"
+);
+frame_codec!(
+    write_compressed_public_key,
+    read_compressed_public_key,
+    CompressedPublicKey,
+    kind::COMPRESSED_PUBLIC_KEY,
+    encode_compressed_public_key,
+    decode_compressed_public_key,
+    "seed-compressed public key"
+);
+frame_codec!(
+    write_compressed_rotation_keys,
+    read_compressed_rotation_keys,
+    CompressedRotationKeys,
+    kind::COMPRESSED_ROTATION_KEYS,
+    encode_compressed_rotation_keys,
+    decode_compressed_rotation_keys,
+    "seed-compressed rotation key set"
 );
 
 /// Reads a ciphertext frame from the *front* of `bytes`, returning the

@@ -6,9 +6,13 @@
 use ark_ckks::error::ArkError;
 use ark_ckks::params::{CkksContext, CkksParams};
 use ark_ckks::wire::{
-    param_fingerprint, read_ciphertext, read_plaintext, write_ciphertext, write_plaintext,
+    param_fingerprint, read_ciphertext, read_compressed_eval_key, read_compressed_public_key,
+    read_compressed_rotation_keys, read_eval_key, read_plaintext, write_ciphertext,
+    write_compressed_eval_key, write_compressed_public_key, write_compressed_rotation_keys,
+    write_plaintext,
 };
 use ark_ckks::{Ciphertext, SecretKey};
+use ark_math::automorphism::GaloisElement;
 use ark_math::cfft::C64;
 use ark_math::wire::{WireError, HEADER_LEN, MAGIC, VERSION};
 use proptest::prelude::*;
@@ -142,6 +146,122 @@ proptest! {
             ArkError::Wire(WireError::FingerprintMismatch { .. })
         ));
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    // compress → wire encode → decode → materialize is bit-identical
+    // to the eagerly generated key, on both parameter sets and for
+    // arbitrary seed pairs.
+    #[test]
+    fn compressed_eval_key_roundtrips_on_both_parameter_sets(
+        a_seed in 0u64..u64::MAX,
+        noise_seed in 0u64..u64::MAX,
+    ) {
+        for f in [&fixtures().0, &fixtures().1] {
+            let eager = f.ctx.gen_mult_key_seeded(&f.sk, a_seed, noise_seed);
+            let bytes = write_compressed_eval_key(
+                &f.ctx,
+                &eager.compress().expect("seeded keys compress"),
+            );
+            // the compressed frame is at most 55% of the materialized one
+            let full = ark_ckks::wire::write_eval_key(&f.ctx, &eager);
+            prop_assert!(bytes.len() * 100 <= full.len() * 55,
+                "{} vs {}", bytes.len(), full.len());
+            let back = read_compressed_eval_key(&f.ctx, &bytes).unwrap();
+            prop_assert_eq!(back.materialize(&f.ctx), eager);
+        }
+    }
+
+    // same round-trip for a rotation-key set and the public key.
+    #[test]
+    fn compressed_key_set_and_public_key_roundtrip(
+        a_seed in 0u64..u64::MAX,
+        noise_seed in 0u64..u64::MAX,
+    ) {
+        for f in [&fixtures().0, &fixtures().1] {
+            let n = f.ctx.params().n();
+            let mut set = ark_ckks::RotationKeys::new();
+            for r in [1i64, 2] {
+                let g = GaloisElement::from_rotation(r, n);
+                set.insert(
+                    g,
+                    f.ctx.gen_galois_key_seeded(
+                        g,
+                        &f.sk,
+                        a_seed.wrapping_add(r as u64),
+                        noise_seed.wrapping_add(r as u64),
+                    ),
+                );
+            }
+            let bytes = write_compressed_rotation_keys(&f.ctx, &set.compress().unwrap());
+            let back = read_compressed_rotation_keys(&f.ctx, &bytes).unwrap().materialize(&f.ctx);
+            prop_assert_eq!(back.galois_elements(), set.galois_elements());
+            for g in set.galois_elements() {
+                prop_assert_eq!(back.get_raw(g), set.get_raw(g));
+            }
+
+            let pk = f.ctx.gen_public_key_seeded(&f.sk, a_seed, noise_seed);
+            let pk_bytes = write_compressed_public_key(&f.ctx, &pk.compress().unwrap());
+            let pk_back = read_compressed_public_key(&f.ctx, &pk_bytes).unwrap();
+            prop_assert_eq!(pk_back.materialize(&f.ctx), pk);
+        }
+    }
+
+    // truncation fuzz on the new kind tag: every cut is a typed
+    // Truncated, never a panic or a half-decoded key.
+    #[test]
+    fn compressed_eval_key_truncation_is_typed(cut_frac in 0.0f64..1.0) {
+        let f = &fixtures().0;
+        let key = f.ctx.gen_mult_key_seeded(&f.sk, 0x5eed, 0xe401);
+        let bytes = write_compressed_eval_key(&f.ctx, &key.compress().unwrap());
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        let err = read_compressed_eval_key(&f.ctx, &bytes[..cut]).unwrap_err();
+        prop_assert!(matches!(err, ArkError::Wire(WireError::Truncated { .. })),
+            "cut at {}: {:?}", cut, err);
+    }
+
+    // bit-flip fuzz: any single flipped bit in a compressed-key frame
+    // is rejected with a typed wire error.
+    #[test]
+    fn compressed_eval_key_bit_flip_is_rejected(
+        pos_frac in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let f = &fixtures().0;
+        let key = f.ctx.gen_mult_key_seeded(&f.sk, 0x5eed, 0xe402);
+        let mut bytes = write_compressed_eval_key(&f.ctx, &key.compress().unwrap());
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        let err = read_compressed_eval_key(&f.ctx, &bytes).unwrap_err();
+        prop_assert!(matches!(err, ArkError::Wire(_)), "flip at {}: {:?}", pos, err);
+    }
+}
+
+#[test]
+fn compressed_and_materialized_kinds_do_not_cross_decode() {
+    let f = &fixtures().0;
+    let key = f.ctx.gen_mult_key_seeded(&f.sk, 0xabcd, 0xef01);
+    let compressed = write_compressed_eval_key(&f.ctx, &key.compress().unwrap());
+    // a compressed frame is not a materialized eval-key frame, and
+    // vice versa: the kind tags keep the decoders apart
+    assert!(matches!(
+        read_eval_key(&f.ctx, &compressed).unwrap_err(),
+        ArkError::Wire(WireError::WrongKind { .. })
+    ));
+    let materialized = ark_ckks::wire::write_eval_key(&f.ctx, &key);
+    assert!(matches!(
+        read_compressed_eval_key(&f.ctx, &materialized).unwrap_err(),
+        ArkError::Wire(WireError::WrongKind { .. })
+    ));
+    // a materialized frame decodes without provenance: it works but
+    // cannot re-compress — and still compares equal to the original
+    // (equality is over key material, not the a_seed provenance)
+    let back = read_eval_key(&f.ctx, &materialized).unwrap();
+    assert_eq!(back.a_seed(), None);
+    assert!(back.compress().is_none());
+    assert_eq!(back, key);
 }
 
 #[test]

@@ -17,13 +17,24 @@ use crate::par::ThreadPool;
 pub struct GaloisElement(pub u64);
 
 impl GaloisElement {
+    /// Canonical rotation amount in `0..n_slots`: the single choke
+    /// point every layer (key generation, key lookup, declared-set
+    /// checks, trace recording) reduces through, so `r` and
+    /// `r − n_slots` always name the same key. `5` has order `N/2 =
+    /// n_slots` modulo `2N`, so rotation amounts are only meaningful
+    /// modulo the slot count; a normalized amount of `0` is the
+    /// identity map and needs no key at all.
+    pub fn normalize_rotation(r: i64, n_slots: usize) -> i64 {
+        assert!(n_slots > 0, "slot count must be positive");
+        r.rem_euclid(n_slots as i64)
+    }
+
     /// Galois element for a circular left rotation by `r` slots:
     /// `g = 5^r mod 2N`. Negative `r` rotates right.
     pub fn from_rotation(r: i64, n: usize) -> Self {
         let two_n = 2 * n as u64;
         // 5 has order N/2 modulo 2N; reduce the exponent accordingly.
-        let order = (n / 2) as u64;
-        let r_red = r.rem_euclid(order as i64) as u64;
+        let r_red = Self::normalize_rotation(r, n / 2) as u64;
         let mut g = 1u64;
         let mut base = 5u64 % two_n;
         let mut e = r_red;

@@ -11,6 +11,21 @@ use crate::automorphism::{self, GaloisElement};
 use crate::modulus::Modulus;
 use crate::ntt::{self, NttDirection, NttTable};
 use crate::par::ThreadPool;
+use rand::{Rng, SeedableRng};
+
+/// Derives a child seed from `(seed, tweak)` with a SplitMix64-style
+/// finalizer — the domain-separation primitive behind every
+/// seed-compressed object (evaluation keys, public keys): one 64-bit
+/// master seed fans out into independent per-piece, per-limb streams.
+/// Not a cryptographic PRF; it matches the security posture of the
+/// vendored xoshiro `StdRng` it feeds (see `vendor/rand`).
+pub fn derive_seed(seed: u64, tweak: u64) -> u64 {
+    let mut z = seed ^ tweak.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// Whether limb data is in coefficient or evaluation (NTT) order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -205,6 +220,37 @@ impl RnsPoly {
             .collect();
         Self {
             n: basis.n(),
+            rep,
+            limb_idx: indices.to_vec(),
+            data,
+        }
+    }
+
+    /// Uniformly random polynomial expanded deterministically from a
+    /// 64-bit seed — the *runtime data generation* primitive of the
+    /// paper: the uniform `a` half of an RLWE pair need not be stored
+    /// or shipped because any party can re-derive it from the seed.
+    ///
+    /// The row for basis limb `i` depends only on `(seed, i)`: each
+    /// limb draws from its own child generator
+    /// (`derive_seed(seed, i)`), so the expansion is identical
+    /// regardless of which other limbs are requested, in what order,
+    /// or how wide the basis thread pool is. In particular
+    /// `from_seed(.., &[0, 1, 2], ..).subset(&[0, 2])` equals
+    /// `from_seed(.., &[0, 2], ..)`.
+    pub fn from_seed(basis: &RnsBasis, indices: &[usize], rep: Representation, seed: u64) -> Self {
+        let n = basis.n();
+        let data = basis
+            .pool()
+            .for_work(indices.len() * n)
+            .par_map_range(indices.len(), |pos| {
+                let idx = indices[pos];
+                let q = basis.modulus(idx).value();
+                let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(seed, idx as u64));
+                (0..n).map(|_| rng.gen_range(0..q)).collect()
+            });
+        Self {
+            n,
             rep,
             limb_idx: indices.to_vec(),
             data,
@@ -619,6 +665,53 @@ mod tests {
         let mut a = RnsPoly::random_uniform(&b, &[0, 1], Representation::Coefficient, &mut rng);
         let c = RnsPoly::random_uniform(&b, &[0, 2], Representation::Coefficient, &mut rng);
         a.add_assign(&c, &b);
+    }
+
+    #[test]
+    fn from_seed_is_deterministic_and_limb_set_independent() {
+        let b = basis(32, 4);
+        let p = RnsPoly::from_seed(&b, &[0, 1, 2, 3], Representation::Evaluation, 0xfeed);
+        let q = RnsPoly::from_seed(&b, &[0, 1, 2, 3], Representation::Evaluation, 0xfeed);
+        assert_eq!(p, q);
+        // residues are reduced
+        for (pos, &i) in p.limb_indices().iter().enumerate() {
+            let m = b.modulus(i).value();
+            assert!(p.limb(pos).iter().all(|&w| w < m));
+        }
+        // each limb depends only on (seed, limb index), not on which
+        // other limbs were requested
+        let sub = RnsPoly::from_seed(&b, &[0, 2], Representation::Evaluation, 0xfeed);
+        assert_eq!(sub, p.subset(&[0, 2]));
+        // different seeds diverge
+        let other = RnsPoly::from_seed(&b, &[0, 1, 2, 3], Representation::Evaluation, 0xfeee);
+        assert_ne!(other, p);
+    }
+
+    #[test]
+    fn derive_seed_separates_tweaks() {
+        let a = crate::poly::derive_seed(1, 0);
+        let b = crate::poly::derive_seed(1, 1);
+        let c = crate::poly::derive_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, crate::poly::derive_seed(1, 0));
+    }
+
+    #[test]
+    fn normalize_rotation_is_the_single_choke_point() {
+        use crate::automorphism::GaloisElement;
+        let slots = 16usize;
+        assert_eq!(GaloisElement::normalize_rotation(0, slots), 0);
+        assert_eq!(GaloisElement::normalize_rotation(16, slots), 0);
+        assert_eq!(GaloisElement::normalize_rotation(-16, slots), 0);
+        assert_eq!(GaloisElement::normalize_rotation(-1, slots), 15);
+        assert_eq!(GaloisElement::normalize_rotation(3 - 16, slots), 3);
+        // r and r − n_slots resolve to the same Galois element
+        let n = 2 * slots;
+        assert_eq!(
+            GaloisElement::from_rotation(3, n),
+            GaloisElement::from_rotation(3 - slots as i64, n)
+        );
     }
 
     #[test]

@@ -53,8 +53,8 @@ pub const HEADER_LEN: usize = 4 + 2 + 2 + 8 + 8;
 pub const CHECKSUM_LEN: usize = 8;
 
 /// Well-known kind tags. The namespace is append-only and shared by all
-/// layers: `ark-math` owns 1, `ark-ckks` 2–6, `ark-core` 7, and the
-/// `ark-serve` protocol 0x10–0x1F.
+/// layers: `ark-math` owns 1, `ark-ckks` 2–6 and 8–10, `ark-core` 7,
+/// and the `ark-serve` protocol 0x10–0x1F.
 pub mod kind {
     /// A bare [`super::RnsPoly`](crate::poly::RnsPoly).
     pub const RNS_POLY: u16 = 1;
@@ -70,6 +70,13 @@ pub mod kind {
     pub const ROTATION_KEYS: u16 = 6;
     /// An `ark-core` simulation report.
     pub const SIM_REPORT: u16 = 7;
+    /// An `ark-ckks` seed-compressed evaluation key (`a` halves
+    /// re-derived from a seed; only the `b` halves ship).
+    pub const COMPRESSED_EVAL_KEY: u16 = 8;
+    /// An `ark-ckks` seed-compressed public key.
+    pub const COMPRESSED_PUBLIC_KEY: u16 = 9;
+    /// An `ark-ckks` seed-compressed rotation-key set.
+    pub const COMPRESSED_ROTATION_KEYS: u16 = 10;
 }
 
 /// Typed failure of a wire read. Wrapped as `ArkError::Wire` by the

@@ -17,7 +17,7 @@ use crate::protocol::{
 use ark_ckks::error::{ArkError, ArkResult};
 use ark_ckks::params::CkksContext;
 use ark_ckks::wire as ckks_wire;
-use ark_ckks::{Ciphertext, PublicKey};
+use ark_ckks::{Ciphertext, EvalKey, PublicKey, RotationKeys};
 use ark_core::sched::SimReport;
 use ark_core::wire as core_wire;
 use ark_math::wire::{put_u16, put_u32, read_frame, write_frame, Cursor, Frame};
@@ -75,10 +75,39 @@ impl Client {
 
     /// Fetches the server's public key for a hosted software engine so
     /// the session can encrypt inputs under the server's key chain.
+    /// The key travels seed-compressed (half the materialized bytes);
+    /// the uniform half is re-expanded locally, bit-identical to the
+    /// key the server holds.
     pub fn public_key(&mut self, fingerprint: u64, ctx: &CkksContext) -> ArkResult<PublicKey> {
         let frame = self.request(write_frame(msg::GET_PUBLIC_KEY, fingerprint, &[]))?;
         let outer = self.expect_kind(&frame, msg::PUBLIC_KEY)?;
-        ckks_wire::read_public_key(ctx, outer.payload)
+        let compressed = ckks_wire::read_compressed_public_key(ctx, outer.payload)?;
+        Ok(compressed.materialize(ctx))
+    }
+
+    /// Fetches the server's evaluation keys (multiplication key plus
+    /// the full rotation/conjugation set) for local evaluation. Both
+    /// travel seed-compressed and are materialized here.
+    pub fn eval_keys(
+        &mut self,
+        fingerprint: u64,
+        ctx: &CkksContext,
+    ) -> ArkResult<(EvalKey, RotationKeys)> {
+        let frame = self.request(write_frame(msg::GET_EVAL_KEYS, fingerprint, &[]))?;
+        let outer = self.expect_kind(&frame, msg::EVAL_KEYS)?;
+        // the payload is two concatenated nested frames: mult key,
+        // then the rotation-key set
+        let fp = ckks_wire::param_fingerprint(ctx.params());
+        let (mult_frame, used) = ark_math::wire::read_frame_expecting(
+            outer.payload,
+            ark_math::wire::kind::COMPRESSED_EVAL_KEY,
+            fp,
+        )?;
+        let mut cur = Cursor::new(mult_frame.payload);
+        let mult = ckks_wire::decode_compressed_eval_key(&mut cur, ctx)?;
+        cur.finish().map_err(ArkError::Wire)?;
+        let rotations = ckks_wire::read_compressed_rotation_keys(ctx, &outer.payload[used..])?;
+        Ok((mult.materialize(ctx), rotations.materialize(ctx)))
     }
 
     /// Evaluates `program` remotely over locally-encrypted inputs on

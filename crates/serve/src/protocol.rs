@@ -19,7 +19,9 @@
 //! | `HELLO` | c→s | `u16` protocol version |
 //! | `SERVER_INFO` | s→c | `u16 n` × engine descriptor |
 //! | `GET_PUBLIC_KEY` | c→s | empty (frame fingerprint picks the engine) |
-//! | `PUBLIC_KEY` | s→c | nested public-key frame |
+//! | `PUBLIC_KEY` | s→c | nested *seed-compressed* public-key frame |
+//! | `GET_EVAL_KEYS` | c→s | empty (frame fingerprint picks the engine) |
+//! | `EVAL_KEYS` | s→c | nested seed-compressed eval-key frame (mult) ‖ nested seed-compressed rotation-key-set frame |
 //! | `EVALUATE` | c→s | program ‖ `u16 n` × nested ciphertext frame |
 //! | `RESULT_CTS` | s→c | `u16 n` × nested ciphertext frame |
 //! | `SIMULATE` | c→s | program ‖ `u16 n` × `u32` input level |
@@ -36,7 +38,9 @@ use ark_math::wire::{put_u16, put_u32, put_u64, write_frame, Cursor, WireError};
 use std::io::{self, Read, Write};
 
 /// Protocol version spoken by this build (checked in `HELLO`).
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Version 2: key distribution ships seed-compressed frames
+/// (`PUBLIC_KEY` payload changed; `GET_EVAL_KEYS`/`EVAL_KEYS` added).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Serve-namespace frame kinds.
 pub mod msg {
@@ -62,6 +66,11 @@ pub mod msg {
     pub const SHUTDOWN: u16 = 0x19;
     /// Shutdown acknowledgement (server → client).
     pub const BYE: u16 = 0x1A;
+    /// Evaluation-key fetch (client → server): the mult key plus the
+    /// full rotation-key set, seed-compressed.
+    pub const GET_EVAL_KEYS: u16 = 0x1B;
+    /// Evaluation-key response (server → client).
+    pub const EVAL_KEYS: u16 = 0x1C;
 }
 
 /// Error codes carried by `ERROR` messages.

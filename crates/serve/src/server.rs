@@ -538,7 +538,8 @@ fn handle_frame(shared: &Shared, session: &mut Session, bytes: &[u8]) -> (Vec<u8
     };
     let response = match frame.kind {
         msg::HELLO => handle_hello(shared, frame.payload),
-        msg::GET_PUBLIC_KEY => handle_get_public_key(shared, frame.fingerprint),
+        msg::GET_PUBLIC_KEY => handle_get_public_key(shared, session, frame.fingerprint),
+        msg::GET_EVAL_KEYS => handle_get_eval_keys(shared, session, frame.fingerprint),
         msg::EVALUATE => handle_evaluate(shared, session, frame.fingerprint, frame.payload),
         msg::SIMULATE => handle_simulate(shared, frame.fingerprint, frame.payload),
         msg::SHUTDOWN => {
@@ -588,7 +589,11 @@ fn handle_hello(shared: &Shared, payload: &[u8]) -> Handled {
     Ok(protocol::server_info_frame(&shared.info))
 }
 
-fn handle_get_public_key(shared: &Shared, fingerprint: u64) -> Handled {
+/// Key distribution ships *seed-compressed* frames (runtime data
+/// generation on the wire): the uniform halves travel as one 64-bit
+/// seed the client re-expands, halving key-download traffic — and the
+/// session budget is charged at the compressed size actually shipped.
+fn handle_get_public_key(shared: &Shared, session: &mut Session, fingerprint: u64) -> Handled {
     let (_, engine) = find_engine(shared, fingerprint)?;
     let (Some(ctx), Some(kc)) = (engine.context(), engine.keychain()) else {
         return Err((
@@ -596,8 +601,46 @@ fn handle_get_public_key(shared: &Shared, fingerprint: u64) -> Handled {
             "the simulated backend holds no key material".into(),
         ));
     };
-    let nested = ckks_wire::write_public_key(ctx, kc.public_key());
+    let compressed = kc.public_key().compress().ok_or((
+        code::UNSUPPORTED,
+        "the hosted public key was generated without a seed and cannot compress".into(),
+    ))?;
+    session
+        .charge(compressed.byte_len(), shared.config.max_session_bytes)
+        .map_err(|e| (code::SESSION_LIMIT, e.to_string()))?;
+    let nested = ckks_wire::write_compressed_public_key(ctx, &compressed);
     Ok(write_frame(msg::PUBLIC_KEY, fingerprint, &nested))
+}
+
+/// Ships the multiplication key plus the full rotation-key set,
+/// seed-compressed, so a client can evaluate locally with the same
+/// keys the server holds.
+fn handle_get_eval_keys(shared: &Shared, session: &mut Session, fingerprint: u64) -> Handled {
+    let (_, engine) = find_engine(shared, fingerprint)?;
+    let (Some(ctx), Some(kc)) = (engine.context(), engine.keychain()) else {
+        return Err((
+            code::UNSUPPORTED,
+            "the simulated backend holds no key material".into(),
+        ));
+    };
+    // ship the declared surface only — a bootstrapping engine also
+    // holds internal transform keys, which stay server-side
+    let (Some(mult), Some(rotations)) = (kc.mult_key().compress(), kc.compressed_declared_keys())
+    else {
+        return Err((
+            code::UNSUPPORTED,
+            "the hosted evaluation keys were generated without seeds and cannot compress".into(),
+        ));
+    };
+    session
+        .charge(
+            mult.byte_len() + rotations.byte_len(),
+            shared.config.max_session_bytes,
+        )
+        .map_err(|e| (code::SESSION_LIMIT, e.to_string()))?;
+    let mut payload = ckks_wire::write_compressed_eval_key(ctx, &mult);
+    payload.extend_from_slice(&ckks_wire::write_compressed_rotation_keys(ctx, &rotations));
+    Ok(write_frame(msg::EVAL_KEYS, fingerprint, &payload))
 }
 
 /// Submits a job and waits for its result, with bounded-queue

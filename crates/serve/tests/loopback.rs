@@ -147,6 +147,49 @@ fn concurrent_sessions_share_one_keychain() {
 }
 
 #[test]
+fn key_distribution_ships_compressed_and_materializes_bit_identically() {
+    let (handle, sw_fp, sim_fp) = start_server(ServerConfig::default());
+    let local = software_engine();
+    let kc = local.keychain().unwrap();
+    let ctx = CkksContext::new(CkksParams::tiny());
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // the fetched public key materializes to exactly the key the
+    // server holds (same fingerprint + same build seed here)
+    let pk = client.public_key(sw_fp, &ctx).unwrap();
+    assert_eq!(&pk, kc.public_key());
+
+    // eval keys: mult + full rotation set, bit-identical after the
+    // compress → wire → materialize trip
+    let (mult, rotations) = client.eval_keys(sw_fp, &ctx).unwrap();
+    assert_eq!(&mult, kc.mult_key());
+    assert_eq!(
+        rotations.galois_elements(),
+        kc.rotation_keys().galois_elements()
+    );
+    for g in rotations.galois_elements() {
+        assert_eq!(rotations.get_raw(g), kc.rotation_keys().get_raw(g));
+    }
+
+    // the compressed frames that traveled are at most 55% of what the
+    // materialized codecs would have shipped
+    use ark_fhe::ckks::wire as ckks_wire2;
+    let compressed = ckks_wire2::write_compressed_eval_key(&ctx, &mult.compress().unwrap());
+    let materialized = ckks_wire2::write_eval_key(&ctx, &mult);
+    assert!(
+        compressed.len() * 100 <= materialized.len() * 55,
+        "{} vs {}",
+        compressed.len(),
+        materialized.len()
+    );
+
+    // the simulated backend holds no key material
+    assert!(client.public_key(sim_fp, &ctx).is_err());
+    assert!(client.eval_keys(sim_fp, &ctx).is_err());
+    handle.shutdown();
+}
+
+#[test]
 fn malformed_frames_get_typed_errors_not_panics() {
     let (handle, sw_fp, _) = start_server(ServerConfig::default());
     let mut stream = TcpStream::connect(handle.addr()).unwrap();

@@ -55,6 +55,14 @@ fn main() -> Result<(), ArkError> {
         kc.rotation_keys().byte_len() >> 10,
         kc.byte_len() as f64 / (1 << 20) as f64
     );
+    // seed-compressed forms — what key distribution actually ships:
+    // the uniform halves travel as one 64-bit seed each
+    println!(
+        "  seed-compressed: public {} KiB, mult {} KiB, rotations {} KiB",
+        kc.public_key().compress().expect("seeded").byte_len() >> 10,
+        kc.mult_key().compress().expect("seeded").byte_len() >> 10,
+        kc.rotation_keys().compress().expect("seeded").byte_len() >> 10,
+    );
 
     let x: Vec<C64> = (0..slots)
         .map(|i| C64::new(0.5 * (i as f64 / 10.0).sin(), 0.0))

@@ -52,19 +52,22 @@
 
 use crate::error::{ArkError, ArkResult};
 use ark_ckks::bootstrap::{BootstrapConfig, Bootstrapper};
-use ark_ckks::keys::{EvalKey, PublicKey, RotationKeys, SecretKey};
+use ark_ckks::keys::{CompressedRotationKeys, EvalKey, PublicKey, RotationKeys, SecretKey};
 use ark_ckks::params::{CkksContext, CkksParams};
 use ark_ckks::{Ciphertext, Plaintext};
 use ark_core::compile::CompileOptions;
 use ark_core::config::ArkConfig;
 use ark_core::sched::SimReport;
+use ark_math::automorphism::GaloisElement;
 use ark_math::cfft::C64;
 use ark_math::par::{self, ThreadPool};
+use ark_math::poly::derive_seed;
 use ark_workloads::bootstrap::{bootstrap_trace, post_bootstrap_level, BootstrapTraceConfig};
 use ark_workloads::trace::{HeOp, KeyId, Trace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
 
 use ark_ckks::ops::check_scales_match as check_scales;
 
@@ -106,16 +109,44 @@ impl Backend {
 /// backends so key-resolution errors agree. Bootstrapping transform
 /// keys are generated on the software backend but stay internal; they
 /// never appear here.
+///
+/// Amounts are stored *normalized* modulo the slot count (the single
+/// choke point [`GaloisElement::normalize_rotation`]), so declaring
+/// `r` and asking for `r − n_slots` — or any mixed-sign spelling of
+/// the same rotation — resolves to the same key.
 #[derive(Debug, Clone, Default)]
 pub struct DeclaredKeys {
+    /// Normalized amounts in `1..n_slots` (0 is keyless and never stored).
     rotations: BTreeSet<i64>,
     conjugation: bool,
+    /// Slot count the amounts are normalized against (0 only in the
+    /// `Default` empty set, which declares nothing).
+    slots: usize,
 }
 
 impl DeclaredKeys {
-    /// True if a rotation key for `amount` was declared.
+    fn new(rotations: &[i64], conjugation: bool, slots: usize) -> Self {
+        let rotations = rotations
+            .iter()
+            .map(|&r| GaloisElement::normalize_rotation(r, slots))
+            .filter(|&r| r != 0)
+            .collect();
+        Self {
+            rotations,
+            conjugation,
+            slots,
+        }
+    }
+
+    /// True if a rotation by `amount` needs no undeclared key: either
+    /// its normalized amount was declared, or it is ≡ 0 mod the slot
+    /// count (the identity — always possible without any key).
     pub fn has_rotation(&self, amount: i64) -> bool {
-        self.rotations.contains(&amount)
+        if self.slots == 0 {
+            return false;
+        }
+        let r = GaloisElement::normalize_rotation(amount, self.slots);
+        r == 0 || self.rotations.contains(&r)
     }
 
     /// True if the conjugation key was declared.
@@ -123,16 +154,150 @@ impl DeclaredKeys {
         self.conjugation
     }
 
-    /// The declared rotation amounts in ascending order.
+    /// The declared rotation amounts, normalized to `1..n_slots`, in
+    /// ascending order.
     pub fn rotations(&self) -> impl Iterator<Item = i64> + '_ {
         self.rotations.iter().copied()
     }
 }
 
-/// Every key a software session needs, generated once at build time:
-/// the secret/public pair, the multiplication key, and rotation keys
-/// for all declared amounts. Operations resolve keys internally — no
-/// call site threads key material.
+/// Default bound on the runtime rotation-key LRU cache (entries, each
+/// one full [`EvalKey`]). Sized for a couple of concurrent BSGS
+/// passes: Min-KS needs 2 keys per pass, the baseline `O(√D)`.
+pub const DEFAULT_RUNTIME_KEY_CAPACITY: usize = 64;
+
+// Domain tags separating the key-seed masters' children. Galois
+// elements (the other tweak family) are odd and `< 2N ≤ 2^18`, so tags
+// at or above `1 << 32` cannot collide with them.
+const SEED_TAG_PUBLIC_KEY: u64 = 1 << 32;
+const SEED_TAG_MULT_KEY: u64 = (1 << 32) + 1;
+
+/// Bounded LRU of runtime-derived Galois keys, keyed by Galois
+/// element. Interior-mutable (and `Sync`) so evaluation-only shared
+/// borrows — the shape `ark-serve` fans batches out on — can still
+/// populate it.
+#[derive(Debug)]
+struct RuntimeKeyCache {
+    capacity: usize,
+    inner: Mutex<RuntimeCacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct RuntimeCacheInner {
+    /// Monotone use counter backing the LRU order.
+    tick: u64,
+    /// Galois element → (last-use tick, key).
+    keys: HashMap<u64, (u64, Arc<EvalKey>)>,
+}
+
+impl RuntimeKeyCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(RuntimeCacheInner::default()),
+        }
+    }
+
+    /// Returns the cached key for `g`, deriving it via `derive` on a
+    /// miss and evicting the least-recently-used entry beyond the
+    /// bound. The lock is *released* during derivation — a keygen is
+    /// many NTTs, and holding the lock would serialize every
+    /// concurrent hit and miss behind it. Two threads racing a miss on
+    /// the same element may both derive; derivation is deterministic,
+    /// so the loser's bits are identical and the first insert stays
+    /// the canonical entry.
+    fn get_or_derive(&self, g: GaloisElement, derive: impl FnOnce() -> EvalKey) -> Arc<EvalKey> {
+        {
+            let mut inner = self.inner.lock().expect("runtime key cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some((stamp, key)) = inner.keys.get_mut(&g.0) {
+                *stamp = tick;
+                return Arc::clone(key);
+            }
+        }
+        let key = Arc::new(derive()); // no lock held across the keygen
+        let mut inner = self.inner.lock().expect("runtime key cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let out = {
+            let entry = inner.keys.entry(g.0).or_insert((tick, key));
+            entry.0 = tick; // just used, whoever inserted it
+            Arc::clone(&entry.1)
+        };
+        if inner.keys.len() > self.capacity {
+            // the entry just touched carries the max stamp, so the
+            // eviction can never remove the key being returned
+            let oldest = inner
+                .keys
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(&g, _)| g)
+                .expect("cache non-empty");
+            inner.keys.remove(&oldest);
+        }
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("runtime key cache poisoned")
+            .keys
+            .len()
+    }
+}
+
+/// A Galois key resolved by the [`KeyChain`]: either a borrow of the
+/// eagerly generated material or a shared handle into the runtime
+/// cache. Both deref to the same bits (derivation is deterministic).
+enum ResolvedKey<'a> {
+    Eager(&'a EvalKey),
+    Runtime(Arc<EvalKey>),
+}
+
+impl std::ops::Deref for ResolvedKey<'_> {
+    type Target = EvalKey;
+
+    fn deref(&self) -> &EvalKey {
+        match self {
+            ResolvedKey::Eager(k) => k,
+            ResolvedKey::Runtime(k) => k,
+        }
+    }
+}
+
+/// Derives the seeded Galois key for `g` from the chain's master
+/// seeds — the same derivation whether it runs eagerly at build time
+/// or lazily on a runtime miss, hence bit-identical keys.
+fn derive_galois_key(
+    ctx: &CkksContext,
+    sk: &SecretKey,
+    a_master: u64,
+    noise_master: u64,
+    g: GaloisElement,
+) -> EvalKey {
+    ctx.gen_galois_key_seeded(
+        g,
+        sk,
+        derive_seed(a_master, g.0),
+        derive_seed(noise_master, g.0),
+    )
+}
+
+/// Every key a software session needs: the secret/public pair, the
+/// multiplication key, and rotation keys for all declared amounts,
+/// generated once at build time. Operations resolve keys internally —
+/// no call site threads key material.
+///
+/// Key material follows the paper's *runtime data generation*: every
+/// uniform `A` half derives from a public per-key seed
+/// (`derive_seed(a_master, galois)`), so any Galois key can be
+/// re-derived bit-identically at any time. With
+/// [`EngineBuilder::runtime_keys`] the chain exploits that at runtime:
+/// a rotation miss derives the key on demand into a bounded LRU
+/// instead of failing, keyed by Galois element so BSGS passes reuse
+/// one entry across operations.
 #[derive(Debug)]
 pub struct KeyChain {
     sk: SecretKey,
@@ -140,30 +305,105 @@ pub struct KeyChain {
     evk_mult: EvalKey,
     rotations: RotationKeys,
     declared: DeclaredKeys,
+    /// Public master seed every key's uniform `A` half derives from.
+    a_master: u64,
+    /// Secret master seed for key-generation noise — never serialized
+    /// (a published error term would hand out `A·S = B − E`).
+    noise_master: u64,
+    /// Runtime-derived Galois keys, present iff `runtime_keys(true)`.
+    runtime: Option<RuntimeKeyCache>,
 }
 
 impl KeyChain {
     /// Generates the full chain for a context. `keygen_rotations` may
     /// exceed the declared set (bootstrapping transform keys are
     /// generated but stay internal — they are not part of the declared,
-    /// user-visible rotation surface).
+    /// user-visible rotation surface). All evaluation keys derive from
+    /// per-key seeds fanned out of the two masters, independent of
+    /// `rng`'s further stream position, so eagerly generated keys are
+    /// bit-identical to their runtime-derived counterparts.
     fn generate<R: rand::Rng>(
         ctx: &CkksContext,
         declared: DeclaredKeys,
         keygen_rotations: &[i64],
+        runtime_capacity: Option<usize>,
         rng: &mut R,
     ) -> Self {
         let sk = ctx.gen_secret_key(rng);
-        let pk = ctx.gen_public_key(&sk, rng);
-        let evk_mult = ctx.gen_mult_key(&sk, rng);
-        let rotations = ctx.gen_rotation_keys(keygen_rotations, declared.conjugation, &sk, rng);
+        // the masters are *drawn* from the generator, never derived
+        // from the builder seed by the (invertible, per-tweak)
+        // derive_seed mixer: a_master ships inside every compressed
+        // key frame, and an algebraically invertible path from it back
+        // to the seed that also generates `sk` would hand the secret
+        // key to anyone holding a compressed frame. One generator
+        // output does not expose the 256-bit stream state. (The
+        // builder seed itself is still the 64-bit root secret of a
+        // session — the toy posture of the vendored RNG; see
+        // `vendor/rand`.)
+        let a_master = rng.gen::<u64>();
+        let noise_master = rng.gen::<u64>();
+        let pk = ctx.gen_public_key_seeded(
+            &sk,
+            derive_seed(a_master, SEED_TAG_PUBLIC_KEY),
+            derive_seed(noise_master, SEED_TAG_PUBLIC_KEY),
+        );
+        let evk_mult = ctx.gen_mult_key_seeded(
+            &sk,
+            derive_seed(a_master, SEED_TAG_MULT_KEY),
+            derive_seed(noise_master, SEED_TAG_MULT_KEY),
+        );
+        let n = ctx.params().n();
+        let slots = ctx.params().slots();
+        let mut rotations = RotationKeys::new();
+        for &r in keygen_rotations {
+            if GaloisElement::normalize_rotation(r, slots) == 0 {
+                continue; // identity rotations are keyless
+            }
+            let g = GaloisElement::from_rotation(r, n);
+            if rotations.get(g).is_none() {
+                rotations.insert(g, derive_galois_key(ctx, &sk, a_master, noise_master, g));
+            }
+        }
+        if declared.conjugation {
+            let g = GaloisElement::conjugation(n);
+            rotations.insert(g, derive_galois_key(ctx, &sk, a_master, noise_master, g));
+        }
         Self {
             sk,
             pk,
             evk_mult,
             rotations,
             declared,
+            a_master,
+            noise_master,
+            runtime: runtime_capacity.map(RuntimeKeyCache::new),
         }
+    }
+
+    /// True if rotation keys are derived on demand instead of erroring
+    /// on undeclared amounts.
+    pub fn runtime_keys_enabled(&self) -> bool {
+        self.runtime.is_some()
+    }
+
+    /// Number of Galois keys currently resident in the runtime cache
+    /// (0 when runtime keys are disabled).
+    pub fn runtime_cached_keys(&self) -> usize {
+        self.runtime.as_ref().map_or(0, RuntimeKeyCache::len)
+    }
+
+    /// Resolves the key for a Galois element: eagerly generated
+    /// material first (declared rotations, conjugation, bootstrap
+    /// transform keys), then the runtime cache — deriving on a miss.
+    /// `None` when the key is neither held nor runtime-derivable.
+    fn galois_key(&self, ctx: &CkksContext, g: GaloisElement) -> Option<ResolvedKey<'_>> {
+        if let Some(key) = self.rotations.get(g) {
+            return Some(ResolvedKey::Eager(key));
+        }
+        let cache = self.runtime.as_ref()?;
+        Some(ResolvedKey::Runtime(cache.get_or_derive(g, || {
+            derive_galois_key(ctx, &self.sk, self.a_master, self.noise_master, g)
+        })))
     }
 
     /// The public encryption key.
@@ -179,6 +419,27 @@ impl KeyChain {
     /// The rotation/conjugation key set.
     pub fn rotation_keys(&self) -> &RotationKeys {
         &self.rotations
+    }
+
+    /// The *declared*, user-visible subset of the rotation/conjugation
+    /// keys in seed-compressed form — what key distribution ships. A
+    /// bootstrapping session also holds internal transform keys in
+    /// [`Self::rotation_keys`]; those never appear here (they are not
+    /// part of the declared surface, and exporting them would balloon
+    /// key downloads far beyond what the session asked for).
+    /// Compresses straight off the eager material, so only the `B`
+    /// halves are copied — the re-derivable `A` halves never are.
+    pub fn compressed_declared_keys(&self) -> Option<CompressedRotationKeys> {
+        let n = 2 * self.declared.slots.max(1); // slots = N/2
+        let mut elements: Vec<u64> = self
+            .declared
+            .rotations()
+            .map(|r| GaloisElement::from_rotation(r, n).0)
+            .collect();
+        if self.declared.conjugation {
+            elements.push(GaloisElement::conjugation(n).0);
+        }
+        self.rotations.compress_subset(&elements)
     }
 
     /// The declared key set this chain was generated from.
@@ -536,27 +797,49 @@ impl HeEvaluator for SoftwareEvaluator<'_> {
     }
 
     fn rotate(&mut self, ct: &Self::Ct, amount: i64) -> ArkResult<Self::Ct> {
-        if amount == 0 {
+        // normalize through the single choke point so `r` and
+        // `r − n_slots` are the same rotation everywhere (key lookup,
+        // runtime derivation, trace recording)
+        let reduced = GaloisElement::normalize_rotation(amount, self.ctx.params().slots());
+        if reduced == 0 {
+            // identity rotation: keyless no-op on every backend
             return Ok(ct.clone());
         }
         // resolve against the *declared* set, not the raw key material:
         // bootstrapping generates internal transform keys the trace
         // backend cannot see, and both backends must agree on which
-        // rotations a program may use
-        if !self.keys.declared.has_rotation(amount) {
+        // rotations a program may use — unless runtime key derivation
+        // is on, which makes every rotation available on both backends
+        if !self.keys.declared.has_rotation(reduced) && !self.keys.runtime_keys_enabled() {
             return Err(ArkError::MissingRotationKey { amount });
         }
-        let out = self.ctx.rotate(ct, amount, &self.keys.rotations)?;
+        let g = GaloisElement::from_rotation(reduced, self.ctx.params().n());
+        let key = self
+            .keys
+            .galois_key(self.ctx, g)
+            .ok_or(ArkError::MissingRotationKey { amount })?;
+        let out = self.ctx.apply_galois(ct, g, &key);
         self.record(HeOp::HRot {
             level: ct.level,
-            amount,
-            key: KeyId::Rot(amount),
+            amount: reduced,
+            key: KeyId::Rot(reduced),
         });
         Ok(out)
     }
 
     fn conjugate(&mut self, ct: &Self::Ct) -> ArkResult<Self::Ct> {
-        let out = self.ctx.conjugate(ct, &self.keys.rotations)?;
+        // same declared-set discipline as rotate, so software and trace
+        // backends surface the identical typed error for an undeclared
+        // conjugation (runtime derivation lifts it on both)
+        if !self.keys.declared.has_conjugation() && !self.keys.runtime_keys_enabled() {
+            return Err(ArkError::MissingConjugationKey);
+        }
+        let g = GaloisElement::conjugation(self.ctx.params().n());
+        let key = self
+            .keys
+            .galois_key(self.ctx, g)
+            .ok_or(ArkError::MissingConjugationKey)?;
+        let out = self.ctx.apply_galois(ct, g, &key);
         self.record(HeOp::HConj { level: ct.level });
         Ok(out)
     }
@@ -617,6 +900,7 @@ struct SimulatedState {
     declared: DeclaredKeys,
     compile: CompileOptions,
     trace_cfg: Option<BootstrapTraceConfig>,
+    runtime_keys: bool,
 }
 
 /// Symbolic ciphertext handle of the trace-recording backend: level and
@@ -636,6 +920,10 @@ pub struct TraceEvaluator<'a> {
     params: &'a CkksParams,
     declared: &'a DeclaredKeys,
     trace_cfg: Option<BootstrapTraceConfig>,
+    /// Mirrors [`EngineBuilder::runtime_keys`]: when set, undeclared
+    /// rotations/conjugations record instead of erroring — matching
+    /// the software backend's on-demand key derivation.
+    runtime_keys: bool,
     trace: Trace,
 }
 
@@ -644,11 +932,13 @@ impl<'a> TraceEvaluator<'a> {
         params: &'a CkksParams,
         declared: &'a DeclaredKeys,
         trace_cfg: Option<BootstrapTraceConfig>,
+        runtime_keys: bool,
     ) -> Self {
         Self {
             params,
             declared,
             trace_cfg,
+            runtime_keys,
             trace: Trace::new("engine-session"),
         }
     }
@@ -759,22 +1049,24 @@ impl HeEvaluator for TraceEvaluator<'_> {
     }
 
     fn rotate(&mut self, ct: &Self::Ct, amount: i64) -> ArkResult<Self::Ct> {
-        if amount == 0 {
+        let reduced = GaloisElement::normalize_rotation(amount, self.params.slots());
+        if reduced == 0 {
+            // identity rotation: keyless no-op, same as the software path
             return Ok(*ct);
         }
-        if !self.declared.has_rotation(amount) {
+        if !self.declared.has_rotation(reduced) && !self.runtime_keys {
             return Err(ArkError::MissingRotationKey { amount });
         }
         self.trace.push(HeOp::HRot {
             level: ct.level,
-            amount,
-            key: KeyId::Rot(amount),
+            amount: reduced,
+            key: KeyId::Rot(reduced),
         });
         Ok(*ct)
     }
 
     fn conjugate(&mut self, ct: &Self::Ct) -> ArkResult<Self::Ct> {
-        if !self.declared.has_conjugation() {
+        if !self.declared.has_conjugation() && !self.runtime_keys {
             return Err(ArkError::MissingConjugationKey);
         }
         self.trace.push(HeOp::HConj { level: ct.level });
@@ -851,6 +1143,8 @@ pub struct EngineBuilder {
     seed: u64,
     rotations: Vec<i64>,
     conjugation: bool,
+    runtime_keys: bool,
+    runtime_key_capacity: usize,
     bootstrapping: Option<BootstrapConfig>,
     compile: CompileOptions,
     threads: Option<usize>,
@@ -864,6 +1158,8 @@ impl Default for EngineBuilder {
             seed: 0,
             rotations: Vec::new(),
             conjugation: false,
+            runtime_keys: false,
+            runtime_key_capacity: DEFAULT_RUNTIME_KEY_CAPACITY,
             bootstrapping: None,
             compile: CompileOptions::all_on(),
             threads: None,
@@ -900,6 +1196,32 @@ impl EngineBuilder {
     /// Declares the conjugation key.
     pub fn conjugation(mut self, on: bool) -> Self {
         self.conjugation = on;
+        self
+    }
+
+    /// Enables runtime rotation-key generation (default **off**, the
+    /// eager-declaration compatibility mode): on a software-backend
+    /// rotate or conjugate whose key was never declared, the session
+    /// derives the key on demand from the chain's master seed into a
+    /// bounded LRU cache ([`Self::runtime_key_capacity`]) instead of
+    /// returning [`ArkError::MissingRotationKey`]. Derivation is
+    /// deterministic per `(seed, Galois element)`, so a runtime key is
+    /// bit-identical to the key an eager declaration would have
+    /// produced — results do not depend on which mode generated the
+    /// key. The trace backend mirrors the policy (undeclared rotations
+    /// record instead of erroring), keeping cross-backend parity.
+    pub fn runtime_keys(mut self, on: bool) -> Self {
+        self.runtime_keys = on;
+        self
+    }
+
+    /// Bounds the runtime rotation-key LRU (entries; default
+    /// [`DEFAULT_RUNTIME_KEY_CAPACITY`], clamped to ≥ 1). Only
+    /// meaningful with [`Self::runtime_keys`]. Evicted keys cost one
+    /// keygen to re-derive — size the cache to the working set of
+    /// distinct Galois elements your programs touch between reuses.
+    pub fn runtime_key_capacity(mut self, entries: usize) -> Self {
+        self.runtime_key_capacity = entries.max(1);
         self
     }
 
@@ -959,10 +1281,11 @@ impl EngineBuilder {
                 ),
             });
         }
-        let declared = DeclaredKeys {
-            rotations: self.rotations.iter().copied().collect(),
-            conjugation: self.conjugation || self.bootstrapping.is_some(),
-        };
+        let declared = DeclaredKeys::new(
+            &self.rotations,
+            self.conjugation || self.bootstrapping.is_some(),
+            params.slots(),
+        );
         let trace_cfg = self.bootstrapping.as_ref().map(|cfg| BootstrapTraceConfig {
             slots_log2: params.log_n - 1,
             radix_log2: cfg.radix_log2.max(1) as u32,
@@ -1004,7 +1327,13 @@ impl EngineBuilder {
                         trace_cfg: trace_cfg.expect("trace config derived with bootstrapping"),
                     }
                 });
-                let keys = KeyChain::generate(&ctx, declared, &keygen_rotations, &mut rng);
+                let keys = KeyChain::generate(
+                    &ctx,
+                    declared,
+                    &keygen_rotations,
+                    self.runtime_keys.then_some(self.runtime_key_capacity),
+                    &mut rng,
+                );
                 BackendState::Software(Box::new(SoftwareState {
                     ctx,
                     keys,
@@ -1017,6 +1346,7 @@ impl EngineBuilder {
                 declared,
                 compile: self.compile,
                 trace_cfg,
+                runtime_keys: self.runtime_keys,
             }),
         };
         Ok(Engine {
@@ -1172,9 +1502,10 @@ impl Engine {
                 &self.params,
                 &sw.keys.declared,
                 sw.boot.as_ref().map(|b| b.trace_cfg),
+                sw.keys.runtime_keys_enabled(),
             ),
             BackendState::Simulated(sim) => {
-                TraceEvaluator::new(&self.params, &sim.declared, sim.trace_cfg)
+                TraceEvaluator::new(&self.params, &sim.declared, sim.trace_cfg, sim.runtime_keys)
             }
         }
     }
@@ -1230,7 +1561,12 @@ impl Engine {
                 Ok(Outcome::Software { outputs, trace })
             }
             BackendState::Simulated(sim) => {
-                let mut eval = TraceEvaluator::new(&self.params, &sim.declared, sim.trace_cfg);
+                let mut eval = TraceEvaluator::new(
+                    &self.params,
+                    &sim.declared,
+                    sim.trace_cfg,
+                    sim.runtime_keys,
+                );
                 let cts = inputs
                     .iter()
                     .map(|i| eval.input(&i.values, i.level))
@@ -1361,5 +1697,24 @@ mod tests {
         assert!(kc.declared().has_rotation(1));
         assert!(kc.declared().has_conjugation());
         assert!(kc.evk_words() > 0);
+    }
+
+    #[test]
+    fn declared_key_export_excludes_internal_transform_keys() {
+        let ctx = CkksContext::new(CkksParams::tiny());
+        let declared = DeclaredKeys::new(&[1], true, ctx.params().slots());
+        let mut rng = StdRng::seed_from_u64(3);
+        // keygen set exceeds the declared surface — the shape a
+        // bootstrapping session has (internal transform keys)
+        let kc = KeyChain::generate(&ctx, declared, &[1, 2, 4, 7], None, &mut rng);
+        assert_eq!(kc.rotation_keys().len(), 5); // 4 rotations + conj
+        let shipped = kc.compressed_declared_keys().unwrap();
+        assert_eq!(shipped.len(), 2); // declared rotation + conj only
+        let g1 = GaloisElement::from_rotation(1, ctx.params().n());
+        let conj = GaloisElement::conjugation(ctx.params().n());
+        assert_eq!(shipped.galois_elements(), vec![g1.0, conj.0]);
+        let back = shipped.materialize(&ctx);
+        assert_eq!(back.get(g1), kc.rotation_keys().get(g1));
+        assert_eq!(back.get(conj), kc.rotation_keys().get(conj));
     }
 }

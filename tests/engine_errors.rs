@@ -101,6 +101,45 @@ fn conjugate_without_key_is_typed_error_on_both_backends() {
     }
 }
 
+#[test]
+fn undeclared_conjugation_error_is_identical_across_backends() {
+    // the software and trace paths must surface the *same* ArkError
+    // variant for an undeclared conjugation — collected side by side
+    // rather than compared against a constant, so a drift in either
+    // backend (e.g. one consulting raw key material instead of the
+    // declared set) fails this test even if both stay "typed"
+    let errors: Vec<ArkError> = both_backends()
+        .into_iter()
+        .map(|backend| {
+            tiny_engine(backend)
+                .execute(&[ProgramInput::symbolic(2)], &Conjugate)
+                .unwrap_err()
+        })
+        .collect();
+    assert_eq!(errors[0], errors[1]);
+    assert_eq!(errors[0], ArkError::MissingConjugationKey);
+}
+
+#[test]
+fn runtime_keys_lift_rotation_and_conjugation_errors_on_both_backends() {
+    use ark_fhe::arch::ArkConfig as Cfg;
+    for backend in [Backend::Software, Backend::Simulated(Cfg::base())] {
+        let mut engine = Engine::builder()
+            .params(CkksParams::tiny())
+            .backend(backend)
+            .runtime_keys(true)
+            .seed(11)
+            .build()
+            .unwrap();
+        engine
+            .execute(&[ProgramInput::symbolic(2)], &RotateBy(5))
+            .expect("runtime keys derive undeclared rotations");
+        engine
+            .execute(&[ProgramInput::symbolic(2)], &Conjugate)
+            .expect("runtime keys derive the conjugation key");
+    }
+}
+
 // -- rescaling past the modulus chain -------------------------------
 
 struct RescaleForever;

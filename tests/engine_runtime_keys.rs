@@ -1,0 +1,311 @@
+//! Runtime rotation-key generation and rotation-amount edge cases:
+//! amounts ≡ 0 are keyless no-ops, mixed-sign spellings resolve to one
+//! key, and with `runtime_keys(true)` the software backend derives
+//! undeclared keys on demand — bit-identical to eager declarations —
+//! while `MissingRotationKey` becomes unreachable on both backends.
+
+use ark_fhe::arch::ArkConfig;
+use ark_fhe::ckks::params::CkksParams;
+use ark_fhe::engine::{Backend, Engine, HeEvaluator, HeProgram, ProgramInput};
+use ark_fhe::error::{ArkError, ArkResult};
+use ark_fhe::math::cfft::C64;
+
+struct RotateBy(Vec<i64>);
+
+impl HeProgram for RotateBy {
+    fn run<E: HeEvaluator>(&self, e: &mut E, inputs: &[E::Ct]) -> ArkResult<Vec<E::Ct>> {
+        self.0
+            .iter()
+            .map(|&r| e.rotate(&inputs[0], r))
+            .collect::<ArkResult<Vec<_>>>()
+    }
+}
+
+struct Conjugate;
+
+impl HeProgram for Conjugate {
+    fn run<E: HeEvaluator>(&self, e: &mut E, inputs: &[E::Ct]) -> ArkResult<Vec<E::Ct>> {
+        Ok(vec![e.conjugate(&inputs[0])?])
+    }
+}
+
+fn slot_values(slots: usize) -> Vec<C64> {
+    (0..slots)
+        .map(|i| C64::new(0.02 * i as f64, -0.01 * i as f64))
+        .collect()
+}
+
+fn rotated(values: &[C64], r: i64) -> Vec<C64> {
+    let n = values.len();
+    let r = r.rem_euclid(n as i64) as usize;
+    (0..n).map(|i| values[(i + r) % n]).collect()
+}
+
+fn bits_equal(a: &[C64], b: &[C64]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits())
+}
+
+// -- satellite: amounts ≡ 0 mod slot count are keyless no-ops ---------
+
+#[test]
+fn rotation_by_zero_mod_slots_is_a_keyless_noop_on_both_backends() {
+    let slots = CkksParams::tiny().slots() as i64;
+    // no rotation keys declared at all: these amounts must still work
+    let amounts = vec![0, slots, -slots, 2 * slots];
+
+    // software: outputs decrypt to the unrotated input
+    let mut sw = Engine::builder()
+        .params(CkksParams::tiny())
+        .backend(Backend::Software)
+        .seed(3)
+        .build()
+        .unwrap();
+    let xs = slot_values(slots as usize);
+    let outcome = sw
+        .execute(
+            &[ProgramInput::new(xs.clone(), 2)],
+            &RotateBy(amounts.clone()),
+        )
+        .unwrap();
+    for out in outcome.outputs().unwrap() {
+        let err = ark_fhe::ckks::encoding::max_error(&xs, out);
+        assert!(err < 1e-4, "identity rotation changed the message: {err}");
+    }
+    // and recorded no HRot (the no-op is keyless on the trace too)
+    assert!(outcome.trace().is_empty());
+
+    // trace backend: same acceptance, same (empty) op sequence
+    let mut sim = Engine::builder()
+        .params(CkksParams::tiny())
+        .backend(Backend::Simulated(ArkConfig::base()))
+        .build()
+        .unwrap();
+    let sim_outcome = sim
+        .execute(&[ProgramInput::symbolic(2)], &RotateBy(amounts))
+        .unwrap();
+    assert_eq!(outcome.trace().ops(), sim_outcome.trace().ops());
+}
+
+// -- satellite: mixed-sign spellings resolve to the same key ----------
+
+#[test]
+fn declared_rotation_found_under_any_spelling_of_the_amount() {
+    let slots = CkksParams::tiny().slots() as i64;
+    for backend in [Backend::Software, Backend::Simulated(ArkConfig::base())] {
+        let mut engine = Engine::builder()
+            .params(CkksParams::tiny())
+            .backend(backend)
+            .rotations(&[3])
+            .seed(9)
+            .build()
+            .unwrap();
+        // 3, 3 − slots and 3 + slots are the same rotation; all must
+        // resolve to the single declared key
+        let outcome = engine
+            .execute(
+                &[ProgramInput::symbolic(2)],
+                &RotateBy(vec![3, 3 - slots, 3 + slots]),
+            )
+            .unwrap();
+        // the trace records the normalized amount for every spelling
+        let ops = outcome.trace().ops();
+        assert_eq!(ops.len(), 3);
+        assert!(ops.iter().all(|op| op == &ops[0]));
+    }
+}
+
+#[test]
+fn mixed_sign_declarations_generate_one_key() {
+    let slots = CkksParams::tiny().slots() as i64;
+    // 2 and 2 − slots are the same Galois element: one key, and the
+    // identity amounts contribute nothing
+    let engine = Engine::builder()
+        .params(CkksParams::tiny())
+        .rotations(&[2, 2 - slots, 0, slots])
+        .seed(1)
+        .build()
+        .unwrap();
+    let kc = engine.keychain().unwrap();
+    assert_eq!(kc.rotation_keys().len(), 1);
+    assert!(kc.declared().has_rotation(2));
+    assert!(kc.declared().has_rotation(2 - slots));
+    assert!(kc.declared().has_rotation(0), "identity is always keyless");
+    assert_eq!(kc.declared().rotations().collect::<Vec<_>>(), vec![2]);
+}
+
+#[test]
+fn undeclared_rotation_reports_the_requested_amount_on_both_backends() {
+    let slots = CkksParams::tiny().slots() as i64;
+    for backend in [Backend::Software, Backend::Simulated(ArkConfig::base())] {
+        let mut engine = Engine::builder()
+            .params(CkksParams::tiny())
+            .backend(backend)
+            .rotations(&[1])
+            .seed(2)
+            .build()
+            .unwrap();
+        // -1 ≡ slots − 1 is NOT declared (1 is); the typed error names
+        // the amount the caller wrote, identically on both backends
+        let err = engine
+            .execute(&[ProgramInput::symbolic(2)], &RotateBy(vec![-1]))
+            .unwrap_err();
+        assert_eq!(err, ArkError::MissingRotationKey { amount: -1 });
+        // while 1 − slots ≡ 1 IS declared
+        engine
+            .execute(&[ProgramInput::symbolic(2)], &RotateBy(vec![1 - slots]))
+            .unwrap();
+    }
+}
+
+// -- tentpole: runtime key generation ---------------------------------
+
+#[test]
+fn runtime_keys_make_missing_rotation_key_unreachable() {
+    let slots = CkksParams::tiny().slots() as i64;
+    // a spread of undeclared amounts, every sign and wrap-around
+    let amounts: Vec<i64> = vec![1, 3, -2, 5, slots - 1, -slots + 4, 2 * slots + 7];
+    let xs = slot_values(slots as usize);
+
+    let mut sw = Engine::builder()
+        .params(CkksParams::tiny())
+        .backend(Backend::Software)
+        .runtime_keys(true)
+        .seed(21)
+        .build()
+        .unwrap();
+    let outcome = sw
+        .execute(
+            &[ProgramInput::new(xs.clone(), 2)],
+            &RotateBy(amounts.clone()),
+        )
+        .expect("no rotation may fail with runtime keys enabled");
+    for (out, &r) in outcome.outputs().unwrap().iter().zip(&amounts) {
+        let want = rotated(&xs, r);
+        let err = ark_fhe::ckks::encoding::max_error(&want, out);
+        assert!(err < 1e-3, "rotation by {r}: error {err}");
+    }
+
+    // the trace backend accepts the same program under the same knob
+    let mut sim = Engine::builder()
+        .params(CkksParams::tiny())
+        .backend(Backend::Simulated(ArkConfig::base()))
+        .runtime_keys(true)
+        .build()
+        .unwrap();
+    let sim_outcome = sim
+        .execute(&[ProgramInput::symbolic(2)], &RotateBy(amounts))
+        .unwrap();
+    assert_eq!(outcome.trace().ops(), sim_outcome.trace().ops());
+}
+
+#[test]
+fn runtime_derived_keys_give_bit_identical_results_to_eager_keys() {
+    let xs = slot_values(CkksParams::tiny().slots());
+    let run = |builder: ark_fhe::engine::EngineBuilder| {
+        let mut engine = builder
+            .params(CkksParams::tiny())
+            .backend(Backend::Software)
+            .seed(1234)
+            .build()
+            .unwrap();
+        let outcome = engine
+            .execute(&[ProgramInput::new(xs.clone(), 2)], &RotateBy(vec![3, -5]))
+            .unwrap();
+        outcome.outputs().unwrap().to_vec()
+    };
+    // same seed, same program: one engine declared its keys eagerly,
+    // the other derives them on the miss path — the decrypted outputs
+    // must agree bit for bit, because the derived keys are the same
+    // keys the eager path would have generated
+    let eager = run(Engine::builder().rotations(&[3, -5]));
+    let runtime = run(Engine::builder().runtime_keys(true));
+    assert_eq!(eager.len(), runtime.len());
+    for (a, b) in eager.iter().zip(&runtime) {
+        assert!(bits_equal(a, b), "eager and runtime outputs diverge");
+    }
+}
+
+#[test]
+fn runtime_conjugation_works_on_both_backends() {
+    let xs = slot_values(CkksParams::tiny().slots());
+    let mut sw = Engine::builder()
+        .params(CkksParams::tiny())
+        .backend(Backend::Software)
+        .runtime_keys(true)
+        .seed(8)
+        .build()
+        .unwrap();
+    let outcome = sw
+        .execute(&[ProgramInput::new(xs.clone(), 2)], &Conjugate)
+        .expect("runtime keys cover conjugation");
+    let want: Vec<C64> = xs.iter().map(|z| C64::new(z.re, -z.im)).collect();
+    let err = ark_fhe::ckks::encoding::max_error(&want, &outcome.outputs().unwrap()[0]);
+    assert!(err < 1e-3, "conjugation error {err}");
+
+    let mut sim = Engine::builder()
+        .params(CkksParams::tiny())
+        .backend(Backend::Simulated(ArkConfig::base()))
+        .runtime_keys(true)
+        .build()
+        .unwrap();
+    let sim_outcome = sim
+        .execute(&[ProgramInput::symbolic(2)], &Conjugate)
+        .unwrap();
+    assert_eq!(outcome.trace().ops(), sim_outcome.trace().ops());
+}
+
+#[test]
+fn runtime_key_cache_is_bounded_and_reuses_entries() {
+    let mut engine = Engine::builder()
+        .params(CkksParams::tiny())
+        .backend(Backend::Software)
+        .runtime_keys(true)
+        .runtime_key_capacity(2)
+        .seed(5)
+        .build()
+        .unwrap();
+    let xs = slot_values(engine.params().slots());
+
+    // one distinct amount → one cache entry, reused across calls
+    engine
+        .execute(
+            &[ProgramInput::new(xs.clone(), 2)],
+            &RotateBy(vec![1, 1, 1]),
+        )
+        .unwrap();
+    assert_eq!(engine.keychain().unwrap().runtime_cached_keys(), 1);
+
+    // three distinct amounts through a capacity-2 cache: bounded, and
+    // the evicted key re-derives transparently on the next use
+    engine
+        .execute(
+            &[ProgramInput::new(xs.clone(), 2)],
+            &RotateBy(vec![1, 2, 3]),
+        )
+        .unwrap();
+    assert_eq!(engine.keychain().unwrap().runtime_cached_keys(), 2);
+    engine
+        .execute(&[ProgramInput::new(xs, 2)], &RotateBy(vec![1]))
+        .unwrap();
+    assert_eq!(engine.keychain().unwrap().runtime_cached_keys(), 2);
+}
+
+#[test]
+fn eager_mode_stays_the_default() {
+    let mut engine = Engine::builder()
+        .params(CkksParams::tiny())
+        .backend(Backend::Software)
+        .rotations(&[1])
+        .seed(6)
+        .build()
+        .unwrap();
+    assert!(!engine.keychain().unwrap().runtime_keys_enabled());
+    assert_eq!(engine.keychain().unwrap().runtime_cached_keys(), 0);
+    let err = engine
+        .execute(&[ProgramInput::symbolic(2)], &RotateBy(vec![7]))
+        .unwrap_err();
+    assert_eq!(err, ArkError::MissingRotationKey { amount: 7 });
+}
