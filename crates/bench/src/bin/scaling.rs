@@ -20,12 +20,12 @@
 //! determinism contract the equivalence proptests pin down, re-verified
 //! on every benchmark run at full size.
 
+use ark_bench::{json_escape, time_reps};
 use ark_ckks::params::CkksParams;
 use ark_ckks::Ciphertext;
 use ark_fhe::engine::{Engine, HeEvaluator};
 use ark_math::cfft::C64;
 use ark_math::par::available_parallelism;
-use std::time::Instant;
 
 /// Every RNG draw in this binary descends from this constant, so
 /// `BENCH_PR2.json` is reproducible run-to-run (same host, same build).
@@ -119,21 +119,6 @@ struct Sample {
     min_us: f64,
 }
 
-fn time_op<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, f64) {
-    let _warmup = f();
-    let mut total = 0.0f64;
-    let mut min = f64::INFINITY;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        let out = f();
-        let us = t0.elapsed().as_secs_f64() * 1e6;
-        drop(out);
-        total += us;
-        min = min.min(us);
-    }
-    (total / reps as f64, min)
-}
-
 /// Runs the op-mix on one session; returns the samples plus the
 /// `mul_rescale` output for cross-thread bit-identity checking.
 fn run_mix(
@@ -162,7 +147,7 @@ fn run_mix(
     let mut eval = engine.evaluator().expect("software session");
 
     let mut samples = Vec::new();
-    let (mean, min) = time_op(reps_light, || eval.add(&ct1, &ct2).expect("same level"));
+    let (mean, min, _) = time_reps(reps_light, || eval.add(&ct1, &ct2).expect("same level"));
     samples.push(Sample {
         op: "add",
         threads,
@@ -171,7 +156,7 @@ fn run_mix(
         min_us: min,
     });
 
-    let (mean, min) = time_op(reps_heavy, || {
+    let (mean, min, _) = time_reps(reps_heavy, || {
         eval.mul_rescale(&ct1, &ct2).expect("levels remain")
     });
     samples.push(Sample {
@@ -182,7 +167,7 @@ fn run_mix(
         min_us: min,
     });
 
-    let (mean, min) = time_op(reps_heavy, || eval.rotate(&ct1, 1).expect("key declared"));
+    let (mean, min, _) = time_reps(reps_heavy, || eval.rotate(&ct1, 1).expect("key declared"));
     samples.push(Sample {
         op: "rotate",
         threads,
@@ -192,7 +177,7 @@ fn run_mix(
     });
 
     let prod = eval.mul(&ct1, &ct2).expect("same level");
-    let (mean, min) = time_op(reps_light, || eval.rescale(&prod).expect("level > 0"));
+    let (mean, min, _) = time_reps(reps_light, || eval.rescale(&prod).expect("level > 0"));
     samples.push(Sample {
         op: "rescale",
         threads,
@@ -203,10 +188,6 @@ fn run_mix(
 
     let witness = eval.mul_rescale(&ct1, &ct2).expect("levels remain");
     (samples, witness)
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn main() {

@@ -14,6 +14,7 @@
 //! cargo run --release -p ark-bench --bin wire_throughput -- --out my.json
 //! ```
 
+use ark_bench::json_escape;
 use ark_ckks::params::{CkksContext, CkksParams};
 use ark_ckks::wire as ckks_wire;
 use ark_core::pf::Resource;
@@ -91,10 +92,6 @@ fn measure(
         decode_mb_s: mb / dec_s.max(1e-9),
         iters,
     }
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn main() {

@@ -225,6 +225,33 @@ pub fn t_amortized_per_slot(cfg: &ArkConfig) -> f64 {
     (boot_s + mults) / usable as f64 / params.slots() as f64
 }
 
+/// Escapes a string for embedding in a hand-written JSON literal —
+/// shared by every `BENCH_*.json`-emitting bin so the artifacts stay
+/// consistent with the `scripts/check_bench.sh` contract.
+pub fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Times `reps` runs of `f` after one warmup, returning
+/// `(mean_us, min_us, last_output)`. Shared by the `BENCH_*.json`
+/// regression bins so the timing methodology (warmup discipline,
+/// mean/min definitions) stays uniform across artifacts, and so
+/// callers can assert on the last output without paying for an extra
+/// evaluation.
+pub fn time_reps<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, f64, R) {
+    let mut last = f(); // warmup
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        last = f();
+        let us = t0.elapsed().as_secs_f64() * 1e6;
+        total += us;
+        min = min.min(us);
+    }
+    (total / reps as f64, min, last)
+}
+
 /// Formats seconds with an adaptive unit.
 pub fn fmt_time(s: f64) -> String {
     if s < 1e-6 {

@@ -1,4 +1,5 @@
-//! Generalized key-switching (Alg. 2 of the paper).
+//! Generalized key-switching (Alg. 2 of the paper), split into its
+//! *hoistable* halves.
 //!
 //! `KeySwitch(x, evk)` re-encrypts `x·s'` under `s`: the input is split
 //! into `dnum` decomposition pieces `[x]_{C_i}`, each piece is extended
@@ -7,10 +8,68 @@
 //! `R_Q` and divided by `P` (the ModDown). This op dominates HE
 //! execution time (Section II-C) — its primary-function sequence is what
 //! the ARK compiler in `ark-core` reproduces cycle by cycle.
+//!
+//! The op factors into two phases with very different reuse behavior:
+//!
+//! 1. [`CkksContext::hoisted_decompose`] — digit decomposition + ModUp
+//!    (`dnum'` BConvRoutines), a function of the *input polynomial
+//!    only*;
+//! 2. [`CkksContext::hoisted_apply`] — a Galois permutation of the
+//!    raised digits, the evk inner product, and the ModDown, a function
+//!    of the *rotation* (Galois element + key).
+//!
+//! Because the Galois map is a signed coefficient permutation applied
+//! identically to every limb, it commutes with the per-coefficient
+//! ModUp, so one decomposition serves any number of rotations of the
+//! same ciphertext (Halevi–Shoup hoisting): rotation-heavy kernels
+//! (the BSGS baby loop of Eq. 8, H-(I)DFT stages) pay the `dnum'`
+//! mod-up BConvRoutines once instead of once per rotation. The ModDown
+//! cannot be hoisted — its input already mixes in the per-rotation evk
+//! product, so each rotation pays its own two BConvRoutines.
 
 use crate::keys::EvalKey;
 use crate::params::CkksContext;
+use ark_math::automorphism::{eval_permutation, GaloisElement};
 use ark_math::poly::{Representation, RnsPoly};
+
+/// The shared state of a hoisted key-switch: the input's decomposition
+/// digits, already extended to `R_PQ` (ModUp done) in the evaluation
+/// representation. Produced once by [`CkksContext::hoisted_decompose`],
+/// consumed by any number of [`CkksContext::hoisted_apply`] calls with
+/// different Galois elements.
+#[derive(Debug, Clone)]
+pub struct HoistedDigits {
+    /// Level the digits were decomposed at.
+    level: usize,
+    /// The extended limb set `C_ℓ ∪ B` the digits live on.
+    ext: Vec<usize>,
+    /// One raised digit per decomposition group, evaluation rep.
+    digits: Vec<RnsPoly>,
+}
+
+impl HoistedDigits {
+    /// Level the decomposition was taken at.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Number of decomposition digits (`dnum'` at this level).
+    pub fn len(&self) -> usize {
+        self.digits.len()
+    }
+
+    /// True if the decomposition holds no digits (never for a valid
+    /// level).
+    pub fn is_empty(&self) -> bool {
+        self.digits.is_empty()
+    }
+
+    /// Storage in words — the scratch the hoisted state occupies
+    /// between applications (`dnum' · (ℓ+1+α) · N`).
+    pub fn words(&self) -> usize {
+        self.digits.iter().map(RnsPoly::words).sum()
+    }
+}
 
 impl CkksContext {
     /// Extends one decomposition piece `[x]_{C_i}` to the limb set `ext`
@@ -66,29 +125,87 @@ impl CkksContext {
         out
     }
 
+    /// Phase 1 of a (possibly hoisted) key-switch: digit decomposition
+    /// plus ModUp (Alg. 2 lines 1–3), `dnum'` BConvRoutines. The result
+    /// depends only on `x`, so rotation-heavy kernels compute it once
+    /// and feed it to many [`Self::hoisted_apply`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not in the evaluation representation over the
+    /// chain limbs of `level`.
+    pub fn hoisted_decompose(&self, x: &RnsPoly, level: usize) -> HoistedDigits {
+        assert_eq!(x.representation(), Representation::Evaluation);
+        let ext = self.extended_indices(level);
+        let digits = self
+            .decomposition_groups(level)
+            .iter()
+            .map(|group| self.extend_piece(x, group, &ext))
+            .collect();
+        HoistedDigits { level, ext, digits }
+    }
+
+    /// Phase 2: applies the Galois automorphism `g` to the raised
+    /// digits (a per-limb permutation in the evaluation representation
+    /// — exact, because the signed coefficient permutation commutes
+    /// with the per-coefficient ModUp), runs the evk inner product and
+    /// the ModDown. Returns `(kb, ka)` over the chain at the digits'
+    /// level with `kb − ka·s ≈ ψ_g(x)·ψ_g(s')`.
+    ///
+    /// The evk must be the switching key for `ψ_g(s') → s` — for
+    /// rotations, the rotation key of `g` — and needs at least
+    /// `digits.len()` pieces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the evk has fewer pieces than digits.
+    pub fn hoisted_apply(
+        &self,
+        digits: &HoistedDigits,
+        g: GaloisElement,
+        evk: &EvalKey,
+    ) -> (RnsPoly, RnsPoly) {
+        assert!(
+            digits.len() <= evk.pieces.len(),
+            "evk has too few decomposition pieces"
+        );
+        let level = digits.level;
+        let ext = &digits.ext;
+        // one permutation table serves every digit (identity skips the
+        // copy entirely)
+        let perm = (g != GaloisElement::identity()).then(|| eval_permutation(self.params().n(), g));
+        let mut acc_b = RnsPoly::zero(self.basis(), ext, Representation::Evaluation);
+        let mut acc_a = RnsPoly::zero(self.basis(), ext, Representation::Evaluation);
+        for (digit, (kb, ka)) in digits.digits.iter().zip(&evk.pieces) {
+            let rotated;
+            let operand = match &perm {
+                Some(p) => {
+                    rotated = digit.permute_eval(p, self.basis());
+                    &rotated
+                }
+                None => digit,
+            };
+            acc_b.mul_add_assign(operand, &kb.subset(ext), self.basis());
+            acc_a.mul_add_assign(operand, &ka.subset(ext), self.basis());
+        }
+        (self.mod_down(&acc_b, level), self.mod_down(&acc_a, level))
+    }
+
     /// Generalized key-switching: returns `(kb, ka)` over the chain at
     /// `level` with `kb − ka·s ≈ x·s'` for the evk's source key `s'`.
+    ///
+    /// This is exactly [`Self::hoisted_decompose`] followed by one
+    /// identity [`Self::hoisted_apply`] — the two-phase split is the
+    /// canonical path, so per-rotation and hoisted evaluation are
+    /// bit-identical by construction.
     ///
     /// # Panics
     ///
     /// Panics if `x` is not in the evaluation representation over the
     /// chain limbs of `level`.
     pub fn key_switch(&self, x: &RnsPoly, evk: &EvalKey, level: usize) -> (RnsPoly, RnsPoly) {
-        assert_eq!(x.representation(), Representation::Evaluation);
-        let ext = self.extended_indices(level);
-        let groups = self.decomposition_groups(level);
-        assert!(
-            groups.len() <= evk.pieces.len(),
-            "evk has too few decomposition pieces"
-        );
-        let mut acc_b = RnsPoly::zero(self.basis(), &ext, Representation::Evaluation);
-        let mut acc_a = RnsPoly::zero(self.basis(), &ext, Representation::Evaluation);
-        for (group, (kb, ka)) in groups.iter().zip(&evk.pieces) {
-            let extended = self.extend_piece(x, group, &ext);
-            acc_b.mul_add_assign(&extended, &kb.subset(&ext), self.basis());
-            acc_a.mul_add_assign(&extended, &ka.subset(&ext), self.basis());
-        }
-        (self.mod_down(&acc_b, level), self.mod_down(&acc_a, level))
+        let digits = self.hoisted_decompose(x, level);
+        self.hoisted_apply(&digits, GaloisElement::identity(), evk)
     }
 }
 
@@ -173,6 +290,74 @@ mod tests {
             max_mag = max_mag.max(mag.to_f64());
         }
         assert!(max_mag < 2f64.powi(33), "noise 2^{}", max_mag.log2());
+    }
+
+    /// Hoisted identity: `kb − ka·s ≈ ψ_g(x)·ψ_g(s')` when the digits
+    /// of `x` are applied with the Galois key for `g` — the correctness
+    /// statement that lets one decomposition serve many rotations.
+    #[test]
+    fn hoisted_apply_switches_the_rotated_input() {
+        let ctx = CkksContext::new(CkksParams::tiny());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let sk = ctx.gen_secret_key(&mut rng);
+        let level = ctx.params().max_level;
+        let chain = ctx.chain_indices(level);
+        let x = RnsPoly::random_uniform(ctx.basis(), &chain, Representation::Evaluation, &mut rng);
+        let digits = ctx.hoisted_decompose(&x, level);
+        let crt = ctx.crt(&chain);
+        for r in [1i64, 2, -3] {
+            let g = GaloisElement::from_rotation(r, ctx.params().n());
+            let key = ctx.gen_galois_key(g, &sk, &mut rng);
+            let (kb, ka) = ctx.hoisted_apply(&digits, g, &key);
+
+            // expected = ψ(x) · ψ(s)
+            let mut expected = x.automorphism(g, ctx.basis());
+            let rotated_s = sk.s.subset(&chain).automorphism(g, ctx.basis());
+            expected.mul_assign(&rotated_s, ctx.basis());
+            let mut got = ka.clone();
+            got.mul_assign(&sk.s.subset(&chain), ctx.basis());
+            got.negate(ctx.basis());
+            got.add_assign(&kb, ctx.basis());
+            let mut diff = got;
+            diff.sub_assign(&expected, ctx.basis());
+            diff.to_coeff(ctx.basis());
+            let mut max_mag = 0f64;
+            for k in 0..ctx.params().n() {
+                let residues: Vec<u64> = (0..chain.len()).map(|p| diff.limb(p)[k]).collect();
+                let (_, mag) = crt.reconstruct_signed(&residues);
+                max_mag = max_mag.max(mag.to_f64());
+            }
+            assert!(max_mag < 2f64.powi(33), "r={r}: noise 2^{}", max_mag.log2());
+        }
+    }
+
+    /// One decomposition reused across distinct Galois elements gives
+    /// the same bits as re-decomposing for each application — the digit
+    /// state is read-only.
+    #[test]
+    fn hoisted_digits_are_reusable_and_immutable() {
+        let ctx = CkksContext::new(CkksParams::tiny());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let sk = ctx.gen_secret_key(&mut rng);
+        let level = 2;
+        let chain = ctx.chain_indices(level);
+        let x = RnsPoly::random_uniform(ctx.basis(), &chain, Representation::Evaluation, &mut rng);
+        let g1 = GaloisElement::from_rotation(1, ctx.params().n());
+        let g2 = GaloisElement::from_rotation(2, ctx.params().n());
+        let k1 = ctx.gen_galois_key(g1, &sk, &mut rng);
+        let k2 = ctx.gen_galois_key(g2, &sk, &mut rng);
+
+        let shared = ctx.hoisted_decompose(&x, level);
+        assert_eq!(shared.level(), level);
+        assert_eq!(shared.len(), ctx.decomposition_groups(level).len());
+        assert!(shared.words() > 0);
+        let a1 = ctx.hoisted_apply(&shared, g1, &k1);
+        let a2 = ctx.hoisted_apply(&shared, g2, &k2);
+        // fresh decompositions per application must agree bitwise
+        let b1 = ctx.hoisted_apply(&ctx.hoisted_decompose(&x, level), g1, &k1);
+        let b2 = ctx.hoisted_apply(&ctx.hoisted_decompose(&x, level), g2, &k2);
+        assert_eq!(a1, b1);
+        assert_eq!(a2, b2);
     }
 
     #[test]

@@ -45,8 +45,22 @@ impl LinearTransform {
 
     /// Extracts diagonals from a dense matrix (`rows[k][j] = M[k][j]`),
     /// dropping all-zero diagonals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is ragged — every row must have length
+    /// `rows.len()` (the transform is square over the slot space).
     pub fn from_matrix(rows: &[Vec<C64>]) -> Self {
         let n = rows.len();
+        for (k, row) in rows.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                n,
+                "matrix row {k} has {} entries but the transform is {n}×{n} \
+                 (every row must have length {n})",
+                row.len()
+            );
+        }
         let mut diagonals = BTreeMap::new();
         for d in 0..n {
             let diag: Vec<C64> = (0..n).map(|k| rows[k][(k + d) % n]).collect();
@@ -154,7 +168,16 @@ impl CkksContext {
     ///
     /// All strategies produce the same message; they differ only in which
     /// rotation keys they touch (and, on ARK, in how much evk traffic
-    /// they generate).
+    /// they generate). Under [`KeyStrategy::Baseline`] the baby loop is
+    /// *hoisted*: every `rot(ct, i)` is evaluated from one shared digit
+    /// decomposition of `ct` ([`CkksContext::hoisted_rotate_many`]),
+    /// which is bit-identical to per-rotation evaluation (see
+    /// [`Self::eval_linear_transform_per_rotation`]) but pays the
+    /// `dnum'` mod-up BConvRoutines once instead of once per baby.
+    /// Min-KS babies iterate a single `evk^{(1)}` — a serial chain whose
+    /// inputs change every step, so there is nothing to hoist there; the
+    /// giant loop is likewise unchanged (each giant rotation has a
+    /// distinct input).
     ///
     /// # Panics
     ///
@@ -166,6 +189,33 @@ impl CkksContext {
         lt: &LinearTransform,
         strategy: KeyStrategy,
         keys: &RotationKeys,
+    ) -> Ciphertext {
+        self.eval_linear_transform_impl(ct, lt, strategy, keys, true)
+    }
+
+    /// [`Self::eval_linear_transform`] with hoisting disabled: every
+    /// baby rotation pays its own digit decomposition. Exists as the
+    /// benchmarking baseline (the `hoisting` bench gates on hoisted
+    /// strictly beating this) and as the bit-identity oracle — both
+    /// paths must produce identical ciphertexts at every strategy and
+    /// thread count.
+    pub fn eval_linear_transform_per_rotation(
+        &self,
+        ct: &Ciphertext,
+        lt: &LinearTransform,
+        strategy: KeyStrategy,
+        keys: &RotationKeys,
+    ) -> Ciphertext {
+        self.eval_linear_transform_impl(ct, lt, strategy, keys, false)
+    }
+
+    fn eval_linear_transform_impl(
+        &self,
+        ct: &Ciphertext,
+        lt: &LinearTransform,
+        strategy: KeyStrategy,
+        keys: &RotationKeys,
+        hoist_babies: bool,
     ) -> Ciphertext {
         assert_eq!(lt.n(), self.params().slots(), "transform/slot mismatch");
         assert!(ct.level >= 1, "linear transform needs one level");
@@ -180,14 +230,25 @@ impl CkksContext {
                 // only rotate the baby residues that actually occur
                 let needed: std::collections::BTreeSet<usize> =
                     lt.diagonals.keys().map(|&d| d % g).collect();
-                (0..=max_baby)
-                    .map(|i| {
-                        needed.contains(&i).then(|| {
-                            self.rotate(ct, i as i64, keys)
-                                .expect("caller provides baseline baby keys")
+                if hoist_babies {
+                    // one decomposition serves every occurring baby
+                    let amounts: Vec<i64> = needed.iter().map(|&i| i as i64).collect();
+                    let rotated = self
+                        .hoisted_rotate_many(ct, &amounts, keys)
+                        .expect("caller provides baseline baby keys");
+                    let mut by_amount: std::collections::BTreeMap<usize, Ciphertext> =
+                        needed.iter().copied().zip(rotated).collect();
+                    (0..=max_baby).map(|i| by_amount.remove(&i)).collect()
+                } else {
+                    (0..=max_baby)
+                        .map(|i| {
+                            needed.contains(&i).then(|| {
+                                self.rotate(ct, i as i64, keys)
+                                    .expect("caller provides baseline baby keys")
+                            })
                         })
-                    })
-                    .collect()
+                        .collect()
+                }
             }
             KeyStrategy::HoistedMinimal | KeyStrategy::MinKs => self
                 .rotate_chain(ct, 1, max_baby, keys)
@@ -362,6 +423,35 @@ mod tests {
             &sk,
         );
         assert!(max_error(&a, &b) < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix row 1 has 3 entries but the transform is 4×4")]
+    fn from_matrix_rejects_ragged_rows() {
+        let mut rows = random_matrix(4, &mut rand::rngs::StdRng::seed_from_u64(3));
+        rows[1].pop(); // row 1 now has 3 entries
+        let _ = LinearTransform::from_matrix(&rows);
+    }
+
+    #[test]
+    fn hoisted_baby_loop_is_bit_identical_to_per_rotation() {
+        let (ctx, sk, mut rng) = setup();
+        let n = ctx.params().slots();
+        let lt = LinearTransform::from_matrix(&random_matrix(n, &mut rng));
+        let z: Vec<C64> = (0..n).map(|i| C64::new(0.05 * i as f64, -0.02)).collect();
+        let ct = ctx.encrypt(&ctx.encode(&z, 2, ctx.params().scale()), &sk, &mut rng);
+        let mut rots = lt.required_rotations(KeyStrategy::Baseline);
+        rots.extend(lt.required_rotations(KeyStrategy::MinKs));
+        let keys = ctx.gen_rotation_keys(&rots, false, &sk, &mut rng);
+        for strategy in [
+            KeyStrategy::Baseline,
+            KeyStrategy::HoistedMinimal,
+            KeyStrategy::MinKs,
+        ] {
+            let hoisted = ctx.eval_linear_transform(&ct, &lt, strategy, &keys);
+            let per_rot = ctx.eval_linear_transform_per_rotation(&ct, &lt, strategy, &keys);
+            assert_eq!(hoisted, per_rot, "{strategy:?} paths diverged bitwise");
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::ciphertext::{Ciphertext, Plaintext};
 use crate::error::{ArkError, ArkResult};
 use crate::keys::{EvalKey, RotationKeys};
+use crate::keyswitch::HoistedDigits;
 use crate::params::CkksContext;
 use ark_math::automorphism::GaloisElement;
 use ark_math::cfft::C64;
@@ -247,25 +248,117 @@ impl CkksContext {
         }
     }
 
-    /// Applies a Galois automorphism with its key: the common core of
-    /// `HRot` and `HConj`.
-    #[must_use = "returns a new ciphertext; the input is unchanged"]
-    pub fn apply_galois(&self, ct: &Ciphertext, g: GaloisElement, key: &EvalKey) -> Ciphertext {
-        let level = ct.level;
-        let pb = ct.b.automorphism(g, self.basis());
-        let mut pa = ct.a.automorphism(g, self.basis());
-        // need result decrypting to ψ(b) − ψ(a)·ψ(s):
-        // key_switch(−ψ(a)) yields (kb, ka) with kb − ka·s ≈ −ψ(a)·ψ(s)
+    /// Phase 1 of a hoisted Galois application: decomposes `−a` (the
+    /// half that needs key-switching) once. The digits are independent
+    /// of the rotation amount, so any number of
+    /// [`Self::apply_galois_hoisted`] calls can share them — this is
+    /// where rotation-heavy kernels (BSGS baby loops, H-(I)DFT stages)
+    /// save their `dnum'` mod-up BConvRoutines per extra rotation.
+    pub fn hoist_ciphertext(&self, ct: &Ciphertext) -> HoistedDigits {
+        let mut pa = ct.a.clone();
+        // kb − ka·s ≈ ψ(−a)·ψ(s) after the apply, so the result decrypts
+        // to ψ(b) − ψ(a)·ψ(s) = ψ(b − a·s); negating *before* the
+        // decomposition keeps the negation rotation-independent
         pa.negate(self.basis());
-        let (kb, ka) = self.key_switch(&pa, key, level);
-        let mut b = pb;
+        self.hoisted_decompose(&pa, ct.level)
+    }
+
+    /// Phase 2 of a hoisted Galois application: evaluates one rotation
+    /// (or conjugation) of `ct` from shared digits. `digits` must come
+    /// from [`Self::hoist_ciphertext`] on this very ciphertext.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the digit level does not match the ciphertext level.
+    #[must_use = "returns a new ciphertext; the input is unchanged"]
+    pub fn apply_galois_hoisted(
+        &self,
+        ct: &Ciphertext,
+        digits: &HoistedDigits,
+        g: GaloisElement,
+        key: &EvalKey,
+    ) -> Ciphertext {
+        assert_eq!(
+            digits.level(),
+            ct.level,
+            "hoisted digits were taken at a different level"
+        );
+        let (kb, ka) = self.hoisted_apply(digits, g, key);
+        let mut b = ct.b.automorphism(g, self.basis());
         b.add_assign(&kb, self.basis());
         Ciphertext {
             b,
             a: ka,
-            level,
+            level: ct.level,
             scale: ct.scale,
         }
+    }
+
+    /// Applies a Galois automorphism with its key: the common core of
+    /// `HRot` and `HConj`. This is exactly one hoisted decomposition
+    /// plus one application, so per-rotation and hoisted evaluation are
+    /// bit-identical by construction.
+    #[must_use = "returns a new ciphertext; the input is unchanged"]
+    pub fn apply_galois(&self, ct: &Ciphertext, g: GaloisElement, key: &EvalKey) -> Ciphertext {
+        let digits = self.hoist_ciphertext(ct);
+        self.apply_galois_hoisted(ct, &digits, g, key)
+    }
+
+    /// Hoisted multi-rotation (Halevi–Shoup): evaluates `rot(ct, r)`
+    /// for every amount in `amounts` from a *single* digit
+    /// decomposition, instead of one per rotation. Outputs are
+    /// bit-identical to calling [`Self::rotate`] per amount (both paths
+    /// share [`Self::apply_galois_hoisted`]); only the shared mod-up
+    /// work differs. Needs one key per distinct non-identity amount —
+    /// the Baseline key surface, not Min-KS's two keys (hoisting trades
+    /// evk loads for BConv/NTT work; see DESIGN.md).
+    ///
+    /// # Errors
+    ///
+    /// [`ArkError::MissingRotationKey`] if any amount's key is absent
+    /// (checked up front, before the decomposition is paid).
+    pub fn hoisted_rotate_many(
+        &self,
+        ct: &Ciphertext,
+        amounts: &[i64],
+        keys: &RotationKeys,
+    ) -> ArkResult<Vec<Ciphertext>> {
+        let slots = self.params().slots();
+        let n = self.params().n();
+        let mut resolved = Vec::with_capacity(amounts.len());
+        for &r in amounts {
+            if GaloisElement::normalize_rotation(r, slots) == 0 {
+                resolved.push(None); // identity: keyless clone
+            } else {
+                let g = GaloisElement::from_rotation(r, n);
+                let key = keys
+                    .get(g)
+                    .ok_or(ArkError::MissingRotationKey { amount: r })?;
+                resolved.push(Some((g, key)));
+            }
+        }
+        // pay the decomposition only if something actually rotates, and
+        // each distinct Galois element only once — amounts that alias
+        // (duplicates, `r` vs `r − n_slots`) clone the computed result
+        let digits = resolved
+            .iter()
+            .any(Option::is_some)
+            .then(|| self.hoist_ciphertext(ct));
+        let mut computed: std::collections::HashMap<u64, Ciphertext> =
+            std::collections::HashMap::new();
+        Ok(resolved
+            .into_iter()
+            .map(|slot| match slot {
+                None => ct.clone(),
+                Some((g, key)) => computed
+                    .entry(g.0)
+                    .or_insert_with(|| {
+                        let digits = digits.as_ref().expect("digits exist for rotations");
+                        self.apply_galois_hoisted(ct, digits, g, key)
+                    })
+                    .clone(),
+            })
+            .collect())
     }
 
     /// `HRot`: circular left shift of the slots by `r` (negative `r`
@@ -506,6 +599,39 @@ mod tests {
                 .collect();
             assert!(max_error(&want, &out) < 1e-3, "r={r}");
         }
+    }
+
+    #[test]
+    fn hoisted_rotate_many_is_bit_identical_to_per_rotation() {
+        let (ctx, sk, mut rng) = setup();
+        let keys = ctx.gen_rotation_keys(&[1, 2, 5, -3], false, &sk, &mut rng);
+        let m = msg(&ctx, |i| C64::new(0.1 * i as f64, -0.05 * i as f64));
+        let ct = ctx.encrypt(&ctx.encode(&m, 2, ctx.params().scale()), &sk, &mut rng);
+        // includes an identity amount (0) and a duplicate
+        let amounts = [1i64, 2, 0, 5, -3, 2];
+        let hoisted = ctx.hoisted_rotate_many(&ct, &amounts, &keys).unwrap();
+        assert_eq!(hoisted.len(), amounts.len());
+        for (r, h) in amounts.iter().zip(&hoisted) {
+            let direct = ctx.rotate(&ct, *r, &keys).unwrap();
+            assert_eq!(*h, direct, "amount {r} diverged from the per-rotation path");
+        }
+    }
+
+    #[test]
+    fn hoisted_rotate_many_missing_key_is_typed_error_before_work() {
+        let (ctx, sk, mut rng) = setup();
+        let keys = ctx.gen_rotation_keys(&[1], false, &sk, &mut rng);
+        let m = msg(&ctx, |i| C64::new(i as f64, 0.0));
+        let ct = ctx.encrypt(&ctx.encode(&m, 2, ctx.params().scale()), &sk, &mut rng);
+        assert_eq!(
+            ctx.hoisted_rotate_many(&ct, &[1, 7], &keys).unwrap_err(),
+            crate::error::ArkError::MissingRotationKey { amount: 7 }
+        );
+        // identity-only sets need no keys at all
+        let out = ctx
+            .hoisted_rotate_many(&ct, &[0], &RotationKeys::new())
+            .unwrap();
+        assert_eq!(out[0], ct);
     }
 
     #[test]

@@ -12,8 +12,8 @@
 use ark_ckks::minks::KeyStrategy;
 use ark_ckks::params::CkksParams;
 use ark_workloads::counts::{
-    evk_words_at_level, hmult_breakdown, hrot_breakdown, plaintext_words_at_level,
-    rescale_breakdown,
+    evk_words_at_level, hmult_breakdown, hrot_breakdown, hrot_hoisted_breakdown,
+    plaintext_words_at_level, rescale_breakdown,
 };
 use ark_workloads::hdft::{hdft_trace, HdftConfig};
 use ark_workloads::trace::{HeOp, Trace};
@@ -59,6 +59,19 @@ pub fn trace_mults_and_single_use_bytes(params: &CkksParams, trace: &Trace) -> (
         match *op {
             HeOp::HRot { level, key, .. } => {
                 mults += hrot_breakdown(params, level).total() as u64;
+                if seen_keys.insert(key) {
+                    bytes += 8 * evk_words_at_level(params, level) as u64;
+                }
+            }
+            HeOp::HRotHoisted {
+                level,
+                key,
+                fresh_digits,
+                ..
+            } => {
+                // hoisted member: its own evk product + ModDown, plus
+                // the shared ModUp only when it pays for the digits
+                mults += hrot_hoisted_breakdown(params, level, fresh_digits).total() as u64;
                 if seen_keys.insert(key) {
                     bytes += 8 * evk_words_at_level(params, level) as u64;
                 }
@@ -127,6 +140,19 @@ mod tests {
         // argument needs (see EXPERIMENTS.md for the delta discussion)
         assert!((0.3..3.5).contains(&gb2), "H-DFT single-use {gb2:.1} GB");
         assert!(gb1 / gb2 > 2.0, "H-IDFT footprint must dwarf H-DFT");
+    }
+
+    #[test]
+    fn hoisted_trace_counts_fewer_mults_same_single_use_bytes() {
+        // hoisting shares digits, not keys: the scaled-F1 model must
+        // see fewer modular mults at identical single-use evk traffic
+        let params = CkksParams::ark();
+        let cfg = HdftConfig::paper_hidft(&params, KeyStrategy::Baseline);
+        let (m_plain, b_plain) = trace_mults_and_single_use_bytes(&params, &hdft_trace(&cfg));
+        let (m_hoisted, b_hoisted) =
+            trace_mults_and_single_use_bytes(&params, &hdft_trace(&cfg.with_hoisting()));
+        assert!(m_hoisted < m_plain, "{m_hoisted} vs {m_plain} mults");
+        assert_eq!(b_hoisted, b_plain, "key traffic is unchanged");
     }
 
     #[test]

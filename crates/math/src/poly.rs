@@ -454,6 +454,37 @@ impl RnsPoly {
         }
     }
 
+    /// Applies a precomputed evaluation-representation automorphism
+    /// permutation (from [`automorphism::eval_permutation`]) to every
+    /// limb. The hoisted key-switching hot path applies one Galois map
+    /// to *every* raised digit, so the caller computes the table once
+    /// and reuses it here instead of paying [`Self::automorphism`]'s
+    /// per-call table build per digit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial is not in the evaluation representation
+    /// or the permutation length differs from the ring degree.
+    pub fn permute_eval(&self, perm: &[usize], basis: &RnsBasis) -> Self {
+        assert_eq!(
+            self.rep,
+            Representation::Evaluation,
+            "permute_eval acts on the evaluation representation"
+        );
+        assert_eq!(perm.len(), self.n, "permutation/degree mismatch");
+        let data = automorphism::apply_eval_limbs(
+            &self.data,
+            perm,
+            basis.pool().for_work(self.data.len() * self.n),
+        );
+        Self {
+            n: self.n,
+            rep: self.rep,
+            limb_idx: self.limb_idx.clone(),
+            data,
+        }
+    }
+
     /// Applies `f(pos, basis_index, row)` to every limb, fanning out over
     /// the basis pool. `f` must treat limbs independently (it runs
     /// concurrently on a parallel pool) — the contract every RNS op here

@@ -15,7 +15,7 @@
 //! hostile program cannot index out of bounds at execution time.
 
 use ark_ckks::error::{ArkError, ArkResult};
-use ark_fhe::engine::{HeEvaluator, HeProgram};
+use ark_fhe::engine::{HeEvaluator, HeProgram, RotateSumTerm};
 use ark_math::cfft::C64;
 use ark_math::wire::{put_f64, put_i64, put_u16, put_u32, Cursor, WireError};
 
@@ -27,6 +27,11 @@ pub struct Reg(pub u16);
 /// Cap on plaintext-vector length inside a program (a hostile length
 /// field must not drive large allocations; real slot counts are ≤ 2^16).
 pub const MAX_PLAIN_LEN: usize = 1 << 17;
+
+/// Cap on the term count of one fused `RotateSum` op (a hostile count
+/// must not drive large allocations; real BSGS inner loops are `O(√n)`,
+/// far below this).
+pub const MAX_ROTATE_SUM_TERMS: usize = 1 << 10;
 
 #[derive(Debug, Clone, PartialEq)]
 enum Op {
@@ -46,6 +51,7 @@ enum Op {
     MulPlainRescale(u16, Vec<C64>),
     ModDropTo(u16, u32),
     Bootstrap(u16),
+    RotateSum(u16, Vec<RotateSumTerm>),
 }
 
 /// A serializable HE program over virtual registers. Build with the
@@ -242,6 +248,46 @@ impl Program {
         self.push(Op::Bootstrap(a))
     }
 
+    /// Fused hoisted rotate-and-sum (`Σ_k w_k ⊙ rot(a, r_k)`; see
+    /// [`HeEvaluator::rotate_sum`]). One op on the wire, one register,
+    /// one digit decomposition server-side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the term list is empty or exceeds
+    /// [`MAX_ROTATE_SUM_TERMS`] (such a program could never decode).
+    pub fn rotate_sum(&mut self, a: Reg, terms: Vec<RotateSumTerm>) -> Reg {
+        let a = self.check(a);
+        assert!(!terms.is_empty(), "rotate_sum needs at least one term");
+        assert!(
+            terms.len() <= MAX_ROTATE_SUM_TERMS,
+            "rotate_sum carries {} terms, the wire format caps at {}",
+            terms.len(),
+            MAX_ROTATE_SUM_TERMS
+        );
+        self.push(Op::RotateSum(a, terms))
+    }
+
+    /// Budget weight of the program in ciphertext-sized units: an
+    /// upper bound on the live ciphertext-sized intermediates
+    /// evaluation can hold. Plain ops keep one register each; a fused
+    /// `RotateSum` peaks at one rotated ciphertext per term (distinct
+    /// amounts, so ≤ terms), the hoisted digits (`digit_units`
+    /// ciphertext-equivalents — `⌈dnum·(L+1+α) / (2·(L+1))⌉` for the
+    /// hosting parameter set, which the caller computes since the
+    /// program itself is parameter-free), plus the accumulator, the
+    /// in-flight product, and the freshly allocated sum inside the
+    /// add. Session budgets charge this, not `len()`.
+    pub fn charge_units(&self, digit_units: usize) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::RotateSum(_, terms) => terms.len() + digit_units + 3,
+                _ => 1,
+            })
+            .sum()
+    }
+
     /// Replays the op list against an evaluator, returning the output
     /// registers. Register references are valid by construction
     /// (builder) or validation (decode), so the only runtime failures
@@ -275,6 +321,7 @@ impl Program {
                 Op::MulPlainRescale(a, v) => e.mul_plain_rescale(&regs[*a as usize], v)?,
                 Op::ModDropTo(a, level) => e.mod_drop_to(&regs[*a as usize], *level as usize)?,
                 Op::Bootstrap(a) => e.bootstrap(&regs[*a as usize])?,
+                Op::RotateSum(a, terms) => e.rotate_sum(&regs[*a as usize], terms)?,
             };
             regs.push(ct);
         }
@@ -373,6 +420,15 @@ impl Program {
                     out.push(15);
                     put_u16(out, *a);
                 }
+                Op::RotateSum(a, terms) => {
+                    out.push(16);
+                    put_u16(out, *a);
+                    put_u16(out, terms.len() as u16);
+                    for t in terms {
+                        put_i64(out, t.amount);
+                        plain(out, &t.weights);
+                    }
+                }
             }
         }
         put_u16(out, self.outputs.len() as u16);
@@ -451,6 +507,22 @@ impl Program {
                 13 => Op::MulPlainRescale(operand(cur)?, plain(cur)?),
                 14 => Op::ModDropTo(operand(cur)?, cur.u32()?),
                 15 => Op::Bootstrap(operand(cur)?),
+                16 => {
+                    let a = operand(cur)?;
+                    let n_terms = cur.u16()? as usize;
+                    if n_terms == 0 || n_terms > MAX_ROTATE_SUM_TERMS {
+                        return Err(malformed(format!(
+                            "rotate_sum carries {n_terms} terms, \
+                             accepted range is 1..={MAX_ROTATE_SUM_TERMS}"
+                        )));
+                    }
+                    let mut terms = Vec::with_capacity(n_terms);
+                    for _ in 0..n_terms {
+                        let amount = cur.i64()?;
+                        terms.push(RotateSumTerm::new(amount, plain(cur)?));
+                    }
+                    Op::RotateSum(a, terms)
+                }
                 t => return Err(malformed(format!("unknown opcode {t}"))),
             };
             ops.push(op);
@@ -493,7 +565,14 @@ mod tests {
         let m = p.mul_rescale(s, x);
         let r = p.rotate(m, 1);
         let c = p.mul_plain(r, vec![C64::new(0.5, 0.0); 4]);
-        p.output(c);
+        let h = p.rotate_sum(
+            c,
+            vec![
+                RotateSumTerm::new(0, vec![C64::new(1.0, 0.0); 4]),
+                RotateSumTerm::new(2, vec![C64::new(0.25, -0.5); 4]),
+            ],
+        );
+        p.output(h);
         p.output(s);
         p
     }
@@ -545,6 +624,59 @@ mod tests {
     fn builder_rejects_undefined_register() {
         let mut p = Program::new(1);
         p.add(Reg(0), Reg(5));
+    }
+
+    #[test]
+    fn rotate_sum_charges_its_working_set() {
+        let p = sample();
+        // 4 plain ops at 1 unit + rotate_sum(2 terms) at 2 + digits + 3
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.charge_units(3), 4 + (2 + 3 + 3));
+        // the digit weight scales with the hosting parameter set
+        assert_eq!(p.charge_units(9), 4 + (2 + 9 + 3));
+    }
+
+    #[test]
+    fn decode_rejects_hostile_rotate_sum_term_count() {
+        let mut p = Program::new(1);
+        let x = p.reg(0);
+        let h = p.rotate_sum(x, vec![RotateSumTerm::new(1, vec![C64::new(1.0, 0.0)])]);
+        p.output(h);
+        let mut bytes = Vec::new();
+        p.encode(&mut bytes);
+        // term-count field sits after n_inputs, n_ops, opcode, operand
+        let off = 2 + 2 + 1 + 2;
+        for evil in [0u16, (MAX_ROTATE_SUM_TERMS + 1) as u16] {
+            let mut b = bytes.clone();
+            b[off..off + 2].copy_from_slice(&evil.to_le_bytes());
+            let mut cur = Cursor::new(&b);
+            assert!(
+                matches!(
+                    Program::decode(&mut cur).unwrap_err(),
+                    ArkError::Wire(WireError::Malformed { .. })
+                ),
+                "{evil} terms must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_non_finite_rotate_sum_weights() {
+        let mut p = Program::new(1);
+        let x = p.reg(0);
+        let h = p.rotate_sum(x, vec![RotateSumTerm::new(1, vec![C64::new(1.0, 0.0)])]);
+        p.output(h);
+        let mut bytes = Vec::new();
+        p.encode(&mut bytes);
+        // first weight's re: n_inputs, n_ops, opcode, operand, n_terms,
+        // amount, plain-len
+        let off = 2 + 2 + 1 + 2 + 2 + 8 + 4;
+        bytes[off..off + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        let mut cur = Cursor::new(&bytes);
+        assert!(matches!(
+            Program::decode(&mut cur).unwrap_err(),
+            ArkError::Wire(WireError::Malformed { .. })
+        ));
     }
 
     #[test]

@@ -40,7 +40,10 @@ use std::io::{self, Read, Write};
 /// Protocol version spoken by this build (checked in `HELLO`).
 /// Version 2: key distribution ships seed-compressed frames
 /// (`PUBLIC_KEY` payload changed; `GET_EVAL_KEYS`/`EVAL_KEYS` added).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// Version 3: the `Program` IR gained the fused `RotateSum` opcode
+/// (16) — bumped so a capability gap surfaces as a clean handshake
+/// mismatch instead of an opaque decode error mid-session.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Serve-namespace frame kinds.
 pub mod msg {

@@ -765,14 +765,21 @@ fn handle_evaluate(
             format!("{} trailing bytes after the last input", rest.len() - off),
         ));
     }
-    // evaluation keeps one intermediate register live per op; levels
-    // only ever drop, so ops × the largest input is an upper bound on
-    // the working set — charge it up front so the session budget
-    // covers memory the request will grow into, not just its wire size
+    // evaluation keeps one intermediate register live per op — and a
+    // fused RotateSum additionally holds its per-amount rotations plus
+    // the hoisted digits, which charge_units() weighs in. The digit
+    // scratch in ciphertext-equivalents depends on the hosting
+    // parameter set: dnum digits over the extended basis (L+1+α limbs)
+    // vs a 2·(L+1)-limb ciphertext. Levels only ever drop, so units ×
+    // the largest input is an upper bound on the working set — charge
+    // it up front so the session budget covers memory the request will
+    // grow into, not just its wire size
+    let p = engine.params();
+    let digit_units = (p.dnum * (p.max_level + 1 + p.alpha())).div_ceil(2 * (p.max_level + 1));
     let max_input = inputs.iter().map(Ciphertext::byte_len).max().unwrap_or(0);
     session
         .charge(
-            program.len().saturating_mul(max_input),
+            program.charge_units(digit_units).saturating_mul(max_input),
             shared.config.max_session_bytes,
         )
         .map_err(|e| (code::SESSION_LIMIT, e.to_string()))?;

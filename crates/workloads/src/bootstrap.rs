@@ -163,6 +163,7 @@ pub fn bootstrap_trace(params: &CkksParams, cfg: &BootstrapTraceConfig) -> Trace
         strategy: cfg.strategy,
         start_level: top,
         inverse: true,
+        hoisting: false,
     });
     t.extend(&hidft);
     // EvalMod
@@ -176,6 +177,7 @@ pub fn bootstrap_trace(params: &CkksParams, cfg: &BootstrapTraceConfig) -> Trace
         strategy: cfg.strategy,
         start_level: after_evalmod,
         inverse: false,
+        hoisting: false,
     });
     t.extend(&hdft);
     t

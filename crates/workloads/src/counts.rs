@@ -61,14 +61,12 @@ pub fn pieces_at_level(level: usize, alpha: usize) -> usize {
     (level + 1).div_ceil(alpha)
 }
 
-/// Breakdown of one generalized key-switching (Alg. 2) at `level`.
-///
-/// Per piece `i` (size `α_i ≤ α`): INTT of `α_i` limbs, BConv
-/// `α_i → (ℓ+1+α−α_i)`, NTT of the converted limbs; then `2·dnum'`
-/// element-wise evk products over `ℓ+1+α` limbs; then ModDown on two
-/// polynomials (INTT `α`, BConv `α → ℓ+1`, NTT `ℓ+1`, and the `P^{-1}`
-/// scaling counted under `other`).
-pub fn key_switch_breakdown(params: &CkksParams, level: usize) -> MultBreakdown {
+/// Breakdown of the ModUp half of a key-switch (Alg. 2 lines 1–3):
+/// per piece `i` (size `α_i ≤ α`), an INTT of `α_i` limbs, a BConv
+/// `α_i → (ℓ+1+α−α_i)`, and an NTT of the converted limbs. This is the
+/// half a hoisted rotation group pays *once* — it depends only on the
+/// input polynomial, never on the rotation.
+pub fn key_switch_modup_breakdown(params: &CkksParams, level: usize) -> MultBreakdown {
     let n = params.n();
     let alpha = params.alpha();
     let ext = level + 1 + alpha;
@@ -81,10 +79,24 @@ pub fn key_switch_breakdown(params: &CkksParams, level: usize) -> MultBreakdown 
         b.ntt += (piece + converted) * per_limb;
         // BConv: first step (piece · N) + MAC matmul (piece · converted · N)
         b.bconv += piece * n + piece * converted * n;
-        // evk products: two polynomials over the extended basis
-        b.evk_mult += 2 * ext * n;
         start += alpha;
     }
+    b
+}
+
+/// Breakdown of the per-rotation tail of a key-switch: `2·dnum'`
+/// element-wise evk products over `ℓ+1+α` limbs, then ModDown on two
+/// polynomials (INTT `α`, BConv `α → ℓ+1`, NTT `ℓ+1`, and the `P^{-1}`
+/// scaling counted under `other`). The ModDown's input already mixes in
+/// the rotation-specific evk product, so this half cannot be hoisted.
+pub fn key_switch_tail_breakdown(params: &CkksParams, level: usize) -> MultBreakdown {
+    let n = params.n();
+    let alpha = params.alpha();
+    let ext = level + 1 + alpha;
+    let per_limb = ntt_mults_per_limb(n);
+    let mut b = MultBreakdown::default();
+    // evk products: two polynomials over the extended basis, per piece
+    b.evk_mult += 2 * pieces_at_level(level, alpha) * ext * n;
     // ModDown on both output polynomials
     b.ntt += 2 * (alpha + (level + 1)) * per_limb;
     b.bconv += 2 * (alpha * n + alpha * (level + 1) * n);
@@ -93,10 +105,33 @@ pub fn key_switch_breakdown(params: &CkksParams, level: usize) -> MultBreakdown 
     b
 }
 
+/// Breakdown of one generalized key-switching (Alg. 2) at `level`:
+/// ModUp plus tail.
+pub fn key_switch_breakdown(params: &CkksParams, level: usize) -> MultBreakdown {
+    key_switch_modup_breakdown(params, level).add(&key_switch_tail_breakdown(params, level))
+}
+
 /// Breakdown of `HRot` at `level`: automorphism (no multiplies) plus one
 /// key-switching.
 pub fn hrot_breakdown(params: &CkksParams, level: usize) -> MultBreakdown {
     key_switch_breakdown(params, level)
+}
+
+/// Breakdown of one member of a hoisted rotation group at `level`: the
+/// tail always runs; the shared ModUp is charged only to the member
+/// with `fresh_digits` (the automorphism is a permutation — no
+/// multiplies — on either path).
+pub fn hrot_hoisted_breakdown(
+    params: &CkksParams,
+    level: usize,
+    fresh_digits: bool,
+) -> MultBreakdown {
+    let tail = key_switch_tail_breakdown(params, level);
+    if fresh_digits {
+        key_switch_modup_breakdown(params, level).add(&tail)
+    } else {
+        tail
+    }
 }
 
 /// Breakdown of `HMult` at `level`: four element-wise limb products
@@ -181,6 +216,41 @@ mod tests {
         assert!((ntt - 73.3).abs() < 0.7, "ntt={ntt:.1}");
         assert!((bconv - 9.2).abs() < 0.7, "bconv={bconv:.1}");
         assert!((evk - 16.9).abs() < 0.7, "evk={evk:.1}");
+    }
+
+    #[test]
+    fn hoisted_split_sums_to_the_full_key_switch() {
+        let p = CkksParams::ark();
+        for level in [23, 12, 5, 0] {
+            let full = key_switch_breakdown(&p, level);
+            let split =
+                key_switch_modup_breakdown(&p, level).add(&key_switch_tail_breakdown(&p, level));
+            assert_eq!(full, split, "level {level}");
+            assert_eq!(hrot_hoisted_breakdown(&p, level, true), full);
+            let member = hrot_hoisted_breakdown(&p, level, false);
+            assert_eq!(member, key_switch_tail_breakdown(&p, level));
+            assert!(
+                member.total() < full.total(),
+                "a hoisted member must be strictly cheaper"
+            );
+        }
+    }
+
+    #[test]
+    fn hoisting_a_baby_loop_cuts_total_mults() {
+        // 7 baby rotations (the 2^14-slot BSGS shape): hoisted pays one
+        // ModUp + 7 tails vs 7 full key-switches.
+        let p = CkksParams::ark();
+        let level = p.max_level;
+        let rotations = 7;
+        let per_rotation = hrot_breakdown(&p, level).total() * rotations;
+        let hoisted = hrot_hoisted_breakdown(&p, level, true).total()
+            + hrot_hoisted_breakdown(&p, level, false).total() * (rotations - 1);
+        let ratio = per_rotation as f64 / hoisted as f64;
+        assert!(
+            ratio > 1.3,
+            "hoisting 7 rotations should cut >23% of mults, got {ratio:.2}x"
+        );
     }
 
     #[test]

@@ -34,6 +34,13 @@ pub struct HdftConfig {
     pub start_level: usize,
     /// Negative rotation amounts (IDFT direction); cosmetic for traffic.
     pub inverse: bool,
+    /// Hoist each stage's baby rotations (Halevi–Shoup): every baby
+    /// shares one digit decomposition instead of paying its own ModUp.
+    /// Only meaningful under [`KeyStrategy::Baseline`] — the iterated
+    /// strategies chain each baby off the previous result, so there is
+    /// no shared input to hoist (the keys-vs-compute tension between
+    /// Min-KS and hoisting; see DESIGN.md).
+    pub hoisting: bool,
 }
 
 impl HdftConfig {
@@ -48,6 +55,7 @@ impl HdftConfig {
             strategy,
             start_level: params.max_level,
             inverse: true,
+            hoisting: false,
         }
     }
 
@@ -64,7 +72,14 @@ impl HdftConfig {
             // H-DFT ends bootstrapping: it occupies the last L_boot levels
             start_level: params.max_level - params.boot_levels + iters,
             inverse: false,
+            hoisting: false,
         }
+    }
+
+    /// The same configuration with hoisted baby loops.
+    pub fn with_hoisting(mut self) -> Self {
+        self.hoisting = true;
+        self
     }
 
     /// Number of radix iterations.
@@ -98,7 +113,11 @@ pub fn hdft_trace(cfg: &HdftConfig) -> Trace {
                 key: KeyId::Rot(pre),
             });
         }
-        // Baby steps: rotations by i·stride, i = 1..2^k1.
+        // Baby steps: rotations by i·stride, i = 1..2^k1. All apply to
+        // the same stage input, so under Baseline keys they can share
+        // one digit decomposition (hoisting); the iterated strategies
+        // chain each baby off the previous result and cannot.
+        let hoist_babies = cfg.hoisting && cfg.strategy == KeyStrategy::Baseline;
         for i in 1..(1u32 << k1) as i64 {
             let amount = i * baby_amt;
             let key = match cfg.strategy {
@@ -106,7 +125,16 @@ pub fn hdft_trace(cfg: &HdftConfig) -> Trace {
                 // iterated: every baby uses evk^{(stride)}
                 _ => KeyId::Rot(baby_amt),
             };
-            t.push(HeOp::HRot { level, amount, key });
+            if hoist_babies {
+                t.push(HeOp::HRotHoisted {
+                    level,
+                    amount,
+                    key,
+                    fresh_digits: i == 1,
+                });
+            } else {
+                t.push(HeOp::HRot { level, amount, key });
+            }
         }
         // PMults: one per (baby, giant) pair; plaintexts are single-use.
         let pmults = (1u32 << k1) as usize * (1u32 << k2) as usize;
@@ -174,6 +202,31 @@ mod tests {
     }
 
     #[test]
+    fn hoisted_baseline_shares_baby_decompositions() {
+        let plain = hdft_trace(&paper_cfg(KeyStrategy::Baseline));
+        let hoisted = hdft_trace(&paper_cfg(KeyStrategy::Baseline).with_hoisting());
+        // same op count, same key surface, same rotation structure
+        assert_eq!(plain.len(), hoisted.len());
+        assert_eq!(plain.distinct_keys(), hoisted.distinct_keys());
+        let s = hoisted.summary();
+        // 3 stages × 7 babies hoisted; giants stay per-rotation
+        assert_eq!(s.hrot_hoisted, 21);
+        assert_eq!(s.hrot, 21);
+        // one ModUp per stage's baby group instead of one per baby:
+        // 3 × (1 + 7 giants) vs 3 × (7 + 7)
+        assert_eq!(plain.decompose_count(), 42);
+        assert_eq!(hoisted.decompose_count(), 24);
+    }
+
+    #[test]
+    fn hoisting_flag_is_inert_for_iterated_strategies() {
+        // Min-KS babies chain off the previous result — nothing to hoist
+        let plain = hdft_trace(&paper_cfg(KeyStrategy::MinKs));
+        let flagged = hdft_trace(&paper_cfg(KeyStrategy::MinKs).with_hoisting());
+        assert_eq!(plain.ops(), flagged.ops());
+    }
+
+    #[test]
     fn levels_decrease_per_iteration() {
         let t = hdft_trace(&paper_cfg(KeyStrategy::MinKs));
         let levels: Vec<usize> = t
@@ -216,6 +269,7 @@ mod tests {
             strategy: KeyStrategy::MinKs,
             start_level: 20,
             inverse: false,
+            hoisting: false,
         };
         let t = hdft_trace(&cfg);
         assert_eq!(t.summary().hrescale, 3);

@@ -28,6 +28,13 @@ pub struct HelrConfig {
     pub strategy: KeyStrategy,
     /// Sigmoid polynomial degree (HELR uses degree 7).
     pub sigmoid_degree: usize,
+    /// Evaluate the inner-product trees with hoisted radix-4 rounds:
+    /// each round computes `Σ_{j=0..3} rot(acc, j·4^k)` with the three
+    /// rotations sharing one digit decomposition, halving the round
+    /// count (and the ModUps) at the cost of more rotations — and more
+    /// distinct keys (12 vs 8 per tree), the hoisting-vs-Min-KS
+    /// tradeoff Section VII-C's key analysis already flags for HELR.
+    pub hoisting: bool,
 }
 
 impl HelrConfig {
@@ -39,12 +46,73 @@ impl HelrConfig {
             iterations: 30,
             strategy,
             sigmoid_degree: 7,
+            hoisting: false,
         }
+    }
+
+    /// The same configuration with hoisted inner-product trees.
+    pub fn with_hoisting(mut self) -> Self {
+        self.hoisting = true;
+        self
     }
 
     /// Data ciphertexts needed to pack the batch.
     pub fn data_ciphertexts(&self, params: &CkksParams) -> usize {
         (self.batch * self.features).div_ceil(params.slots())
+    }
+}
+
+/// One rotate-and-accumulate tree over `2^rounds` positions, rotating
+/// by `sign · 2^k`.
+///
+/// Plain: `rounds` serial radix-2 steps (`acc += rot(acc, 2^k)`), each
+/// paying a full key-switch. Hoisted: radix-4 rounds — `acc = Σ_{j=0..3}
+/// rot(acc, j·4^k)` — where the three rotations of one round share a
+/// single digit decomposition (they all read the same `acc`), so the
+/// tree pays `⌈rounds/2⌉` ModUps instead of `rounds`. An odd `rounds`
+/// leaves one radix-2 step, emitted un-hoisted (a group of one saves
+/// nothing).
+fn rotation_tree(t: &mut Trace, level: usize, rounds: u32, sign: i64, hoisting: bool) {
+    if !hoisting {
+        for round in 0..rounds {
+            let amount = sign * (1i64 << round);
+            t.push(HeOp::HRot {
+                level,
+                amount,
+                key: KeyId::Rot(amount),
+            });
+            t.push(HeOp::HAdd { level });
+        }
+        return;
+    }
+    let mut done = 0u32;
+    while done < rounds {
+        let radix_log2 = (rounds - done).min(2);
+        let step = sign * (1i64 << done);
+        if radix_log2 == 1 {
+            t.push(HeOp::HRot {
+                level,
+                amount: step,
+                key: KeyId::Rot(step),
+            });
+            t.push(HeOp::HAdd { level });
+        } else {
+            // the group stays contiguous (rotations first, adds after)
+            // so the compiler's shared-digit state survives the round
+            for j in 1..4i64 {
+                let amount = j * step;
+                t.push(HeOp::HRotHoisted {
+                    level,
+                    amount,
+                    key: KeyId::Rot(amount),
+                    fresh_digits: j == 1,
+                });
+            }
+            for _ in 1..4 {
+                t.push(HeOp::HAdd { level });
+            }
+        }
+        done += radix_log2;
     }
 }
 
@@ -70,15 +138,7 @@ fn helr_iteration(t: &mut Trace, cfg: &HelrConfig, params: &CkksParams, level: u
     }
     t.push(HeOp::HRescale { level: l });
     l -= 1;
-    for round in 0..sum_rounds {
-        let amount = 1i64 << round;
-        t.push(HeOp::HRot {
-            level: l,
-            amount,
-            key: KeyId::Rot(amount),
-        });
-        t.push(HeOp::HAdd { level: l });
-    }
+    rotation_tree(t, l, sum_rounds, 1, cfg.hoisting);
     // sigmoid (degree 7 ⇒ 3 squaring levels)
     let sig_depth = (cfg.sigmoid_degree as f64).log2().ceil() as usize;
     for _ in 0..sig_depth {
@@ -90,15 +150,7 @@ fn helr_iteration(t: &mut Trace, cfg: &HelrConfig, params: &CkksParams, level: u
     }
     // backward: g = X^T·σ — broadcast σ back across the feature axis
     // (reverse tree), PMult with the data, then one gradient-sum tree.
-    for round in 0..sum_rounds {
-        let amount = -(1i64 << round);
-        t.push(HeOp::HRot {
-            level: l,
-            amount,
-            key: KeyId::Rot(amount),
-        });
-        t.push(HeOp::HAdd { level: l });
-    }
+    rotation_tree(t, l, sum_rounds, -1, cfg.hoisting);
     for _ in 0..cts {
         t.push(HeOp::PMult {
             level: l,
@@ -108,15 +160,7 @@ fn helr_iteration(t: &mut Trace, cfg: &HelrConfig, params: &CkksParams, level: u
     }
     t.push(HeOp::HRescale { level: l });
     l -= 1;
-    for round in 0..sum_rounds {
-        let amount = 1i64 << round;
-        t.push(HeOp::HRot {
-            level: l,
-            amount,
-            key: KeyId::Rot(amount),
-        });
-        t.push(HeOp::HAdd { level: l });
-    }
+    rotation_tree(t, l, sum_rounds, 1, cfg.hoisting);
     // NAG-style update: two scalar multiplies and adds
     t.push(HeOp::CMult { level: l });
     t.push(HeOp::HAdd { level: l });
@@ -169,6 +213,34 @@ mod tests {
         let rots = inner_product_rotations(196);
         assert_eq!(rots, vec![1, 2, 4, 8, 16, 32, 64, 128]);
         assert!(detect_arithmetic_pattern(&rots).is_none());
+    }
+
+    #[test]
+    fn hoisted_trees_halve_the_modups_per_tree() {
+        let params = CkksParams::ark();
+        let base = HelrConfig {
+            iterations: 1,
+            ..HelrConfig::paper(KeyStrategy::MinKs)
+        };
+        let plain = helr_trace(&params, &base);
+        let hoisted = helr_trace(&params, &base.with_hoisting());
+        // 196 features ⇒ 8 radix-2 rounds become 4 radix-4 rounds: per
+        // tree 4 ModUps instead of 8, three trees per iteration
+        assert_eq!(
+            plain.decompose_count() - hoisted.decompose_count(),
+            3 * 4,
+            "plain {} vs hoisted {}",
+            plain.decompose_count(),
+            hoisted.decompose_count()
+        );
+        // radix-4 rounds rotate 3× per round: 12 hoisted rotations/tree
+        assert_eq!(
+            hoisted.summary().hrot_hoisted,
+            3 * 12,
+            "three trees of four radix-4 rounds"
+        );
+        // the sums are unchanged: every tree still covers 2^8 positions
+        assert_eq!(plain.summary().hrescale, hoisted.summary().hrescale);
     }
 
     #[test]

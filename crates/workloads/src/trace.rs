@@ -37,6 +37,20 @@ pub enum HeOp {
         amount: i64,
         key: KeyId,
     },
+    /// One rotation of a *hoisted* group (Halevi–Shoup hoisting): the
+    /// group shares a single digit decomposition + ModUp of its common
+    /// input; each member then applies the Galois permutation on the
+    /// raised digits, its evk inner product, and its own ModDown.
+    /// `fresh_digits` marks the member that pays the shared
+    /// decomposition — subsequent members of a contiguous group reuse
+    /// it, which is exactly the BConv/NTT reduction the compiler must
+    /// model (any intervening non-hoisted op invalidates the digits).
+    HRotHoisted {
+        level: usize,
+        amount: i64,
+        key: KeyId,
+        fresh_digits: bool,
+    },
     /// Complex conjugation.
     HConj { level: usize },
     /// Scalar multiplication (no key, no plaintext load).
@@ -58,6 +72,7 @@ impl HeOp {
             | HeOp::PAdd { level, .. }
             | HeOp::HAdd { level }
             | HeOp::HRot { level, .. }
+            | HeOp::HRotHoisted { level, .. }
             | HeOp::HConj { level }
             | HeOp::CMult { level }
             | HeOp::CAdd { level }
@@ -70,7 +85,7 @@ impl HeOp {
     pub fn key(&self) -> Option<KeyId> {
         match *self {
             HeOp::HMult { .. } => Some(KeyId::Mult),
-            HeOp::HRot { key, .. } => Some(key),
+            HeOp::HRot { key, .. } | HeOp::HRotHoisted { key, .. } => Some(key),
             HeOp::HConj { .. } => Some(KeyId::Conj),
             _ => None,
         }
@@ -134,6 +149,20 @@ impl Trace {
         self.count(HeOp::is_key_switch)
     }
 
+    /// Number of digit decompositions (ModUps) the trace pays: every
+    /// non-hoisted key-switch runs its own, while hoisted rotations
+    /// only pay on `fresh_digits` — the quantity hoisting minimizes,
+    /// and the "decompose count" the `hoisting` bench reports.
+    pub fn decompose_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| match op {
+                HeOp::HRotHoisted { fresh_digits, .. } => *fresh_digits,
+                other => other.is_key_switch(),
+            })
+            .count()
+    }
+
     /// Number of *distinct* evaluation keys touched — the quantity
     /// Min-KS minimizes (Fig. 1).
     pub fn distinct_keys(&self) -> usize {
@@ -153,6 +182,7 @@ impl Trace {
                 HeOp::PAdd { .. } => s.padd += 1,
                 HeOp::HAdd { .. } => s.hadd += 1,
                 HeOp::HRot { .. } => s.hrot += 1,
+                HeOp::HRotHoisted { .. } => s.hrot_hoisted += 1,
                 HeOp::HConj { .. } => s.hconj += 1,
                 HeOp::CMult { .. } => s.cmult += 1,
                 HeOp::CAdd { .. } => s.cadd += 1,
@@ -173,6 +203,7 @@ impl std::fmt::Display for TraceSummary {
             ("PAdd", self.padd),
             ("HAdd", self.hadd),
             ("HRot", self.hrot),
+            ("HRotH", self.hrot_hoisted),
             ("HConj", self.hconj),
             ("CMult", self.cmult),
             ("CAdd", self.cadd),
@@ -203,6 +234,7 @@ pub struct TraceSummary {
     pub padd: usize,
     pub hadd: usize,
     pub hrot: usize,
+    pub hrot_hoisted: usize,
     pub hconj: usize,
     pub cmult: usize,
     pub cadd: usize,
@@ -237,6 +269,28 @@ mod tests {
         assert_eq!(s.hrot, 2);
         assert_eq!(s.hmult, 1);
         assert_eq!(s.hrescale, 1);
+    }
+
+    #[test]
+    fn hoisted_ops_share_decompositions_in_the_accounting() {
+        let mut t = Trace::new("hoisted");
+        for (i, amount) in [1i64, 2, 3].into_iter().enumerate() {
+            t.push(HeOp::HRotHoisted {
+                level: 4,
+                amount,
+                key: KeyId::Rot(amount),
+                fresh_digits: i == 0,
+            });
+        }
+        t.push(HeOp::HMult { level: 4 });
+        assert_eq!(
+            t.key_switch_count(),
+            4,
+            "hoisted rotations still key-switch"
+        );
+        assert_eq!(t.decompose_count(), 2, "one shared ModUp + HMult's own");
+        assert_eq!(t.distinct_keys(), 4);
+        assert_eq!(t.summary().hrot_hoisted, 3);
     }
 
     #[test]

@@ -544,6 +544,25 @@ impl Outcome {
     }
 }
 
+/// One term of a fused [`HeEvaluator::rotate_sum`]: rotate the input
+/// left by `amount` slots, then multiply slot-wise by `weights`
+/// (encoded at the top-prime scale, like [`HeEvaluator::mul_plain`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RotateSumTerm {
+    /// Circular left slot shift (0 and multiples of the slot count are
+    /// keyless identities).
+    pub amount: i64,
+    /// Per-slot weights; at most the slot count.
+    pub weights: Vec<C64>,
+}
+
+impl RotateSumTerm {
+    /// A weighted-rotation term.
+    pub fn new(amount: i64, weights: Vec<C64>) -> Self {
+        Self { amount, weights }
+    }
+}
+
 /// The backend-agnostic HE operation set (Table II of the paper, plus
 /// bootstrapping): programs written against this trait run unchanged on
 /// the software and trace-recording backends.
@@ -608,6 +627,25 @@ pub trait HeEvaluator {
     /// `HRot`: circular left slot shift by `amount`.
     fn rotate(&mut self, ct: &Self::Ct, amount: i64) -> ArkResult<Self::Ct>;
 
+    /// Fused rotate-and-sum (the Eq. 8 BSGS inner loop as one node):
+    /// computes `Σ_k weights_k ⊙ rot(ct, amount_k)` with **hoisted**
+    /// key-switching — the software backend pays one digit
+    /// decomposition for the whole term set instead of one per
+    /// rotation, and both backends record the reduced work as
+    /// `HRotHoisted` trace ops so `ark-core` simulation reflects the
+    /// saved BConv/NTT passes (key loads are per distinct amount,
+    /// unchanged). The result's scale is `scale · q_top`, exactly like
+    /// [`Self::mul_plain`]; rescale afterwards. Output bits equal the
+    /// unfused `rotate`/`mul_plain`/`add` spelling.
+    ///
+    /// # Errors
+    ///
+    /// [`ArkError::InvalidParams`] for an empty term list or oversized
+    /// weights; [`ArkError::MissingRotationKey`] if a term's amount was
+    /// never declared (and runtime keys are off) — identical on both
+    /// backends.
+    fn rotate_sum(&mut self, ct: &Self::Ct, terms: &[RotateSumTerm]) -> ArkResult<Self::Ct>;
+
     /// `HConj`: slot-wise complex conjugation.
     fn conjugate(&mut self, ct: &Self::Ct) -> ArkResult<Self::Ct>;
 
@@ -633,6 +671,42 @@ pub trait HeEvaluator {
         let p = self.mul_plain(ct, values)?;
         self.rescale(&p)
     }
+}
+
+/// Validates a [`HeEvaluator::rotate_sum`] term list identically on
+/// every backend (so both surface the same typed error for the same
+/// program): non-empty, weights within the slot count, every rotation
+/// either declared or runtime-derivable. Returns the distinct
+/// non-identity normalized amounts in ascending order — the rotation
+/// set the hoisted group evaluates, and the `HRotHoisted` record order.
+fn check_rotate_sum_terms(
+    terms: &[RotateSumTerm],
+    slots: usize,
+    declared: &DeclaredKeys,
+    runtime_keys: bool,
+) -> ArkResult<Vec<i64>> {
+    if terms.is_empty() {
+        return Err(ArkError::InvalidParams {
+            reason: "rotate_sum needs at least one term".into(),
+        });
+    }
+    for t in terms {
+        if t.weights.len() > slots {
+            return Err(ArkError::InvalidParams {
+                reason: format!("{} weights exceed {} slots", t.weights.len(), slots),
+            });
+        }
+        let reduced = GaloisElement::normalize_rotation(t.amount, slots);
+        if reduced != 0 && !declared.has_rotation(reduced) && !runtime_keys {
+            return Err(ArkError::MissingRotationKey { amount: t.amount });
+        }
+    }
+    let distinct: BTreeSet<i64> = terms
+        .iter()
+        .map(|t| GaloisElement::normalize_rotation(t.amount, slots))
+        .filter(|&r| r != 0)
+        .collect();
+    Ok(distinct.into_iter().collect())
 }
 
 // ---------------------------------------------------------------------
@@ -825,6 +899,51 @@ impl HeEvaluator for SoftwareEvaluator<'_> {
             key: KeyId::Rot(reduced),
         });
         Ok(out)
+    }
+
+    fn rotate_sum(&mut self, ct: &Self::Ct, terms: &[RotateSumTerm]) -> ArkResult<Self::Ct> {
+        let ctx = self.ctx;
+        let keys = self.keys;
+        let slots = ctx.params().slots();
+        let distinct =
+            check_rotate_sum_terms(terms, slots, &keys.declared, keys.runtime_keys_enabled())?;
+        // one digit decomposition serves every rotation in the set
+        let digits = (!distinct.is_empty()).then(|| ctx.hoist_ciphertext(ct));
+        let mut rotated: HashMap<i64, Ciphertext> = HashMap::with_capacity(distinct.len());
+        for (i, &r) in distinct.iter().enumerate() {
+            let g = GaloisElement::from_rotation(r, ctx.params().n());
+            let key = keys
+                .galois_key(ctx, g)
+                .ok_or(ArkError::MissingRotationKey { amount: r })?;
+            let digits = digits.as_ref().expect("digits exist when a rotation does");
+            rotated.insert(r, ctx.apply_galois_hoisted(ct, digits, g, &key));
+            self.record(HeOp::HRotHoisted {
+                level: ct.level,
+                amount: r,
+                key: KeyId::Rot(r),
+                fresh_digits: i == 0,
+            });
+        }
+        let mut acc: Option<Ciphertext> = None;
+        for term in terms {
+            let reduced = GaloisElement::normalize_rotation(term.amount, slots);
+            let base = if reduced == 0 { ct } else { &rotated[&reduced] };
+            let pt = ctx.encode_for_mul(&term.weights, ct.level);
+            let prod = ctx.mul_plain(base, &pt);
+            self.record(HeOp::PMult {
+                level: prod.level,
+                fresh_plaintext: true,
+            });
+            acc = Some(match acc.take() {
+                None => prod,
+                Some(a) => {
+                    let sum = ctx.add(&a, &prod)?;
+                    self.record(HeOp::HAdd { level: sum.level });
+                    sum
+                }
+            });
+        }
+        Ok(acc.expect("terms validated non-empty"))
     }
 
     fn conjugate(&mut self, ct: &Self::Ct) -> ArkResult<Self::Ct> {
@@ -1063,6 +1182,35 @@ impl HeEvaluator for TraceEvaluator<'_> {
             key: KeyId::Rot(reduced),
         });
         Ok(*ct)
+    }
+
+    fn rotate_sum(&mut self, ct: &Self::Ct, terms: &[RotateSumTerm]) -> ArkResult<Self::Ct> {
+        let slots = self.params.slots();
+        let distinct = check_rotate_sum_terms(terms, slots, self.declared, self.runtime_keys)?;
+        // same record order as the software backend: the hoisted
+        // rotation group first (ascending distinct amounts, digits paid
+        // by the first member), then the multiply-accumulate chain
+        for (i, &r) in distinct.iter().enumerate() {
+            self.trace.push(HeOp::HRotHoisted {
+                level: ct.level,
+                amount: r,
+                key: KeyId::Rot(r),
+                fresh_digits: i == 0,
+            });
+        }
+        for k in 0..terms.len() {
+            self.trace.push(HeOp::PMult {
+                level: ct.level,
+                fresh_plaintext: true,
+            });
+            if k > 0 {
+                self.trace.push(HeOp::HAdd { level: ct.level });
+            }
+        }
+        Ok(SimCt {
+            level: ct.level,
+            scale: ct.scale * self.params.scale(),
+        })
     }
 
     fn conjugate(&mut self, ct: &Self::Ct) -> ArkResult<Self::Ct> {

@@ -313,6 +313,20 @@ macro_rules! proptest {
     };
 }
 
+/// Case-count override from the environment: `PROPTEST_CASES=<n>`
+/// replaces every test's configured case count (the slow-tests CI job
+/// sets it to crank the whole workspace's property coverage up without
+/// touching per-test configs). Unset, unparsable, or zero values leave
+/// the configured count in place — `0` would silently turn every
+/// property test into a vacuous pass.
+pub fn env_cases_override() -> Option<u32> {
+    std::env::var("PROPTEST_CASES")
+        .ok()?
+        .parse()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __proptest_impl {
@@ -320,7 +334,10 @@ macro_rules! __proptest_impl {
         $(
             #[test]
             fn $name() {
-                let config: $crate::ProptestConfig = $cfg;
+                let mut config: $crate::ProptestConfig = $cfg;
+                if let Some(__cases) = $crate::env_cases_override() {
+                    config.cases = __cases;
+                }
                 let mut __rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
                     $crate::seed_for(stringify!($name)),
                 );
