@@ -1,0 +1,459 @@
+//! Load benchmark of the `ark-serve` event-driven serving fabric.
+//!
+//! Spins up an in-process server at 1, 2 and 4 shard workers, drives it
+//! with ≥32 concurrent pipelined v4 sessions (8 in `--quick`) of the
+//! software backend, and emits a machine-readable `BENCH_PR6.json`
+//! with p50/p95/p99 request latency, sustained throughput, and the
+//! number of `BUSY` sheds per configuration — the serving-side
+//! counterpart of the engine-side `scaling` benchmark.
+//!
+//! ```text
+//! cargo run --release -p ark-bench --bin load            # 32 sessions
+//! cargo run --release -p ark-bench --bin load -- --quick # 8 sessions, CI smoke
+//! cargo run --release -p ark-bench --bin load -- --check-p95 500
+//! cargo run --release -p ark-bench --bin load -- --check-speedup 1.1
+//! ```
+//!
+//! Correctness rides along: every response is checked bit-identical to
+//! a single-connection reference evaluation, and any non-`BUSY` error
+//! flips `zero_protocol_errors` (and the exit code). The
+//! `--check-speedup` gate — sharded throughput over the
+//! single-dispatcher baseline — is skipped on single-core hosts, where
+//! no parallel speedup is possible.
+
+use ark_bench::json_escape;
+use ark_ckks::error::ArkError;
+use ark_ckks::params::{CkksContext, CkksParams};
+use ark_ckks::Ciphertext;
+use ark_fhe::engine::{Backend, Engine};
+use ark_math::cfft::C64;
+use ark_math::par::available_parallelism;
+use ark_serve::server::ServerConfig;
+use ark_serve::{Client, Program, Server};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Every key and ciphertext in this binary descends from this seed, so
+/// reruns are directly comparable.
+const BENCH_SEED: u64 = 0x4152_4b50_5236; // "ARKPR6"
+
+/// Shard counts the sweep covers.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Pipeline depth each session keeps in flight.
+const PIPELINE_DEPTH: usize = 4;
+
+struct Mode {
+    quick: bool,
+    out_path: String,
+    /// Maximum allowed p95 request latency (ms) at the widest shard
+    /// count, for exit 0 — the CI latency-regression gate.
+    check_p95: Option<f64>,
+    /// Minimum throughput speedup of the widest multi-shard
+    /// configuration over the single-dispatcher baseline. Skipped on
+    /// single-core hosts.
+    check_speedup: Option<f64>,
+}
+
+fn parse_args() -> Mode {
+    let mut quick = false;
+    let mut out_path = "BENCH_PR6.json".to_string();
+    let mut check_p95 = None;
+    let mut check_speedup = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            "--check-p95" => {
+                let v = args.next().and_then(|s| s.parse::<f64>().ok());
+                check_p95 = Some(v.unwrap_or_else(|| {
+                    eprintln!("--check-p95 requires a number (ms)");
+                    std::process::exit(2);
+                }));
+            }
+            "--check-speedup" => {
+                let v = args.next().and_then(|s| s.parse::<f64>().ok());
+                check_speedup = Some(v.unwrap_or_else(|| {
+                    eprintln!("--check-speedup requires a number");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: load [--quick] [--out PATH] [--check-p95 MS] [--check-speedup MIN]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    Mode {
+        quick,
+        out_path,
+        check_p95,
+        check_speedup,
+    }
+}
+
+fn bench_engine() -> Engine {
+    Engine::builder()
+        .params(CkksParams::tiny())
+        .backend(Backend::Software)
+        .rotations(&[1])
+        .seed(BENCH_SEED)
+        .build()
+        .expect("bench params are valid")
+}
+
+/// `rot((x + y)·x, 1)` — one mult, one rescale, one key-switch per
+/// request: enough work per job that shard parallelism is visible.
+fn bench_program() -> Program {
+    let mut p = Program::new(2);
+    let (x, y) = (p.reg(0), p.reg(1));
+    let s = p.add(x, y);
+    let m = p.mul_rescale(s, x);
+    let r = p.rotate(m, 1);
+    p.output(r);
+    p
+}
+
+/// Results of one shard-count configuration.
+struct LoadSample {
+    shards: usize,
+    sessions: usize,
+    requests_ok: u64,
+    shed_retries: u64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    throughput_rps: f64,
+    wall_ms: f64,
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * q).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Drives one server configuration with `sessions` concurrent
+/// pipelined clients and returns the latency/throughput sample.
+/// Request latency is amortized over each pipelined batch (submit the
+/// whole window, then redeem it). Non-`BUSY` errors and output
+/// mismatches flip the correctness flags.
+#[allow(clippy::too_many_arguments)]
+fn run_config(
+    shards: usize,
+    sessions: usize,
+    rounds: usize,
+    ct_x: &Ciphertext,
+    ct_y: &Ciphertext,
+    reference: &[Ciphertext],
+    zero_protocol_errors: &mut bool,
+    bit_identical: &mut bool,
+) -> LoadSample {
+    let handle = Server::with_config(ServerConfig {
+        shards,
+        ..ServerConfig::default()
+    })
+    .host(bench_engine())
+    .expect("software engine hosts")
+    .serve("127.0.0.1:0")
+    .expect("loopback bind");
+    let addr = handle.addr();
+    let fp = handle.engines()[0].fingerprint;
+    let program = bench_program();
+
+    let shed_retries = Arc::new(AtomicU64::new(0));
+    let protocol_errors = Arc::new(AtomicU64::new(0));
+    let mismatches = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..sessions)
+        .map(|_| {
+            let (ct_x, ct_y) = (ct_x.clone(), ct_y.clone());
+            let reference = reference.to_vec();
+            let program = program.clone();
+            let shed_retries = Arc::clone(&shed_retries);
+            let protocol_errors = Arc::clone(&protocol_errors);
+            let mismatches = Arc::clone(&mismatches);
+            std::thread::spawn(move || -> Vec<f64> {
+                let ctx = CkksContext::new(CkksParams::tiny());
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        return Vec::new();
+                    }
+                };
+                let mut latencies_ms = Vec::with_capacity(rounds * PIPELINE_DEPTH);
+                for _ in 0..rounds {
+                    let batch_start = Instant::now();
+                    let mut done = 0usize;
+                    let mut tickets = Vec::with_capacity(PIPELINE_DEPTH);
+                    for _ in 0..PIPELINE_DEPTH {
+                        match client.submit_evaluate(
+                            fp,
+                            &program,
+                            &[ct_x.clone(), ct_y.clone()],
+                            &ctx,
+                        ) {
+                            Ok(t) => tickets.push(t),
+                            Err(_) => {
+                                protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                return latencies_ms;
+                            }
+                        }
+                    }
+                    while let Some(t) = tickets.pop() {
+                        match client.wait_evaluate(t, &ctx) {
+                            Ok(outs) => {
+                                if outs != reference {
+                                    mismatches.fetch_add(1, Ordering::Relaxed);
+                                }
+                                done += 1;
+                            }
+                            Err(ArkError::Busy { retry_after_ms }) => {
+                                shed_retries.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_millis(u64::from(
+                                    retry_after_ms.max(1),
+                                )));
+                                match client.submit_evaluate(
+                                    fp,
+                                    &program,
+                                    &[ct_x.clone(), ct_y.clone()],
+                                    &ctx,
+                                ) {
+                                    Ok(t) => tickets.push(t),
+                                    Err(_) => {
+                                        protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                        return latencies_ms;
+                                    }
+                                }
+                            }
+                            Err(_) => {
+                                protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                return latencies_ms;
+                            }
+                        }
+                    }
+                    let per_request_ms =
+                        batch_start.elapsed().as_secs_f64() * 1e3 / done.max(1) as f64;
+                    for _ in 0..done {
+                        latencies_ms.push(per_request_ms);
+                    }
+                }
+                latencies_ms
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    for w in workers {
+        latencies.extend(w.join().expect("session thread panicked"));
+    }
+    let wall = started.elapsed();
+    handle.shutdown();
+
+    if protocol_errors.load(Ordering::Relaxed) > 0 {
+        *zero_protocol_errors = false;
+    }
+    if mismatches.load(Ordering::Relaxed) > 0 {
+        *bit_identical = false;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let requests_ok = latencies.len() as u64;
+    LoadSample {
+        shards,
+        sessions,
+        requests_ok,
+        shed_retries: shed_retries.load(Ordering::Relaxed),
+        p50_ms: percentile(&latencies, 0.50),
+        p95_ms: percentile(&latencies, 0.95),
+        p99_ms: percentile(&latencies, 0.99),
+        throughput_rps: requests_ok as f64 / wall.as_secs_f64(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+    }
+}
+
+fn main() {
+    let mode = parse_args();
+    let (sessions, rounds) = if mode.quick { (8, 3) } else { (32, 6) };
+    let params = CkksParams::tiny();
+
+    eprintln!(
+        "load: params={} sessions={sessions} pipeline={PIPELINE_DEPTH} rounds={rounds} \
+         shards={SHARD_COUNTS:?} host_parallelism={} (fixed seed {BENCH_SEED:#x})",
+        params.name,
+        available_parallelism(),
+    );
+
+    // fixed inputs + the single-connection reference every response
+    // must reproduce bit-for-bit
+    let mut local = bench_engine();
+    let ctx = CkksContext::new(params.clone());
+    let slots = local.params().slots();
+    let xs: Vec<C64> = (0..slots).map(|i| C64::new(0.03 * i as f64, 0.0)).collect();
+    let ys: Vec<C64> = (0..slots)
+        .map(|i| C64::new(0.9 - 0.01 * i as f64, 0.0))
+        .collect();
+    let ct_x = local.encrypt(&xs, 2).expect("level in range");
+    let ct_y = local.encrypt(&ys, 2).expect("level in range");
+    let reference = {
+        let handle = Server::new()
+            .host(bench_engine())
+            .expect("software engine hosts")
+            .serve("127.0.0.1:0")
+            .expect("loopback bind");
+        let fp = handle.engines()[0].fingerprint;
+        let mut client = Client::connect(handle.addr()).expect("loopback connect");
+        let outs = client
+            .evaluate(fp, &bench_program(), &[ct_x.clone(), ct_y.clone()], &ctx)
+            .expect("reference evaluation");
+        handle.shutdown();
+        outs
+    };
+
+    let mut zero_protocol_errors = true;
+    let mut bit_identical = true;
+    let mut samples: Vec<LoadSample> = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        eprintln!("  driving {sessions} sessions at {shards} shard(s)...");
+        let s = run_config(
+            shards,
+            sessions,
+            rounds,
+            &ct_x,
+            &ct_y,
+            &reference,
+            &mut zero_protocol_errors,
+            &mut bit_identical,
+        );
+        eprintln!(
+            "    p50={:.2}ms p95={:.2}ms p99={:.2}ms throughput={:.1} req/s shed={}",
+            s.p50_ms, s.p95_ms, s.p99_ms, s.throughput_rps, s.shed_retries
+        );
+        samples.push(s);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"ark-bench/load/v1\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if mode.quick { "quick" } else { "full" }
+    ));
+    json.push_str(&format!("  \"seed\": {BENCH_SEED},\n"));
+    json.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        available_parallelism()
+    ));
+    json.push_str(&format!(
+        "  \"params\": {{\"name\": \"{}\", \"log_n\": {}, \"n\": {}, \"max_level\": {}, \"sessions\": {}, \"pipeline_depth\": {}, \"rounds\": {}}},\n",
+        json_escape(params.name),
+        params.log_n,
+        params.n(),
+        params.max_level,
+        sessions,
+        PIPELINE_DEPTH,
+        rounds,
+    ));
+    json.push_str(&format!(
+        "  \"zero_protocol_errors\": {zero_protocol_errors},\n"
+    ));
+    json.push_str(&format!("  \"bit_identical\": {bit_identical},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 == samples.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"shards\": {}, \"sessions\": {}, \"requests_ok\": {}, \"shed_retries\": {}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"throughput_rps\": {:.2}, \"wall_ms\": {:.1}}}{comma}\n",
+            s.shards,
+            s.sessions,
+            s.requests_ok,
+            s.shed_retries,
+            s.p50_ms,
+            s.p95_ms,
+            s.p99_ms,
+            s.throughput_rps,
+            s.wall_ms,
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&mode.out_path, &json)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", mode.out_path));
+    println!("{json}");
+    eprintln!("wrote {}", mode.out_path);
+
+    // the JSON (with the flags recorded false) is on disk for
+    // diagnosis before these hard failures
+    if !zero_protocol_errors {
+        eprintln!("FAIL: a session surfaced a non-BUSY protocol error under load");
+        std::process::exit(1);
+    }
+    if !bit_identical {
+        eprintln!("FAIL: a response diverged from the single-connection reference");
+        std::process::exit(1);
+    }
+
+    // latency-regression gate at the widest shard count
+    if let Some(max_p95) = mode.check_p95 {
+        let widest = samples.last().expect("sweep is non-empty");
+        if widest.p95_ms > max_p95 {
+            eprintln!(
+                "FAIL: p95 at {} shards is {:.2} ms (> allowed {max_p95:.2} ms) — \
+                 serving latency has regressed",
+                widest.shards, widest.p95_ms
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "p95 gate passed: {:.2} ms <= {max_p95:.2} ms at {} shards",
+            widest.p95_ms, widest.shards
+        );
+    }
+
+    // throughput-scaling gate: the widest shard count that fits the
+    // host must beat the single-dispatcher baseline. Vacuous on a
+    // 1-core host (shard workers would just time-slice one core).
+    if let Some(min_speedup) = mode.check_speedup {
+        let host = available_parallelism();
+        if host < 2 {
+            eprintln!("--check-speedup skipped: host has a single hardware thread");
+            return;
+        }
+        let baseline = samples
+            .iter()
+            .find(|s| s.shards == 1)
+            .expect("single-shard sample present");
+        let gate_shards = SHARD_COUNTS
+            .iter()
+            .copied()
+            .filter(|&s| s <= host)
+            .max()
+            .expect("SHARD_COUNTS is non-empty");
+        let gate = samples
+            .iter()
+            .find(|s| s.shards == gate_shards)
+            .expect("swept shard count present");
+        let speedup = gate.throughput_rps / baseline.throughput_rps;
+        if speedup < min_speedup {
+            eprintln!(
+                "FAIL: throughput speedup at {gate_shards} shards is {speedup:.2}x \
+                 (< required {min_speedup:.2}x) — the sharded fabric has regressed"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "speedup gate passed: {speedup:.2}x >= {min_speedup:.2}x at {gate_shards} shards"
+        );
+    }
+}

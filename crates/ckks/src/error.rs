@@ -79,6 +79,13 @@ pub enum ArkError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The server load-shed the request: every shard queue (or the
+    /// connection's pipeline window) was full. Transient by design —
+    /// retry after the hinted delay instead of treating it as failure.
+    Busy {
+        /// Server-suggested backoff before retrying, in milliseconds.
+        retry_after_ms: u32,
+    },
 }
 
 impl From<ark_math::wire::WireError> for ArkError {
@@ -121,6 +128,9 @@ impl std::fmt::Display for ArkError {
             ArkError::InvalidParams { reason } => write!(f, "invalid parameters: {reason}"),
             ArkError::Wire(e) => write!(f, "wire format error: {e}"),
             ArkError::Serve { reason } => write!(f, "serving error: {reason}"),
+            ArkError::Busy { retry_after_ms } => {
+                write!(f, "server busy: retry after {retry_after_ms} ms")
+            }
         }
     }
 }

@@ -1,0 +1,31 @@
+//! # ark-net — a std-only readiness reactor for the serving fabric
+//!
+//! The I/O substrate under `ark-serve`: nonblocking sockets driven by
+//! a readiness poller, with per-connection buffers that re-establish
+//! message boundaries. No dependencies, no `libc` — on Linux
+//! x86_64/aarch64 the poller is edge-triggered epoll through a thin
+//! inline-asm syscall wrapper ([`sys`]); everywhere else a portable
+//! timed-tick fallback presents the same edge-triggered contract with
+//! spurious (never missed) readiness.
+//!
+//! The pieces, bottom-up:
+//!
+//! - [`sys`] — raw `epoll_create1`/`epoll_ctl`/`epoll_pwait`/
+//!   `eventfd2` syscalls (Linux x86_64/aarch64 only);
+//! - [`poller`] — [`Poller`]: register/reregister/deregister fds under
+//!   [`Token`]s with read/write [`Interest`], wait for [`Event`]s, and
+//!   interrupt the wait cross-thread with a [`Waker`];
+//! - [`conn`] — [`FrameBuf`]/[`OutBuf`]: length-prefixed message
+//!   assembly from arbitrary byte splits, and write queues that absorb
+//!   partial writes so one slow reader never blocks the loop.
+//!
+//! The reactor *loop* itself lives in `ark-serve` (it is protocol
+//! logic); this crate only promises that the loop never blocks on a
+//! socket and never tears a message boundary.
+
+pub mod conn;
+pub mod poller;
+pub mod sys;
+
+pub use conn::{FillStatus, FrameBuf, OutBuf};
+pub use poller::{Event, Interest, Poller, Token, Waker};

@@ -1,0 +1,252 @@
+//! Raw Linux syscalls for the epoll reactor — no `libc`, no external
+//! crates, just `core::arch::asm!` on the two architectures this
+//! workspace targets. Everything here is `pub(crate)`: the safe
+//! surface lives in [`crate::poller`].
+//!
+//! Only the calls the reactor needs are wrapped: `epoll_create1`,
+//! `epoll_ctl`, `epoll_pwait` (the portable spelling — aarch64 has no
+//! plain `epoll_wait`), `eventfd2` (the wake token), and `read` /
+//! `write` / `close` on the eventfd. Socket I/O itself stays on
+//! `std::net` — the kernel file descriptors std hands out are exactly
+//! what `epoll_ctl` registers.
+//!
+//! # Errors
+//!
+//! Linux returns `-errno` in the result register; every wrapper maps a
+//! negative return to [`std::io::Error::from_raw_os_error`], so callers
+//! see the same typed `io::Error`s std's own syscall users produce.
+
+#![cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+
+use std::io;
+
+// -- syscall numbers -------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod nr {
+    pub const READ: usize = 0;
+    pub const WRITE: usize = 1;
+    pub const CLOSE: usize = 3;
+    pub const EPOLL_CTL: usize = 233;
+    pub const EPOLL_PWAIT: usize = 281;
+    pub const EVENTFD2: usize = 290;
+    pub const EPOLL_CREATE1: usize = 291;
+}
+
+#[cfg(target_arch = "aarch64")]
+mod nr {
+    pub const EPOLL_CREATE1: usize = 20;
+    pub const EPOLL_CTL: usize = 21;
+    pub const EPOLL_PWAIT: usize = 22;
+    pub const EVENTFD2: usize = 19;
+    pub const CLOSE: usize = 57;
+    pub const READ: usize = 63;
+    pub const WRITE: usize = 64;
+}
+
+// -- the raw instruction ---------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+unsafe fn syscall6(n: usize, a: usize, b: usize, c: usize, d: usize, e: usize, f: usize) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "syscall",
+        inlateout("rax") n as isize => ret,
+        in("rdi") a,
+        in("rsi") b,
+        in("rdx") c,
+        in("r10") d,
+        in("r8") e,
+        in("r9") f,
+        // the syscall instruction clobbers rcx (return rip) and r11 (rflags)
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+#[cfg(target_arch = "aarch64")]
+unsafe fn syscall6(n: usize, a: usize, b: usize, c: usize, d: usize, e: usize, f: usize) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "svc 0",
+        in("x8") n,
+        inlateout("x0") a => ret,
+        in("x1") b,
+        in("x2") c,
+        in("x3") d,
+        in("x4") e,
+        in("x5") f,
+        options(nostack),
+    );
+    ret
+}
+
+fn check(ret: isize) -> io::Result<usize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+// -- epoll constants (uapi/linux/eventpoll.h) ------------------------
+
+pub const EPOLL_CLOEXEC: usize = 0o2000000;
+pub const EPOLL_CTL_ADD: usize = 1;
+pub const EPOLL_CTL_DEL: usize = 2;
+pub const EPOLL_CTL_MOD: usize = 3;
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+pub const EPOLLET: u32 = 1 << 31;
+
+pub const EFD_CLOEXEC: usize = 0o2000000;
+pub const EFD_NONBLOCK: usize = 0o4000;
+
+/// The kernel's `struct epoll_event`. Packed on x86_64 only — that is
+/// the one ABI where the uapi header carries
+/// `__attribute__((packed))`.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    /// Caller-owned cookie; the reactor stores its token here.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    pub fn zeroed() -> Self {
+        Self { events: 0, data: 0 }
+    }
+}
+
+// -- wrappers --------------------------------------------------------
+
+pub fn epoll_create1() -> io::Result<i32> {
+    // SAFETY: no pointers cross the boundary.
+    check(unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) }).map(|fd| fd as i32)
+}
+
+pub fn epoll_ctl(epfd: i32, op: usize, fd: i32, event: Option<&mut EpollEvent>) -> io::Result<()> {
+    let ptr = event.map_or(0usize, |e| e as *mut EpollEvent as usize);
+    // SAFETY: `ptr` is null (DEL) or a live, exclusively borrowed
+    // EpollEvent; the kernel only reads it during the call.
+    check(unsafe { syscall6(nr::EPOLL_CTL, epfd as usize, op, fd as usize, ptr, 0, 0) }).map(|_| ())
+}
+
+/// Waits for events; `timeout_ms < 0` blocks indefinitely. Returns the
+/// number of events written into `events`.
+pub fn epoll_wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    // SAFETY: `events` is a live exclusive borrow the kernel writes at
+    // most `events.len()` entries into; the null sigmask makes
+    // epoll_pwait behave exactly like epoll_wait (sigsetsize is
+    // ignored when the mask is null).
+    check(unsafe {
+        syscall6(
+            nr::EPOLL_PWAIT,
+            epfd as usize,
+            events.as_mut_ptr() as usize,
+            events.len(),
+            timeout_ms as isize as usize,
+            0,
+            0,
+        )
+    })
+}
+
+pub fn eventfd() -> io::Result<i32> {
+    // SAFETY: no pointers cross the boundary.
+    check(unsafe { syscall6(nr::EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0) })
+        .map(|fd| fd as i32)
+}
+
+pub fn write_u64(fd: i32, value: u64) -> io::Result<usize> {
+    let bytes = value.to_ne_bytes();
+    // SAFETY: the buffer outlives the call and the length is its real
+    // length.
+    check(unsafe {
+        syscall6(
+            nr::WRITE,
+            fd as usize,
+            bytes.as_ptr() as usize,
+            bytes.len(),
+            0,
+            0,
+            0,
+        )
+    })
+}
+
+pub fn read_u64(fd: i32) -> io::Result<u64> {
+    let mut bytes = [0u8; 8];
+    // SAFETY: the buffer outlives the call and the length is its real
+    // length.
+    check(unsafe {
+        syscall6(
+            nr::READ,
+            fd as usize,
+            bytes.as_mut_ptr() as usize,
+            bytes.len(),
+            0,
+            0,
+            0,
+        )
+    })?;
+    Ok(u64::from_ne_bytes(bytes))
+}
+
+pub fn close(fd: i32) {
+    // SAFETY: no pointers; the caller owns the descriptor and never
+    // uses it again (both call sites are Drop impls).
+    let _ = unsafe { syscall6(nr::CLOSE, fd as usize, 0, 0, 0, 0, 0) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eventfd_roundtrips_a_count() {
+        let fd = eventfd().unwrap();
+        write_u64(fd, 3).unwrap();
+        write_u64(fd, 4).unwrap();
+        assert_eq!(read_u64(fd).unwrap(), 7);
+        // drained: nonblocking read reports WouldBlock
+        let err = read_u64(fd).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        close(fd);
+    }
+
+    #[test]
+    fn epoll_sees_eventfd_readiness() {
+        let ep = epoll_create1().unwrap();
+        let fd = eventfd().unwrap();
+        let mut ev = EpollEvent {
+            events: EPOLLIN | EPOLLET,
+            data: 42,
+        };
+        epoll_ctl(ep, EPOLL_CTL_ADD, fd, Some(&mut ev)).unwrap();
+
+        let mut events = [EpollEvent::zeroed(); 4];
+        // nothing pending: a zero timeout returns immediately empty
+        assert_eq!(epoll_wait(ep, &mut events, 0).unwrap(), 0);
+
+        write_u64(fd, 1).unwrap();
+        let n = epoll_wait(ep, &mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let (data, bits) = (events[0].data, events[0].events);
+        assert_eq!(data, 42);
+        assert_ne!(bits & EPOLLIN, 0);
+        close(fd);
+        close(ep);
+    }
+}

@@ -9,10 +9,28 @@
 //! every received ciphertext is validated against the local parameter
 //! set (a response produced under different parameters is rejected by
 //! fingerprint before any payload byte is interpreted).
+//!
+//! # Pipelining (protocol v4)
+//!
+//! By default the client speaks v4: every post-handshake message
+//! carries a `u64` request id, so several requests can be in flight on
+//! one connection. [`Client::submit_evaluate`]/[`Client::submit_simulate`]
+//! return a [`Ticket`] without waiting; [`Client::wait_evaluate`]/
+//! [`Client::wait_simulate`] collect results in any order (responses
+//! that arrive for other tickets are stashed until asked for). The
+//! plain [`Client::evaluate`]/[`Client::simulate`] calls remain
+//! synchronous submit-then-wait pairs. Building with
+//! [`ClientBuilder::protocol_version`]`(3)` restores the bare serial
+//! protocol for old servers.
+//!
+//! A server under load may answer a submission with a typed `BUSY`
+//! load-shed, surfaced as [`ArkError::Busy`] carrying the suggested
+//! backoff — transient by design, retry instead of failing over.
 
 use crate::program::Program;
 use crate::protocol::{
-    self, code, msg, EngineInfo, Recv, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    self, code, msg, EngineInfo, Recv, DEFAULT_MAX_FRAME_BYTES, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 use ark_ckks::error::{ArkError, ArkResult};
 use ark_ckks::params::CkksContext;
@@ -21,7 +39,9 @@ use ark_ckks::{Ciphertext, EvalKey, PublicKey, RotationKeys};
 use ark_core::sched::SimReport;
 use ark_core::wire as core_wire;
 use ark_math::wire::{put_u16, put_u32, read_frame, write_frame, Cursor, Frame};
+use std::collections::HashMap;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 fn io_err(context: &str, e: impl std::fmt::Display) -> ArkError {
     ArkError::Serve {
@@ -37,30 +57,131 @@ fn count_u16(n: usize) -> ArkResult<u16> {
     })
 }
 
+/// Configures and opens a [`Client`] connection.
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    protocol_version: u16,
+    max_frame_bytes: usize,
+}
+
+impl Default for ClientBuilder {
+    fn default() -> Self {
+        Self {
+            read_timeout: None,
+            write_timeout: None,
+            protocol_version: PROTOCOL_VERSION,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+impl ClientBuilder {
+    /// Bounds how long one receive may wait for the server. Without it
+    /// a dead server (or a wedged network) hangs the read forever; with
+    /// it the wait surfaces as a typed [`ArkError::Serve`] timeout.
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Bounds how long one send may block on a server that stops
+    /// draining its socket.
+    pub fn write_timeout(mut self, timeout: Duration) -> Self {
+        self.write_timeout = Some(timeout);
+        self
+    }
+
+    /// Speaks an explicit protocol version: 4 (default, pipelined) or
+    /// 3 (bare serial, for old servers).
+    pub fn protocol_version(mut self, version: u16) -> Self {
+        self.protocol_version = version;
+        self
+    }
+
+    /// Largest message this client accepts (allocation bound).
+    pub fn max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Connects and performs the `HELLO` handshake, learning the
+    /// hosted engine inventory.
+    ///
+    /// # Errors
+    ///
+    /// [`ArkError::Serve`] on transport failure, a version the build
+    /// does not speak, or a handshake rejection.
+    pub fn connect(self, addr: impl ToSocketAddrs) -> ArkResult<Client> {
+        if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&self.protocol_version) {
+            return Err(ArkError::Serve {
+                reason: format!(
+                    "this build speaks protocol versions \
+                     {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}, not {}",
+                    self.protocol_version
+                ),
+            });
+        }
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(self.read_timeout)
+            .map_err(|e| io_err("set read timeout", e))?;
+        stream
+            .set_write_timeout(self.write_timeout)
+            .map_err(|e| io_err("set write timeout", e))?;
+        let mut client = Client {
+            stream,
+            engines: Vec::new(),
+            max_frame_bytes: self.max_frame_bytes,
+            read_timeout: self.read_timeout,
+            version: self.protocol_version,
+            next_request_id: 1,
+            stashed: HashMap::new(),
+        };
+        // the handshake is bare in every version: the envelope starts
+        // with the first post-negotiation message
+        let mut hello = Vec::new();
+        put_u16(&mut hello, client.version);
+        client.send_bare(&write_frame(msg::HELLO, 0, &hello))?;
+        let frame = client.recv_raw()?;
+        let info = client.expect_kind(&frame, msg::SERVER_INFO)?;
+        client.engines = protocol::decode_server_info(&mut Cursor::new(info.payload))?;
+        Ok(client)
+    }
+}
+
+/// A ticket for a pipelined request in flight on a v4 connection;
+/// redeem with the matching `wait_*` call, in any order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ticket {
+    id: u64,
+    fingerprint: u64,
+}
+
 /// A blocking `ark-serve` client session over one TCP connection.
 pub struct Client {
     stream: TcpStream,
     engines: Vec<EngineInfo>,
     max_frame_bytes: usize,
+    read_timeout: Option<Duration>,
+    version: u16,
+    next_request_id: u64,
+    /// Responses received while waiting for a different ticket.
+    stashed: HashMap<u64, Vec<u8>>,
 }
 
 impl Client {
-    /// Connects and performs the `HELLO` handshake, learning the hosted
-    /// engine inventory.
+    /// A connection builder with timeout and protocol knobs.
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder::default()
+    }
+
+    /// Connects with defaults and performs the `HELLO` handshake,
+    /// learning the hosted engine inventory.
     pub fn connect(addr: impl ToSocketAddrs) -> ArkResult<Self> {
-        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
-        let _ = stream.set_nodelay(true);
-        let mut client = Self {
-            stream,
-            engines: Vec::new(),
-            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
-        };
-        let mut hello = Vec::new();
-        put_u16(&mut hello, PROTOCOL_VERSION);
-        let frame = client.request(write_frame(msg::HELLO, 0, &hello))?;
-        let info = client.expect_kind(&frame, msg::SERVER_INFO)?;
-        client.engines = protocol::decode_server_info(&mut Cursor::new(info.payload))?;
-        Ok(client)
+        ClientBuilder::default().connect(addr)
     }
 
     /// The engines the server advertises.
@@ -71,6 +192,11 @@ impl Client {
     /// The advertised engine with the given fingerprint, if any.
     pub fn engine(&self, fingerprint: u64) -> Option<&EngineInfo> {
         self.engines.iter().find(|e| e.fingerprint == fingerprint)
+    }
+
+    /// The protocol version this session negotiated.
+    pub fn protocol_version(&self) -> u16 {
+        self.version
     }
 
     /// Fetches the server's public key for a hosted software engine so
@@ -120,25 +246,9 @@ impl Client {
         inputs: &[Ciphertext],
         ctx: &CkksContext,
     ) -> ArkResult<Vec<Ciphertext>> {
-        let mut payload = Vec::new();
-        program.encode(&mut payload);
-        put_u16(&mut payload, count_u16(inputs.len())?);
-        for ct in inputs {
-            payload.extend_from_slice(&ckks_wire::write_ciphertext(ctx, ct));
-        }
-        let frame = self.request(write_frame(msg::EVALUATE, fingerprint, &payload))?;
+        let frame = self.request(evaluate_frame(fingerprint, program, inputs, ctx)?)?;
         let outer = self.expect_kind(&frame, msg::RESULT_CTS)?;
-        let mut cur = Cursor::new(outer.payload);
-        let count = cur.u16()? as usize;
-        let rest = cur.take(cur.remaining())?;
-        let mut outputs = Vec::with_capacity(count.min(256));
-        let mut off = 0;
-        for _ in 0..count {
-            let (ct, used) = ckks_wire::read_ciphertext_prefix(ctx, &rest[off..])?;
-            off += used;
-            outputs.push(ct);
-        }
-        Ok(outputs)
+        decode_result_cts(ctx, outer.payload)
     }
 
     /// Costs `program` on the simulated engine `fingerprint` with
@@ -150,15 +260,61 @@ impl Client {
         program: &Program,
         levels: &[usize],
     ) -> ArkResult<SimReport> {
-        let mut payload = Vec::new();
-        program.encode(&mut payload);
-        put_u16(&mut payload, count_u16(levels.len())?);
-        for &l in levels {
-            put_u32(&mut payload, l as u32);
-        }
-        let frame = self.request(write_frame(msg::SIMULATE, fingerprint, &payload))?;
+        let frame = self.request(simulate_frame(fingerprint, program, levels)?)?;
         let outer = self.expect_kind(&frame, msg::RESULT_REPORT)?;
         core_wire::read_sim_report(outer.payload, fingerprint)
+    }
+
+    /// Submits an evaluation without waiting (pipelining; v4 only).
+    /// Redeem the ticket with [`Client::wait_evaluate`].
+    pub fn submit_evaluate(
+        &mut self,
+        fingerprint: u64,
+        program: &Program,
+        inputs: &[Ciphertext],
+        ctx: &CkksContext,
+    ) -> ArkResult<Ticket> {
+        let id = self.submit_frame(evaluate_frame(fingerprint, program, inputs, ctx)?)?;
+        Ok(Ticket { id, fingerprint })
+    }
+
+    /// Submits a simulation without waiting (pipelining; v4 only).
+    /// Redeem the ticket with [`Client::wait_simulate`].
+    pub fn submit_simulate(
+        &mut self,
+        fingerprint: u64,
+        program: &Program,
+        levels: &[usize],
+    ) -> ArkResult<Ticket> {
+        let id = self.submit_frame(simulate_frame(fingerprint, program, levels)?)?;
+        Ok(Ticket { id, fingerprint })
+    }
+
+    /// Waits for a pipelined evaluation's still-encrypted outputs.
+    pub fn wait_evaluate(
+        &mut self,
+        ticket: Ticket,
+        ctx: &CkksContext,
+    ) -> ArkResult<Vec<Ciphertext>> {
+        let frame = self.wait_response(ticket.id)?;
+        let outer = self.expect_kind(&frame, msg::RESULT_CTS)?;
+        decode_result_cts(ctx, outer.payload)
+    }
+
+    /// Waits for a pipelined simulation's report.
+    pub fn wait_simulate(&mut self, ticket: Ticket) -> ArkResult<SimReport> {
+        let frame = self.wait_response(ticket.id)?;
+        let outer = self.expect_kind(&frame, msg::RESULT_REPORT)?;
+        core_wire::read_sim_report(outer.payload, ticket.fingerprint)
+    }
+
+    /// Fetches the server's observability counters (accepted/active
+    /// sessions, per-shard queue depths and executed/stolen/shed jobs,
+    /// runtime-key-cache hits) as name → value pairs.
+    pub fn stats(&mut self) -> ArkResult<Vec<(String, u64)>> {
+        let frame = self.request(write_frame(msg::GET_STATS, 0, &[]))?;
+        let outer = self.expect_kind(&frame, msg::STATS)?;
+        protocol::decode_stats(&mut Cursor::new(outer.payload))
     }
 
     /// Asks the server to shut down gracefully, consuming the client.
@@ -167,22 +323,97 @@ impl Client {
         self.expect_kind(&frame, msg::BYE).map(|_| ())
     }
 
-    /// One synchronous request/response exchange.
+    // -- transport ----------------------------------------------------
+
+    fn pipelines(&self) -> bool {
+        self.version >= 4
+    }
+
+    /// One synchronous request/response exchange (submit-then-wait on
+    /// v4, bare send/recv on v3).
     fn request(&mut self, frame: Vec<u8>) -> ArkResult<Vec<u8>> {
-        protocol::send_message(&mut self.stream, &frame).map_err(|e| io_err("send", e))?;
-        match protocol::recv_message(&mut self.stream, self.max_frame_bytes, &|| false)
-            .map_err(|e| io_err("recv", e))?
-        {
-            Recv::Frame(f) => Ok(f),
-            Recv::Closed => Err(ArkError::Serve {
+        if self.pipelines() {
+            let id = self.submit_frame(frame)?;
+            self.wait_response(id)
+        } else {
+            self.send_bare(&frame)?;
+            self.recv_raw()
+        }
+    }
+
+    /// Sends one enveloped request, returning its id.
+    fn submit_frame(&mut self, frame: Vec<u8>) -> ArkResult<u64> {
+        if !self.pipelines() {
+            return Err(ArkError::Serve {
+                reason: "request pipelining needs protocol v4 (this session speaks v3)".into(),
+            });
+        }
+        let id = self.next_request_id;
+        self.next_request_id += 1;
+        let body = protocol::envelope(id, &frame);
+        self.send_bare(&body)?;
+        Ok(id)
+    }
+
+    /// Receives until the response for `id` arrives, stashing
+    /// out-of-order responses for their own waiters.
+    fn wait_response(&mut self, id: u64) -> ArkResult<Vec<u8>> {
+        if let Some(frame) = self.stashed.remove(&id) {
+            return Ok(frame);
+        }
+        loop {
+            let message = self.recv_raw()?;
+            let (rid, frame) = protocol::split_envelope(&message)?;
+            if rid == id {
+                return Ok(frame.to_vec());
+            }
+            self.stashed.insert(rid, frame.to_vec());
+        }
+    }
+
+    fn send_bare(&mut self, body: &[u8]) -> ArkResult<()> {
+        protocol::send_message(&mut self.stream, body).map_err(|e| {
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                io_err("send", "write timed out")
+            } else {
+                io_err("send", e)
+            }
+        })
+    }
+
+    fn recv_raw(&mut self) -> ArkResult<Vec<u8>> {
+        // with a read timeout, the socket wait is bounded by
+        // SO_RCVTIMEO; the abort closure additionally bounds a stalled
+        // mid-message read against the same deadline
+        let deadline = self.read_timeout.map(|t| Instant::now() + t);
+        let abort = move || deadline.is_some_and(|d| Instant::now() >= d);
+        match protocol::recv_message(&mut self.stream, self.max_frame_bytes, &abort) {
+            Ok(Recv::Frame(f)) => Ok(f),
+            Ok(Recv::Idle) => Err(ArkError::Serve {
+                reason: format!(
+                    "read timed out after {:?} waiting for the server",
+                    self.read_timeout.unwrap_or_default()
+                ),
+            }),
+            Ok(Recv::Closed) => Err(ArkError::Serve {
                 reason: "server closed the connection mid-request".into(),
             }),
-            Recv::Idle => unreachable!("no read timeout is configured on the client stream"),
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => Err(ArkError::Serve {
+                reason: format!(
+                    "read timed out after {:?} mid-message",
+                    self.read_timeout.unwrap_or_default()
+                ),
+            }),
+            Err(e) => Err(io_err("recv", e)),
         }
     }
 
     /// Parses a response frame, mapping `ERROR` frames to
-    /// [`ArkError::Serve`] and anything unexpected to a protocol error.
+    /// [`ArkError::Serve`], `BUSY` to [`ArkError::Busy`], and anything
+    /// unexpected to a protocol error.
     fn expect_kind<'f>(&self, frame_bytes: &'f [u8], kind: u16) -> ArkResult<Frame<'f>> {
         let (frame, _) = read_frame(frame_bytes)?;
         if frame.kind == msg::ERROR {
@@ -200,6 +431,10 @@ impl Client {
                 reason: format!("server rejected the request ({label}): {m}"),
             });
         }
+        if frame.kind == msg::BUSY {
+            let retry_after_ms = protocol::decode_busy(&mut Cursor::new(frame.payload))?;
+            return Err(ArkError::Busy { retry_after_ms });
+        }
         if frame.kind != kind {
             return Err(ArkError::Serve {
                 reason: format!(
@@ -210,4 +445,43 @@ impl Client {
         }
         Ok(frame)
     }
+}
+
+fn evaluate_frame(
+    fingerprint: u64,
+    program: &Program,
+    inputs: &[Ciphertext],
+    ctx: &CkksContext,
+) -> ArkResult<Vec<u8>> {
+    let mut payload = Vec::new();
+    program.encode(&mut payload);
+    put_u16(&mut payload, count_u16(inputs.len())?);
+    for ct in inputs {
+        payload.extend_from_slice(&ckks_wire::write_ciphertext(ctx, ct));
+    }
+    Ok(write_frame(msg::EVALUATE, fingerprint, &payload))
+}
+
+fn simulate_frame(fingerprint: u64, program: &Program, levels: &[usize]) -> ArkResult<Vec<u8>> {
+    let mut payload = Vec::new();
+    program.encode(&mut payload);
+    put_u16(&mut payload, count_u16(levels.len())?);
+    for &l in levels {
+        put_u32(&mut payload, l as u32);
+    }
+    Ok(write_frame(msg::SIMULATE, fingerprint, &payload))
+}
+
+fn decode_result_cts(ctx: &CkksContext, payload: &[u8]) -> ArkResult<Vec<Ciphertext>> {
+    let mut cur = Cursor::new(payload);
+    let count = cur.u16()? as usize;
+    let rest = cur.take(cur.remaining())?;
+    let mut outputs = Vec::with_capacity(count.min(256));
+    let mut off = 0;
+    for _ in 0..count {
+        let (ct, used) = ckks_wire::read_ciphertext_prefix(ctx, &rest[off..])?;
+        off += used;
+        outputs.push(ct);
+    }
+    Ok(outputs)
 }

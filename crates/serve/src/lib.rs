@@ -9,22 +9,26 @@
 //!   program (the transportable counterpart of
 //!   [`ark_fhe::engine::HeProgram`]);
 //! - [`protocol`] — the length-prefixed request/response protocol over
-//!   TCP (`std::net` only, like everything in this workspace);
-//! - [`server::Server`] — hosts one [`Engine`](ark_fhe::Engine) (and
-//!   one shared key chain) per parameter set, batches same-engine
-//!   requests, accounts per-session memory, shuts down gracefully;
+//!   TCP (`std::net` only, like everything in this workspace), v4 of
+//!   which envelopes every post-handshake message with a request id so
+//!   one connection can pipeline;
+//! - [`server::Server`] — an event-driven serving fabric: one
+//!   `ark-net` reactor thread owns every connection, N shard workers
+//!   (work-stealing, bounded queues, typed `BUSY` load-shedding)
+//!   evaluate over one shared key chain per parameter set;
 //! - [`client::Client`] — a blocking client: encrypt locally, evaluate
-//!   remotely, decrypt locally.
+//!   remotely (serially or pipelined via tickets), decrypt locally.
 //!
 //! See `examples/serve_roundtrip.rs` for the loopback end-to-end flow
-//! on both the software and the simulated backend.
+//! on both the software and the simulated backend, and the "Serving
+//! fabric" section of `DESIGN.md` for the architecture.
 
 pub mod client;
 pub mod program;
 pub mod protocol;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, ClientBuilder, Ticket};
 pub use program::{Program, Reg};
 pub use protocol::EngineInfo;
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -3,13 +3,23 @@
 //!
 //! # Transport
 //!
-//! Each message is a `u32` little-endian byte count followed by exactly
-//! one wire frame. The prefix lets a receiver take the whole message
-//! off the stream before parsing (and bound it against
-//! `max_frame_bytes` *before* allocating); the frame's own checksum
-//! then covers content integrity. Requests and responses alternate
-//! strictly on one connection — the protocol is synchronous per
-//! session, and concurrency comes from many sessions.
+//! Each message is a `u32` little-endian byte count followed by the
+//! message body. The prefix lets a receiver take the whole message off
+//! the stream before parsing (and bound it against `max_frame_bytes`
+//! *before* allocating); the frame's own checksum then covers content
+//! integrity.
+//!
+//! The message body depends on the negotiated protocol version:
+//!
+//! - **v3** — the body is exactly one wire frame, and requests and
+//!   responses alternate strictly (synchronous per session;
+//!   concurrency comes from many sessions).
+//! - **v4** — after the `HELLO`/`SERVER_INFO` exchange (which stays in
+//!   the v3 shape, since no version is negotiated yet), every body is
+//!   `u64` request id ‖ one wire frame. Requests *pipeline*: a client
+//!   may have many in flight on one connection, and responses carry
+//!   the id of the request they answer — order is not guaranteed.
+//!   The id namespace is chosen by the client; the server only echoes.
 //!
 //! # Message kinds (`0x10..=0x1F`, the serve namespace of the shared
 //! kind-tag space)
@@ -29,6 +39,9 @@
 //! | `ERROR` | s→c | `u16` code ‖ `u32 len` ‖ UTF-8 message |
 //! | `SHUTDOWN` | c→s | empty — acked with `BYE` and honored only when `ServerConfig::allow_remote_shutdown` is set (refused with `ERROR` otherwise) |
 //! | `BYE` | s→c | empty |
+//! | `GET_STATS` | c→s | empty (v4) |
+//! | `STATS` | s→c | `u16 n` × (`u16 len` ‖ UTF-8 name ‖ `u64` value) (v4) |
+//! | `BUSY` | s→c | `u32` retry-after hint in milliseconds (v4) |
 //!
 //! Engine descriptor: `u64` fingerprint ‖ `u8` backend (0 = software,
 //! 1 = simulated) ‖ `u8 log N` ‖ `u32 L` ‖ `u64` resident key bytes.
@@ -37,13 +50,21 @@ use ark_ckks::error::{ArkError, ArkResult};
 use ark_math::wire::{put_u16, put_u32, put_u64, write_frame, Cursor, WireError};
 use std::io::{self, Read, Write};
 
-/// Protocol version spoken by this build (checked in `HELLO`).
+/// Protocol version spoken by this build (negotiated in `HELLO`).
 /// Version 2: key distribution ships seed-compressed frames
 /// (`PUBLIC_KEY` payload changed; `GET_EVAL_KEYS`/`EVAL_KEYS` added).
 /// Version 3: the `Program` IR gained the fused `RotateSum` opcode
 /// (16) — bumped so a capability gap surfaces as a clean handshake
 /// mismatch instead of an opaque decode error mid-session.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// Version 4: post-handshake messages carry a `u64` request id so one
+/// connection can pipeline requests (framing change ⇒ version bump);
+/// `GET_STATS`/`STATS` expose the server counters and `BUSY` is the
+/// typed load-shed response. Servers still accept v3 clients
+/// ([`MIN_PROTOCOL_VERSION`]) with the old serial, id-less behavior.
+pub const PROTOCOL_VERSION: u16 = 4;
+
+/// Oldest client version the server still speaks.
+pub const MIN_PROTOCOL_VERSION: u16 = 3;
 
 /// Serve-namespace frame kinds.
 pub mod msg {
@@ -74,6 +95,15 @@ pub mod msg {
     pub const GET_EVAL_KEYS: u16 = 0x1B;
     /// Evaluation-key response (server → client).
     pub const EVAL_KEYS: u16 = 0x1C;
+    /// Server-counter fetch (client → server, v4).
+    pub const GET_STATS: u16 = 0x1D;
+    /// Server-counter response (server → client, v4): a wire-encoded
+    /// name → value map.
+    pub const STATS: u16 = 0x1E;
+    /// Typed load-shed response (server → client, v4): every shard
+    /// queue (or the connection's pipeline window) was full; the
+    /// payload hints how long to back off before retrying.
+    pub const BUSY: u16 = 0x1F;
 }
 
 /// Error codes carried by `ERROR` messages.
@@ -187,6 +217,96 @@ pub fn recv_message(
     let mut frame = vec![0u8; len];
     read_full(r, &mut frame, false, abort)?;
     Ok(Recv::Frame(frame))
+}
+
+// ---------------------------------------------------------------------
+// v4 request-id envelope
+// ---------------------------------------------------------------------
+
+/// Bytes of the v4 request-id prefix inside a message body.
+pub const ENVELOPE_LEN: usize = 8;
+
+/// Wraps a wire frame in the v4 envelope: `u64` request id, then the
+/// frame.
+pub fn envelope(request_id: u64, frame: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(ENVELOPE_LEN + frame.len());
+    put_u64(&mut body, request_id);
+    body.extend_from_slice(frame);
+    body
+}
+
+/// Splits a v4 message body into its request id and the wire frame.
+///
+/// # Errors
+///
+/// [`ArkError::Wire`] if the body is shorter than the envelope.
+pub fn split_envelope(body: &[u8]) -> ArkResult<(u64, &[u8])> {
+    if body.len() <= ENVELOPE_LEN {
+        return Err(ArkError::Wire(WireError::Truncated {
+            needed: ENVELOPE_LEN + 1,
+            available: body.len(),
+        }));
+    }
+    let id = u64::from_le_bytes(body[..8].try_into().expect("8 bytes checked"));
+    Ok((id, &body[ENVELOPE_LEN..]))
+}
+
+// ---------------------------------------------------------------------
+// BUSY + STATS codecs
+// ---------------------------------------------------------------------
+
+/// Builds a `BUSY` load-shed frame with a retry-after hint.
+pub fn busy_frame(retry_after_ms: u32) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(4);
+    put_u32(&mut payload, retry_after_ms);
+    write_frame(msg::BUSY, 0, &payload)
+}
+
+/// Parses a `BUSY` payload into the retry-after hint.
+pub fn decode_busy(cur: &mut Cursor<'_>) -> ArkResult<u32> {
+    let ms = cur.u32()?;
+    cur.finish().map_err(ArkError::Wire)?;
+    Ok(ms)
+}
+
+/// Longest counter name accepted by [`decode_stats`] (hostile lengths
+/// must not drive allocations).
+pub const MAX_STAT_NAME: usize = 256;
+
+/// Encodes a `STATS` frame from named counters.
+pub fn stats_frame(counters: &[(String, u64)]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_u16(&mut payload, counters.len() as u16);
+    for (name, value) in counters {
+        put_u16(&mut payload, name.len() as u16);
+        payload.extend_from_slice(name.as_bytes());
+        put_u64(&mut payload, *value);
+    }
+    write_frame(msg::STATS, 0, &payload)
+}
+
+/// Decodes a `STATS` payload into named counters.
+pub fn decode_stats(cur: &mut Cursor<'_>) -> ArkResult<Vec<(String, u64)>> {
+    let count = cur.u16()? as usize;
+    let mut out = Vec::with_capacity(count.min(256));
+    for _ in 0..count {
+        let len = cur.u16()? as usize;
+        if len > MAX_STAT_NAME {
+            return Err(ArkError::Wire(WireError::Malformed {
+                what: format!("counter name of {len} bytes exceeds the {MAX_STAT_NAME} cap"),
+            }));
+        }
+        let bytes = cur.take(len).map_err(ArkError::Wire)?;
+        let name = String::from_utf8(bytes.to_vec()).map_err(|_| {
+            ArkError::Wire(WireError::Malformed {
+                what: "counter name is not UTF-8".into(),
+            })
+        })?;
+        let value = cur.u64()?;
+        out.push((name, value));
+    }
+    cur.finish().map_err(ArkError::Wire)?;
+    Ok(out)
 }
 
 /// Builds an `ERROR` frame.
@@ -309,6 +429,48 @@ mod tests {
             recv_message(&mut r, 1024, &|| false).unwrap(),
             Recv::Closed
         ));
+    }
+
+    #[test]
+    fn envelope_roundtrips_and_rejects_truncation() {
+        let frame = busy_frame(125);
+        let body = envelope(0xfeed_beef_dead_cafe, &frame);
+        let (id, inner) = split_envelope(&body).unwrap();
+        assert_eq!(id, 0xfeed_beef_dead_cafe);
+        assert_eq!(inner, &frame[..]);
+        // an envelope with no frame after the id is truncated
+        for cut in 0..=ENVELOPE_LEN {
+            assert!(split_envelope(&body[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn busy_and_stats_roundtrip() {
+        let bytes = busy_frame(250);
+        let (frame, _) = read_frame(&bytes).unwrap();
+        assert_eq!(frame.kind, msg::BUSY);
+        assert_eq!(decode_busy(&mut Cursor::new(frame.payload)).unwrap(), 250);
+
+        let counters = vec![
+            ("sessions_accepted".to_string(), 12u64),
+            ("shard0.jobs_executed".to_string(), u64::MAX),
+        ];
+        let bytes = stats_frame(&counters);
+        let (frame, _) = read_frame(&bytes).unwrap();
+        assert_eq!(frame.kind, msg::STATS);
+        assert_eq!(
+            decode_stats(&mut Cursor::new(frame.payload)).unwrap(),
+            counters
+        );
+    }
+
+    #[test]
+    fn hostile_stat_name_length_is_rejected() {
+        let mut payload = Vec::new();
+        put_u16(&mut payload, 1);
+        put_u16(&mut payload, u16::MAX);
+        payload.extend_from_slice(b"x");
+        assert!(decode_stats(&mut Cursor::new(&payload)).is_err());
     }
 
     #[test]

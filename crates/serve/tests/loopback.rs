@@ -105,7 +105,7 @@ fn roundtrip_on_both_backends() {
 #[test]
 fn concurrent_sessions_share_one_keychain() {
     let (handle, sw_fp, _) = start_server(ServerConfig {
-        max_batch: 4,
+        shards: 4,
         ..ServerConfig::default()
     });
     let addr = handle.addr();

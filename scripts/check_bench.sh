@@ -40,6 +40,10 @@ CONTRACTS = {
         ],
         "flags": ["bit_identical"],
     },
+    "BENCH_PR6.json": {
+        "keys": ["schema", "params", "results", "host_parallelism"],
+        "flags": ["zero_protocol_errors", "bit_identical"],
+    },
 }
 
 failed = False

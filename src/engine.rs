@@ -180,6 +180,11 @@ const SEED_TAG_MULT_KEY: u64 = (1 << 32) + 1;
 struct RuntimeKeyCache {
     capacity: usize,
     inner: Mutex<RuntimeCacheInner>,
+    /// Lookups answered from the cache (atomic: shared evaluators hit
+    /// this concurrently; `ark-serve` exports it through `STATS`).
+    hits: std::sync::atomic::AtomicU64,
+    /// Lookups that had to derive the key.
+    misses: std::sync::atomic::AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -195,6 +200,8 @@ impl RuntimeKeyCache {
         Self {
             capacity: capacity.max(1),
             inner: Mutex::new(RuntimeCacheInner::default()),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -213,9 +220,12 @@ impl RuntimeKeyCache {
             let tick = inner.tick;
             if let Some((stamp, key)) = inner.keys.get_mut(&g.0) {
                 *stamp = tick;
+                self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 return Arc::clone(key);
             }
         }
+        self.misses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let key = Arc::new(derive()); // no lock held across the keygen
         let mut inner = self.inner.lock().expect("runtime key cache poisoned");
         inner.tick += 1;
@@ -390,6 +400,19 @@ impl KeyChain {
     /// (0 when runtime keys are disabled).
     pub fn runtime_cached_keys(&self) -> usize {
         self.runtime.as_ref().map_or(0, RuntimeKeyCache::len)
+    }
+
+    /// Lifetime `(hits, misses)` of the runtime key cache — a hit is a
+    /// lookup answered from the cache, a miss one that derived the key
+    /// on demand. `(0, 0)` when runtime keys are disabled. `ark-serve`
+    /// surfaces these through its `STATS` message.
+    pub fn runtime_key_cache_stats(&self) -> (u64, u64) {
+        self.runtime.as_ref().map_or((0, 0), |c| {
+            (
+                c.hits.load(std::sync::atomic::Ordering::Relaxed),
+                c.misses.load(std::sync::atomic::Ordering::Relaxed),
+            )
+        })
     }
 
     /// Resolves the key for a Galois element: eagerly generated
