@@ -1,0 +1,611 @@
+//! Core-op throughput + allocation benchmark — the PR-7 regression
+//! gate for the flat limb-major `RnsPoly` redesign.
+//!
+//! Measures ops/sec for `mul_rescale`, `rotate`, and the hoisted
+//! `rotate_many` primitive at `N = 2^14..2^16`, and pits the production
+//! flat/lazy/arena path against a **nested pre-refactor baseline**
+//! composed from [`ark_math::nested`] primitives: one heap row per
+//! limb, eager NTT per row, per-digit subset clones, per-term-reduced
+//! BConv MACs, fresh allocations on every call — the dataflow the
+//! redesign replaced. Emits `BENCH_PR7.json` and **fails** (non-zero
+//! exit) if
+//!
+//! - the nested baseline's `mul_rescale` output is not bit-identical
+//!   to the flat path's, or
+//! - steady-state `mul_rescale` / `key_switch` on the serial pool
+//!   perform any heap allocation (counted by a wrapping global
+//!   allocator), or
+//! - `--check-speedup MIN` is given and flat serial `mul_rescale` does
+//!   not beat the nested baseline by `MIN`× at the gated size.
+//!
+//! ```text
+//! cargo run --release -p ark-bench --bin core_ops            # N = 2^14..2^16
+//! cargo run --release -p ark-bench --bin core_ops -- --quick # N = 2^14..2^15
+//! cargo run --release -p ark-bench --bin core_ops -- --check-speedup 1.10
+//! ```
+//!
+//! The speedup gate compares serial-vs-serial, so it measures the
+//! layout + lazy-reduction + arena win, not thread-pool parallelism
+//! (the `scaling` bench gates that separately). All randomness descends
+//! from one fixed seed.
+
+use ark_bench::{json_escape, time_reps};
+use ark_ckks::ciphertext::Ciphertext;
+use ark_ckks::keys::EvalKey;
+use ark_ckks::params::{CkksContext, CkksParams};
+use ark_math::bconv::BaseConverter;
+use ark_math::cfft::C64;
+use ark_math::nested::{bconv_reference, NestedPoly};
+use ark_math::par::{available_parallelism, ThreadPool};
+use ark_math::poly::{Representation, RnsBasis, RnsPoly};
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Heap-allocation counter wrapping the system allocator: every
+/// `alloc`/`realloc`/`alloc_zeroed` bumps one counter, so the bench can
+/// assert the arena-backed hot paths hit the allocator exactly zero
+/// times per op in steady state.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocator hits across `f` (this thread and any worker threads).
+fn alloc_delta(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+/// Every RNG draw in this binary descends from this constant.
+const BENCH_SEED: u64 = 0x4152_4b50_5237; // "ARKPR7"
+
+/// The size the speedup and zero-alloc gates run at.
+const GATED_LOG_N: u32 = 15;
+
+/// Rotation amounts for the hoisted `rotate_many` sample (a BSGS baby
+/// loop's worth).
+const HOISTED_AMOUNTS: [i64; 7] = [1, 2, 3, 4, 5, 6, 7];
+
+struct Mode {
+    quick: bool,
+    out_path: String,
+    /// Minimum flat-over-nested serial `mul_rescale` speedup required
+    /// for exit 0.
+    check_speedup: Option<f64>,
+}
+
+fn parse_args() -> Mode {
+    let mut quick = false;
+    let mut out_path = "BENCH_PR7.json".to_string();
+    let mut check_speedup = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            "--check-speedup" => {
+                let v = args.next().and_then(|s| s.parse::<f64>().ok());
+                check_speedup = Some(v.unwrap_or_else(|| {
+                    eprintln!("--check-speedup requires a number");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: core_ops [--quick] [--out PATH] [--check-speedup MIN]");
+                std::process::exit(2);
+            }
+        }
+    }
+    Mode {
+        quick,
+        out_path,
+        check_speedup,
+    }
+}
+
+/// Modest chain (`L = 5`, `dnum = 3` ⇒ two special limbs) so the
+/// `2^14..2^16` sweep stays CI-fast while key-switching still runs
+/// multi-group decompositions with a partial last group.
+fn bench_params(log_n: u32) -> CkksParams {
+    CkksParams {
+        log_n,
+        max_level: 5,
+        dnum: 3,
+        q0_bits: 55,
+        scale_bits: 45,
+        special_bits: 55,
+        secret_hamming_weight: 64,
+        boot_levels: 0,
+        name: match log_n {
+            14 => "core-ops-2^14",
+            15 => "core-ops-2^15",
+            16 => "core-ops-2^16",
+            _ => "core-ops",
+        },
+    }
+}
+
+/// Deterministic fixture: secret key, mult evk, baby-rotation keys and
+/// two top-level ciphertexts.
+struct Fixture {
+    ctx: CkksContext,
+    evk: EvalKey,
+    keys: ark_ckks::keys::RotationKeys,
+    c1: Ciphertext,
+    c2: Ciphertext,
+}
+
+fn build_fixture(params: CkksParams, threads: usize) -> Fixture {
+    let ctx = if threads <= 1 {
+        CkksContext::new(params)
+    } else {
+        CkksContext::with_pool(params, ThreadPool::new(threads))
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(BENCH_SEED);
+    let sk = ctx.gen_secret_key(&mut rng);
+    let evk = ctx.gen_mult_key(&sk, &mut rng);
+    let keys = ctx.gen_rotation_keys(&HOISTED_AMOUNTS, false, &sk, &mut rng);
+    let slots = ctx.params().slots();
+    let m1: Vec<C64> = (0..slots)
+        .map(|i| C64::new(0.001 * (i % 89) as f64, -0.002 * (i % 83) as f64))
+        .collect();
+    let m2: Vec<C64> = (0..slots)
+        .map(|i| C64::new(0.5 - 0.001 * (i % 97) as f64, 0.003 * (i % 71) as f64))
+        .collect();
+    let level = ctx.params().max_level;
+    let scale = ctx.params().scale();
+    let c1 = ctx.encrypt(&ctx.encode(&m1, level, scale), &sk, &mut rng);
+    let c2 = ctx.encrypt(&ctx.encode(&m2, level, scale), &sk, &mut rng);
+    Fixture {
+        ctx,
+        evk,
+        keys,
+        c1,
+        c2,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Nested pre-refactor baseline: the old `Vec<Vec<u64>>` dataflow rebuilt
+// from `ark_math::nested` primitives. Serial, eager per-row NTTs,
+// per-digit subset clones, per-term-reduced BConv MACs, and a fresh heap
+// allocation for every intermediate — the cost model the flat redesign
+// replaced. Canonical residues are unique at every step, so the result
+// must match the production path bit for bit.
+// ---------------------------------------------------------------------------
+
+fn nested_zero(n: usize, idx: &[usize]) -> NestedPoly {
+    NestedPoly {
+        n,
+        rep: Representation::Evaluation,
+        limb_idx: idx.to_vec(),
+        rows: vec![vec![0u64; n]; idx.len()],
+    }
+}
+
+/// BConvRoutine the old way: clone to coefficients (eager INTT per
+/// row), eager reference BConv, eager forward NTT per produced row.
+fn nested_bconv_routine(bc: &BaseConverter, p: &NestedPoly, basis: &RnsBasis) -> NestedPoly {
+    let mut pc = p.clone();
+    pc.to_coeff(basis);
+    let mut out = bconv_reference(bc, &pc, basis);
+    out.to_eval(basis);
+    out
+}
+
+/// ModDown over nested rows (Alg. 2 lines 6–8, pre-refactor shape).
+fn nested_mod_down(ctx: &CkksContext, y: &NestedPoly, level: usize) -> NestedPoly {
+    let basis = ctx.basis();
+    let conv = ctx.moddown_converter(level);
+    let y_b = y.subset(ctx.special_indices());
+    let down = nested_bconv_routine(&conv, &y_b, basis);
+    let mut out = y.subset(ctx.chain_indices(level));
+    out.sub_assign(&down, basis);
+    let factors = ctx.moddown_factors(level);
+    let idx = out.limb_idx.clone();
+    for (pos, row) in out.rows.iter_mut().enumerate() {
+        let q = basis.modulus(idx[pos]);
+        let s = factors[pos];
+        for x in row.iter_mut() {
+            *x = q.mul(*x, s);
+        }
+    }
+    out
+}
+
+/// Generalized key-switch over nested rows: per-digit subset clones,
+/// per-digit evk subset clones, eager accumulation.
+fn nested_key_switch(
+    ctx: &CkksContext,
+    x: &NestedPoly,
+    evk: &EvalKey,
+    level: usize,
+) -> (NestedPoly, NestedPoly) {
+    let basis = ctx.basis();
+    let n = x.n;
+    let ext = ctx.extended_indices(level).to_vec();
+    let groups = ctx.decomposition_groups(level).to_vec();
+    let mut acc_b = nested_zero(n, &ext);
+    let mut acc_a = nested_zero(n, &ext);
+    for (gi, group) in groups.iter().enumerate() {
+        let piece = x.subset(group);
+        let conv = ctx.modup_converter(level, gi);
+        let extension = nested_bconv_routine(&conv, &piece, basis);
+        let rows: Vec<Vec<u64>> = ext
+            .iter()
+            .map(|&i| match piece.limb_idx.iter().position(|&l| l == i) {
+                Some(pos) => piece.rows[pos].clone(),
+                None => {
+                    let pos = extension
+                        .limb_idx
+                        .iter()
+                        .position(|&l| l == i)
+                        .expect("converted limb present");
+                    extension.rows[pos].clone()
+                }
+            })
+            .collect();
+        let digit = NestedPoly {
+            n,
+            rep: Representation::Evaluation,
+            limb_idx: ext.clone(),
+            rows,
+        };
+        let (kb, ka) = &evk.pieces()[gi];
+        acc_b.mul_add_assign(&digit, &NestedPoly::from_poly(kb).subset(&ext), basis);
+        acc_a.mul_add_assign(&digit, &NestedPoly::from_poly(ka).subset(&ext), basis);
+    }
+    (
+        nested_mod_down(ctx, &acc_b, level),
+        nested_mod_down(ctx, &acc_a, level),
+    )
+}
+
+/// HRescale of one nested polynomial: top limb to coefficients, centered
+/// correction per kept limb, eager forward NTT, scalar-multiplied
+/// subtraction.
+fn nested_rescale_poly(
+    ctx: &CkksContext,
+    p: &NestedPoly,
+    out_level: usize,
+    q_last_idx: usize,
+) -> NestedPoly {
+    let basis = ctx.basis();
+    let q_last = *basis.modulus(q_last_idx);
+    let half = q_last.value() / 2;
+    let keep = ctx.chain_indices(out_level);
+    let mut top = p.subset(&[q_last_idx]);
+    top.to_coeff(basis);
+    let top_coeffs = &top.rows[0];
+    let mut out = p.subset(keep);
+    for (pos, &j) in keep.iter().enumerate() {
+        let q = *basis.modulus(j);
+        let mut crow: Vec<u64> = top_coeffs
+            .iter()
+            .map(|&x| {
+                if x > half {
+                    q.neg(q.reduce(q_last.value() - x))
+                } else {
+                    q.reduce(x)
+                }
+            })
+            .collect();
+        basis.table(j).forward(&mut crow);
+        let inv = q.inv(q.reduce(q_last.value()));
+        for (c, &x) in out.rows[pos].iter_mut().zip(&crow) {
+            *c = q.mul(q.sub(*c, x), inv);
+        }
+    }
+    out
+}
+
+/// `HMult` + relinearize + `HRescale`, entirely over nested rows.
+/// Returns the rescaled `(b, a)` pair for the bit-identity assert.
+fn nested_mul_rescale(
+    ctx: &CkksContext,
+    x: &Ciphertext,
+    y: &Ciphertext,
+    evk: &EvalKey,
+) -> (NestedPoly, NestedPoly) {
+    assert_eq!(x.level, y.level, "fixture ciphertexts share a level");
+    let basis = ctx.basis();
+    let level = x.level;
+    let xb = NestedPoly::from_poly(&x.b);
+    let xa = NestedPoly::from_poly(&x.a);
+    let yb = NestedPoly::from_poly(&y.b);
+    let ya = NestedPoly::from_poly(&y.a);
+    // d0 = b1*b2 ; d1 = a1*b2 + a2*b1 ; d2 = a1*a2
+    let mut d0 = xb.clone();
+    d0.mul_assign(&yb, basis);
+    let mut d1 = xa.clone();
+    d1.mul_assign(&yb, basis);
+    let mut d1b = ya.clone();
+    d1b.mul_assign(&xb, basis);
+    d1.add_assign(&d1b, basis);
+    let mut d2 = xa.clone();
+    d2.mul_assign(&ya, basis);
+    let (kb, ka) = nested_key_switch(ctx, &d2, evk, level);
+    d0.add_assign(&kb, basis);
+    d1.add_assign(&ka, basis);
+    let out_level = level - 1;
+    (
+        nested_rescale_poly(ctx, &d0, out_level, level),
+        nested_rescale_poly(ctx, &d1, out_level, level),
+    )
+}
+
+// ---------------------------------------------------------------------------
+
+struct Sample {
+    op: &'static str,
+    log_n: u32,
+    reps: usize,
+    mean_us: f64,
+    min_us: f64,
+}
+
+impl Sample {
+    fn ops_per_sec(&self) -> f64 {
+        1e6 / self.mean_us
+    }
+}
+
+fn time_op(samples: &mut Vec<Sample>, op: &'static str, log_n: u32, reps: usize, f: impl FnMut()) {
+    let (mean_us, min_us, ()) = time_reps(reps, f);
+    eprintln!("  {op:<26} mean {mean_us:>12.1} us  min {min_us:>12.1} us");
+    samples.push(Sample {
+        op,
+        log_n,
+        reps,
+        mean_us,
+        min_us,
+    });
+}
+
+fn main() {
+    let mode = parse_args();
+    let threads = available_parallelism();
+    let log_ns: &[u32] = if mode.quick { &[14, 15] } else { &[14, 15, 16] };
+    let reps = if mode.quick { 3 } else { 5 };
+    eprintln!(
+        "core_ops: sizes 2^{log_ns:?} threads={threads} gated at 2^{GATED_LOG_N} \
+         (fixed seed {BENCH_SEED:#x})"
+    );
+
+    let mut samples: Vec<Sample> = Vec::new();
+
+    // ---- gated comparison first, on the serial pool: flat-vs-nested
+    // bit identity, serial speedup, and steady-state allocation counts.
+    // Runs before any worker threads exist so the allocator counter
+    // sees only this thread.
+    eprintln!("building serial fixture (N = 2^{GATED_LOG_N})...");
+    let fx = build_fixture(bench_params(GATED_LOG_N), 1);
+    let level = fx.c1.level;
+
+    let flat_out = fx
+        .ctx
+        .mul_rescale(&fx.c1, &fx.c2, &fx.evk)
+        .expect("level > 0");
+    let (nb, na) = nested_mul_rescale(&fx.ctx, &fx.c1, &fx.c2, &fx.evk);
+    let bit_identical =
+        nb.to_poly(fx.ctx.basis()) == flat_out.b && na.to_poly(fx.ctx.basis()) == flat_out.a;
+    if !bit_identical {
+        eprintln!("!! nested baseline diverged bitwise from the flat mul_rescale path");
+    }
+    fx.ctx.recycle_ciphertext(flat_out);
+
+    let nested_reps = if mode.quick { 2 } else { 3 };
+    time_op(
+        &mut samples,
+        "mul_rescale_nested_serial",
+        GATED_LOG_N,
+        nested_reps,
+        || {
+            let _ = nested_mul_rescale(&fx.ctx, &fx.c1, &fx.c2, &fx.evk);
+        },
+    );
+    time_op(
+        &mut samples,
+        "mul_rescale_serial",
+        GATED_LOG_N,
+        reps,
+        || {
+            let out = fx
+                .ctx
+                .mul_rescale(&fx.c1, &fx.c2, &fx.evk)
+                .expect("level > 0");
+            fx.ctx.recycle_ciphertext(out);
+        },
+    );
+
+    // steady state reached (the timing loops warmed every cache and
+    // arena pool): count allocator hits per op
+    const ALLOC_REPS: u64 = 5;
+    let flat_mul_allocs = alloc_delta(|| {
+        for _ in 0..ALLOC_REPS {
+            let out = fx
+                .ctx
+                .mul_rescale(&fx.c1, &fx.c2, &fx.evk)
+                .expect("level > 0");
+            fx.ctx.recycle_ciphertext(out);
+        }
+    }) as f64
+        / ALLOC_REPS as f64;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(BENCH_SEED ^ 0x5a5a);
+    let chain = fx.ctx.chain_indices(level).to_vec();
+    let x = RnsPoly::random_uniform(fx.ctx.basis(), &chain, Representation::Evaluation, &mut rng);
+    let recycle_pair = |kb: RnsPoly, ka: RnsPoly| {
+        let mut arena = fx.ctx.arena();
+        kb.recycle(&mut arena);
+        ka.recycle(&mut arena);
+    };
+    for _ in 0..2 {
+        let (kb, ka) = fx.ctx.key_switch(&x, &fx.evk, level);
+        recycle_pair(kb, ka);
+    }
+    let flat_ks_allocs = alloc_delta(|| {
+        for _ in 0..ALLOC_REPS {
+            let (kb, ka) = fx.ctx.key_switch(&x, &fx.evk, level);
+            recycle_pair(kb, ka);
+        }
+    }) as f64
+        / ALLOC_REPS as f64;
+
+    let nested_mul_allocs = alloc_delta(|| {
+        let _ = nested_mul_rescale(&fx.ctx, &fx.c1, &fx.c2, &fx.evk);
+    }) as f64;
+
+    let zero_alloc = flat_mul_allocs == 0.0 && flat_ks_allocs == 0.0;
+    eprintln!(
+        "allocations/op: flat mul_rescale {flat_mul_allocs}, flat key_switch {flat_ks_allocs}, \
+         nested mul_rescale {nested_mul_allocs}"
+    );
+    if !zero_alloc {
+        eprintln!("!! arena hot paths hit the allocator in steady state");
+    }
+
+    let min_of = |samples: &[Sample], op: &str| {
+        samples
+            .iter()
+            .find(|s| s.op == op)
+            .map(|s| s.min_us)
+            .expect("sample recorded")
+    };
+    let speedup =
+        min_of(&samples, "mul_rescale_nested_serial") / min_of(&samples, "mul_rescale_serial");
+    eprintln!("flat serial mul_rescale speedup vs nested baseline: {speedup:.2}x");
+    drop(fx);
+
+    // ---- throughput sweep on the full pool
+    for &log_n in log_ns {
+        eprintln!("building fixture N = 2^{log_n}, {threads} threads...");
+        let fx = build_fixture(bench_params(log_n), threads);
+        time_op(&mut samples, "mul_rescale", log_n, reps, || {
+            let out = fx
+                .ctx
+                .mul_rescale(&fx.c1, &fx.c2, &fx.evk)
+                .expect("level > 0");
+            fx.ctx.recycle_ciphertext(out);
+        });
+        time_op(&mut samples, "rotate", log_n, reps, || {
+            let out = fx.ctx.rotate(&fx.c1, 1, &fx.keys).expect("key held");
+            fx.ctx.recycle_ciphertext(out);
+        });
+        time_op(&mut samples, "hoisted_rotate_many_7", log_n, reps, || {
+            let outs = fx
+                .ctx
+                .hoisted_rotate_many(&fx.c1, &HOISTED_AMOUNTS, &fx.keys)
+                .expect("keys held");
+            for out in outs {
+                fx.ctx.recycle_ciphertext(out);
+            }
+        });
+    }
+
+    // ---- artifact
+    let params = bench_params(GATED_LOG_N);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"ark-bench/core_ops/v1\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if mode.quick { "quick" } else { "full" }
+    ));
+    json.push_str(&format!("  \"seed\": {BENCH_SEED},\n"));
+    json.push_str(&format!("  \"host_parallelism\": {threads},\n"));
+    json.push_str(&format!(
+        "  \"params\": {{\"name\": \"{}\", \"log_ns\": [{}], \"gated_log_n\": {GATED_LOG_N}, \
+         \"max_level\": {}, \"dnum\": {}}},\n",
+        json_escape(params.name),
+        log_ns
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        params.max_level,
+        params.dnum
+    ));
+    json.push_str(&format!("  \"bit_identical\": {bit_identical},\n"));
+    json.push_str(&format!("  \"zero_alloc_steady_state\": {zero_alloc},\n"));
+    json.push_str(&format!("  \"speedup_vs_nested\": {speedup:.3},\n"));
+    json.push_str(&format!(
+        "  \"allocations_per_op\": {{\"nested_mul_rescale\": {nested_mul_allocs}, \
+         \"flat_mul_rescale\": {flat_mul_allocs}, \"flat_key_switch\": {flat_ks_allocs}}},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 == samples.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"op\": \"{}\", \"log_n\": {}, \"reps\": {}, \"mean_us\": {:.2}, \
+             \"min_us\": {:.2}, \"ops_per_sec\": {:.3}}}{comma}\n",
+            s.op,
+            s.log_n,
+            s.reps,
+            s.mean_us,
+            s.min_us,
+            s.ops_per_sec()
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&mode.out_path, &json)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", mode.out_path));
+    println!("{json}");
+    eprintln!("wrote {} (serial speedup {speedup:.2}x)", mode.out_path);
+
+    // the JSON (with failing flags) is on disk for diagnosis before
+    // these hard failures
+    if !bit_identical {
+        eprintln!("FAIL: nested baseline must be bit-identical to the flat path");
+        std::process::exit(1);
+    }
+    if !zero_alloc {
+        eprintln!(
+            "FAIL: steady-state mul_rescale/key_switch must not allocate \
+             (flat mul_rescale {flat_mul_allocs}/op, key_switch {flat_ks_allocs}/op)"
+        );
+        std::process::exit(1);
+    }
+    if let Some(min_speedup) = mode.check_speedup {
+        if speedup < min_speedup {
+            eprintln!(
+                "FAIL: flat serial mul_rescale is {speedup:.2}x vs the nested baseline \
+                 (< required {min_speedup:.2}x) — the flat-layout path has regressed"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("speedup gate passed: {speedup:.2}x >= {min_speedup:.2}x");
+    }
+}

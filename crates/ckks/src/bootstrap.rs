@@ -178,34 +178,33 @@ impl CkksContext {
             let mut p = poly.clone();
             p.to_coeff(self.basis());
             let src = p.limb(0);
+            let n = src.len();
             // each target limb lifts the centered q0 residues
             // independently — per-limb fan-out on the context pool
-            let rows: Vec<Vec<u64>> = self
-                .basis()
+            let mut data = vec![0u64; target.len() * n];
+            self.basis()
                 .pool()
-                .for_work(target.len() * src.len())
-                .par_map_range(target.len(), |k| {
+                .for_work(data.len())
+                .par_for_each_row(&mut data, n, |k, row| {
                     let i = target[k];
                     if i == 0 {
-                        src.to_vec()
+                        row.copy_from_slice(src);
                     } else {
                         let qi = self.basis().modulus(i);
-                        src.iter()
-                            .map(|&x| {
-                                if x > half {
-                                    qi.neg(qi.reduce(q0.value() - x))
-                                } else {
-                                    qi.reduce(x)
-                                }
-                            })
-                            .collect()
+                        for (c, &x) in row.iter_mut().zip(src) {
+                            *c = if x > half {
+                                qi.neg(qi.reduce(q0.value() - x))
+                            } else {
+                                qi.reduce(x)
+                            };
+                        }
                     }
                 });
-            let mut out = RnsPoly::from_limbs(
+            let mut out = RnsPoly::from_flat(
                 self.basis(),
-                &target,
+                target,
                 ark_math::poly::Representation::Coefficient,
-                rows,
+                data,
             );
             out.to_eval(self.basis());
             out

@@ -42,7 +42,7 @@ impl CkksContext {
             coeffs[j + slots] = im.round() as i64;
         }
         let idx = self.chain_indices(level);
-        let mut poly = RnsPoly::from_signed_coeffs(self.basis(), &idx, &coeffs);
+        let mut poly = RnsPoly::from_signed_coeffs(self.basis(), idx, &coeffs);
         poly.to_eval(self.basis());
         Plaintext { poly, level, scale }
     }

@@ -87,6 +87,13 @@ impl EvalKey {
         self.pieces.len()
     }
 
+    /// The `(B_i, A_i)` pairs over the extended basis, one per
+    /// decomposition piece — read-only access for reference
+    /// implementations and benches that replay the evk inner product.
+    pub fn pieces(&self) -> &[(RnsPoly, RnsPoly)] {
+        &self.pieces
+    }
+
     /// Storage in words: `dnum · 2 · (α+L+1) · N` (Table III).
     pub fn words(&self) -> usize {
         self.pieces.iter().map(|(b, a)| b.words() + a.words()).sum()
@@ -425,12 +432,12 @@ impl CkksContext {
     /// Eq. 2: `B = A·S + P_m + E`).
     pub fn encrypt<R: Rng>(&self, pt: &Plaintext, sk: &SecretKey, rng: &mut R) -> Ciphertext {
         let idx = self.chain_indices(pt.level);
-        let a = RnsPoly::random_uniform(self.basis(), &idx, Representation::Evaluation, rng);
-        let s = sk.s.subset(&idx);
+        let a = RnsPoly::random_uniform(self.basis(), idx, Representation::Evaluation, rng);
+        let s = sk.s.subset(idx);
         let mut b = a.clone();
         b.mul_assign(&s, self.basis());
         b.add_assign(&pt.poly, self.basis());
-        let e = self.sample_error_poly(&idx, rng);
+        let e = self.sample_error_poly(idx, rng);
         b.add_assign(&e, self.basis());
         Ciphertext {
             b,
@@ -443,8 +450,8 @@ impl CkksContext {
     /// Derives the public key `(A·s + e, A)` over the full chain.
     pub fn gen_public_key<R: Rng>(&self, sk: &SecretKey, rng: &mut R) -> PublicKey {
         let idx = self.chain_indices(self.params().max_level);
-        let a = RnsPoly::random_uniform(self.basis(), &idx, Representation::Evaluation, rng);
-        let e = self.sample_error_poly(&idx, rng);
+        let a = RnsPoly::random_uniform(self.basis(), idx, Representation::Evaluation, rng);
+        let e = self.sample_error_poly(idx, rng);
         self.assemble_public_key(sk, a, e, None)
     }
 
@@ -456,12 +463,12 @@ impl CkksContext {
         let idx = self.chain_indices(self.params().max_level);
         let a = RnsPoly::from_seed(
             self.basis(),
-            &idx,
+            idx,
             Representation::Evaluation,
             derive_seed(a_seed, 0),
         );
         let mut erng = rand::rngs::StdRng::seed_from_u64(derive_seed(noise_seed, 0));
-        let e = self.sample_error_poly(&idx, &mut erng);
+        let e = self.sample_error_poly(idx, &mut erng);
         self.assemble_public_key(sk, a, e, Some(a_seed))
     }
 
@@ -490,15 +497,15 @@ impl CkksContext {
         let idx = self.chain_indices(pt.level);
         let n = self.params().n();
         let v_coeffs: Vec<i64> = (0..n).map(|_| rng.gen_range(-1..=1)).collect();
-        let mut v = RnsPoly::from_signed_coeffs(self.basis(), &idx, &v_coeffs);
+        let mut v = RnsPoly::from_signed_coeffs(self.basis(), idx, &v_coeffs);
         v.to_eval(self.basis());
-        let mut b = pk.b.subset(&idx);
+        let mut b = pk.b.subset(idx);
         b.mul_assign(&v, self.basis());
         b.add_assign(&pt.poly, self.basis());
-        b.add_assign(&self.sample_error_poly(&idx, rng), self.basis());
-        let mut a = pk.a.subset(&idx);
+        b.add_assign(&self.sample_error_poly(idx, rng), self.basis());
+        let mut a = pk.a.subset(idx);
         a.mul_assign(&v, self.basis());
-        a.add_assign(&self.sample_error_poly(&idx, rng), self.basis());
+        a.add_assign(&self.sample_error_poly(idx, rng), self.basis());
         Ciphertext {
             b,
             a,
@@ -554,14 +561,14 @@ impl CkksContext {
             .iter()
             .enumerate()
             .map(|(i, group)| {
-                let (a, e) = pair_for(&ext, i);
-                let s = sk.s.subset(&ext);
+                let (a, e) = pair_for(ext, i);
+                let s = sk.s.subset(ext);
                 let mut b = a.clone();
                 b.mul_assign(&s, self.basis());
                 b.add_assign(&e, self.basis());
                 // Add (P·T_i)·s': per limb, P·s' on the group's own limbs,
                 // zero elsewhere.
-                let mut gadget = source.subset(&ext);
+                let mut gadget = source.subset(ext);
                 let scalars: Vec<u64> = ext
                     .iter()
                     .map(|&j| if group.contains(&j) { p_mod[j] } else { 0 })

@@ -29,8 +29,9 @@
 
 use crate::keys::EvalKey;
 use crate::params::CkksContext;
-use ark_math::automorphism::{eval_permutation, GaloisElement};
+use ark_math::automorphism::GaloisElement;
 use ark_math::poly::{Representation, RnsPoly};
+use ark_math::scratch::ScratchArena;
 
 /// The shared state of a hoisted key-switch: the input's decomposition
 /// digits, already extended to `R_PQ` (ModUp done) in the evaluation
@@ -69,59 +70,86 @@ impl HoistedDigits {
     pub fn words(&self) -> usize {
         self.digits.iter().map(RnsPoly::words).sum()
     }
+
+    /// Returns every digit buffer to `arena` for reuse. Hot paths that
+    /// decompose per call (e.g. `HMult`'s relinearization) recycle the
+    /// digits so steady-state key-switching allocates nothing; dropping
+    /// a `HoistedDigits` instead is always safe, just not free.
+    pub fn recycle(self, arena: &mut ScratchArena) {
+        let HoistedDigits {
+            ext, mut digits, ..
+        } = self;
+        for digit in digits.drain(..) {
+            digit.recycle(arena);
+        }
+        arena.put_poly_vec(digits);
+        arena.put_indices(ext);
+    }
 }
 
 impl CkksContext {
     /// Extends one decomposition piece `[x]_{C_i}` to the limb set `ext`
     /// (Alg. 2 line 3), keeping the piece's own limbs exact and base-
     /// converting the rest.
-    fn extend_piece(&self, x: &RnsPoly, group: &[usize], ext: &[usize]) -> RnsPoly {
-        let piece = x.subset(group);
-        let others: Vec<usize> = ext.iter().copied().filter(|i| !group.contains(i)).collect();
-        let conv = self.converter(group, &others);
+    fn extend_piece(
+        &self,
+        x: &RnsPoly,
+        level: usize,
+        group_idx: usize,
+        ext: &[usize],
+        arena: &mut ScratchArena,
+    ) -> RnsPoly {
+        let group = &self.decomposition_groups(level)[group_idx];
+        let piece = x.subset_in(arena, group);
+        let conv = self.modup_converter(level, group_idx);
         // BConvRoutine (INTT → BConv → NTT) fans out per limb internally.
-        let extension = conv.routine(&piece, self.basis());
-        // Assemble limbs in `ext` order (parallel row copies — at paper
-        // scale each row is N words).
-        let rows: Vec<Vec<u64>> = self
-            .basis()
+        let extension = conv.routine_with(&piece, self.basis(), arena);
+        // Assemble limbs in `ext` order (parallel row copies into one
+        // flat buffer — at paper scale each row is N words).
+        let n = x.n();
+        let mut data = arena.take(ext.len() * n);
+        self.basis()
             .pool()
-            .for_work(ext.len() * x.n())
-            .par_map_range(ext.len(), |k| {
+            .for_work(data.len())
+            .par_for_each_row(&mut data, n, |k, row| {
                 let i = ext[k];
-                if let Some(pos) = piece.position_of(i) {
-                    piece.limb(pos).to_vec()
-                } else {
-                    let pos = extension.position_of(i).expect("converted limb present");
-                    extension.limb(pos).to_vec()
-                }
+                let src = match piece.position_of(i) {
+                    Some(pos) => piece.limb(pos),
+                    None => {
+                        let pos = extension.position_of(i).expect("converted limb present");
+                        extension.limb(pos)
+                    }
+                };
+                row.copy_from_slice(src);
             });
-        RnsPoly::from_limbs(self.basis(), ext, Representation::Evaluation, rows)
+        let mut limb_idx = arena.take_indices(ext.len());
+        limb_idx.extend_from_slice(ext);
+        piece.recycle(arena);
+        extension.recycle(arena);
+        RnsPoly::from_parts(n, Representation::Evaluation, limb_idx, data)
     }
 
     /// `ModDown`: maps a polynomial over `C_ℓ ∪ B` back to `C_ℓ` and
     /// divides by `P` (Alg. 2 lines 6–8). Rounding error is the usual
     /// key-switching noise.
     pub fn mod_down(&self, y: &RnsPoly, level: usize) -> RnsPoly {
-        let chain = self.chain_indices(level);
-        let special = self.special_indices();
-        let conv = self.converter(&special, &chain);
-        let y_b = y.subset(&special);
-        let down = conv.routine(&y_b, self.basis());
-        let mut out = y.subset(&chain);
+        let mut arena = self.arena();
+        self.mod_down_with(y, level, &mut arena)
+    }
+
+    /// [`Self::mod_down`] with every temporary drawn from `arena` — the
+    /// form the key-switch inner loop uses. The returned polynomial is
+    /// arena-backed; recycle it when done to keep the op allocation-free.
+    pub fn mod_down_with(&self, y: &RnsPoly, level: usize, arena: &mut ScratchArena) -> RnsPoly {
+        let conv = self.moddown_converter(level);
+        let y_b = y.subset_in(arena, self.special_indices());
+        let down = conv.routine_with(&y_b, self.basis(), arena);
+        y_b.recycle(arena);
+        let mut out = y.subset_in(arena, self.chain_indices(level));
         out.sub_assign(&down, self.basis());
-        // multiply by P^{-1} mod q_j
-        let inv_p: Vec<u64> = chain
-            .iter()
-            .map(|&j| {
-                let q = self.basis().modulus(j);
-                let p_mod = special.iter().fold(1u64, |acc, &pi| {
-                    q.mul(acc, q.reduce(self.basis().modulus(pi).value()))
-                });
-                q.inv(p_mod)
-            })
-            .collect();
-        out.mul_scalar_per_limb(&inv_p, self.basis());
+        down.recycle(arena);
+        // multiply by P^{-1} mod q_j (cached scalars)
+        out.mul_scalar_per_limb(&self.moddown_factors(level), self.basis());
         out
     }
 
@@ -135,13 +163,28 @@ impl CkksContext {
     /// Panics if `x` is not in the evaluation representation over the
     /// chain limbs of `level`.
     pub fn hoisted_decompose(&self, x: &RnsPoly, level: usize) -> HoistedDigits {
+        let mut arena = self.arena();
+        self.hoisted_decompose_with(x, level, &mut arena)
+    }
+
+    /// [`Self::hoisted_decompose`] drawing every digit from `arena`.
+    pub fn hoisted_decompose_with(
+        &self,
+        x: &RnsPoly,
+        level: usize,
+        arena: &mut ScratchArena,
+    ) -> HoistedDigits {
         assert_eq!(x.representation(), Representation::Evaluation);
-        let ext = self.extended_indices(level);
-        let digits = self
-            .decomposition_groups(level)
-            .iter()
-            .map(|group| self.extend_piece(x, group, &ext))
-            .collect();
+        let mut ext = arena.take_indices(self.extended_indices(level).len());
+        ext.extend_from_slice(self.extended_indices(level));
+        let group_count = self.decomposition_groups(level).len();
+        // the digit spine comes from the arena too, so decompose-per-call
+        // paths (relinearization) allocate nothing in steady state
+        let mut digits = arena.take_poly_vec(group_count);
+        for group_idx in 0..group_count {
+            let digit = self.extend_piece(x, level, group_idx, &ext, arena);
+            digits.push(digit);
+        }
         HoistedDigits { level, ext, digits }
     }
 
@@ -165,6 +208,21 @@ impl CkksContext {
         g: GaloisElement,
         evk: &EvalKey,
     ) -> (RnsPoly, RnsPoly) {
+        let mut arena = self.arena();
+        self.hoisted_apply_with(digits, g, evk, &mut arena)
+    }
+
+    /// [`Self::hoisted_apply`] with every temporary drawn from `arena`.
+    /// The evk rows are read *in place* through the digit's limb set
+    /// (no per-digit subset copies), and the returned pair is
+    /// arena-backed.
+    pub fn hoisted_apply_with(
+        &self,
+        digits: &HoistedDigits,
+        g: GaloisElement,
+        evk: &EvalKey,
+        arena: &mut ScratchArena,
+    ) -> (RnsPoly, RnsPoly) {
         assert!(
             digits.len() <= evk.pieces.len(),
             "evk has too few decomposition pieces"
@@ -173,22 +231,25 @@ impl CkksContext {
         let ext = &digits.ext;
         // one permutation table serves every digit (identity skips the
         // copy entirely)
-        let perm = (g != GaloisElement::identity()).then(|| eval_permutation(self.params().n(), g));
-        let mut acc_b = RnsPoly::zero(self.basis(), ext, Representation::Evaluation);
-        let mut acc_a = RnsPoly::zero(self.basis(), ext, Representation::Evaluation);
+        let perm = (g != GaloisElement::identity()).then(|| self.eval_perm(g));
+        let mut acc_b = RnsPoly::zero_in(arena, self.basis(), ext, Representation::Evaluation);
+        let mut acc_a = RnsPoly::zero_in(arena, self.basis(), ext, Representation::Evaluation);
         for (digit, (kb, ka)) in digits.digits.iter().zip(&evk.pieces) {
-            let rotated;
-            let operand = match &perm {
-                Some(p) => {
-                    rotated = digit.permute_eval(p, self.basis());
-                    &rotated
-                }
-                None => digit,
-            };
-            acc_b.mul_add_assign(operand, &kb.subset(ext), self.basis());
-            acc_a.mul_add_assign(operand, &ka.subset(ext), self.basis());
+            let rotated = perm
+                .as_ref()
+                .map(|p| digit.permute_eval_in(arena, p, self.basis()));
+            let operand = rotated.as_ref().unwrap_or(digit);
+            acc_b.mul_add_assign_select(operand, kb, self.basis());
+            acc_a.mul_add_assign_select(operand, ka, self.basis());
+            if let Some(r) = rotated {
+                r.recycle(arena);
+            }
         }
-        (self.mod_down(&acc_b, level), self.mod_down(&acc_a, level))
+        let out_b = self.mod_down_with(&acc_b, level, arena);
+        let out_a = self.mod_down_with(&acc_a, level, arena);
+        acc_b.recycle(arena);
+        acc_a.recycle(arena);
+        (out_b, out_a)
     }
 
     /// Generalized key-switching: returns `(kb, ka)` over the chain at
@@ -204,8 +265,23 @@ impl CkksContext {
     /// Panics if `x` is not in the evaluation representation over the
     /// chain limbs of `level`.
     pub fn key_switch(&self, x: &RnsPoly, evk: &EvalKey, level: usize) -> (RnsPoly, RnsPoly) {
-        let digits = self.hoisted_decompose(x, level);
-        self.hoisted_apply(&digits, GaloisElement::identity(), evk)
+        let mut arena = self.arena();
+        self.key_switch_with(x, evk, level, &mut arena)
+    }
+
+    /// [`Self::key_switch`] with digits and temporaries drawn from
+    /// `arena` (the digits are recycled before returning).
+    pub fn key_switch_with(
+        &self,
+        x: &RnsPoly,
+        evk: &EvalKey,
+        level: usize,
+        arena: &mut ScratchArena,
+    ) -> (RnsPoly, RnsPoly) {
+        let digits = self.hoisted_decompose_with(x, level, arena);
+        let out = self.hoisted_apply_with(&digits, GaloisElement::identity(), evk, arena);
+        digits.recycle(arena);
+        out
     }
 }
 
@@ -227,15 +303,15 @@ mod tests {
 
         let level = ctx.params().max_level;
         let chain = ctx.chain_indices(level);
-        let x = RnsPoly::random_uniform(ctx.basis(), &chain, Representation::Evaluation, &mut rng);
+        let x = RnsPoly::random_uniform(ctx.basis(), chain, Representation::Evaluation, &mut rng);
         let (kb, ka) = ctx.key_switch(&x, &evk, level);
 
         // expected = x * s' (eval rep)
         let mut expected = x.clone();
-        expected.mul_assign(&other.s.subset(&chain), ctx.basis());
+        expected.mul_assign(&other.s.subset(chain), ctx.basis());
         // got = kb - ka*s
         let mut got = ka.clone();
-        got.mul_assign(&sk.s.subset(&chain), ctx.basis());
+        got.mul_assign(&sk.s.subset(chain), ctx.basis());
         got.negate(ctx.basis());
         got.add_assign(&kb, ctx.basis());
 
@@ -243,7 +319,7 @@ mod tests {
         let mut diff = got;
         diff.sub_assign(&expected, ctx.basis());
         diff.to_coeff(ctx.basis());
-        let crt = ctx.crt(&chain);
+        let crt = ctx.crt(chain);
         let n = ctx.params().n();
         let mut max_mag = 0f64;
         for k in 0..n {
@@ -271,18 +347,18 @@ mod tests {
         let evk = ctx.gen_switching_key(&other.s, &sk, &mut rng);
         let level = 2; // groups {0,1},{2}
         let chain = ctx.chain_indices(level);
-        let x = RnsPoly::random_uniform(ctx.basis(), &chain, Representation::Evaluation, &mut rng);
+        let x = RnsPoly::random_uniform(ctx.basis(), chain, Representation::Evaluation, &mut rng);
         let (kb, ka) = ctx.key_switch(&x, &evk, level);
         let mut expected = x.clone();
-        expected.mul_assign(&other.s.subset(&chain), ctx.basis());
+        expected.mul_assign(&other.s.subset(chain), ctx.basis());
         let mut got = ka.clone();
-        got.mul_assign(&sk.s.subset(&chain), ctx.basis());
+        got.mul_assign(&sk.s.subset(chain), ctx.basis());
         got.negate(ctx.basis());
         got.add_assign(&kb, ctx.basis());
         let mut diff = got;
         diff.sub_assign(&expected, ctx.basis());
         diff.to_coeff(ctx.basis());
-        let crt = ctx.crt(&chain);
+        let crt = ctx.crt(chain);
         let mut max_mag = 0f64;
         for k in 0..ctx.params().n() {
             let residues: Vec<u64> = (0..chain.len()).map(|p| diff.limb(p)[k]).collect();
@@ -302,9 +378,9 @@ mod tests {
         let sk = ctx.gen_secret_key(&mut rng);
         let level = ctx.params().max_level;
         let chain = ctx.chain_indices(level);
-        let x = RnsPoly::random_uniform(ctx.basis(), &chain, Representation::Evaluation, &mut rng);
+        let x = RnsPoly::random_uniform(ctx.basis(), chain, Representation::Evaluation, &mut rng);
         let digits = ctx.hoisted_decompose(&x, level);
-        let crt = ctx.crt(&chain);
+        let crt = ctx.crt(chain);
         for r in [1i64, 2, -3] {
             let g = GaloisElement::from_rotation(r, ctx.params().n());
             let key = ctx.gen_galois_key(g, &sk, &mut rng);
@@ -312,10 +388,10 @@ mod tests {
 
             // expected = ψ(x) · ψ(s)
             let mut expected = x.automorphism(g, ctx.basis());
-            let rotated_s = sk.s.subset(&chain).automorphism(g, ctx.basis());
+            let rotated_s = sk.s.subset(chain).automorphism(g, ctx.basis());
             expected.mul_assign(&rotated_s, ctx.basis());
             let mut got = ka.clone();
-            got.mul_assign(&sk.s.subset(&chain), ctx.basis());
+            got.mul_assign(&sk.s.subset(chain), ctx.basis());
             got.negate(ctx.basis());
             got.add_assign(&kb, ctx.basis());
             let mut diff = got;
@@ -341,7 +417,7 @@ mod tests {
         let sk = ctx.gen_secret_key(&mut rng);
         let level = 2;
         let chain = ctx.chain_indices(level);
-        let x = RnsPoly::random_uniform(ctx.basis(), &chain, Representation::Evaluation, &mut rng);
+        let x = RnsPoly::random_uniform(ctx.basis(), chain, Representation::Evaluation, &mut rng);
         let g1 = GaloisElement::from_rotation(1, ctx.params().n());
         let g2 = GaloisElement::from_rotation(2, ctx.params().n());
         let k1 = ctx.gen_galois_key(g1, &sk, &mut rng);
@@ -371,7 +447,7 @@ mod tests {
         let small: Vec<i64> = (0..n as i64).map(|i| (i % 11) - 5).collect();
         // P mod d_j per limb of the extended basis
         let special = ctx.special_indices();
-        let mut poly = RnsPoly::from_signed_coeffs(ctx.basis(), &ext, &small);
+        let mut poly = RnsPoly::from_signed_coeffs(ctx.basis(), ext, &small);
         let scalars: Vec<u64> = ext
             .iter()
             .map(|&j| {
@@ -385,7 +461,7 @@ mod tests {
         poly.to_eval(ctx.basis());
         let mut down = ctx.mod_down(&poly, level);
         down.to_coeff(ctx.basis());
-        let expect = RnsPoly::from_signed_coeffs(ctx.basis(), &ctx.chain_indices(level), &small);
+        let expect = RnsPoly::from_signed_coeffs(ctx.basis(), ctx.chain_indices(level), &small);
         assert_eq!(down, expect);
     }
 }

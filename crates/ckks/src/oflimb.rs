@@ -65,27 +65,22 @@ impl CkksContext {
         let q0 = self.basis().modulus(0);
         let half = q0.value() / 2;
         let idx = self.chain_indices(level);
-        let rows: Vec<Vec<u64>> = idx
-            .iter()
-            .map(|&i| {
-                if i == 0 {
-                    cpt.q0_limb.clone()
-                } else {
-                    let qi = self.basis().modulus(i);
-                    cpt.q0_limb
-                        .iter()
-                        .map(|&x| {
-                            if x > half {
-                                qi.neg(qi.reduce(q0.value() - x))
-                            } else {
-                                qi.reduce(x)
-                            }
-                        })
-                        .collect()
-                }
-            })
-            .collect();
-        let mut poly = RnsPoly::from_limbs(self.basis(), &idx, Representation::Coefficient, rows);
+        let mut data = Vec::with_capacity(idx.len() * cpt.q0_limb.len());
+        for &i in idx {
+            if i == 0 {
+                data.extend_from_slice(&cpt.q0_limb);
+            } else {
+                let qi = self.basis().modulus(i);
+                data.extend(cpt.q0_limb.iter().map(|&x| {
+                    if x > half {
+                        qi.neg(qi.reduce(q0.value() - x))
+                    } else {
+                        qi.reduce(x)
+                    }
+                }));
+            }
+        }
+        let mut poly = RnsPoly::from_flat(self.basis(), idx, Representation::Coefficient, data);
         poly.to_eval(self.basis());
         Plaintext {
             poly,

@@ -52,11 +52,20 @@ impl CkksContext {
     fn drop_limbs(&self, ct: &Ciphertext, level: usize) -> Ciphertext {
         let idx = self.chain_indices(level);
         Ciphertext {
-            b: ct.b.subset(&idx),
-            a: ct.a.subset(&idx),
+            b: ct.b.subset(idx),
+            a: ct.a.subset(idx),
             level,
             scale: ct.scale,
         }
+    }
+
+    /// Returns a ciphertext's buffers to the context's scratch pools so
+    /// the next op of the same shape allocates nothing. Purely an
+    /// optimization — dropping a ciphertext is always correct.
+    pub fn recycle_ciphertext(&self, ct: Ciphertext) {
+        let mut arena = self.arena();
+        ct.b.recycle(&mut arena);
+        ct.a.recycle(&mut arena);
     }
 
     /// Aligns two ciphertexts to the lower of their levels.
@@ -113,7 +122,7 @@ impl CkksContext {
         check_scales_match(ct.scale, pt.scale)?;
         let level = ct.level.min(pt.level);
         let mut out = self.drop_limbs(ct, level);
-        let p = pt.poly.subset(&self.chain_indices(level));
+        let p = pt.poly.subset(self.chain_indices(level));
         out.b.add_assign(&p, self.basis());
         Ok(out)
     }
@@ -124,7 +133,7 @@ impl CkksContext {
     pub fn mul_plain(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
         let level = ct.level.min(pt.level);
         let mut out = self.drop_limbs(ct, level);
-        let p = pt.poly.subset(&self.chain_indices(level));
+        let p = pt.poly.subset(self.chain_indices(level));
         out.b.mul_assign(&p, self.basis());
         out.a.mul_assign(&p, self.basis());
         out.scale = ct.scale * pt.scale;
@@ -185,7 +194,7 @@ impl CkksContext {
         let mut coeffs = vec![0i64; n];
         coeffs[n / 2] = if negative { -1 } else { 1 };
         let idx = self.chain_indices(ct.level);
-        let mut mono = ark_math::poly::RnsPoly::from_signed_coeffs(self.basis(), &idx, &coeffs);
+        let mut mono = ark_math::poly::RnsPoly::from_signed_coeffs(self.basis(), idx, &coeffs);
         mono.to_eval(self.basis());
         let mut out = ct.clone();
         out.b.mul_assign(&mono, self.basis());
@@ -197,24 +206,45 @@ impl CkksContext {
     /// The result's scale is the product; rescale afterwards.
     #[must_use = "returns a new ciphertext; the input is unchanged"]
     pub fn mul(&self, x: &Ciphertext, y: &Ciphertext, evk_mult: &EvalKey) -> Ciphertext {
-        let (x, y) = self.align_levels(x, y);
-        let level = x.level;
+        let mut guard = self.arena();
+        let arena = &mut *guard;
+        let level = x.level.min(y.level);
+        let chain = self.chain_indices(level);
+        // align levels without copying the operand that is already there
+        let xd =
+            (x.level != level).then(|| (x.b.subset_in(arena, chain), x.a.subset_in(arena, chain)));
+        let (xb, xa) = xd.as_ref().map_or((&x.b, &x.a), |(b, a)| (b, a));
+        let yd =
+            (y.level != level).then(|| (y.b.subset_in(arena, chain), y.a.subset_in(arena, chain)));
+        let (yb, ya) = yd.as_ref().map_or((&y.b, &y.a), |(b, a)| (b, a));
         // d0 = b1*b2 ; d1 = a1*b2 + a2*b1 ; d2 = a1*a2
-        let mut d0 = x.b.clone();
-        d0.mul_assign(&y.b, self.basis());
-        let mut d1 = x.a.clone();
-        d1.mul_assign(&y.b, self.basis());
-        let mut d1b = y.a.clone();
-        d1b.mul_assign(&x.b, self.basis());
+        let mut d0 = xb.clone_in(arena);
+        d0.mul_assign(yb, self.basis());
+        let mut d1 = xa.clone_in(arena);
+        d1.mul_assign(yb, self.basis());
+        let mut d1b = ya.clone_in(arena);
+        d1b.mul_assign(xb, self.basis());
         d1.add_assign(&d1b, self.basis());
-        let mut d2 = x.a.clone();
-        d2.mul_assign(&y.a, self.basis());
+        d1b.recycle(arena);
+        let mut d2 = xa.clone_in(arena);
+        d2.mul_assign(ya, self.basis());
+        if let Some((tb, ta)) = xd {
+            tb.recycle(arena);
+            ta.recycle(arena);
+        }
+        if let Some((tb, ta)) = yd {
+            tb.recycle(arena);
+            ta.recycle(arena);
+        }
         // (kb, ka) ≈ d2 · s²
-        let (kb, ka) = self.key_switch(&d2, evk_mult, level);
+        let (kb, ka) = self.key_switch_with(&d2, evk_mult, level, arena);
+        d2.recycle(arena);
         let mut b = d0;
         b.add_assign(&kb, self.basis());
+        kb.recycle(arena);
         let mut a = d1;
         a.add_assign(&ka, self.basis());
+        ka.recycle(arena);
         Ciphertext {
             b,
             a,
@@ -226,20 +256,26 @@ impl CkksContext {
     /// Squares a ciphertext (saves one of HMult's three products).
     #[must_use = "returns a new ciphertext; the input is unchanged"]
     pub fn square(&self, x: &Ciphertext, evk_mult: &EvalKey) -> Ciphertext {
+        let mut guard = self.arena();
+        let arena = &mut *guard;
         let level = x.level;
-        let mut d0 = x.b.clone();
+        let mut d0 = x.b.clone_in(arena);
         d0.mul_assign(&x.b, self.basis());
-        let mut d1 = x.a.clone();
+        let mut d1 = x.a.clone_in(arena);
         d1.mul_assign(&x.b, self.basis());
-        let two = d1.clone();
+        let two = d1.clone_in(arena);
         d1.add_assign(&two, self.basis());
-        let mut d2 = x.a.clone();
+        two.recycle(arena);
+        let mut d2 = x.a.clone_in(arena);
         d2.mul_assign(&x.a, self.basis());
-        let (kb, ka) = self.key_switch(&d2, evk_mult, level);
+        let (kb, ka) = self.key_switch_with(&d2, evk_mult, level, arena);
+        d2.recycle(arena);
         let mut b = d0;
         b.add_assign(&kb, self.basis());
+        kb.recycle(arena);
         let mut a = d1;
         a.add_assign(&ka, self.basis());
+        ka.recycle(arena);
         Ciphertext {
             b,
             a,
@@ -255,12 +291,15 @@ impl CkksContext {
     /// where rotation-heavy kernels (BSGS baby loops, H-(I)DFT stages)
     /// save their `dnum'` mod-up BConvRoutines per extra rotation.
     pub fn hoist_ciphertext(&self, ct: &Ciphertext) -> HoistedDigits {
-        let mut pa = ct.a.clone();
+        let mut arena = self.arena();
+        let mut pa = ct.a.clone_in(&mut arena);
         // kb − ka·s ≈ ψ(−a)·ψ(s) after the apply, so the result decrypts
         // to ψ(b) − ψ(a)·ψ(s) = ψ(b − a·s); negating *before* the
         // decomposition keeps the negation rotation-independent
         pa.negate(self.basis());
-        self.hoisted_decompose(&pa, ct.level)
+        let digits = self.hoisted_decompose_with(&pa, ct.level, &mut arena);
+        pa.recycle(&mut arena);
+        digits
     }
 
     /// Phase 2 of a hoisted Galois application: evaluates one rotation
@@ -283,9 +322,11 @@ impl CkksContext {
             ct.level,
             "hoisted digits were taken at a different level"
         );
-        let (kb, ka) = self.hoisted_apply(digits, g, key);
+        let mut arena = self.arena();
+        let (kb, ka) = self.hoisted_apply_with(digits, g, key, &mut arena);
         let mut b = ct.b.automorphism(g, self.basis());
         b.add_assign(&kb, self.basis());
+        kb.recycle(&mut arena);
         Ciphertext {
             b,
             a: ka,
@@ -301,7 +342,9 @@ impl CkksContext {
     #[must_use = "returns a new ciphertext; the input is unchanged"]
     pub fn apply_galois(&self, ct: &Ciphertext, g: GaloisElement, key: &EvalKey) -> Ciphertext {
         let digits = self.hoist_ciphertext(ct);
-        self.apply_galois_hoisted(ct, &digits, g, key)
+        let out = self.apply_galois_hoisted(ct, &digits, g, key);
+        digits.recycle(&mut self.arena());
+        out
     }
 
     /// Hoisted multi-rotation (Halevi–Shoup): evaluates `rot(ct, r)`
@@ -410,44 +453,68 @@ impl CkksContext {
         let out_level = ct.level - 1;
         let q_last_idx = ct.level;
         let q_last = *self.basis().modulus(q_last_idx);
-        let half = q_last.value() / 2;
-        let rescale_poly = |poly: &ark_math::poly::RnsPoly| {
-            // take the top limb to coefficient representation
-            let mut top = poly.subset(&[q_last_idx]);
-            top.to_coeff(self.basis());
-            let top_coeffs = top.limb(0);
-            let keep = self.chain_indices(out_level);
-            let mut out = poly.subset(&keep);
-            // every kept limb computes its correction independently —
-            // the per-limb hot loop of HRescale, fanned out on the pool
-            out.par_update_limbs(self.basis(), |_pos, j, limb| {
-                let q = self.basis().modulus(j);
-                let inv = q.inv(q.reduce(q_last.value()));
-                let pre = q.shoup(inv);
-                // (c_j − centered(c_last)) · q_last^{-1}
-                let mut correction: Vec<u64> = top_coeffs
-                    .iter()
-                    .map(|&x| {
-                        if x > half {
-                            q.neg(q.reduce(q_last.value() - x))
-                        } else {
-                            q.reduce(x)
-                        }
-                    })
-                    .collect();
-                self.basis().table(j).forward(&mut correction);
-                for (c, corr) in limb.iter_mut().zip(&correction) {
-                    *c = q.mul_shoup(q.sub(*c, *corr), &pre);
-                }
-            });
-            out
-        };
+        let mut arena = self.arena();
         Ok(Ciphertext {
-            b: rescale_poly(&ct.b),
-            a: rescale_poly(&ct.a),
+            b: self.rescale_poly_with(&ct.b, out_level, q_last_idx, &mut arena),
+            a: self.rescale_poly_with(&ct.a, out_level, q_last_idx, &mut arena),
             level: out_level,
             scale: ct.scale / q_last.value() as f64,
         })
+    }
+
+    /// One polynomial of an `HRescale`, every temporary drawn from
+    /// `arena`: lift the top limb to coefficients, compute the centered
+    /// correction rows (one per kept limb, NTT'd back), then subtract
+    /// and scale by `q_last^{-1}` in place.
+    fn rescale_poly_with(
+        &self,
+        poly: &ark_math::poly::RnsPoly,
+        out_level: usize,
+        q_last_idx: usize,
+        arena: &mut ark_math::scratch::ScratchArena,
+    ) -> ark_math::poly::RnsPoly {
+        let q_last = *self.basis().modulus(q_last_idx);
+        let half = q_last.value() / 2;
+        let n = poly.n();
+        let keep = self.chain_indices(out_level);
+        // take the top limb to coefficient representation
+        let mut top = poly.subset_in(arena, &[q_last_idx]);
+        top.to_coeff(self.basis());
+        // every kept limb computes its correction row independently —
+        // the per-limb hot loop of HRescale, fanned out on the pool
+        let mut corr = arena.take(keep.len() * n);
+        {
+            let top_coeffs = top.limb(0);
+            self.basis()
+                .pool()
+                .for_work(corr.len())
+                .par_for_each_row(&mut corr, n, |k, crow| {
+                    let j = keep[k];
+                    let q = self.basis().modulus(j);
+                    for (c, &x) in crow.iter_mut().zip(top_coeffs) {
+                        *c = if x > half {
+                            q.neg(q.reduce(q_last.value() - x))
+                        } else {
+                            q.reduce(x)
+                        };
+                    }
+                    self.basis().table(j).forward(crow);
+                });
+        }
+        top.recycle(arena);
+        let mut out = poly.subset_in(arena, keep);
+        // (c_j − centered(c_last)) · q_last^{-1}
+        out.par_update_limbs(self.basis(), |pos, j, limb| {
+            let q = self.basis().modulus(j);
+            let inv = q.inv(q.reduce(q_last.value()));
+            let pre = q.shoup(inv);
+            let crow = &corr[pos * n..(pos + 1) * n];
+            for (c, &x) in limb.iter_mut().zip(crow) {
+                *c = q.mul_shoup(q.sub(*c, x), &pre);
+            }
+        });
+        arena.put(corr);
+        out
     }
 
     /// `HMult` followed by `HRescale` — the common pairing.
@@ -462,7 +529,10 @@ impl CkksContext {
         y: &Ciphertext,
         evk_mult: &EvalKey,
     ) -> ArkResult<Ciphertext> {
-        self.rescale(&self.mul(x, y, evk_mult))
+        let prod = self.mul(x, y, evk_mult);
+        let out = self.rescale(&prod);
+        self.recycle_ciphertext(prod);
+        out
     }
 
     /// `PMult` followed by `HRescale`.

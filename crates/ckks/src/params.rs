@@ -16,14 +16,17 @@
 //!   for functional validation. They keep the same structure (dnum
 //!   decomposition, special primes, sparse secret) at toy security.
 
+use ark_math::automorphism::{eval_permutation, GaloisElement};
 use ark_math::bconv::BaseConverter;
 use ark_math::cfft::SpecialFft;
 use ark_math::crt::CrtContext;
 use ark_math::par::ThreadPool;
 use ark_math::poly::RnsBasis;
 use ark_math::primes::{generate_ntt_primes, generate_ntt_primes_excluding};
+use ark_math::scratch::ScratchArena;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex};
 
 /// Static description of a CKKS parameter set.
 #[derive(Debug, Clone, PartialEq)]
@@ -204,6 +207,54 @@ impl CkksParams {
 /// Key describing a cached base converter (from-set, to-set).
 type ConvKey = (Vec<usize>, Vec<usize>);
 
+/// Basis-index sets precomputed for every level at context build time,
+/// so the hot paths borrow slices instead of collecting fresh `Vec`s
+/// per call.
+#[derive(Debug)]
+struct IndexCache {
+    /// `{0, …, L}`; the chain at level `ℓ` is the prefix `[..=ℓ]`.
+    chain: Vec<usize>,
+    /// The special limb indices `B`.
+    special: Vec<usize>,
+    /// `C_ℓ ∪ B` per level.
+    extended: Vec<Vec<usize>>,
+    /// The decomposition groups `C_i ∩ C_ℓ` per level.
+    groups: Vec<Vec<Vec<usize>>>,
+}
+
+/// A scratch arena checked out of [`CkksContext::arena`]. Dropping the
+/// guard returns the arena (and every buffer it has pooled) to the
+/// context, so concurrent ops each hold a private arena and the lock is
+/// only taken for the checkout/return itself — never across a kernel.
+#[derive(Debug)]
+pub struct ArenaGuard<'a> {
+    arena: Option<ScratchArena>,
+    slot: &'a Mutex<Vec<ScratchArena>>,
+}
+
+impl Deref for ArenaGuard<'_> {
+    type Target = ScratchArena;
+    fn deref(&self) -> &ScratchArena {
+        self.arena.as_ref().expect("arena present until drop")
+    }
+}
+
+impl DerefMut for ArenaGuard<'_> {
+    fn deref_mut(&mut self) -> &mut ScratchArena {
+        self.arena.as_mut().expect("arena present until drop")
+    }
+}
+
+impl Drop for ArenaGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(arena) = self.arena.take() {
+            if let Ok(mut pool) = self.slot.lock() {
+                pool.push(arena);
+            }
+        }
+    }
+}
+
 /// The shared CKKS evaluation context: basis, FFT tables, converter and
 /// CRT caches.
 #[derive(Debug)]
@@ -211,8 +262,21 @@ pub struct CkksContext {
     params: CkksParams,
     basis: RnsBasis,
     special_fft: SpecialFft,
-    converters: Mutex<HashMap<ConvKey, std::sync::Arc<BaseConverter>>>,
-    crt_cache: Mutex<HashMap<Vec<usize>, std::sync::Arc<CrtContext>>>,
+    indices: IndexCache,
+    converters: Mutex<HashMap<ConvKey, Arc<BaseConverter>>>,
+    /// ModUp converters keyed by `(level, group_idx)` — the key-switch
+    /// fast path, looked up without building `Vec` keys.
+    modup_converters: Mutex<HashMap<(usize, usize), Arc<BaseConverter>>>,
+    /// ModDown converters (`B → C_ℓ`) keyed by level.
+    moddown_converters: Mutex<HashMap<usize, Arc<BaseConverter>>>,
+    /// `P^{-1} mod q_j` for the chain of each level.
+    moddown_factors: Mutex<HashMap<usize, Arc<Vec<u64>>>>,
+    /// Evaluation-representation Galois permutations keyed by the
+    /// element `g` (one table serves every limb of every digit).
+    perms: Mutex<HashMap<u64, Arc<Vec<usize>>>>,
+    /// Checked-in scratch arenas (see [`CkksContext::arena`]).
+    arenas: Mutex<Vec<ScratchArena>>,
+    crt_cache: Mutex<HashMap<Vec<usize>, Arc<CrtContext>>>,
 }
 
 impl CkksContext {
@@ -245,12 +309,51 @@ impl CkksContext {
         all.extend_from_slice(&special);
         let basis = RnsBasis::with_pool(n, &all, pool);
         let special_fft = SpecialFft::new(params.slots());
+        let indices = Self::build_index_cache(&params);
         Self {
             params,
             basis,
             special_fft,
+            indices,
             converters: Mutex::new(HashMap::new()),
+            modup_converters: Mutex::new(HashMap::new()),
+            moddown_converters: Mutex::new(HashMap::new()),
+            moddown_factors: Mutex::new(HashMap::new()),
+            perms: Mutex::new(HashMap::new()),
+            arenas: Mutex::new(Vec::new()),
             crt_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn build_index_cache(params: &CkksParams) -> IndexCache {
+        let l = params.max_level;
+        let alpha = params.alpha();
+        let chain: Vec<usize> = (0..=l).collect();
+        let special: Vec<usize> = (l + 1..=l + alpha).collect();
+        let extended = (0..=l)
+            .map(|level| {
+                let mut v: Vec<usize> = (0..=level).collect();
+                v.extend_from_slice(&special);
+                v
+            })
+            .collect();
+        let groups = (0..=l)
+            .map(|level| {
+                let mut groups = Vec::new();
+                let mut start = 0usize;
+                while start <= level {
+                    let end = (start + alpha - 1).min(level);
+                    groups.push((start..=end).collect());
+                    start += alpha;
+                }
+                groups
+            })
+            .collect();
+        IndexCache {
+            chain,
+            special,
+            extended,
+            groups,
         }
     }
 
@@ -275,58 +378,147 @@ impl CkksContext {
     }
 
     /// Basis indices of the chain limbs at level `ℓ`: `{0, …, ℓ}`.
-    pub fn chain_indices(&self, level: usize) -> Vec<usize> {
+    pub fn chain_indices(&self, level: usize) -> &[usize] {
         assert!(level <= self.params.max_level, "level out of range");
-        (0..=level).collect()
+        &self.indices.chain[..=level]
     }
 
     /// Basis indices of the special limbs `B`.
-    pub fn special_indices(&self) -> Vec<usize> {
-        let l = self.params.max_level;
-        let a = self.params.alpha();
-        (l + 1..=l + a).collect()
+    pub fn special_indices(&self) -> &[usize] {
+        &self.indices.special
     }
 
     /// Basis indices of `D = C_ℓ ∪ B` for key-switching at level `ℓ`.
-    pub fn extended_indices(&self, level: usize) -> Vec<usize> {
-        let mut v = self.chain_indices(level);
-        v.extend(self.special_indices());
-        v
+    pub fn extended_indices(&self, level: usize) -> &[usize] {
+        assert!(level <= self.params.max_level, "level out of range");
+        &self.indices.extended[level]
     }
 
     /// The decomposition groups `C_i` intersected with the current level:
     /// `C_i = {q_{αi}, …, q_{α(i+1)−1}} ∩ {q_0..q_ℓ}`.
-    pub fn decomposition_groups(&self, level: usize) -> Vec<Vec<usize>> {
-        let alpha = self.params.alpha();
-        let mut groups = Vec::new();
-        let mut start = 0usize;
-        while start <= level {
-            let end = (start + alpha - 1).min(level);
-            groups.push((start..=end).collect());
-            start += alpha;
-        }
-        groups
+    pub fn decomposition_groups(&self, level: usize) -> &[Vec<usize>] {
+        assert!(level <= self.params.max_level, "level out of range");
+        &self.indices.groups[level]
     }
 
     /// A cached base converter between two index sets.
-    pub fn converter(&self, from: &[usize], to: &[usize]) -> std::sync::Arc<BaseConverter> {
+    pub fn converter(&self, from: &[usize], to: &[usize]) -> Arc<BaseConverter> {
         let key = (from.to_vec(), to.to_vec());
         let mut cache = self.converters.lock().expect("converter cache poisoned");
         cache
             .entry(key)
-            .or_insert_with(|| std::sync::Arc::new(BaseConverter::new(&self.basis, from, to)))
+            .or_insert_with(|| Arc::new(BaseConverter::new(&self.basis, from, to)))
             .clone()
     }
 
+    /// The cached ModUp converter for decomposition group `group_idx`
+    /// at `level` (from the group's limbs to the rest of `C_ℓ ∪ B`).
+    /// Unlike the generic [`Self::converter`], the cache key is a pair
+    /// of `usize`s, so steady-state lookups allocate nothing.
+    pub fn modup_converter(&self, level: usize, group_idx: usize) -> Arc<BaseConverter> {
+        let mut cache = self
+            .modup_converters
+            .lock()
+            .expect("modup converter cache poisoned");
+        if let Some(conv) = cache.get(&(level, group_idx)) {
+            return conv.clone();
+        }
+        let group = &self.decomposition_groups(level)[group_idx];
+        let others: Vec<usize> = self
+            .extended_indices(level)
+            .iter()
+            .copied()
+            .filter(|i| !group.contains(i))
+            .collect();
+        let conv = Arc::new(BaseConverter::new(&self.basis, group, &others));
+        cache.insert((level, group_idx), conv.clone());
+        conv
+    }
+
+    /// The cached ModDown converter (`B → C_ℓ`) for `level`.
+    pub fn moddown_converter(&self, level: usize) -> Arc<BaseConverter> {
+        let mut cache = self
+            .moddown_converters
+            .lock()
+            .expect("moddown converter cache poisoned");
+        if let Some(conv) = cache.get(&level) {
+            return conv.clone();
+        }
+        let conv = Arc::new(BaseConverter::new(
+            &self.basis,
+            self.special_indices(),
+            self.chain_indices(level),
+        ));
+        cache.insert(level, conv.clone());
+        conv
+    }
+
+    /// `P^{-1} mod q_j` for every chain limb of `level`, cached — the
+    /// scalar sweep that finishes a ModDown.
+    pub fn moddown_factors(&self, level: usize) -> Arc<Vec<u64>> {
+        let mut cache = self
+            .moddown_factors
+            .lock()
+            .expect("moddown factor cache poisoned");
+        if let Some(inv) = cache.get(&level) {
+            return inv.clone();
+        }
+        let inv: Vec<u64> = self
+            .chain_indices(level)
+            .iter()
+            .map(|&j| {
+                let q = self.basis.modulus(j);
+                let p_mod = self.special_indices().iter().fold(1u64, |acc, &pi| {
+                    q.mul(acc, q.reduce(self.basis.modulus(pi).value()))
+                });
+                q.inv(p_mod)
+            })
+            .collect();
+        let inv = Arc::new(inv);
+        cache.insert(level, inv.clone());
+        inv
+    }
+
+    /// The cached evaluation-representation permutation of the Galois
+    /// element `g` (see [`eval_permutation`]).
+    pub fn eval_perm(&self, g: GaloisElement) -> Arc<Vec<usize>> {
+        let mut cache = self.perms.lock().expect("permutation cache poisoned");
+        if let Some(perm) = cache.get(&g.0) {
+            return perm.clone();
+        }
+        let perm = Arc::new(eval_permutation(self.params.n(), g));
+        cache.insert(g.0, perm.clone());
+        perm
+    }
+
+    /// Checks a scratch arena out of the context. Each guard holds a
+    /// *private* arena for its whole scope (ops running concurrently on
+    /// the same context get distinct arenas), and returns it — with all
+    /// the buffers it pooled — on drop. Steady state, every temporary
+    /// of the hot ops is served from these pools with zero heap
+    /// allocation.
+    pub fn arena(&self) -> ArenaGuard<'_> {
+        let arena = self
+            .arenas
+            .lock()
+            .expect("arena pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        ArenaGuard {
+            arena: Some(arena),
+            slot: &self.arenas,
+        }
+    }
+
     /// A cached CRT reconstruction context over the given basis indices.
-    pub fn crt(&self, indices: &[usize]) -> std::sync::Arc<CrtContext> {
+    pub fn crt(&self, indices: &[usize]) -> Arc<CrtContext> {
         let key = indices.to_vec();
         let mut cache = self.crt_cache.lock().expect("crt cache poisoned");
         cache
             .entry(key)
             .or_insert_with(|| {
                 let moduli: Vec<_> = indices.iter().map(|&i| *self.basis.modulus(i)).collect();
-                std::sync::Arc::new(CrtContext::new(&moduli))
+                Arc::new(CrtContext::new(&moduli))
             })
             .clone()
     }

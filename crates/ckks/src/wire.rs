@@ -172,7 +172,7 @@ pub fn encode_public_key(out: &mut Vec<u8>, pk: &PublicKey) {
 /// Decodes and validates a public-key payload.
 pub fn decode_public_key(cur: &mut Cursor<'_>, ctx: &CkksContext) -> ArkResult<PublicKey> {
     let expect = ctx.chain_indices(ctx.params().max_level);
-    let (b, a) = decode_key_pair(cur, ctx, &expect)?;
+    let (b, a) = decode_key_pair(cur, ctx, expect)?;
     // a materialized frame does not carry provenance: the decoded key
     // works but cannot re-compress
     Ok(PublicKey { b, a, a_seed: None })
@@ -200,7 +200,7 @@ pub fn decode_eval_key(cur: &mut Cursor<'_>, ctx: &CkksContext) -> ArkResult<Eva
     let expect = ctx.extended_indices(ctx.params().max_level);
     let mut pieces = Vec::with_capacity(count);
     for _ in 0..count {
-        pieces.push(decode_key_pair(cur, ctx, &expect)?);
+        pieces.push(decode_key_pair(cur, ctx, expect)?);
     }
     Ok(EvalKey {
         pieces,
@@ -300,7 +300,7 @@ pub fn decode_compressed_eval_key(
     let expect = ctx.extended_indices(ctx.params().max_level);
     let mut b_pieces = Vec::with_capacity(count);
     for _ in 0..count {
-        b_pieces.push(decode_key_b(cur, ctx, &expect)?);
+        b_pieces.push(decode_key_b(cur, ctx, expect)?);
     }
     Ok(CompressedEvalKey { a_seed, b_pieces })
 }
@@ -319,7 +319,7 @@ pub fn decode_compressed_public_key(
 ) -> ArkResult<CompressedPublicKey> {
     let a_seed = cur.u64()?;
     let expect = ctx.chain_indices(ctx.params().max_level);
-    let b = decode_key_b(cur, ctx, &expect)?;
+    let b = decode_key_b(cur, ctx, expect)?;
     Ok(CompressedPublicKey { a_seed, b })
 }
 

@@ -154,7 +154,7 @@ proptest! {
         let chain = f.0.ctx.chain_indices(level);
         let make = |fx: &Fixture| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(5));
-            RnsPoly::random_uniform(fx.ctx.basis(), &chain, Representation::Evaluation, &mut rng)
+            RnsPoly::random_uniform(fx.ctx.basis(), chain, Representation::Evaluation, &mut rng)
         };
         let x_s = make(&f.0);
         let x_p = make(&f.1);

@@ -1,0 +1,116 @@
+//! Golden-bytes wire-compatibility test: the ARKW byte stream produced
+//! for a fully deterministic ciphertext (fixed params, seeded keygen and
+//! encryption) is pinned by hash. Storage refactors (e.g. the flat
+//! limb-major `RnsPoly`) must not change a single wire byte — limb rows
+//! stream in storage order with explicit little-endian words, so the
+//! contract is layout-independent by design. If this test breaks, the
+//! wire format changed and `VERSION` must be bumped instead.
+
+use ark_ckks::params::{CkksContext, CkksParams};
+use ark_ckks::wire::{param_fingerprint, read_ciphertext, write_ciphertext, write_plaintext};
+use ark_math::cfft::C64;
+use ark_math::wire::{MAGIC, VERSION};
+use rand::SeedableRng;
+
+/// FNV-1a, the same checksum family the frame layer uses — implemented
+/// independently here so the pin does not depend on library internals.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn golden_ciphertext_bytes() -> (CkksContext, Vec<u8>) {
+    let ctx = CkksContext::new(CkksParams::tiny());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xA12C);
+    let sk = ctx.gen_secret_key(&mut rng);
+    let m: Vec<C64> = (0..ctx.params().slots())
+        .map(|i| C64::new(0.125 * i as f64, -0.0625 * i as f64))
+        .collect();
+    let ct = ctx.encrypt(&ctx.encode(&m, 2, ctx.params().scale()), &sk, &mut rng);
+    let bytes = write_ciphertext(&ctx, &ct);
+    (ctx, bytes)
+}
+
+#[test]
+fn ciphertext_wire_bytes_are_pinned() {
+    let (ctx, bytes) = golden_ciphertext_bytes();
+    // Header invariants of every ARKW frame.
+    assert_eq!(&bytes[..4], MAGIC);
+    assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), VERSION);
+    // The full-stream pin: any byte change (layout leak, field reorder,
+    // width change) lands here.
+    assert_eq!(
+        (bytes.len(), fnv1a(&bytes)),
+        (GOLDEN_CT_LEN, GOLDEN_CT_FNV),
+        "ARKW ciphertext byte stream changed — wire compatibility broken"
+    );
+    // And it still round-trips to a decryptable ciphertext.
+    let back = read_ciphertext(&ctx, &bytes).expect("golden bytes decode");
+    assert_eq!(write_ciphertext(&ctx, &back), bytes);
+}
+
+#[test]
+fn plaintext_wire_bytes_are_pinned() {
+    let ctx = CkksContext::new(CkksParams::tiny());
+    let m: Vec<C64> = (0..ctx.params().slots())
+        .map(|i| C64::new(1.0 / (1.0 + i as f64), 0.25))
+        .collect();
+    let pt = ctx.encode(&m, 1, ctx.params().scale());
+    let bytes = write_plaintext(&ctx, &pt);
+    assert_eq!(
+        (bytes.len(), fnv1a(&bytes)),
+        (GOLDEN_PT_LEN, GOLDEN_PT_FNV),
+        "ARKW plaintext byte stream changed — wire compatibility broken"
+    );
+}
+
+#[test]
+fn param_fingerprints_are_pinned() {
+    // The fingerprint binds frames to a parameter set; a silent change
+    // would let old blobs decode under different parameters.
+    assert_eq!(param_fingerprint(&CkksParams::tiny()), GOLDEN_FP_TINY);
+    assert_eq!(param_fingerprint(&CkksParams::small()), GOLDEN_FP_SMALL);
+    assert_eq!(param_fingerprint(&CkksParams::ark()), GOLDEN_FP_ARK);
+}
+
+// Pinned constants. To regenerate after an *intentional* format change
+// (which must also bump VERSION), run with `--nocapture` on the
+// printing test below and update.
+const GOLDEN_CT_LEN: usize = 1618;
+const GOLDEN_CT_FNV: u64 = 0x2287_af26_693f_7733;
+const GOLDEN_PT_LEN: usize = 571;
+const GOLDEN_PT_FNV: u64 = 0xf741_6301_8306_7ab5;
+const GOLDEN_FP_TINY: u64 = 0xa51f_0498_1cc7_1f5b;
+const GOLDEN_FP_SMALL: u64 = 0x9c03_d5fd_5f9b_c992;
+const GOLDEN_FP_ARK: u64 = 0xd7bd_1e9f_96d9_a2d4;
+
+#[test]
+#[ignore = "utility: prints current golden values for re-pinning"]
+fn print_golden_values() {
+    let (_, ct_bytes) = golden_ciphertext_bytes();
+    let ctx = CkksContext::new(CkksParams::tiny());
+    let m: Vec<C64> = (0..ctx.params().slots())
+        .map(|i| C64::new(1.0 / (1.0 + i as f64), 0.25))
+        .collect();
+    let pt_bytes = write_plaintext(&ctx, &ctx.encode(&m, 1, ctx.params().scale()));
+    println!("GOLDEN_CT_LEN: usize = {};", ct_bytes.len());
+    println!("GOLDEN_CT_FNV: u64 = {:#018x};", fnv1a(&ct_bytes));
+    println!("GOLDEN_PT_LEN: usize = {};", pt_bytes.len());
+    println!("GOLDEN_PT_FNV: u64 = {:#018x};", fnv1a(&pt_bytes));
+    println!(
+        "GOLDEN_FP_TINY: u64 = {:#018x};",
+        param_fingerprint(&CkksParams::tiny())
+    );
+    println!(
+        "GOLDEN_FP_SMALL: u64 = {:#018x};",
+        param_fingerprint(&CkksParams::small())
+    );
+    println!(
+        "GOLDEN_FP_ARK: u64 = {:#018x};",
+        param_fingerprint(&CkksParams::ark())
+    );
+}

@@ -65,11 +65,24 @@ impl GaloisElement {
 ///
 /// Panics if `g` is even (such maps are not ring automorphisms here).
 pub fn apply_coeff(input: &[u64], g: GaloisElement, q: &Modulus) -> Vec<u64> {
+    let mut out = vec![0u64; input.len()];
+    apply_coeff_into(input, g, q, &mut out);
+    out
+}
+
+/// [`apply_coeff`] writing into an existing output row (no allocation)
+/// — the per-limb kernel `RnsPoly::automorphism` drives over borrowed
+/// flat-buffer views.
+///
+/// # Panics
+///
+/// Panics if `g` is even or `out.len() != input.len()`.
+pub fn apply_coeff_into(input: &[u64], g: GaloisElement, q: &Modulus, out: &mut [u64]) {
     let n = input.len();
     let two_n = 2 * n as u64;
     assert!(g.0 % 2 == 1, "galois element must be odd");
+    assert_eq!(out.len(), n, "output row must match the input degree");
     let g = g.0 % two_n;
-    let mut out = vec![0u64; n];
     let mut exp = 0u64; // i * g mod 2N
     for &coeff in input.iter() {
         let (idx, negate) = if exp < n as u64 {
@@ -83,7 +96,6 @@ pub fn apply_coeff(input: &[u64], g: GaloisElement, q: &Modulus) -> Vec<u64> {
             exp -= two_n;
         }
     }
-    out
 }
 
 /// Precomputes the evaluation-representation permutation for `g`, for
@@ -111,13 +123,31 @@ pub fn eval_permutation(n: usize, g: GaloisElement) -> Vec<usize> {
 /// representation using a precomputed permutation from
 /// [`eval_permutation`]. `out[s] = in[perm[s]]`.
 pub fn apply_eval(input: &[u64], perm: &[usize]) -> Vec<u64> {
-    debug_assert_eq!(input.len(), perm.len());
-    perm.iter().map(|&src| input[src]).collect()
+    let mut out = vec![0u64; input.len()];
+    apply_eval_into(input, perm, &mut out);
+    out
+}
+
+/// [`apply_eval`] writing into an existing output row (no allocation)
+/// — the innermost hoisted-rotation kernel.
+///
+/// # Panics
+///
+/// Panics if the lengths disagree.
+pub fn apply_eval_into(input: &[u64], perm: &[usize], out: &mut [u64]) {
+    assert_eq!(input.len(), perm.len(), "permutation/input mismatch");
+    assert_eq!(out.len(), perm.len(), "permutation/output mismatch");
+    for (x, &src) in out.iter_mut().zip(perm) {
+        *x = input[src];
+    }
 }
 
 /// Applies [`apply_coeff`] to every limb row, fanning the limbs out
-/// across `pool` (each limb's map is independent — the AutoU lane
-/// parallelism at limb granularity).
+/// across `pool`.
+#[deprecated(
+    note = "nested Vec<Vec<u64>> rows are gone — drive `apply_coeff_into` \
+            over flat limb views (see RnsPoly::automorphism)"
+)]
 pub fn apply_coeff_limbs<'m, F>(
     rows: &[Vec<u64>],
     g: GaloisElement,
@@ -132,6 +162,8 @@ where
 
 /// Applies [`apply_eval`] with one shared permutation to every limb row
 /// in parallel.
+#[deprecated(note = "nested Vec<Vec<u64>> rows are gone — drive `apply_eval_into` \
+            over flat limb views (see RnsPoly::permute_eval)")]
 pub fn apply_eval_limbs(rows: &[Vec<u64>], perm: &[usize], pool: &ThreadPool) -> Vec<Vec<u64>> {
     pool.par_map_limbs(rows, |_, row| apply_eval(row, perm))
 }

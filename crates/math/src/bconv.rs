@@ -14,21 +14,38 @@
 //! table* `(p̂_j mod q_i)` — 96% of the work, and exactly what the
 //! BConvU's output-stationary MAC systolic array computes (Section V-A).
 //!
+//! The MAC kernel here mirrors that array in software: a stack block of
+//! [`rows::LANES`] 128-bit accumulators sweeps the coefficient axis,
+//! the `j` (source-limb) loop streams contiguous words from the flat
+//! scaled buffer, and reduction is *deferred* — each accumulator is
+//! folded at most every [`crate::modulus::Modulus::max_lazy_mac_terms`]
+//! terms instead of per product. For the 40–50-bit primes this library
+//! targets the whole row fits one deferral window, so BConv performs a
+//! single Barrett reduction per output element. Deferral boundaries do
+//! not affect the result: the canonical residue of the final fold is
+//! unique, so the lazy kernel is bit-identical to eager accumulation.
+//!
 //! The conversion must run on the coefficient representation, hence the
 //! `INTT → BConv → NTT` *BConvRoutine* (Alg. 1) provided here too.
 
 use crate::crt::BigUint;
+use crate::modulus::ShoupPrecomp;
 use crate::poly::{Representation, RnsBasis, RnsPoly};
+use crate::rows::{self, LANES};
+use crate::scratch::ScratchArena;
 
 /// Precomputed constants for converting from one limb set to another.
 #[derive(Debug, Clone)]
 pub struct BaseConverter {
     from: Vec<usize>,
     to: Vec<usize>,
-    /// p̂_j⁻¹ mod p_j, one per source limb.
-    phat_inv: Vec<u64>,
-    /// Base table: `base_table[i][j] = p̂_j mod q_i`.
-    base_table: Vec<Vec<u64>>,
+    /// p̂_j⁻¹ mod p_j with Shoup precomputation, one per source limb.
+    phat_inv: Vec<ShoupPrecomp>,
+    /// Flat base table, row-major `|to| × |from|`:
+    /// `base_table[i*|from| + j] = p̂_j mod q_i`.
+    base_table: Vec<u64>,
+    /// Largest source modulus — bounds scaled inputs for the lazy MAC.
+    max_source: u64,
 }
 
 impl BaseConverter {
@@ -57,26 +74,30 @@ impl BaseConverter {
                 acc
             })
             .collect();
-        let phat_inv: Vec<u64> = from
+        let phat_inv: Vec<ShoupPrecomp> = from
             .iter()
             .zip(&phats)
             .map(|(&fj, phat)| {
                 let p = basis.modulus(fj);
-                p.inv(phat.rem_u64(p.value()))
+                p.shoup(p.inv(phat.rem_u64(p.value())))
             })
             .collect();
-        let base_table: Vec<Vec<u64>> = to
+        let mut base_table = Vec::with_capacity(to.len() * from.len());
+        for &ti in to {
+            let q = basis.modulus(ti).value();
+            base_table.extend(phats.iter().map(|phat| phat.rem_u64(q)));
+        }
+        let max_source = from
             .iter()
-            .map(|&ti| {
-                let q = basis.modulus(ti).value();
-                phats.iter().map(|phat| phat.rem_u64(q)).collect()
-            })
-            .collect();
+            .map(|&fj| basis.modulus(fj).value())
+            .max()
+            .expect("non-empty source base");
         Self {
             from: from.to_vec(),
             to: to.to_vec(),
             phat_inv,
             base_table,
+            max_source,
         }
     }
 
@@ -90,76 +111,114 @@ impl BaseConverter {
         &self.to
     }
 
-    /// The base table `(p̂_j mod q_i)` — the matrix ARK's broadcast units
-    /// stream into the MAC lanes. Shape `|to| × |from|`.
-    pub fn base_table(&self) -> &[Vec<u64>] {
+    /// The flat base table `(p̂_j mod q_i)` — the matrix ARK's broadcast
+    /// units stream into the MAC lanes. Row-major `|to| × |from|`; row
+    /// `i` is [`BaseConverter::base_row`]`(i)`.
+    pub fn base_table(&self) -> &[u64] {
         &self.base_table
     }
 
-    /// Step 1 of BConv: `v_j = [P]_{p_j} · p̂_j⁻¹ mod p_j`.
-    ///
-    /// Input/output are coefficient-representation limbs of the source
-    /// base. ARK executes this inside the NTTU's BConv-mult unit on the
-    /// INTT output path (Fig. 5).
-    pub fn scale_inputs(&self, poly: &RnsPoly, basis: &RnsBasis) -> Vec<Vec<u64>> {
+    /// Row `i` of the base table: `p̂_j mod q_i` for every source limb.
+    pub fn base_row(&self, i: usize) -> &[u64] {
+        &self.base_table[i * self.from.len()..(i + 1) * self.from.len()]
+    }
+
+    /// Step 1 of BConv into a flat `|from| × N` scratch buffer:
+    /// `scaled[j*N..] = [P]_{p_j} · p̂_j⁻¹ mod p_j`.
+    fn scale_into(&self, poly: &RnsPoly, basis: &RnsBasis, scaled: &mut [u64]) {
         assert_eq!(
             poly.representation(),
             Representation::Coefficient,
             "BConv requires the coefficient representation"
         );
+        let n = poly.n();
+        debug_assert_eq!(scaled.len(), self.from.len() * n);
         // one task per source limb — the limb-level fan-out of the
         // NTTU's BConv-mult stage
-        let n = poly.n();
         basis
             .pool()
-            .for_work(self.from.len() * n)
-            .par_map_range(self.from.len(), |j| {
+            .for_work(scaled.len())
+            .par_for_each_row(scaled, n, |j, row| {
                 let fj = self.from[j];
                 let pos = poly
                     .position_of(fj)
                     .unwrap_or_else(|| panic!("source limb {fj} missing"));
-                let p = basis.modulus(fj);
-                let pre = p.shoup(self.phat_inv[j]);
-                poly.limb(pos)
-                    .iter()
-                    .map(|&x| p.mul_shoup(x, &pre))
-                    .collect()
-            })
+                rows::scale_shoup_rows(basis.modulus(fj), row, poly.limb(pos), &self.phat_inv[j]);
+            });
     }
 
-    /// Step 2 of BConv: the blocked MAC matrix product producing the
-    /// target limbs from pre-scaled source limbs.
-    pub fn accumulate(&self, scaled: &[Vec<u64>], basis: &RnsBasis) -> Vec<Vec<u64>> {
-        let n = scaled.first().map_or(0, Vec::len);
+    /// Step 2 of BConv into a flat `|to| × N` output buffer: the lazy
+    /// blocked MAC matrix product. No heap allocation inside — the
+    /// accumulator block lives on the stack, so the kernel is safe to
+    /// run inside parallel closures.
+    fn accumulate_into(&self, scaled: &[u64], basis: &RnsBasis, out: &mut [u64]) {
+        let nf = self.from.len();
+        let n = scaled.len() / nf;
+        debug_assert_eq!(out.len(), self.to.len() * n);
         // one task per *target* limb: each output row is an independent
         // row of the MAC matrix product (96% of BConv's work), so this
         // is where the pool earns its keep
         basis
             .pool()
-            .for_work(self.to.len() * n)
-            .par_map_range(self.to.len(), |i| {
+            .for_work(out.len())
+            .par_for_each_row(out, n, |i, orow| {
                 let q = basis.modulus(self.to[i]);
-                let row = &self.base_table[i];
-                let mut out = vec![0u64; n];
-                for (k, o) in out.iter_mut().enumerate() {
-                    // Accumulate in u128, reducing every few terms so the
-                    // 128-bit accumulator cannot overflow (each product is
-                    // < 2^124 for 62-bit moduli).
-                    let mut acc: u128 = 0;
-                    for (chunk_start, _) in scaled.iter().enumerate().step_by(8) {
-                        let end = (chunk_start + 8).min(scaled.len());
-                        for j in chunk_start..end {
-                            acc += scaled[j][k] as u128 * row[j] as u128;
+                let brow = self.base_row(i);
+                // Terms one accumulator absorbs before a fold is forced;
+                // a folded value < q re-enters as (at most) one term.
+                let window = q.max_lazy_mac_terms(self.max_source - 1);
+                let mut k0 = 0usize;
+                while k0 < n {
+                    let kw = LANES.min(n - k0);
+                    let mut acc = [0u128; LANES];
+                    let mut terms = 0usize;
+                    for (j, &b) in brow.iter().enumerate() {
+                        if terms == window {
+                            for a in acc[..kw].iter_mut() {
+                                *a = q.reduce_u128(*a) as u128;
+                            }
+                            terms = 1;
                         }
-                        acc = q.reduce_u128(acc) as u128;
-                        if end == scaled.len() {
-                            break;
+                        let b = b as u128;
+                        let s = &scaled[j * n + k0..j * n + k0 + kw];
+                        for (a, &sv) in acc[..kw].iter_mut().zip(s) {
+                            *a += sv as u128 * b;
                         }
+                        terms += 1;
                     }
-                    *o = acc as u64;
+                    for (o, &a) in orow[k0..k0 + kw].iter_mut().zip(&acc[..kw]) {
+                        *o = q.reduce_u128(a);
+                    }
+                    k0 += kw;
                 }
-                out
-            })
+            });
+    }
+
+    /// Step 1 of BConv as nested rows.
+    #[deprecated(note = "nested Vec<Vec<u64>> rows are gone from the hot path — \
+                use `convert`/`convert_with`, which fuse both steps over \
+                flat buffers")]
+    pub fn scale_inputs(&self, poly: &RnsPoly, basis: &RnsBasis) -> Vec<Vec<u64>> {
+        let n = poly.n();
+        let mut scaled = vec![0u64; self.from.len() * n];
+        self.scale_into(poly, basis, &mut scaled);
+        scaled.chunks_exact(n).map(<[u64]>::to_vec).collect()
+    }
+
+    /// Step 2 of BConv over nested rows.
+    #[deprecated(note = "nested Vec<Vec<u64>> rows are gone from the hot path — \
+                use `convert`/`convert_with`, which fuse both steps over \
+                flat buffers")]
+    pub fn accumulate(&self, scaled: &[Vec<u64>], basis: &RnsBasis) -> Vec<Vec<u64>> {
+        let n = scaled.first().map_or(0, Vec::len);
+        let mut flat = Vec::with_capacity(scaled.len() * n);
+        for row in scaled {
+            assert_eq!(row.len(), n, "ragged source rows");
+            flat.extend_from_slice(row);
+        }
+        let mut out = vec![0u64; self.to.len() * n];
+        self.accumulate_into(&flat, basis, &mut out);
+        out.chunks_exact(n).map(<[u64]>::to_vec).collect()
     }
 
     /// Full BConv: `[P]_from (coeff) → [P]_to (coeff)`.
@@ -169,9 +228,32 @@ impl BaseConverter {
     /// Panics if `poly` is not in coefficient representation or lacks a
     /// source limb.
     pub fn convert(&self, poly: &RnsPoly, basis: &RnsBasis) -> RnsPoly {
-        let scaled = self.scale_inputs(poly, basis);
-        let rows = self.accumulate(&scaled, basis);
-        RnsPoly::from_limbs(basis, &self.to, Representation::Coefficient, rows)
+        let n = poly.n();
+        let mut scaled = vec![0u64; self.from.len() * n];
+        self.scale_into(poly, basis, &mut scaled);
+        let mut out = vec![0u64; self.to.len() * n];
+        self.accumulate_into(&scaled, basis, &mut out);
+        RnsPoly::from_flat(basis, &self.to, Representation::Coefficient, out)
+    }
+
+    /// [`BaseConverter::convert`] with the scaled scratch and the output
+    /// drawn from `arena` — the allocation-free form the key-switch hot
+    /// path uses (recycle the result with `RnsPoly::recycle`).
+    pub fn convert_with(
+        &self,
+        poly: &RnsPoly,
+        basis: &RnsBasis,
+        arena: &mut ScratchArena,
+    ) -> RnsPoly {
+        let n = poly.n();
+        let mut scaled = arena.take(self.from.len() * n);
+        self.scale_into(poly, basis, &mut scaled);
+        let mut out = arena.take(self.to.len() * n);
+        self.accumulate_into(&scaled, basis, &mut out);
+        arena.put(scaled);
+        let mut limb_idx = arena.take_indices(self.to.len());
+        limb_idx.extend_from_slice(&self.to);
+        RnsPoly::from_parts(n, Representation::Coefficient, limb_idx, out)
     }
 
     /// The *BConvRoutine* of Alg. 1: `INTT → BConv → NTT`, taking an
@@ -182,6 +264,21 @@ impl BaseConverter {
         let mut src = poly.subset(&self.from);
         src.to_coeff(basis);
         let mut out = self.convert(&src, basis);
+        out.to_eval(basis);
+        out
+    }
+
+    /// [`BaseConverter::routine`] with all temporaries drawn from `arena`.
+    pub fn routine_with(
+        &self,
+        poly: &RnsPoly,
+        basis: &RnsBasis,
+        arena: &mut ScratchArena,
+    ) -> RnsPoly {
+        let mut src = poly.subset_in(arena, &self.from);
+        src.to_coeff(basis);
+        let mut out = self.convert_with(&src, basis, arena);
+        src.recycle(arena);
         out.to_eval(basis);
         out
     }
@@ -249,14 +346,14 @@ mod tests {
         let bc = BaseConverter::new(&basis, &[0], &[1, 2, 3]);
         let mut rng = rand::rngs::StdRng::seed_from_u64(21);
         let q0 = basis.modulus(0).value();
-        let coeffs: Vec<Vec<u64>> = vec![(0..n).map(|_| rng.gen_range(0..q0)).collect()];
-        let poly = RnsPoly::from_limbs(&basis, &[0], Representation::Coefficient, coeffs.clone());
+        let coeffs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q0)).collect();
+        let poly = RnsPoly::from_flat(&basis, &[0], Representation::Coefficient, coeffs.clone());
         let out = bc.convert(&poly, &basis);
         for (pos, &ti) in [1usize, 2, 3].iter().enumerate() {
             let q = basis.modulus(ti);
             #[allow(clippy::needless_range_loop)]
             for k in 0..n {
-                assert_eq!(out.limb(pos)[k], q.reduce(coeffs[0][k]));
+                assert_eq!(out.limb(pos)[k], q.reduce(coeffs[k]));
             }
         }
     }
@@ -294,6 +391,40 @@ mod tests {
     }
 
     #[test]
+    fn convert_with_matches_convert_and_reuses_buffers() {
+        let n = 16;
+        let (basis, from, to) = setup(n, 3, 2);
+        let bc = BaseConverter::new(&basis, &from, &to);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let poly = RnsPoly::random_uniform(&basis, &from, Representation::Coefficient, &mut rng);
+        let mut arena = ScratchArena::new();
+        let plain = bc.convert(&poly, &basis);
+        let pooled = bc.convert_with(&poly, &basis, &mut arena);
+        assert_eq!(plain, pooled);
+        pooled.recycle(&mut arena);
+        let fresh = arena.stats().fresh;
+        let again = bc.convert_with(&poly, &basis, &mut arena);
+        assert_eq!(arena.stats().fresh, fresh, "steady state allocates nothing");
+        assert_eq!(plain, again);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_row_forms_agree_with_fused_convert() {
+        let n = 16;
+        let (basis, from, to) = setup(n, 3, 2);
+        let bc = BaseConverter::new(&basis, &from, &to);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(24);
+        let poly = RnsPoly::random_uniform(&basis, &from, Representation::Coefficient, &mut rng);
+        let scaled = bc.scale_inputs(&poly, &basis);
+        let rows = bc.accumulate(&scaled, &basis);
+        let fused = bc.convert(&poly, &basis);
+        for (pos, row) in rows.iter().enumerate() {
+            assert_eq!(&row[..], fused.limb(pos));
+        }
+    }
+
+    #[test]
     fn routine_round_trips_through_representations() {
         // Single-limb source base (the ModRaise case): conversion is
         // exact, so the routine output must decode back to the input.
@@ -313,6 +444,11 @@ mod tests {
         let lifted: Vec<i64> = coeffs.iter().map(|&c| q0.from_i64(c) as i64).collect();
         let expect = RnsPoly::from_signed_coeffs(&basis, &[1, 2], &lifted);
         assert_eq!(check, expect);
+
+        // And the arena-backed routine is bit-identical.
+        let mut arena = ScratchArena::new();
+        let pooled = bc.routine_with(&poly, &basis, &mut arena);
+        assert_eq!(pooled, out);
     }
 
     #[test]

@@ -9,7 +9,12 @@
 //!   representation);
 //! - [`ntt4step`] — the Bailey 4-step NTT that ARK's NTTU implements,
 //!   with on-the-fly twisting-factor generation (OF-Twist);
-//! - [`poly`] — RNS polynomials as `(limbs × N)` word matrices;
+//! - [`poly`] — RNS polynomials as flat limb-major `(limbs × N)` word
+//!   buffers with a borrowed limb-view API;
+//! - [`rows`] — branch-free fixed-width row kernels (the autovectorized
+//!   inner loops of every RNS op);
+//! - [`scratch`] — recycling buffer arenas for allocation-free hot
+//!   paths;
 //! - [`bconv`] — fast base conversion (Eq. 4) and the BConvRoutine
 //!   (Alg. 1);
 //! - [`automorphism`] — the Galois maps behind `HRot`/conjugation and the
@@ -40,11 +45,14 @@ pub mod bconv;
 pub mod cfft;
 pub mod crt;
 pub mod modulus;
+pub mod nested;
 pub mod ntt;
 pub mod ntt4step;
 pub mod par;
 pub mod poly;
 pub mod primes;
+pub mod rows;
+pub mod scratch;
 pub mod wire;
 
 pub use modulus::Modulus;

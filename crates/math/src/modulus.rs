@@ -258,15 +258,57 @@ impl Modulus {
     /// quotient. Roughly 2x faster than [`Modulus::mul`] in NTT loops.
     #[inline(always)]
     pub fn mul_shoup(&self, a: u64, pre: &ShoupPrecomp) -> u64 {
-        let hi = (((a as u128) * (pre.w_shoup as u128)) >> 64) as u64;
-        let r = a
-            .wrapping_mul(pre.w)
-            .wrapping_sub(hi.wrapping_mul(self.value));
+        let r = self.mul_shoup_lazy(a, pre);
         if r >= self.value {
             r - self.value
         } else {
             r
         }
+    }
+
+    /// Lazy Shoup multiplication: congruent to `a * pre.w mod q` but the
+    /// result stays in `[0, 2q)` — the final conditional subtraction is
+    /// deferred to the caller. Valid for *any* `a < 2^64` (not just
+    /// canonical residues), which is what lets Harvey-style NTT
+    /// butterflies keep values in `[0, 4q)` between stages and reduce
+    /// once per limb pass instead of once per element.
+    #[inline(always)]
+    pub fn mul_shoup_lazy(&self, a: u64, pre: &ShoupPrecomp) -> u64 {
+        let hi = (((a as u128) * (pre.w_shoup as u128)) >> 64) as u64;
+        a.wrapping_mul(pre.w)
+            .wrapping_sub(hi.wrapping_mul(self.value))
+    }
+
+    /// Branch-free canonicalization of a lazy residue in `[0, 2q)`.
+    #[inline(always)]
+    pub fn reduce_lazy2(&self, x: u64) -> u64 {
+        debug_assert!(x < 2 * self.value);
+        x - (self.value & ((x >= self.value) as u64).wrapping_neg())
+    }
+
+    /// Branch-free canonicalization of a lazy residue in `[0, 4q)` —
+    /// the state a Harvey forward NTT leaves its outputs in. Safe
+    /// because moduli are capped at [`MAX_MODULUS_BITS`] bits, so `4q`
+    /// fits a `u64`.
+    #[inline(always)]
+    pub fn reduce_lazy4(&self, x: u64) -> u64 {
+        let two_q = 2 * self.value;
+        debug_assert!(x < 2 * two_q);
+        let x = x - (two_q & ((x >= two_q) as u64).wrapping_neg());
+        self.reduce_lazy2(x)
+    }
+
+    /// Maximum number of `(p − 1)·(q − 1)` products (with `p` at most
+    /// `max_operand + 1`) that can be summed in a `u128` accumulator
+    /// before it could overflow. This is the per-modulus chunk bound the
+    /// lazy BConv MAC uses to reduce once per limb pass: for typical
+    /// 40–50-bit primes the bound far exceeds any limb count, so whole
+    /// rows accumulate with a single final Barrett reduction.
+    pub fn max_lazy_mac_terms(&self, max_operand: u64) -> usize {
+        let prod = (max_operand.max(1) as u128) * ((self.value - 1).max(1) as u128);
+        usize::try_from(u128::MAX / prod)
+            .unwrap_or(usize::MAX)
+            .max(1)
     }
 }
 
@@ -397,6 +439,45 @@ mod tests {
             let pre = q.shoup(w);
             assert_eq!(q.mul_shoup(a, &pre), q.mul(a, w));
         }
+    }
+
+    #[test]
+    fn lazy_shoup_stays_congruent_and_bounded() {
+        use rand::{Rng, SeedableRng};
+        let q = Modulus::new(Q61).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let w = rng.gen::<u64>() % Q61;
+            let a = rng.gen::<u64>(); // arbitrary, not necessarily reduced
+            let pre = q.shoup(w);
+            let lazy = q.mul_shoup_lazy(a, &pre);
+            assert!(lazy < 2 * Q61, "lazy result must stay below 2q");
+            assert_eq!(q.reduce_lazy2(lazy), q.mul(q.reduce(a), w));
+        }
+    }
+
+    #[test]
+    fn lazy_canonicalization_covers_both_ranges() {
+        let q = Modulus::new(101).unwrap();
+        for x in 0..202 {
+            assert_eq!(q.reduce_lazy2(x), x % 101);
+        }
+        for x in 0..404 {
+            assert_eq!(q.reduce_lazy4(x), x % 101);
+        }
+    }
+
+    #[test]
+    fn mac_term_bound_is_safe() {
+        let q = Modulus::new(Q61).unwrap();
+        let terms = q.max_lazy_mac_terms(Q61 - 1);
+        // terms products of (q-1)^2 must fit u128
+        let prod = (Q61 as u128 - 1) * (Q61 as u128 - 1);
+        assert!(prod.checked_mul(terms as u128).is_some());
+        assert!(terms >= 16, "61-bit primes admit at least 16 lazy terms");
+        // small primes admit enormous spans
+        let small = Modulus::new((1 << 40) - 87).unwrap();
+        assert!(small.max_lazy_mac_terms((1 << 40) - 88) > 1 << 40);
     }
 
     #[test]

@@ -13,6 +13,17 @@
 //! bit-reversed-order output; the inverse consumes bit-reversed order and
 //! restores natural order. Element-wise products are order-agnostic, so
 //! the library never pays an explicit bit-reversal.
+//!
+//! # Lazy reduction
+//!
+//! Both passes defer modular reduction in the Harvey style: butterfly
+//! outputs stay in the *redundant* ranges `[0, 4q)` (forward) and
+//! `[0, 2q)` (inverse), exploiting `mul_shoup_lazy`'s tolerance of any
+//! 64-bit operand, and a single normalization pass canonicalizes each
+//! limb at the end. With `q < 2^62` (the [`Modulus`] ceiling) every
+//! intermediate fits a `u64`, and because the final canonical residue of
+//! each element is unique, the lazy pipeline is bit-identical to eager
+//! per-butterfly reduction.
 
 use crate::modulus::{Modulus, ShoupPrecomp};
 use crate::par::ThreadPool;
@@ -27,24 +38,28 @@ pub enum NttDirection {
     Inverse,
 }
 
-/// Transforms every limb row with its own table, fanning the rows out
-/// across `pool` — the limb-level hot loop behind
+/// Transforms every limb row of a flat limb-major buffer (limb `pos`
+/// at `data[pos*n..(pos+1)*n]`) with its own table, fanning the rows
+/// out across `pool` — the limb-level hot loop behind
 /// [`crate::poly::RnsPoly::to_eval`]/[`crate::poly::RnsPoly::to_coeff`].
 /// Each limb's transform is independent and exact, so any pool width is
 /// bit-identical to the serial loop.
 ///
 /// # Panics
 ///
-/// Panics if a row's length differs from its table's degree.
+/// Panics if `data.len()` is not a multiple of `n` or a table's degree
+/// differs from `n`.
 pub fn transform_limbs<'t, F>(
-    rows: &mut [Vec<u64>],
+    data: &mut [u64],
+    n: usize,
     table_for: F,
     direction: NttDirection,
     pool: &ThreadPool,
 ) where
     F: Fn(usize) -> &'t NttTable + Sync,
 {
-    pool.par_for_each_limb(rows, |pos, row| match direction {
+    assert_eq!(data.len() % n, 0, "flat buffer must hold whole limbs");
+    pool.par_for_each_row(data, n, |pos, row| match direction {
         NttDirection::Forward => table_for(pos).forward(row),
         NttDirection::Inverse => table_for(pos).inverse(row),
     });
@@ -142,12 +157,17 @@ impl NttTable {
 
     /// In-place forward negacyclic NTT (natural → bit-reversed order).
     ///
+    /// Runs the Harvey lazy pipeline: butterflies keep values in
+    /// `[0, 4q)` and one normalization pass per limb canonicalizes at
+    /// the end — `N` reductions instead of `N·log2 N`.
+    ///
     /// # Panics
     ///
     /// Panics if `a.len() != self.n()`.
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "input length must equal the degree");
         let m = &self.modulus;
+        let two_q = 2 * m.value();
         let mut t = self.n;
         let mut groups = 1usize;
         while groups < self.n {
@@ -155,18 +175,31 @@ impl NttTable {
             for i in 0..groups {
                 let w = &self.root_powers[groups + i];
                 let base = 2 * i * t;
-                for j in base..base + t {
-                    let u = a[j];
-                    let v = m.mul_shoup(a[j + t], w);
-                    a[j] = m.add(u, v);
-                    a[j + t] = m.sub(u, v);
+                // Split the group into its low/high halves so the inner
+                // loop indexes two disjoint slices — the shape LLVM
+                // vectorizes without bounds checks.
+                let (lo, hi) = a[base..base + 2 * t].split_at_mut(t);
+                for j in 0..t {
+                    // lo[j] < 4q → bring into [0, 2q) branch-free.
+                    let x = lo[j] - (two_q & ((lo[j] >= two_q) as u64).wrapping_neg());
+                    // hi[j] < 4q < 2^64 is fine as a lazy Shoup operand;
+                    // the product lands in [0, 2q).
+                    let v = m.mul_shoup_lazy(hi[j], w);
+                    lo[j] = x + v; // < 4q
+                    hi[j] = x + two_q - v; // < 4q
                 }
             }
             groups <<= 1;
         }
+        for x in a.iter_mut() {
+            *x = m.reduce_lazy4(*x);
+        }
     }
 
     /// In-place inverse negacyclic NTT (bit-reversed → natural order).
+    ///
+    /// Lazy Gentleman–Sande: values stay in `[0, 2q)` across stages and
+    /// the final `n^{-1}` scaling pass canonicalizes.
     ///
     /// # Panics
     ///
@@ -174,23 +207,29 @@ impl NttTable {
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "input length must equal the degree");
         let m = &self.modulus;
+        let two_q = 2 * m.value();
         let mut t = 1usize;
         let mut groups = self.n >> 1;
         while groups >= 1 {
             let mut base = 0usize;
             for i in 0..groups {
                 let w = &self.inv_root_powers[groups + i];
-                for j in base..base + t {
-                    let u = a[j];
-                    let v = a[j + t];
-                    a[j] = m.add(u, v);
-                    a[j + t] = m.mul_shoup(m.sub(u, v), w);
+                let (lo, hi) = a[base..base + 2 * t].split_at_mut(t);
+                for j in 0..t {
+                    // Invariant: lo[j], hi[j] < 2q.
+                    let x = lo[j];
+                    let y = hi[j];
+                    let u = x + y; // < 4q
+                    lo[j] = u - (two_q & ((u >= two_q) as u64).wrapping_neg());
+                    // x + 2q − y < 4q < 2^64; lazy product lands < 2q.
+                    hi[j] = m.mul_shoup_lazy(x + two_q - y, w);
                 }
                 base += 2 * t;
             }
             t <<= 1;
             groups >>= 1;
         }
+        // Full Shoup reduction canonicalizes any 64-bit operand.
         for x in a.iter_mut() {
             *x = m.mul_shoup(*x, &self.n_inv);
         }
@@ -340,6 +379,73 @@ mod tests {
         t.forward(&mut sum);
         for i in 0..n {
             assert_eq!(sum[i], q.add(fa[i], fb[i]));
+        }
+    }
+
+    #[test]
+    fn lazy_pipeline_matches_eager_reference() {
+        // Eager per-butterfly reduction, kept as the bit-identity oracle
+        // for the lazy production pipeline.
+        fn forward_eager(t: &NttTable, a: &mut [u64]) {
+            let m = *t.modulus();
+            let n = t.n();
+            let mut tt = n;
+            let mut groups = 1usize;
+            while groups < n {
+                tt >>= 1;
+                for i in 0..groups {
+                    let w = &t.root_powers[groups + i];
+                    let base = 2 * i * tt;
+                    for j in base..base + tt {
+                        let u = a[j];
+                        let v = m.mul_shoup(a[j + tt], w);
+                        a[j] = m.add(u, v);
+                        a[j + tt] = m.sub(u, v);
+                    }
+                }
+                groups <<= 1;
+            }
+        }
+        fn inverse_eager(t: &NttTable, a: &mut [u64]) {
+            let m = *t.modulus();
+            let n = t.n();
+            let mut tt = 1usize;
+            let mut groups = n >> 1;
+            while groups >= 1 {
+                let mut base = 0usize;
+                for i in 0..groups {
+                    let w = &t.inv_root_powers[groups + i];
+                    for j in base..base + tt {
+                        let u = a[j];
+                        let v = a[j + tt];
+                        a[j] = m.add(u, v);
+                        a[j + tt] = m.mul_shoup(m.sub(u, v), w);
+                    }
+                    base += 2 * tt;
+                }
+                tt <<= 1;
+                groups >>= 1;
+            }
+            for x in a.iter_mut() {
+                *x = m.mul_shoup(*x, &t.n_inv);
+            }
+        }
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        // 61-bit primes stress the 4q < 2^64 headroom bound.
+        for (n, bits) in [(8usize, 30u32), (64, 45), (256, 61)] {
+            let t = table(n, bits);
+            let q = t.modulus().value();
+            let a: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % q).collect();
+            let mut lazy = a.clone();
+            let mut eager = a.clone();
+            t.forward(&mut lazy);
+            forward_eager(&t, &mut eager);
+            assert_eq!(lazy, eager, "forward n={n} bits={bits}");
+            t.inverse(&mut lazy);
+            inverse_eager(&t, &mut eager);
+            assert_eq!(lazy, eager, "inverse n={n} bits={bits}");
+            assert_eq!(lazy, a, "roundtrip n={n} bits={bits}");
         }
     }
 

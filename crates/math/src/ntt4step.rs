@@ -230,35 +230,27 @@ impl FourStepNtt {
         // below the dispatch floor the whole transform runs inline
         let pool = self.pool.for_work(self.n);
 
-        // Step 1: n2 column DFTs of length n1 (stride n2). Serially the
-        // two scratch buffers are reused in place; in parallel the
-        // strided writes force a gather → transform → scatter.
-        if pool.is_serial() {
-            let mut col = vec![0u64; n1];
-            for j2 in 0..n2 {
-                for j1 in 0..n1 {
-                    col[j1] = a[j1 * n2 + j2];
-                }
-                self.col_ntt.transform(&mut col, inverse);
-                for k1 in 0..n1 {
-                    a[k1 * n2 + j2] = col[k1];
-                }
-            }
-        } else {
+        // Step 1: n2 column DFTs of length n1 (stride n2). The strided
+        // access forces a gather → transform → scatter through one flat
+        // transposed scratch: each worker transforms contiguous rows of
+        // the scratch in place, so nothing is cloned when stealing.
+        let mut colbuf = vec![0u64; self.n];
+        {
             let a_ref: &[u64] = a;
-            let cols = pool.par_map_range(n2, |j2| {
-                let mut col = vec![0u64; n1];
-                for j1 in 0..n1 {
-                    col[j1] = a_ref[j1 * n2 + j2];
+            pool.par_for_each_row(&mut colbuf, n1, |j2, col| {
+                for (j1, c) in col.iter_mut().enumerate() {
+                    *c = a_ref[j1 * n2 + j2];
                 }
-                self.col_ntt.transform(&mut col, inverse);
-                col
+                self.col_ntt.transform(col, inverse);
             });
-            for (j2, col) in cols.iter().enumerate() {
-                for (k1, &v) in col.iter().enumerate() {
-                    a[k1 * n2 + j2] = v;
+        }
+        {
+            let col_ref: &[u64] = &colbuf;
+            pool.par_for_each_row(a, n2, |k1, row| {
+                for (j2, x) in row.iter_mut().enumerate() {
+                    *x = col_ref[j2 * n1 + k1];
                 }
-            }
+            });
         }
 
         // Step 2: twisting factors ω^{j2·k1}. For each k1 (a hardware
@@ -273,30 +265,18 @@ impl FourStepNtt {
             }
         });
 
-        // Step 3 + 4: transpose then n1 row DFTs of length n2. We read
-        // rows directly (the transpose is a data-layout step in hardware).
-        let mut out = vec![0u64; self.n];
-        if pool.is_serial() {
-            let mut row = vec![0u64; n2];
-            for k1 in 0..n1 {
-                row.copy_from_slice(&a[k1 * n2..(k1 + 1) * n2]);
-                self.row_ntt.transform(&mut row, inverse);
-                for k2 in 0..n2 {
-                    out[k2 * n1 + k1] = row[k2];
-                }
-            }
-        } else {
+        // Step 3 + 4: n1 row DFTs of length n2 — rows are contiguous, so
+        // they transform in place — then the transpose into the output
+        // layout (a data-layout step in hardware).
+        pool.par_for_each_row(a, n2, |_k1, row| self.row_ntt.transform(row, inverse));
+        let mut out = colbuf; // reuse the step-1 scratch
+        {
             let a_ref: &[u64] = a;
-            let rows = pool.par_map_range(n1, |k1| {
-                let mut row = a_ref[k1 * n2..(k1 + 1) * n2].to_vec();
-                self.row_ntt.transform(&mut row, inverse);
-                row
-            });
-            for (k1, row) in rows.iter().enumerate() {
-                for (k2, &v) in row.iter().enumerate() {
-                    out[k2 * n1 + k1] = v;
+            pool.par_for_each_row(&mut out, n1, |k2, orow| {
+                for (k1, x) in orow.iter_mut().enumerate() {
+                    *x = a_ref[k1 * n2 + k2];
                 }
-            }
+            });
         }
         if inverse {
             // The two small inverse transforms each divided by their own

@@ -349,6 +349,51 @@ impl ThreadPool {
         self.run_batch(tasks);
     }
 
+    /// Splits `dst` and `src` into aligned rows of `row_len` elements and
+    /// applies `f(row_index, dst_row, src_row)` to each pair in parallel —
+    /// the primitive behind in-place binary limb ops on the flat
+    /// limb-major layout. Rows are *borrowed* chunked views into the two
+    /// flat buffers; nothing is cloned when a worker steals a chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_len` is zero or the buffers disagree in length.
+    pub fn par_zip_rows<T, U, F>(&self, dst: &mut [T], src: &[U], row_len: usize, f: F)
+    where
+        T: Send,
+        U: Sync,
+        F: Fn(usize, &mut [T], &[U]) + Sync,
+    {
+        assert!(row_len > 0, "row length must be positive");
+        assert_eq!(dst.len(), src.len(), "zipped buffers must match");
+        self.par_for_each_row(dst, row_len, |i, drow| {
+            f(i, drow, &src[i * row_len..(i + 1) * row_len]);
+        });
+    }
+
+    /// Three-operand variant of [`Self::par_zip_rows`]:
+    /// `f(row_index, dst_row, a_row, b_row)` — the shape of fused
+    /// multiply-accumulate over limbs (`dst += a * b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_len` is zero or any buffer length differs.
+    pub fn par_zip2_rows<T, U, F>(&self, dst: &mut [T], a: &[U], b: &[U], row_len: usize, f: F)
+    where
+        T: Send,
+        U: Sync,
+        F: Fn(usize, &mut [T], &[U], &[U]) + Sync,
+    {
+        assert!(row_len > 0, "row length must be positive");
+        assert_eq!(dst.len(), a.len(), "zipped buffers must match");
+        assert_eq!(dst.len(), b.len(), "zipped buffers must match");
+        self.par_for_each_row(dst, row_len, |i, drow| {
+            let at = &a[i * row_len..(i + 1) * row_len];
+            let bt = &b[i * row_len..(i + 1) * row_len];
+            f(i, drow, at, bt);
+        });
+    }
+
     /// Runs a batch of borrowed tasks to completion: the last task on the
     /// calling thread, the rest on the workers. Does not return until
     /// every task has finished (even if one panics), which is what makes
@@ -513,6 +558,47 @@ mod tests {
         assert_eq!(flat[0], 0);
         assert_eq!(flat[8], 108);
         assert_eq!(flat[63], 763);
+    }
+
+    #[test]
+    fn zip_rows_matches_serial_and_borrows_views() {
+        let serial = ThreadPool::serial();
+        let par = ThreadPool::new(4);
+        let src: Vec<u64> = (0..96).map(|i| i * 3).collect();
+        let f = |r: usize, d: &mut [u64], s: &[u64]| {
+            for (x, &y) in d.iter_mut().zip(s) {
+                *x = x.wrapping_add(y).wrapping_add(r as u64);
+            }
+        };
+        let mut a: Vec<u64> = (0..96).collect();
+        serial.par_zip_rows(&mut a, &src, 8, f);
+        let mut b: Vec<u64> = (0..96).collect();
+        par.par_zip_rows(&mut b, &src, 8, f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zip2_rows_fuses_three_operands() {
+        let pool = ThreadPool::new(3);
+        let a: Vec<u64> = (0..32).collect();
+        let b: Vec<u64> = (0..32).map(|i| i + 1).collect();
+        let mut acc = vec![1u64; 32];
+        pool.par_zip2_rows(&mut acc, &a, &b, 4, |_, d, x, y| {
+            for i in 0..d.len() {
+                d[i] += x[i] * y[i];
+            }
+        });
+        for i in 0..32u64 {
+            assert_eq!(acc[i as usize], 1 + i * (i + 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zipped buffers must match")]
+    fn zip_rows_rejects_mismatched_lengths() {
+        let pool = ThreadPool::serial();
+        let mut d = vec![0u64; 8];
+        pool.par_zip_rows(&mut d, &[1u64; 4], 2, |_, _, _| {});
     }
 
     #[test]

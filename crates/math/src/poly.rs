@@ -1,16 +1,30 @@
-//! RNS polynomials: the `(limbs × N)` word matrices every HE op touches.
+//! RNS polynomials: flat limb-major `(limbs × N)` word buffers.
 //!
 //! A polynomial of `R_Q` with `Q = Π q_i` is stored as one row (*limb*)
-//! per prime `q_i` (Section II-B). A limb is tagged with its index into a
-//! shared [`RnsBasis`] — the ordered set `D = C ∪ B` of chain primes and
-//! special primes — so level changes (`HRescale`), limb extension
-//! (key-switching, OF-Limb) and base conversion are index juggling plus
-//! word arithmetic, never big-integer math.
+//! per prime `q_i` (Section II-B), all rows packed into **one
+//! contiguous `Vec<u64>`**: limb at storage position `pos` occupies
+//! `data[pos*N .. (pos+1)*N]`. The layout matches the paper's
+//! bandwidth-oriented cycle model (streaming kernels walk one cache-
+//! friendly buffer) and the flat-limb idiom of the starky exemplars.
+//! Limbs are tagged with indices into a shared [`RnsBasis`] — the
+//! ordered set `D = C ∪ B` of chain primes and special primes — so
+//! level changes (`HRescale`), limb extension (key-switching, OF-Limb)
+//! and base conversion are index juggling plus word arithmetic, never
+//! big-integer math.
+//!
+//! Access is through the borrowed *limb-view* API: [`RnsPoly::limb`] /
+//! [`RnsPoly::limb_mut`] slice one row, [`RnsPoly::limbs`] /
+//! [`RnsPoly::limbs_mut`] iterate rows as chunked views, and
+//! [`RnsPoly::limb_views_mut`] / [`RnsPoly::limb_pairs_mut`] pair rows
+//! with their basis indices ([`LimbView`] / [`LimbViewMut`]) for
+//! in-place binary ops. Nothing hands out `Vec<Vec<u64>>` any more.
 
 use crate::automorphism::{self, GaloisElement};
 use crate::modulus::Modulus;
 use crate::ntt::{self, NttDirection, NttTable};
 use crate::par::ThreadPool;
+use crate::rows;
+use crate::scratch::ScratchArena;
 use rand::{Rng, SeedableRng};
 
 /// Derives a child seed from `(seed, tweak)` with a SplitMix64-style
@@ -129,7 +143,31 @@ impl RnsBasis {
     }
 }
 
-/// A polynomial as a set of RNS limbs over a shared [`RnsBasis`].
+/// Borrowed view of one limb row plus its identity: storage position
+/// and basis index.
+#[derive(Debug)]
+pub struct LimbView<'a> {
+    /// Storage position within the polynomial.
+    pub pos: usize,
+    /// Basis index of the limb's prime.
+    pub idx: usize,
+    /// The `N` residues of this limb.
+    pub row: &'a [u64],
+}
+
+/// Mutable borrowed view of one limb row plus its identity.
+#[derive(Debug)]
+pub struct LimbViewMut<'a> {
+    /// Storage position within the polynomial.
+    pub pos: usize,
+    /// Basis index of the limb's prime.
+    pub idx: usize,
+    /// The `N` residues of this limb.
+    pub row: &'a mut [u64],
+}
+
+/// A polynomial as a set of RNS limbs over a shared [`RnsBasis`],
+/// stored limb-major in one contiguous buffer.
 ///
 /// # Examples
 ///
@@ -142,13 +180,15 @@ impl RnsBasis {
 /// let p = RnsPoly::from_signed_coeffs(&basis, &[0, 1], &vec![1i64; n]);
 /// assert_eq!(p.level_count(), 2);
 /// assert_eq!(p.representation(), Representation::Coefficient);
+/// // limb 1 is the second contiguous row of the flat buffer
+/// assert_eq!(p.limb(1), &p.flat()[n..2 * n]);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RnsPoly {
     n: usize,
     rep: Representation,
     limb_idx: Vec<usize>,
-    data: Vec<Vec<u64>>,
+    data: Vec<u64>,
 }
 
 impl RnsPoly {
@@ -158,7 +198,25 @@ impl RnsPoly {
             n: basis.n(),
             rep,
             limb_idx: indices.to_vec(),
-            data: vec![vec![0u64; basis.n()]; indices.len()],
+            data: vec![0u64; indices.len() * basis.n()],
+        }
+    }
+
+    /// The zero polynomial with storage drawn from `arena` (recycle it
+    /// with [`RnsPoly::recycle`] once the value dies).
+    pub fn zero_in(
+        arena: &mut ScratchArena,
+        basis: &RnsBasis,
+        indices: &[usize],
+        rep: Representation,
+    ) -> Self {
+        let mut limb_idx = arena.take_indices(indices.len());
+        limb_idx.extend_from_slice(indices);
+        Self {
+            n: basis.n(),
+            rep,
+            limb_idx,
+            data: arena.take_zeroed(indices.len() * basis.n()),
         }
     }
 
@@ -166,26 +224,51 @@ impl RnsPoly {
     /// requested limb.
     pub fn from_signed_coeffs(basis: &RnsBasis, indices: &[usize], coeffs: &[i64]) -> Self {
         assert_eq!(coeffs.len(), basis.n(), "coefficient count must equal N");
-        let data = indices
-            .iter()
-            .map(|&i| {
-                let q = basis.modulus(i);
-                coeffs.iter().map(|&c| q.from_i64(c)).collect()
-            })
-            .collect();
+        let n = basis.n();
+        let mut data = Vec::with_capacity(indices.len() * n);
+        for &i in indices {
+            let q = basis.modulus(i);
+            data.extend(coeffs.iter().map(|&c| q.from_i64(c)));
+        }
         Self {
-            n: basis.n(),
+            n,
             rep: Representation::Coefficient,
             limb_idx: indices.to_vec(),
             data,
         }
     }
 
-    /// Builds a polynomial from raw limb rows (already reduced).
+    /// Builds a polynomial directly from a flat limb-major buffer
+    /// (limb `pos` at `data[pos*N..(pos+1)*N]`, already reduced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != indices.len() * basis.n()`.
+    pub fn from_flat(
+        basis: &RnsBasis,
+        indices: &[usize],
+        rep: Representation,
+        data: Vec<u64>,
+    ) -> Self {
+        assert_eq!(
+            data.len(),
+            indices.len() * basis.n(),
+            "flat buffer must hold limbs × N words"
+        );
+        Self {
+            n: basis.n(),
+            rep,
+            limb_idx: indices.to_vec(),
+            data,
+        }
+    }
+
+    /// Builds a polynomial from nested limb rows.
     ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
+    #[deprecated(note = "storage is flat limb-major now — use `RnsPoly::from_flat`")]
     pub fn from_limbs(
         basis: &RnsBasis,
         indices: &[usize],
@@ -193,15 +276,13 @@ impl RnsPoly {
         limbs: Vec<Vec<u64>>,
     ) -> Self {
         assert_eq!(indices.len(), limbs.len());
+        let n = basis.n();
+        let mut data = Vec::with_capacity(indices.len() * n);
         for row in &limbs {
-            assert_eq!(row.len(), basis.n());
+            assert_eq!(row.len(), n);
+            data.extend_from_slice(row);
         }
-        Self {
-            n: basis.n(),
-            rep,
-            limb_idx: indices.to_vec(),
-            data: limbs,
-        }
+        Self::from_flat(basis, indices, rep, data)
     }
 
     /// Uniformly random polynomial (each limb uniform in `[0, q_i)`).
@@ -211,15 +292,14 @@ impl RnsPoly {
         rep: Representation,
         rng: &mut R,
     ) -> Self {
-        let data = indices
-            .iter()
-            .map(|&i| {
-                let q = basis.modulus(i).value();
-                (0..basis.n()).map(|_| rng.gen_range(0..q)).collect()
-            })
-            .collect();
+        let n = basis.n();
+        let mut data = Vec::with_capacity(indices.len() * n);
+        for &i in indices {
+            let q = basis.modulus(i).value();
+            data.extend((0..n).map(|_| rng.gen_range(0..q)));
+        }
         Self {
-            n: basis.n(),
+            n,
             rep,
             limb_idx: indices.to_vec(),
             data,
@@ -240,14 +320,17 @@ impl RnsPoly {
     /// `from_seed(.., &[0, 2], ..)`.
     pub fn from_seed(basis: &RnsBasis, indices: &[usize], rep: Representation, seed: u64) -> Self {
         let n = basis.n();
-        let data = basis
+        let mut data = vec![0u64; indices.len() * n];
+        basis
             .pool()
-            .for_work(indices.len() * n)
-            .par_map_range(indices.len(), |pos| {
+            .for_work(data.len())
+            .par_for_each_row(&mut data, n, |pos, row| {
                 let idx = indices[pos];
                 let q = basis.modulus(idx).value();
                 let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(seed, idx as u64));
-                (0..n).map(|_| rng.gen_range(0..q)).collect()
+                for x in row.iter_mut() {
+                    *x = rng.gen_range(0..q);
+                }
             });
         Self {
             n,
@@ -277,14 +360,132 @@ impl RnsPoly {
         &self.limb_idx
     }
 
+    /// The whole flat limb-major buffer (limb `pos` at
+    /// `flat()[pos*N..(pos+1)*N]`).
+    pub fn flat(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Mutable access to the whole flat buffer.
+    pub fn flat_mut(&mut self) -> &mut [u64] {
+        &mut self.data
+    }
+
+    /// Decomposes into `(limb_indices, flat_data)` — the inverse of
+    /// [`RnsPoly::from_parts`], used to recycle storage into an arena or
+    /// hand the buffer to a codec.
+    pub fn into_parts(self) -> (Vec<usize>, Vec<u64>) {
+        (self.limb_idx, self.data)
+    }
+
+    /// Assembles a polynomial from owned parts without copying — the
+    /// zero-allocation counterpart of [`RnsPoly::from_flat`] for callers
+    /// holding arena-recycled vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != limb_idx.len() * n`.
+    pub fn from_parts(n: usize, rep: Representation, limb_idx: Vec<usize>, data: Vec<u64>) -> Self {
+        assert_eq!(
+            data.len(),
+            limb_idx.len() * n,
+            "flat buffer must hold limbs × N words"
+        );
+        Self {
+            n,
+            rep,
+            limb_idx,
+            data,
+        }
+    }
+
+    /// Returns this polynomial's storage to `arena`.
+    pub fn recycle(self, arena: &mut ScratchArena) {
+        arena.put(self.data);
+        arena.put_indices(self.limb_idx);
+    }
+
     /// Raw limb row for storage position `pos`.
     pub fn limb(&self, pos: usize) -> &[u64] {
-        &self.data[pos]
+        &self.data[pos * self.n..(pos + 1) * self.n]
     }
 
     /// Mutable raw limb row.
     pub fn limb_mut(&mut self, pos: usize) -> &mut [u64] {
-        &mut self.data[pos]
+        &mut self.data[pos * self.n..(pos + 1) * self.n]
+    }
+
+    /// Iterator over limb rows as borrowed chunked views.
+    pub fn limbs(&self) -> std::slice::ChunksExact<'_, u64> {
+        self.data.chunks_exact(self.n)
+    }
+
+    /// Iterator over mutable limb rows as borrowed chunked views.
+    pub fn limbs_mut(&mut self) -> std::slice::ChunksExactMut<'_, u64> {
+        let n = self.n;
+        self.data.chunks_exact_mut(n)
+    }
+
+    /// Iterator over [`LimbView`]s: each row paired with its storage
+    /// position and basis index.
+    pub fn limb_views(&self) -> impl Iterator<Item = LimbView<'_>> {
+        let idx = &self.limb_idx;
+        self.data
+            .chunks_exact(self.n)
+            .enumerate()
+            .map(move |(pos, row)| LimbView {
+                pos,
+                idx: idx[pos],
+                row,
+            })
+    }
+
+    /// Iterator over [`LimbViewMut`]s.
+    pub fn limb_views_mut(&mut self) -> impl Iterator<Item = LimbViewMut<'_>> {
+        let n = self.n;
+        let idx = &self.limb_idx;
+        self.data
+            .chunks_exact_mut(n)
+            .enumerate()
+            .map(move |(pos, row)| LimbViewMut {
+                pos,
+                idx: idx[pos],
+                row,
+            })
+    }
+
+    /// Pairs every mutable limb of `self` with the matching limb of
+    /// `other` — the view-level primitive for custom in-place binary
+    /// ops that the built-in `add/sub/mul` kernels don't cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if degrees, representations or limb sets differ.
+    pub fn limb_pairs_mut<'a>(
+        &'a mut self,
+        other: &'a Self,
+    ) -> impl Iterator<Item = (LimbViewMut<'a>, LimbView<'a>)> {
+        self.assert_compatible(other);
+        let n = self.n;
+        let idx = &self.limb_idx;
+        self.data
+            .chunks_exact_mut(n)
+            .zip(other.data.chunks_exact(n))
+            .enumerate()
+            .map(move |(pos, (a, b))| {
+                (
+                    LimbViewMut {
+                        pos,
+                        idx: idx[pos],
+                        row: a,
+                    },
+                    LimbView {
+                        pos,
+                        idx: idx[pos],
+                        row: b,
+                    },
+                )
+            })
     }
 
     /// Storage position of the limb with basis index `idx`, if present.
@@ -305,12 +506,16 @@ impl RnsPoly {
     /// Panics if degrees, representations or limb sets differ.
     pub fn add_assign(&mut self, other: &Self, basis: &RnsBasis) {
         self.assert_compatible(other);
-        self.par_update_limbs(basis, |pos, idx, row| {
-            let q = basis.modulus(idx);
-            for (a, &b) in row.iter_mut().zip(&other.data[pos]) {
-                *a = q.add(*a, b);
-            }
-        });
+        let n = self.n;
+        let idx = &self.limb_idx;
+        basis.pool().for_work(self.data.len()).par_zip_rows(
+            &mut self.data,
+            &other.data,
+            n,
+            |pos, dst, src| {
+                rows::add_rows(basis.modulus(idx[pos]), dst, src);
+            },
+        );
     }
 
     /// `self -= other`, limb-wise.
@@ -320,21 +525,22 @@ impl RnsPoly {
     /// Panics if degrees, representations or limb sets differ.
     pub fn sub_assign(&mut self, other: &Self, basis: &RnsBasis) {
         self.assert_compatible(other);
-        self.par_update_limbs(basis, |pos, idx, row| {
-            let q = basis.modulus(idx);
-            for (a, &b) in row.iter_mut().zip(&other.data[pos]) {
-                *a = q.sub(*a, b);
-            }
-        });
+        let n = self.n;
+        let idx = &self.limb_idx;
+        basis.pool().for_work(self.data.len()).par_zip_rows(
+            &mut self.data,
+            &other.data,
+            n,
+            |pos, dst, src| {
+                rows::sub_rows(basis.modulus(idx[pos]), dst, src);
+            },
+        );
     }
 
     /// Negates in place.
     pub fn negate(&mut self, basis: &RnsBasis) {
         self.par_update_limbs(basis, |_pos, idx, row| {
-            let q = basis.modulus(idx);
-            for a in row.iter_mut() {
-                *a = q.neg(*a);
-            }
+            rows::neg_rows(basis.modulus(idx), row);
         });
     }
 
@@ -351,12 +557,16 @@ impl RnsPoly {
             "mul needs evaluation rep"
         );
         self.assert_compatible(other);
-        self.par_update_limbs(basis, |pos, idx, row| {
-            let q = basis.modulus(idx);
-            for (a, &b) in row.iter_mut().zip(&other.data[pos]) {
-                *a = q.mul(*a, b);
-            }
-        });
+        let n = self.n;
+        let idx = &self.limb_idx;
+        basis.pool().for_work(self.data.len()).par_zip_rows(
+            &mut self.data,
+            &other.data,
+            n,
+            |pos, dst, src| {
+                rows::mul_rows(basis.modulus(idx[pos]), dst, src);
+            },
+        );
     }
 
     /// Fused `self += a * b` without materializing the product.
@@ -368,13 +578,49 @@ impl RnsPoly {
         assert_eq!(self.rep, Representation::Evaluation);
         self.assert_compatible(a);
         self.assert_compatible(b);
-        self.par_update_limbs(basis, |pos, idx, row| {
-            let q = basis.modulus(idx);
-            for (k, acc) in row.iter_mut().enumerate() {
-                let prod = q.mul(a.data[pos][k], b.data[pos][k]);
-                *acc = q.add(*acc, prod);
-            }
-        });
+        let n = self.n;
+        let idx = &self.limb_idx;
+        basis.pool().for_work(self.data.len()).par_zip2_rows(
+            &mut self.data,
+            &a.data,
+            &b.data,
+            n,
+            |pos, acc, arow, brow| {
+                rows::mul_add_rows(basis.modulus(idx[pos]), acc, arow, brow);
+            },
+        );
+    }
+
+    /// Fused `self += a * b` where `b` may carry a *superset* of the
+    /// accumulator's limbs (matched by basis index). This is the
+    /// key-switch inner-product shape: evaluation-key pieces live on
+    /// the full extended basis while the accumulator lives on the
+    /// current level's extension, and selecting rows by index here
+    /// avoids materializing `b.subset(...)` per digit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is incompatible, or `b` misses a limb or is not in
+    /// evaluation representation.
+    pub fn mul_add_assign_select(&mut self, a: &Self, b: &Self, basis: &RnsBasis) {
+        assert_eq!(self.rep, Representation::Evaluation);
+        self.assert_compatible(a);
+        assert_eq!(self.n, b.n, "degree mismatch");
+        assert_eq!(b.rep, Representation::Evaluation, "rep mismatch");
+        let n = self.n;
+        let idx = &self.limb_idx;
+        basis.pool().for_work(self.data.len()).par_zip_rows(
+            &mut self.data,
+            &a.data,
+            n,
+            |pos, acc, arow| {
+                let i = idx[pos];
+                let bpos = b
+                    .position_of(i)
+                    .unwrap_or_else(|| panic!("limb {i} missing from operand"));
+                rows::mul_add_rows(basis.modulus(i), acc, arow, b.limb(bpos));
+            },
+        );
     }
 
     /// Multiplies every coefficient of limb `q_i` by `scalars[pos]`.
@@ -384,16 +630,18 @@ impl RnsPoly {
             let q = basis.modulus(idx);
             let s = q.reduce(scalars[pos]);
             let pre = q.shoup(s);
-            for a in row.iter_mut() {
-                *a = q.mul_shoup(*a, &pre);
-            }
+            rows::mul_shoup_rows(q, row, &pre);
         });
     }
 
     /// Multiplies by one scalar (reduced into every limb).
     pub fn mul_scalar(&mut self, scalar: u64, basis: &RnsBasis) {
-        let scalars = vec![scalar; self.limb_idx.len()];
-        self.mul_scalar_per_limb(&scalars, basis);
+        self.par_update_limbs(basis, |_pos, idx, row| {
+            let q = basis.modulus(idx);
+            let s = q.reduce(scalar);
+            let pre = q.shoup(s);
+            rows::mul_shoup_rows(q, row, &pre);
+        });
     }
 
     /// Converts to evaluation representation (no-op if already there).
@@ -402,9 +650,10 @@ impl RnsPoly {
             return;
         }
         let idx = &self.limb_idx;
-        let pool = basis.pool().for_work(self.data.len() * self.n);
+        let pool = basis.pool().for_work(self.data.len());
         ntt::transform_limbs(
             &mut self.data,
+            self.n,
             |pos| basis.table(idx[pos]),
             NttDirection::Forward,
             pool,
@@ -418,9 +667,10 @@ impl RnsPoly {
             return;
         }
         let idx = &self.limb_idx;
-        let pool = basis.pool().for_work(self.data.len() * self.n);
+        let pool = basis.pool().for_work(self.data.len());
         ntt::transform_limbs(
             &mut self.data,
+            self.n,
             |pos| basis.table(idx[pos]),
             NttDirection::Inverse,
             pool,
@@ -430,27 +680,51 @@ impl RnsPoly {
 
     /// Applies the Galois automorphism `X ↦ X^g` in either representation.
     pub fn automorphism(&self, g: GaloisElement, basis: &RnsBasis) -> Self {
-        let data = match self.rep {
-            Representation::Coefficient => automorphism::apply_coeff_limbs(
-                &self.data,
-                g,
-                |pos| basis.modulus(self.limb_idx[pos]),
-                basis.pool().for_work(self.data.len() * self.n),
-            ),
-            Representation::Evaluation => {
-                let perm = automorphism::eval_permutation(self.n, g);
-                automorphism::apply_eval_limbs(
-                    &self.data,
-                    &perm,
-                    basis.pool().for_work(self.data.len() * self.n),
-                )
-            }
-        };
+        let mut out = vec![0u64; self.data.len()];
+        self.automorphism_into(g, basis, &mut out);
         Self {
             n: self.n,
             rep: self.rep,
             limb_idx: self.limb_idx.clone(),
-            data,
+            data: out,
+        }
+    }
+
+    /// [`RnsPoly::automorphism`] with output storage drawn from `arena`.
+    pub fn automorphism_in(
+        &self,
+        arena: &mut ScratchArena,
+        g: GaloisElement,
+        basis: &RnsBasis,
+    ) -> Self {
+        let mut out = arena.take(self.data.len());
+        self.automorphism_into(g, basis, &mut out);
+        let mut limb_idx = arena.take_indices(self.limb_idx.len());
+        limb_idx.extend_from_slice(&self.limb_idx);
+        Self {
+            n: self.n,
+            rep: self.rep,
+            limb_idx,
+            data: out,
+        }
+    }
+
+    fn automorphism_into(&self, g: GaloisElement, basis: &RnsBasis, out: &mut [u64]) {
+        let n = self.n;
+        let idx = &self.limb_idx;
+        let pool = basis.pool().for_work(self.data.len());
+        match self.rep {
+            Representation::Coefficient => {
+                pool.par_zip_rows(out, &self.data, n, |pos, orow, irow| {
+                    automorphism::apply_coeff_into(irow, g, basis.modulus(idx[pos]), orow);
+                });
+            }
+            Representation::Evaluation => {
+                let perm = automorphism::eval_permutation(n, g);
+                pool.par_zip_rows(out, &self.data, n, |_pos, orow, irow| {
+                    automorphism::apply_eval_into(irow, &perm, orow);
+                });
+            }
         }
     }
 
@@ -466,23 +740,59 @@ impl RnsPoly {
     /// Panics if the polynomial is not in the evaluation representation
     /// or the permutation length differs from the ring degree.
     pub fn permute_eval(&self, perm: &[usize], basis: &RnsBasis) -> Self {
+        let mut out = vec![0u64; self.data.len()];
+        self.permute_eval_into(perm, basis, &mut out);
+        Self {
+            n: self.n,
+            rep: self.rep,
+            limb_idx: self.limb_idx.clone(),
+            data: out,
+        }
+    }
+
+    /// [`RnsPoly::permute_eval`] with output storage drawn from `arena`.
+    pub fn permute_eval_in(
+        &self,
+        arena: &mut ScratchArena,
+        perm: &[usize],
+        basis: &RnsBasis,
+    ) -> Self {
+        let mut out = arena.take(self.data.len());
+        self.permute_eval_into(perm, basis, &mut out);
+        let mut limb_idx = arena.take_indices(self.limb_idx.len());
+        limb_idx.extend_from_slice(&self.limb_idx);
+        Self {
+            n: self.n,
+            rep: self.rep,
+            limb_idx,
+            data: out,
+        }
+    }
+
+    /// Applies a precomputed evaluation permutation, writing into an
+    /// existing buffer (no allocation) — the innermost hoisted-rotation
+    /// kernel.
+    ///
+    /// # Panics
+    ///
+    /// As for [`RnsPoly::permute_eval`], plus a length check on `out`.
+    pub fn permute_eval_into(&self, perm: &[usize], basis: &RnsBasis, out: &mut [u64]) {
         assert_eq!(
             self.rep,
             Representation::Evaluation,
             "permute_eval acts on the evaluation representation"
         );
         assert_eq!(perm.len(), self.n, "permutation/degree mismatch");
-        let data = automorphism::apply_eval_limbs(
+        assert_eq!(out.len(), self.data.len(), "output buffer mismatch");
+        let n = self.n;
+        basis.pool().for_work(self.data.len()).par_zip_rows(
+            out,
             &self.data,
-            perm,
-            basis.pool().for_work(self.data.len() * self.n),
+            n,
+            |_pos, orow, irow| {
+                automorphism::apply_eval_into(irow, perm, orow);
+            },
         );
-        Self {
-            n: self.n,
-            rep: self.rep,
-            limb_idx: self.limb_idx.clone(),
-            data,
-        }
     }
 
     /// Applies `f(pos, basis_index, row)` to every limb, fanning out over
@@ -495,10 +805,11 @@ impl RnsPoly {
         F: Fn(usize, usize, &mut [u64]) + Sync,
     {
         let idx = &self.limb_idx;
+        let n = self.n;
         basis
             .pool()
-            .for_work(self.data.len() * self.n)
-            .par_for_each_limb(&mut self.data, |pos, row| f(pos, idx[pos], row));
+            .for_work(self.data.len())
+            .par_for_each_row(&mut self.data, n, |pos, row| f(pos, idx[pos], row));
     }
 
     /// Drops the last limb (the `HRescale` limb-elimination step).
@@ -509,7 +820,7 @@ impl RnsPoly {
     pub fn drop_last_limb(&mut self) -> (usize, Vec<u64>) {
         assert!(self.limb_idx.len() > 1, "cannot drop the final limb");
         let idx = self.limb_idx.pop().expect("non-empty");
-        let row = self.data.pop().expect("non-empty");
+        let row = self.data.split_off(self.limb_idx.len() * self.n);
         (idx, row)
     }
 
@@ -520,19 +831,54 @@ impl RnsPoly {
     ///
     /// Panics if an index is missing.
     pub fn subset(&self, indices: &[usize]) -> Self {
-        let data = indices
-            .iter()
-            .map(|&i| {
-                let pos = self
-                    .position_of(i)
-                    .unwrap_or_else(|| panic!("limb {i} not present"));
-                self.data[pos].clone()
-            })
-            .collect();
+        let mut data = Vec::with_capacity(indices.len() * self.n);
+        for &i in indices {
+            let pos = self
+                .position_of(i)
+                .unwrap_or_else(|| panic!("limb {i} not present"));
+            data.extend_from_slice(self.limb(pos));
+        }
         Self {
             n: self.n,
             rep: self.rep,
             limb_idx: indices.to_vec(),
+            data,
+        }
+    }
+
+    /// [`RnsPoly::subset`] with storage drawn from `arena`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is missing.
+    pub fn subset_in(&self, arena: &mut ScratchArena, indices: &[usize]) -> Self {
+        let mut data = arena.take(indices.len() * self.n);
+        for (k, &i) in indices.iter().enumerate() {
+            let pos = self
+                .position_of(i)
+                .unwrap_or_else(|| panic!("limb {i} not present"));
+            data[k * self.n..(k + 1) * self.n].copy_from_slice(self.limb(pos));
+        }
+        let mut limb_idx = arena.take_indices(indices.len());
+        limb_idx.extend_from_slice(indices);
+        Self {
+            n: self.n,
+            rep: self.rep,
+            limb_idx,
+            data,
+        }
+    }
+
+    /// A deep copy with storage drawn from `arena`.
+    pub fn clone_in(&self, arena: &mut ScratchArena) -> Self {
+        let mut data = arena.take(self.data.len());
+        data.copy_from_slice(&self.data);
+        let mut limb_idx = arena.take_indices(self.limb_idx.len());
+        limb_idx.extend_from_slice(&self.limb_idx);
+        Self {
+            n: self.n,
+            rep: self.rep,
+            limb_idx,
             data,
         }
     }
@@ -548,7 +894,7 @@ impl RnsPoly {
             assert!(self.position_of(i).is_none(), "limb {i} already present");
         }
         self.limb_idx.extend_from_slice(&other.limb_idx);
-        self.data.extend(other.data.iter().cloned());
+        self.data.extend_from_slice(&other.data);
     }
 
     /// Total words of storage, the unit of the paper's data-size and
@@ -575,6 +921,83 @@ mod tests {
         assert_eq!(p.level_count(), 3);
         assert_eq!(p.words(), 48);
         assert!(p.limb(0).iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn flat_layout_is_limb_major_and_contiguous() {
+        let b = basis(16, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let p = RnsPoly::random_uniform(&b, &[0, 1, 2], Representation::Coefficient, &mut rng);
+        assert_eq!(p.flat().len(), 3 * 16);
+        for pos in 0..3 {
+            assert_eq!(p.limb(pos), &p.flat()[pos * 16..(pos + 1) * 16]);
+        }
+        // chunked iterators see the same rows
+        for (pos, row) in p.limbs().enumerate() {
+            assert_eq!(row, p.limb(pos));
+        }
+        for view in p.limb_views() {
+            assert_eq!(view.idx, view.pos, "identity limb set here");
+            assert_eq!(view.row, p.limb(view.pos));
+        }
+    }
+
+    #[test]
+    fn limb_pairs_mut_drives_custom_binary_ops() {
+        let b = basis(16, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(78);
+        let idx = [0usize, 1];
+        let mut a = RnsPoly::random_uniform(&b, &idx, Representation::Coefficient, &mut rng);
+        let c = RnsPoly::random_uniform(&b, &idx, Representation::Coefficient, &mut rng);
+        let mut expect = a.clone();
+        expect.add_assign(&c, &b);
+        for (dst, src) in a.limb_pairs_mut(&c) {
+            let q = b.modulus(dst.idx);
+            for (x, &y) in dst.row.iter_mut().zip(src.row) {
+                *x = q.add(*x, y);
+            }
+        }
+        assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn from_flat_and_nested_shim_agree() {
+        let b = basis(8, 2);
+        let rows = vec![vec![1u64; 8], vec![2u64; 8]];
+        let mut flat = Vec::new();
+        for r in &rows {
+            flat.extend_from_slice(r);
+        }
+        #[allow(deprecated)]
+        let nested = RnsPoly::from_limbs(&b, &[0, 1], Representation::Coefficient, rows);
+        let direct = RnsPoly::from_flat(&b, &[0, 1], Representation::Coefficient, flat);
+        assert_eq!(nested, direct);
+    }
+
+    #[test]
+    fn arena_constructors_match_plain_ones() {
+        let b = basis(16, 3);
+        let mut arena = ScratchArena::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(79);
+        let p = RnsPoly::random_uniform(&b, &[0, 1, 2], Representation::Coefficient, &mut rng);
+
+        let z = RnsPoly::zero_in(&mut arena, &b, &[0, 1], Representation::Evaluation);
+        assert_eq!(z, RnsPoly::zero(&b, &[0, 1], Representation::Evaluation));
+        z.recycle(&mut arena);
+
+        let s = p.subset_in(&mut arena, &[0, 2]);
+        assert_eq!(s, p.subset(&[0, 2]));
+        s.recycle(&mut arena);
+
+        let c = p.clone_in(&mut arena);
+        assert_eq!(c, p);
+        c.recycle(&mut arena);
+
+        // steady state: everything above now reuses pooled buffers
+        let before = arena.stats().fresh;
+        let s2 = p.subset_in(&mut arena, &[1, 2]);
+        assert_eq!(arena.stats().fresh, before, "no fresh allocation");
+        s2.recycle(&mut arena);
     }
 
     #[test]
@@ -649,6 +1072,21 @@ mod tests {
     }
 
     #[test]
+    fn mul_add_select_matches_subset_then_mul_add() {
+        let b = basis(16, 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        let small = [0usize, 2];
+        let full = [0usize, 1, 2, 3];
+        let mut acc = RnsPoly::random_uniform(&b, &small, Representation::Evaluation, &mut rng);
+        let a = RnsPoly::random_uniform(&b, &small, Representation::Evaluation, &mut rng);
+        let wide = RnsPoly::random_uniform(&b, &full, Representation::Evaluation, &mut rng);
+        let mut expect = acc.clone();
+        expect.mul_add_assign(&a, &wide.subset(&small), &b);
+        acc.mul_add_assign_select(&a, &wide, &b);
+        assert_eq!(acc, expect);
+    }
+
+    #[test]
     fn automorphism_agrees_across_representations() {
         let b = basis(64, 2);
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
@@ -683,9 +1121,12 @@ mod tests {
         let b = basis(16, 3);
         let mut rng = rand::rngs::StdRng::seed_from_u64(8);
         let mut a = RnsPoly::random_uniform(&b, &[0, 1, 2], Representation::Coefficient, &mut rng);
-        let (idx, _) = a.drop_last_limb();
+        let expect_last = a.limb(2).to_vec();
+        let (idx, row) = a.drop_last_limb();
         assert_eq!(idx, 2);
+        assert_eq!(row, expect_last);
         assert_eq!(a.level_count(), 2);
+        assert_eq!(a.flat().len(), 2 * 16);
     }
 
     #[test]
@@ -761,5 +1202,21 @@ mod tests {
         c7.mul_scalar(7, &b);
         a7.add_assign(&c7, &b);
         assert_eq!(sum, a7);
+    }
+
+    #[test]
+    fn permute_eval_in_matches_permute_eval() {
+        let b = basis(32, 2);
+        let mut arena = ScratchArena::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let a = RnsPoly::random_uniform(&b, &[0, 1], Representation::Evaluation, &mut rng);
+        let g = GaloisElement::from_rotation(5, 32);
+        let perm = automorphism::eval_permutation(32, g);
+        let plain = a.permute_eval(&perm, &b);
+        let pooled = a.permute_eval_in(&mut arena, &perm, &b);
+        assert_eq!(plain, pooled);
+        pooled.recycle(&mut arena);
+        let auto_in = a.automorphism_in(&mut arena, g, &b);
+        assert_eq!(auto_in, a.automorphism(g, &b));
     }
 }

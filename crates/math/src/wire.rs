@@ -491,10 +491,11 @@ pub fn decode_poly(cur: &mut Cursor<'_>, basis: &RnsBasis) -> WireResult<RnsPoly
             available: cur.remaining(),
         });
     }
-    let mut limbs = Vec::with_capacity(limb_count);
+    // fill the flat limb-major buffer directly — the wire layout already
+    // streams whole limb rows in storage order
+    let mut data = Vec::with_capacity(limb_count * n);
     for &idx in &indices {
         let q = basis.modulus(idx).value();
-        let mut row = Vec::with_capacity(n);
         for _ in 0..n {
             let w = cur.u64()?;
             if w >= q {
@@ -502,11 +503,10 @@ pub fn decode_poly(cur: &mut Cursor<'_>, basis: &RnsBasis) -> WireResult<RnsPoly
                     what: format!("residue {w} not reduced modulo q_{idx} = {q}"),
                 });
             }
-            row.push(w);
+            data.push(w);
         }
-        limbs.push(row);
     }
-    Ok(RnsPoly::from_limbs(basis, &indices, rep, limbs))
+    Ok(RnsPoly::from_flat(basis, &indices, rep, data))
 }
 
 /// Convenience: a standalone single-poly frame.

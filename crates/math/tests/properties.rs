@@ -231,7 +231,8 @@ proptest! {
             .iter()
             .map(|&i| coeffs.iter().map(|&c| basis.modulus(i).reduce(c)).collect())
             .collect();
-        let poly = RnsPoly::from_limbs(&basis, &from, Representation::Coefficient, rows.clone());
+        let flat: Vec<u64> = rows.iter().flatten().copied().collect();
+        let poly = RnsPoly::from_flat(&basis, &from, Representation::Coefficient, flat);
         let out = conv.convert(&poly, &basis);
         let q = basis.modulus(3);
         let p_mod_q = crt.product().rem_u64(q.value());

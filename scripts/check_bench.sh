@@ -44,6 +44,13 @@ CONTRACTS = {
         "keys": ["schema", "params", "results", "host_parallelism"],
         "flags": ["zero_protocol_errors", "bit_identical"],
     },
+    "BENCH_PR7.json": {
+        "keys": [
+            "schema", "params", "results", "allocations_per_op",
+            "speedup_vs_nested",
+        ],
+        "flags": ["bit_identical", "zero_alloc_steady_state"],
+    },
 }
 
 failed = False
