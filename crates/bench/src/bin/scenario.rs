@@ -1,0 +1,207 @@
+//! End-to-end scenario benchmark: HELR training iteration and ResNet
+//! layer inference, each run locally on the software backend, costed
+//! on the simulated ARK, and served through an `ark-serve` loopback
+//! server — the real encrypted applications the cycle-model workloads
+//! describe. Emits `BENCH_PR8.json` with per-scenario latency,
+//! bootstrap counts, shed counters and accuracy deltas.
+//!
+//! ```text
+//! cargo run --release -p ark-bench --bin scenario             # 3 iterations
+//! cargo run --release -p ark-bench --bin scenario -- --quick  # 1 iteration
+//! ```
+//!
+//! Correctness is a hard gate, not a flag the caller opts into: any
+//! reference mismatch beyond the documented tolerance, trace-shape
+//! divergence, or remote/local ciphertext difference exits non-zero
+//! (with the JSON — flags recorded false — on disk for diagnosis).
+
+use ark_bench::json_escape;
+use ark_scenarios::{run_local, run_remote, run_trace, HelrScenario, ResNetScenario, Scenario};
+
+struct Mode {
+    quick: bool,
+    out_path: String,
+}
+
+fn parse_args() -> Mode {
+    let mut quick = false;
+    let mut out_path = "BENCH_PR8.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: scenario [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    Mode { quick, out_path }
+}
+
+/// One scenario's measurements across the three runners.
+struct Sample {
+    name: &'static str,
+    params: String,
+    local_ms: f64,
+    remote_ms: f64,
+    sim_cycles: u64,
+    bootstraps: usize,
+    ops: usize,
+    /// Per-output max-abs error of the local run.
+    accuracy: Vec<f64>,
+    /// `sessions_shed + jobs_shed` observed on the loopback server.
+    sheds: u64,
+    accuracy_ok: bool,
+    remote_bit_identical: bool,
+}
+
+fn bench_scenario(s: &dyn Scenario, iters: usize) -> Sample {
+    let params = s.setup().params;
+    eprintln!("  {} on {} (x{iters})...", s.name(), params.name);
+
+    let mut local_ms = f64::INFINITY;
+    let mut accuracy = Vec::new();
+    let mut bootstraps = 0;
+    let mut ops = 0;
+    let mut accuracy_ok = true;
+    for _ in 0..iters {
+        match run_local(s) {
+            Ok(run) => {
+                local_ms = local_ms.min(run.elapsed.as_secs_f64() * 1e3);
+                accuracy = run.errors;
+                bootstraps = run.trace.summary().mod_raise;
+                ops = run.trace.len();
+            }
+            Err(e) => {
+                eprintln!("    local run failed: {e}");
+                accuracy_ok = false;
+            }
+        }
+    }
+
+    let sim_cycles = match run_trace(s) {
+        Ok(t) => t.report.cycles,
+        Err(e) => {
+            eprintln!("    trace run failed: {e}");
+            accuracy_ok = false;
+            0
+        }
+    };
+
+    let mut remote_ms = f64::INFINITY;
+    let mut sheds = 0;
+    let remote_bit_identical;
+    match run_remote(s) {
+        Ok(run) => {
+            remote_ms = run.elapsed.as_secs_f64() * 1e3;
+            remote_bit_identical = run.bit_identical;
+            sheds = run
+                .stats
+                .iter()
+                .filter(|(n, _)| n == "sessions_shed" || n == "jobs_shed")
+                .map(|&(_, v)| v)
+                .sum();
+        }
+        Err(e) => {
+            eprintln!("    remote run failed: {e}");
+            remote_bit_identical = false;
+        }
+    }
+
+    eprintln!(
+        "    local={local_ms:.1}ms remote={remote_ms:.1}ms sim={sim_cycles} cycles \
+         bootstraps={bootstraps} accuracy={accuracy:?}"
+    );
+    Sample {
+        name: s.name(),
+        params: params.name.to_string(),
+        local_ms,
+        remote_ms,
+        sim_cycles,
+        bootstraps,
+        ops,
+        accuracy,
+        sheds,
+        accuracy_ok,
+        remote_bit_identical,
+    }
+}
+
+fn main() {
+    let mode = parse_args();
+    let iters = if mode.quick { 1 } else { 3 };
+    eprintln!("scenario: iterations={iters}");
+
+    let helr = HelrScenario::default();
+    let resnet = ResNetScenario::default();
+    let samples = [bench_scenario(&helr, iters), bench_scenario(&resnet, iters)];
+
+    let accuracy_ok = samples.iter().all(|s| s.accuracy_ok);
+    let remote_bit_identical = samples.iter().all(|s| s.remote_bit_identical);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"ark-bench/scenario/v1\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if mode.quick { "quick" } else { "full" }
+    ));
+    json.push_str(&format!(
+        "  \"params\": {{\"iterations\": {iters}, \"scenarios\": [{}]}},\n",
+        samples
+            .iter()
+            .map(|s| format!("\"{}\"", json_escape(s.name)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!("  \"accuracy_ok\": {accuracy_ok},\n"));
+    json.push_str(&format!(
+        "  \"remote_bit_identical\": {remote_bit_identical},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 == samples.len() { "" } else { "," };
+        let acc = s
+            .accuracy
+            .iter()
+            .map(|e| format!("{e:.3e}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"params\": \"{}\", \"ms_per_iteration\": {:.2}, \
+             \"remote_ms\": {:.2}, \"sim_cycles\": {}, \"bootstraps\": {}, \"ops\": {}, \
+             \"max_abs_errors\": [{acc}], \"sheds\": {}}}{comma}\n",
+            json_escape(s.name),
+            json_escape(&s.params),
+            s.local_ms,
+            s.remote_ms,
+            s.sim_cycles,
+            s.bootstraps,
+            s.ops,
+            s.sheds,
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&mode.out_path, &json)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", mode.out_path));
+    println!("{json}");
+    eprintln!("wrote {}", mode.out_path);
+
+    if !accuracy_ok {
+        eprintln!("FAIL: a scenario missed its plaintext reference or trace shape");
+        std::process::exit(1);
+    }
+    if !remote_bit_identical {
+        eprintln!("FAIL: a served scenario diverged from local evaluation");
+        std::process::exit(1);
+    }
+}

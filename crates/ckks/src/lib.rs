@@ -25,6 +25,7 @@ pub mod lintrans;
 pub mod minks;
 pub mod oflimb;
 pub mod ops;
+pub mod packing;
 pub mod params;
 pub mod wire;
 

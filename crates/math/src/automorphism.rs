@@ -10,7 +10,6 @@
 //! an 8-stage internal shuffle (Section V-D).
 
 use crate::modulus::Modulus;
-use crate::par::ThreadPool;
 
 /// A Galois element `g`, an odd integer modulo `2N`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -140,32 +139,6 @@ pub fn apply_eval_into(input: &[u64], perm: &[usize], out: &mut [u64]) {
     for (x, &src) in out.iter_mut().zip(perm) {
         *x = input[src];
     }
-}
-
-/// Applies [`apply_coeff`] to every limb row, fanning the limbs out
-/// across `pool`.
-#[deprecated(
-    note = "nested Vec<Vec<u64>> rows are gone — drive `apply_coeff_into` \
-            over flat limb views (see RnsPoly::automorphism)"
-)]
-pub fn apply_coeff_limbs<'m, F>(
-    rows: &[Vec<u64>],
-    g: GaloisElement,
-    modulus_for: F,
-    pool: &ThreadPool,
-) -> Vec<Vec<u64>>
-where
-    F: Fn(usize) -> &'m Modulus + Sync,
-{
-    pool.par_map_limbs(rows, |pos, row| apply_coeff(row, g, modulus_for(pos)))
-}
-
-/// Applies [`apply_eval`] with one shared permutation to every limb row
-/// in parallel.
-#[deprecated(note = "nested Vec<Vec<u64>> rows are gone — drive `apply_eval_into` \
-            over flat limb views (see RnsPoly::permute_eval)")]
-pub fn apply_eval_limbs(rows: &[Vec<u64>], perm: &[usize], pool: &ThreadPool) -> Vec<Vec<u64>> {
-    pool.par_map_limbs(rows, |_, row| apply_eval(row, perm))
 }
 
 /// The AutoU observation (Section V-D): with 256 lanes, the coefficients

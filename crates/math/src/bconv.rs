@@ -194,33 +194,6 @@ impl BaseConverter {
             });
     }
 
-    /// Step 1 of BConv as nested rows.
-    #[deprecated(note = "nested Vec<Vec<u64>> rows are gone from the hot path — \
-                use `convert`/`convert_with`, which fuse both steps over \
-                flat buffers")]
-    pub fn scale_inputs(&self, poly: &RnsPoly, basis: &RnsBasis) -> Vec<Vec<u64>> {
-        let n = poly.n();
-        let mut scaled = vec![0u64; self.from.len() * n];
-        self.scale_into(poly, basis, &mut scaled);
-        scaled.chunks_exact(n).map(<[u64]>::to_vec).collect()
-    }
-
-    /// Step 2 of BConv over nested rows.
-    #[deprecated(note = "nested Vec<Vec<u64>> rows are gone from the hot path — \
-                use `convert`/`convert_with`, which fuse both steps over \
-                flat buffers")]
-    pub fn accumulate(&self, scaled: &[Vec<u64>], basis: &RnsBasis) -> Vec<Vec<u64>> {
-        let n = scaled.first().map_or(0, Vec::len);
-        let mut flat = Vec::with_capacity(scaled.len() * n);
-        for row in scaled {
-            assert_eq!(row.len(), n, "ragged source rows");
-            flat.extend_from_slice(row);
-        }
-        let mut out = vec![0u64; self.to.len() * n];
-        self.accumulate_into(&flat, basis, &mut out);
-        out.chunks_exact(n).map(<[u64]>::to_vec).collect()
-    }
-
     /// Full BConv: `[P]_from (coeff) → [P]_to (coeff)`.
     ///
     /// # Panics
@@ -406,22 +379,6 @@ mod tests {
         let again = bc.convert_with(&poly, &basis, &mut arena);
         assert_eq!(arena.stats().fresh, fresh, "steady state allocates nothing");
         assert_eq!(plain, again);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_row_forms_agree_with_fused_convert() {
-        let n = 16;
-        let (basis, from, to) = setup(n, 3, 2);
-        let bc = BaseConverter::new(&basis, &from, &to);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(24);
-        let poly = RnsPoly::random_uniform(&basis, &from, Representation::Coefficient, &mut rng);
-        let scaled = bc.scale_inputs(&poly, &basis);
-        let rows = bc.accumulate(&scaled, &basis);
-        let fused = bc.convert(&poly, &basis);
-        for (pos, row) in rows.iter().enumerate() {
-            assert_eq!(&row[..], fused.limb(pos));
-        }
     }
 
     #[test]

@@ -263,28 +263,6 @@ impl RnsPoly {
         }
     }
 
-    /// Builds a polynomial from nested limb rows.
-    ///
-    /// # Panics
-    ///
-    /// Panics on shape mismatch.
-    #[deprecated(note = "storage is flat limb-major now — use `RnsPoly::from_flat`")]
-    pub fn from_limbs(
-        basis: &RnsBasis,
-        indices: &[usize],
-        rep: Representation,
-        limbs: Vec<Vec<u64>>,
-    ) -> Self {
-        assert_eq!(indices.len(), limbs.len());
-        let n = basis.n();
-        let mut data = Vec::with_capacity(indices.len() * n);
-        for row in &limbs {
-            assert_eq!(row.len(), n);
-            data.extend_from_slice(row);
-        }
-        Self::from_flat(basis, indices, rep, data)
-    }
-
     /// Uniformly random polynomial (each limb uniform in `[0, q_i)`).
     pub fn random_uniform<R: rand::Rng>(
         basis: &RnsBasis,
@@ -958,20 +936,6 @@ mod tests {
             }
         }
         assert_eq!(a, expect);
-    }
-
-    #[test]
-    fn from_flat_and_nested_shim_agree() {
-        let b = basis(8, 2);
-        let rows = vec![vec![1u64; 8], vec![2u64; 8]];
-        let mut flat = Vec::new();
-        for r in &rows {
-            flat.extend_from_slice(r);
-        }
-        #[allow(deprecated)]
-        let nested = RnsPoly::from_limbs(&b, &[0, 1], Representation::Coefficient, rows);
-        let direct = RnsPoly::from_flat(&b, &[0, 1], Representation::Coefficient, flat);
-        assert_eq!(nested, direct);
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! ResNet layer: encrypted 3×3 convolution + polynomial activation.
+//!
+//! A [`CHANNELS`]-channel [`IMAGE`]`×`[`IMAGE`] input image is packed
+//! channel-major: channel `c` pixel `(r, col)` at slot
+//! `c·256 + 16·r + col`, filling all 512 slots of the `small`
+//! parameter set. The convolution is the multiplexed-packing
+//! matrix–vector product of the paper's ResNet workload: **one**
+//! `rotate_sum` whose amounts are the per-channel kernel taps
+//! (`ark_workloads::resnet::conv_rotations` shifted per channel — the
+//! exact rotation set the cycle model charges) and whose weights are
+//! diagonal-packed kernel coefficients with zeros at the image border,
+//! so out-of-bounds taps contribute nothing and the plaintext
+//! reference is an ordinary zero-padded conv. Both input channels fold
+//! into the single output channel in the same hoisted group — one
+//! digit decomposition for all 17 keyed rotations.
+//!
+//! The activation is the degree-2 least-squares AppReLU surrogate on
+//! `[-1, 1]`: `relu(x) ≈ 3/32 + x/2 + 15x²/32`, evaluated Horner-style
+//! in 2 levels. Total depth 3; no bootstrap — the cycle model bounds
+//! per-layer depth the same way.
+
+use crate::{scenario_err, Scenario, ScenarioSetup};
+use ark_ckks::error::ArkResult;
+use ark_ckks::params::CkksParams;
+use ark_fhe::engine::{ProgramInput, RotateSumTerm};
+use ark_fhe::workloads::resnet::conv_rotations;
+use ark_fhe::workloads::trace::{Trace, TraceSummary};
+use ark_math::cfft::C64;
+use ark_serve::Program;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Image height and width.
+pub const IMAGE: usize = 16;
+/// Input channels (one output channel).
+pub const CHANNELS: usize = 2;
+/// Convolution kernel size.
+pub const KERNEL: usize = 3;
+/// Level the image ciphertext enters at: conv (1) + activation (2).
+pub const INPUT_LEVEL: usize = 3;
+/// Degree-2 AppReLU surrogate coefficients `(a₀, a₁, a₂)`: the L²
+/// projection of `relu` onto quadratics over `[-1, 1]`.
+pub const ACTIVATION: [f64; 3] = [3.0 / 32.0, 0.5, 15.0 / 32.0];
+/// Output tolerance: pure arithmetic noise at `small` parameters.
+pub const TOLERANCE: f64 = 1e-3;
+
+/// The activation polynomial in plaintext form.
+pub fn activation_poly(x: f64) -> f64 {
+    let [a0, a1, a2] = ACTIVATION;
+    a0 + a1 * x + a2 * x * x
+}
+
+/// One encrypted conv3×3 + activation layer on a synthetic image.
+#[derive(Debug, Clone)]
+pub struct ResNetScenario {
+    /// Input channels, row-major `IMAGE × IMAGE`, pixels in `[0, 1]`.
+    image: Vec<Vec<f64>>,
+    /// Per-channel 3×3 kernels, entries scaled so `|conv| ≤ 1`.
+    kernels: Vec<Vec<f64>>,
+    /// Output-channel bias.
+    bias: f64,
+    seed: u64,
+}
+
+impl ResNetScenario {
+    /// Synthetic image + kernels drawn from `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let image: Vec<Vec<f64>> = (0..CHANNELS)
+            .map(|_| {
+                (0..IMAGE * IMAGE)
+                    .map(|_| rng.gen_range(0.0..1.0))
+                    .collect()
+            })
+            .collect();
+        // 2 channels × 9 taps × 0.055 ≤ 1 keeps the conv output inside
+        // the activation fit range
+        let kernels: Vec<Vec<f64>> = (0..CHANNELS)
+            .map(|_| {
+                (0..KERNEL * KERNEL)
+                    .map(|_| rng.gen_range(-0.055..0.055))
+                    .collect()
+            })
+            .collect();
+        Self {
+            image,
+            kernels,
+            bias: 0.05,
+            seed,
+        }
+    }
+
+    fn slots(&self) -> usize {
+        CkksParams::small().slots()
+    }
+
+    /// Tap amounts per channel: `{0} ∪ conv_rotations`, shifted by the
+    /// channel plane offset — the rotation set the cycle model's conv
+    /// layer charges, plus the keyless identity tap.
+    fn taps(&self) -> Vec<(usize, i64, i64, i64)> {
+        // (channel, di, dj, slot amount)
+        let mut out = Vec::new();
+        let half = KERNEL as i64 / 2;
+        for c in 0..CHANNELS {
+            for di in -half..=half {
+                for dj in -half..=half {
+                    let amt = (c * IMAGE * IMAGE) as i64 + di * IMAGE as i64 + dj;
+                    out.push((c, di, dj, amt));
+                }
+            }
+        }
+        out
+    }
+
+    /// Diagonal-packed weight vector of one tap: the kernel
+    /// coefficient on every output pixel whose source `(r+di, c+dj)`
+    /// is inside the image, zero elsewhere (borders and the upper,
+    /// non-output half of the slot vector).
+    fn tap_weights(&self, c: usize, di: i64, dj: i64) -> Vec<C64> {
+        let k = self.kernels[c][((di + 1) * KERNEL as i64 + (dj + 1)) as usize];
+        let mut v = vec![C64::zero(); self.slots()];
+        for r in 0..IMAGE as i64 {
+            for col in 0..IMAGE as i64 {
+                let (sr, sc) = (r + di, col + dj);
+                if sr >= 0 && sr < IMAGE as i64 && sc >= 0 && sc < IMAGE as i64 {
+                    v[(r * IMAGE as i64 + col) as usize] = C64::new(k, 0.0);
+                }
+            }
+        }
+        v
+    }
+
+    /// Plaintext reference conv + activation over the output plane.
+    fn reference_plane(&self) -> Vec<f64> {
+        let mut out = vec![0.0; IMAGE * IMAGE];
+        for r in 0..IMAGE as i64 {
+            for col in 0..IMAGE as i64 {
+                let mut acc = self.bias;
+                for (c, di, dj, _) in self.taps() {
+                    let (sr, sc) = (r + di, col + dj);
+                    if sr >= 0 && sr < IMAGE as i64 && sc >= 0 && sc < IMAGE as i64 {
+                        let k = self.kernels[c][((di + 1) * KERNEL as i64 + (dj + 1)) as usize];
+                        acc += k * self.image[c][(sr * IMAGE as i64 + sc) as usize];
+                    }
+                }
+                out[(r * IMAGE as i64 + col) as usize] = activation_poly(acc);
+            }
+        }
+        out
+    }
+}
+
+impl Default for ResNetScenario {
+    fn default() -> Self {
+        Self::new(1729)
+    }
+}
+
+impl Scenario for ResNetScenario {
+    fn name(&self) -> &'static str {
+        "resnet-conv-layer"
+    }
+
+    fn setup(&self) -> ScenarioSetup {
+        ScenarioSetup {
+            params: CkksParams::small(),
+            rotations: Vec::new(),
+            conjugation: false,
+            bootstrapping: None,
+            runtime_keys: true,
+            runtime_key_capacity: 32,
+            seed: self.seed,
+        }
+    }
+
+    fn inputs(&self) -> Vec<ProgramInput> {
+        let slots = self.slots();
+        let mut v = vec![C64::zero(); slots];
+        for (c, plane) in self.image.iter().enumerate() {
+            for (i, &px) in plane.iter().enumerate() {
+                v[c * IMAGE * IMAGE + i] = C64::new(px, 0.0);
+            }
+        }
+        vec![ProgramInput::new(v, INPUT_LEVEL)]
+    }
+
+    fn program(&self) -> Program {
+        let [a0, a1, a2] = ACTIVATION;
+        let mut p = Program::new(1);
+        let img = p.reg(0); // level 3
+
+        // conv: every channel tap in one hoisted rotate-sum
+        let terms: Vec<RotateSumTerm> = self
+            .taps()
+            .into_iter()
+            .map(|(c, di, dj, amt)| RotateSumTerm::new(amt, self.tap_weights(c, di, dj)))
+            .collect();
+        let conv = p.rotate_sum(img, terms);
+        let conv = p.rescale(conv); // 2
+        let conv = p.add_const(conv, self.bias);
+
+        // activation a0 + a1·x + a2·x², Horner
+        let inner = p.mul_const(conv, a2);
+        let inner = p.rescale(inner); // 1
+        let inner = p.add_const(inner, a1); // a1 + a2·x
+        let conv_low = p.mod_drop_to(conv, 1);
+        let act = p.mul_rescale(conv_low, inner); // 0
+        let act = p.add_const(act, a0);
+
+        p.output(act);
+        p
+    }
+
+    fn reference(&self) -> Vec<Vec<C64>> {
+        let plane = self.reference_plane();
+        vec![plane.iter().map(|&v| C64::new(v, 0.0)).collect()]
+    }
+
+    fn tolerances(&self) -> Vec<f64> {
+        vec![TOLERANCE]
+    }
+
+    fn checked_slots(&self) -> usize {
+        IMAGE * IMAGE // the output plane; upper slots hold conv garbage
+    }
+
+    fn expected_bootstraps(&self) -> usize {
+        0 // a single layer fits the depth budget without a refresh
+    }
+
+    fn check_trace(&self, trace: &Trace) -> ArkResult<()> {
+        let summary = trace.summary();
+        // the scenario's tap set must be exactly the cycle model's conv
+        // rotations, repeated per channel plane (plus identity taps)
+        let model_rots = conv_rotations(KERNEL, IMAGE);
+        let keyed_taps = CHANNELS * model_rots.len() + (CHANNELS - 1); // + plane offsets
+        let expected = TraceSummary {
+            hmult: 1,                          // activation square
+            pmult: CHANNELS * KERNEL * KERNEL, // one per tap
+            padd: 0,
+            hadd: CHANNELS * KERNEL * KERNEL - 1, // rotate-sum accumulate
+            hrot: 0,
+            hrot_hoisted: keyed_taps, // 17 keyed rotations, one hoist
+            hconj: 0,
+            cmult: 1, // a2
+            cadd: 3,  // bias, a1, a0
+            hrescale: 3,
+            mod_raise: 0,
+        };
+        if summary != expected {
+            return Err(scenario_err(
+                self.name(),
+                "trace",
+                format!("op histogram {summary} differs from the expected {expected}"),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taps_cover_cycle_model_rotations() {
+        let s = ResNetScenario::default();
+        let model = conv_rotations(KERNEL, IMAGE);
+        let amounts: Vec<i64> = s.taps().iter().map(|&(_, _, _, a)| a).collect();
+        // channel 0 taps are exactly the model's conv rotations + 0
+        for &m in &model {
+            assert!(amounts.contains(&m));
+        }
+        // channel 1 taps are the same set shifted by the plane size
+        for &m in &model {
+            assert!(amounts.contains(&(m + (IMAGE * IMAGE) as i64)));
+        }
+        assert_eq!(amounts.len(), CHANNELS * KERNEL * KERNEL);
+    }
+
+    #[test]
+    fn reference_plane_applies_activation() {
+        let s = ResNetScenario::default();
+        let plane = s.reference_plane();
+        assert_eq!(plane.len(), IMAGE * IMAGE);
+        // conv outputs stay inside the activation fit range
+        for &v in &plane {
+            assert!(v.is_finite() && v.abs() < 2.0);
+        }
+    }
+}

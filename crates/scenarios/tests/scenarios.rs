@@ -1,0 +1,83 @@
+//! End-to-end scenario runs: software backend, trace backend, and the
+//! loopback `ark-serve` path must agree with each other and with the
+//! plaintext references.
+
+use ark_scenarios::{run_local, run_remote, run_trace, HelrScenario, ResNetScenario, Scenario};
+
+/// The software and trace backends must record the *same op sequence*
+/// for one program — levels, amounts, hoisting structure, bootstrap
+/// sub-traces. This is the parity that lets the cycle model price
+/// exactly what the functional backend executes.
+fn assert_op_parity(s: &dyn Scenario) {
+    let local = run_local(s).expect("software run");
+    let traced = run_trace(s).expect("trace run");
+    assert_eq!(
+        local.trace.ops(),
+        traced.trace.ops(),
+        "{}: software and trace backends diverge",
+        s.name()
+    );
+    assert!(traced.report.cycles > 0, "simulated run must cost cycles");
+}
+
+#[test]
+fn resnet_local_matches_reference_and_trace_parity() {
+    let s = ResNetScenario::default();
+    assert_op_parity(&s);
+}
+
+#[test]
+fn helr_local_matches_reference_and_trace_parity() {
+    let s = HelrScenario::default();
+    let local = run_local(&s).expect("software run");
+    // one real bootstrap executed
+    assert_eq!(
+        local
+            .trace
+            .count(|op| matches!(op, ark_fhe::workloads::trace::HeOp::ModRaise)),
+        s.expected_bootstraps()
+    );
+    let traced = run_trace(&s).expect("trace run");
+    assert_eq!(
+        local.trace.ops(),
+        traced.trace.ops(),
+        "helr: software and trace backends diverge"
+    );
+}
+
+#[test]
+fn resnet_remote_is_bit_identical_and_counted() {
+    let s = ResNetScenario::default();
+    let remote = run_remote(&s).expect("remote run");
+    assert!(remote.bit_identical);
+    let get = |name: &str| {
+        remote
+            .stats
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("missing stat {name}"))
+            .1
+    };
+    // the op counters must reflect the executed program
+    assert_eq!(get("ops.hmult"), 1);
+    assert_eq!(get("ops.rotate_sum_terms"), 18);
+    assert_eq!(get("ops.bootstraps"), 0);
+    assert_eq!(get("ops.hrescale"), 3);
+}
+
+#[test]
+fn helr_remote_is_bit_identical_and_bootstraps() {
+    let s = HelrScenario::default();
+    let remote = run_remote(&s).expect("remote run");
+    assert!(remote.bit_identical);
+    let get = |name: &str| {
+        remote
+            .stats
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("missing stat {name}"))
+            .1
+    };
+    assert_eq!(get("ops.bootstraps"), s.expected_bootstraps() as u64);
+    assert!(get("ops.hrot_hoisted") > 0, "hoisted rotations must run");
+}

@@ -106,6 +106,19 @@ impl Program {
         self.ops.len()
     }
 
+    /// Total term count across every fused `RotateSum` op — the
+    /// per-term work (one PMult + accumulate each) the hoisted groups
+    /// amortize. Feeds the server's `ops.rotate_sum_terms` counter.
+    pub fn rotate_sum_terms(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::RotateSum(_, terms) => terms.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
     /// True if no ops were added.
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()

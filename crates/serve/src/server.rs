@@ -62,6 +62,7 @@ use ark_ckks::wire as ckks_wire;
 use ark_ckks::Ciphertext;
 use ark_core::wire as core_wire;
 use ark_fhe::engine::{Engine, HeEvaluator};
+use ark_fhe::workloads::trace::TraceSummary;
 use ark_math::wire::{put_u16, read_frame, write_frame, Cursor};
 use ark_net::{FrameBuf, Interest, OutBuf, Poller, Token, Waker};
 use std::cell::Cell;
@@ -270,6 +271,79 @@ struct Shared {
     sessions_shed: AtomicU64,
     jobs_shed: AtomicU64,
     next_session: AtomicU64,
+    ops: OpCounters,
+}
+
+/// Per-op execution counters across every job the server has run —
+/// the `ops.*` rows of `GET_STATS`. Workers accumulate each job's
+/// recorded trace histogram after evaluation (or trace recording), so
+/// remote scenario runs are observable: how many bootstraps actually
+/// executed, how much hoisted-rotation work a workload generated.
+#[derive(Debug, Default)]
+struct OpCounters {
+    hmult: AtomicU64,
+    pmult: AtomicU64,
+    padd: AtomicU64,
+    hadd: AtomicU64,
+    hrot: AtomicU64,
+    hrot_hoisted: AtomicU64,
+    hconj: AtomicU64,
+    cmult: AtomicU64,
+    cadd: AtomicU64,
+    hrescale: AtomicU64,
+    /// `ModRaise` count — one per executed bootstrap.
+    bootstraps: AtomicU64,
+    /// Total `RotateSum` terms across executed programs (the fused
+    /// rotations the hoisted groups above amortize).
+    rotate_sum_terms: AtomicU64,
+}
+
+impl OpCounters {
+    /// Folds one job's trace histogram (plus its program's fused
+    /// rotate-sum term count) into the process totals.
+    fn accumulate(&self, summary: &TraceSummary, rotate_sum_terms: u64) {
+        self.hmult
+            .fetch_add(summary.hmult as u64, Ordering::Relaxed);
+        self.pmult
+            .fetch_add(summary.pmult as u64, Ordering::Relaxed);
+        self.padd.fetch_add(summary.padd as u64, Ordering::Relaxed);
+        self.hadd.fetch_add(summary.hadd as u64, Ordering::Relaxed);
+        self.hrot.fetch_add(summary.hrot as u64, Ordering::Relaxed);
+        self.hrot_hoisted
+            .fetch_add(summary.hrot_hoisted as u64, Ordering::Relaxed);
+        self.hconj
+            .fetch_add(summary.hconj as u64, Ordering::Relaxed);
+        self.cmult
+            .fetch_add(summary.cmult as u64, Ordering::Relaxed);
+        self.cadd.fetch_add(summary.cadd as u64, Ordering::Relaxed);
+        self.hrescale
+            .fetch_add(summary.hrescale as u64, Ordering::Relaxed);
+        self.bootstraps
+            .fetch_add(summary.mod_raise as u64, Ordering::Relaxed);
+        self.rotate_sum_terms
+            .fetch_add(rotate_sum_terms, Ordering::Relaxed);
+    }
+
+    /// The `ops.*` stats rows, in a stable order.
+    fn snapshot(&self) -> Vec<(String, u64)> {
+        [
+            ("hmult", &self.hmult),
+            ("pmult", &self.pmult),
+            ("padd", &self.padd),
+            ("hadd", &self.hadd),
+            ("hrot", &self.hrot),
+            ("hrot_hoisted", &self.hrot_hoisted),
+            ("hconj", &self.hconj),
+            ("cmult", &self.cmult),
+            ("cadd", &self.cadd),
+            ("hrescale", &self.hrescale),
+            ("bootstraps", &self.bootstraps),
+            ("rotate_sum_terms", &self.rotate_sum_terms),
+        ]
+        .into_iter()
+        .map(|(name, v)| (format!("ops.{name}"), v.load(Ordering::Relaxed)))
+        .collect()
+    }
 }
 
 impl Shared {
@@ -399,6 +473,7 @@ impl Server {
             sessions_shed: AtomicU64::new(0),
             jobs_shed: AtomicU64::new(0),
             next_session: AtomicU64::new(1),
+            ops: OpCounters::default(),
         });
         let mut workers = Vec::with_capacity(n_shards);
         for i in 0..n_shards {
@@ -697,6 +772,10 @@ fn run_evaluate(shared: &Shared, job: &Job, charge: &ChargeGuard<'_>) -> Handled
     let outputs = program
         .apply(&mut eval, &inputs)
         .map_err(|e| (ark_err_code(&e), e.to_string()))?;
+    shared.ops.accumulate(
+        &eval.into_trace().summary(),
+        program.rotate_sum_terms() as u64,
+    );
     // outputs count against the same budget until the response is off
     for ct in &outputs {
         charge.charge(ct.byte_len())?;
@@ -743,8 +822,12 @@ fn run_simulate(shared: &Shared, job: &Job) -> Handled {
     program
         .apply(&mut eval, &cts)
         .map_err(|e| (ark_err_code(&e), e.to_string()))?;
+    let trace = eval.into_trace();
+    shared
+        .ops
+        .accumulate(&trace.summary(), program.rotate_sum_terms() as u64);
     let report = engine
-        .simulate_trace(&eval.into_trace())
+        .simulate_trace(&trace)
         .map_err(|e| (ark_err_code(&e), e.to_string()))?;
     let nested = core_wire::write_sim_report(&report, job.fingerprint);
     Ok(write_frame(msg::RESULT_REPORT, job.fingerprint, &nested))
@@ -1292,6 +1375,7 @@ impl Reactor {
                 out.push((format!("engine{i}.runtime_key_misses"), misses));
             }
         }
+        out.extend(shared.ops.snapshot());
         out
     }
 

@@ -459,6 +459,13 @@ fn stats_counters_track_work() {
     // consulted: hits + misses > 0 for the software engine
     let key_traffic = get("engine0.runtime_key_hits") + get("engine0.runtime_key_misses");
     assert!(key_traffic > 0, "stats: {stats:?}");
+    // per-op execution counters: each of the 4 evaluations ran one
+    // HAdd and one keyed rotation; nothing bootstrapped or rescaled
+    assert_eq!(get("ops.hadd"), 4, "stats: {stats:?}");
+    assert_eq!(get("ops.hrot"), 4, "stats: {stats:?}");
+    assert_eq!(get("ops.bootstraps"), 0);
+    assert_eq!(get("ops.rotate_sum_terms"), 0);
+    assert_eq!(get("ops.hrescale"), 0);
     handle.shutdown();
 }
 

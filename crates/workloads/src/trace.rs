@@ -242,6 +242,44 @@ pub struct TraceSummary {
     pub mod_raise: usize,
 }
 
+impl TraceSummary {
+    /// Per-kind saturating difference — subtracting a known sub-trace
+    /// histogram (e.g. the analytic bootstrap trace) from a full run's
+    /// histogram to isolate the remaining program's op counts.
+    pub fn saturating_sub(&self, other: &TraceSummary) -> TraceSummary {
+        TraceSummary {
+            hmult: self.hmult.saturating_sub(other.hmult),
+            pmult: self.pmult.saturating_sub(other.pmult),
+            padd: self.padd.saturating_sub(other.padd),
+            hadd: self.hadd.saturating_sub(other.hadd),
+            hrot: self.hrot.saturating_sub(other.hrot),
+            hrot_hoisted: self.hrot_hoisted.saturating_sub(other.hrot_hoisted),
+            hconj: self.hconj.saturating_sub(other.hconj),
+            cmult: self.cmult.saturating_sub(other.cmult),
+            cadd: self.cadd.saturating_sub(other.cadd),
+            hrescale: self.hrescale.saturating_sub(other.hrescale),
+            mod_raise: self.mod_raise.saturating_sub(other.mod_raise),
+        }
+    }
+
+    /// Per-kind scaling — `n` repetitions of a sub-trace histogram.
+    pub fn scaled(&self, n: usize) -> TraceSummary {
+        TraceSummary {
+            hmult: self.hmult * n,
+            pmult: self.pmult * n,
+            padd: self.padd * n,
+            hadd: self.hadd * n,
+            hrot: self.hrot * n,
+            hrot_hoisted: self.hrot_hoisted * n,
+            hconj: self.hconj * n,
+            cmult: self.cmult * n,
+            cadd: self.cadd * n,
+            hrescale: self.hrescale * n,
+            mod_raise: self.mod_raise * n,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,88 +1,53 @@
-//! Full CKKS bootstrapping at reduced degree through the engine API:
-//! the session generates the transform rotation keys up front
-//! ([`EngineBuilder::bootstrapping`]), so refreshing a ciphertext is a
-//! single [`HeEvaluator::bootstrap`] call — the paper's Section II-D
-//! pipeline end to end with Min-KS.
+//! One encrypted HELR training iteration, bootstrap included, through
+//! the scenario framework: the model ciphertext runs a full forward
+//! pass (hoisted-BSGS inner products), a degree-7 polynomial sigmoid,
+//! the gradient update — and lands at level 0, where the iteration
+//! ends in a real CKKS bootstrap. The same description then replays on
+//! the simulated ARK and through an `ark-serve` loopback server.
 //!
 //! ```sh
 //! cargo run --release --example bootstrapping_demo
 //! ```
 
-use ark_fhe::ckks::bootstrap::BootstrapConfig;
-use ark_fhe::ckks::encoding::max_error;
-use ark_fhe::ckks::minks::KeyStrategy;
-use ark_fhe::ckks::params::CkksParams;
-use ark_fhe::engine::{Backend, Engine, HeEvaluator};
 use ark_fhe::error::ArkError;
-use ark_fhe::math::cfft::C64;
-use std::time::Instant;
+use ark_scenarios::{run_local, run_remote, run_trace, HelrScenario, Scenario};
 
 fn main() -> Result<(), ArkError> {
-    let config = BootstrapConfig {
-        radix_log2: 3,
-        strategy: KeyStrategy::MinKs,
-        ..BootstrapConfig::default()
-    };
-    let mut engine = Engine::builder()
-        .params(CkksParams::boot_test())
-        .backend(Backend::Software)
-        .bootstrapping(config)
-        .seed(7)
-        .build()?;
+    let scenario = HelrScenario::default();
+    println!("scenario: {}", scenario.name());
+
+    // software backend: full iteration + bootstrap, checked against the
+    // f64 reference model
+    let local = run_local(&scenario)?;
     println!(
-        "bootstrappable CKKS: N = {}, L = {}, dnum = {}, sparse secret h = {}",
-        engine.params().n(),
-        engine.params().max_level,
-        engine.params().dnum,
-        engine.params().secret_hamming_weight
+        "local:  gradient max |err| {:.2e}, refreshed model max |err| {:.2e} in {:.2?}",
+        local.errors[0], local.errors[1], local.elapsed
     );
-    let keychain = engine.keychain().expect("software session has keys");
     println!(
-        "key chain generated once: {} rotation/conjugation keys, {:.1} MB of evks",
-        keychain.rotation_keys().len(),
-        keychain.evk_words() as f64 * 8.0 / 1e6,
+        "        {} ops, {} bootstrap(s): {}",
+        local.trace.len(),
+        local.trace.summary().mod_raise,
+        local.trace.summary()
     );
 
-    // exhaust the ciphertext to level 0, then refresh it
-    let slots = engine.params().slots();
-    let msg: Vec<C64> = (0..slots)
-        .map(|i| {
-            C64::new(
-                0.3 * ((i % 10) as f64 / 10.0 - 0.5),
-                0.2 * ((i % 7) as f64 / 7.0),
-            )
-        })
-        .collect();
-    let ct0 = engine.encrypt(&msg, 0)?;
+    // trace backend: the identical op sequence, cycle-costed
+    let traced = run_trace(&scenario)?;
     println!(
-        "ciphertext at level {} — no multiplications possible",
-        ct0.level
+        "trace:  {} cycles on the simulated ARK ({:.1} MB HBM traffic)",
+        traced.report.cycles,
+        traced.report.hbm_bytes() as f64 / 1e6
     );
 
-    let mut eval = engine.evaluator()?;
-    let start = Instant::now();
-    let refreshed = eval.bootstrap(&ct0)?;
-    let dt = start.elapsed();
+    // remote: the training step served over the pipelined v4 protocol
+    let remote = run_remote(&scenario)?;
     println!(
-        "bootstrapped to level {} in {:.2?} (host time at toy degree)",
-        refreshed.level, dt
+        "remote: bit-identical to local evaluation = {}, round-trip {:.2?}",
+        remote.bit_identical, remote.elapsed
     );
-
-    // prove the levels are real: square the refreshed ciphertext
-    let sq = eval.square(&refreshed)?;
-    let sq = eval.rescale(&sq)?;
-    drop(eval);
-
-    let out = engine.decrypt(&refreshed)?;
-    let err = max_error(&msg, &out);
-    println!("message error after refresh: {err:.2e}");
-    assert!(err < 5e-2);
-
-    let out2 = engine.decrypt(&sq)?;
-    let expect: Vec<C64> = msg.iter().map(|&z| z * z).collect();
-    println!(
-        "post-refresh square error: {:.2e}",
-        max_error(&expect, &out2)
-    );
+    for key in ["ops.bootstraps", "ops.hrot_hoisted", "ops.hrescale"] {
+        if let Some((_, v)) = remote.stats.iter().find(|(n, _)| n == key) {
+            println!("        {key} = {v}");
+        }
+    }
     Ok(())
 }

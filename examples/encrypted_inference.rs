@@ -1,109 +1,45 @@
-//! Encrypted logistic-regression inference — a miniature of the HELR
-//! workload the paper evaluates: the model is encrypted, the data is
-//! plaintext, and the score uses HELR's degree-3 polynomial sigmoid.
-//!
-//! The scoring program is written once against [`HeEvaluator`] and run
-//! twice: functionally at reduced degree (checked against the clear
-//! pipeline) and on the simulated ARK at paper scale (costed in cycles).
+//! Encrypted ResNet layer inference through the scenario framework:
+//! one description — packing, program, plaintext reference — runs on
+//! the software backend, on the simulated ARK (cycle-costed), and
+//! remotely through an `ark-serve` loopback server.
 //!
 //! ```sh
 //! cargo run --release --example encrypted_inference
 //! ```
 
-use ark_fhe::arch::ArkConfig;
-use ark_fhe::ckks::params::CkksParams;
-use ark_fhe::engine::{Backend, Engine, HeEvaluator, HeProgram, ProgramInput};
-use ark_fhe::error::{ArkError, ArkResult};
-use ark_fhe::math::cfft::C64;
-use rand::{Rng, SeedableRng};
-
-/// HELR's polynomial sigmoid: σ(x) ≈ 0.5 + 0.15012·x − 0.00159·x³.
-fn sigmoid_poly(x: f64) -> f64 {
-    0.5 + 0.15012 * x - 0.00159 * x * x * x
-}
-
-/// Dot product by rotate-and-sum, then the polynomial sigmoid:
-/// `σ(Σ_j w_j x_j)` per packed sample.
-struct HelrScore {
-    data: Vec<C64>,
-    feature_rotations: Vec<i64>,
-}
-
-impl HeProgram for HelrScore {
-    fn run<E: HeEvaluator>(&self, e: &mut E, inputs: &[E::Ct]) -> ArkResult<Vec<E::Ct>> {
-        // z = Σ_j w_j x_j: PMult + rotate-and-sum tree
-        let mut z = e.mul_plain_rescale(&inputs[0], &self.data)?;
-        for &r in &self.feature_rotations {
-            let rotated = e.rotate(&z, r)?;
-            z = e.add(&z, &rotated)?;
-        }
-        // σ(z) ≈ 0.5 + 0.15012 z − 0.00159 z³, evaluated in two levels:
-        // z2 = z², then z·(0.15012 − 0.00159 z²) + 0.5
-        let z2 = e.square(&z)?;
-        let z2 = e.rescale(&z2)?;
-        let inner = e.mul_const(&z2, -0.00159)?;
-        let inner = e.rescale(&inner)?;
-        let inner = e.add_const(&inner, 0.15012)?;
-        let z = e.mod_drop_to(&z, e.level(&inner))?;
-        let scored = e.mul_rescale(&z, &inner)?;
-        Ok(vec![e.add_const(&scored, 0.5)?])
-    }
-}
+use ark_fhe::error::ArkError;
+use ark_scenarios::{run_local, run_remote, run_trace, ResNetScenario, Scenario};
 
 fn main() -> Result<(), ArkError> {
-    let features = 16usize;
-    let feature_rotations: Vec<i64> = (0..4).map(|r| 1i64 << r).collect();
+    let scenario = ResNetScenario::default();
+    println!("scenario: {}", scenario.name());
 
-    // ---- software: verify against the clear pipeline ---------------
-    let mut engine = Engine::builder()
-        .params(CkksParams::small())
-        .backend(Backend::Software)
-        .rotations(&feature_rotations)
-        .seed(99)
-        .build()?;
-    let slots = engine.params().slots();
-    let samples = slots / features;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
-    let w: Vec<f64> = (0..features).map(|_| rng.gen_range(-0.5..0.5)).collect();
-    let x: Vec<f64> = (0..slots).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    // software backend: encrypt → conv + activation → decrypt → verify
+    let local = run_local(&scenario)?;
+    println!(
+        "local:  max |err| {:.2e} vs plaintext conv reference in {:.2?}",
+        local.errors[0], local.elapsed
+    );
+    println!("        trace: {}", local.trace.summary());
 
-    // encrypt the model broadcast across samples (HELR keeps the model
-    // encrypted; the data is plaintext)
-    let w_packed: Vec<C64> = (0..slots).map(|i| C64::new(w[i % features], 0.0)).collect();
-    let program = HelrScore {
-        data: x.iter().map(|&v| C64::new(v, 0.0)).collect(),
-        feature_rotations: feature_rotations.clone(),
-    };
-    let outcome = engine.execute(&[ProgramInput::new(w_packed, 8)], &program)?;
-    let out = &outcome.outputs().expect("software run decrypts")[0];
+    // trace backend: same program, costed on the simulated ARK
+    let traced = run_trace(&scenario)?;
+    println!(
+        "trace:  {} ops → {} cycles on the simulated ARK",
+        traced.trace.len(),
+        traced.report.cycles
+    );
 
-    // verify against the plaintext pipeline (slot 0 of each sample group)
-    let mut max_err = 0f64;
-    for s in 0..samples.min(8) {
-        let z: f64 = (0..features).map(|j| w[j] * x[s * features + j]).sum();
-        let expect = sigmoid_poly(z);
-        let got = out[s * features].re;
-        max_err = max_err.max((expect - got).abs());
-        if s < 4 {
-            println!("sample {s}: encrypted score {got:.4}, plaintext {expect:.4}");
+    // remote: loopback ark-serve server, pipelined v4 protocol
+    let remote = run_remote(&scenario)?;
+    println!(
+        "remote: bit-identical to local evaluation = {}, max |err| {:.2e}, round-trip {:.2?}",
+        remote.bit_identical, remote.errors[0], remote.elapsed
+    );
+    for key in ["ops.hrot_hoisted", "ops.rotate_sum_terms", "ops.hmult"] {
+        if let Some((_, v)) = remote.stats.iter().find(|(n, _)| n == key) {
+            println!("        {key} = {v}");
         }
     }
-    println!("max score error over checked samples: {max_err:.2e}");
-    assert!(max_err < 1e-2);
-
-    // ---- simulated: cost the same program at paper scale -----------
-    let mut sim = Engine::builder()
-        .params(CkksParams::ark())
-        .backend(Backend::Simulated(ArkConfig::base()))
-        .rotations(&feature_rotations)
-        .build()?;
-    let level = 8;
-    let sim_outcome = sim.execute(&[ProgramInput::symbolic(level)], &program)?;
-    let report = sim_outcome.report().expect("simulated run reports");
-    println!(
-        "\nsame program on simulated ARK (N = 2^16): {} ops",
-        sim_outcome.trace().len()
-    );
-    println!("{report}");
     Ok(())
 }

@@ -51,6 +51,10 @@ CONTRACTS = {
         ],
         "flags": ["bit_identical", "zero_alloc_steady_state"],
     },
+    "BENCH_PR8.json": {
+        "keys": ["schema", "params", "results"],
+        "flags": ["accuracy_ok", "remote_bit_identical"],
+    },
 }
 
 failed = False

@@ -1,0 +1,87 @@
+//! Engine-level bootstrap precision: a `bootstrap` op inside an
+//! [`ark_serve::Program`] must return a ciphertext that decrypts within
+//! the EvalMod approximation bound, for random payloads entering at
+//! random levels and slot fills.
+
+use ark_fhe::ckks::bootstrap::BootstrapConfig;
+use ark_fhe::ckks::params::CkksParams;
+use ark_fhe::engine::{Backend, Engine, ProgramInput};
+use ark_fhe::math::cfft::C64;
+use ark_serve::Program;
+use proptest::prelude::*;
+use std::sync::{Mutex, OnceLock};
+
+/// The EvalMod precision bound at `boot_test` scale — the same budget
+/// the `ckks` bootstrap unit tests enforce.
+const BOOTSTRAP_TOLERANCE: f64 = 5e-2;
+
+/// One engine for every case: bootstrapping key generation dominates
+/// per-case runtime otherwise.
+fn engine() -> &'static Mutex<Engine> {
+    static ENGINE: OnceLock<Mutex<Engine>> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        Mutex::new(
+            Engine::builder()
+                .params(CkksParams::boot_test())
+                .backend(Backend::Software)
+                .seed(7001)
+                .bootstrapping(BootstrapConfig::default())
+                .build()
+                .expect("boot_test engine"),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    #[test]
+    fn bootstrap_refreshes_within_evalmod_bound(
+        level in 0usize..=12,
+        filled_log2 in 0u32..=9,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut engine = engine().lock().unwrap();
+        let slots = CkksParams::boot_test().slots();
+        // deterministic pseudo-random payload in [-0.5, 0.5], filling a
+        // random power-of-two prefix of the slot vector
+        let filled = 1usize << filled_log2;
+        let values: Vec<C64> = (0..slots)
+            .map(|i| {
+                if i < filled {
+                    let h = seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(i as u64)
+                        .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    C64::new(((h >> 11) as f64 / (1u64 << 53) as f64) - 0.5, 0.0)
+                } else {
+                    C64::zero()
+                }
+            })
+            .collect();
+
+        let mut p = Program::new(1);
+        let x = p.reg(0);
+        let exhausted = p.mod_drop_to(x, 0);
+        let refreshed = p.bootstrap(exhausted);
+        p.output(refreshed);
+
+        let outcome = engine
+            .execute(&[ProgramInput::new(values.clone(), level)], &p)
+            .expect("bootstrap program");
+        let out = &outcome.outputs().expect("software outputs")[0];
+
+        let mut worst = 0.0f64;
+        for (got, want) in out.iter().zip(&values) {
+            let d = *got - *want;
+            worst = worst.max((d.re * d.re + d.im * d.im).sqrt());
+        }
+        prop_assert!(
+            worst < BOOTSTRAP_TOLERANCE,
+            "bootstrap error {worst:.3e} at level {level}, {filled} slots filled"
+        );
+        // the refreshed ciphertext regained usable depth
+        let trace = outcome.trace();
+        prop_assert_eq!(trace.summary().mod_raise, 1);
+    }
+}
