@@ -61,11 +61,46 @@ struct Sample {
     sheds: u64,
     accuracy_ok: bool,
     remote_bit_identical: bool,
+    /// Liveness-exact peak live-set of the program (static verifier).
+    verify_peak_units: usize,
+    /// The pre-liveness every-op-forever budget bound.
+    verify_worst_case_units: usize,
+    /// Static verification accepted the program and its peak stayed
+    /// under the worst-case bound.
+    verify_ok: bool,
 }
 
 fn bench_scenario(s: &dyn Scenario, iters: usize) -> Sample {
     let params = s.setup().params;
     eprintln!("  {} on {} (x{iters})...", s.name(), params.name);
+
+    // static verification precedes every measurement: an invalid
+    // program must never make it into a published number, and the
+    // liveness-exact peak must stay under the worst-case charge it
+    // replaced
+    let (verify_peak_units, verify_worst_case_units, verify_ok) = match s.setup().verify_context() {
+        Ok(ctx) => {
+            let specs: Vec<ark_fhe::verify::AbstractInput> = s
+                .inputs()
+                .iter()
+                .map(|i| ark_fhe::verify::AbstractInput::at_level(i.level))
+                .collect();
+            let report = ctx.verify(&specs, &s.program());
+            let worst = s.program().worst_case_units(report.digit_units);
+            if let Some(f) = &report.finding {
+                eprintln!("    static verification rejected the program: {f}");
+            }
+            (
+                report.peak_live_units,
+                worst,
+                report.is_ok() && report.peak_live_units <= worst,
+            )
+        }
+        Err(e) => {
+            eprintln!("    verify context failed: {e}");
+            (0, 0, false)
+        }
+    };
 
     let mut local_ms = f64::INFINITY;
     let mut accuracy = Vec::new();
@@ -132,6 +167,9 @@ fn bench_scenario(s: &dyn Scenario, iters: usize) -> Sample {
         sheds,
         accuracy_ok,
         remote_bit_identical,
+        verify_peak_units,
+        verify_worst_case_units,
+        verify_ok,
     }
 }
 
@@ -146,6 +184,7 @@ fn main() {
 
     let accuracy_ok = samples.iter().all(|s| s.accuracy_ok);
     let remote_bit_identical = samples.iter().all(|s| s.remote_bit_identical);
+    let verify_ok = samples.iter().all(|s| s.verify_ok);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -166,6 +205,7 @@ fn main() {
     json.push_str(&format!(
         "  \"remote_bit_identical\": {remote_bit_identical},\n"
     ));
+    json.push_str(&format!("  \"verify_ok\": {verify_ok},\n"));
     json.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let comma = if i + 1 == samples.len() { "" } else { "," };
@@ -178,7 +218,8 @@ fn main() {
         json.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"params\": \"{}\", \"ms_per_iteration\": {:.2}, \
              \"remote_ms\": {:.2}, \"sim_cycles\": {}, \"bootstraps\": {}, \"ops\": {}, \
-             \"max_abs_errors\": [{acc}], \"sheds\": {}}}{comma}\n",
+             \"max_abs_errors\": [{acc}], \"sheds\": {}, \"verify_peak_units\": {}, \
+             \"verify_worst_case_units\": {}}}{comma}\n",
             json_escape(s.name),
             json_escape(&s.params),
             s.local_ms,
@@ -187,6 +228,8 @@ fn main() {
             s.bootstraps,
             s.ops,
             s.sheds,
+            s.verify_peak_units,
+            s.verify_worst_case_units,
         ));
     }
     json.push_str("  ]\n}\n");
@@ -202,6 +245,13 @@ fn main() {
     }
     if !remote_bit_identical {
         eprintln!("FAIL: a served scenario diverged from local evaluation");
+        std::process::exit(1);
+    }
+    if !verify_ok {
+        eprintln!(
+            "FAIL: static verification rejected a scenario program or its \
+             liveness peak exceeded the worst-case bound"
+        );
         std::process::exit(1);
     }
 }

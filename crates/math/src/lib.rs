@@ -40,6 +40,11 @@
 //! assert_eq!(p.limb(0)[0], 1);
 //! ```
 
+// the one unsafe operation in this crate (the scoped-pool lifetime
+// transmute in `par`) must sit in an explicit block with a SAFETY
+// contract, even if it ever moves inside an unsafe fn
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod automorphism;
 pub mod bconv;
 pub mod cfft;

@@ -23,6 +23,11 @@
 //! logic); this crate only promises that the loop never blocks on a
 //! socket and never tears a message boundary.
 
+// the syscall layer is the one unsafe surface of the crate: every
+// unsafe operation must sit in an explicit block with a SAFETY
+// contract, even inside unsafe fns
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod conn;
 pub mod poller;
 pub mod sys;

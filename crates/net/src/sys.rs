@@ -49,40 +49,62 @@ mod nr {
 
 // -- the raw instruction ---------------------------------------------
 
+/// # Safety
+///
+/// `n` must be a valid Linux syscall number and `a..f` arguments the
+/// kernel contract for that syscall expects — any pointer argument
+/// must be valid for the access the syscall performs for its full
+/// duration.
 #[cfg(target_arch = "x86_64")]
 unsafe fn syscall6(n: usize, a: usize, b: usize, c: usize, d: usize, e: usize, f: usize) -> isize {
     let ret: isize;
-    core::arch::asm!(
-        "syscall",
-        inlateout("rax") n as isize => ret,
-        in("rdi") a,
-        in("rsi") b,
-        in("rdx") c,
-        in("r10") d,
-        in("r8") e,
-        in("r9") f,
-        // the syscall instruction clobbers rcx (return rip) and r11 (rflags)
-        lateout("rcx") _,
-        lateout("r11") _,
-        options(nostack),
-    );
+    // SAFETY: the Linux x86_64 syscall ABI — number in rax, arguments
+    // in rdi/rsi/rdx/r10/r8/r9, result in rax; the caller upholds the
+    // per-syscall argument contract (see `# Safety`)
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            in("r8") e,
+            in("r9") f,
+            // the syscall instruction clobbers rcx (return rip) and r11 (rflags)
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
     ret
 }
 
+/// # Safety
+///
+/// `n` must be a valid Linux syscall number and `a..f` arguments the
+/// kernel contract for that syscall expects — any pointer argument
+/// must be valid for the access the syscall performs for its full
+/// duration.
 #[cfg(target_arch = "aarch64")]
 unsafe fn syscall6(n: usize, a: usize, b: usize, c: usize, d: usize, e: usize, f: usize) -> isize {
     let ret: isize;
-    core::arch::asm!(
-        "svc 0",
-        in("x8") n,
-        inlateout("x0") a => ret,
-        in("x1") b,
-        in("x2") c,
-        in("x3") d,
-        in("x4") e,
-        in("x5") f,
-        options(nostack),
-    );
+    // SAFETY: the Linux aarch64 syscall ABI — number in x8, arguments
+    // in x0..x5, result in x0; the caller upholds the per-syscall
+    // argument contract (see `# Safety`)
+    unsafe {
+        core::arch::asm!(
+            "svc 0",
+            in("x8") n,
+            inlateout("x0") a => ret,
+            in("x1") b,
+            in("x2") c,
+            in("x3") d,
+            in("x4") e,
+            in("x5") f,
+            options(nostack),
+        );
+    }
     ret
 }
 

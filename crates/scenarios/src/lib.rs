@@ -87,6 +87,20 @@ impl ScenarioSetup {
         }
         b.build()
     }
+
+    /// A key-free static-verification context over this setup's
+    /// declared key surface, bootstrap configuration and runtime-key
+    /// policy — what the `ark-verify` CLI checks scenario programs
+    /// against without generating a single key.
+    pub fn verify_context(&self) -> ArkResult<ark_fhe::verify::VerifyContext> {
+        ark_fhe::verify::VerifyContext::new(
+            self.params.clone(),
+            &self.rotations,
+            self.conjugation,
+            self.bootstrapping.as_ref(),
+            self.runtime_keys,
+        )
+    }
 }
 
 /// One encrypted application workload, described once and runnable on

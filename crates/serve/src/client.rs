@@ -425,6 +425,7 @@ impl Client {
                 code::SESSION_LIMIT => "session-limit",
                 code::UNSUPPORTED => "unsupported",
                 code::WIRE => "wire",
+                code::VERIFY => "verify",
                 _ => "unknown",
             };
             return Err(ArkError::Serve {

@@ -54,6 +54,29 @@ enum Op {
     RotateSum(u16, Vec<RotateSumTerm>),
 }
 
+impl Op {
+    /// The registers this op reads.
+    fn operands(&self) -> impl Iterator<Item = u16> {
+        let (a, b) = match self {
+            Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) | Op::MulRescale(a, b) => (*a, Some(*b)),
+            Op::Negate(a)
+            | Op::AddConst(a, _)
+            | Op::MulConst(a, _)
+            | Op::AddPlain(a, _)
+            | Op::MulPlain(a, _)
+            | Op::Square(a)
+            | Op::Rotate(a, _)
+            | Op::Conjugate(a)
+            | Op::Rescale(a)
+            | Op::MulPlainRescale(a, _)
+            | Op::ModDropTo(a, _)
+            | Op::Bootstrap(a)
+            | Op::RotateSum(a, _) => (*a, None),
+        };
+        std::iter::once(a).chain(b)
+    }
+}
+
 /// A serializable HE program over virtual registers. Build with the
 /// fluent methods, mark outputs with [`Program::output`], ship with
 /// [`Program::encode`].
@@ -281,17 +304,82 @@ impl Program {
         self.push(Op::RotateSum(a, terms))
     }
 
-    /// Budget weight of the program in ciphertext-sized units: an
-    /// upper bound on the live ciphertext-sized intermediates
-    /// evaluation can hold. Plain ops keep one register each; a fused
-    /// `RotateSum` peaks at one rotated ciphertext per term (distinct
-    /// amounts, so ≤ terms), the hoisted digits (`digit_units`
-    /// ciphertext-equivalents — `⌈dnum·(L+1+α) / (2·(L+1))⌉` for the
-    /// hosting parameter set, which the caller computes since the
-    /// program itself is parameter-free), plus the accumulator, the
-    /// in-flight product, and the freshly allocated sum inside the
-    /// add. Session budgets charge this, not `len()`.
+    /// Last event at which each register (inputs first, then op
+    /// results) is read: the op index of its final operand use, or
+    /// `ops.len()` (the output epilogue) for declared outputs. `None`
+    /// means the register is never read and not an output — it can be
+    /// released the moment it exists.
+    fn last_uses(&self) -> Vec<Option<usize>> {
+        let mut last = vec![None; self.n_inputs as usize + self.ops.len()];
+        for (k, op) in self.ops.iter().enumerate() {
+            for r in op.operands() {
+                last[r as usize] = Some(k);
+            }
+        }
+        for &r in &self.outputs {
+            last[r as usize] = Some(self.ops.len());
+        }
+        last
+    }
+
+    /// Extra ciphertext-units an op holds only while it executes: the
+    /// unrescaled product inside the fused mul+rescale ops, and the
+    /// per-term rotated copies plus hoisted digit spine plus in-flight
+    /// product of a fused `RotateSum` (`digit_units` is the
+    /// ciphertext-equivalent of one digit decomposition,
+    /// `⌈dnum·(L+1+α) / (2·(L+1))⌉`, which the caller supplies since
+    /// the program itself is parameter-free).
+    fn transient_units(op: &Op, digit_units: usize) -> usize {
+        match op {
+            Op::RotateSum(_, terms) => terms.len() + digit_units + 1,
+            Op::MulRescale(..) | Op::MulPlainRescale(..) => 1,
+            _ => 0,
+        }
+    }
+
+    /// Budget weight of the program in ciphertext-sized units: the
+    /// peak number of ciphertext-sized values [`Program::apply`] holds
+    /// at once — the borrowed inputs, plus the registers live
+    /// (def-use) across each op, plus that op's transient working set
+    /// (`Program::transient_units`), plus one clone per declared
+    /// output at the end. Computed by the same liveness sweep the
+    /// `ark-fhe` static verifier runs, so the two agree exactly; the
+    /// every-op-forever upper bound survives as
+    /// [`Program::worst_case_units`]. Session budgets charge this, not
+    /// `len()`.
     pub fn charge_units(&self, digit_units: usize) -> usize {
+        let n = self.n_inputs as usize;
+        let end = self.ops.len();
+        let last = self.last_uses();
+        let mut delta = vec![0i64; end + 2];
+        for (r, lu) in last.iter().enumerate() {
+            let def = r.saturating_sub(n);
+            let stop = match lu {
+                Some(l) => *l,
+                // inputs never read are released before the first op;
+                // results never read die right after their defining op
+                None if r < n => continue,
+                None => def,
+            };
+            delta[def] += 1;
+            delta[stop + 1] -= 1;
+        }
+        let mut live = 0i64;
+        let mut peak = n;
+        for (k, op) in self.ops.iter().enumerate() {
+            live += delta[k];
+            peak = peak.max(n + live as usize + Self::transient_units(op, digit_units));
+        }
+        live += delta[end];
+        peak.max(n + live as usize + self.outputs.len())
+    }
+
+    /// The pre-liveness budget weight: every op's register charged
+    /// forever (one unit each; a fused `RotateSum` at its full working
+    /// set). Kept as the conservative bound `charge_units` is measured
+    /// against — for any program, `charge_units(d) ≤
+    /// n_inputs + worst_case_units(d) + outputs`.
+    pub fn worst_case_units(&self, digit_units: usize) -> usize {
         self.ops
             .iter()
             .map(|op| match op {
@@ -315,34 +403,56 @@ impl Program {
                 ),
             });
         }
-        let mut regs: Vec<E::Ct> = inputs.to_vec();
-        for op in &self.ops {
-            let ct = match op {
-                Op::Add(a, b) => e.add(&regs[*a as usize], &regs[*b as usize])?,
-                Op::Sub(a, b) => e.sub(&regs[*a as usize], &regs[*b as usize])?,
-                Op::Negate(a) => e.negate(&regs[*a as usize])?,
-                Op::AddConst(a, c) => e.add_const(&regs[*a as usize], *c)?,
-                Op::MulConst(a, c) => e.mul_const(&regs[*a as usize], *c)?,
-                Op::AddPlain(a, v) => e.add_plain(&regs[*a as usize], v)?,
-                Op::MulPlain(a, v) => e.mul_plain(&regs[*a as usize], v)?,
-                Op::Mul(a, b) => e.mul(&regs[*a as usize], &regs[*b as usize])?,
-                Op::Square(a) => e.square(&regs[*a as usize])?,
-                Op::Rotate(a, amount) => e.rotate(&regs[*a as usize], *amount)?,
-                Op::Conjugate(a) => e.conjugate(&regs[*a as usize])?,
-                Op::Rescale(a) => e.rescale(&regs[*a as usize])?,
-                Op::MulRescale(a, b) => e.mul_rescale(&regs[*a as usize], &regs[*b as usize])?,
-                Op::MulPlainRescale(a, v) => e.mul_plain_rescale(&regs[*a as usize], v)?,
-                Op::ModDropTo(a, level) => e.mod_drop_to(&regs[*a as usize], *level as usize)?,
-                Op::Bootstrap(a) => e.bootstrap(&regs[*a as usize])?,
-                Op::RotateSum(a, terms) => e.rotate_sum(&regs[*a as usize], terms)?,
-            };
-            regs.push(ct);
-        }
-        Ok(self
-            .outputs
+        // liveness-driven replay: registers are released at their last
+        // use, so the peak number of live ciphertexts matches what
+        // `charge_units` budgeted instead of growing with program
+        // length
+        let last = self.last_uses();
+        let mut regs: Vec<Option<E::Ct>> = inputs
             .iter()
-            .map(|&r| regs[r as usize].clone())
-            .collect())
+            .enumerate()
+            .map(|(r, ct)| last[r].map(|_| ct.clone()))
+            .collect();
+        let n = self.n_inputs as usize;
+        // operands are live by construction (`last[r] ≥ k` for every
+        // operand `r` of op `k`), and borrowed in place — no clones
+        macro_rules! r {
+            ($i:expr) => {
+                regs[*$i as usize]
+                    .as_ref()
+                    .expect("register released before its last use")
+            };
+        }
+        for (k, op) in self.ops.iter().enumerate() {
+            let ct = match op {
+                Op::Add(a, b) => e.add(r!(a), r!(b))?,
+                Op::Sub(a, b) => e.sub(r!(a), r!(b))?,
+                Op::Negate(a) => e.negate(r!(a))?,
+                Op::AddConst(a, c) => e.add_const(r!(a), *c)?,
+                Op::MulConst(a, c) => e.mul_const(r!(a), *c)?,
+                Op::AddPlain(a, v) => e.add_plain(r!(a), v)?,
+                Op::MulPlain(a, v) => e.mul_plain(r!(a), v)?,
+                Op::Mul(a, b) => e.mul(r!(a), r!(b))?,
+                Op::Square(a) => e.square(r!(a))?,
+                Op::Rotate(a, amount) => e.rotate(r!(a), *amount)?,
+                Op::Conjugate(a) => e.conjugate(r!(a))?,
+                Op::Rescale(a) => e.rescale(r!(a))?,
+                Op::MulRescale(a, b) => e.mul_rescale(r!(a), r!(b))?,
+                Op::MulPlainRescale(a, v) => e.mul_plain_rescale(r!(a), v)?,
+                Op::ModDropTo(a, level) => e.mod_drop_to(r!(a), *level as usize)?,
+                Op::Bootstrap(a) => e.bootstrap(r!(a))?,
+                Op::RotateSum(a, terms) => e.rotate_sum(r!(a), terms)?,
+            };
+            // only an operand of op `k` can have its last use at `k`
+            for r in op.operands() {
+                if last[r as usize] == Some(k) {
+                    regs[r as usize] = None;
+                }
+            }
+            // a result never read again (and not an output) dies here
+            regs.push(last[n + k].map(|_| ct));
+        }
+        Ok(self.outputs.iter().map(|r| r!(r).clone()).collect())
     }
 
     /// Appends the wire encoding (see the opcode table in the source).
@@ -642,11 +752,47 @@ mod tests {
     #[test]
     fn rotate_sum_charges_its_working_set() {
         let p = sample();
-        // 4 plain ops at 1 unit + rotate_sum(2 terms) at 2 + digits + 3
         assert_eq!(p.len(), 5);
-        assert_eq!(p.charge_units(3), 4 + (2 + 3 + 3));
+        // peak is the rotate_sum event: 2 borrowed inputs + 3 live
+        // registers (the sum output, the operand, the result) + 2
+        // terms + digits + 1 in-flight product
+        assert_eq!(p.charge_units(3), 2 + 3 + (2 + 3 + 1));
         // the digit weight scales with the hosting parameter set
-        assert_eq!(p.charge_units(9), 4 + (2 + 9 + 3));
+        assert_eq!(p.charge_units(9), 2 + 3 + (2 + 9 + 1));
+        // liveness-exact stays under the old every-op-forever bound
+        assert_eq!(p.worst_case_units(3), 4 + (2 + 3 + 3));
+        assert!(p.charge_units(3) < p.worst_case_units(3));
+    }
+
+    #[test]
+    fn straight_line_program_charges_peak_not_length() {
+        // regression: charge_units used to count every op forever, so
+        // a long chain over one register over-charged its session by
+        // its full length
+        let mut p = Program::new(1);
+        let mut r = p.reg(0);
+        for _ in 0..500 {
+            r = p.add_const(r, 1.0);
+        }
+        p.output(r);
+        assert_eq!(p.worst_case_units(0), 500);
+        // borrowed input + operand register + result register, at any
+        // point in the chain
+        assert_eq!(p.charge_units(0), 3);
+    }
+
+    #[test]
+    fn charge_units_matches_static_verifier_peak() {
+        use ark_ckks::params::CkksParams;
+        use ark_fhe::verify::{AbstractInput, VerifyContext};
+
+        let p = sample();
+        let params = CkksParams::tiny();
+        let ctx = VerifyContext::new(params, &[1, 2], false, None, false).unwrap();
+        let inputs = [AbstractInput::at_level(3), AbstractInput::at_level(3)];
+        let report = ctx.verify(&inputs, &p);
+        assert!(report.is_ok(), "{:?}", report.finding);
+        assert_eq!(report.peak_live_units, p.charge_units(report.digit_units));
     }
 
     #[test]

@@ -120,6 +120,10 @@ pub mod code {
     pub const UNSUPPORTED: u16 = 5;
     /// The frame could not be decoded (wire-format failure).
     pub const WIRE: u16 = 6;
+    /// Static verification rejected the program at admission (level
+    /// underflow, scale mismatch, undeclared rotation/conjugation,
+    /// bootstrap misuse) — no evaluator work was performed.
+    pub const VERIFY: u16 = 7;
 }
 
 /// Default cap on one message's frame bytes (64 MiB — a full-chain

@@ -62,6 +62,7 @@ use ark_ckks::wire as ckks_wire;
 use ark_ckks::Ciphertext;
 use ark_core::wire as core_wire;
 use ark_fhe::engine::{Engine, HeEvaluator};
+use ark_fhe::verify::AbstractInput;
 use ark_fhe::workloads::trace::TraceSummary;
 use ark_math::wire::{put_u16, read_frame, write_frame, Cursor};
 use ark_net::{FrameBuf, Interest, OutBuf, Poller, Token, Waker};
@@ -120,6 +121,13 @@ pub struct ServerConfig {
     /// last job completes during shutdown, before abandoning unread
     /// responses.
     pub drain_grace: Duration,
+    /// Whether submitted programs are statically verified at admission
+    /// (level/scale flow, key surface, bootstrap placement — see
+    /// `ark_fhe::verify`). On by default: a statically-invalid program
+    /// is rejected with a typed `VERIFY` error before it charges the
+    /// session budget or touches a shard evaluator, instead of failing
+    /// mid-evaluation after NTTs already burned shard time.
+    pub verify_programs: bool,
 }
 
 impl Default for ServerConfig {
@@ -136,6 +144,7 @@ impl Default for ServerConfig {
             allow_remote_shutdown: false,
             poll_interval: Duration::from_millis(25),
             drain_grace: Duration::from_secs(1),
+            verify_programs: true,
         }
     }
 }
@@ -710,6 +719,26 @@ fn ark_err_code(e: &ArkError) -> u16 {
     }
 }
 
+/// Admission-time static verification: abstractly interprets the
+/// program over the inputs' levels/scales against the engine's
+/// declared key surface, with zero evaluator work. A finding maps to
+/// the typed `VERIFY` error code carrying the op index and the exact
+/// runtime error class evaluation would have hit.
+fn verify_admission(
+    engine: &Engine,
+    program: &Program,
+    inputs: &[AbstractInput],
+) -> Result<(), (u16, String)> {
+    let report = engine.verify_context().verify(inputs, program);
+    match report.finding {
+        None => Ok(()),
+        Some(f) => Err((
+            code::VERIFY,
+            format!("program rejected by static verification at {f}"),
+        )),
+    }
+}
+
 fn check_program_size(shared: &Shared, program: &Program) -> Result<(), (u16, String)> {
     if program.len() > shared.config.max_program_ops {
         return Err((
@@ -753,12 +782,20 @@ fn run_evaluate(shared: &Shared, job: &Job, charge: &ChargeGuard<'_>) -> Handled
             format!("{} trailing bytes after the last input", rest.len() - off),
         ));
     }
-    // evaluation keeps one intermediate register live per op — and a
-    // fused RotateSum additionally holds its per-amount rotations plus
-    // the hoisted digits, which charge_units() weighs in. The digit
-    // scratch in ciphertext-equivalents depends on the hosting
-    // parameter set: dnum digits over the extended basis (L+1+α limbs)
-    // vs a 2·(L+1)-limb ciphertext. Levels only ever drop, so units ×
+    if shared.config.verify_programs {
+        let specs: Vec<AbstractInput> = inputs
+            .iter()
+            .map(|ct| AbstractInput::with_scale(ct.level, ct.scale))
+            .collect();
+        verify_admission(engine, &program, &specs)?;
+    }
+    // evaluation holds the borrowed inputs, the liveness-live
+    // registers, and each op's transient working set — a fused
+    // RotateSum's per-amount rotations plus the hoisted digits, which
+    // charge_units() weighs in. The digit scratch in
+    // ciphertext-equivalents depends on the hosting parameter set:
+    // dnum digits over the extended basis (L+1+α limbs) vs a
+    // 2·(L+1)-limb ciphertext. Levels only ever drop, so peak units ×
     // the largest input is an upper bound on the working set — charge
     // it up front so the session budget covers memory the request will
     // grow into, not just its wire size
@@ -813,6 +850,11 @@ fn run_simulate(shared: &Shared, job: &Job) -> Handled {
         levels.push(level);
     }
     cur.finish().map_err(|e| (code::PROTOCOL, e.to_string()))?;
+    if shared.config.verify_programs {
+        let specs: Vec<AbstractInput> =
+            levels.iter().map(|&l| AbstractInput::at_level(l)).collect();
+        verify_admission(engine, &program, &specs)?;
+    }
     let mut eval = engine.trace_evaluator();
     let cts = levels
         .iter()

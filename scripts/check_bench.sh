@@ -53,7 +53,7 @@ CONTRACTS = {
     },
     "BENCH_PR8.json": {
         "keys": ["schema", "params", "results"],
-        "flags": ["accuracy_ok", "remote_bit_identical"],
+        "flags": ["accuracy_ok", "remote_bit_identical", "verify_ok"],
     },
 }
 

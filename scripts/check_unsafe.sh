@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Audits every `unsafe` occurrence in first-party Rust sources: each
+# one must carry a `// SAFETY:` justification (or, for `unsafe fn`
+# declarations, a `# Safety` doc section) on the same line or within
+# the preceding lines. Vendored and generated code is excluded. CI
+# runs this in the lint job; run it locally before adding unsafe code.
+#
+# Usage: scripts/check_unsafe.sh [REPO_ROOT]   (default: cwd)
+set -euo pipefail
+
+root="${1:-.}"
+files=$(find "$root/src" "$root/crates" -name '*.rs' -not -path '*/vendor/*' -not -path '*/target/*' | sort)
+if [ -z "$files" ]; then
+    echo "check_unsafe: no Rust sources found under $root" >&2
+    exit 1
+fi
+
+# shellcheck disable=SC2086
+python3 - $files <<'EOF'
+import re, sys
+
+# how far above an `unsafe` token a SAFETY justification may sit
+# (covers a `/// # Safety` doc section heading an unsafe fn, and an
+# impl-level comment covering a short unsafe trait impl)
+WINDOW = 8
+
+# `\b` keeps lint names like unsafe_op_in_unsafe_fn from matching
+UNSAFE = re.compile(r"\bunsafe\b")
+JUSTIFIED = re.compile(r"SAFETY:|# Safety")
+COMMENT = re.compile(r"^\s*(//|//!|///)")
+
+sites = 0
+undocumented = []
+for path in sys.argv[1:]:
+    with open(path) as f:
+        lines = f.readlines()
+    for i, line in enumerate(lines):
+        if not UNSAFE.search(line):
+            continue
+        if COMMENT.match(line):
+            continue  # prose about unsafe, not unsafe code
+        sites += 1
+        window = lines[max(0, i - WINDOW) : i + 1]
+        if not any(JUSTIFIED.search(l) for l in window):
+            undocumented.append(f"{path}:{i + 1}: {line.strip()}")
+
+if undocumented:
+    print(f"FAIL: {len(undocumented)} unsafe site(s) without a SAFETY justification:")
+    for s in undocumented:
+        print(f"  {s}")
+    sys.exit(1)
+print(f"ok   {sites} unsafe site(s), all documented")
+EOF

@@ -71,7 +71,7 @@ use std::sync::{Arc, Mutex};
 
 use ark_ckks::ops::check_scales_match as check_scales;
 
-fn check_levels(a: usize, b: usize) -> ArkResult<()> {
+pub(crate) fn check_levels(a: usize, b: usize) -> ArkResult<()> {
     if a == b {
         Ok(())
     } else {
@@ -80,6 +80,19 @@ fn check_levels(a: usize, b: usize) -> ArkResult<()> {
             found: b,
         })
     }
+}
+
+/// The slot-capacity check the software backend applies at encode time
+/// (`input`, `add_plain`, `mul_plain`), shared with the trace and
+/// abstract evaluators so all three reject an oversized plaintext
+/// vector with the identical typed error.
+pub(crate) fn check_slots(len: usize, slots: usize) -> ArkResult<()> {
+    if len > slots {
+        return Err(ArkError::InvalidParams {
+            reason: format!("{len} values exceed {slots} slots"),
+        });
+    }
+    Ok(())
 }
 
 /// Which execution substrate a session runs on.
@@ -126,6 +139,17 @@ pub struct DeclaredKeys {
 
 impl DeclaredKeys {
     fn new(rotations: &[i64], conjugation: bool, slots: usize) -> Self {
+        Self::declare(rotations, conjugation, slots)
+    }
+
+    /// Builds a declared-key surface without generating any key
+    /// material — the shape static verification
+    /// ([`crate::verify::VerifyContext`]) resolves rotations against
+    /// when no engine (hence no [`KeyChain`]) exists. Amounts normalize
+    /// through the same choke point the builder uses, so a surface
+    /// declared here accepts exactly the programs a built engine with
+    /// the same declarations would.
+    pub fn declare(rotations: &[i64], conjugation: bool, slots: usize) -> Self {
         let rotations = rotations
             .iter()
             .map(|&r| GaloisElement::normalize_rotation(r, slots))
@@ -702,7 +726,7 @@ pub trait HeEvaluator {
 /// either declared or runtime-derivable. Returns the distinct
 /// non-identity normalized amounts in ascending order — the rotation
 /// set the hoisted group evaluates, and the `HRotHoisted` record order.
-fn check_rotate_sum_terms(
+pub(crate) fn check_rotate_sum_terms(
     terms: &[RotateSumTerm],
     slots: usize,
     declared: &DeclaredKeys,
@@ -782,12 +806,7 @@ impl SoftwareEvaluator<'_> {
     }
 
     fn encode_at(&self, values: &[C64], level: usize, scale: f64) -> ArkResult<Plaintext> {
-        let slots = self.ctx.params().slots();
-        if values.len() > slots {
-            return Err(ArkError::InvalidParams {
-                reason: format!("{} values exceed {} slots", values.len(), slots),
-            });
-        }
+        check_slots(values.len(), self.ctx.params().slots())?;
         Ok(self.ctx.encode(values, level, scale))
     }
 }
@@ -865,12 +884,7 @@ impl HeEvaluator for SoftwareEvaluator<'_> {
     }
 
     fn mul_plain(&mut self, ct: &Self::Ct, values: &[C64]) -> ArkResult<Self::Ct> {
-        let slots = self.ctx.params().slots();
-        if values.len() > slots {
-            return Err(ArkError::InvalidParams {
-                reason: format!("{} values exceed {} slots", values.len(), slots),
-            });
-        }
+        check_slots(values.len(), self.ctx.params().slots())?;
         let pt = self.ctx.encode_for_mul(values, ct.level);
         let out = self.ctx.mul_plain(ct, &pt);
         self.record(HeOp::PMult {
@@ -1036,6 +1050,21 @@ impl HeEvaluator for SoftwareEvaluator<'_> {
 // trace-recording backend
 // ---------------------------------------------------------------------
 
+/// Derives the analytic bootstrap sub-trace configuration a session
+/// with `cfg` would fix at build time — the same derivation
+/// [`EngineBuilder::build`] performs, exposed so key-free consumers
+/// (static verification, the `ark-verify` CLI) can model bootstrap
+/// level consumption without constructing an engine.
+pub fn bootstrap_trace_config(params: &CkksParams, cfg: &BootstrapConfig) -> BootstrapTraceConfig {
+    BootstrapTraceConfig {
+        slots_log2: params.log_n - 1,
+        radix_log2: cfg.radix_log2.max(1) as u32,
+        strategy: cfg.strategy,
+        evalmod_degree: cfg.evalmod.degree,
+        spare_levels: None,
+    }
+}
+
 #[derive(Debug)]
 struct SimulatedState {
     cfg: ArkConfig,
@@ -1102,11 +1131,14 @@ impl HeEvaluator for TraceEvaluator<'_> {
         &self.trace
     }
 
-    fn input(&mut self, _values: &[C64], level: usize) -> ArkResult<Self::Ct> {
+    fn input(&mut self, values: &[C64], level: usize) -> ArkResult<Self::Ct> {
         let max = self.params.max_level;
         if level > max {
             return Err(ArkError::LevelOutOfRange { level, max });
         }
+        // mirror the software backend's encode-time slot check, so a
+        // program rejected there is rejected here too (same class)
+        check_slots(values.len(), self.params.slots())?;
         Ok(SimCt {
             level,
             scale: self.params.scale(),
@@ -1154,7 +1186,10 @@ impl HeEvaluator for TraceEvaluator<'_> {
         })
     }
 
-    fn add_plain(&mut self, ct: &Self::Ct, _values: &[C64]) -> ArkResult<Self::Ct> {
+    fn add_plain(&mut self, ct: &Self::Ct, values: &[C64]) -> ArkResult<Self::Ct> {
+        // the software backend rejects oversized plaintext vectors at
+        // encode time — same typed error here, before recording
+        check_slots(values.len(), self.params.slots())?;
         self.trace.push(HeOp::PAdd {
             level: ct.level,
             fresh_plaintext: true,
@@ -1162,7 +1197,8 @@ impl HeEvaluator for TraceEvaluator<'_> {
         Ok(*ct)
     }
 
-    fn mul_plain(&mut self, ct: &Self::Ct, _values: &[C64]) -> ArkResult<Self::Ct> {
+    fn mul_plain(&mut self, ct: &Self::Ct, values: &[C64]) -> ArkResult<Self::Ct> {
+        check_slots(values.len(), self.params.slots())?;
         self.trace.push(HeOp::PMult {
             level: ct.level,
             fresh_plaintext: true,
@@ -1303,6 +1339,9 @@ pub struct Engine {
     params: CkksParams,
     state: BackendState,
     threads: usize,
+    /// Pre-flight every `execute` through the static verifier
+    /// ([`EngineBuilder::verify`]).
+    verify: bool,
 }
 
 /// Builder for [`Engine`] — declare the parameter set, backend, key
@@ -1319,6 +1358,7 @@ pub struct EngineBuilder {
     bootstrapping: Option<BootstrapConfig>,
     compile: CompileOptions,
     threads: Option<usize>,
+    verify: bool,
 }
 
 impl Default for EngineBuilder {
@@ -1334,6 +1374,7 @@ impl Default for EngineBuilder {
             bootstrapping: None,
             compile: CompileOptions::all_on(),
             threads: None,
+            verify: false,
         }
     }
 }
@@ -1411,6 +1452,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Pre-flights every [`Engine::execute`] call through the static
+    /// verifier (default **off**): the program is abstractly
+    /// interpreted against the session's declared keys and parameter
+    /// set before any ciphertext work, so a malformed program returns
+    /// its typed error — the same [`ArkError`] class the runtime would
+    /// surface mid-evaluation — without spending a single NTT. See
+    /// [`crate::verify`].
+    pub fn verify(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
     /// Threads the software backend fans limb-level hot loops out on
     /// (NTT, base conversion, key-switching, element-wise arithmetic).
     /// Defaults to the host's available parallelism; `threads(1)` is the
@@ -1457,13 +1510,10 @@ impl EngineBuilder {
             self.conjugation || self.bootstrapping.is_some(),
             params.slots(),
         );
-        let trace_cfg = self.bootstrapping.as_ref().map(|cfg| BootstrapTraceConfig {
-            slots_log2: params.log_n - 1,
-            radix_log2: cfg.radix_log2.max(1) as u32,
-            strategy: cfg.strategy,
-            evalmod_degree: cfg.evalmod.degree,
-            spare_levels: None,
-        });
+        let trace_cfg = self
+            .bootstrapping
+            .as_ref()
+            .map(|cfg| bootstrap_trace_config(&params, cfg));
         if let Some(cfg) = &trace_cfg {
             if cfg.levels_consumed() > params.max_level {
                 return Err(ArkError::InvalidParams {
@@ -1524,6 +1574,7 @@ impl EngineBuilder {
             params,
             state,
             threads,
+            verify: self.verify,
         })
     }
 }
@@ -1681,6 +1732,28 @@ impl Engine {
         }
     }
 
+    /// A static-verification context over this session's parameter
+    /// set, declared key surface, bootstrap configuration and
+    /// runtime-key policy — everything the abstract interpreter
+    /// ([`crate::verify`]) needs, with no key material attached.
+    /// `ark-serve` admission builds its pre-execution gate from this.
+    pub fn verify_context(&self) -> crate::verify::VerifyContext {
+        let (declared, trace_cfg, runtime_keys) = match &self.state {
+            BackendState::Software(sw) => (
+                sw.keys.declared.clone(),
+                sw.boot.as_ref().map(|b| b.trace_cfg),
+                sw.keys.runtime_keys_enabled(),
+            ),
+            BackendState::Simulated(sim) => (sim.declared.clone(), sim.trace_cfg, sim.runtime_keys),
+        };
+        crate::verify::VerifyContext::from_parts(
+            self.params.clone(),
+            declared,
+            trace_cfg,
+            runtime_keys,
+        )
+    }
+
     /// Compiles and simulates an HE-op trace on the session's
     /// accelerator configuration.
     ///
@@ -1710,6 +1783,20 @@ impl Engine {
         inputs: &[ProgramInput],
         program: &P,
     ) -> ArkResult<Outcome> {
+        if self.verify {
+            // pre-flight: abstractly interpret the program against the
+            // declared key surface before touching any ciphertext; a
+            // statically-invalid program fails here with the same typed
+            // error the runtime would raise mid-evaluation
+            let specs: Vec<crate::verify::AbstractInput> = inputs
+                .iter()
+                .map(|i| crate::verify::AbstractInput::at_level(i.level))
+                .collect();
+            let report = self.verify_context().verify(&specs, program);
+            if let Some(finding) = report.finding {
+                return Err(finding.error);
+            }
+        }
         match &mut self.state {
             BackendState::Software(sw) => {
                 let mut eval = SoftwareEvaluator {

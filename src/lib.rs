@@ -23,6 +23,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod verify;
 
 pub use ark_ckks as ckks;
 pub use ark_core as arch;
@@ -31,3 +32,4 @@ pub use ark_workloads as workloads;
 
 pub use engine::{Backend, Engine, HeEvaluator, HeProgram, KeyChain, Outcome, ProgramInput};
 pub use error::{ArkError, ArkResult};
+pub use verify::{AbstractEvaluator, AbstractInput, VerifyContext, VerifyFinding, VerifyReport};
