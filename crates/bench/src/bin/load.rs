@@ -44,6 +44,12 @@ const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 /// Pipeline depth each session keeps in flight.
 const PIPELINE_DEPTH: usize = 4;
 
+/// `BUSY` retry budget each session's adapter carries
+/// ([`ark_serve::ClientBuilder::busy_retries`]): sheds are absorbed by
+/// jittered backoff inside `wait_evaluate`, and the bench measures the
+/// sheds-to-success conversion the budget buys.
+const BUSY_RETRY_BUDGET: u32 = 4;
+
 struct Mode {
     quick: bool,
     out_path: String,
@@ -129,7 +135,11 @@ struct LoadSample {
     shards: usize,
     sessions: usize,
     requests_ok: u64,
+    /// Sheds absorbed by the adapter's automatic backoff.
     shed_retries: u64,
+    /// Sheds that exhausted the budget and surfaced as `ArkError::Busy`
+    /// (the bench re-submits these by hand).
+    sheds_surfaced: u64,
     p50_ms: f64,
     p95_ms: f64,
     p99_ms: f64,
@@ -174,6 +184,7 @@ fn run_config(
     let program = bench_program();
 
     let shed_retries = Arc::new(AtomicU64::new(0));
+    let sheds_surfaced = Arc::new(AtomicU64::new(0));
     let protocol_errors = Arc::new(AtomicU64::new(0));
     let mismatches = Arc::new(AtomicU64::new(0));
     let started = Instant::now();
@@ -183,11 +194,17 @@ fn run_config(
             let reference = reference.to_vec();
             let program = program.clone();
             let shed_retries = Arc::clone(&shed_retries);
+            let sheds_surfaced = Arc::clone(&sheds_surfaced);
             let protocol_errors = Arc::clone(&protocol_errors);
             let mismatches = Arc::clone(&mismatches);
             std::thread::spawn(move || -> Vec<f64> {
                 let ctx = CkksContext::new(CkksParams::tiny());
-                let mut client = match Client::connect(addr) {
+                // the adapter owns the backoff: sheds inside the budget
+                // never reach this loop
+                let mut client = match Client::builder()
+                    .busy_retries(BUSY_RETRY_BUDGET)
+                    .connect(addr)
+                {
                     Ok(c) => c,
                     Err(_) => {
                         protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -195,7 +212,7 @@ fn run_config(
                     }
                 };
                 let mut latencies_ms = Vec::with_capacity(rounds * PIPELINE_DEPTH);
-                for _ in 0..rounds {
+                'rounds: for _ in 0..rounds {
                     let batch_start = Instant::now();
                     let mut done = 0usize;
                     let mut tickets = Vec::with_capacity(PIPELINE_DEPTH);
@@ -209,7 +226,7 @@ fn run_config(
                             Ok(t) => tickets.push(t),
                             Err(_) => {
                                 protocol_errors.fetch_add(1, Ordering::Relaxed);
-                                return latencies_ms;
+                                break 'rounds;
                             }
                         }
                     }
@@ -221,8 +238,10 @@ fn run_config(
                                 }
                                 done += 1;
                             }
+                            // the budget ran dry on this request: wait
+                            // out the hint once more and re-submit by
+                            // hand (fresh id, fresh budget)
                             Err(ArkError::Busy { retry_after_ms }) => {
-                                shed_retries.fetch_add(1, Ordering::Relaxed);
                                 std::thread::sleep(Duration::from_millis(u64::from(
                                     retry_after_ms.max(1),
                                 )));
@@ -235,13 +254,13 @@ fn run_config(
                                     Ok(t) => tickets.push(t),
                                     Err(_) => {
                                         protocol_errors.fetch_add(1, Ordering::Relaxed);
-                                        return latencies_ms;
+                                        break 'rounds;
                                     }
                                 }
                             }
                             Err(_) => {
                                 protocol_errors.fetch_add(1, Ordering::Relaxed);
-                                return latencies_ms;
+                                break 'rounds;
                             }
                         }
                     }
@@ -251,6 +270,8 @@ fn run_config(
                         latencies_ms.push(per_request_ms);
                     }
                 }
+                shed_retries.fetch_add(client.sheds_absorbed(), Ordering::Relaxed);
+                sheds_surfaced.fetch_add(client.sheds_surfaced(), Ordering::Relaxed);
                 latencies_ms
             })
         })
@@ -276,6 +297,7 @@ fn run_config(
         sessions,
         requests_ok,
         shed_retries: shed_retries.load(Ordering::Relaxed),
+        sheds_surfaced: sheds_surfaced.load(Ordering::Relaxed),
         p50_ms: percentile(&latencies, 0.50),
         p95_ms: percentile(&latencies, 0.95),
         p99_ms: percentile(&latencies, 0.99),
@@ -337,9 +359,19 @@ fn main() {
             &mut zero_protocol_errors,
             &mut bit_identical,
         );
+        let total_sheds = s.shed_retries + s.sheds_surfaced;
+        let conversion = if total_sheds > 0 {
+            format!(
+                " (conversion {:.0}%)",
+                100.0 * s.shed_retries as f64 / total_sheds as f64
+            )
+        } else {
+            String::new()
+        };
         eprintln!(
-            "    p50={:.2}ms p95={:.2}ms p99={:.2}ms throughput={:.1} req/s shed={}",
-            s.p50_ms, s.p95_ms, s.p99_ms, s.throughput_rps, s.shed_retries
+            "    p50={:.2}ms p95={:.2}ms p99={:.2}ms throughput={:.1} req/s \
+             sheds absorbed={} surfaced={}{conversion}",
+            s.p50_ms, s.p95_ms, s.p99_ms, s.throughput_rps, s.shed_retries, s.sheds_surfaced
         );
         samples.push(s);
     }
@@ -374,11 +406,12 @@ fn main() {
     for (i, s) in samples.iter().enumerate() {
         let comma = if i + 1 == samples.len() { "" } else { "," };
         json.push_str(&format!(
-            "    {{\"shards\": {}, \"sessions\": {}, \"requests_ok\": {}, \"shed_retries\": {}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"throughput_rps\": {:.2}, \"wall_ms\": {:.1}}}{comma}\n",
+            "    {{\"shards\": {}, \"sessions\": {}, \"requests_ok\": {}, \"shed_retries\": {}, \"sheds_surfaced\": {}, \"busy_retry_budget\": {BUSY_RETRY_BUDGET}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"throughput_rps\": {:.2}, \"wall_ms\": {:.1}}}{comma}\n",
             s.shards,
             s.sessions,
             s.requests_ok,
             s.shed_retries,
+            s.sheds_surfaced,
             s.p50_ms,
             s.p95_ms,
             s.p99_ms,

@@ -86,6 +86,14 @@ pub enum ArkError {
         /// Server-suggested backoff before retrying, in milliseconds.
         retry_after_ms: u32,
     },
+    /// The handshake was rejected because the client and server share
+    /// no protocol version — upgrade one side; retrying cannot help.
+    VersionMismatch {
+        /// The version the client offered in `HELLO`.
+        client: u16,
+        /// The rejecting side's stated reason (its supported range).
+        reason: String,
+    },
 }
 
 impl From<ark_math::wire::WireError> for ArkError {
@@ -130,6 +138,12 @@ impl std::fmt::Display for ArkError {
             ArkError::Serve { reason } => write!(f, "serving error: {reason}"),
             ArkError::Busy { retry_after_ms } => {
                 write!(f, "server busy: retry after {retry_after_ms} ms")
+            }
+            ArkError::VersionMismatch { client, reason } => {
+                write!(
+                    f,
+                    "protocol version mismatch: client offered v{client}, {reason}"
+                )
             }
         }
     }

@@ -1,0 +1,1097 @@
+//! The sans-I/O client core: a protocol state machine with no socket.
+//!
+//! [`ClientCore`] never touches `std::net`, `std::thread`, or a clock.
+//! A transport — blocking TCP (`ark_serve::client::Client`), an async
+//! runtime, or a browser's WebSocket glue compiled to wasm32 — owns the
+//! byte stream and drives the core through three verbs:
+//!
+//! 1. **submit** — `submit_evaluate`/`submit_simulate`/... encode a
+//!    request, queue its bytes, and hand back a [`Ticket`];
+//! 2. **egress** — [`ClientCore::take_egress`] drains the bytes the
+//!    transport must write to the peer;
+//! 3. **ingest** — [`ClientCore::ingest`] consumes whatever bytes the
+//!    transport read (any chunking), reassembles length-prefixed
+//!    messages under the `max_frame_bytes` allocation cap, and turns
+//!    them into typed [`Event`]s pulled via [`ClientCore::next_event`].
+//!
+//! The core owns everything protocol-shaped: the `HELLO`/`SERVER_INFO`
+//! handshake, the v3 serial vs v4 request-id-envelope framing, pending
+//! request bookkeeping (out-of-order completion on v4), typed `ERROR`
+//! and `BUSY` surfacing, and retry of a parked request after a load
+//! shed ([`ClientCore::retry`] re-sends under the *same* request id —
+//! the id namespace is client-chosen, the server only echoes).
+//!
+//! Malformed input never panics: every decode failure surfaces as a
+//! typed [`ArkError`] from `ingest`, after which the core is *closed*
+//! (every further call fails fast). Buffered reassembly bytes are
+//! bounded by `4 + max_frame_bytes` plus the largest single `ingest`
+//! chunk, observable via [`ClientCore::buffered_bytes`] — a hostile
+//! length prefix is rejected before any proportional allocation.
+//!
+//! Responses that carry ciphertexts or keys are returned as validated
+//! frame payloads (the event holds raw bytes); decode them against the
+//! local parameter set with [`decode_result_cts`], [`decode_public_key`]
+//! or [`decode_eval_keys`], which check the parameter fingerprint
+//! before interpreting any payload byte. This keeps the core free of
+//! any long-lived borrow of a [`CkksContext`] while still validating
+//! everything attacker-controlled.
+
+use crate::program::Program;
+use crate::protocol::{
+    self, code, msg, EngineInfo, DEFAULT_MAX_FRAME_BYTES, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
+use ark_ckks::error::{ArkError, ArkResult};
+use ark_ckks::params::CkksContext;
+use ark_ckks::wire as ckks_wire;
+use ark_ckks::{Ciphertext, EvalKey, PublicKey, RotationKeys};
+use ark_core::sched::SimReport;
+use ark_core::wire as core_wire;
+use ark_math::wire::{put_u16, put_u32, read_frame, write_frame, Cursor, WireError};
+use std::collections::{HashMap, VecDeque};
+
+/// A ticket for a request in flight; redeem it against the matching
+/// completion [`Event`] (events carry the ticket's request id).
+#[must_use = "a ticket identifies an in-flight request; dropping it orphans the response"]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ticket {
+    pub(crate) id: u64,
+    pub(crate) fingerprint: u64,
+}
+
+impl Ticket {
+    /// The request id carried by the completion event.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The engine fingerprint the request was addressed to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// A typed protocol event produced by [`ClientCore::ingest`].
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// The `HELLO`/`SERVER_INFO` handshake completed; the core is
+    /// ready to submit requests.
+    Handshake {
+        /// The engines the server advertises.
+        engines: Vec<EngineInfo>,
+    },
+    /// A `RESULT_CTS` response: still-encrypted outputs. Decode with
+    /// [`decode_result_cts`] against the local parameter set.
+    EvalResult {
+        /// Id of the ticket this answers.
+        request_id: u64,
+        /// The validated `RESULT_CTS` frame payload.
+        payload: Vec<u8>,
+    },
+    /// A `RESULT_REPORT` response for a simulated-costing request.
+    SimReport {
+        /// Id of the ticket this answers.
+        request_id: u64,
+        /// The decoded cycle-level report.
+        report: SimReport,
+    },
+    /// A `PUBLIC_KEY` response (seed-compressed). Decode with
+    /// [`decode_public_key`].
+    PublicKey {
+        /// Id of the ticket this answers.
+        request_id: u64,
+        /// The validated `PUBLIC_KEY` frame payload.
+        payload: Vec<u8>,
+    },
+    /// An `EVAL_KEYS` response (seed-compressed mult + rotation keys).
+    /// Decode with [`decode_eval_keys`].
+    EvalKeys {
+        /// Id of the ticket this answers.
+        request_id: u64,
+        /// The validated `EVAL_KEYS` frame payload.
+        payload: Vec<u8>,
+    },
+    /// A `STATS` response: the server's observability counters.
+    Stats {
+        /// Id of the ticket this answers.
+        request_id: u64,
+        /// Name → value counter pairs.
+        counters: Vec<(String, u64)>,
+    },
+    /// The server load-shed the request. The request stays parked in
+    /// the core: re-send it with [`ClientCore::retry`] after the
+    /// hinted backoff, or drop it with [`ClientCore::abandon`].
+    Busy {
+        /// Id of the parked ticket.
+        request_id: u64,
+        /// Server-suggested backoff before retrying, in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The server answered the request with a typed `ERROR`.
+    ServerError {
+        /// Id of the ticket this answers.
+        request_id: u64,
+        /// One of the [`code`] error codes.
+        code: u16,
+        /// The server's human-readable message.
+        message: String,
+    },
+    /// The server acknowledged a shutdown request; the session is over
+    /// and the core is closed.
+    Bye {
+        /// Id of the `SHUTDOWN` ticket.
+        request_id: u64,
+    },
+}
+
+impl Event {
+    /// The request id this event answers, if it answers one.
+    pub fn request_id(&self) -> Option<u64> {
+        match self {
+            Event::Handshake { .. } => None,
+            Event::EvalResult { request_id, .. }
+            | Event::SimReport { request_id, .. }
+            | Event::PublicKey { request_id, .. }
+            | Event::EvalKeys { request_id, .. }
+            | Event::Stats { request_id, .. }
+            | Event::Busy { request_id, .. }
+            | Event::ServerError { request_id, .. }
+            | Event::Bye { request_id } => Some(*request_id),
+        }
+    }
+}
+
+/// Incremental reassembly of `u32`-length-prefixed messages with the
+/// length bound enforced *before* any proportional allocation.
+#[derive(Debug)]
+struct FrameAssembler {
+    max_message_bytes: usize,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed (compacted between ingests).
+    pos: usize,
+}
+
+impl FrameAssembler {
+    fn new(max_message_bytes: usize) -> Self {
+        Self {
+            max_message_bytes,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete message, or `None` if more bytes are
+    /// needed. A declared length outside `1..=max_message_bytes` is a
+    /// typed error — the declared size is attacker-controlled and must
+    /// never drive an allocation.
+    fn next_message(&mut self) -> ArkResult<Option<Vec<u8>>> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len_bytes: [u8; 4] = self.buf[self.pos..self.pos + 4]
+            .try_into()
+            .expect("4 bytes checked");
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len == 0 || len > self.max_message_bytes {
+            return Err(ArkError::Wire(WireError::Malformed {
+                what: format!(
+                    "message length {len} outside 1..={}",
+                    self.max_message_bytes
+                ),
+            }));
+        }
+        if avail < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let start = self.pos + 4;
+        let message = self.buf[start..start + len].to_vec();
+        self.pos += 4 + len;
+        Ok(Some(message))
+    }
+
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// `HELLO` queued; waiting for the bare `SERVER_INFO`.
+    AwaitServerInfo,
+    /// Handshake done; requests may be submitted.
+    Ready,
+    /// Terminal: after `BYE`, a protocol violation, or a decode error.
+    Closed,
+}
+
+/// One in-flight request.
+#[derive(Debug)]
+struct Pending {
+    /// Response frame kind that completes this request.
+    expect: u16,
+    /// Engine fingerprint the request was addressed to.
+    fingerprint: u64,
+    /// The encoded request frame, retained so a `BUSY` shed can be
+    /// retried under the same id; dropped once parked-and-abandoned or
+    /// completed.
+    frame: Vec<u8>,
+    /// True once the server shed this request with `BUSY`; it must be
+    /// explicitly [`ClientCore::retry`]-ed or abandoned.
+    parked: bool,
+}
+
+/// Configuration for a [`ClientCore`].
+#[must_use = "a builder does nothing until `.build()` is called"]
+#[derive(Debug, Clone)]
+pub struct CoreConfig {
+    protocol_version: u16,
+    max_frame_bytes: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self {
+            protocol_version: PROTOCOL_VERSION,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// Speaks an explicit protocol version: 4 (default, pipelined) or
+    /// 3 (bare serial, for old servers).
+    pub fn protocol_version(mut self, version: u16) -> Self {
+        self.protocol_version = version;
+        self
+    }
+
+    /// Largest message this core accepts (allocation bound).
+    pub fn max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Builds the core. The `HELLO` frame is already queued as egress.
+    ///
+    /// # Errors
+    ///
+    /// [`ArkError::VersionMismatch`] if this build does not speak the
+    /// requested version.
+    pub fn build(self) -> ArkResult<ClientCore> {
+        ClientCore::with_config(self)
+    }
+}
+
+/// The sans-I/O client protocol state machine. See the module docs for
+/// the ingest/egress lifecycle.
+#[derive(Debug)]
+pub struct ClientCore {
+    version: u16,
+    max_frame_bytes: usize,
+    phase: Phase,
+    engines: Vec<EngineInfo>,
+    assembler: FrameAssembler,
+    egress: Vec<u8>,
+    events: VecDeque<Event>,
+    next_request_id: u64,
+    pending: HashMap<u64, Pending>,
+    /// v3 completes strictly in submission order (no envelope carries
+    /// an id), so the wire order is remembered here.
+    serial_order: VecDeque<u64>,
+}
+
+impl ClientCore {
+    /// A core speaking the default protocol version with the default
+    /// frame cap, `HELLO` already queued.
+    pub fn new() -> Self {
+        CoreConfig::default()
+            .build()
+            .expect("default config is always valid")
+    }
+
+    /// A configuration builder (version and frame-cap knobs).
+    pub fn config() -> CoreConfig {
+        CoreConfig::default()
+    }
+
+    fn with_config(config: CoreConfig) -> ArkResult<Self> {
+        if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&config.protocol_version) {
+            return Err(ArkError::VersionMismatch {
+                client: config.protocol_version,
+                reason: format!(
+                    "this build speaks protocol versions \
+                     {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}"
+                ),
+            });
+        }
+        let mut core = Self {
+            version: config.protocol_version,
+            max_frame_bytes: config.max_frame_bytes,
+            phase: Phase::AwaitServerInfo,
+            engines: Vec::new(),
+            assembler: FrameAssembler::new(config.max_frame_bytes),
+            egress: Vec::new(),
+            events: VecDeque::new(),
+            next_request_id: 1,
+            pending: HashMap::new(),
+            serial_order: VecDeque::new(),
+        };
+        // the handshake is bare in every version: the envelope starts
+        // with the first post-negotiation message
+        let mut hello = Vec::new();
+        put_u16(&mut hello, core.version);
+        let frame = write_frame(msg::HELLO, 0, &hello);
+        core.queue_message(&frame);
+        Ok(core)
+    }
+
+    // -- observers ----------------------------------------------------
+
+    /// The protocol version this core speaks.
+    pub fn protocol_version(&self) -> u16 {
+        self.version
+    }
+
+    /// Largest message this core accepts (the allocation bound its
+    /// reassembly enforces).
+    pub fn max_frame_bytes(&self) -> usize {
+        self.max_frame_bytes
+    }
+
+    /// True once `SERVER_INFO` arrived and requests may be submitted.
+    pub fn is_ready(&self) -> bool {
+        self.phase == Phase::Ready
+    }
+
+    /// True once the core reached its terminal state (after `BYE`, a
+    /// protocol violation, or a decode failure).
+    pub fn is_closed(&self) -> bool {
+        self.phase == Phase::Closed
+    }
+
+    /// The engines the server advertised in the handshake.
+    pub fn engines(&self) -> &[EngineInfo] {
+        &self.engines
+    }
+
+    /// The advertised engine with the given fingerprint, if any.
+    pub fn engine(&self, fingerprint: u64) -> Option<&EngineInfo> {
+        self.engines.iter().find(|e| e.fingerprint == fingerprint)
+    }
+
+    /// Number of requests in flight (including parked `BUSY` ones).
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Reassembly bytes currently buffered. Bounded by
+    /// `4 + max_frame_bytes` plus the largest single [`ingest`] chunk
+    /// (hostile length prefixes are rejected before allocation).
+    ///
+    /// [`ingest`]: ClientCore::ingest
+    pub fn buffered_bytes(&self) -> usize {
+        self.assembler.buffered()
+    }
+
+    /// True if [`take_egress`](ClientCore::take_egress) would return
+    /// bytes.
+    pub fn has_egress(&self) -> bool {
+        !self.egress.is_empty()
+    }
+
+    // -- egress -------------------------------------------------------
+
+    /// Drains the bytes the transport must now write to the peer.
+    /// Empty when nothing is queued.
+    pub fn take_egress(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.egress)
+    }
+
+    fn queue_message(&mut self, body: &[u8]) {
+        let len = u32::try_from(body.len()).expect("encoder bounds message length");
+        self.egress.extend_from_slice(&len.to_le_bytes());
+        self.egress.extend_from_slice(body);
+    }
+
+    // -- ingest -------------------------------------------------------
+
+    /// Consumes bytes read from the peer (any chunking) and converts
+    /// complete messages into typed [`Event`]s.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ArkError`] on any protocol violation or decode
+    /// failure — never a panic. After an error the core is closed and
+    /// every further call fails fast.
+    pub fn ingest(&mut self, bytes: &[u8]) -> ArkResult<()> {
+        self.fail_if_closed()?;
+        self.assembler.push(bytes);
+        loop {
+            let message = match self.assembler.next_message() {
+                Ok(Some(m)) => m,
+                Ok(None) => return Ok(()),
+                Err(e) => {
+                    self.phase = Phase::Closed;
+                    return Err(e);
+                }
+            };
+            if let Err(e) = self.handle_message(&message) {
+                self.phase = Phase::Closed;
+                return Err(e);
+            }
+        }
+    }
+
+    /// The next queued event, if any.
+    pub fn next_event(&mut self) -> Option<Event> {
+        self.events.pop_front()
+    }
+
+    fn fail_if_closed(&self) -> ArkResult<()> {
+        if self.phase == Phase::Closed {
+            return Err(ArkError::Serve {
+                reason: "client core is closed (session over or poisoned by an earlier error)"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn handle_message(&mut self, message: &[u8]) -> ArkResult<()> {
+        match self.phase {
+            Phase::AwaitServerInfo => self.handle_handshake(message),
+            Phase::Ready => self.handle_response(message),
+            Phase::Closed => unreachable!("ingest checks the phase first"),
+        }
+    }
+
+    fn handle_handshake(&mut self, message: &[u8]) -> ArkResult<()> {
+        let (frame, _) = read_frame(message)?;
+        if frame.kind == msg::ERROR {
+            let (c, m) = protocol::decode_error(&mut Cursor::new(frame.payload))?;
+            // the only handshake-time rejection is a version gap;
+            // surface it typed so callers can distinguish "upgrade one
+            // side" from transport loss
+            if c == code::PROTOCOL {
+                return Err(ArkError::VersionMismatch {
+                    client: self.version,
+                    reason: m,
+                });
+            }
+            return Err(ArkError::Serve {
+                reason: format!(
+                    "server rejected the handshake ({}): {m}",
+                    protocol::code_label(c)
+                ),
+            });
+        }
+        if frame.kind != msg::SERVER_INFO {
+            return Err(ArkError::Serve {
+                reason: format!(
+                    "protocol violation: expected SERVER_INFO in the handshake, got kind {:#x}",
+                    frame.kind
+                ),
+            });
+        }
+        self.engines = protocol::decode_server_info(&mut Cursor::new(frame.payload))?;
+        self.phase = Phase::Ready;
+        self.events.push_back(Event::Handshake {
+            engines: self.engines.clone(),
+        });
+        Ok(())
+    }
+
+    fn handle_response(&mut self, message: &[u8]) -> ArkResult<()> {
+        let (request_id, frame_bytes) = if self.pipelines() {
+            let (id, frame) = protocol::split_envelope(message)?;
+            (id, frame)
+        } else {
+            // v3 has no envelope: responses answer requests in order
+            let id = *self.serial_order.front().ok_or_else(|| ArkError::Serve {
+                reason: "protocol violation: response with no request in flight".into(),
+            })?;
+            (id, message)
+        };
+        let pending = self
+            .pending
+            .get(&request_id)
+            .ok_or_else(|| ArkError::Serve {
+                reason: format!("protocol violation: response for unknown request id {request_id}"),
+            })?;
+        let expect = pending.expect;
+        let fingerprint = pending.fingerprint;
+
+        let (frame, _) = read_frame(frame_bytes)?;
+        if frame.kind == msg::BUSY {
+            let retry_after_ms = protocol::decode_busy(&mut Cursor::new(frame.payload))?;
+            self.pending
+                .get_mut(&request_id)
+                .expect("looked up above")
+                .parked = true;
+            // the shed response consumed the v3 wire slot; a retry
+            // re-queues the request and re-enters the serial order
+            if !self.pipelines() {
+                self.serial_order.pop_front();
+            }
+            self.events.push_back(Event::Busy {
+                request_id,
+                retry_after_ms,
+            });
+            return Ok(());
+        }
+
+        // every non-BUSY response completes the request
+        self.complete(request_id);
+        if frame.kind == msg::ERROR {
+            let (c, m) = protocol::decode_error(&mut Cursor::new(frame.payload))?;
+            self.events.push_back(Event::ServerError {
+                request_id,
+                code: c,
+                message: m,
+            });
+            return Ok(());
+        }
+        if frame.kind != expect {
+            return Err(ArkError::Serve {
+                reason: format!(
+                    "protocol violation: expected frame kind {expect:#x}, got {:#x}",
+                    frame.kind
+                ),
+            });
+        }
+        let event = match frame.kind {
+            msg::RESULT_CTS => Event::EvalResult {
+                request_id,
+                payload: frame.payload.to_vec(),
+            },
+            msg::RESULT_REPORT => Event::SimReport {
+                request_id,
+                report: core_wire::read_sim_report(frame.payload, fingerprint)?,
+            },
+            msg::PUBLIC_KEY => Event::PublicKey {
+                request_id,
+                payload: frame.payload.to_vec(),
+            },
+            msg::EVAL_KEYS => Event::EvalKeys {
+                request_id,
+                payload: frame.payload.to_vec(),
+            },
+            msg::STATS => Event::Stats {
+                request_id,
+                counters: protocol::decode_stats(&mut Cursor::new(frame.payload))?,
+            },
+            msg::BYE => {
+                self.phase = Phase::Closed;
+                Event::Bye { request_id }
+            }
+            other => {
+                return Err(ArkError::Serve {
+                    reason: format!("protocol violation: unexpected frame kind {other:#x}"),
+                })
+            }
+        };
+        self.events.push_back(event);
+        Ok(())
+    }
+
+    fn complete(&mut self, request_id: u64) {
+        self.pending.remove(&request_id);
+        if !self.pipelines() {
+            self.serial_order.retain(|&id| id != request_id);
+        }
+    }
+
+    // -- submission ---------------------------------------------------
+
+    fn pipelines(&self) -> bool {
+        self.version >= 4
+    }
+
+    /// Queues one request frame, returning its ticket. On v3 the wire
+    /// is serial: submitting while another request is in flight is a
+    /// typed error (pipelining needs v4).
+    fn submit(&mut self, expect: u16, fingerprint: u64, frame: Vec<u8>) -> ArkResult<Ticket> {
+        self.fail_if_closed()?;
+        if !self.is_ready() {
+            return Err(ArkError::Serve {
+                reason: "handshake incomplete: ingest SERVER_INFO before submitting".into(),
+            });
+        }
+        if !self.pipelines() && !self.pending.is_empty() {
+            return Err(ArkError::Serve {
+                reason: "request pipelining needs protocol v4 (this session speaks v3)".into(),
+            });
+        }
+        let id = self.next_request_id;
+        self.next_request_id += 1;
+        if self.pipelines() {
+            let body = protocol::envelope(id, &frame);
+            self.queue_message(&body);
+        } else {
+            self.queue_message(&frame);
+            self.serial_order.push_back(id);
+        }
+        self.pending.insert(
+            id,
+            Pending {
+                expect,
+                fingerprint,
+                frame,
+                parked: false,
+            },
+        );
+        Ok(Ticket { id, fingerprint })
+    }
+
+    /// Submits an evaluation of `program` over locally-encrypted
+    /// inputs on the software engine `fingerprint`. The context only
+    /// encodes the inputs; it is not retained.
+    pub fn submit_evaluate(
+        &mut self,
+        fingerprint: u64,
+        program: &Program,
+        inputs: &[Ciphertext],
+        ctx: &CkksContext,
+    ) -> ArkResult<Ticket> {
+        let frame = evaluate_frame(fingerprint, program, inputs, ctx)?;
+        self.submit(msg::RESULT_CTS, fingerprint, frame)
+    }
+
+    /// Submits a simulated costing of `program` with symbolic inputs
+    /// at the given levels.
+    pub fn submit_simulate(
+        &mut self,
+        fingerprint: u64,
+        program: &Program,
+        levels: &[usize],
+    ) -> ArkResult<Ticket> {
+        let frame = simulate_frame(fingerprint, program, levels)?;
+        self.submit(msg::RESULT_REPORT, fingerprint, frame)
+    }
+
+    /// Requests the seed-compressed public key of engine `fingerprint`.
+    pub fn submit_get_public_key(&mut self, fingerprint: u64) -> ArkResult<Ticket> {
+        let frame = write_frame(msg::GET_PUBLIC_KEY, fingerprint, &[]);
+        self.submit(msg::PUBLIC_KEY, fingerprint, frame)
+    }
+
+    /// Requests the seed-compressed evaluation keys (mult + rotation
+    /// set) of engine `fingerprint`.
+    pub fn submit_get_eval_keys(&mut self, fingerprint: u64) -> ArkResult<Ticket> {
+        let frame = write_frame(msg::GET_EVAL_KEYS, fingerprint, &[]);
+        self.submit(msg::EVAL_KEYS, fingerprint, frame)
+    }
+
+    /// Requests the server's observability counters.
+    pub fn submit_get_stats(&mut self) -> ArkResult<Ticket> {
+        let frame = write_frame(msg::GET_STATS, 0, &[]);
+        self.submit(msg::STATS, 0, frame)
+    }
+
+    /// Asks the server to shut down gracefully; completion is
+    /// [`Event::Bye`], after which the core is closed.
+    pub fn submit_shutdown(&mut self) -> ArkResult<Ticket> {
+        let frame = write_frame(msg::SHUTDOWN, 0, &[]);
+        self.submit(msg::BYE, 0, frame)
+    }
+
+    /// Re-sends a request the server parked with `BUSY`, under its
+    /// original id. The backoff policy (when to call this) belongs to
+    /// the transport — the core has no clock.
+    pub fn retry(&mut self, ticket: Ticket) -> ArkResult<()> {
+        self.fail_if_closed()?;
+        let pending = self
+            .pending
+            .get_mut(&ticket.id)
+            .ok_or_else(|| ArkError::Serve {
+                reason: format!("no parked request with id {}", ticket.id),
+            })?;
+        if !pending.parked {
+            return Err(ArkError::Serve {
+                reason: format!("request {} is in flight, not parked", ticket.id),
+            });
+        }
+        pending.parked = false;
+        let frame = pending.frame.clone();
+        if self.pipelines() {
+            let body = protocol::envelope(ticket.id, &frame);
+            self.queue_message(&body);
+        } else {
+            self.queue_message(&frame);
+            self.serial_order.push_back(ticket.id);
+        }
+        Ok(())
+    }
+
+    /// Drops a parked (or in-flight) request, freeing its retained
+    /// frame. A late response for an abandoned id is a protocol
+    /// violation.
+    pub fn abandon(&mut self, ticket: Ticket) {
+        self.complete(ticket.id);
+    }
+}
+
+impl Default for ClientCore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request encoders and response payload decoders (sans-I/O, reused by
+// every transport)
+// ---------------------------------------------------------------------
+
+/// The wire counts inputs with a `u16`; reject rather than silently
+/// truncate an oversized request.
+fn count_u16(n: usize) -> ArkResult<u16> {
+    u16::try_from(n).map_err(|_| ArkError::Serve {
+        reason: format!("{n} inputs exceed the wire's u16 count"),
+    })
+}
+
+/// Encodes an `EVALUATE` request frame.
+pub fn evaluate_frame(
+    fingerprint: u64,
+    program: &Program,
+    inputs: &[Ciphertext],
+    ctx: &CkksContext,
+) -> ArkResult<Vec<u8>> {
+    let mut payload = Vec::new();
+    program.encode(&mut payload);
+    put_u16(&mut payload, count_u16(inputs.len())?);
+    for ct in inputs {
+        payload.extend_from_slice(&ckks_wire::write_ciphertext(ctx, ct));
+    }
+    Ok(write_frame(msg::EVALUATE, fingerprint, &payload))
+}
+
+/// Encodes a `SIMULATE` request frame.
+pub fn simulate_frame(fingerprint: u64, program: &Program, levels: &[usize]) -> ArkResult<Vec<u8>> {
+    let mut payload = Vec::new();
+    program.encode(&mut payload);
+    put_u16(&mut payload, count_u16(levels.len())?);
+    for &l in levels {
+        put_u32(&mut payload, l as u32);
+    }
+    Ok(write_frame(msg::SIMULATE, fingerprint, &payload))
+}
+
+/// Decodes a `RESULT_CTS` payload into still-encrypted outputs,
+/// validating every ciphertext against the local parameter set.
+pub fn decode_result_cts(ctx: &CkksContext, payload: &[u8]) -> ArkResult<Vec<Ciphertext>> {
+    let mut cur = Cursor::new(payload);
+    let count = cur.u16()? as usize;
+    let rest = cur.take(cur.remaining())?;
+    let mut outputs = Vec::with_capacity(count.min(256));
+    let mut off = 0;
+    for _ in 0..count {
+        let (ct, used) = ckks_wire::read_ciphertext_prefix(ctx, &rest[off..])?;
+        off += used;
+        outputs.push(ct);
+    }
+    Ok(outputs)
+}
+
+/// Decodes a `PUBLIC_KEY` payload (seed-compressed) and materializes
+/// the key — bit-identical to the key the server holds.
+pub fn decode_public_key(ctx: &CkksContext, payload: &[u8]) -> ArkResult<PublicKey> {
+    let compressed = ckks_wire::read_compressed_public_key(ctx, payload)?;
+    Ok(compressed.materialize(ctx))
+}
+
+/// Decodes an `EVAL_KEYS` payload — two concatenated nested frames:
+/// the seed-compressed mult key, then the rotation-key set — and
+/// materializes both.
+pub fn decode_eval_keys(ctx: &CkksContext, payload: &[u8]) -> ArkResult<(EvalKey, RotationKeys)> {
+    let fp = ckks_wire::param_fingerprint(ctx.params());
+    let (mult_frame, used) = ark_math::wire::read_frame_expecting(
+        payload,
+        ark_math::wire::kind::COMPRESSED_EVAL_KEY,
+        fp,
+    )?;
+    let mut cur = Cursor::new(mult_frame.payload);
+    let mult = ckks_wire::decode_compressed_eval_key(&mut cur, ctx)?;
+    cur.finish().map_err(ArkError::Wire)?;
+    let rotations = ckks_wire::read_compressed_rotation_keys(ctx, &payload[used..])?;
+    Ok((mult.materialize(ctx), rotations.materialize(ctx)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{server_info_frame, stats_frame};
+
+    fn message(body: &[u8]) -> Vec<u8> {
+        let mut out = (body.len() as u32).to_le_bytes().to_vec();
+        out.extend_from_slice(body);
+        out
+    }
+
+    fn some_engines() -> Vec<EngineInfo> {
+        vec![EngineInfo {
+            fingerprint: 0xabcd,
+            software: true,
+            log_n: 10,
+            max_level: 9,
+            keychain_bytes: 64,
+        }]
+    }
+
+    fn handshaken(version: u16) -> ClientCore {
+        let mut core = ClientCore::config()
+            .protocol_version(version)
+            .build()
+            .unwrap();
+        let hello = core.take_egress();
+        assert!(!hello.is_empty(), "HELLO must be queued at construction");
+        core.ingest(&message(&server_info_frame(&some_engines())))
+            .unwrap();
+        assert!(matches!(core.next_event(), Some(Event::Handshake { .. })));
+        assert!(core.is_ready());
+        core
+    }
+
+    #[test]
+    fn handshake_lifecycle() {
+        let core = handshaken(PROTOCOL_VERSION);
+        assert_eq!(core.engines().len(), 1);
+        assert!(core.engine(0xabcd).is_some());
+        assert!(core.engine(0x1234).is_none());
+    }
+
+    #[test]
+    fn handshake_version_rejection_is_typed() {
+        let mut core = ClientCore::new();
+        let _ = core.take_egress();
+        let reject = protocol::error_frame(code::PROTOCOL, "server speaks 3..=3");
+        let err = core.ingest(&message(&reject)).unwrap_err();
+        assert!(matches!(err, ArkError::VersionMismatch { client: 4, .. }));
+        assert!(core.is_closed());
+    }
+
+    #[test]
+    fn unsupported_local_version_is_typed() {
+        let err = ClientCore::config()
+            .protocol_version(2)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ArkError::VersionMismatch { client: 2, .. }));
+        let err = ClientCore::config()
+            .protocol_version(99)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ArkError::VersionMismatch { client: 99, .. }));
+    }
+
+    #[test]
+    fn v4_responses_complete_out_of_order() {
+        let mut core = handshaken(4);
+        let t1 = core.submit_get_stats().unwrap();
+        let t2 = core.submit_get_stats().unwrap();
+        assert_ne!(t1.id(), t2.id());
+        assert_eq!(core.in_flight(), 2);
+        let _ = core.take_egress();
+
+        let counters = vec![("x".to_string(), 7u64)];
+        // answer the second ticket first
+        core.ingest(&message(&protocol::envelope(
+            t2.id(),
+            &stats_frame(&counters),
+        )))
+        .unwrap();
+        core.ingest(&message(&protocol::envelope(
+            t1.id(),
+            &stats_frame(&counters),
+        )))
+        .unwrap();
+        let first = core.next_event().unwrap();
+        assert_eq!(first.request_id(), Some(t2.id()));
+        let second = core.next_event().unwrap();
+        assert_eq!(second.request_id(), Some(t1.id()));
+        assert_eq!(core.in_flight(), 0);
+    }
+
+    #[test]
+    fn v3_is_serial_and_unenveloped() {
+        let mut core = handshaken(3);
+        let t = core.submit_get_stats().unwrap();
+        // second submit while one is in flight is a typed error
+        let err = core.submit_get_stats().unwrap_err();
+        assert!(matches!(err, ArkError::Serve { .. }));
+        // the egress carries a bare frame (no request-id envelope)
+        let egress = core.take_egress();
+        let body = &egress[4..];
+        let (frame, _) = read_frame(body).unwrap();
+        assert_eq!(frame.kind, msg::GET_STATS);
+        // a bare response completes the front request
+        core.ingest(&message(&stats_frame(&[]))).unwrap();
+        let event = core.next_event().unwrap();
+        assert_eq!(event.request_id(), Some(t.id()));
+    }
+
+    #[test]
+    fn busy_parks_and_retry_resends_same_id() {
+        let mut core = handshaken(4);
+        let t = core.submit_get_stats().unwrap();
+        let first_egress = core.take_egress();
+        core.ingest(&message(&protocol::envelope(
+            t.id(),
+            &protocol::busy_frame(15),
+        )))
+        .unwrap();
+        match core.next_event().unwrap() {
+            Event::Busy {
+                request_id,
+                retry_after_ms,
+            } => {
+                assert_eq!(request_id, t.id());
+                assert_eq!(retry_after_ms, 15);
+            }
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        // still pending, parked; retry re-queues identical bytes
+        assert_eq!(core.in_flight(), 1);
+        core.retry(t).unwrap();
+        let second_egress = core.take_egress();
+        assert_eq!(first_egress, second_egress);
+        // retrying an unparked request is a typed error
+        assert!(core.retry(t).is_err());
+        // completion after retry
+        core.ingest(&message(&protocol::envelope(t.id(), &stats_frame(&[]))))
+            .unwrap();
+        assert!(matches!(core.next_event(), Some(Event::Stats { .. })));
+        assert_eq!(core.in_flight(), 0);
+    }
+
+    #[test]
+    fn abandon_frees_a_parked_request() {
+        let mut core = handshaken(4);
+        let t = core.submit_get_stats().unwrap();
+        let _ = core.take_egress();
+        core.ingest(&message(&protocol::envelope(
+            t.id(),
+            &protocol::busy_frame(1),
+        )))
+        .unwrap();
+        let _ = core.next_event();
+        core.abandon(t);
+        assert_eq!(core.in_flight(), 0);
+        assert!(core.retry(t).is_err());
+    }
+
+    #[test]
+    fn server_error_is_an_event_not_a_poison() {
+        let mut core = handshaken(4);
+        let t = core.submit_get_stats().unwrap();
+        let _ = core.take_egress();
+        core.ingest(&message(&protocol::envelope(
+            t.id(),
+            &protocol::error_frame(code::SESSION_LIMIT, "budget"),
+        )))
+        .unwrap();
+        match core.next_event().unwrap() {
+            Event::ServerError {
+                request_id,
+                code: c,
+                message: m,
+            } => {
+                assert_eq!(request_id, t.id());
+                assert_eq!(c, code::SESSION_LIMIT);
+                assert_eq!(m, "budget");
+            }
+            other => panic!("expected ServerError, got {other:?}"),
+        }
+        // the session stays usable
+        assert!(core.is_ready());
+        let _ = core.submit_get_stats().unwrap();
+    }
+
+    #[test]
+    fn unknown_request_id_poisons() {
+        let mut core = handshaken(4);
+        let _ = core.submit_get_stats().unwrap();
+        let _ = core.take_egress();
+        let err = core
+            .ingest(&message(&protocol::envelope(999, &stats_frame(&[]))))
+            .unwrap_err();
+        assert!(matches!(err, ArkError::Serve { .. }));
+        assert!(core.is_closed());
+        assert!(core.submit_get_stats().is_err());
+        assert!(core.ingest(&[0]).is_err());
+    }
+
+    #[test]
+    fn kind_mismatch_poisons() {
+        let mut core = handshaken(4);
+        let t = core.submit_get_stats().unwrap();
+        let _ = core.take_egress();
+        let err = core
+            .ingest(&message(&protocol::envelope(
+                t.id(),
+                &write_frame(msg::RESULT_CTS, 0, &[0, 0]),
+            )))
+            .unwrap_err();
+        assert!(matches!(err, ArkError::Serve { .. }));
+        assert!(core.is_closed());
+    }
+
+    #[test]
+    fn byte_at_a_time_ingest_reassembles() {
+        let mut core = ClientCore::new();
+        let _ = core.take_egress();
+        let bytes = message(&server_info_frame(&some_engines()));
+        for b in &bytes {
+            core.ingest(std::slice::from_ref(b)).unwrap();
+        }
+        assert!(core.is_ready());
+        assert!(core.buffered_bytes() == 0);
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_allocation() {
+        let mut core = ClientCore::config().max_frame_bytes(1024).build().unwrap();
+        let _ = core.take_egress();
+        let err = core.ingest(&u32::MAX.to_le_bytes()).unwrap_err();
+        assert!(matches!(err, ArkError::Wire(_)));
+        assert!(core.is_closed());
+        assert!(core.buffered_bytes() <= 8);
+        // zero-length messages are equally malformed
+        let mut core = ClientCore::config().max_frame_bytes(1024).build().unwrap();
+        let _ = core.take_egress();
+        assert!(core.ingest(&0u32.to_le_bytes()).is_err());
+    }
+
+    #[test]
+    fn bye_closes_the_core() {
+        let mut core = handshaken(4);
+        let t = core.submit_shutdown().unwrap();
+        let _ = core.take_egress();
+        core.ingest(&message(&protocol::envelope(
+            t.id(),
+            &write_frame(msg::BYE, 0, &[]),
+        )))
+        .unwrap();
+        assert!(matches!(core.next_event(), Some(Event::Bye { .. })));
+        assert!(core.is_closed());
+    }
+
+    #[test]
+    fn submitting_before_handshake_is_a_typed_error() {
+        let mut core = ClientCore::new();
+        assert!(core.submit_get_stats().is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! # ark-client — the portable, sans-I/O client core
+//!
+//! Everything a client of an `ark-serve` server needs, minus the
+//! socket: the wire-protocol codecs ([`protocol`]), the transportable
+//! register-based HE program IR ([`program`]), and the
+//! [`core::ClientCore`] state machine that turns raw bytes into typed
+//! protocol [`core::Event`]s and typed errors.
+//!
+//! The crate never touches `std::net`, `std::thread`, or a clock, so
+//! it compiles for `wasm32-unknown-unknown` as-is — a browser client
+//! encrypts locally, moves bytes through `fetch`/WebSocket glue, and
+//! drives the exact state machine the native client uses. The blocking
+//! TCP transport lives in `ark_serve::client::Client`, rebuilt as a
+//! thin adapter over [`core::ClientCore`].
+//!
+//! Every decoder in this crate is *total* over untrusted bytes:
+//! malformed input yields a typed [`ark_ckks::error::ArkError`], never
+//! a panic, and declared lengths are bounded before any allocation.
+//! The workspace `fuzz/` harness drives these entry points directly.
+
+pub mod core;
+pub mod program;
+pub mod protocol;
+
+pub use crate::core::{ClientCore, CoreConfig, Event, Ticket};
+pub use crate::program::{Program, Reg};
+pub use crate::protocol::EngineInfo;
+
+/// One-line import for client code:
+/// `use ark_client::prelude::*;`.
+pub mod prelude {
+    pub use crate::core::{
+        decode_eval_keys, decode_public_key, decode_result_cts, ClientCore, CoreConfig, Event,
+        Ticket,
+    };
+    pub use crate::program::{Program, Reg};
+    pub use crate::protocol::{EngineInfo, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
+    pub use ark_ckks::error::{ArkError, ArkResult};
+}

@@ -331,9 +331,13 @@ pub fn write_frame(kind: u16, fingerprint: u64, payload: &[u8]) -> Vec<u8> {
 /// and checksum. Returns the frame and the total bytes it consumed (so
 /// frames can be concatenated).
 pub fn read_frame(bytes: &[u8]) -> WireResult<(Frame<'_>, usize)> {
-    if bytes.len() < HEADER_LEN {
+    // the smallest well-formed frame is an empty payload between the
+    // header and the checksum; anything shorter cannot hold both
+    // (found by fuzz_frame: a buffer in HEADER_LEN..HEADER_LEN+CHECKSUM_LEN
+    // declaring payload_len 0 overran the checksum slice)
+    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
         return Err(WireError::Truncated {
-            needed: HEADER_LEN,
+            needed: HEADER_LEN + CHECKSUM_LEN,
             available: bytes.len(),
         });
     }
@@ -573,6 +577,23 @@ mod tests {
             assert!(
                 matches!(err, WireError::Truncated { .. }),
                 "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn header_without_room_for_checksum_is_typed() {
+        // fuzz_frame regression (corpus: regress-000-truncated-checksum.bin):
+        // a buffer of HEADER_LEN..HEADER_LEN+CHECKSUM_LEN bytes declaring
+        // payload_len 0 used to slice past the end reading the checksum
+        let b = basis();
+        let bytes = poly_to_frame(&sample_poly(&b, 10), 0);
+        for cut in HEADER_LEN..HEADER_LEN + CHECKSUM_LEN {
+            let mut short = bytes[..cut].to_vec();
+            short[16..24].copy_from_slice(&0u64.to_le_bytes());
+            assert!(
+                matches!(read_frame(&short).unwrap_err(), WireError::Truncated { .. }),
+                "len {cut}"
             );
         }
     }

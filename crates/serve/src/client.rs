@@ -1,14 +1,21 @@
 //! The blocking client: connect, pick an engine by fingerprint, ship
 //! ciphertexts, get results.
 //!
-//! The client is deliberately thin — it owns a [`TcpStream`] and the
-//! protocol state machine, nothing cryptographic. Encryption and
-//! decryption stay with the caller's own [`Engine`](ark_fhe::Engine):
-//! encrypt locally, [`Client::evaluate`] remotely, decrypt locally.
-//! Decoding server responses requires the caller's [`CkksContext`] so
-//! every received ciphertext is validated against the local parameter
-//! set (a response produced under different parameters is rejected by
-//! fingerprint before any payload byte is interpreted).
+//! Since the client split, [`Client`] is a *thin transport adapter*: a
+//! [`TcpStream`] plus timeout/backoff policy wrapped around the
+//! sans-I/O [`ClientCore`] state machine from `ark-client`, which owns
+//! every protocol decision (handshake, v3/v4 framing, pending-request
+//! bookkeeping, typed `ERROR`/`BUSY` surfacing). Anything that can run
+//! on wasm32 lives in the core; only the socket, the clock, and the
+//! retry policy live here.
+//!
+//! Encryption and decryption stay with the caller's own
+//! [`Engine`](ark_fhe::Engine): encrypt locally, [`Client::evaluate`]
+//! remotely, decrypt locally. Decoding server responses requires the
+//! caller's [`CkksContext`] so every received ciphertext is validated
+//! against the local parameter set (a response produced under
+//! different parameters is rejected by fingerprint before any payload
+//! byte is interpreted).
 //!
 //! # Pipelining (protocol v4)
 //!
@@ -23,25 +30,32 @@
 //! [`ClientBuilder::protocol_version`]`(3)` restores the bare serial
 //! protocol for old servers.
 //!
+//! # Load shed and automatic retry
+//!
 //! A server under load may answer a submission with a typed `BUSY`
-//! load-shed, surfaced as [`ArkError::Busy`] carrying the suggested
-//! backoff — transient by design, retry instead of failing over.
+//! load-shed. By default it surfaces as [`ArkError::Busy`] carrying
+//! the suggested backoff — transient by design, retry instead of
+//! failing over. With [`ClientBuilder::busy_retries`]`(n)` the adapter
+//! retries automatically: jittered exponential backoff seeded from the
+//! server's `retry_after_ms` hint, re-submitting the parked request
+//! under its original id up to `n` times before the `Busy` error is
+//! surfaced.
 
-use crate::program::Program;
-use crate::protocol::{
-    self, code, msg, EngineInfo, Recv, DEFAULT_MAX_FRAME_BYTES, MIN_PROTOCOL_VERSION,
-    PROTOCOL_VERSION,
-};
+use crate::protocol::{DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION};
 use ark_ckks::error::{ArkError, ArkResult};
 use ark_ckks::params::CkksContext;
-use ark_ckks::wire as ckks_wire;
 use ark_ckks::{Ciphertext, EvalKey, PublicKey, RotationKeys};
+use ark_client::core::{decode_eval_keys, decode_public_key, decode_result_cts, ClientCore, Event};
+use ark_client::program::Program;
+use ark_client::protocol::code_label;
 use ark_core::sched::SimReport;
-use ark_core::wire as core_wire;
-use ark_math::wire::{put_u16, put_u32, read_frame, write_frame, Cursor, Frame};
 use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::{Duration, Instant};
+use std::time::{Duration, SystemTime};
+
+pub use ark_client::core::Ticket;
+pub use ark_client::protocol::EngineInfo;
 
 fn io_err(context: &str, e: impl std::fmt::Display) -> ArkError {
     ArkError::Serve {
@@ -49,21 +63,19 @@ fn io_err(context: &str, e: impl std::fmt::Display) -> ArkError {
     }
 }
 
-/// The wire counts inputs with a `u16`; reject rather than silently
-/// truncate an oversized request.
-fn count_u16(n: usize) -> ArkResult<u16> {
-    u16::try_from(n).map_err(|_| ArkError::Serve {
-        reason: format!("{n} inputs exceed the wire's u16 count"),
-    })
-}
+/// Ceiling on one automatic-backoff sleep, however many attempts the
+/// exponential schedule has compounded.
+const MAX_BACKOFF: Duration = Duration::from_secs(5);
 
 /// Configures and opens a [`Client`] connection.
+#[must_use = "a builder does nothing until `.connect()` is called"]
 #[derive(Debug, Clone)]
 pub struct ClientBuilder {
     read_timeout: Option<Duration>,
     write_timeout: Option<Duration>,
     protocol_version: u16,
     max_frame_bytes: usize,
+    busy_retries: u32,
 }
 
 impl Default for ClientBuilder {
@@ -73,6 +85,7 @@ impl Default for ClientBuilder {
             write_timeout: None,
             protocol_version: PROTOCOL_VERSION,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            busy_retries: 0,
         }
     }
 }
@@ -106,23 +119,28 @@ impl ClientBuilder {
         self
     }
 
+    /// Retries a `BUSY` load-shed automatically up to `n` times with
+    /// jittered exponential backoff honoring the server's
+    /// `retry_after_ms` hint, before surfacing [`ArkError::Busy`].
+    /// Default 0: every shed surfaces immediately.
+    pub fn busy_retries(mut self, n: u32) -> Self {
+        self.busy_retries = n;
+        self
+    }
+
     /// Connects and performs the `HELLO` handshake, learning the
     /// hosted engine inventory.
     ///
     /// # Errors
     ///
-    /// [`ArkError::Serve`] on transport failure, a version the build
-    /// does not speak, or a handshake rejection.
+    /// [`ArkError::Serve`] on transport failure or a handshake
+    /// rejection; [`ArkError::VersionMismatch`] when client and server
+    /// share no protocol version.
     pub fn connect(self, addr: impl ToSocketAddrs) -> ArkResult<Client> {
-        if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&self.protocol_version) {
-            return Err(ArkError::Serve {
-                reason: format!(
-                    "this build speaks protocol versions \
-                     {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}, not {}",
-                    self.protocol_version
-                ),
-            });
-        }
+        let core = ClientCore::config()
+            .protocol_version(self.protocol_version)
+            .max_frame_bytes(self.max_frame_bytes)
+            .build()?;
         let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
         let _ = stream.set_nodelay(true);
         stream
@@ -131,49 +149,55 @@ impl ClientBuilder {
         stream
             .set_write_timeout(self.write_timeout)
             .map_err(|e| io_err("set write timeout", e))?;
+        // a cheap, non-cryptographic jitter seed; correctness never
+        // depends on it (it only decorrelates retry storms)
+        let seed = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15)
+            | 1;
         let mut client = Client {
             stream,
-            engines: Vec::new(),
-            max_frame_bytes: self.max_frame_bytes,
+            core,
             read_timeout: self.read_timeout,
-            version: self.protocol_version,
-            next_request_id: 1,
-            stashed: HashMap::new(),
+            busy_retries: self.busy_retries,
+            sheds_absorbed: 0,
+            sheds_surfaced: 0,
+            completed: HashMap::new(),
+            rng: seed,
         };
-        // the handshake is bare in every version: the envelope starts
-        // with the first post-negotiation message
-        let mut hello = Vec::new();
-        put_u16(&mut hello, client.version);
-        client.send_bare(&write_frame(msg::HELLO, 0, &hello))?;
-        let frame = client.recv_raw()?;
-        let info = client.expect_kind(&frame, msg::SERVER_INFO)?;
-        client.engines = protocol::decode_server_info(&mut Cursor::new(info.payload))?;
+        // the HELLO queued at core construction goes out now; the
+        // handshake completes once SERVER_INFO is ingested
+        client.flush_egress()?;
+        while !client.core.is_ready() {
+            client.pump()?;
+            while let Some(event) = client.core.next_event() {
+                client.stash(event);
+            }
+        }
         Ok(client)
     }
-}
-
-/// A ticket for a pipelined request in flight on a v4 connection;
-/// redeem with the matching `wait_*` call, in any order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Ticket {
-    id: u64,
-    fingerprint: u64,
 }
 
 /// A blocking `ark-serve` client session over one TCP connection.
 pub struct Client {
     stream: TcpStream,
-    engines: Vec<EngineInfo>,
-    max_frame_bytes: usize,
+    core: ClientCore,
     read_timeout: Option<Duration>,
-    version: u16,
-    next_request_id: u64,
-    /// Responses received while waiting for a different ticket.
-    stashed: HashMap<u64, Vec<u8>>,
+    busy_retries: u32,
+    /// `BUSY` sheds converted to a retry by the automatic backoff.
+    sheds_absorbed: u64,
+    /// `BUSY` sheds surfaced as [`ArkError::Busy`] (budget exhausted).
+    sheds_surfaced: u64,
+    /// Completion events received while waiting for a different
+    /// ticket.
+    completed: HashMap<u64, Event>,
+    /// xorshift64* state for backoff jitter.
+    rng: u64,
 }
 
 impl Client {
-    /// A connection builder with timeout and protocol knobs.
+    /// A connection builder with timeout, protocol, and retry knobs.
     pub fn builder() -> ClientBuilder {
         ClientBuilder::default()
     }
@@ -186,17 +210,29 @@ impl Client {
 
     /// The engines the server advertises.
     pub fn engines(&self) -> &[EngineInfo] {
-        &self.engines
+        self.core.engines()
     }
 
     /// The advertised engine with the given fingerprint, if any.
     pub fn engine(&self, fingerprint: u64) -> Option<&EngineInfo> {
-        self.engines.iter().find(|e| e.fingerprint == fingerprint)
+        self.core.engine(fingerprint)
     }
 
     /// The protocol version this session negotiated.
     pub fn protocol_version(&self) -> u16 {
-        self.version
+        self.core.protocol_version()
+    }
+
+    /// `BUSY` sheds this session absorbed — retried after backoff
+    /// instead of surfacing ([`ClientBuilder::busy_retries`]).
+    pub fn sheds_absorbed(&self) -> u64 {
+        self.sheds_absorbed
+    }
+
+    /// `BUSY` sheds this session surfaced as [`ArkError::Busy`]
+    /// because the retry budget was exhausted (or zero).
+    pub fn sheds_surfaced(&self) -> u64 {
+        self.sheds_surfaced
     }
 
     /// Fetches the server's public key for a hosted software engine so
@@ -205,10 +241,12 @@ impl Client {
     /// the uniform half is re-expanded locally, bit-identical to the
     /// key the server holds.
     pub fn public_key(&mut self, fingerprint: u64, ctx: &CkksContext) -> ArkResult<PublicKey> {
-        let frame = self.request(write_frame(msg::GET_PUBLIC_KEY, fingerprint, &[]))?;
-        let outer = self.expect_kind(&frame, msg::PUBLIC_KEY)?;
-        let compressed = ckks_wire::read_compressed_public_key(ctx, outer.payload)?;
-        Ok(compressed.materialize(ctx))
+        let ticket = self.core.submit_get_public_key(fingerprint)?;
+        self.flush_egress()?;
+        match self.wait_for(ticket)? {
+            Event::PublicKey { payload, .. } => decode_public_key(ctx, &payload),
+            other => Err(unexpected_event(&other)),
+        }
     }
 
     /// Fetches the server's evaluation keys (multiplication key plus
@@ -219,21 +257,12 @@ impl Client {
         fingerprint: u64,
         ctx: &CkksContext,
     ) -> ArkResult<(EvalKey, RotationKeys)> {
-        let frame = self.request(write_frame(msg::GET_EVAL_KEYS, fingerprint, &[]))?;
-        let outer = self.expect_kind(&frame, msg::EVAL_KEYS)?;
-        // the payload is two concatenated nested frames: mult key,
-        // then the rotation-key set
-        let fp = ckks_wire::param_fingerprint(ctx.params());
-        let (mult_frame, used) = ark_math::wire::read_frame_expecting(
-            outer.payload,
-            ark_math::wire::kind::COMPRESSED_EVAL_KEY,
-            fp,
-        )?;
-        let mut cur = Cursor::new(mult_frame.payload);
-        let mult = ckks_wire::decode_compressed_eval_key(&mut cur, ctx)?;
-        cur.finish().map_err(ArkError::Wire)?;
-        let rotations = ckks_wire::read_compressed_rotation_keys(ctx, &outer.payload[used..])?;
-        Ok((mult.materialize(ctx), rotations.materialize(ctx)))
+        let ticket = self.core.submit_get_eval_keys(fingerprint)?;
+        self.flush_egress()?;
+        match self.wait_for(ticket)? {
+            Event::EvalKeys { payload, .. } => decode_eval_keys(ctx, &payload),
+            other => Err(unexpected_event(&other)),
+        }
     }
 
     /// Evaluates `program` remotely over locally-encrypted inputs on
@@ -246,9 +275,14 @@ impl Client {
         inputs: &[Ciphertext],
         ctx: &CkksContext,
     ) -> ArkResult<Vec<Ciphertext>> {
-        let frame = self.request(evaluate_frame(fingerprint, program, inputs, ctx)?)?;
-        let outer = self.expect_kind(&frame, msg::RESULT_CTS)?;
-        decode_result_cts(ctx, outer.payload)
+        let ticket = self
+            .core
+            .submit_evaluate(fingerprint, program, inputs, ctx)?;
+        self.flush_egress()?;
+        match self.wait_for(ticket)? {
+            Event::EvalResult { payload, .. } => decode_result_cts(ctx, &payload),
+            other => Err(unexpected_event(&other)),
+        }
     }
 
     /// Costs `program` on the simulated engine `fingerprint` with
@@ -260,9 +294,12 @@ impl Client {
         program: &Program,
         levels: &[usize],
     ) -> ArkResult<SimReport> {
-        let frame = self.request(simulate_frame(fingerprint, program, levels)?)?;
-        let outer = self.expect_kind(&frame, msg::RESULT_REPORT)?;
-        core_wire::read_sim_report(outer.payload, fingerprint)
+        let ticket = self.core.submit_simulate(fingerprint, program, levels)?;
+        self.flush_egress()?;
+        match self.wait_for(ticket)? {
+            Event::SimReport { report, .. } => Ok(report),
+            other => Err(unexpected_event(&other)),
+        }
     }
 
     /// Submits an evaluation without waiting (pipelining; v4 only).
@@ -274,8 +311,12 @@ impl Client {
         inputs: &[Ciphertext],
         ctx: &CkksContext,
     ) -> ArkResult<Ticket> {
-        let id = self.submit_frame(evaluate_frame(fingerprint, program, inputs, ctx)?)?;
-        Ok(Ticket { id, fingerprint })
+        self.require_pipelining()?;
+        let ticket = self
+            .core
+            .submit_evaluate(fingerprint, program, inputs, ctx)?;
+        self.flush_egress()?;
+        Ok(ticket)
     }
 
     /// Submits a simulation without waiting (pipelining; v4 only).
@@ -286,8 +327,10 @@ impl Client {
         program: &Program,
         levels: &[usize],
     ) -> ArkResult<Ticket> {
-        let id = self.submit_frame(simulate_frame(fingerprint, program, levels)?)?;
-        Ok(Ticket { id, fingerprint })
+        self.require_pipelining()?;
+        let ticket = self.core.submit_simulate(fingerprint, program, levels)?;
+        self.flush_egress()?;
+        Ok(ticket)
     }
 
     /// Waits for a pipelined evaluation's still-encrypted outputs.
@@ -296,83 +339,60 @@ impl Client {
         ticket: Ticket,
         ctx: &CkksContext,
     ) -> ArkResult<Vec<Ciphertext>> {
-        let frame = self.wait_response(ticket.id)?;
-        let outer = self.expect_kind(&frame, msg::RESULT_CTS)?;
-        decode_result_cts(ctx, outer.payload)
+        match self.wait_for(ticket)? {
+            Event::EvalResult { payload, .. } => decode_result_cts(ctx, &payload),
+            other => Err(unexpected_event(&other)),
+        }
     }
 
     /// Waits for a pipelined simulation's report.
     pub fn wait_simulate(&mut self, ticket: Ticket) -> ArkResult<SimReport> {
-        let frame = self.wait_response(ticket.id)?;
-        let outer = self.expect_kind(&frame, msg::RESULT_REPORT)?;
-        core_wire::read_sim_report(outer.payload, ticket.fingerprint)
+        match self.wait_for(ticket)? {
+            Event::SimReport { report, .. } => Ok(report),
+            other => Err(unexpected_event(&other)),
+        }
     }
 
     /// Fetches the server's observability counters (accepted/active
     /// sessions, per-shard queue depths and executed/stolen/shed jobs,
     /// runtime-key-cache hits) as name → value pairs.
     pub fn stats(&mut self) -> ArkResult<Vec<(String, u64)>> {
-        let frame = self.request(write_frame(msg::GET_STATS, 0, &[]))?;
-        let outer = self.expect_kind(&frame, msg::STATS)?;
-        protocol::decode_stats(&mut Cursor::new(outer.payload))
+        let ticket = self.core.submit_get_stats()?;
+        self.flush_egress()?;
+        match self.wait_for(ticket)? {
+            Event::Stats { counters, .. } => Ok(counters),
+            other => Err(unexpected_event(&other)),
+        }
     }
 
     /// Asks the server to shut down gracefully, consuming the client.
     pub fn shutdown_server(mut self) -> ArkResult<()> {
-        let frame = self.request(write_frame(msg::SHUTDOWN, 0, &[]))?;
-        self.expect_kind(&frame, msg::BYE).map(|_| ())
+        let ticket = self.core.submit_shutdown()?;
+        self.flush_egress()?;
+        match self.wait_for(ticket)? {
+            Event::Bye { .. } => Ok(()),
+            other => Err(unexpected_event(&other)),
+        }
     }
 
     // -- transport ----------------------------------------------------
 
-    fn pipelines(&self) -> bool {
-        self.version >= 4
-    }
-
-    /// One synchronous request/response exchange (submit-then-wait on
-    /// v4, bare send/recv on v3).
-    fn request(&mut self, frame: Vec<u8>) -> ArkResult<Vec<u8>> {
-        if self.pipelines() {
-            let id = self.submit_frame(frame)?;
-            self.wait_response(id)
-        } else {
-            self.send_bare(&frame)?;
-            self.recv_raw()
-        }
-    }
-
-    /// Sends one enveloped request, returning its id.
-    fn submit_frame(&mut self, frame: Vec<u8>) -> ArkResult<u64> {
-        if !self.pipelines() {
+    fn require_pipelining(&self) -> ArkResult<()> {
+        if self.core.protocol_version() < 4 {
             return Err(ArkError::Serve {
                 reason: "request pipelining needs protocol v4 (this session speaks v3)".into(),
             });
         }
-        let id = self.next_request_id;
-        self.next_request_id += 1;
-        let body = protocol::envelope(id, &frame);
-        self.send_bare(&body)?;
-        Ok(id)
+        Ok(())
     }
 
-    /// Receives until the response for `id` arrives, stashing
-    /// out-of-order responses for their own waiters.
-    fn wait_response(&mut self, id: u64) -> ArkResult<Vec<u8>> {
-        if let Some(frame) = self.stashed.remove(&id) {
-            return Ok(frame);
+    /// Writes everything the core has queued.
+    fn flush_egress(&mut self) -> ArkResult<()> {
+        let bytes = self.core.take_egress();
+        if bytes.is_empty() {
+            return Ok(());
         }
-        loop {
-            let message = self.recv_raw()?;
-            let (rid, frame) = protocol::split_envelope(&message)?;
-            if rid == id {
-                return Ok(frame.to_vec());
-            }
-            self.stashed.insert(rid, frame.to_vec());
-        }
-    }
-
-    fn send_bare(&mut self, body: &[u8]) -> ArkResult<()> {
-        protocol::send_message(&mut self.stream, body).map_err(|e| {
+        self.stream.write_all(&bytes).map_err(|e| {
             if matches!(
                 e.kind(),
                 std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
@@ -381,108 +401,150 @@ impl Client {
             } else {
                 io_err("send", e)
             }
-        })
+        })?;
+        self.stream.flush().map_err(|e| io_err("send", e))
     }
 
-    fn recv_raw(&mut self) -> ArkResult<Vec<u8>> {
-        // with a read timeout, the socket wait is bounded by
-        // SO_RCVTIMEO; the abort closure additionally bounds a stalled
-        // mid-message read against the same deadline
-        let deadline = self.read_timeout.map(|t| Instant::now() + t);
-        let abort = move || deadline.is_some_and(|d| Instant::now() >= d);
-        match protocol::recv_message(&mut self.stream, self.max_frame_bytes, &abort) {
-            Ok(Recv::Frame(f)) => Ok(f),
-            Ok(Recv::Idle) => Err(ArkError::Serve {
-                reason: format!(
-                    "read timed out after {:?} waiting for the server",
-                    self.read_timeout.unwrap_or_default()
-                ),
-            }),
-            Ok(Recv::Closed) => Err(ArkError::Serve {
-                reason: "server closed the connection mid-request".into(),
-            }),
-            Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => Err(ArkError::Serve {
-                reason: format!(
-                    "read timed out after {:?} mid-message",
-                    self.read_timeout.unwrap_or_default()
-                ),
-            }),
-            Err(e) => Err(io_err("recv", e)),
+    /// One blocking read fed into the core. The socket's own
+    /// `SO_RCVTIMEO` (from [`ClientBuilder::read_timeout`]) bounds the
+    /// wait; expiry surfaces as a typed timeout error.
+    fn pump(&mut self) -> ArkResult<()> {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(ArkError::Serve {
+                        reason: "server closed the connection mid-request".into(),
+                    })
+                }
+                Ok(n) => return self.core.ingest(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err(ArkError::Serve {
+                        reason: format!(
+                            "read timed out after {:?} waiting for the server",
+                            self.read_timeout.unwrap_or_default()
+                        ),
+                    })
+                }
+                Err(e) => return Err(io_err("recv", e)),
+            }
         }
     }
 
-    /// Parses a response frame, mapping `ERROR` frames to
-    /// [`ArkError::Serve`], `BUSY` to [`ArkError::Busy`], and anything
-    /// unexpected to a protocol error.
-    fn expect_kind<'f>(&self, frame_bytes: &'f [u8], kind: u16) -> ArkResult<Frame<'f>> {
-        let (frame, _) = read_frame(frame_bytes)?;
-        if frame.kind == msg::ERROR {
-            let (c, m) = protocol::decode_error(&mut Cursor::new(frame.payload))?;
-            let label = match c {
-                code::PROTOCOL => "protocol",
-                code::UNKNOWN_ENGINE => "unknown-engine",
-                code::EVALUATION => "evaluation",
-                code::SESSION_LIMIT => "session-limit",
-                code::UNSUPPORTED => "unsupported",
-                code::WIRE => "wire",
-                code::VERIFY => "verify",
-                _ => "unknown",
+    fn stash(&mut self, event: Event) {
+        if let Some(id) = event.request_id() {
+            self.completed.insert(id, event);
+        }
+    }
+
+    /// Receives until the completion for `ticket` arrives, stashing
+    /// out-of-order completions for their own waiters. `BUSY` sheds
+    /// are retried here (up to the configured budget) before they
+    /// surface as [`ArkError::Busy`].
+    fn wait_for(&mut self, ticket: Ticket) -> ArkResult<Event> {
+        let mut attempts_left = self.busy_retries;
+        let mut attempt = 0u32;
+        loop {
+            let event = loop {
+                if let Some(event) = self.completed.remove(&ticket.id()) {
+                    break event;
+                }
+                self.pump()?;
+                while let Some(event) = self.core.next_event() {
+                    self.stash(event);
+                }
             };
-            return Err(ArkError::Serve {
-                reason: format!("server rejected the request ({label}): {m}"),
-            });
+            match event {
+                Event::Busy { retry_after_ms, .. } => {
+                    if attempts_left == 0 {
+                        self.sheds_surfaced += 1;
+                        self.core.abandon(ticket);
+                        return Err(ArkError::Busy { retry_after_ms });
+                    }
+                    self.sheds_absorbed += 1;
+                    attempts_left -= 1;
+                    std::thread::sleep(self.backoff(attempt, retry_after_ms));
+                    attempt += 1;
+                    self.core.retry(ticket)?;
+                    self.flush_egress()?;
+                }
+                Event::ServerError { code, message, .. } => {
+                    return Err(ArkError::Serve {
+                        reason: format!(
+                            "server rejected the request ({}): {message}",
+                            code_label(code)
+                        ),
+                    });
+                }
+                done => return Ok(done),
+            }
         }
-        if frame.kind == msg::BUSY {
-            let retry_after_ms = protocol::decode_busy(&mut Cursor::new(frame.payload))?;
-            return Err(ArkError::Busy { retry_after_ms });
-        }
-        if frame.kind != kind {
-            return Err(ArkError::Serve {
-                reason: format!(
-                    "protocol violation: expected frame kind {kind:#x}, got {:#x}",
-                    frame.kind
-                ),
-            });
-        }
-        Ok(frame)
+    }
+
+    /// Jittered exponential backoff: the server's hint doubled per
+    /// attempt, scaled by a uniform factor in `[0.5, 1.5)`, capped at
+    /// [`MAX_BACKOFF`].
+    fn backoff(&mut self, attempt: u32, retry_after_ms: u32) -> Duration {
+        let base = u64::from(retry_after_ms.max(1)) << attempt.min(16);
+        let base = base.min(MAX_BACKOFF.as_millis() as u64);
+        // xorshift64*: cheap, seedable, no external dependency
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let uniform =
+            (self.rng.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64;
+        let ms = (base as f64 * (0.5 + uniform)).round() as u64;
+        Duration::from_millis(ms.clamp(1, MAX_BACKOFF.as_millis() as u64))
     }
 }
 
-fn evaluate_frame(
-    fingerprint: u64,
-    program: &Program,
-    inputs: &[Ciphertext],
-    ctx: &CkksContext,
-) -> ArkResult<Vec<u8>> {
-    let mut payload = Vec::new();
-    program.encode(&mut payload);
-    put_u16(&mut payload, count_u16(inputs.len())?);
-    for ct in inputs {
-        payload.extend_from_slice(&ckks_wire::write_ciphertext(ctx, ct));
+fn unexpected_event(event: &Event) -> ArkError {
+    ArkError::Serve {
+        reason: format!("protocol violation: unexpected response event {event:?}"),
     }
-    Ok(write_frame(msg::EVALUATE, fingerprint, &payload))
 }
 
-fn simulate_frame(fingerprint: u64, program: &Program, levels: &[usize]) -> ArkResult<Vec<u8>> {
-    let mut payload = Vec::new();
-    program.encode(&mut payload);
-    put_u16(&mut payload, count_u16(levels.len())?);
-    for &l in levels {
-        put_u32(&mut payload, l as u32);
-    }
-    Ok(write_frame(msg::SIMULATE, fingerprint, &payload))
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-fn decode_result_cts(ctx: &CkksContext, payload: &[u8]) -> ArkResult<Vec<Ciphertext>> {
-    let mut cur = Cursor::new(payload);
-    let count = cur.u16()? as usize;
-    let rest = cur.take(cur.remaining())?;
-    let mut outputs = Vec::with_capacity(count.min(256));
-    let mut off = 0;
-    for _ in 0..count {
-        let (ct, used) = ckks_wire::read_ciphertext_prefix(ctx, &rest[off..])?;
-        off += used;
-        outputs.push(ct);
+    #[test]
+    fn backoff_honors_hint_jitter_and_cap() {
+        // a throwaway connected pair just to build a Client is
+        // overkill — test the schedule through a loopback connection
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let join = std::thread::spawn(move || {
+            // accept and speak just enough handshake for connect()
+            let (mut s, _) = listener.accept().unwrap();
+            let mut len = [0u8; 4];
+            s.read_exact(&mut len).unwrap();
+            let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+            s.read_exact(&mut body).unwrap();
+            let info = ark_client::protocol::server_info_frame(&[]);
+            s.write_all(&(info.len() as u32).to_le_bytes()).unwrap();
+            s.write_all(&info).unwrap();
+            s.flush().unwrap();
+        });
+        let mut client = Client::connect(addr).unwrap();
+        join.join().unwrap();
+
+        for attempt in 0..8 {
+            let d = client.backoff(attempt, 10).as_millis() as u64;
+            let ideal = (10u64 << attempt).min(MAX_BACKOFF.as_millis() as u64);
+            assert!(d >= ideal / 2, "attempt {attempt}: {d}ms under half-hint");
+            assert!(
+                d <= MAX_BACKOFF.as_millis() as u64,
+                "attempt {attempt}: {d}ms over cap"
+            );
+        }
+        // the zero hint never yields a zero sleep (thundering herd)
+        assert!(client.backoff(0, 0).as_millis() >= 1);
     }
-    Ok(outputs)
 }

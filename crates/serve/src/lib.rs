@@ -7,21 +7,27 @@
 //!
 //! - [`program::Program`] — a wire-serializable register-based HE
 //!   program (the transportable counterpart of
-//!   [`ark_fhe::engine::HeProgram`]);
+//!   [`ark_fhe::engine::HeProgram`]); since the client split it lives
+//!   in `ark_client::program` and is re-exported here;
 //! - [`protocol`] — the length-prefixed request/response protocol over
 //!   TCP (`std::net` only, like everything in this workspace), v4 of
 //!   which envelopes every post-handshake message with a request id so
-//!   one connection can pipeline;
+//!   one connection can pipeline. The sans-I/O codecs live in
+//!   `ark_client::protocol`; this module adds the blocking transport;
 //! - [`server::Server`] — an event-driven serving fabric: one
 //!   `ark-net` reactor thread owns every connection, N shard workers
 //!   (work-stealing, bounded queues, typed `BUSY` load-shedding)
 //!   evaluate over one shared key chain per parameter set;
 //! - [`client::Client`] — a blocking client: encrypt locally, evaluate
 //!   remotely (serially or pipelined via tickets), decrypt locally.
+//!   A thin `TcpStream` adapter over the sans-I/O
+//!   `ark_client::ClientCore` state machine (which also compiles to
+//!   wasm32 for browser transports).
 //!
 //! See `examples/serve_roundtrip.rs` for the loopback end-to-end flow
 //! on both the software and the simulated backend, and the "Serving
-//! fabric" section of `DESIGN.md` for the architecture.
+//! fabric" and "Client core" sections of `DESIGN.md` for the
+//! architecture.
 
 pub mod client;
 pub mod program;

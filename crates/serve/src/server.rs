@@ -128,6 +128,12 @@ pub struct ServerConfig {
     /// session budget or touches a shard evaluator, instead of failing
     /// mid-evaluation after NTTs already burned shard time.
     pub verify_programs: bool,
+    /// Newest protocol version this server accepts (default
+    /// [`PROTOCOL_VERSION`]). Lowering it to 3 emulates an
+    /// old pre-pipelining deployment — newer clients are rejected with
+    /// a typed `PROTOCOL` error at the handshake instead of failing
+    /// obscurely mid-session; used by cross-version interop tests.
+    pub max_protocol_version: u16,
 }
 
 impl Default for ServerConfig {
@@ -145,6 +151,7 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(25),
             drain_grace: Duration::from_secs(1),
             verify_programs: true,
+            max_protocol_version: PROTOCOL_VERSION,
         }
     }
 }
@@ -408,6 +415,7 @@ impl Shared {
 
 /// A serving runtime under construction: add engines with
 /// [`Server::host`], then bind and run with [`Server::serve`].
+#[must_use = "a server does nothing until `.serve()` is called"]
 pub struct Server {
     engines: Vec<Engine>,
     config: ServerConfig,
@@ -1226,7 +1234,12 @@ impl Reactor {
                 return;
             }
         };
-        if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
+        let max_version = self
+            .shared
+            .config
+            .max_protocol_version
+            .min(PROTOCOL_VERSION);
+        if !(MIN_PROTOCOL_VERSION..=max_version).contains(&version) {
             self.respond(
                 tok,
                 None,
@@ -1234,7 +1247,7 @@ impl Reactor {
                     code::PROTOCOL,
                     &format!(
                         "client speaks protocol {version}, server speaks \
-                         {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}"
+                         {MIN_PROTOCOL_VERSION}..={max_version}"
                     ),
                 ),
             );

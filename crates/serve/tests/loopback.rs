@@ -363,6 +363,41 @@ fn oversized_program_is_rejected_before_execution() {
 }
 
 #[test]
+fn v4_client_against_v3_only_server_fails_typed_not_hung() {
+    // a server pinned to protocol 3 must reject a default (v4) client
+    // during the handshake with a typed version error — the failure
+    // mode is a prompt Err from connect, never a hang
+    let (handle, sw_fp, _) = start_server(ServerConfig {
+        max_protocol_version: 3,
+        ..ServerConfig::default()
+    });
+    let (tx, rx) = std::sync::mpsc::channel();
+    let addr = handle.addr();
+    std::thread::spawn(move || {
+        let _ = tx.send(Client::connect(addr).map(|_| ()));
+    });
+    let result = rx
+        .recv_timeout(std::time::Duration::from_secs(10))
+        .expect("connect returned instead of hanging");
+    match result {
+        Err(ArkError::VersionMismatch { client, reason }) => {
+            assert_eq!(client, protocol::PROTOCOL_VERSION);
+            assert!(reason.contains("3..=3"), "reason: {reason}");
+        }
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+    // a client that downgrades to v3 still gets full service
+    let mut client = Client::builder()
+        .protocol_version(3)
+        .connect(handle.addr())
+        .unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.iter().any(|(k, _)| k == "sessions_accepted"));
+    assert!(client.engine(sw_fp).is_some());
+    handle.shutdown();
+}
+
+#[test]
 fn remote_shutdown_is_refused_by_default() {
     let (handle, _, sim_fp) = start_server(ServerConfig::default());
     let client = Client::connect(handle.addr()).unwrap();

@@ -1,0 +1,33 @@
+//! Fuzz target: wire-frame decoding — the outermost untrusted
+//! boundary. Drives [`ark_math::wire::read_frame`] plus every typed
+//! decoder that consumes a frame's payload (polys, ciphertexts,
+//! compressed keys, serve control payloads). Malformed bytes must
+//! yield typed errors, never panics.
+
+use ark_ckks::params::{CkksContext, CkksParams};
+use ark_ckks::wire as ckks_wire;
+use ark_client::protocol;
+use ark_math::wire::{self, Cursor};
+
+fn main() {
+    let opts = ark_fuzz::parse_args("frame");
+    let ctx = CkksContext::new(CkksParams::tiny());
+    let fp = ckks_wire::param_fingerprint(ctx.params());
+    ark_fuzz::run("frame", &opts, |data| {
+        // frame container (magic, version, kind, fingerprint, length,
+        // checksum)
+        let _ = wire::read_frame(data);
+        let _ = wire::read_frame_expecting(data, wire::kind::CIPHERTEXT, fp);
+        // nested typed payloads, each total over hostile bytes
+        let _ = wire::poly_from_frame(data, ctx.basis(), fp);
+        let _ = ckks_wire::read_ciphertext_prefix(&ctx, data);
+        let _ = ckks_wire::read_compressed_public_key(&ctx, data);
+        let _ = ckks_wire::read_compressed_rotation_keys(&ctx, data);
+        // serve control codecs over a raw payload cursor
+        let _ = protocol::decode_server_info(&mut Cursor::new(data));
+        let _ = protocol::decode_stats(&mut Cursor::new(data));
+        let _ = protocol::decode_error(&mut Cursor::new(data));
+        let _ = protocol::decode_busy(&mut Cursor::new(data));
+        let _ = protocol::split_envelope(data);
+    });
+}

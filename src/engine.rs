@@ -1347,6 +1347,7 @@ pub struct Engine {
 /// Builder for [`Engine`] — declare the parameter set, backend, key
 /// set and (optionally) bootstrapping support, then [`build`](Self::build).
 #[derive(Debug, Clone)]
+#[must_use = "a builder does nothing until `.build()` is called"]
 pub struct EngineBuilder {
     params: Option<CkksParams>,
     backend: Backend,
